@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module regenerates one figure or table of the paper's
+evaluation (Section V).  The underlying campaign is run once per pytest
+session at reduced scale (the ``REPRO_BENCH_SCALE`` environment variable
+selects ``fast`` — the default — or ``paper`` for the full-fidelity settings)
+and the per-figure benchmarks then measure and validate the generation of
+their artefact from that shared campaign.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.common.config import ExperimentConfig, MSPCConfig, SimulationConfig
+from repro.experiments.evaluation import Evaluation
+from repro.experiments.scenarios import paper_scenarios
+
+
+def _bench_config() -> ExperimentConfig:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "fast").lower()
+    if scale == "paper":
+        return ExperimentConfig.paper_settings(seed=2016)
+    return ExperimentConfig(
+        n_calibration_runs=3,
+        n_runs_per_scenario=2,
+        anomaly_start_hour=6.0,
+        simulation=SimulationConfig(duration_hours=14.0, samples_per_hour=30, seed=2016),
+        mspc=MSPCConfig(),
+        seed=2016,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The campaign configuration used by every benchmark."""
+    return _bench_config()
+
+
+@pytest.fixture(scope="session")
+def calibrated_evaluation(bench_config) -> Evaluation:
+    """A calibrated evaluation campaign shared by all benchmark modules."""
+    evaluation = Evaluation(bench_config)
+    evaluation.calibrate()
+    return evaluation
+
+
+@pytest.fixture(scope="session")
+def scenario_evaluations(calibrated_evaluation):
+    """Results of the paper's four scenarios, evaluated once per session."""
+    return calibrated_evaluation.evaluate_all(paper_scenarios())

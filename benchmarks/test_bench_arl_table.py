@@ -1,0 +1,52 @@
+"""ARL behaviour (Section V text) — detection delay per scenario.
+
+The paper does not tabulate the Average Run Lengths but describes them in the
+text of Section V: detection is "almost immediate" for IDV(6) and for the two
+integrity attacks, whereas "DoS detection takes almost an hour" and all
+anomalous situations are detected.  This benchmark regenerates the ARL table
+and checks that ordering.
+"""
+
+import pytest
+
+from repro.experiments.figures import arl_table
+
+
+@pytest.mark.benchmark(group="arl")
+def test_arl_table(benchmark, scenario_evaluations):
+    rows = benchmark.pedantic(
+        arl_table, args=(scenario_evaluations,), rounds=1, iterations=1
+    )
+    by_name = {row["scenario"]: row for row in rows}
+
+    # Every anomalous situation is detected in every run.
+    for name, row in by_name.items():
+        assert row["detection_rate"] == 1.0, f"{name} missed in some runs"
+
+    # Fast detections for the disturbance and the integrity attacks...
+    for name in ("idv6", "attack_xmv3", "attack_xmeas1"):
+        assert by_name[name]["arl_hours"] < 0.5
+
+    # ... and a significantly longer ARL for the DoS attack.
+    dos_arl = by_name["dos_xmv3"]["arl_hours"]
+    fastest = min(
+        by_name[name]["arl_hours"] for name in ("idv6", "attack_xmv3", "attack_xmeas1")
+    )
+    assert dos_arl > 2.0 * fastest
+    assert dos_arl > 0.15
+
+    print()
+    print("ARL reproduction (Section V)")
+    print(f"  {'scenario':<16} {'detected':>9} {'ARL (h)':>9}   paper")
+    expectations = {
+        "idv6": "almost immediate",
+        "attack_xmv3": "almost immediate",
+        "attack_xmeas1": "almost immediate",
+        "dos_xmv3": "almost an hour",
+    }
+    for name, row in by_name.items():
+        arl = row["arl_hours"]
+        print(
+            f"  {name:<16} {row['n_detected']:>4}/{row['n_runs']:<4} "
+            f"{arl:9.3f}   {expectations.get(name, '')}"
+        )

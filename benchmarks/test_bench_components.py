@@ -1,0 +1,60 @@
+"""Component micro-benchmarks (throughput of the substrates).
+
+These are not paper figures; they quantify the cost of the two main
+substrates — the Tennessee-Eastman closed-loop simulation and the MSPC
+scoring path — so that regressions in either are caught and so the
+fast/paper campaign scales can be planned.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.config import MSPCConfig, SimulationConfig
+from repro.control.te_controller import TEDecentralizedController
+from repro.datasets.generator import make_latent_structure_dataset
+from repro.mspc.model import MSPCMonitor
+from repro.te.constants import XMV_TABLE
+from repro.te.plant import TEPlant
+
+
+@pytest.mark.benchmark(group="components")
+def test_te_plant_step_throughput(benchmark):
+    """Cost of one closed-loop integration step (plant + controller)."""
+    plant = TEPlant(seed=0)
+    controller = TEDecentralizedController()
+    dt = SimulationConfig().integration_step_hours
+
+    def step():
+        measurements = plant.measure(noisy=True)
+        commands = controller.update(measurements, dt)
+        plant.step(commands, dt)
+
+    benchmark(step)
+
+
+@pytest.mark.benchmark(group="components")
+def test_mspc_scoring_throughput(benchmark):
+    """Cost of scoring a 1000-observation window against a fitted model."""
+    calibration = make_latent_structure_dataset(
+        n_observations=2000, n_variables=53, n_latent=8, noise_scale=0.2, seed=1
+    )
+    monitor = MSPCMonitor(MSPCConfig()).fit(calibration)
+    window = make_latent_structure_dataset(
+        n_observations=1000, n_variables=53, n_latent=8, noise_scale=0.2, seed=2
+    )
+    result = benchmark(monitor.monitor, window)
+    assert len(result.d_chart) == 1000
+
+
+@pytest.mark.benchmark(group="components")
+def test_mspc_calibration_cost(benchmark):
+    """Cost of fitting the MSPC model (scaling + PCA + limits)."""
+    calibration = make_latent_structure_dataset(
+        n_observations=5000, n_variables=53, n_latent=8, noise_scale=0.2, seed=3
+    )
+
+    def fit():
+        return MSPCMonitor(MSPCConfig()).fit(calibration)
+
+    monitor = benchmark(fit)
+    assert monitor.is_fitted

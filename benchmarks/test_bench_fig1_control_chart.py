@@ -1,0 +1,40 @@
+"""Figure 1 — example MSPC control chart with 95 % / 99 % control limits.
+
+The paper's Figure 1 shows a monitoring statistic under normal operating
+conditions with its two control limits; under statistical control roughly
+99 % of the points fall below the upper limit.  This benchmark regenerates
+that chart from a fresh normal-operation run scored against the calibrated
+MSPC model and validates the coverage property.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure1_control_chart
+from repro.plotting.ascii import render_control_chart
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_fig1_control_chart(benchmark, calibrated_evaluation):
+    figure = benchmark.pedantic(
+        figure1_control_chart,
+        kwargs={"evaluation": calibrated_evaluation, "statistic": "D"},
+        rounds=1,
+        iterations=1,
+    )
+
+    # Shape checks: the 99 % limit sits above the 95 % one and the vast
+    # majority of normal-operation points stay below the 99 % limit.
+    assert figure.limits[0.99] > figure.limits[0.95]
+    assert figure.fraction_below(0.99) > 0.90
+
+    chart = render_control_chart(
+        figure.values,
+        figure.limits,
+        title=f"Figure 1: {figure.statistic}-statistic control chart (normal operation)",
+    )
+    print()
+    print(chart)
+    print(
+        f"fraction below 99% limit: {figure.fraction_below(0.99):.3f} "
+        f"(paper: ~0.99 under statistical control)"
+    )

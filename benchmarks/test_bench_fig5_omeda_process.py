@@ -1,0 +1,71 @@
+"""Figure 5 — oMEDA diagnosis of the four scenarios, process-level view.
+
+The paper's Figure 5 shows the same diagnoses computed from process-level
+data.  The qualitative features that distinguish it from Figure 4 are:
+
+* (b) the integrity attack on XMV(3): the valve the attacker manipulates,
+  XMV(3), is now implicated as being far below normal;
+* (c) the integrity attack on XMEAS(1): XMEAS(1) and XMV(3) are implicated as
+  being *above* normal (the controller opened the valve because it was fed a
+  forged zero flow reading);
+* (a) IDV(6) looks exactly as it does from the controller (both views agree
+  for a genuine process disturbance);
+* (d) the DoS diagnosis remains unclear.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import figure4_omeda_controller, figure5_omeda_process
+from repro.plotting.ascii import render_bar_chart
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_fig5_omeda_process(benchmark, scenario_evaluations):
+    figures = benchmark.pedantic(
+        figure5_omeda_process, args=(scenario_evaluations,), rounds=1, iterations=1
+    )
+    controller_figures = figure4_omeda_controller(scenario_evaluations)
+
+    # (a) IDV(6): process view identical to controller view.
+    np.testing.assert_allclose(
+        figures["idv6"].contributions, controller_figures["idv6"].contributions
+    )
+
+    # (b) attack on XMV(3): the attacked actuator shows up as far below normal
+    # at the process level, while the controller-level view shows the
+    # commanded value at or above normal.
+    xmv3_process = figures["attack_xmv3"].value_of("XMV(3)")
+    xmv3_controller = controller_figures["attack_xmv3"].value_of("XMV(3)")
+    assert xmv3_process < 0
+    assert xmv3_controller > xmv3_process
+    order = np.argsort(-np.abs(figures["attack_xmv3"].contributions))
+    assert figures["attack_xmv3"].variable_names.index("XMV(3)") in order[:8]
+
+    # (c) attack on XMEAS(1): both the true flow and the valve are above
+    # normal at the process level.
+    assert figures["attack_xmeas1"].value_of("XMEAS(1)") > 0
+    assert figures["attack_xmeas1"].value_of("XMV(3)") > 0
+    assert controller_figures["attack_xmeas1"].value_of("XMEAS(1)") < 0
+
+    print()
+    print("Figure 5 reproduction — process-level oMEDA (top bars per scenario)")
+    for name, figure in figures.items():
+        if figure.contributions.size == 0:
+            print(f"  ({name}) no observation exceeded the control limits")
+            continue
+        order = np.argsort(-np.abs(figure.contributions))[:4]
+        summary = ", ".join(
+            f"{figure.variable_names[i]}={figure.contributions[i]:+.1f}" for i in order
+        )
+        print(f"  ({name}) {summary}")
+    attack_figure = figures["attack_xmv3"]
+    order = np.argsort(-np.abs(attack_figure.contributions))[:10]
+    print()
+    print(
+        render_bar_chart(
+            [attack_figure.variable_names[i] for i in order],
+            attack_figure.contributions[order],
+            title="Figure 5b: integrity attack on XMV(3), process point of view",
+        )
+    )

@@ -1,0 +1,79 @@
+"""Distinguishing a process disturbance from an integrity attack.
+
+This example reproduces the core experiment of the paper: the disturbance
+IDV(6) (loss of the A feed) and an integrity attack that closes the A feed
+valve XMV(3) look identical from the controllers' point of view, but the
+dual-level analyzer — which monitors controller-level *and* process-level
+data — tells them apart.
+
+Run with:  python examples/disturbance_vs_attack.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.anomaly.diagnosis import DualLevelAnalyzer
+from repro.common.config import ExperimentConfig, MSPCConfig, SimulationConfig
+from repro.experiments.runner import run_calibration_campaign, run_scenario
+from repro.experiments.scenarios import (
+    disturbance_idv6_scenario,
+    integrity_attack_on_xmv3_scenario,
+)
+
+CONFIG = ExperimentConfig(
+    n_calibration_runs=3,
+    n_runs_per_scenario=1,
+    anomaly_start_hour=5.0,
+    simulation=SimulationConfig(duration_hours=12.0, samples_per_hour=30, seed=42),
+    mspc=MSPCConfig(),
+    seed=42,
+)
+
+
+def describe(name, diagnosis) -> None:
+    print(f"--- {name} ---")
+    print(f"  detected at t = {diagnosis.detection_time_hours:.3f} h")
+    controller_top = diagnosis.controller_omeda.top_variables(3)
+    process_top = diagnosis.process_omeda.top_variables(3)
+    print(f"  controller-level oMEDA top variables: {', '.join(controller_top)}")
+    print(f"  process-level oMEDA top variables:    {', '.join(process_top)}")
+    print(f"  similarity between the two views:     {diagnosis.similarity:.3f}")
+    print(f"  classification:                       {diagnosis.classification.value}")
+    print()
+
+
+def main() -> None:
+    print("calibrating the dual-level analyzer on attack-free data...")
+    calibration = run_calibration_campaign(CONFIG)
+    analyzer = DualLevelAnalyzer(CONFIG.mspc)
+    analyzer.fit(calibration.controller_data, calibration.process_data)
+
+    print("running the two look-alike scenarios...\n")
+    scenarios = {
+        "Disturbance IDV(6): A feed loss": disturbance_idv6_scenario(),
+        "Integrity attack closing XMV(3)": integrity_attack_on_xmv3_scenario(),
+    }
+    for name, scenario in scenarios.items():
+        run = run_scenario(
+            scenario,
+            CONFIG.simulation.with_seed(777),
+            anomaly_start_hour=CONFIG.anomaly_start_hour,
+        )
+        diagnosis = analyzer.analyze(
+            run.controller_data,
+            run.process_data,
+            anomaly_start_hour=CONFIG.anomaly_start_hour,
+        )
+        describe(name, diagnosis)
+
+    print(
+        "Both situations are detected almost immediately and look identical to\n"
+        "the controllers (XMEAS(1) dominates both controller-level diagnoses).\n"
+        "Only the process-level view reveals that in the attack the valve\n"
+        "XMV(3) was driven shut while the controllers were commanding it open."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Development smoke test: end-to-end MSPC evaluation on a small campaign."""
+import numpy as np
+
+from repro.common.config import ExperimentConfig, MSPCConfig, SimulationConfig
+from repro.experiments.evaluation import Evaluation
+from repro.experiments.scenarios import paper_scenarios
+
+config = ExperimentConfig(
+    n_calibration_runs=4,
+    n_runs_per_scenario=2,
+    anomaly_start_hour=8.0,
+    simulation=SimulationConfig(duration_hours=16.0, samples_per_hour=30, seed=11),
+    mspc=MSPCConfig(),
+    seed=11,
+)
+
+evaluation = Evaluation(config)
+calibration = evaluation.calibrate()
+print("calibration observations:", calibration.controller_data.n_observations)
+print("PCA components:", evaluation.analyzer.controller_monitor.pca.n_components)
+
+results = evaluation.evaluate_all(paper_scenarios())
+for name, se in results.items():
+    print(f"\n=== {name} ===")
+    print("  detected:", se.n_detected, "/", se.n_runs, " ARL(h):", se.arl_hours)
+    print("  shutdowns:", se.shutdown_times())
+    print("  classifications:", se.classification_counts())
+    for view in ("controller", "process"):
+        names, contrib = se.mean_omeda(view)
+        if len(names) == 0:
+            print(f"  {view}: no omeda")
+            continue
+        order = np.argsort(-np.abs(contrib))[:4]
+        tops = ", ".join(f"{names[i]}={contrib[i]:+.1f}" for i in order)
+        print(f"  {view} top: {tops}")

@@ -1,0 +1,51 @@
+"""Development smoke test: check plant stability and scenario shapes."""
+import numpy as np
+
+from repro.common.config import SimulationConfig
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import (
+    normal_scenario,
+    disturbance_idv6_scenario,
+    integrity_attack_on_xmv3_scenario,
+    integrity_attack_on_xmeas1_scenario,
+    dos_attack_on_xmv3_scenario,
+)
+
+
+def describe(result, names):
+    data = result.process_data
+    print(f"  shutdown: {result.shutdown_time_hours} ({result.shutdown_reason})")
+    for name in names:
+        col = data.column(name)
+        print(
+            f"  {name:>10}: start={col[:20].mean():9.3f} "
+            f"mid={col[len(col)//2-10:len(col)//2+10].mean():9.3f} "
+            f"end={col[-20:].mean():9.3f}"
+        )
+
+
+cfg = SimulationConfig(duration_hours=20.0, samples_per_hour=60, seed=1)
+watch = ["XMEAS(1)", "XMEAS(7)", "XMEAS(8)", "XMEAS(9)", "XMEAS(12)", "XMEAS(15)", "XMEAS(17)", "XMV(3)", "XMV(6)", "XMV(7)"]
+
+print("=== normal ===")
+res = run_scenario(normal_scenario(), cfg, anomaly_start_hour=10.0)
+describe(res, watch)
+
+print("=== IDV(6) at hour 5 ===")
+cfg2 = SimulationConfig(duration_hours=20.0, samples_per_hour=60, seed=2)
+res = run_scenario(disturbance_idv6_scenario(), cfg2, anomaly_start_hour=5.0)
+describe(res, watch)
+
+print("=== attack XMV(3)=0 at hour 5 ===")
+res = run_scenario(integrity_attack_on_xmv3_scenario(), cfg2, anomaly_start_hour=5.0)
+describe(res, watch)
+
+print("=== attack XMEAS(1)=0 at hour 5 ===")
+res = run_scenario(integrity_attack_on_xmeas1_scenario(), cfg2, anomaly_start_hour=5.0)
+describe(res, watch)
+print("  controller view XMEAS(1) end:", res.controller_data.column("XMEAS(1)")[-20:].mean())
+print("  process view XMV(3) end:", res.process_data.column("XMV(3)")[-20:].mean())
+
+print("=== DoS XMV(3) at hour 5 ===")
+res = run_scenario(dos_attack_on_xmv3_scenario(), cfg2, anomaly_start_hour=5.0)
+describe(res, watch)

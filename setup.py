@@ -1,0 +1,12 @@
+"""Setuptools entry point.
+
+The reproduction environment is offline and does not ship the ``wheel``
+package, which breaks PEP 660 editable installs (``pip install -e .``) on the
+bundled setuptools.  Keeping a thin ``setup.py`` restores the legacy editable
+install path (``setup.py develop``), which pip falls back to automatically.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

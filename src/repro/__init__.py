@@ -1,0 +1,52 @@
+"""repro — reproduction of Iturbe et al., "On the Feasibility of Distinguishing
+Between Process Disturbances and Intrusions in Process Control Systems Using
+Multivariate Statistical Process Control" (DSN 2016).
+
+The package is organized in layered subpackages:
+
+``repro.common``
+    Shared exceptions, configuration objects and random-stream helpers.
+``repro.datasets``
+    Labelled N x M process datasets, I/O and synthetic generators.
+``repro.process``
+    Generic process-simulation scaffolding: variables, noise, disturbances,
+    safety interlocks and data recording.
+``repro.te``
+    The Tennessee-Eastman plant model (41 XMEAS, 12 XMV, 20 IDV).
+``repro.control``
+    PI/PID controllers and the Ricker-style decentralized TE control layer.
+``repro.network``
+    Channels between controllers and the plant, the man-in-the-middle
+    adversary, integrity and DoS attacks, and dual-view recording.
+``repro.mspc``
+    PCA-based Multivariate Statistical Process Control: T^2 / SPE statistics,
+    control limits, detection rules, ARL and oMEDA diagnosis.
+``repro.anomaly``
+    Streaming anomaly detection and dual-level (controller vs. process)
+    diagnosis that distinguishes disturbances from intrusions.
+``repro.experiments``
+    Calibration campaigns, the paper's four evaluation scenarios and the
+    figure/table generators.
+``repro.plotting``
+    ASCII rendering and CSV export of control charts and oMEDA bar charts.
+"""
+
+from repro._version import __version__
+from repro.common.exceptions import (
+    ReproError,
+    ConfigurationError,
+    SimulationError,
+    ProcessShutdown,
+    NotFittedError,
+    DataShapeError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "ProcessShutdown",
+    "NotFittedError",
+    "DataShapeError",
+]

@@ -1,0 +1,29 @@
+"""Anomaly detection and dual-level diagnosis.
+
+The paper's key idea is to monitor **both** controller-level and process-level
+data with MSPC: detection works on either view, and comparing the oMEDA
+diagnoses of the two views makes it possible to tell process disturbances from
+integrity attacks — the two views agree under a disturbance and diverge under
+an attack.  This package provides the streaming detector, the anomaly event
+record and the dual-level analyzer implementing that comparison.
+"""
+
+from repro.anomaly.events import AnomalyEvent
+from repro.anomaly.detector import StreamingDetector
+from repro.anomaly.diagnosis import (
+    DualLevelAnalyzer,
+    DualLevelDiagnosis,
+    AnomalyClass,
+    omeda_similarity,
+    view_divergence,
+)
+
+__all__ = [
+    "AnomalyEvent",
+    "StreamingDetector",
+    "DualLevelAnalyzer",
+    "DualLevelDiagnosis",
+    "AnomalyClass",
+    "omeda_similarity",
+    "view_divergence",
+]

@@ -1,0 +1,118 @@
+"""Streaming (observation-by-observation) anomaly detection.
+
+:class:`StreamingDetector` wraps a fitted :class:`~repro.mspc.model.MSPCMonitor`
+and applies the consecutive-violation rule online, one observation at a time,
+which is how a monitor deployed next to a historian would run.  Batch-mode
+monitoring of a full run is available through
+:meth:`repro.mspc.model.MSPCMonitor.monitor`; both paths implement the same
+rule and produce identical detections.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.anomaly.events import AnomalyEvent
+from repro.common.exceptions import NotFittedError
+from repro.mspc.model import MSPCMonitor
+
+__all__ = ["StreamingDetector"]
+
+
+class StreamingDetector:
+    """Online application of the MSPC detection rule.
+
+    Parameters
+    ----------
+    monitor:
+        A fitted :class:`MSPCMonitor`.
+    """
+
+    def __init__(self, monitor: MSPCMonitor):
+        if not monitor.is_fitted:
+            raise NotFittedError("the MSPCMonitor must be fitted before streaming")
+        self.monitor = monitor
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget all streamed observations and detections."""
+        self._index = 0
+        self._consecutive_d = 0
+        self._consecutive_q = 0
+        self._events: List[AnomalyEvent] = []
+        self._history_d: List[float] = []
+        self._history_q: List[float] = []
+        self._times: List[float] = []
+
+    @property
+    def events(self) -> List[AnomalyEvent]:
+        """All detections fired so far."""
+        return list(self._events)
+
+    @property
+    def first_event(self) -> Optional[AnomalyEvent]:
+        """The first detection, or ``None``."""
+        return self._events[0] if self._events else None
+
+    @property
+    def history(self) -> Dict[str, np.ndarray]:
+        """Streamed statistic values and timestamps."""
+        return {
+            "D": np.array(self._history_d),
+            "Q": np.array(self._history_q),
+            "time": np.array(self._times),
+        }
+
+    def observe(self, observation: np.ndarray, time_hours: Optional[float] = None) -> Optional[AnomalyEvent]:
+        """Process one observation; return an event if the rule fires on it."""
+        config = self.monitor.config
+        t2_values, spe_values = self.monitor.statistics(np.asarray(observation, dtype=float))
+        t2_value = float(t2_values[0])
+        spe_value = float(spe_values[0])
+        time_value = float(time_hours) if time_hours is not None else float(self._index)
+
+        d_limit = self.monitor.t2_limits.at(config.detection_confidence)
+        q_limit = self.monitor.spe_limits.at(config.detection_confidence)
+
+        self._consecutive_d = self._consecutive_d + 1 if t2_value > d_limit else 0
+        self._consecutive_q = self._consecutive_q + 1 if spe_value > q_limit else 0
+
+        event: Optional[AnomalyEvent] = None
+        d_fired = self._consecutive_d == config.consecutive_violations
+        q_fired = self._consecutive_q == config.consecutive_violations
+        if d_fired or q_fired:
+            if d_fired and q_fired:
+                chart, value, limit = "D+Q", t2_value, d_limit
+            elif d_fired:
+                chart, value, limit = "D", t2_value, d_limit
+            else:
+                chart, value, limit = "Q", spe_value, q_limit
+            event = AnomalyEvent(
+                detection_index=self._index,
+                detection_time_hours=time_value,
+                chart=chart,
+                statistic_value=value,
+                limit=limit,
+            )
+            self._events.append(event)
+
+        self._history_d.append(t2_value)
+        self._history_q.append(spe_value)
+        self._times.append(time_value)
+        self._index += 1
+        return event
+
+    def observe_many(self, observations: np.ndarray, times: Optional[np.ndarray] = None) -> List[AnomalyEvent]:
+        """Stream a batch of observations; return the events fired."""
+        observations = np.asarray(observations, dtype=float)
+        if observations.ndim == 1:
+            observations = observations.reshape(1, -1)
+        events: List[AnomalyEvent] = []
+        for row_index, row in enumerate(observations):
+            time_value = None if times is None else float(np.asarray(times).ravel()[row_index])
+            event = self.observe(row, time_value)
+            if event is not None:
+                events.append(event)
+        return events

@@ -1,0 +1,42 @@
+"""Anomaly event records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = ["AnomalyEvent"]
+
+
+@dataclass(frozen=True)
+class AnomalyEvent:
+    """A detected anomalous event.
+
+    Attributes
+    ----------
+    detection_index:
+        Index of the observation at which the detection rule fired.
+    detection_time_hours:
+        Timestamp of that observation, in simulation hours.
+    chart:
+        Name of the chart that fired first (``"D"``, ``"Q"`` or ``"D+Q"``
+        when both fired at the same observation).
+    statistic_value:
+        Value of the firing statistic at the detection observation.
+    limit:
+        Control limit that was exceeded.
+    metadata:
+        Free-form extra information (scenario name, run seed, ...).
+    """
+
+    detection_index: int
+    detection_time_hours: float
+    chart: str
+    statistic_value: float
+    limit: float
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def run_length(self, anomaly_start_hour: float) -> Optional[float]:
+        """Time from anomaly onset to this detection (None for false alarms)."""
+        elapsed = self.detection_time_hours - float(anomaly_start_hour)
+        return elapsed if elapsed >= 0 else None

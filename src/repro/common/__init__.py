@@ -1,0 +1,26 @@
+"""Shared infrastructure: exceptions, configuration and randomness helpers."""
+
+from repro.common.exceptions import (
+    ReproError,
+    ConfigurationError,
+    SimulationError,
+    ProcessShutdown,
+    NotFittedError,
+    DataShapeError,
+)
+from repro.common.config import SimulationConfig, MSPCConfig, ExperimentConfig
+from repro.common.randomness import RandomStream, spawn_streams
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "ProcessShutdown",
+    "NotFittedError",
+    "DataShapeError",
+    "SimulationConfig",
+    "MSPCConfig",
+    "ExperimentConfig",
+    "RandomStream",
+    "spawn_streams",
+]

@@ -1,0 +1,46 @@
+"""Exception hierarchy used across the package.
+
+Every exception raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch a single type at API boundaries while still being able to
+distinguish configuration problems from runtime simulation failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all exceptions raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The process simulation reached an invalid or non-physical state."""
+
+
+class ProcessShutdown(ReproError):
+    """The plant safety system tripped and the simulation was stopped.
+
+    This mirrors the behaviour of the Tennessee-Eastman challenge process,
+    which shuts itself down when a safety constraint (e.g. the stripper liquid
+    level falling too low) is violated.  The exception carries the simulation
+    time and the constraint that tripped so experiment harnesses can record
+    truncated runs instead of treating them as failures.
+    """
+
+    def __init__(self, time_hours: float, reason: str):
+        super().__init__(
+            f"process shut down at t={time_hours:.3f} h: {reason}"
+        )
+        self.time_hours = float(time_hours)
+        self.reason = str(reason)
+
+
+class NotFittedError(ReproError):
+    """A statistical model was used before being fitted to calibration data."""
+
+
+class DataShapeError(ReproError):
+    """Input data has an incompatible shape or inconsistent variable labels."""

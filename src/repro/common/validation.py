@@ -1,0 +1,66 @@
+"""Small validation helpers shared by the numerical modules."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.common.exceptions import DataShapeError
+
+__all__ = [
+    "as_2d_array",
+    "as_1d_array",
+    "check_matching_columns",
+    "check_finite",
+    "check_probability",
+]
+
+
+def as_2d_array(data, name: str = "data") -> np.ndarray:
+    """Coerce ``data`` into a 2-D float array, raising :class:`DataShapeError`.
+
+    One-dimensional inputs are treated as a single observation (one row).
+    """
+    array = np.asarray(data, dtype=float)
+    if array.ndim == 1:
+        array = array.reshape(1, -1)
+    if array.ndim != 2:
+        raise DataShapeError(f"{name} must be 2-dimensional, got shape {array.shape}")
+    if array.shape[0] == 0 or array.shape[1] == 0:
+        raise DataShapeError(f"{name} must be non-empty, got shape {array.shape}")
+    return array
+
+
+def as_1d_array(data, name: str = "data") -> np.ndarray:
+    """Coerce ``data`` into a 1-D float array, raising :class:`DataShapeError`."""
+    array = np.asarray(data, dtype=float)
+    if array.ndim != 1:
+        array = array.ravel()
+    if array.size == 0:
+        raise DataShapeError(f"{name} must be non-empty")
+    return array
+
+
+def check_matching_columns(
+    n_expected: int, array: np.ndarray, name: str = "data"
+) -> None:
+    """Ensure ``array`` has ``n_expected`` columns."""
+    if array.shape[1] != n_expected:
+        raise DataShapeError(
+            f"{name} has {array.shape[1]} variables, expected {n_expected}"
+        )
+
+
+def check_finite(array: np.ndarray, name: str = "data") -> None:
+    """Ensure the array contains no NaN or infinite entries."""
+    if not np.all(np.isfinite(array)):
+        raise DataShapeError(f"{name} contains NaN or infinite values")
+
+
+def check_probability(value: float, name: str = "value") -> float:
+    """Ensure ``value`` is a probability strictly inside (0, 1)."""
+    value = float(value)
+    if not 0.0 < value < 1.0:
+        raise DataShapeError(f"{name} must be in (0, 1), got {value}")
+    return value

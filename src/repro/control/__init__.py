@@ -1,0 +1,17 @@
+"""Regulatory control layer: PI/PID controllers and the decentralized TE strategy."""
+
+from repro.control.pid import PIDController, PIDGains
+from repro.control.loops import ControlLoop, LoopDefinition
+from repro.control.te_controller import (
+    TEDecentralizedController,
+    default_loop_definitions,
+)
+
+__all__ = [
+    "PIDController",
+    "PIDGains",
+    "ControlLoop",
+    "LoopDefinition",
+    "TEDecentralizedController",
+    "default_loop_definitions",
+]

@@ -1,0 +1,85 @@
+"""Single control loops: a PI controller bound to one XMEAS and one XMV."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.control.pid import PIDController, PIDGains
+
+__all__ = ["LoopDefinition", "ControlLoop"]
+
+
+@dataclass(frozen=True)
+class LoopDefinition:
+    """Static description of a regulatory control loop.
+
+    Attributes
+    ----------
+    name:
+        Human-readable loop name (e.g. ``"A feed flow"``).
+    xmeas_index:
+        1-based index of the controlled measurement.
+    xmv_index:
+        1-based index of the manipulated variable.
+    setpoint:
+        Setpoint in the engineering units of the measurement.
+    kc / ti_hours:
+        PI tuning.
+    direction:
+        ``+1`` if increasing the XMV raises the XMEAS, ``-1`` otherwise.
+    output_bias:
+        Nominal valve position used as the controller bias.
+    """
+
+    name: str
+    xmeas_index: int
+    xmv_index: int
+    setpoint: float
+    kc: float
+    ti_hours: Optional[float]
+    direction: int = 1
+    output_bias: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.xmeas_index < 1:
+            raise ConfigurationError("xmeas_index is 1-based and must be >= 1")
+        if self.xmv_index < 1:
+            raise ConfigurationError("xmv_index is 1-based and must be >= 1")
+
+
+class ControlLoop:
+    """A live loop instance: definition + controller state."""
+
+    def __init__(self, definition: LoopDefinition):
+        self.definition = definition
+        self.controller = PIDController(
+            gains=PIDGains(kc=definition.kc, ti_hours=definition.ti_hours),
+            setpoint=definition.setpoint,
+            output_bias=definition.output_bias,
+            output_low=0.0,
+            output_high=100.0,
+            direction=definition.direction,
+        )
+
+    @property
+    def name(self) -> str:
+        """Loop name."""
+        return self.definition.name
+
+    def reset(self) -> None:
+        """Clear controller memory."""
+        self.controller.reset()
+
+    def update(
+        self,
+        measurements: np.ndarray,
+        dt_hours: float,
+        setpoint_override: Optional[float] = None,
+    ) -> float:
+        """Compute the new valve position from the full measurement vector."""
+        measurement = float(measurements[self.definition.xmeas_index - 1])
+        return self.controller.update(measurement, dt_hours, setpoint_override)

@@ -1,0 +1,141 @@
+"""Discrete PI/PID controller with output clamping and anti-windup.
+
+The Tennessee-Eastman regulatory layer (Ricker, 1996) is built almost
+exclusively from PI loops; the derivative term is provided for completeness
+but defaults to zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.exceptions import ConfigurationError
+
+__all__ = ["PIDGains", "PIDController"]
+
+
+@dataclass(frozen=True)
+class PIDGains:
+    """Controller tuning parameters.
+
+    Attributes
+    ----------
+    kc:
+        Proportional gain, in output units per unit of error.
+    ti_hours:
+        Integral (reset) time in hours; ``None`` disables integral action.
+    td_hours:
+        Derivative time in hours (0 disables derivative action).
+    """
+
+    kc: float
+    ti_hours: Optional[float] = None
+    td_hours: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.ti_hours is not None and self.ti_hours <= 0:
+            raise ConfigurationError("ti_hours must be positive or None")
+        if self.td_hours < 0:
+            raise ConfigurationError("td_hours must be >= 0")
+
+
+class PIDController:
+    """A single-loop, positional-form PID controller.
+
+    Parameters
+    ----------
+    gains:
+        Tuning parameters.
+    setpoint:
+        Initial setpoint, in engineering units of the controlled variable.
+    output_bias:
+        Controller output when the error and integral are zero (typically the
+        nominal valve position).
+    output_low / output_high:
+        Output clamp (0-100 % for valves).  The integral term is frozen while
+        the output is saturated in the direction that would worsen windup.
+    direction:
+        ``+1`` when an output increase raises the controlled variable (e.g. a
+        feed valve), ``-1`` when it lowers it (e.g. cooling water on a
+        temperature, purge valve on a pressure).
+    """
+
+    def __init__(
+        self,
+        gains: PIDGains,
+        setpoint: float,
+        output_bias: float = 0.0,
+        output_low: float = 0.0,
+        output_high: float = 100.0,
+        direction: int = 1,
+    ):
+        if output_low >= output_high:
+            raise ConfigurationError("output_low must be below output_high")
+        if direction not in (1, -1):
+            raise ConfigurationError("direction must be +1 or -1")
+        self.gains = gains
+        self.setpoint = float(setpoint)
+        self.output_bias = float(output_bias)
+        self.output_low = float(output_low)
+        self.output_high = float(output_high)
+        self.direction = int(direction)
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear the integral and derivative memory."""
+        self._integral = 0.0
+        self._previous_error: Optional[float] = None
+        self._last_output = self.output_bias
+
+    @property
+    def last_output(self) -> float:
+        """Output computed by the most recent :meth:`update` call."""
+        return self._last_output
+
+    def update(self, measurement: float, dt_hours: float, setpoint: Optional[float] = None) -> float:
+        """Compute the new output for the given measurement.
+
+        Parameters
+        ----------
+        measurement:
+            Current value of the controlled variable.
+        dt_hours:
+            Time since the previous update, in hours.
+        setpoint:
+            Optional setpoint override for this update (used by cascade and
+            override schemes); the stored setpoint is left unchanged.
+        """
+        if dt_hours <= 0:
+            return self._last_output
+        active_setpoint = self.setpoint if setpoint is None else float(setpoint)
+        error = self.direction * (active_setpoint - float(measurement))
+
+        proportional = self.gains.kc * error
+
+        integral_increment = 0.0
+        if self.gains.ti_hours is not None:
+            integral_increment = self.gains.kc / self.gains.ti_hours * error * dt_hours
+
+        derivative = 0.0
+        if self.gains.td_hours > 0 and self._previous_error is not None:
+            derivative = (
+                self.gains.kc
+                * self.gains.td_hours
+                * (error - self._previous_error)
+                / dt_hours
+            )
+        self._previous_error = error
+
+        unclamped = self.output_bias + proportional + self._integral + integral_increment + derivative
+        output = min(max(unclamped, self.output_low), self.output_high)
+
+        # Anti-windup: only accumulate the integral when it does not push the
+        # output further into saturation.
+        if output == unclamped or (unclamped > output and integral_increment < 0) or (
+            unclamped < output and integral_increment > 0
+        ):
+            self._integral += integral_increment
+
+        self._last_output = output
+        return output

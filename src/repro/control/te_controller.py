@@ -1,0 +1,223 @@
+"""Ricker-style decentralized control of the Tennessee-Eastman plant.
+
+The control structure follows the spirit of Ricker (1996): a set of
+single-input single-output PI loops that regulate the feed flows, the
+production rate, the vessel levels, the reactor pressure and the key
+temperatures, plus a simple high-pressure override that cuts the A+C feed
+when the reactor pressure approaches its shutdown limit.
+
+The loop pairing reproduces the behaviour the paper's evaluation relies on:
+
+* the A feed flow, ``XMEAS(1)``, is regulated by the A feed valve,
+  ``XMV(3)`` — so forging ``XMEAS(1)`` makes the controller open ``XMV(3)``;
+* the product flow, ``XMEAS(17)``, is held at its production setpoint by
+  ``XMV(8)``, so when upstream production collapses (IDV(6) or an attack
+  closing ``XMV(3)``) the liquid inventory is progressively drained and the
+  stripper level eventually trips the plant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.control.loops import ControlLoop, LoopDefinition
+from repro.process.interfaces import Controller
+from repro.te.constants import N_XMEAS, N_XMV, XMV_TABLE
+
+__all__ = ["TEDecentralizedController", "default_loop_definitions"]
+
+
+def default_loop_definitions() -> Tuple[LoopDefinition, ...]:
+    """The default decentralized loop set (PV, MV, setpoint and PI tuning)."""
+    xmv_nominal = [row[1] for row in XMV_TABLE]
+    return (
+        LoopDefinition(
+            name="A feed flow",
+            xmeas_index=1, xmv_index=3, setpoint=0.25052,
+            kc=25.0, ti_hours=0.04, direction=1, output_bias=xmv_nominal[2],
+        ),
+        LoopDefinition(
+            name="D feed flow",
+            xmeas_index=2, xmv_index=1, setpoint=3664.0,
+            kc=0.005, ti_hours=0.04, direction=1, output_bias=xmv_nominal[0],
+        ),
+        LoopDefinition(
+            name="E feed flow",
+            xmeas_index=3, xmv_index=2, setpoint=4509.3,
+            kc=0.0035, ti_hours=0.04, direction=1, output_bias=xmv_nominal[1],
+        ),
+        LoopDefinition(
+            name="A and C feed flow",
+            xmeas_index=4, xmv_index=4, setpoint=9.3477,
+            kc=1.9, ti_hours=0.04, direction=1, output_bias=xmv_nominal[3],
+        ),
+        LoopDefinition(
+            name="Reactor pressure",
+            xmeas_index=7, xmv_index=6, setpoint=2705.0,
+            kc=0.30, ti_hours=2.0, direction=-1, output_bias=xmv_nominal[5],
+        ),
+        LoopDefinition(
+            name="Separator level",
+            xmeas_index=12, xmv_index=11, setpoint=50.0,
+            kc=1.7, ti_hours=6.0, direction=1, output_bias=xmv_nominal[10],
+        ),
+        LoopDefinition(
+            name="Stripper level",
+            xmeas_index=15, xmv_index=7, setpoint=50.0,
+            kc=0.8, ti_hours=4.0, direction=1, output_bias=xmv_nominal[6],
+        ),
+        LoopDefinition(
+            name="Production rate",
+            xmeas_index=17, xmv_index=8, setpoint=22.949,
+            kc=0.6, ti_hours=0.1, direction=1, output_bias=xmv_nominal[7],
+        ),
+        LoopDefinition(
+            name="Stripper temperature",
+            xmeas_index=18, xmv_index=9, setpoint=65.731,
+            kc=1.0, ti_hours=1.0, direction=1, output_bias=xmv_nominal[8],
+        ),
+        LoopDefinition(
+            name="Reactor temperature",
+            xmeas_index=9, xmv_index=10, setpoint=120.40,
+            kc=1.6, ti_hours=0.5, direction=-1, output_bias=xmv_nominal[9],
+        ),
+    )
+
+
+class TEDecentralizedController(Controller):
+    """Decentralized PI control of the TE plant.
+
+    Parameters
+    ----------
+    loops:
+        Loop definitions; defaults to :func:`default_loop_definitions`.
+    pressure_override_start_kpa:
+        Reactor pressure above which the fresh-feed setpoints start being cut.
+    pressure_override_gain:
+        Fractional setpoint reduction per kPa above the override start.  The
+        override emulates Ricker's production-rate coordination: when the
+        reactor pressure approaches its shutdown limit, the D, E and A+C feed
+        setpoints are reduced together, which cuts production instead of
+        letting the plant trip on high pressure.
+    constant_xmv:
+        Positions held for manipulated variables that are not driven by any
+        loop (defaults to their nominal positions: compressor recycle valve
+        and agitator speed).
+    """
+
+    #: Loops whose setpoint is scaled down by the high-pressure override
+    #: (cuts the feeds that load the vapour space: the gaseous A+C feed and
+    #: the volatile E feed).
+    PRESSURE_OVERRIDE_LOOPS = ("A and C feed flow", "E feed flow")
+    #: Loops whose setpoint is scaled down by the high-reactor-level override
+    #: (cuts the liquid-forming D and E feeds when the reactor fills up).
+    LEVEL_OVERRIDE_LOOPS = ("D feed flow", "E feed flow")
+
+    def __init__(
+        self,
+        loops: Optional[Sequence[LoopDefinition]] = None,
+        pressure_override_start_kpa: float = 2760.0,
+        pressure_override_gain: float = 0.025,
+        level_override_start_percent: float = 82.0,
+        level_override_gain: float = 0.025,
+        override_filter_hours: float = 0.3,
+        constant_xmv: Optional[Dict[int, float]] = None,
+    ):
+        definitions = tuple(loops) if loops is not None else default_loop_definitions()
+        driven = [definition.xmv_index for definition in definitions]
+        if len(set(driven)) != len(driven):
+            raise ConfigurationError("two loops drive the same manipulated variable")
+        self._loops: List[ControlLoop] = [ControlLoop(d) for d in definitions]
+        self._driven = set(driven)
+        self.pressure_override_start_kpa = float(pressure_override_start_kpa)
+        self.pressure_override_gain = float(pressure_override_gain)
+        self.level_override_start_percent = float(level_override_start_percent)
+        self.level_override_gain = float(level_override_gain)
+        self.override_filter_hours = float(override_filter_hours)
+        self._filtered_pressure: Optional[float] = None
+        self._filtered_level: Optional[float] = None
+
+        nominal = {index + 1: value for index, (_, value) in enumerate(XMV_TABLE)}
+        self._constant_xmv: Dict[int, float] = {
+            index: value for index, value in nominal.items() if index not in self._driven
+        }
+        if constant_xmv:
+            self._constant_xmv.update({int(k): float(v) for k, v in constant_xmv.items()})
+        self._output = np.array([nominal[i + 1] for i in range(N_XMV)], dtype=float)
+
+    # ------------------------------------------------------------------
+    @property
+    def loops(self) -> Tuple[ControlLoop, ...]:
+        """The live control loops."""
+        return tuple(self._loops)
+
+    @property
+    def output_names(self) -> Sequence[str]:
+        return tuple(f"XMV({i})" for i in range(1, N_XMV + 1))
+
+    def loop_by_name(self, name: str) -> ControlLoop:
+        """Find a loop by its human-readable name."""
+        for loop in self._loops:
+            if loop.name == name:
+                return loop
+        raise KeyError(f"no loop named {name!r}")
+
+    def reset(self) -> None:
+        for loop in self._loops:
+            loop.reset()
+        nominal = {index + 1: value for index, (_, value) in enumerate(XMV_TABLE)}
+        self._output = np.array([nominal[i + 1] for i in range(N_XMV)], dtype=float)
+        for index, value in self._constant_xmv.items():
+            self._output[index - 1] = value
+        self._filtered_pressure = None
+        self._filtered_level = None
+
+    def _filter(self, previous: Optional[float], value: float, dt_hours: float) -> float:
+        """First-order filter used by the override signals (avoids chattering)."""
+        if previous is None or self.override_filter_hours <= 0:
+            return value
+        alpha = min(dt_hours / self.override_filter_hours, 1.0)
+        return previous + alpha * (value - previous)
+
+    def update(self, measurements: np.ndarray, dt_hours: float) -> np.ndarray:
+        measurements = np.asarray(measurements, dtype=float).ravel()
+        if measurements.shape[0] != N_XMEAS:
+            raise ConfigurationError(
+                f"expected {N_XMEAS} measurements, got {measurements.shape[0]}"
+            )
+
+        self._filtered_pressure = self._filter(
+            self._filtered_pressure, float(measurements[6]), dt_hours
+        )
+        self._filtered_level = self._filter(
+            self._filtered_level, float(measurements[7]), dt_hours
+        )
+
+        pressure_factor = 1.0
+        if self._filtered_pressure > self.pressure_override_start_kpa:
+            excess = self._filtered_pressure - self.pressure_override_start_kpa
+            pressure_factor = max(0.10, 1.0 - self.pressure_override_gain * excess)
+
+        level_factor = 1.0
+        if self._filtered_level > self.level_override_start_percent:
+            excess = self._filtered_level - self.level_override_start_percent
+            level_factor = max(0.15, 1.0 - self.level_override_gain * excess)
+
+        output = self._output.copy()
+        for loop in self._loops:
+            setpoint_override = None
+            if loop.definition.name in self.PRESSURE_OVERRIDE_LOOPS and pressure_factor < 1.0:
+                setpoint_override = loop.definition.setpoint * pressure_factor
+            if loop.definition.name in self.LEVEL_OVERRIDE_LOOPS and level_factor < 1.0:
+                setpoint_override = loop.definition.setpoint * level_factor
+            value = loop.update(measurements, dt_hours, setpoint_override)
+            output[loop.definition.xmv_index - 1] = value
+
+        for index, value in self._constant_xmv.items():
+            output[index - 1] = value
+
+        self._output = output
+        return output.copy()

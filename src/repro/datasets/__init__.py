@@ -1,0 +1,20 @@
+"""Labelled process datasets, I/O helpers and synthetic generators."""
+
+from repro.datasets.dataset import ProcessDataset
+from repro.datasets.io import save_npz, load_npz, save_csv, load_csv
+from repro.datasets.generator import (
+    make_correlated_normal_dataset,
+    make_shifted_dataset,
+    make_latent_structure_dataset,
+)
+
+__all__ = [
+    "ProcessDataset",
+    "save_npz",
+    "load_npz",
+    "save_csv",
+    "load_csv",
+    "make_correlated_normal_dataset",
+    "make_shifted_dataset",
+    "make_latent_structure_dataset",
+]

@@ -1,0 +1,260 @@
+"""The :class:`ProcessDataset` container.
+
+MSPC operates on two-dimensional N x M matrices where M process variables are
+measured for N observations.  :class:`ProcessDataset` wraps such a matrix
+together with variable names and (optionally) observation timestamps, and
+offers the slicing, selection and concatenation operations the rest of the
+library relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.common.exceptions import DataShapeError
+from repro.common.validation import as_2d_array
+
+__all__ = ["ProcessDataset"]
+
+
+class ProcessDataset:
+    """An N x M matrix of process observations with named variables.
+
+    Parameters
+    ----------
+    values:
+        Array-like of shape ``(n_observations, n_variables)``.
+    variable_names:
+        Names of the M variables.  Must be unique.
+    timestamps:
+        Optional observation timestamps (e.g. simulation hours) of length N.
+    metadata:
+        Free-form dictionary carried along with the dataset (scenario name,
+        seed, run index, ...).
+    """
+
+    def __init__(
+        self,
+        values,
+        variable_names: Sequence[str],
+        timestamps: Optional[Sequence[float]] = None,
+        metadata: Optional[Dict[str, object]] = None,
+    ):
+        self._values = as_2d_array(values, "values")
+        names = [str(name) for name in variable_names]
+        if len(names) != self._values.shape[1]:
+            raise DataShapeError(
+                f"{len(names)} variable names for {self._values.shape[1]} columns"
+            )
+        if len(set(names)) != len(names):
+            raise DataShapeError("variable names must be unique")
+        self._variable_names: Tuple[str, ...] = tuple(names)
+
+        if timestamps is None:
+            self._timestamps = np.arange(self._values.shape[0], dtype=float)
+        else:
+            self._timestamps = np.asarray(timestamps, dtype=float).ravel()
+            if self._timestamps.shape[0] != self._values.shape[0]:
+                raise DataShapeError(
+                    f"{self._timestamps.shape[0]} timestamps for "
+                    f"{self._values.shape[0]} observations"
+                )
+        self.metadata: Dict[str, object] = dict(metadata or {})
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def values(self) -> np.ndarray:
+        """The underlying ``(N, M)`` array (a defensive copy is *not* made)."""
+        return self._values
+
+    @property
+    def variable_names(self) -> Tuple[str, ...]:
+        """Names of the M variables."""
+        return self._variable_names
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        """Observation timestamps of length N."""
+        return self._timestamps
+
+    @property
+    def n_observations(self) -> int:
+        """Number of observations (rows)."""
+        return self._values.shape[0]
+
+    @property
+    def n_variables(self) -> int:
+        """Number of variables (columns)."""
+        return self._values.shape[1]
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(n_observations, n_variables)``."""
+        return self._values.shape
+
+    def __len__(self) -> int:
+        return self.n_observations
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ProcessDataset(n_observations={self.n_observations}, "
+            f"n_variables={self.n_variables})"
+        )
+
+    # ------------------------------------------------------------------
+    # Column access
+    # ------------------------------------------------------------------
+    def index_of(self, variable: str) -> int:
+        """Return the column index of a named variable."""
+        try:
+            return self._variable_names.index(variable)
+        except ValueError:
+            raise KeyError(
+                f"variable {variable!r} not in dataset "
+                f"(available: {', '.join(self._variable_names[:8])}...)"
+            ) from None
+
+    def column(self, variable: str) -> np.ndarray:
+        """Return the time series of a named variable."""
+        return self._values[:, self.index_of(variable)]
+
+    def has_variable(self, variable: str) -> bool:
+        """Whether the dataset contains a variable with the given name."""
+        return variable in self._variable_names
+
+    def select_variables(self, variables: Sequence[str]) -> "ProcessDataset":
+        """Return a dataset restricted to the given variables (in order)."""
+        indices = [self.index_of(name) for name in variables]
+        return ProcessDataset(
+            self._values[:, indices],
+            [self._variable_names[i] for i in indices],
+            self._timestamps,
+            dict(self.metadata),
+        )
+
+    # ------------------------------------------------------------------
+    # Row access
+    # ------------------------------------------------------------------
+    def select_rows(self, indices) -> "ProcessDataset":
+        """Return a dataset restricted to the given observation indices."""
+        indices = np.asarray(indices)
+        return ProcessDataset(
+            self._values[indices],
+            self._variable_names,
+            self._timestamps[indices],
+            dict(self.metadata),
+        )
+
+    def slice_time(
+        self, start: Optional[float] = None, end: Optional[float] = None
+    ) -> "ProcessDataset":
+        """Return observations whose timestamps fall inside ``[start, end)``."""
+        mask = np.ones(self.n_observations, dtype=bool)
+        if start is not None:
+            mask &= self._timestamps >= float(start)
+        if end is not None:
+            mask &= self._timestamps < float(end)
+        if not np.any(mask):
+            raise DataShapeError(
+                f"time slice [{start}, {end}) selects no observations"
+            )
+        return self.select_rows(np.where(mask)[0])
+
+    def head(self, n: int) -> "ProcessDataset":
+        """First ``n`` observations."""
+        return self.select_rows(np.arange(min(n, self.n_observations)))
+
+    def tail(self, n: int) -> "ProcessDataset":
+        """Last ``n`` observations."""
+        n = min(n, self.n_observations)
+        return self.select_rows(np.arange(self.n_observations - n, self.n_observations))
+
+    # ------------------------------------------------------------------
+    # Statistics and transformation
+    # ------------------------------------------------------------------
+    def mean(self) -> np.ndarray:
+        """Per-variable mean."""
+        return self._values.mean(axis=0)
+
+    def std(self, ddof: int = 1) -> np.ndarray:
+        """Per-variable standard deviation."""
+        if self.n_observations <= ddof:
+            return np.zeros(self.n_variables)
+        return self._values.std(axis=0, ddof=ddof)
+
+    def to_dict(self) -> Dict[str, np.ndarray]:
+        """Return a mapping from variable name to its time series."""
+        return {
+            name: self._values[:, i] for i, name in enumerate(self._variable_names)
+        }
+
+    def copy(self) -> "ProcessDataset":
+        """A deep copy of the dataset."""
+        return ProcessDataset(
+            self._values.copy(),
+            self._variable_names,
+            self._timestamps.copy(),
+            dict(self.metadata),
+        )
+
+    def with_metadata(self, **kwargs) -> "ProcessDataset":
+        """Return a shallow copy with additional metadata entries."""
+        metadata = dict(self.metadata)
+        metadata.update(kwargs)
+        return ProcessDataset(
+            self._values, self._variable_names, self._timestamps, metadata
+        )
+
+    # ------------------------------------------------------------------
+    # Combination
+    # ------------------------------------------------------------------
+    @staticmethod
+    def concatenate(datasets: Sequence["ProcessDataset"]) -> "ProcessDataset":
+        """Stack several datasets that share the same variables, row-wise."""
+        if not datasets:
+            raise DataShapeError("cannot concatenate an empty list of datasets")
+        names = datasets[0].variable_names
+        for dataset in datasets[1:]:
+            if dataset.variable_names != names:
+                raise DataShapeError(
+                    "datasets must share identical variable names to concatenate"
+                )
+        values = np.vstack([dataset.values for dataset in datasets])
+        timestamps = np.concatenate([dataset.timestamps for dataset in datasets])
+        return ProcessDataset(values, names, timestamps, dict(datasets[0].metadata))
+
+    def hstack(self, other: "ProcessDataset", suffix: str = "") -> "ProcessDataset":
+        """Join two datasets column-wise (same number of observations).
+
+        Name collisions in ``other`` are resolved by appending ``suffix``.
+        """
+        if other.n_observations != self.n_observations:
+            raise DataShapeError(
+                "datasets must have the same number of observations to hstack"
+            )
+        other_names: List[str] = []
+        for name in other.variable_names:
+            if name in self._variable_names or name in other_names:
+                if not suffix:
+                    raise DataShapeError(
+                        f"duplicate variable {name!r}; provide a suffix"
+                    )
+                name = f"{name}{suffix}"
+            other_names.append(name)
+        values = np.hstack([self._values, other.values])
+        names = list(self._variable_names) + other_names
+        return ProcessDataset(values, names, self._timestamps, dict(self.metadata))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ProcessDataset):
+            return NotImplemented
+        return (
+            self._variable_names == other._variable_names
+            and self._values.shape == other._values.shape
+            and np.allclose(self._values, other._values)
+            and np.allclose(self._timestamps, other._timestamps)
+        )

@@ -1,0 +1,80 @@
+"""Persistence for :class:`~repro.datasets.dataset.ProcessDataset`.
+
+Two formats are supported:
+
+* NPZ (binary, lossless) — preferred for experiment campaigns.
+* CSV (text) — convenient for inspection and for exporting figure data.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.common.exceptions import DataShapeError
+from repro.datasets.dataset import ProcessDataset
+
+__all__ = ["save_npz", "load_npz", "save_csv", "load_csv"]
+
+_PathLike = Union[str, Path]
+
+
+def save_npz(dataset: ProcessDataset, path: _PathLike) -> Path:
+    """Save a dataset to a compressed ``.npz`` file and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        values=dataset.values,
+        variable_names=np.array(dataset.variable_names, dtype=object),
+        timestamps=dataset.timestamps,
+        metadata=np.array(json.dumps(dataset.metadata, default=str)),
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_npz(path: _PathLike) -> ProcessDataset:
+    """Load a dataset previously written by :func:`save_npz`."""
+    with np.load(Path(path), allow_pickle=True) as payload:
+        values = payload["values"]
+        names = [str(name) for name in payload["variable_names"]]
+        timestamps = payload["timestamps"]
+        metadata = json.loads(str(payload["metadata"]))
+    return ProcessDataset(values, names, timestamps, metadata)
+
+
+def save_csv(dataset: ProcessDataset, path: _PathLike) -> Path:
+    """Save a dataset to CSV with a ``time`` column followed by variables."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time"] + list(dataset.variable_names))
+        for time, row in zip(dataset.timestamps, dataset.values):
+            writer.writerow([repr(float(time))] + [repr(float(v)) for v in row])
+    return path
+
+
+def load_csv(path: _PathLike) -> ProcessDataset:
+    """Load a dataset previously written by :func:`save_csv`."""
+    path = Path(path)
+    with path.open("r", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if not header or header[0] != "time" or len(header) < 2:
+            raise DataShapeError(f"{path} is not a ProcessDataset CSV file")
+        names = header[1:]
+        timestamps = []
+        rows = []
+        for record in reader:
+            if not record:
+                continue
+            timestamps.append(float(record[0]))
+            rows.append([float(value) for value in record[1:]])
+    if not rows:
+        raise DataShapeError(f"{path} contains no observations")
+    return ProcessDataset(np.array(rows), names, np.array(timestamps))

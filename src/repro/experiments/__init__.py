@@ -1,0 +1,57 @@
+"""Experiment harness reproducing the paper's evaluation section."""
+
+from repro.experiments.scenarios import (
+    Scenario,
+    ScenarioKind,
+    paper_scenarios,
+    normal_scenario,
+    disturbance_idv6_scenario,
+    integrity_attack_on_xmv3_scenario,
+    integrity_attack_on_xmeas1_scenario,
+    dos_attack_on_xmv3_scenario,
+)
+from repro.experiments.runner import (
+    make_plant,
+    make_controller,
+    build_channels,
+    build_disturbance_schedule,
+    run_scenario,
+    run_calibration_campaign,
+    CalibrationData,
+)
+from repro.experiments.evaluation import (
+    Evaluation,
+    ScenarioEvaluation,
+)
+from repro.experiments.figures import (
+    figure1_control_chart,
+    figure3_feed_response,
+    figure4_omeda_controller,
+    figure5_omeda_process,
+    arl_table,
+)
+
+__all__ = [
+    "Scenario",
+    "ScenarioKind",
+    "paper_scenarios",
+    "normal_scenario",
+    "disturbance_idv6_scenario",
+    "integrity_attack_on_xmv3_scenario",
+    "integrity_attack_on_xmeas1_scenario",
+    "dos_attack_on_xmv3_scenario",
+    "make_plant",
+    "make_controller",
+    "build_channels",
+    "build_disturbance_schedule",
+    "run_scenario",
+    "run_calibration_campaign",
+    "CalibrationData",
+    "Evaluation",
+    "ScenarioEvaluation",
+    "figure1_control_chart",
+    "figure3_feed_response",
+    "figure4_omeda_controller",
+    "figure5_omeda_process",
+    "arl_table",
+]

@@ -1,0 +1,232 @@
+"""End-to-end evaluation campaign reproducing the paper's Section V.
+
+:class:`Evaluation` orchestrates the full experiment: a calibration campaign
+to fit the dual-level MSPC models, repeated runs of every anomalous scenario,
+Average Run Length computation and per-view oMEDA diagnosis — i.e. everything
+needed to regenerate Figures 4 and 5 and the ARL discussion of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.anomaly.diagnosis import AnomalyClass, DualLevelAnalyzer, DualLevelDiagnosis
+from repro.common.config import ExperimentConfig
+from repro.common.exceptions import NotFittedError
+from repro.experiments.runner import (
+    CalibrationData,
+    run_calibration_campaign,
+    run_scenario,
+)
+from repro.experiments.scenarios import Scenario, paper_scenarios
+from repro.mspc.arl import average_run_length, run_length
+from repro.process.simulator import SimulationResult
+
+__all__ = ["ScenarioEvaluation", "Evaluation"]
+
+
+@dataclass
+class ScenarioEvaluation:
+    """Aggregated results of one scenario over its repeated runs."""
+
+    scenario: Scenario
+    results: List[SimulationResult]
+    diagnoses: List[DualLevelDiagnosis]
+    run_lengths: List[Optional[float]]
+
+    @property
+    def n_runs(self) -> int:
+        """Number of runs executed."""
+        return len(self.results)
+
+    @property
+    def n_detected(self) -> int:
+        """Number of runs in which the anomaly was detected."""
+        return sum(1 for length in self.run_lengths if length is not None)
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of runs in which the anomaly was detected."""
+        if not self.run_lengths:
+            return 0.0
+        return self.n_detected / len(self.run_lengths)
+
+    @property
+    def n_false_alarms(self) -> int:
+        """Runs in which a detection fired before the anomaly even began."""
+        count = 0
+        for diagnosis in self.diagnoses:
+            if diagnosis.metadata.get("false_alarm_time_hours") is not None:
+                count += 1
+        return count
+
+    @property
+    def arl_hours(self) -> Optional[float]:
+        """Average Run Length over the detected runs, in hours."""
+        lengths = [length for length in self.run_lengths if length is not None]
+        if not lengths:
+            return None
+        return float(np.mean(lengths))
+
+    def mean_omeda(self, view: str) -> Tuple[Tuple[str, ...], np.ndarray]:
+        """Average oMEDA vector over runs for ``view`` ("controller"/"process")."""
+        vectors: List[np.ndarray] = []
+        names: Optional[Tuple[str, ...]] = None
+        for diagnosis in self.diagnoses:
+            omeda = (
+                diagnosis.controller_omeda
+                if view == "controller"
+                else diagnosis.process_omeda
+            )
+            if omeda is None:
+                continue
+            vectors.append(np.asarray(omeda.contributions, dtype=float))
+            names = omeda.variable_names
+        if not vectors or names is None:
+            return tuple(), np.array([])
+        return names, np.mean(np.vstack(vectors), axis=0)
+
+    def classification_counts(self) -> Dict[str, int]:
+        """How many runs were classified into each anomaly class."""
+        counts: Dict[str, int] = {}
+        for diagnosis in self.diagnoses:
+            key = diagnosis.classification.value
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def shutdown_times(self) -> List[Optional[float]]:
+        """Per-run safety shutdown time (None when the run completed)."""
+        return [result.shutdown_time_hours for result in self.results]
+
+
+class Evaluation:
+    """The complete evaluation campaign.
+
+    Parameters
+    ----------
+    config:
+        Campaign configuration (number of runs, simulation and MSPC settings).
+    analyzer:
+        Optional pre-built analyzer; a default dual-level analyzer using the
+        configuration's MSPC settings is created otherwise.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ExperimentConfig] = None,
+        analyzer: Optional[DualLevelAnalyzer] = None,
+    ):
+        self.config = config or ExperimentConfig()
+        self.analyzer = analyzer or DualLevelAnalyzer(self.config.mspc)
+        self.calibration: Optional[CalibrationData] = None
+        self._scenario_results: Dict[str, ScenarioEvaluation] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def is_calibrated(self) -> bool:
+        """Whether the calibration campaign has been run and models fitted."""
+        return self.calibration is not None and self.analyzer.is_fitted
+
+    def calibrate(self) -> CalibrationData:
+        """Run the calibration campaign and fit both MSPC models."""
+        self.calibration = run_calibration_campaign(self.config)
+        self.analyzer.fit(
+            self.calibration.controller_data, self.calibration.process_data
+        )
+        return self.calibration
+
+    def _require_calibrated(self) -> None:
+        if not self.is_calibrated:
+            raise NotFittedError("call calibrate() before evaluating scenarios")
+
+    # ------------------------------------------------------------------
+    def evaluate_scenario(
+        self, scenario: Scenario, n_runs: Optional[int] = None
+    ) -> ScenarioEvaluation:
+        """Run one scenario ``n_runs`` times and aggregate its results."""
+        self._require_calibrated()
+        n_runs = n_runs if n_runs is not None else self.config.n_runs_per_scenario
+        results: List[SimulationResult] = []
+        diagnoses: List[DualLevelDiagnosis] = []
+        run_lengths: List[Optional[float]] = []
+
+        for run_index in range(n_runs):
+            run_seed = self.config.seed * 7_919 + 1000 + run_index
+            simulation = self.config.simulation.with_seed(run_seed)
+            result = run_scenario(
+                scenario,
+                simulation,
+                anomaly_start_hour=self.config.anomaly_start_hour,
+            )
+            diagnosis = self.analyzer.analyze(
+                result.controller_data,
+                result.process_data,
+                anomaly_start_hour=(
+                    self.config.anomaly_start_hour if scenario.is_anomalous else None
+                ),
+            )
+            results.append(result)
+            diagnoses.append(diagnosis)
+            if scenario.is_anomalous:
+                run_lengths.append(
+                    run_length(
+                        diagnosis.detection_time_hours, self.config.anomaly_start_hour
+                    )
+                )
+            else:
+                run_lengths.append(None)
+
+        evaluation = ScenarioEvaluation(
+            scenario=scenario,
+            results=results,
+            diagnoses=diagnoses,
+            run_lengths=run_lengths,
+        )
+        self._scenario_results[scenario.name] = evaluation
+        return evaluation
+
+    def evaluate_all(
+        self, scenarios: Optional[Sequence[Scenario]] = None
+    ) -> Dict[str, ScenarioEvaluation]:
+        """Evaluate every scenario (defaults to the paper's four)."""
+        self._require_calibrated()
+        for scenario in scenarios or paper_scenarios():
+            self.evaluate_scenario(scenario)
+        return dict(self._scenario_results)
+
+    @property
+    def scenario_results(self) -> Dict[str, ScenarioEvaluation]:
+        """Results of the scenarios evaluated so far, keyed by scenario name."""
+        return dict(self._scenario_results)
+
+    # ------------------------------------------------------------------
+    def arl_table(self) -> List[Dict[str, object]]:
+        """One row per evaluated scenario: detection rate and ARL in hours."""
+        rows: List[Dict[str, object]] = []
+        for name, evaluation in self._scenario_results.items():
+            rows.append(
+                {
+                    "scenario": name,
+                    "title": evaluation.scenario.title,
+                    "n_runs": evaluation.n_runs,
+                    "n_detected": evaluation.n_detected,
+                    "detection_rate": evaluation.detection_rate,
+                    "arl_hours": evaluation.arl_hours,
+                }
+            )
+        return rows
+
+    def classification_table(self) -> List[Dict[str, object]]:
+        """One row per scenario: how its runs were classified."""
+        rows: List[Dict[str, object]] = []
+        for name, evaluation in self._scenario_results.items():
+            row: Dict[str, object] = {
+                "scenario": name,
+                "ground_truth": evaluation.scenario.expected_ground_truth,
+            }
+            row.update(evaluation.classification_counts())
+            rows.append(row)
+        return rows

@@ -1,0 +1,219 @@
+"""Generators of the paper's figures (as structured data).
+
+No plotting backend is assumed: every generator returns the numerical content
+of the corresponding figure — time series, bar values, limits — that can be
+rendered with :mod:`repro.plotting` (ASCII / CSV) or any external tool.
+
+* :func:`figure1_control_chart` — an example control chart with the 95 % and
+  99 % control limits (Figure 1).
+* :func:`figure3_feed_response` — the evolution of XMEAS(1) under IDV(6) and
+  under an integrity attack closing XMV(3) (Figure 3a/3b).
+* :func:`figure4_omeda_controller` / :func:`figure5_omeda_process` — the
+  oMEDA diagnosis of the four scenarios from the controller-level and the
+  process-level view (Figures 4 and 5).
+* :func:`arl_table` — the ARL behaviour discussed in the text of Section V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.config import ExperimentConfig, SimulationConfig
+from repro.experiments.evaluation import Evaluation, ScenarioEvaluation
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import (
+    disturbance_idv6_scenario,
+    integrity_attack_on_xmv3_scenario,
+    normal_scenario,
+)
+from repro.mspc.model import MSPCMonitor
+
+__all__ = [
+    "ControlChartFigure",
+    "FeedResponseFigure",
+    "OmedaFigure",
+    "figure1_control_chart",
+    "figure3_feed_response",
+    "figure4_omeda_controller",
+    "figure5_omeda_process",
+    "arl_table",
+]
+
+
+@dataclass
+class ControlChartFigure:
+    """Data behind Figure 1: a statistic over time with its control limits."""
+
+    statistic: str
+    timestamps: np.ndarray
+    values: np.ndarray
+    limits: Dict[float, float]
+
+    def fraction_below(self, confidence: float) -> float:
+        """Fraction of points below the limit at ``confidence``."""
+        return float(np.mean(self.values <= self.limits[confidence]))
+
+
+@dataclass
+class FeedResponseFigure:
+    """Data behind Figure 3: XMEAS(1) under IDV(6) vs. an attack on XMV(3)."""
+
+    variable: str
+    anomaly_start_hour: float
+    idv6_time: np.ndarray
+    idv6_values: np.ndarray
+    idv6_shutdown_hour: Optional[float]
+    attack_time: np.ndarray
+    attack_values: np.ndarray
+    attack_shutdown_hour: Optional[float]
+
+
+@dataclass
+class OmedaFigure:
+    """Data behind one panel of Figure 4 or 5: an oMEDA bar chart."""
+
+    scenario: str
+    view: str
+    variable_names: Tuple[str, ...]
+    contributions: np.ndarray
+
+    def dominant_variable(self) -> Optional[str]:
+        """Variable with the largest absolute bar (None when empty)."""
+        if self.contributions.size == 0:
+            return None
+        return self.variable_names[int(np.argmax(np.abs(self.contributions)))]
+
+    def value_of(self, variable: str) -> float:
+        """Bar value of a named variable."""
+        return float(self.contributions[self.variable_names.index(variable)])
+
+
+# ----------------------------------------------------------------------
+# Figure 1
+# ----------------------------------------------------------------------
+def figure1_control_chart(
+    evaluation: Optional[Evaluation] = None,
+    config: Optional[ExperimentConfig] = None,
+    statistic: str = "D",
+) -> ControlChartFigure:
+    """An example control chart of normal operation with 95 %/99 % limits.
+
+    When an already-calibrated :class:`Evaluation` is supplied its models and
+    calibration data are reused; otherwise a small campaign is run with the
+    given (or fast default) configuration.
+    """
+    if evaluation is None:
+        evaluation = Evaluation(config or ExperimentConfig.fast())
+    if not evaluation.is_calibrated:
+        evaluation.calibrate()
+
+    monitor: MSPCMonitor = evaluation.analyzer.controller_monitor
+    verification = run_scenario(
+        normal_scenario(),
+        evaluation.config.simulation.with_seed(evaluation.config.seed + 999_331),
+        anomaly_start_hour=evaluation.config.anomaly_start_hour,
+    )
+    result = monitor.monitor(verification.controller_data)
+    chart = result.d_chart if statistic.upper() == "D" else result.q_chart
+    limits = {
+        confidence: chart.limits.at(confidence)
+        for confidence in chart.limits.confidence_levels
+    }
+    return ControlChartFigure(
+        statistic=chart.statistic,
+        timestamps=np.asarray(chart.timestamps),
+        values=np.asarray(chart.values),
+        limits=limits,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 3
+# ----------------------------------------------------------------------
+def figure3_feed_response(
+    simulation: Optional[SimulationConfig] = None,
+    anomaly_start_hour: float = 10.0,
+    seed: int = 0,
+) -> FeedResponseFigure:
+    """XMEAS(1) under IDV(6) and under an integrity attack closing XMV(3).
+
+    Both anomalies start at ``anomaly_start_hour``; both runs end either at
+    the simulation horizon or at the safety shutdown, whichever comes first —
+    reproducing the phenomenon of Figure 3: the two situations are nearly
+    indistinguishable when looking at XMEAS(1) alone.
+    """
+    simulation = simulation or SimulationConfig.fast(seed=seed)
+    idv6_result = run_scenario(
+        disturbance_idv6_scenario(), simulation.with_seed(seed), anomaly_start_hour
+    )
+    attack_result = run_scenario(
+        integrity_attack_on_xmv3_scenario(),
+        simulation.with_seed(seed),
+        anomaly_start_hour,
+    )
+    variable = "XMEAS(1)"
+    return FeedResponseFigure(
+        variable=variable,
+        anomaly_start_hour=anomaly_start_hour,
+        idv6_time=idv6_result.process_data.timestamps,
+        idv6_values=idv6_result.process_data.column(variable),
+        idv6_shutdown_hour=idv6_result.shutdown_time_hours,
+        attack_time=attack_result.process_data.timestamps,
+        attack_values=attack_result.process_data.column(variable),
+        attack_shutdown_hour=attack_result.shutdown_time_hours,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 4 and 5
+# ----------------------------------------------------------------------
+def _omeda_figures(
+    evaluations: Dict[str, ScenarioEvaluation], view: str
+) -> Dict[str, OmedaFigure]:
+    figures: Dict[str, OmedaFigure] = {}
+    for name, evaluation in evaluations.items():
+        names, contributions = evaluation.mean_omeda(view)
+        figures[name] = OmedaFigure(
+            scenario=name,
+            view=view,
+            variable_names=names,
+            contributions=contributions,
+        )
+    return figures
+
+
+def figure4_omeda_controller(
+    evaluations: Dict[str, ScenarioEvaluation]
+) -> Dict[str, OmedaFigure]:
+    """Figure 4: oMEDA plots of every scenario from the controller point of view."""
+    return _omeda_figures(evaluations, "controller")
+
+
+def figure5_omeda_process(
+    evaluations: Dict[str, ScenarioEvaluation]
+) -> Dict[str, OmedaFigure]:
+    """Figure 5: oMEDA plots of every scenario from the process point of view."""
+    return _omeda_figures(evaluations, "process")
+
+
+# ----------------------------------------------------------------------
+# ARL table (Section V text)
+# ----------------------------------------------------------------------
+def arl_table(evaluations: Dict[str, ScenarioEvaluation]) -> List[Dict[str, object]]:
+    """Detection rate and ARL per scenario (the behaviour discussed in §V)."""
+    rows: List[Dict[str, object]] = []
+    for name, evaluation in evaluations.items():
+        rows.append(
+            {
+                "scenario": name,
+                "title": evaluation.scenario.title,
+                "n_runs": evaluation.n_runs,
+                "n_detected": evaluation.n_detected,
+                "detection_rate": evaluation.detection_rate,
+                "arl_hours": evaluation.arl_hours,
+            }
+        )
+    return rows

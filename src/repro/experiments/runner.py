@@ -1,0 +1,181 @@
+"""Execution of calibration campaigns and evaluation scenarios.
+
+This module assembles the full closed loop for one scenario — plant,
+decentralized controller, sensor/actuator channels with the scenario's attack,
+disturbance schedule and safety monitor — and runs it through
+:class:`~repro.process.simulator.ClosedLoopSimulator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.config import ExperimentConfig, SimulationConfig
+from repro.common.exceptions import ConfigurationError
+from repro.control.te_controller import TEDecentralizedController
+from repro.datasets.dataset import ProcessDataset
+from repro.experiments.scenarios import Scenario, ScenarioKind
+from repro.network.attacks import AttackSchedule, DoSAttack, IntegrityAttack
+from repro.network.channel import Channel
+from repro.process.disturbances import DisturbanceSchedule
+from repro.process.simulator import ClosedLoopSimulator, SimulationResult
+from repro.te.constants import N_IDV, N_XMEAS, N_XMV
+from repro.te.plant import TEPlant
+from repro.te.safety import default_safety_monitor
+
+__all__ = [
+    "make_plant",
+    "make_controller",
+    "build_channels",
+    "build_disturbance_schedule",
+    "run_scenario",
+    "run_calibration_campaign",
+    "CalibrationData",
+]
+
+
+def make_plant(seed: int = 0, enable_process_variation: bool = True) -> TEPlant:
+    """Construct a Tennessee-Eastman plant instance."""
+    return TEPlant(seed=seed, enable_process_variation=enable_process_variation)
+
+
+def make_controller() -> TEDecentralizedController:
+    """Construct the default decentralized TE controller."""
+    return TEDecentralizedController()
+
+
+def build_disturbance_schedule(
+    scenario: Scenario, anomaly_start_hour: float
+) -> DisturbanceSchedule:
+    """Disturbance schedule of a scenario (empty unless it is a disturbance)."""
+    if scenario.kind is ScenarioKind.DISTURBANCE:
+        return DisturbanceSchedule.single(
+            scenario.disturbance_index, anomaly_start_hour, n_disturbances=N_IDV
+        )
+    return DisturbanceSchedule.none(N_IDV)
+
+
+def build_channels(
+    scenario: Scenario, anomaly_start_hour: float
+) -> Tuple[Channel, Channel]:
+    """Sensor and actuator channels with the scenario's attack installed."""
+    sensor_attacks = AttackSchedule.none()
+    actuator_attacks = AttackSchedule.none()
+
+    if scenario.kind is ScenarioKind.INTEGRITY_SENSOR:
+        sensor_attacks.add(
+            IntegrityAttack(
+                target_index=scenario.target_xmeas,
+                start_hour=anomaly_start_hour,
+                injected=float(scenario.injected_value),
+            )
+        )
+    elif scenario.kind is ScenarioKind.INTEGRITY_ACTUATOR:
+        actuator_attacks.add(
+            IntegrityAttack(
+                target_index=scenario.target_xmv,
+                start_hour=anomaly_start_hour,
+                injected=float(scenario.injected_value),
+            )
+        )
+    elif scenario.kind is ScenarioKind.DOS_ACTUATOR:
+        actuator_attacks.add(
+            DoSAttack(target_index=scenario.target_xmv, start_hour=anomaly_start_hour)
+        )
+
+    sensor_channel = Channel("sensors", N_XMEAS, sensor_attacks)
+    actuator_channel = Channel("actuators", N_XMV, actuator_attacks)
+    return sensor_channel, actuator_channel
+
+
+def run_scenario(
+    scenario: Scenario,
+    simulation: SimulationConfig,
+    anomaly_start_hour: float = 10.0,
+    enable_safety: bool = True,
+) -> SimulationResult:
+    """Run one scenario once and return both data views."""
+    if scenario.is_anomalous and anomaly_start_hour >= simulation.duration_hours:
+        raise ConfigurationError(
+            "anomaly_start_hour must fall inside the simulation horizon"
+        )
+    plant = make_plant(seed=simulation.seed)
+    controller = make_controller()
+    sensor_channel, actuator_channel = build_channels(scenario, anomaly_start_hour)
+    disturbances = build_disturbance_schedule(scenario, anomaly_start_hour)
+    safety = default_safety_monitor(enabled=enable_safety)
+
+    simulator = ClosedLoopSimulator(
+        plant=plant,
+        controller=controller,
+        sensor_channel=sensor_channel,
+        actuator_channel=actuator_channel,
+        disturbances=disturbances,
+        safety_monitor=safety,
+    )
+    metadata = {
+        "scenario": scenario.name,
+        "scenario_title": scenario.title,
+        "scenario_kind": scenario.kind.value,
+        "anomaly_start_hour": anomaly_start_hour if scenario.is_anomalous else None,
+        "ground_truth": scenario.expected_ground_truth,
+    }
+    return simulator.run(simulation, metadata)
+
+
+@dataclass
+class CalibrationData:
+    """Concatenated normal-operation data used to fit the MSPC models.
+
+    Attributes
+    ----------
+    controller_data / process_data:
+        Calibration datasets (identical in content since calibration runs are
+        attack-free, but both are kept so each monitor is fitted on its own
+        view, exactly as a deployed system would be).
+    results:
+        The individual run results, for inspection.
+    """
+
+    controller_data: ProcessDataset
+    process_data: ProcessDataset
+    results: List[SimulationResult]
+
+    @property
+    def n_runs(self) -> int:
+        """Number of calibration runs."""
+        return len(self.results)
+
+
+def run_calibration_campaign(
+    config: ExperimentConfig,
+    scenario: Optional[Scenario] = None,
+) -> CalibrationData:
+    """Run the attack-free calibration campaign of an experiment configuration."""
+    from repro.experiments.scenarios import normal_scenario
+
+    base_scenario = scenario or normal_scenario()
+    results: List[SimulationResult] = []
+    controller_parts: List[ProcessDataset] = []
+    process_parts: List[ProcessDataset] = []
+    for run_index in range(config.n_calibration_runs):
+        run_seed = config.seed * 100_003 + run_index
+        simulation = config.simulation.with_seed(run_seed)
+        result = run_scenario(
+            base_scenario,
+            simulation,
+            anomaly_start_hour=config.anomaly_start_hour,
+            enable_safety=True,
+        )
+        results.append(result)
+        controller_parts.append(result.controller_data)
+        process_parts.append(result.process_data)
+
+    return CalibrationData(
+        controller_data=ProcessDataset.concatenate(controller_parts),
+        process_data=ProcessDataset.concatenate(process_parts),
+        results=results,
+    )

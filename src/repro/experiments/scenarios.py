@@ -1,0 +1,165 @@
+"""The evaluation scenarios of the paper.
+
+Section V of the paper defines four anomalous situations, all starting at the
+10th simulation hour:
+
+a) process disturbance IDV(6) — loss of the A feed;
+b) integrity attack on XMV(3) — the attacker commands the A feed valve closed;
+c) integrity attack on XMEAS(1) — the attacker forges a zero A feed reading;
+d) Denial of Service on XMV(3) — the actuator keeps the last received value.
+
+A fifth, attack- and disturbance-free scenario is used for calibration and as
+the negative control.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.common.exceptions import ConfigurationError
+
+__all__ = [
+    "ScenarioKind",
+    "Scenario",
+    "normal_scenario",
+    "disturbance_idv6_scenario",
+    "integrity_attack_on_xmv3_scenario",
+    "integrity_attack_on_xmeas1_scenario",
+    "dos_attack_on_xmv3_scenario",
+    "paper_scenarios",
+]
+
+
+class ScenarioKind(enum.Enum):
+    """The nature of the anomaly injected in a scenario."""
+
+    NORMAL = "normal"
+    DISTURBANCE = "disturbance"
+    INTEGRITY_SENSOR = "integrity attack on a sensor"
+    INTEGRITY_ACTUATOR = "integrity attack on an actuator"
+    DOS_ACTUATOR = "denial of service on an actuator"
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One evaluation scenario.
+
+    Attributes
+    ----------
+    name:
+        Short identifier, e.g. ``"idv6"``.
+    title:
+        Human-readable title used in reports and figure captions.
+    kind:
+        The anomaly type.
+    disturbance_index:
+        1-based IDV index for disturbance scenarios.
+    target_xmeas / target_xmv:
+        1-based index of the attacked sensor / actuator for attack scenarios.
+    injected_value:
+        Value injected by integrity attacks (ignored for DoS).
+    expected_ground_truth:
+        ``"disturbance"``, ``"attack"`` or ``"normal"`` — used by the
+        distinguishability benchmarks.
+    """
+
+    name: str
+    title: str
+    kind: ScenarioKind
+    disturbance_index: Optional[int] = None
+    target_xmeas: Optional[int] = None
+    target_xmv: Optional[int] = None
+    injected_value: Optional[float] = None
+    expected_ground_truth: str = "normal"
+
+    def __post_init__(self) -> None:
+        if self.kind is ScenarioKind.DISTURBANCE and self.disturbance_index is None:
+            raise ConfigurationError("disturbance scenarios need a disturbance_index")
+        if self.kind is ScenarioKind.INTEGRITY_SENSOR and self.target_xmeas is None:
+            raise ConfigurationError("sensor integrity attacks need target_xmeas")
+        if self.kind in (ScenarioKind.INTEGRITY_ACTUATOR, ScenarioKind.DOS_ACTUATOR) and (
+            self.target_xmv is None
+        ):
+            raise ConfigurationError("actuator attacks need target_xmv")
+
+    @property
+    def is_attack(self) -> bool:
+        """Whether the scenario is an attack (as opposed to a disturbance)."""
+        return self.kind in (
+            ScenarioKind.INTEGRITY_SENSOR,
+            ScenarioKind.INTEGRITY_ACTUATOR,
+            ScenarioKind.DOS_ACTUATOR,
+        )
+
+    @property
+    def is_anomalous(self) -> bool:
+        """Whether the scenario injects any anomaly at all."""
+        return self.kind is not ScenarioKind.NORMAL
+
+
+def normal_scenario() -> Scenario:
+    """Attack- and disturbance-free operation (calibration / negative control)."""
+    return Scenario(
+        name="normal",
+        title="Normal operation",
+        kind=ScenarioKind.NORMAL,
+        expected_ground_truth="normal",
+    )
+
+
+def disturbance_idv6_scenario() -> Scenario:
+    """Scenario (a): process disturbance IDV(6), loss of the A feed."""
+    return Scenario(
+        name="idv6",
+        title="Disturbance IDV(6): A feed loss",
+        kind=ScenarioKind.DISTURBANCE,
+        disturbance_index=6,
+        expected_ground_truth="disturbance",
+    )
+
+
+def integrity_attack_on_xmv3_scenario() -> Scenario:
+    """Scenario (b): integrity attack commanding the A feed valve closed."""
+    return Scenario(
+        name="attack_xmv3",
+        title="Integrity attack on XMV(3): close the A feed valve",
+        kind=ScenarioKind.INTEGRITY_ACTUATOR,
+        target_xmv=3,
+        injected_value=0.0,
+        expected_ground_truth="attack",
+    )
+
+
+def integrity_attack_on_xmeas1_scenario() -> Scenario:
+    """Scenario (c): integrity attack forging a zero A feed measurement."""
+    return Scenario(
+        name="attack_xmeas1",
+        title="Integrity attack on XMEAS(1): forge a zero A feed reading",
+        kind=ScenarioKind.INTEGRITY_SENSOR,
+        target_xmeas=1,
+        injected_value=0.0,
+        expected_ground_truth="attack",
+    )
+
+
+def dos_attack_on_xmv3_scenario() -> Scenario:
+    """Scenario (d): DoS on XMV(3), the actuator holds the last received value."""
+    return Scenario(
+        name="dos_xmv3",
+        title="DoS attack on XMV(3): hold the last received valve command",
+        kind=ScenarioKind.DOS_ACTUATOR,
+        target_xmv=3,
+        expected_ground_truth="attack",
+    )
+
+
+def paper_scenarios() -> Tuple[Scenario, ...]:
+    """The four anomalous scenarios of the paper's evaluation, in order."""
+    return (
+        disturbance_idv6_scenario(),
+        integrity_attack_on_xmv3_scenario(),
+        integrity_attack_on_xmeas1_scenario(),
+        dos_attack_on_xmv3_scenario(),
+    )

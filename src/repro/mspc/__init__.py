@@ -1,0 +1,54 @@
+"""PCA-based Multivariate Statistical Process Control (MSPC).
+
+This package implements the statistical machinery of the paper:
+
+* auto-scaling of calibration data (:mod:`repro.mspc.preprocessing`);
+* PCA fitted by singular value decomposition (:mod:`repro.mspc.pca`);
+* the D-statistic (Hotelling's T^2) on the scores and the Q-statistic (SPE)
+  on the residuals (:mod:`repro.mspc.statistics`);
+* theoretical and empirical control limits (:mod:`repro.mspc.limits`);
+* control charts and the three-consecutive-violations detection rule
+  (:mod:`repro.mspc.charts`);
+* Average Run Length computation (:mod:`repro.mspc.arl`);
+* oMEDA diagnosis plots (:mod:`repro.mspc.omeda`);
+* the high-level :class:`~repro.mspc.model.MSPCMonitor` combining all of the
+  above.
+"""
+
+from repro.mspc.preprocessing import AutoScaler
+from repro.mspc.pca import PCAModel
+from repro.mspc.statistics import hotelling_t2, squared_prediction_error
+from repro.mspc.limits import (
+    t2_limit_theoretical,
+    spe_limit_theoretical,
+    percentile_limit,
+    ControlLimits,
+)
+from repro.mspc.charts import ControlChart, ViolationRun, find_violation_runs, detect_anomaly
+from repro.mspc.arl import average_run_length, run_length
+from repro.mspc.omeda import omeda, omeda_contributions
+from repro.mspc.model import MSPCMonitor, MonitoringResult
+from repro.mspc.baseline import UnivariateShewhartMonitor, UnivariateMonitoringResult
+
+__all__ = [
+    "AutoScaler",
+    "PCAModel",
+    "hotelling_t2",
+    "squared_prediction_error",
+    "t2_limit_theoretical",
+    "spe_limit_theoretical",
+    "percentile_limit",
+    "ControlLimits",
+    "ControlChart",
+    "ViolationRun",
+    "find_violation_runs",
+    "detect_anomaly",
+    "average_run_length",
+    "run_length",
+    "omeda",
+    "omeda_contributions",
+    "MSPCMonitor",
+    "MonitoringResult",
+    "UnivariateShewhartMonitor",
+    "UnivariateMonitoringResult",
+]

@@ -1,0 +1,69 @@
+"""Average Run Length (ARL) computation.
+
+The paper reports, for every anomalous scenario, the lapsed time between the
+start of the anomalous event and its detection in the control charts (the run
+length), averaged over the repeated runs of the scenario (the ARL).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+
+__all__ = ["run_length", "average_run_length"]
+
+
+def run_length(
+    detection_time_hours: Optional[float],
+    anomaly_start_hour: float,
+) -> Optional[float]:
+    """Time between anomaly onset and detection, or ``None`` if undetected.
+
+    A detection recorded *before* the anomaly begins (a false alarm) does not
+    count as a detection of the anomaly and also returns ``None``.
+    """
+    if detection_time_hours is None:
+        return None
+    elapsed = float(detection_time_hours) - float(anomaly_start_hour)
+    if elapsed < 0:
+        return None
+    return elapsed
+
+
+def average_run_length(
+    detection_times_hours: Iterable[Optional[float]],
+    anomaly_start_hour: float,
+    undetected_penalty_hours: Optional[float] = None,
+) -> Optional[float]:
+    """Average run length over repeated runs of the same scenario.
+
+    Parameters
+    ----------
+    detection_times_hours:
+        Detection time of each run (``None`` for runs where the anomaly was
+        never detected).
+    anomaly_start_hour:
+        Hour at which the anomaly begins in every run.
+    undetected_penalty_hours:
+        Value to use for undetected runs.  ``None`` (the default) simply
+        excludes them from the average; the number of such runs can be
+        reported separately.
+
+    Returns
+    -------
+    The ARL in hours, or ``None`` when no run produced a usable run length.
+    """
+    lengths: List[float] = []
+    for detection_time in detection_times_hours:
+        length = run_length(detection_time, anomaly_start_hour)
+        if length is None:
+            if undetected_penalty_hours is not None:
+                lengths.append(float(undetected_penalty_hours))
+            continue
+        lengths.append(length)
+    if not lengths:
+        return None
+    return float(np.mean(lengths))

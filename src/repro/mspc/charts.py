@@ -1,0 +1,186 @@
+"""Control charts and the consecutive-violation detection rule.
+
+A :class:`ControlChart` holds a monitoring statistic evaluated over a sequence
+of observations together with its control limits.  The paper's detection rule
+flags an anomalous event when **three consecutive observations** exceed the
+99 % control limit; :func:`find_violation_runs` and :func:`detect_anomaly`
+implement that rule for any run length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.common.validation import as_1d_array
+from repro.mspc.limits import ControlLimits
+
+__all__ = ["ControlChart", "ViolationRun", "find_violation_runs", "detect_anomaly"]
+
+
+@dataclass(frozen=True)
+class ViolationRun:
+    """A maximal run of consecutive above-limit observations.
+
+    Attributes
+    ----------
+    start_index / end_index:
+        First and last observation index of the run (inclusive).
+    """
+
+    start_index: int
+    end_index: int
+
+    @property
+    def length(self) -> int:
+        """Number of observations in the run."""
+        return self.end_index - self.start_index + 1
+
+    def indices(self) -> np.ndarray:
+        """All observation indices of the run."""
+        return np.arange(self.start_index, self.end_index + 1)
+
+
+def find_violation_runs(values, limit: float) -> List[ViolationRun]:
+    """Return all maximal runs of consecutive observations above ``limit``."""
+    values = as_1d_array(values, "statistic values")
+    above = values > float(limit)
+    runs: List[ViolationRun] = []
+    start: Optional[int] = None
+    for index, flag in enumerate(above):
+        if flag and start is None:
+            start = index
+        elif not flag and start is not None:
+            runs.append(ViolationRun(start, index - 1))
+            start = None
+    if start is not None:
+        runs.append(ViolationRun(start, len(above) - 1))
+    return runs
+
+
+def detect_anomaly(
+    values,
+    limit: float,
+    consecutive: int = 3,
+) -> Optional[int]:
+    """Index at which an anomaly is flagged, or ``None`` if never.
+
+    The anomaly is flagged at the ``consecutive``-th observation of the first
+    run of at least ``consecutive`` consecutive above-limit observations —
+    i.e. the moment the detection rule actually fires.
+    """
+    if consecutive < 1:
+        raise ConfigurationError("consecutive must be >= 1")
+    for run in find_violation_runs(values, limit):
+        if run.length >= consecutive:
+            return run.start_index + consecutive - 1
+    return None
+
+
+@dataclass
+class ControlChart:
+    """A monitoring statistic with its control limits over a data window.
+
+    Attributes
+    ----------
+    statistic:
+        Chart name (``"D"`` for Hotelling's T^2, ``"Q"`` for the SPE).
+    values:
+        Statistic value per observation.
+    limits:
+        Control limits at one or more confidence levels.
+    timestamps:
+        Optional observation timestamps (simulation hours).
+    """
+
+    statistic: str
+    values: np.ndarray
+    limits: ControlLimits
+    timestamps: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.values = as_1d_array(self.values, "statistic values")
+        if self.timestamps is not None:
+            self.timestamps = as_1d_array(self.timestamps, "timestamps")
+            if self.timestamps.shape[0] != self.values.shape[0]:
+                raise ConfigurationError(
+                    "timestamps and statistic values must have the same length"
+                )
+
+    def __len__(self) -> int:
+        return int(self.values.shape[0])
+
+    def violations(self, confidence: float) -> np.ndarray:
+        """Boolean mask of observations above the limit at ``confidence``."""
+        return self.values > self.limits.at(confidence)
+
+    def violation_fraction(self, confidence: float) -> float:
+        """Fraction of observations above the limit at ``confidence``."""
+        return float(np.mean(self.violations(confidence)))
+
+    def violation_runs(self, confidence: float) -> List[ViolationRun]:
+        """Maximal violation runs at ``confidence``."""
+        return find_violation_runs(self.values, self.limits.at(confidence))
+
+    def _start_index(self, start_time: Optional[float]) -> int:
+        """First observation index at or after ``start_time`` (0 when None)."""
+        if start_time is None:
+            return 0
+        if self.timestamps is None:
+            return int(start_time)
+        return int(np.searchsorted(self.timestamps, float(start_time), side="left"))
+
+    def detection_index(
+        self,
+        confidence: float,
+        consecutive: int = 3,
+        start_time: Optional[float] = None,
+    ) -> Optional[int]:
+        """Observation index at which the detection rule fires, or ``None``.
+
+        ``start_time`` restricts the search to observations at or after that
+        timestamp — used to separate genuine detections of an anomaly that
+        begins at a known time from false alarms that precede it.
+        """
+        offset = self._start_index(start_time)
+        if offset >= self.values.shape[0]:
+            return None
+        index = detect_anomaly(
+            self.values[offset:], self.limits.at(confidence), consecutive
+        )
+        return None if index is None else index + offset
+
+    def detection_time(
+        self,
+        confidence: float,
+        consecutive: int = 3,
+        start_time: Optional[float] = None,
+    ) -> Optional[float]:
+        """Timestamp at which the detection rule fires, or ``None``."""
+        index = self.detection_index(confidence, consecutive, start_time)
+        if index is None:
+            return None
+        if self.timestamps is None:
+            return float(index)
+        return float(self.timestamps[index])
+
+    def first_violating_indices(
+        self,
+        confidence: float,
+        count: int = 3,
+        start_time: Optional[float] = None,
+    ) -> np.ndarray:
+        """Indices of the first ``count`` observations above the limit.
+
+        These are the observations the paper feeds to oMEDA for diagnosis
+        ("the set of the first observations that surpass control limits").
+        ``start_time`` restricts the search to observations at or after it.
+        """
+        offset = self._start_index(start_time)
+        mask = self.violations(confidence)
+        mask[:offset] = False
+        indices = np.where(mask)[0]
+        return indices[:count]

@@ -1,0 +1,152 @@
+"""Principal Component Analysis fitted by singular value decomposition.
+
+Given a mean-centred, auto-scaled calibration matrix ``X`` (N x M) and ``A``
+principal components, PCA factors the data as ``X = T_A P_A' + E_A`` where
+``T_A`` are the scores, ``P_A`` the loadings and ``E_A`` the residuals
+(paper, Eq. 1).  Both the retained subspace (through Hotelling's T^2) and the
+residual subspace (through the SPE) are monitored.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError, NotFittedError
+from repro.common.validation import as_2d_array, check_matching_columns
+
+__all__ = ["PCAModel"]
+
+
+class PCAModel:
+    """PCA with explicit access to scores, loadings, residuals and eigenvalues.
+
+    Parameters
+    ----------
+    n_components:
+        Number of principal components ``A`` to retain.  ``None`` selects the
+        smallest number of components explaining at least
+        ``variance_to_explain`` of the calibration variance.
+    variance_to_explain:
+        Target cumulative explained-variance ratio for automatic selection.
+    """
+
+    def __init__(
+        self,
+        n_components: Optional[int] = None,
+        variance_to_explain: float = 0.90,
+    ):
+        if n_components is not None and n_components < 1:
+            raise ConfigurationError("n_components must be >= 1 or None")
+        if not 0.0 < variance_to_explain <= 1.0:
+            raise ConfigurationError("variance_to_explain must be in (0, 1]")
+        self._requested_components = n_components
+        self.variance_to_explain = float(variance_to_explain)
+        self._loadings: Optional[np.ndarray] = None
+        self._eigenvalues: Optional[np.ndarray] = None
+        self._all_eigenvalues: Optional[np.ndarray] = None
+        self._n_samples: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._loadings is not None
+
+    def _require_fitted(self) -> None:
+        if self._loadings is None:
+            raise NotFittedError("PCAModel must be fitted before use")
+
+    @property
+    def n_components(self) -> int:
+        """Number of retained components ``A``."""
+        self._require_fitted()
+        return self._loadings.shape[1]
+
+    @property
+    def n_variables(self) -> int:
+        """Number of original variables ``M``."""
+        self._require_fitted()
+        return self._loadings.shape[0]
+
+    @property
+    def n_samples_(self) -> int:
+        """Number of calibration observations ``N``."""
+        self._require_fitted()
+        return int(self._n_samples)
+
+    @property
+    def loadings_(self) -> np.ndarray:
+        """Loading matrix ``P_A`` of shape (M, A)."""
+        self._require_fitted()
+        return self._loadings
+
+    @property
+    def eigenvalues_(self) -> np.ndarray:
+        """Variances of the retained components (length A)."""
+        self._require_fitted()
+        return self._eigenvalues
+
+    @property
+    def residual_eigenvalues_(self) -> np.ndarray:
+        """Variances of the discarded components (length M - A, possibly empty)."""
+        self._require_fitted()
+        return self._all_eigenvalues[self.n_components:]
+
+    @property
+    def explained_variance_ratio_(self) -> np.ndarray:
+        """Fraction of total variance captured by each retained component."""
+        self._require_fitted()
+        total = self._all_eigenvalues.sum()
+        if total <= 0:
+            return np.zeros(self.n_components)
+        return self._eigenvalues / total
+
+    # ------------------------------------------------------------------
+    def fit(self, scaled_data) -> "PCAModel":
+        """Fit the model on already-scaled calibration data."""
+        array = as_2d_array(scaled_data, "calibration data")
+        n_samples, n_variables = array.shape
+        if n_samples < 2:
+            raise ConfigurationError("PCA needs at least two calibration observations")
+
+        # SVD of the (already centred) data; eigenvalues of the covariance are
+        # singular values squared over (N - 1).
+        _, singular_values, vt = np.linalg.svd(array, full_matrices=False)
+        eigenvalues = (singular_values ** 2) / (n_samples - 1)
+
+        if self._requested_components is not None:
+            n_components = min(self._requested_components, len(eigenvalues))
+        else:
+            total = eigenvalues.sum()
+            if total <= 0:
+                n_components = 1
+            else:
+                cumulative = np.cumsum(eigenvalues) / total
+                n_components = int(np.searchsorted(cumulative, self.variance_to_explain) + 1)
+                n_components = min(max(n_components, 1), len(eigenvalues))
+
+        self._loadings = vt[:n_components].T
+        self._eigenvalues = eigenvalues[:n_components]
+        self._all_eigenvalues = eigenvalues
+        self._n_samples = n_samples
+        return self
+
+    def transform(self, scaled_data) -> np.ndarray:
+        """Project observations onto the retained components (scores ``T_A``)."""
+        self._require_fitted()
+        array = as_2d_array(scaled_data, "data")
+        check_matching_columns(self.n_variables, array, "data")
+        return array @ self._loadings
+
+    def reconstruct(self, scaled_data) -> np.ndarray:
+        """Reconstruction of the observations from the retained subspace."""
+        return self.transform(scaled_data) @ self._loadings.T
+
+    def residuals(self, scaled_data) -> np.ndarray:
+        """Residual matrix ``E_A`` of the observations."""
+        self._require_fitted()
+        array = as_2d_array(scaled_data, "data")
+        check_matching_columns(self.n_variables, array, "data")
+        return array - self.reconstruct(array)

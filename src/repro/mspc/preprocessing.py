@@ -1,0 +1,79 @@
+"""Data preprocessing for MSPC: mean-centring and auto-scaling.
+
+The paper (Section III-A) builds the PCA model on mean-centred and auto-scaled
+data, i.e. every variable is normalized to zero mean and unit variance using
+the statistics of the calibration data.  New observations are scaled with the
+*calibration* statistics, never their own.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.common.exceptions import NotFittedError
+from repro.common.validation import as_2d_array, check_matching_columns
+
+__all__ = ["AutoScaler"]
+
+
+class AutoScaler:
+    """Mean-centring and unit-variance scaling fitted on calibration data.
+
+    Variables with zero variance in the calibration data (e.g. a valve that
+    never moves) are centred but left unscaled, so they cannot produce NaNs;
+    their post-scaling variance is zero, which PCA then simply ignores.
+    """
+
+    def __init__(self):
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._mean is not None
+
+    @property
+    def mean_(self) -> np.ndarray:
+        """Per-variable calibration mean."""
+        self._require_fitted()
+        return self._mean
+
+    @property
+    def std_(self) -> np.ndarray:
+        """Per-variable calibration standard deviation (1.0 where degenerate)."""
+        self._require_fitted()
+        return self._std
+
+    def _require_fitted(self) -> None:
+        if self._mean is None:
+            raise NotFittedError("AutoScaler must be fitted before use")
+
+    def fit(self, data) -> "AutoScaler":
+        """Learn per-variable means and standard deviations."""
+        array = as_2d_array(data, "calibration data")
+        self._mean = array.mean(axis=0)
+        std = array.std(axis=0, ddof=1) if array.shape[0] > 1 else np.zeros(array.shape[1])
+        std = np.where(std > 1e-12, std, 1.0)
+        self._std = std
+        return self
+
+    def transform(self, data) -> np.ndarray:
+        """Scale observations with the calibration statistics."""
+        self._require_fitted()
+        array = as_2d_array(data, "data")
+        check_matching_columns(self._mean.shape[0], array, "data")
+        return (array - self._mean) / self._std
+
+    def fit_transform(self, data) -> np.ndarray:
+        """Fit on ``data`` and return the scaled version of it."""
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, scaled) -> np.ndarray:
+        """Map scaled observations back to engineering units."""
+        self._require_fitted()
+        array = as_2d_array(scaled, "scaled data")
+        check_matching_columns(self._mean.shape[0], array, "scaled data")
+        return array * self._std + self._mean

@@ -1,0 +1,36 @@
+"""Monitoring statistics: Hotelling's T^2 (D-statistic) and the SPE (Q-statistic).
+
+For every observation, the D-statistic summarizes its position inside the
+retained PCA subspace (scores weighted by the inverse component variances) and
+the Q-statistic summarizes the squared distance to that subspace (the residual
+sum of squares).  An unexpected change in the original variables pushes one or
+both statistics over their control limits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.exceptions import DataShapeError
+from repro.mspc.pca import PCAModel
+
+__all__ = ["hotelling_t2", "squared_prediction_error"]
+
+
+def hotelling_t2(model: PCAModel, scaled_data) -> np.ndarray:
+    """D-statistic (Hotelling's T^2) of each observation.
+
+    ``T^2_n = sum_a  t_{n,a}^2 / lambda_a`` where ``t`` are the scores and
+    ``lambda`` the calibration variances of the retained components.
+    """
+    scores = model.transform(scaled_data)
+    eigenvalues = model.eigenvalues_
+    if np.any(eigenvalues <= 0):
+        raise DataShapeError("PCA eigenvalues must be positive to compute T^2")
+    return np.sum((scores ** 2) / eigenvalues, axis=1)
+
+
+def squared_prediction_error(model: PCAModel, scaled_data) -> np.ndarray:
+    """Q-statistic (SPE) of each observation: squared residual norm."""
+    residuals = model.residuals(scaled_data)
+    return np.sum(residuals ** 2, axis=1)

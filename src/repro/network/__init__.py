@@ -1,0 +1,29 @@
+"""Network layer between controllers and the physical process.
+
+The paper's adversary model (after Krotofil et al.) assumes a man-in-the-middle
+that can read and manipulate the traffic between the controllers and the
+sensors/actuators.  This package models that link explicitly:
+
+* :class:`~repro.network.channel.Channel` carries a vector of values
+  (measurements towards the controller, or commands towards the plant) and
+  applies any active attacks in transit;
+* :mod:`repro.network.attacks` implements the integrity attack
+  (value replacement) and the DoS attack (hold-last-value) of the paper,
+  plus scheduling helpers.
+"""
+
+from repro.network.channel import Channel
+from repro.network.attacks import (
+    Attack,
+    IntegrityAttack,
+    DoSAttack,
+    AttackSchedule,
+)
+
+__all__ = [
+    "Channel",
+    "Attack",
+    "IntegrityAttack",
+    "DoSAttack",
+    "AttackSchedule",
+]

@@ -1,0 +1,100 @@
+"""Communication channels between the plant and the controllers.
+
+A :class:`Channel` carries a vector of values each time :meth:`Channel.transmit`
+is called — sensor readings on the way to the controller, or actuator commands
+on the way to the plant.  Attacks registered on the channel tamper with the
+targeted entries while they are active; the untampered entries pass through
+unchanged.  The channel never mutates the sender's array.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.network.attacks import Attack, AttackSchedule, DoSAttack
+
+__all__ = ["Channel"]
+
+
+class Channel:
+    """A (possibly compromised) communication channel.
+
+    Parameters
+    ----------
+    name:
+        Channel name, e.g. ``"sensors"`` or ``"actuators"`` (used in logs and
+        metadata only).
+    n_entries:
+        Length of the transmitted vectors; transmissions of any other length
+        are rejected.
+    attacks:
+        Attack schedule applied to this channel.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        n_entries: int,
+        attacks: Optional[AttackSchedule] = None,
+    ):
+        if n_entries < 1:
+            raise ConfigurationError("n_entries must be >= 1")
+        self.name = str(name)
+        self.n_entries = int(n_entries)
+        self.attacks = attacks or AttackSchedule.none()
+        self._transmissions = 0
+        self._validate_targets()
+
+    def _validate_targets(self) -> None:
+        for attack in self.attacks.attacks:
+            if attack.target_index > self.n_entries:
+                raise ConfigurationError(
+                    f"attack targets entry {attack.target_index} but channel "
+                    f"{self.name!r} only carries {self.n_entries} entries"
+                )
+
+    @property
+    def n_transmissions(self) -> int:
+        """Number of vectors transmitted since the last reset."""
+        return self._transmissions
+
+    @property
+    def compromised(self) -> bool:
+        """Whether any attack is scheduled on this channel."""
+        return not self.attacks.is_empty()
+
+    def reset(self) -> None:
+        """Reset per-run state (attack memory and counters)."""
+        self.attacks.reset()
+        self._transmissions = 0
+
+    def add_attack(self, attack: Attack) -> "Channel":
+        """Register an additional attack; returns ``self`` for chaining."""
+        if attack.target_index > self.n_entries:
+            raise ConfigurationError(
+                f"attack targets entry {attack.target_index} but channel "
+                f"{self.name!r} only carries {self.n_entries} entries"
+            )
+        self.attacks.add(attack)
+        return self
+
+    def transmit(self, values: np.ndarray, time_hours: float) -> np.ndarray:
+        """Deliver ``values``, applying any active attacks in transit."""
+        values = np.asarray(values, dtype=float).ravel()
+        if values.shape[0] != self.n_entries:
+            raise ConfigurationError(
+                f"channel {self.name!r} carries {self.n_entries} entries, "
+                f"got {values.shape[0]}"
+            )
+        delivered = values.copy()
+        for attack in self.attacks.attacks:
+            index = attack.target_index - 1
+            if isinstance(attack, DoSAttack):
+                attack.observe(float(values[index]), time_hours)
+            if attack.is_active(time_hours):
+                delivered[index] = attack.tamper(float(values[index]), time_hours)
+        self._transmissions += 1
+        return delivered

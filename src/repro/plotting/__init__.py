@@ -1,0 +1,12 @@
+"""Text-based rendering and export of charts (no plotting backend required)."""
+
+from repro.plotting.ascii import render_control_chart, render_bar_chart, render_series
+from repro.plotting.export import export_series_csv, export_bars_csv
+
+__all__ = [
+    "render_control_chart",
+    "render_bar_chart",
+    "render_series",
+    "export_series_csv",
+    "export_bars_csv",
+]

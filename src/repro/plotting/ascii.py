@@ -1,0 +1,119 @@
+"""ASCII rendering of control charts, time series and oMEDA bar charts.
+
+Matplotlib is not available in the reproduction environment, so the figures
+are rendered as plain text: good enough to eyeball the shape of a control
+chart or an oMEDA diagnosis directly in a terminal or a log file.  The
+numerical figure data itself is produced by :mod:`repro.experiments.figures`
+and can be exported to CSV with :mod:`repro.plotting.export`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.common.validation import as_1d_array
+
+__all__ = ["render_series", "render_control_chart", "render_bar_chart"]
+
+
+def render_series(
+    values,
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+    markers: Optional[Mapping[str, float]] = None,
+) -> str:
+    """Render a numeric series as an ASCII line chart.
+
+    Parameters
+    ----------
+    values:
+        The series to draw (downsampled to ``width`` columns).
+    markers:
+        Optional named horizontal reference lines (e.g. control limits).
+    """
+    series = as_1d_array(values, "series")
+    markers = dict(markers or {})
+    low = float(min(series.min(), *markers.values())) if markers else float(series.min())
+    high = float(max(series.max(), *markers.values())) if markers else float(series.max())
+    if high == low:
+        high = low + 1.0
+
+    # Downsample the series to the requested width.
+    columns = min(width, series.shape[0])
+    indices = np.linspace(0, series.shape[0] - 1, columns).round().astype(int)
+    sampled = series[indices]
+
+    def to_row(value: float) -> int:
+        fraction = (value - low) / (high - low)
+        return int(round((height - 1) * (1.0 - fraction)))
+
+    grid = [[" "] * columns for _ in range(height)]
+    for name, level in markers.items():
+        row = to_row(level)
+        for column in range(columns):
+            grid[row][column] = "-"
+    for column, value in enumerate(sampled):
+        grid[to_row(float(value))][column] = "*"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"max = {high:.4g}")
+    lines.extend("".join(row) for row in grid)
+    lines.append(f"min = {low:.4g}")
+    if markers:
+        lines.append(
+            "reference lines: "
+            + ", ".join(f"{name} = {level:.4g}" for name, level in markers.items())
+        )
+    return "\n".join(lines)
+
+
+def render_control_chart(
+    values,
+    limits: Mapping[float, float],
+    title: str = "Control chart",
+    width: int = 72,
+    height: int = 16,
+) -> str:
+    """Render a monitoring statistic with its control limits (Figure 1 style)."""
+    markers = {f"{100 * confidence:.0f}%": limit for confidence, limit in limits.items()}
+    return render_series(values, width=width, height=height, title=title, markers=markers)
+
+
+def render_bar_chart(
+    labels: Sequence[str],
+    values,
+    title: str = "",
+    width: int = 48,
+    highlight_top: int = 3,
+) -> str:
+    """Render an oMEDA-style signed bar chart, one row per variable.
+
+    Bars extend left (negative) or right (positive) of a centre line; the
+    ``highlight_top`` largest |values| are marked with ``<<`` so the dominant
+    variables stand out like the labels in the paper's figures.
+    """
+    bars = as_1d_array(values, "bar values")
+    labels = [str(label) for label in labels]
+    if len(labels) != bars.shape[0]:
+        raise ValueError("labels and values must have the same length")
+    scale = float(np.max(np.abs(bars))) if bars.size else 1.0
+    if scale == 0:
+        scale = 1.0
+    half = width // 2
+    top_indices = set(np.argsort(-np.abs(bars))[:highlight_top].tolist())
+
+    lines = [title] if title else []
+    for index, (label, value) in enumerate(zip(labels, bars)):
+        magnitude = int(round(abs(value) / scale * half))
+        if value >= 0:
+            bar = " " * half + "|" + "#" * magnitude
+        else:
+            bar = " " * (half - magnitude) + "#" * magnitude + "|"
+        marker = "  <<" if index in top_indices and abs(value) > 0 else ""
+        lines.append(f"{label:>12} {bar:<{width + 1}} {value:+.3g}{marker}")
+    return "\n".join(lines)

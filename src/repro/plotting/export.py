@@ -1,0 +1,58 @@
+"""CSV export of figure data (series and bar charts)."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Sequence, Union
+
+import numpy as np
+
+from repro.common.exceptions import DataShapeError
+
+__all__ = ["export_series_csv", "export_bars_csv"]
+
+_PathLike = Union[str, Path]
+
+
+def export_series_csv(
+    path: _PathLike,
+    columns: Mapping[str, Sequence[float]],
+) -> Path:
+    """Write named, equally-long series as CSV columns and return the path."""
+    if not columns:
+        raise DataShapeError("at least one series is required")
+    arrays = {name: np.asarray(values, dtype=float).ravel() for name, values in columns.items()}
+    lengths = {array.shape[0] for array in arrays.values()}
+    if len(lengths) != 1:
+        raise DataShapeError("all series must have the same length")
+    length = lengths.pop()
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(arrays))
+        for row_index in range(length):
+            writer.writerow([repr(float(arrays[name][row_index])) for name in arrays])
+    return path
+
+
+def export_bars_csv(
+    path: _PathLike,
+    labels: Sequence[str],
+    values: Sequence[float],
+) -> Path:
+    """Write an oMEDA-style bar chart (label, value) as CSV and return the path."""
+    values = np.asarray(values, dtype=float).ravel()
+    labels = [str(label) for label in labels]
+    if len(labels) != values.shape[0]:
+        raise DataShapeError("labels and values must have the same length")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["variable", "contribution"])
+        for label, value in zip(labels, values):
+            writer.writerow([label, repr(float(value))])
+    return path

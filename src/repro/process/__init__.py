@@ -1,0 +1,32 @@
+"""Generic process-simulation scaffolding.
+
+This package contains the plant-agnostic building blocks used by the
+Tennessee-Eastman model in :mod:`repro.te`: variable specifications, the
+measurement-noise model, disturbance scheduling, safety interlocks, data
+recording and the closed-loop simulation driver.
+"""
+
+from repro.process.variables import VariableSpec, VariableRegistry
+from repro.process.noise import GaussianMeasurementNoise, NoiseModel, NoNoise
+from repro.process.disturbances import DisturbanceSpec, DisturbanceSchedule
+from repro.process.safety import SafetyLimit, SafetyMonitor
+from repro.process.recorder import SimulationRecorder
+from repro.process.interfaces import PlantModel, Controller
+from repro.process.simulator import ClosedLoopSimulator, SimulationResult
+
+__all__ = [
+    "VariableSpec",
+    "VariableRegistry",
+    "NoiseModel",
+    "GaussianMeasurementNoise",
+    "NoNoise",
+    "DisturbanceSpec",
+    "DisturbanceSchedule",
+    "SafetyLimit",
+    "SafetyMonitor",
+    "SimulationRecorder",
+    "PlantModel",
+    "Controller",
+    "ClosedLoopSimulator",
+    "SimulationResult",
+]

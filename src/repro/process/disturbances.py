@@ -1,0 +1,145 @@
+"""Process-disturbance specification and scheduling.
+
+The Tennessee-Eastman model defines 20 process disturbances, IDV(1)–IDV(20).
+A :class:`DisturbanceSpec` describes one of them; a
+:class:`DisturbanceSchedule` decides which disturbances are active at a given
+simulation time.  Disturbances are *natural* causes of anomalies, as opposed
+to the attacks implemented in :mod:`repro.network.attacks`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.exceptions import ConfigurationError
+
+__all__ = ["DisturbanceSpec", "DisturbanceSchedule"]
+
+
+@dataclass(frozen=True)
+class DisturbanceSpec:
+    """Description of a single process disturbance.
+
+    Attributes
+    ----------
+    index:
+        1-based disturbance number, e.g. ``6`` for IDV(6).
+    name:
+        Canonical name, e.g. ``"IDV(6)"``.
+    description:
+        What the disturbance physically does.
+    kind:
+        ``"step"`` for persistent step changes, ``"random"`` for random
+        variation disturbances, ``"drift"`` for slow drifts, ``"sticking"``
+        for valve-sticking faults and ``"unknown"`` for the unspecified ones.
+    """
+
+    index: int
+    name: str
+    description: str
+    kind: str = "step"
+
+    def __post_init__(self) -> None:
+        if self.index < 1:
+            raise ConfigurationError("disturbance index must be >= 1")
+        if self.kind not in ("step", "random", "drift", "sticking", "unknown"):
+            raise ConfigurationError(f"unknown disturbance kind {self.kind!r}")
+
+
+@dataclass
+class _ScheduledDisturbance:
+    """A disturbance activation window."""
+
+    index: int
+    start_hour: float
+    end_hour: Optional[float] = None
+    magnitude: float = 1.0
+
+
+class DisturbanceSchedule:
+    """Maps simulation time to the set of active disturbances.
+
+    Disturbance activations are half-open intervals ``[start, end)``; an
+    ``end`` of ``None`` means the disturbance persists to the end of the run
+    (this is how the paper activates IDV(6) at hour 10).
+    """
+
+    def __init__(self, n_disturbances: int = 20):
+        if n_disturbances < 1:
+            raise ConfigurationError("n_disturbances must be >= 1")
+        self._n = int(n_disturbances)
+        self._entries: List[_ScheduledDisturbance] = []
+
+    @property
+    def n_disturbances(self) -> int:
+        """Size of the disturbance vector."""
+        return self._n
+
+    @property
+    def entries(self) -> Tuple[_ScheduledDisturbance, ...]:
+        """All scheduled activations."""
+        return tuple(self._entries)
+
+    def add(
+        self,
+        index: int,
+        start_hour: float,
+        end_hour: Optional[float] = None,
+        magnitude: float = 1.0,
+    ) -> "DisturbanceSchedule":
+        """Schedule disturbance ``IDV(index)`` to activate at ``start_hour``.
+
+        Returns ``self`` so calls can be chained.
+        """
+        if not 1 <= index <= self._n:
+            raise ConfigurationError(
+                f"disturbance index must be in [1, {self._n}], got {index}"
+            )
+        if start_hour < 0:
+            raise ConfigurationError("start_hour must be >= 0")
+        if end_hour is not None and end_hour <= start_hour:
+            raise ConfigurationError("end_hour must be greater than start_hour")
+        self._entries.append(
+            _ScheduledDisturbance(int(index), float(start_hour), end_hour, float(magnitude))
+        )
+        return self
+
+    def active_at(self, time_hours: float) -> Dict[int, float]:
+        """Return ``{index: magnitude}`` of disturbances active at ``time_hours``."""
+        active: Dict[int, float] = {}
+        for entry in self._entries:
+            if time_hours < entry.start_hour:
+                continue
+            if entry.end_hour is not None and time_hours >= entry.end_hour:
+                continue
+            active[entry.index] = max(active.get(entry.index, 0.0), entry.magnitude)
+        return active
+
+    def vector_at(self, time_hours: float) -> List[float]:
+        """Return the full IDV vector (length ``n_disturbances``) at ``time_hours``."""
+        vector = [0.0] * self._n
+        for index, magnitude in self.active_at(time_hours).items():
+            vector[index - 1] = magnitude
+        return vector
+
+    def is_empty(self) -> bool:
+        """Whether no disturbance has been scheduled."""
+        return not self._entries
+
+    @classmethod
+    def none(cls, n_disturbances: int = 20) -> "DisturbanceSchedule":
+        """An empty schedule (normal operation)."""
+        return cls(n_disturbances)
+
+    @classmethod
+    def single(
+        cls,
+        index: int,
+        start_hour: float,
+        end_hour: Optional[float] = None,
+        magnitude: float = 1.0,
+        n_disturbances: int = 20,
+    ) -> "DisturbanceSchedule":
+        """A schedule with exactly one activation (the common case)."""
+        return cls(n_disturbances).add(index, start_hour, end_hour, magnitude)

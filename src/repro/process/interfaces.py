@@ -1,0 +1,87 @@
+"""Abstract interfaces connecting plants, controllers and the simulator.
+
+The closed loop simulated in this library follows the PCS structure of the
+paper's Figure 2: a physical process with sensors and actuators, and one or
+more controllers that read sensor values and write actuator commands.  The
+network layer (:mod:`repro.network`) can sit between the two and tamper with
+either direction.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.process.variables import VariableRegistry
+
+__all__ = ["PlantModel", "Controller"]
+
+
+class PlantModel(ABC):
+    """Interface of a dynamic plant model.
+
+    A plant exposes a registry of measured variables (its sensors) and a
+    registry of manipulated variables (its actuators).  The simulator calls
+    :meth:`measure` to obtain the current sensor vector and :meth:`step` to
+    advance the dynamics with the actuator vector the plant actually received
+    (which may have been tampered with by an adversary).
+    """
+
+    @property
+    @abstractmethod
+    def measured_variables(self) -> VariableRegistry:
+        """Registry of measured (sensor) variables."""
+
+    @property
+    @abstractmethod
+    def manipulated_variables(self) -> VariableRegistry:
+        """Registry of manipulated (actuator) variables."""
+
+    @property
+    @abstractmethod
+    def time_hours(self) -> float:
+        """Current simulation time in hours."""
+
+    @abstractmethod
+    def reset(self, seed: Optional[int] = None) -> None:
+        """Return the plant to its initial state."""
+
+    @abstractmethod
+    def measure(self, noisy: bool = True) -> np.ndarray:
+        """Return the current sensor vector (optionally with measurement noise)."""
+
+    @abstractmethod
+    def step(
+        self,
+        manipulated: np.ndarray,
+        dt_hours: float,
+        disturbances: Optional[Dict[int, float]] = None,
+    ) -> None:
+        """Advance the dynamics by ``dt_hours`` with actuator vector ``manipulated``.
+
+        ``disturbances`` maps 1-based IDV indices to magnitudes for the
+        disturbances active during this step.
+        """
+
+    def safety_quantities(self) -> Dict[str, float]:
+        """Named quantities evaluated by the safety monitor (empty by default)."""
+        return {}
+
+
+class Controller(ABC):
+    """Interface of a (possibly multivariable) plant controller."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Return the controller to its initial internal state."""
+
+    @abstractmethod
+    def update(self, measurements: np.ndarray, dt_hours: float) -> np.ndarray:
+        """Compute the actuator command vector from the received measurements."""
+
+    @property
+    @abstractmethod
+    def output_names(self) -> Sequence[str]:
+        """Names of the actuator channels this controller drives."""

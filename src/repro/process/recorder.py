@@ -1,0 +1,69 @@
+"""Recording of simulation trajectories into labelled datasets."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.common.exceptions import DataShapeError
+from repro.datasets.dataset import ProcessDataset
+
+__all__ = ["SimulationRecorder"]
+
+
+class SimulationRecorder:
+    """Accumulates per-sample vectors and converts them to a dataset.
+
+    Parameters
+    ----------
+    variable_names:
+        Column names of the recorded vectors.
+    metadata:
+        Metadata attached to the produced :class:`ProcessDataset`.
+    """
+
+    def __init__(
+        self,
+        variable_names: Sequence[str],
+        metadata: Optional[Dict[str, object]] = None,
+    ):
+        self._names = [str(name) for name in variable_names]
+        self._rows: List[np.ndarray] = []
+        self._times: List[float] = []
+        self._metadata = dict(metadata or {})
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples recorded so far."""
+        return len(self._rows)
+
+    @property
+    def variable_names(self) -> Sequence[str]:
+        """Column names of the recorded vectors."""
+        return tuple(self._names)
+
+    def record(self, time_hours: float, values: np.ndarray) -> None:
+        """Append one sample."""
+        values = np.asarray(values, dtype=float).ravel()
+        if values.shape[0] != len(self._names):
+            raise DataShapeError(
+                f"expected {len(self._names)} values, got {values.shape[0]}"
+            )
+        self._rows.append(values.copy())
+        self._times.append(float(time_hours))
+
+    def clear(self) -> None:
+        """Discard everything recorded so far."""
+        self._rows.clear()
+        self._times.clear()
+
+    def to_dataset(self, **extra_metadata) -> ProcessDataset:
+        """Build a :class:`ProcessDataset` from the recorded samples."""
+        if not self._rows:
+            raise DataShapeError("no samples have been recorded")
+        metadata = dict(self._metadata)
+        metadata.update(extra_metadata)
+        return ProcessDataset(
+            np.vstack(self._rows), self._names, np.array(self._times), metadata
+        )

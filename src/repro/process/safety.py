@@ -1,0 +1,119 @@
+"""Safety interlocks.
+
+The Tennessee-Eastman plant shuts itself down when safety constraints are
+violated — in the paper's IDV(6) / XMV(3)-attack scenarios the stripper liquid
+level eventually falls too low and the plant trips roughly 7 h 43 min after
+the anomaly starts.  :class:`SafetyMonitor` reproduces that behaviour: it
+evaluates a set of :class:`SafetyLimit` rules against named process quantities
+and raises :class:`~repro.common.exceptions.ProcessShutdown` when one trips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.common.exceptions import ConfigurationError, ProcessShutdown
+
+__all__ = ["SafetyLimit", "SafetyMonitor"]
+
+
+@dataclass(frozen=True)
+class SafetyLimit:
+    """A single interlock on a named process quantity.
+
+    Attributes
+    ----------
+    quantity:
+        Name of the monitored quantity (e.g. ``"stripper_level"``).
+    low / high:
+        Trip thresholds.  ``None`` disables that side of the interlock.
+    description:
+        Message used when the interlock trips.
+    grace_hours:
+        How long the violation must persist before the plant trips.  A small
+        grace period avoids spurious trips caused by measurement noise.
+    """
+
+    quantity: str
+    low: Optional[float] = None
+    high: Optional[float] = None
+    description: str = ""
+    grace_hours: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.low is None and self.high is None:
+            raise ConfigurationError(
+                f"safety limit on {self.quantity!r} needs a low or high threshold"
+            )
+        if self.low is not None and self.high is not None and self.low >= self.high:
+            raise ConfigurationError(
+                f"safety limit on {self.quantity!r}: low must be below high"
+            )
+        if self.grace_hours < 0:
+            raise ConfigurationError("grace_hours must be >= 0")
+
+    def violated_by(self, value: float) -> bool:
+        """Whether ``value`` violates this limit."""
+        if self.low is not None and value < self.low:
+            return True
+        if self.high is not None and value > self.high:
+            return True
+        return False
+
+
+class SafetyMonitor:
+    """Evaluates safety limits over time and trips the plant when needed.
+
+    Parameters
+    ----------
+    limits:
+        The interlocks to enforce.
+    enabled:
+        When ``False`` the monitor records violations but never raises, which
+        lets experiments run past the physical shutdown point if desired.
+    """
+
+    def __init__(self, limits: Iterable[SafetyLimit], enabled: bool = True):
+        self._limits: List[SafetyLimit] = list(limits)
+        self._violation_start: Dict[str, float] = {}
+        self.enabled = bool(enabled)
+        self.tripped: Optional[Tuple[float, str]] = None
+
+    @property
+    def limits(self) -> Tuple[SafetyLimit, ...]:
+        """The configured interlocks."""
+        return tuple(self._limits)
+
+    def reset(self) -> None:
+        """Clear violation history and any recorded trip."""
+        self._violation_start.clear()
+        self.tripped = None
+
+    def check(self, time_hours: float, quantities: Dict[str, float]) -> None:
+        """Evaluate all limits against the current ``quantities``.
+
+        Raises
+        ------
+        ProcessShutdown
+            If a limit has been violated for longer than its grace period and
+            the monitor is enabled.
+        """
+        for limit in self._limits:
+            if limit.quantity not in quantities:
+                continue
+            value = float(quantities[limit.quantity])
+            key = limit.quantity
+            if limit.violated_by(value):
+                start = self._violation_start.setdefault(key, time_hours)
+                if time_hours - start >= limit.grace_hours:
+                    reason = (
+                        limit.description
+                        or f"{limit.quantity} = {value:.4g} outside "
+                        f"[{limit.low}, {limit.high}]"
+                    )
+                    self.tripped = (time_hours, reason)
+                    if self.enabled:
+                        raise ProcessShutdown(time_hours, reason)
+            else:
+                self._violation_start.pop(key, None)

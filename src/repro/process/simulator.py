@@ -1,0 +1,211 @@
+"""The closed-loop simulation driver.
+
+:class:`ClosedLoopSimulator` wires together a plant, a controller, an optional
+network layer (sensor and actuator channels that an adversary can tamper
+with), a disturbance schedule and a safety monitor, and produces a
+:class:`SimulationResult` holding the two data views the paper's approach is
+built on:
+
+* **controller-level data** — the measurement vector the controllers received
+  and the command vector they emitted, i.e. what a historian connected to the
+  control system would log;
+* **process-level data** — the measurement vector the plant actually produced
+  and the command vector the plant actually received.
+
+The two views are identical in an attack-free run and diverge under attack,
+which is precisely the signal exploited for diagnosis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.common.config import SimulationConfig
+from repro.common.exceptions import ConfigurationError, ProcessShutdown
+from repro.datasets.dataset import ProcessDataset
+from repro.process.disturbances import DisturbanceSchedule
+from repro.process.interfaces import Controller, PlantModel
+from repro.process.recorder import SimulationRecorder
+from repro.process.safety import SafetyMonitor
+
+__all__ = ["ClosedLoopSimulator", "SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one closed-loop run.
+
+    Attributes
+    ----------
+    controller_data:
+        XMEAS + XMV as seen by the controllers (controller-level view).
+    process_data:
+        XMEAS + XMV as seen by the physical process (process-level view).
+    shutdown_time_hours:
+        Time at which the safety system tripped, or ``None`` if the run
+        completed its full horizon.
+    shutdown_reason:
+        Description of the interlock that tripped, or ``None``.
+    config:
+        The simulation configuration of the run.
+    metadata:
+        Scenario name, seed, attack description, etc.
+    """
+
+    controller_data: ProcessDataset
+    process_data: ProcessDataset
+    shutdown_time_hours: Optional[float]
+    shutdown_reason: Optional[str]
+    config: SimulationConfig
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def completed(self) -> bool:
+        """Whether the run reached its full horizon without a safety trip."""
+        return self.shutdown_time_hours is None
+
+    @property
+    def duration_hours(self) -> float:
+        """Actual simulated duration."""
+        if self.shutdown_time_hours is not None:
+            return float(self.shutdown_time_hours)
+        return float(self.config.duration_hours)
+
+    def views(self) -> Dict[str, ProcessDataset]:
+        """Both data views keyed by ``"controller"`` and ``"process"``."""
+        return {"controller": self.controller_data, "process": self.process_data}
+
+
+class ClosedLoopSimulator:
+    """Runs a plant under closed-loop control, optionally through a network.
+
+    Parameters
+    ----------
+    plant:
+        The physical process model.
+    controller:
+        The controller that maps received measurements to actuator commands.
+    sensor_channel / actuator_channel:
+        Optional objects with a ``transmit(values, time_hours)`` method
+        (see :mod:`repro.network.channel`).  The sensor channel carries
+        plant measurements to the controller; the actuator channel carries
+        controller commands to the plant.  ``None`` means a perfect,
+        untampered channel.
+    disturbances:
+        Schedule of IDV activations; ``None`` means normal operation.
+    safety_monitor:
+        Interlocks; ``None`` disables safety shutdowns.
+    """
+
+    def __init__(
+        self,
+        plant: PlantModel,
+        controller: Controller,
+        sensor_channel=None,
+        actuator_channel=None,
+        disturbances: Optional[DisturbanceSchedule] = None,
+        safety_monitor: Optional[SafetyMonitor] = None,
+    ):
+        self.plant = plant
+        self.controller = controller
+        self.sensor_channel = sensor_channel
+        self.actuator_channel = actuator_channel
+        self.disturbances = disturbances or DisturbanceSchedule.none()
+        self.safety_monitor = safety_monitor
+
+    def _column_names(self):
+        return list(self.plant.measured_variables.names) + list(
+            self.plant.manipulated_variables.names
+        )
+
+    def run(
+        self,
+        config: SimulationConfig,
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> SimulationResult:
+        """Execute one run and return its :class:`SimulationResult`."""
+        if config.total_samples < 1:
+            raise ConfigurationError("configuration yields no samples")
+
+        self.plant.reset(seed=config.seed)
+        self.controller.reset()
+        if self.sensor_channel is not None:
+            self.sensor_channel.reset()
+        if self.actuator_channel is not None:
+            self.actuator_channel.reset()
+        if self.safety_monitor is not None:
+            self.safety_monitor.reset()
+            self.safety_monitor.enabled = config.enable_safety
+
+        names = self._column_names()
+        run_metadata = dict(metadata or {})
+        controller_recorder = SimulationRecorder(names, dict(run_metadata, view="controller"))
+        process_recorder = SimulationRecorder(names, dict(run_metadata, view="process"))
+
+        dt = config.integration_step_hours
+        shutdown_time: Optional[float] = None
+        shutdown_reason: Optional[str] = None
+
+        try:
+            for sample_index in range(config.total_samples):
+                for _ in range(config.integration_steps_per_sample):
+                    time = self.plant.time_hours
+                    true_xmeas = self.plant.measure(noisy=config.enable_noise)
+
+                    if self.sensor_channel is not None:
+                        received_xmeas = self.sensor_channel.transmit(true_xmeas, time)
+                    else:
+                        received_xmeas = np.array(true_xmeas, copy=True)
+
+                    commanded_xmv = self.controller.update(received_xmeas, dt)
+
+                    if self.actuator_channel is not None:
+                        applied_xmv = self.actuator_channel.transmit(commanded_xmv, time)
+                    else:
+                        applied_xmv = np.array(commanded_xmv, copy=True)
+
+                    active = self.disturbances.active_at(time)
+                    self.plant.step(applied_xmv, dt, active)
+
+                    if self.safety_monitor is not None:
+                        self.safety_monitor.check(
+                            self.plant.time_hours, self.plant.safety_quantities()
+                        )
+
+                sample_time = self.plant.time_hours
+                controller_recorder.record(
+                    sample_time, np.concatenate([received_xmeas, commanded_xmv])
+                )
+                process_recorder.record(
+                    sample_time, np.concatenate([true_xmeas, applied_xmv])
+                )
+        except ProcessShutdown as trip:
+            shutdown_time = trip.time_hours
+            shutdown_reason = trip.reason
+
+        if controller_recorder.n_samples == 0:
+            # The plant tripped before the very first sample could be stored;
+            # record the initial condition so downstream code always has data.
+            xmeas = self.plant.measure(noisy=False)
+            xmv = self.plant.manipulated_variables.nominal_values()
+            controller_recorder.record(0.0, np.concatenate([xmeas, xmv]))
+            process_recorder.record(0.0, np.concatenate([xmeas, xmv]))
+
+        run_metadata.update(
+            {
+                "shutdown_time_hours": shutdown_time,
+                "shutdown_reason": shutdown_reason,
+                "seed": config.seed,
+            }
+        )
+        return SimulationResult(
+            controller_data=controller_recorder.to_dataset(**run_metadata),
+            process_data=process_recorder.to_dataset(**run_metadata),
+            shutdown_time_hours=shutdown_time,
+            shutdown_reason=shutdown_reason,
+            config=config,
+            metadata=run_metadata,
+        )

@@ -1,0 +1,60 @@
+"""The Tennessee-Eastman (TE) challenge process substrate.
+
+The paper evaluates its MSPC-based detector on the Tennessee-Eastman process
+(Downs & Vogel, 1993) under Ricker's decentralized control with the added
+randomness model of Krotofil et al.  The authors use the DVCP-TE
+Simulink/Fortran model; this package provides a from-scratch Python
+reimplementation exposing the same interface:
+
+* 41 measured variables, ``XMEAS(1)`` ... ``XMEAS(41)``;
+* 12 manipulated variables, ``XMV(1)`` ... ``XMV(12)``;
+* 20 process disturbances, ``IDV(1)`` ... ``IDV(20)``.
+
+The plant dynamics are a reduced-order grey-box model (see ``DESIGN.md`` for
+the substitution rationale): the reactor / separator / stripper inventory
+structure, reaction stoichiometry, recycle loop, level/pressure/temperature
+dynamics and safety interlocks are modelled explicitly, and the outputs are
+calibrated so that the base operating point matches the published Downs &
+Vogel steady state.
+"""
+
+from repro.te.constants import (
+    COMPONENTS,
+    N_XMEAS,
+    N_XMV,
+    N_IDV,
+    XMEAS_NAMES,
+    XMV_NAMES,
+    IDV_NAMES,
+    xmeas_name,
+    xmv_name,
+    idv_name,
+)
+from repro.te.variables import build_xmeas_registry, build_xmv_registry
+from repro.te.state import TEState
+from repro.te.kinetics import ReactionKinetics
+from repro.te.plant import TEPlant
+from repro.te.safety import default_safety_monitor, DEFAULT_SAFETY_LIMITS
+from repro.te.disturbances import IDV_SPECS, describe_idv
+
+__all__ = [
+    "COMPONENTS",
+    "N_XMEAS",
+    "N_XMV",
+    "N_IDV",
+    "XMEAS_NAMES",
+    "XMV_NAMES",
+    "IDV_NAMES",
+    "xmeas_name",
+    "xmv_name",
+    "idv_name",
+    "build_xmeas_registry",
+    "build_xmv_registry",
+    "TEState",
+    "ReactionKinetics",
+    "TEPlant",
+    "default_safety_monitor",
+    "DEFAULT_SAFETY_LIMITS",
+    "IDV_SPECS",
+    "describe_idv",
+]

@@ -1,0 +1,275 @@
+"""Constants of the Tennessee-Eastman process model.
+
+The measured-variable (XMEAS) and manipulated-variable (XMV) tables follow the
+naming, units and base-case steady-state values published by Downs & Vogel
+(1993).  The ``INTERNAL`` section holds the parameters of the reduced-order
+grey-box dynamic model; the output map in :mod:`repro.te.plant` converts the
+internal quantities to the published engineering units, so the base operating
+point of the simulator coincides with the published one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "COMPONENTS",
+    "MOLECULAR_WEIGHTS",
+    "N_XMEAS",
+    "N_XMV",
+    "N_IDV",
+    "XMEAS_TABLE",
+    "XMV_TABLE",
+    "IDV_TABLE",
+    "XMEAS_NAMES",
+    "XMV_NAMES",
+    "IDV_NAMES",
+    "xmeas_name",
+    "xmv_name",
+    "idv_name",
+    "INTERNAL",
+]
+
+# ----------------------------------------------------------------------
+# Components
+# ----------------------------------------------------------------------
+#: The eight chemical species of the TE process.  A, B and C are
+#: non-condensible gases; D, E, F are intermediate liquids; G and H are the
+#: saleable products.
+COMPONENTS: Tuple[str, ...] = ("A", "B", "C", "D", "E", "F", "G", "H")
+
+#: Molecular weights (kg/kmol) from Downs & Vogel.
+MOLECULAR_WEIGHTS: Dict[str, float] = {
+    "A": 2.0,
+    "B": 25.4,
+    "C": 28.0,
+    "D": 32.0,
+    "E": 46.0,
+    "F": 48.0,
+    "G": 62.0,
+    "H": 76.0,
+}
+
+N_XMEAS = 41
+N_XMV = 12
+N_IDV = 20
+
+
+def xmeas_name(index: int) -> str:
+    """Canonical name of measured variable ``index`` (1-based)."""
+    if not 1 <= index <= N_XMEAS:
+        raise ValueError(f"XMEAS index must be in [1, {N_XMEAS}], got {index}")
+    return f"XMEAS({index})"
+
+
+def xmv_name(index: int) -> str:
+    """Canonical name of manipulated variable ``index`` (1-based)."""
+    if not 1 <= index <= N_XMV:
+        raise ValueError(f"XMV index must be in [1, {N_XMV}], got {index}")
+    return f"XMV({index})"
+
+
+def idv_name(index: int) -> str:
+    """Canonical name of disturbance ``index`` (1-based)."""
+    if not 1 <= index <= N_IDV:
+        raise ValueError(f"IDV index must be in [1, {N_IDV}], got {index}")
+    return f"IDV({index})"
+
+
+# ----------------------------------------------------------------------
+# Measured variables: (description, unit, nominal value, measurement noise std)
+# ----------------------------------------------------------------------
+XMEAS_TABLE: List[Tuple[str, str, float, float]] = [
+    ("A feed (stream 1)", "kscmh", 0.25052, 0.0025),
+    ("D feed (stream 2)", "kg/h", 3664.0, 18.0),
+    ("E feed (stream 3)", "kg/h", 4509.3, 22.0),
+    ("A and C feed (stream 4)", "kscmh", 9.3477, 0.05),
+    ("Recycle flow (stream 8)", "kscmh", 26.902, 0.14),
+    ("Reactor feed rate (stream 6)", "kscmh", 42.339, 0.21),
+    ("Reactor pressure", "kPa gauge", 2705.0, 3.0),
+    ("Reactor level", "%", 75.0, 0.4),
+    ("Reactor temperature", "deg C", 120.40, 0.08),
+    ("Purge rate (stream 9)", "kscmh", 0.33712, 0.004),
+    ("Product separator temperature", "deg C", 80.109, 0.10),
+    ("Product separator level", "%", 50.0, 0.4),
+    ("Product separator pressure", "kPa gauge", 2633.7, 3.0),
+    ("Product separator underflow (stream 10)", "m3/h", 25.160, 0.20),
+    ("Stripper level", "%", 50.0, 0.4),
+    ("Stripper pressure", "kPa gauge", 3102.2, 3.5),
+    ("Stripper underflow (stream 11)", "m3/h", 22.949, 0.18),
+    ("Stripper temperature", "deg C", 65.731, 0.10),
+    ("Stripper steam flow", "kg/h", 230.31, 2.0),
+    ("Compressor work", "kW", 341.43, 2.2),
+    ("Reactor cooling water outlet temperature", "deg C", 94.599, 0.10),
+    ("Separator cooling water outlet temperature", "deg C", 77.297, 0.10),
+    ("Reactor feed composition A (stream 6)", "mol %", 32.188, 0.12),
+    ("Reactor feed composition B (stream 6)", "mol %", 8.8933, 0.08),
+    ("Reactor feed composition C (stream 6)", "mol %", 26.383, 0.11),
+    ("Reactor feed composition D (stream 6)", "mol %", 6.8820, 0.06),
+    ("Reactor feed composition E (stream 6)", "mol %", 18.776, 0.09),
+    ("Reactor feed composition F (stream 6)", "mol %", 1.6567, 0.03),
+    ("Purge gas composition A (stream 9)", "mol %", 32.958, 0.14),
+    ("Purge gas composition B (stream 9)", "mol %", 13.823, 0.10),
+    ("Purge gas composition C (stream 9)", "mol %", 23.978, 0.12),
+    ("Purge gas composition D (stream 9)", "mol %", 1.2565, 0.03),
+    ("Purge gas composition E (stream 9)", "mol %", 18.579, 0.10),
+    ("Purge gas composition F (stream 9)", "mol %", 2.2633, 0.04),
+    ("Purge gas composition G (stream 9)", "mol %", 4.8436, 0.05),
+    ("Purge gas composition H (stream 9)", "mol %", 2.2986, 0.04),
+    ("Product composition D (stream 11)", "mol %", 0.01787, 0.005),
+    ("Product composition E (stream 11)", "mol %", 0.83570, 0.02),
+    ("Product composition F (stream 11)", "mol %", 0.09858, 0.008),
+    ("Product composition G (stream 11)", "mol %", 53.724, 0.18),
+    ("Product composition H (stream 11)", "mol %", 43.828, 0.16),
+]
+
+# ----------------------------------------------------------------------
+# Manipulated variables: (description, nominal position in %)
+# ----------------------------------------------------------------------
+XMV_TABLE: List[Tuple[str, float]] = [
+    ("D feed flow valve (stream 2)", 63.053),
+    ("E feed flow valve (stream 3)", 53.980),
+    ("A feed flow valve (stream 1)", 24.644),
+    ("A and C feed flow valve (stream 4)", 61.302),
+    ("Compressor recycle valve", 22.210),
+    ("Purge valve (stream 9)", 40.064),
+    ("Separator pot liquid flow valve (stream 10)", 38.100),
+    ("Stripper liquid product flow valve (stream 11)", 46.534),
+    ("Stripper steam valve", 47.446),
+    ("Reactor cooling water flow valve", 41.106),
+    ("Condenser cooling water flow valve", 18.114),
+    ("Agitator speed", 50.000),
+]
+
+# ----------------------------------------------------------------------
+# Process disturbances: (description, kind)
+# ----------------------------------------------------------------------
+IDV_TABLE: List[Tuple[str, str]] = [
+    ("A/C feed ratio, B composition constant (stream 4)", "step"),
+    ("B composition, A/C ratio constant (stream 4)", "step"),
+    ("D feed temperature (stream 2)", "step"),
+    ("Reactor cooling water inlet temperature", "step"),
+    ("Condenser cooling water inlet temperature", "step"),
+    ("A feed loss (stream 1)", "step"),
+    ("C header pressure loss - reduced availability (stream 4)", "step"),
+    ("A, B, C feed composition (stream 4)", "random"),
+    ("D feed temperature (stream 2)", "random"),
+    ("C feed temperature (stream 4)", "random"),
+    ("Reactor cooling water inlet temperature", "random"),
+    ("Condenser cooling water inlet temperature", "random"),
+    ("Reaction kinetics", "drift"),
+    ("Reactor cooling water valve", "sticking"),
+    ("Condenser cooling water valve", "sticking"),
+    ("Unknown (16)", "unknown"),
+    ("Unknown (17)", "unknown"),
+    ("Unknown (18)", "unknown"),
+    ("Unknown (19)", "unknown"),
+    ("Unknown (20)", "unknown"),
+]
+
+XMEAS_NAMES: Tuple[str, ...] = tuple(xmeas_name(i) for i in range(1, N_XMEAS + 1))
+XMV_NAMES: Tuple[str, ...] = tuple(xmv_name(i) for i in range(1, N_XMV + 1))
+IDV_NAMES: Tuple[str, ...] = tuple(idv_name(i) for i in range(1, N_IDV + 1))
+
+
+# ----------------------------------------------------------------------
+# Internal grey-box model parameters
+# ----------------------------------------------------------------------
+#: Parameters of the reduced-order dynamic model.  Molar quantities are in
+#: kmol and kmol/h; temperatures in deg C.  The feed split deliberately gives
+#: stream 1 a substantial share of the total A supply so that the qualitative
+#: severity of IDV(6) (loss of the A feed) matches the behaviour reported for
+#: the full TE model: the plant can no longer sustain production and trips on
+#: low stripper level a few hours after the disturbance begins.
+INTERNAL: Dict[str, object] = {
+    # Nominal molar feed rates (kmol/h) at the base-case valve positions.
+    "feed1_nominal": 88.0,        # stream 1, essentially pure A
+    "feed2_nominal": 116.5,       # stream 2, pure D
+    "feed3_nominal": 99.0,        # stream 3, pure E
+    "feed4_nominal": 337.0,       # stream 4, A + C (plus a little B)
+    "recycle_nominal": 1204.0,    # stream 8
+    "purge_nominal": 15.1,        # stream 9
+    "product_nominal": 210.0,     # stream 11 (liquid product, molar)
+    "separator_underflow_nominal": 214.0,   # stream 10 (liquid to stripper)
+    "steam_nominal": 230.31,      # stripper steam, kg/h
+
+    # Stream compositions (mole fractions).
+    "feed1_composition": {"A": 0.999, "B": 0.001},
+    "feed4_composition": {"A": 0.3690, "B": 0.0062, "C": 0.6248},
+
+    # Nominal reaction extents (kmol/h of product formed).
+    "r1_nominal": 112.0,   # A + C + D -> G
+    "r2_nominal": 95.0,    # A + C + E -> H
+    "r3_nominal": 0.3,     # A + E -> F
+    "r4_nominal": 0.1,     # 3 D -> 2 F
+
+    # Activation-energy-like temperature sensitivities (1/K equivalents used
+    # as linear gains around the nominal reactor temperature).
+    "r1_temp_gain": 0.035,
+    "r2_temp_gain": 0.030,
+    "r3_temp_gain": 0.045,
+    "r4_temp_gain": 0.040,
+
+    # Nominal vessel inventories (kmol).
+    "reactor_vapor_nominal": {"A": 38.0, "B": 11.0, "C": 30.0},
+    "reactor_liquid_nominal": {"D": 18.0, "E": 48.0, "F": 6.0, "G": 70.0, "H": 58.0},
+    "separator_vapor_nominal": {"A": 26.0, "B": 11.0, "C": 19.0, "D": 1.0,
+                                "E": 15.0, "F": 1.8, "G": 3.8, "H": 1.8},
+    "separator_liquid_nominal": {"D": 1.5, "E": 14.0, "F": 1.6, "G": 78.0, "H": 62.0},
+    "stripper_liquid_nominal": {"D": 0.04, "E": 1.8, "F": 0.2, "G": 112.0, "H": 92.0},
+
+    # Vessel capacities (kmol of liquid at 100 % level).
+    "reactor_liquid_capacity": 266.7,     # nominal level 75 %
+    "separator_liquid_capacity": 314.0,   # nominal level 50 %
+    "stripper_liquid_capacity": 412.0,    # nominal level 50 %
+
+    # Nominal temperatures (deg C).
+    "reactor_temp_nominal": 120.40,
+    "separator_temp_nominal": 80.109,
+    "stripper_temp_nominal": 65.731,
+    "reactor_cw_outlet_nominal": 94.599,
+    "separator_cw_outlet_nominal": 77.297,
+    "reactor_cw_inlet_nominal": 35.0,
+    "condenser_cw_inlet_nominal": 40.0,
+
+    # Nominal pressures (kPa gauge).
+    "reactor_pressure_nominal": 2705.0,
+    "separator_pressure_nominal": 2633.7,
+    "stripper_pressure_nominal": 3102.2,
+
+    # First-order time constants (hours).
+    "reactor_temp_tau": 0.35,
+    "separator_temp_tau": 0.40,
+    "stripper_temp_tau": 0.45,
+    "cw_outlet_tau": 0.12,
+    "recycle_tau": 0.08,
+    "composition_tau": 0.15,
+
+    # Heat-balance gains (deg C per unit of normalized imbalance).
+    "reactor_heat_gain": 18.0,
+    "reactor_cooling_gain": 22.0,
+
+    # Fraction of condensible components (D-H) in the reactor effluent that
+    # condenses into the separator liquid at nominal condenser cooling.
+    "condensation_fraction_nominal": 0.93,
+    "condensation_cooling_gain": 0.30,
+
+    # Fraction of light components (A-C) dissolved into the separator liquid.
+    "lights_in_liquid_fraction": 0.004,
+
+    # Stripping efficiency: fraction of light/intermediate components removed
+    # from the stripper feed back to the vapour loop at nominal steam.
+    "stripping_efficiency_nominal": 0.88,
+    "stripping_steam_gain": 0.25,
+
+    # Compressor work (kW) per unit of normalized recycle flow.
+    "compressor_work_nominal": 341.43,
+
+    # Slow ambient random-walk magnitudes (per sqrt(hour)) used by the added
+    # randomness model of Krotofil et al.; they force the regulatory layer to
+    # keep moving the valves, which is what makes hold-last-value (DoS)
+    # attacks eventually observable.
+    "feed1_pressure_walk_std": 0.035,
+    "feed4_composition_walk_std": 0.012,
+    "cw_inlet_walk_std": 0.35,
+}

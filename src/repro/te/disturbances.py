@@ -1,0 +1,42 @@
+"""The 20 Tennessee-Eastman process disturbances, IDV(1)-IDV(20).
+
+This module only holds the *specifications* (what each disturbance means);
+their physical effect on the plant is implemented inside
+:class:`repro.te.plant.TEPlant`, which interprets the active-disturbance
+mapping it receives at every integration step.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.process.disturbances import DisturbanceSpec
+from repro.te.constants import IDV_TABLE, N_IDV, idv_name
+
+__all__ = ["IDV_SPECS", "describe_idv"]
+
+
+def _build_specs() -> Tuple[DisturbanceSpec, ...]:
+    specs = []
+    for index in range(1, N_IDV + 1):
+        description, kind = IDV_TABLE[index - 1]
+        specs.append(
+            DisturbanceSpec(
+                index=index,
+                name=idv_name(index),
+                description=description,
+                kind=kind,
+            )
+        )
+    return tuple(specs)
+
+
+#: Specifications of all 20 disturbances, indexed 0..19 for IDV(1)..IDV(20).
+IDV_SPECS: Tuple[DisturbanceSpec, ...] = _build_specs()
+
+
+def describe_idv(index: int) -> DisturbanceSpec:
+    """Return the specification of disturbance ``IDV(index)`` (1-based)."""
+    if not 1 <= index <= N_IDV:
+        raise ValueError(f"IDV index must be in [1, {N_IDV}], got {index}")
+    return IDV_SPECS[index - 1]

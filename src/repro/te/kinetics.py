@@ -1,0 +1,125 @@
+"""Reaction kinetics of the Tennessee-Eastman reactor.
+
+The TE reactor hosts four irreversible, exothermic gas-phase reactions:
+
+* R1:  A + C + D -> G        (main product G)
+* R2:  A + C + E -> H        (main product H)
+* R3:  A + E    -> F         (by-product)
+* R4:  3 D      -> 2 F       (by-product)
+
+The grey-box model expresses each rate as the nominal extent multiplied by
+normalized reactant availabilities (inventory ratios, which play the role of
+partial-pressure ratios in a constant-volume vapour space) and an exponential
+temperature factor linearized around the nominal reactor temperature.  The
+nominal extents are taken from :data:`repro.te.constants.INTERNAL`, which makes
+the base operating point a steady state by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.te.constants import COMPONENTS, INTERNAL
+
+__all__ = ["ReactionRates", "ReactionKinetics"]
+
+_INDEX = {component: i for i, component in enumerate(COMPONENTS)}
+
+
+@dataclass(frozen=True)
+class ReactionRates:
+    """Extents of the four reactions, kmol of product per hour."""
+
+    r1: float
+    r2: float
+    r3: float
+    r4: float
+
+    @property
+    def total(self) -> float:
+        """Sum of the four extents (a convenient activity measure)."""
+        return self.r1 + self.r2 + self.r3 + self.r4
+
+    @property
+    def heat_release(self) -> float:
+        """Normalized heat release (1.0 at the nominal operating point)."""
+        nominal = (
+            float(INTERNAL["r1_nominal"])
+            + float(INTERNAL["r2_nominal"])
+            + 0.5 * float(INTERNAL["r3_nominal"])
+            + 0.5 * float(INTERNAL["r4_nominal"])
+        )
+        value = self.r1 + self.r2 + 0.5 * self.r3 + 0.5 * self.r4
+        return value / nominal
+
+    def consumption(self) -> np.ndarray:
+        """Net molar production rate per component (negative = consumed), kmol/h."""
+        rates = np.zeros(len(COMPONENTS))
+        rates[_INDEX["A"]] -= self.r1 + self.r2 + self.r3
+        rates[_INDEX["C"]] -= self.r1 + self.r2
+        rates[_INDEX["D"]] -= self.r1 + 3.0 * self.r4
+        rates[_INDEX["E"]] -= self.r2 + self.r3
+        rates[_INDEX["F"]] += self.r3 + 2.0 * self.r4
+        rates[_INDEX["G"]] += self.r1
+        rates[_INDEX["H"]] += self.r2
+        return rates
+
+
+class ReactionKinetics:
+    """Computes reaction extents from reactor inventories and temperature.
+
+    Parameters
+    ----------
+    drift_gain:
+        Multiplier applied to the slow-kinetics-drift state (IDV(13)); the
+        effective rate constants are scaled by ``1 + drift_gain * drift``.
+    """
+
+    def __init__(self, drift_gain: float = 0.3):
+        self.drift_gain = float(drift_gain)
+        self._nominal_vapor = np.zeros(len(COMPONENTS))
+        for component, amount in INTERNAL["reactor_vapor_nominal"].items():
+            self._nominal_vapor[_INDEX[component]] = float(amount)
+        self._nominal_liquid = np.zeros(len(COMPONENTS))
+        for component, amount in INTERNAL["reactor_liquid_nominal"].items():
+            self._nominal_liquid[_INDEX[component]] = float(amount)
+        self._nominal_temp = float(INTERNAL["reactor_temp_nominal"])
+
+    def _availability(self, vapor: np.ndarray, liquid: np.ndarray, component: str) -> float:
+        """Normalized availability of a reactant (1.0 at nominal inventory)."""
+        index = _INDEX[component]
+        if self._nominal_vapor[index] > 0:
+            return max(float(vapor[index]) / self._nominal_vapor[index], 0.0)
+        if self._nominal_liquid[index] > 0:
+            return max(float(liquid[index]) / self._nominal_liquid[index], 0.0)
+        return 0.0
+
+    def rates(
+        self,
+        reactor_vapor: np.ndarray,
+        reactor_liquid: np.ndarray,
+        reactor_temp: float,
+        kinetics_drift: float = 0.0,
+    ) -> ReactionRates:
+        """Reaction extents for the given reactor state."""
+        a = self._availability(reactor_vapor, reactor_liquid, "A")
+        c = self._availability(reactor_vapor, reactor_liquid, "C")
+        d = self._availability(reactor_vapor, reactor_liquid, "D")
+        e = self._availability(reactor_vapor, reactor_liquid, "E")
+
+        delta_t = float(reactor_temp) - self._nominal_temp
+        drift = 1.0 + self.drift_gain * float(kinetics_drift)
+
+        factor1 = np.exp(float(INTERNAL["r1_temp_gain"]) * delta_t)
+        factor2 = np.exp(float(INTERNAL["r2_temp_gain"]) * delta_t)
+        factor3 = np.exp(float(INTERNAL["r3_temp_gain"]) * delta_t)
+        factor4 = np.exp(float(INTERNAL["r4_temp_gain"]) * delta_t)
+
+        r1 = float(INTERNAL["r1_nominal"]) * a * np.sqrt(max(c, 0.0)) * d * factor1 * drift
+        r2 = float(INTERNAL["r2_nominal"]) * a * np.sqrt(max(c, 0.0)) * e * factor2 * drift
+        r3 = float(INTERNAL["r3_nominal"]) * a * e * factor3 * drift
+        r4 = float(INTERNAL["r4_nominal"]) * d * factor4 * drift
+        return ReactionRates(r1=max(r1, 0.0), r2=max(r2, 0.0), r3=max(r3, 0.0), r4=max(r4, 0.0))

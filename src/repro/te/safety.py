@@ -1,0 +1,55 @@
+"""Safety interlocks of the Tennessee-Eastman plant.
+
+Downs & Vogel specify hard shutdown constraints on the reactor pressure and
+the vessel liquid levels.  The limits below follow those constraints (adapted
+to the percentage level convention of the grey-box model) and reproduce the
+behaviour exploited in the paper's evaluation: under IDV(6) or an attack that
+closes the A feed valve, the stripper liquid level eventually falls below its
+low limit and the plant shuts itself down a few hours after the anomaly
+begins.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.process.safety import SafetyLimit, SafetyMonitor
+
+__all__ = ["DEFAULT_SAFETY_LIMITS", "default_safety_monitor"]
+
+
+#: Shutdown constraints evaluated by :func:`default_safety_monitor`.
+DEFAULT_SAFETY_LIMITS: Tuple[SafetyLimit, ...] = (
+    SafetyLimit(
+        quantity="reactor_pressure",
+        high=3000.0,
+        description="reactor pressure exceeded the 3000 kPa safety limit",
+        grace_hours=0.05,
+    ),
+    SafetyLimit(
+        quantity="reactor_level",
+        low=4.0,
+        high=135.0,
+        description="reactor liquid level outside safe operating range",
+        grace_hours=0.02,
+    ),
+    SafetyLimit(
+        quantity="separator_level",
+        low=2.0,
+        high=135.0,
+        description="separator liquid level outside safe operating range",
+        grace_hours=0.02,
+    ),
+    SafetyLimit(
+        quantity="stripper_level",
+        low=4.0,
+        high=135.0,
+        description="stripper liquid level became too low for safe operation",
+        grace_hours=0.02,
+    ),
+)
+
+
+def default_safety_monitor(enabled: bool = True) -> SafetyMonitor:
+    """A :class:`SafetyMonitor` configured with the TE shutdown constraints."""
+    return SafetyMonitor(DEFAULT_SAFETY_LIMITS, enabled=enabled)

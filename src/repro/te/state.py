@@ -1,0 +1,154 @@
+"""State vector of the reduced-order Tennessee-Eastman model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.te.constants import COMPONENTS, INTERNAL
+
+__all__ = ["TEState"]
+
+_LIGHTS = ("A", "B", "C")
+_HEAVIES = ("D", "E", "F", "G", "H")
+
+
+def _component_vector(values: Dict[str, float]) -> np.ndarray:
+    """Expand a sparse ``{component: moles}`` mapping into an 8-vector."""
+    vector = np.zeros(len(COMPONENTS))
+    for component, amount in values.items():
+        vector[COMPONENTS.index(component)] = float(amount)
+    return vector
+
+
+@dataclass
+class TEState:
+    """Dynamic state of the plant.
+
+    Molar inventories are 8-vectors ordered as :data:`repro.te.constants.COMPONENTS`
+    (A, B, C, D, E, F, G, H); entries that are structurally zero for a vessel
+    (e.g. heavies in the reactor vapour) simply stay at zero.
+
+    Attributes
+    ----------
+    reactor_vapor / reactor_liquid:
+        Vapour (A-C) and liquid (D-H) inventories of the reactor, kmol.
+    separator_vapor / separator_liquid:
+        Inventories of the vapour-liquid separator, kmol.
+    stripper_liquid:
+        Liquid inventory of the product stripper, kmol.
+    reactor_temp / separator_temp / stripper_temp:
+        Vessel temperatures, deg C.
+    reactor_cw_outlet / separator_cw_outlet:
+        Cooling-water outlet temperatures, deg C.
+    recycle_flow:
+        Compressor recycle flow (kmol/h), modelled with a first-order lag.
+    feed1_pressure_factor / feed4_composition_shift / cw_inlet_shift:
+        Slow ambient random-walk states of the added randomness model.
+    time_hours:
+        Simulation clock.
+    """
+
+    reactor_vapor: np.ndarray
+    reactor_liquid: np.ndarray
+    separator_vapor: np.ndarray
+    separator_liquid: np.ndarray
+    stripper_liquid: np.ndarray
+    reactor_temp: float
+    separator_temp: float
+    stripper_temp: float
+    reactor_cw_outlet: float
+    separator_cw_outlet: float
+    recycle_flow: float
+    feed1_pressure_factor: float = 1.0
+    feed4_composition_shift: float = 0.0
+    cw_inlet_shift: float = 0.0
+    kinetics_drift: float = 0.0
+    time_hours: float = 0.0
+
+    @classmethod
+    def nominal(cls) -> "TEState":
+        """The base-case operating point of Downs & Vogel."""
+        return cls(
+            reactor_vapor=_component_vector(INTERNAL["reactor_vapor_nominal"]),
+            reactor_liquid=_component_vector(INTERNAL["reactor_liquid_nominal"]),
+            separator_vapor=_component_vector(INTERNAL["separator_vapor_nominal"]),
+            separator_liquid=_component_vector(INTERNAL["separator_liquid_nominal"]),
+            stripper_liquid=_component_vector(INTERNAL["stripper_liquid_nominal"]),
+            reactor_temp=float(INTERNAL["reactor_temp_nominal"]),
+            separator_temp=float(INTERNAL["separator_temp_nominal"]),
+            stripper_temp=float(INTERNAL["stripper_temp_nominal"]),
+            reactor_cw_outlet=float(INTERNAL["reactor_cw_outlet_nominal"]),
+            separator_cw_outlet=float(INTERNAL["separator_cw_outlet_nominal"]),
+            recycle_flow=float(INTERNAL["recycle_nominal"]),
+        )
+
+    def copy(self) -> "TEState":
+        """A deep copy of the state."""
+        return TEState(
+            reactor_vapor=self.reactor_vapor.copy(),
+            reactor_liquid=self.reactor_liquid.copy(),
+            separator_vapor=self.separator_vapor.copy(),
+            separator_liquid=self.separator_liquid.copy(),
+            stripper_liquid=self.stripper_liquid.copy(),
+            reactor_temp=self.reactor_temp,
+            separator_temp=self.separator_temp,
+            stripper_temp=self.stripper_temp,
+            reactor_cw_outlet=self.reactor_cw_outlet,
+            separator_cw_outlet=self.separator_cw_outlet,
+            recycle_flow=self.recycle_flow,
+            feed1_pressure_factor=self.feed1_pressure_factor,
+            feed4_composition_shift=self.feed4_composition_shift,
+            cw_inlet_shift=self.cw_inlet_shift,
+            kinetics_drift=self.kinetics_drift,
+            time_hours=self.time_hours,
+        )
+
+    # -- derived quantities --------------------------------------------
+    @property
+    def reactor_level_percent(self) -> float:
+        """Reactor liquid level, % of capacity."""
+        capacity = float(INTERNAL["reactor_liquid_capacity"])
+        return 100.0 * float(self.reactor_liquid.sum()) / capacity
+
+    @property
+    def separator_level_percent(self) -> float:
+        """Separator liquid level, % of capacity."""
+        capacity = float(INTERNAL["separator_liquid_capacity"])
+        return 100.0 * float(self.separator_liquid.sum()) / capacity
+
+    @property
+    def stripper_level_percent(self) -> float:
+        """Stripper liquid level, % of capacity."""
+        capacity = float(INTERNAL["stripper_liquid_capacity"])
+        return 100.0 * float(self.stripper_liquid.sum()) / capacity
+
+    @property
+    def reactor_pressure_kpa(self) -> float:
+        """Reactor pressure (kPa gauge) from the vapour inventory and temperature."""
+        nominal_moles = sum(INTERNAL["reactor_vapor_nominal"].values())
+        nominal_temp_k = float(INTERNAL["reactor_temp_nominal"]) + 273.15
+        moles = float(self.reactor_vapor.sum())
+        temp_k = self.reactor_temp + 273.15
+        nominal_pressure = float(INTERNAL["reactor_pressure_nominal"])
+        return nominal_pressure * (moles / nominal_moles) * (temp_k / nominal_temp_k)
+
+    @property
+    def separator_pressure_kpa(self) -> float:
+        """Separator pressure (kPa gauge) from the vapour inventory and temperature."""
+        nominal_moles = sum(INTERNAL["separator_vapor_nominal"].values())
+        nominal_temp_k = float(INTERNAL["separator_temp_nominal"]) + 273.15
+        moles = float(self.separator_vapor.sum())
+        temp_k = self.separator_temp + 273.15
+        nominal_pressure = float(INTERNAL["separator_pressure_nominal"])
+        return nominal_pressure * (moles / nominal_moles) * (temp_k / nominal_temp_k)
+
+    def clip_nonnegative(self) -> None:
+        """Clamp all molar inventories to be non-negative (numerical guard)."""
+        np.clip(self.reactor_vapor, 0.0, None, out=self.reactor_vapor)
+        np.clip(self.reactor_liquid, 0.0, None, out=self.reactor_liquid)
+        np.clip(self.separator_vapor, 0.0, None, out=self.separator_vapor)
+        np.clip(self.separator_liquid, 0.0, None, out=self.separator_liquid)
+        np.clip(self.stripper_liquid, 0.0, None, out=self.stripper_liquid)

@@ -1,0 +1,59 @@
+"""Variable registries for the Tennessee-Eastman interface."""
+
+from __future__ import annotations
+
+from repro.process.variables import VariableRegistry, VariableSpec
+from repro.te.constants import (
+    N_XMEAS,
+    N_XMV,
+    XMEAS_TABLE,
+    XMV_TABLE,
+    xmeas_name,
+    xmv_name,
+)
+
+__all__ = ["build_xmeas_registry", "build_xmv_registry"]
+
+
+def build_xmeas_registry() -> VariableRegistry:
+    """Registry of the 41 measured variables with nominal values and noise."""
+    registry = VariableRegistry()
+    for index in range(1, N_XMEAS + 1):
+        description, unit, nominal, noise_std = XMEAS_TABLE[index - 1]
+        if unit == "%":
+            minimum, maximum = 0.0, 150.0
+        elif unit == "mol %":
+            minimum, maximum = 0.0, 100.0
+        else:
+            minimum, maximum = 0.0, float("inf")
+        registry.add(
+            VariableSpec(
+                name=xmeas_name(index),
+                description=description,
+                unit=unit,
+                nominal=float(nominal),
+                noise_std=float(noise_std),
+                minimum=minimum,
+                maximum=maximum,
+            )
+        )
+    return registry
+
+
+def build_xmv_registry() -> VariableRegistry:
+    """Registry of the 12 manipulated variables (valve positions, in %)."""
+    registry = VariableRegistry()
+    for index in range(1, N_XMV + 1):
+        description, nominal = XMV_TABLE[index - 1]
+        registry.add(
+            VariableSpec(
+                name=xmv_name(index),
+                description=description,
+                unit="%",
+                nominal=float(nominal),
+                noise_std=0.0,
+                minimum=0.0,
+                maximum=100.0,
+            )
+        )
+    return registry

@@ -1,0 +1,109 @@
+"""Shared fixtures for the test suite.
+
+Closed-loop Tennessee-Eastman simulations are comparatively expensive in pure
+Python, so the fixtures that run them are session-scoped and reused by every
+test that only needs to *read* their results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.config import ExperimentConfig, MSPCConfig, SimulationConfig
+from repro.datasets.generator import make_latent_structure_dataset
+from repro.experiments.evaluation import Evaluation
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import (
+    disturbance_idv6_scenario,
+    dos_attack_on_xmv3_scenario,
+    integrity_attack_on_xmeas1_scenario,
+    integrity_attack_on_xmv3_scenario,
+    normal_scenario,
+)
+from repro.mspc.model import MSPCMonitor
+
+
+# ----------------------------------------------------------------------
+# Synthetic-data fixtures (fast)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def latent_dataset():
+    """A dataset with three latent factors and mild noise."""
+    return make_latent_structure_dataset(
+        n_observations=400, n_variables=15, n_latent=3, noise_scale=0.1, seed=3
+    )
+
+
+@pytest.fixture(scope="session")
+def fitted_monitor(latent_dataset):
+    """An MSPCMonitor fitted on the latent-structure dataset."""
+    monitor = MSPCMonitor(MSPCConfig(n_components=3))
+    monitor.fit(latent_dataset)
+    return monitor
+
+
+# ----------------------------------------------------------------------
+# Simulation fixtures (slow — session scoped)
+# ----------------------------------------------------------------------
+SHORT_SIM = SimulationConfig(duration_hours=3.0, samples_per_hour=20, seed=5)
+ANOMALY_SIM = SimulationConfig(duration_hours=9.0, samples_per_hour=20, seed=5)
+ANOMALY_START = 4.0
+
+
+@pytest.fixture(scope="session")
+def normal_run():
+    """A short attack- and disturbance-free closed-loop run."""
+    return run_scenario(normal_scenario(), SHORT_SIM, anomaly_start_hour=1.0)
+
+
+@pytest.fixture(scope="session")
+def idv6_run():
+    """A run with disturbance IDV(6) starting at hour 4."""
+    return run_scenario(
+        disturbance_idv6_scenario(), ANOMALY_SIM, anomaly_start_hour=ANOMALY_START
+    )
+
+
+@pytest.fixture(scope="session")
+def attack_xmv3_run():
+    """A run with an integrity attack closing XMV(3) at hour 4."""
+    return run_scenario(
+        integrity_attack_on_xmv3_scenario(),
+        ANOMALY_SIM,
+        anomaly_start_hour=ANOMALY_START,
+    )
+
+
+@pytest.fixture(scope="session")
+def attack_xmeas1_run():
+    """A run with an integrity attack forging XMEAS(1)=0 at hour 4."""
+    return run_scenario(
+        integrity_attack_on_xmeas1_scenario(),
+        ANOMALY_SIM,
+        anomaly_start_hour=ANOMALY_START,
+    )
+
+
+@pytest.fixture(scope="session")
+def dos_xmv3_run():
+    """A run with a DoS on XMV(3) starting at hour 4."""
+    return run_scenario(
+        dos_attack_on_xmv3_scenario(), ANOMALY_SIM, anomaly_start_hour=ANOMALY_START
+    )
+
+
+@pytest.fixture(scope="session")
+def small_evaluation():
+    """A calibrated evaluation campaign with very small settings."""
+    config = ExperimentConfig(
+        n_calibration_runs=2,
+        n_runs_per_scenario=1,
+        anomaly_start_hour=4.0,
+        simulation=SimulationConfig(duration_hours=9.0, samples_per_hour=20, seed=21),
+        mspc=MSPCConfig(),
+        seed=21,
+    )
+    evaluation = Evaluation(config)
+    evaluation.calibrate()
+    return evaluation

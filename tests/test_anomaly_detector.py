@@ -1,0 +1,94 @@
+"""Tests for anomaly events and the streaming detector."""
+
+import numpy as np
+import pytest
+
+from repro.anomaly.detector import StreamingDetector
+from repro.anomaly.events import AnomalyEvent
+from repro.common.config import MSPCConfig
+from repro.common.exceptions import NotFittedError
+from repro.datasets.generator import make_latent_structure_dataset, make_shifted_dataset
+from repro.mspc.model import MSPCMonitor
+
+
+@pytest.fixture(scope="module")
+def full_dataset():
+    return make_latent_structure_dataset(
+        n_observations=700, n_variables=10, n_latent=3, noise_scale=0.1, seed=20
+    )
+
+
+@pytest.fixture(scope="module")
+def monitor(full_dataset):
+    calibration = full_dataset.select_rows(np.arange(0, 500))
+    return MSPCMonitor(MSPCConfig(n_components=3)).fit(calibration)
+
+
+@pytest.fixture(scope="module")
+def fresh_normal(full_dataset):
+    subset = full_dataset.select_rows(np.arange(500, 580))
+    return type(subset)(
+        subset.values, subset.variable_names, np.arange(subset.n_observations, dtype=float)
+    )
+
+
+@pytest.fixture
+def anomalous_data(full_dataset):
+    fresh = full_dataset.select_rows(np.arange(580, 700))
+    fresh = type(fresh)(
+        fresh.values, fresh.variable_names, np.arange(fresh.n_observations, dtype=float)
+    )
+    return make_shifted_dataset(fresh, ["VAR(3)"], shift_magnitude=10.0, start_fraction=0.5)
+
+
+class TestAnomalyEvent:
+    def test_run_length(self):
+        event = AnomalyEvent(5, 12.5, "D", 30.0, 20.0)
+        assert event.run_length(10.0) == pytest.approx(2.5)
+        assert event.run_length(13.0) is None
+
+
+class TestStreamingDetector:
+    def test_requires_fitted_monitor(self):
+        with pytest.raises(NotFittedError):
+            StreamingDetector(MSPCMonitor())
+
+    def test_detects_shift_and_matches_batch_detection(self, monitor, anomalous_data):
+        detector = StreamingDetector(monitor)
+        events = detector.observe_many(anomalous_data.values, anomalous_data.timestamps)
+        assert events, "the shift must be detected"
+        batch = monitor.monitor(anomalous_data)
+        assert events[0].detection_index == batch.detection_index
+
+    def test_no_detection_on_normal_data(self, monitor, fresh_normal):
+        detector = StreamingDetector(monitor)
+        events = detector.observe_many(fresh_normal.values)
+        # Occasional single-point excursions are fine; the 3-consecutive rule
+        # should keep the false-alarm count at (or very near) zero.
+        assert len(events) <= 1
+
+    def test_history_records_every_observation(self, monitor, anomalous_data):
+        detector = StreamingDetector(monitor)
+        detector.observe_many(anomalous_data.values, anomalous_data.timestamps)
+        history = detector.history
+        assert history["D"].shape[0] == anomalous_data.n_observations
+        assert history["time"][0] == anomalous_data.timestamps[0]
+
+    def test_reset_clears_state(self, monitor, anomalous_data):
+        detector = StreamingDetector(monitor)
+        detector.observe_many(anomalous_data.values)
+        detector.reset()
+        assert detector.events == []
+        assert detector.history["D"].shape[0] == 0
+
+    def test_event_chart_attribution(self, monitor, anomalous_data):
+        detector = StreamingDetector(monitor)
+        events = detector.observe_many(anomalous_data.values)
+        assert events[0].chart in ("D", "Q", "D+Q")
+        assert events[0].statistic_value > events[0].limit
+
+    def test_first_event_property(self, monitor, anomalous_data):
+        detector = StreamingDetector(monitor)
+        assert detector.first_event is None
+        detector.observe_many(anomalous_data.values)
+        assert detector.first_event is not None

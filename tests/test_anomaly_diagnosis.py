@@ -1,0 +1,150 @@
+"""Tests for dual-level diagnosis on synthetic two-view data."""
+
+import numpy as np
+import pytest
+
+from repro.anomaly.diagnosis import (
+    AnomalyClass,
+    DualLevelAnalyzer,
+    omeda_similarity,
+    view_divergence,
+)
+from repro.common.config import MSPCConfig
+from repro.common.exceptions import DataShapeError, NotFittedError
+from repro.datasets.generator import make_latent_structure_dataset, make_shifted_dataset
+from repro.mspc.model import OmedaResult
+
+
+def _make_views(seed=30):
+    """Build controller/process view pairs emulating the paper's scenarios.
+
+    Calibration and fresh data are drawn from the *same* latent model (one
+    generated dataset, split in two) so that the fresh stretch is genuinely
+    in-control until a shift is injected.
+    """
+    full = make_latent_structure_dataset(
+        n_observations=800, n_variables=8, n_latent=2, noise_scale=0.1, seed=seed
+    )
+    calibration = full.select_rows(np.arange(0, 600))
+    fresh = full.select_rows(np.arange(600, 800))
+    # Re-index the fresh timestamps from zero so shift-start fractions map to
+    # predictable timestamps in the tests below.
+    fresh = type(fresh)(
+        fresh.values, fresh.variable_names, np.arange(fresh.n_observations, dtype=float)
+    )
+    return calibration, fresh
+
+
+@pytest.fixture(scope="module")
+def analyzer_and_data():
+    calibration, fresh = _make_views()
+    # The synthetic latent-structure data has strongly correlated variables,
+    # so a shift in one variable spreads across several oMEDA bars; lower the
+    # dominance threshold so the "unclear" class is reserved for genuinely
+    # diffuse diagnoses in these tests.
+    analyzer = DualLevelAnalyzer(MSPCConfig(n_components=2), dominance_threshold=1.0)
+    analyzer.fit(calibration, calibration.copy())
+    return analyzer, fresh
+
+
+class TestFitting:
+    def test_unfitted_raises(self):
+        calibration, fresh = _make_views()
+        analyzer = DualLevelAnalyzer()
+        with pytest.raises(NotFittedError):
+            analyzer.analyze(fresh, fresh)
+
+    def test_is_fitted_flag(self, analyzer_and_data):
+        analyzer, _ = analyzer_and_data
+        assert analyzer.is_fitted
+
+
+class TestClassification:
+    def test_normal_run_classified_normal(self, analyzer_and_data):
+        analyzer, fresh = analyzer_and_data
+        diagnosis = analyzer.analyze(fresh, fresh.copy())
+        assert diagnosis.classification is AnomalyClass.NORMAL
+        assert not diagnosis.detected
+
+    def test_disturbance_same_shift_in_both_views(self, analyzer_and_data):
+        analyzer, fresh = analyzer_and_data
+        shifted = make_shifted_dataset(fresh, ["VAR(2)"], 8.0, start_fraction=0.5)
+        diagnosis = analyzer.analyze(shifted, shifted.copy())
+        assert diagnosis.detected
+        assert diagnosis.classification is AnomalyClass.DISTURBANCE
+        assert diagnosis.similarity == pytest.approx(1.0, abs=1e-9)
+
+    def test_attack_different_variables_across_views(self, analyzer_and_data):
+        analyzer, fresh = analyzer_and_data
+        controller_view = make_shifted_dataset(fresh, ["VAR(2)"], 8.0, start_fraction=0.5)
+        process_view = make_shifted_dataset(fresh, ["VAR(5)"], 8.0, start_fraction=0.5)
+        diagnosis = analyzer.analyze(controller_view, process_view)
+        assert diagnosis.classification is AnomalyClass.INTEGRITY_ATTACK
+
+    def test_attack_opposite_direction_across_views(self, analyzer_and_data):
+        analyzer, fresh = analyzer_and_data
+        controller_view = make_shifted_dataset(fresh, ["VAR(2)"], -8.0, start_fraction=0.5)
+        process_view = make_shifted_dataset(fresh, ["VAR(2)"], 8.0, start_fraction=0.5)
+        diagnosis = analyzer.analyze(controller_view, process_view)
+        assert diagnosis.classification is AnomalyClass.INTEGRITY_ATTACK
+
+    def test_detection_time_reported(self, analyzer_and_data):
+        analyzer, fresh = analyzer_and_data
+        shifted = make_shifted_dataset(fresh, ["VAR(1)"], 8.0, start_fraction=0.5)
+        diagnosis = analyzer.analyze(shifted, shifted.copy())
+        assert diagnosis.detection_time_hours is not None
+        assert diagnosis.detection_time_hours >= 100  # shift starts half-way
+
+    def test_anomaly_start_restricts_detection(self, analyzer_and_data):
+        analyzer, fresh = analyzer_and_data
+        shifted = make_shifted_dataset(fresh, ["VAR(1)"], 8.0, start_fraction=0.5)
+        diagnosis = analyzer.analyze(
+            shifted, shifted.copy(), anomaly_start_hour=float(shifted.timestamps[100])
+        )
+        assert diagnosis.detection_time_hours >= shifted.timestamps[100]
+        assert "false_alarm_time_hours" in diagnosis.metadata
+
+    def test_implicated_variables_reported(self, analyzer_and_data):
+        analyzer, fresh = analyzer_and_data
+        shifted = make_shifted_dataset(fresh, ["VAR(4)"], 8.0, start_fraction=0.5)
+        diagnosis = analyzer.analyze(shifted, shifted.copy())
+        implicated = diagnosis.implicated_variables(3)
+        assert "VAR(4)" in implicated["controller"]
+        assert "VAR(4)" in implicated["process"]
+
+
+class TestHelpers:
+    def test_omeda_similarity_identical_is_one(self):
+        result = OmedaResult(("a", "b"), np.array([1.0, -2.0]), (0,))
+        assert omeda_similarity(result, result) == pytest.approx(1.0)
+
+    def test_omeda_similarity_orthogonal_is_zero(self):
+        first = OmedaResult(("a", "b"), np.array([1.0, 0.0]), (0,))
+        second = OmedaResult(("a", "b"), np.array([0.0, 1.0]), (0,))
+        assert omeda_similarity(first, second) == pytest.approx(0.0)
+
+    def test_omeda_similarity_mismatched_names_raises(self):
+        first = OmedaResult(("a",), np.array([1.0]), (0,))
+        second = OmedaResult(("b",), np.array([1.0]), (0,))
+        with pytest.raises(DataShapeError):
+            omeda_similarity(first, second)
+
+    def test_view_divergence_zero_for_identical_views(self, analyzer_and_data):
+        _, fresh = analyzer_and_data
+        divergence = view_divergence(fresh, fresh.copy())
+        assert max(divergence.values()) == pytest.approx(0.0)
+
+    def test_view_divergence_flags_tampered_variable(self, analyzer_and_data):
+        _, fresh = analyzer_and_data
+        tampered = fresh.copy()
+        tampered.values[:, tampered.index_of("VAR(3)")] += 5.0
+        divergence = view_divergence(fresh, tampered)
+        assert divergence["VAR(3)"] == pytest.approx(5.0)
+        assert divergence["VAR(1)"] == pytest.approx(0.0)
+
+    def test_view_disagreement_metric(self, analyzer_and_data):
+        analyzer, _ = analyzer_and_data
+        same = OmedaResult(("a", "b"), np.array([10.0, 1.0]), (0,))
+        different = OmedaResult(("a", "b"), np.array([10.0, -8.0]), (0,))
+        assert analyzer.view_disagreement(same, same) == pytest.approx(0.0)
+        assert analyzer.view_disagreement(same, different) > 1.0

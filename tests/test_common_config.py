@@ -1,0 +1,111 @@
+"""Tests for the configuration dataclasses."""
+
+import pytest
+
+from repro.common.config import ExperimentConfig, MSPCConfig, SimulationConfig
+from repro.common.exceptions import ConfigurationError
+
+
+class TestSimulationConfig:
+    def test_defaults_match_paper_duration(self):
+        config = SimulationConfig()
+        assert config.duration_hours == 72.0
+        assert config.enable_noise is True
+        assert config.enable_safety is True
+
+    def test_paper_settings_sampling_rate(self):
+        config = SimulationConfig.paper_settings()
+        assert config.samples_per_hour == 2000
+        assert config.sample_period_seconds == pytest.approx(1.8)
+
+    def test_total_samples(self):
+        config = SimulationConfig(duration_hours=10.0, samples_per_hour=50)
+        assert config.total_samples == 500
+
+    def test_sample_period(self):
+        config = SimulationConfig(samples_per_hour=100)
+        assert config.sample_period_hours == pytest.approx(0.01)
+
+    def test_integration_step(self):
+        config = SimulationConfig(samples_per_hour=100, integration_steps_per_sample=4)
+        assert config.integration_step_hours == pytest.approx(0.0025)
+
+    def test_with_seed_returns_copy(self):
+        config = SimulationConfig(seed=1)
+        other = config.with_seed(42)
+        assert other.seed == 42
+        assert config.seed == 1
+
+    def test_with_duration(self):
+        config = SimulationConfig().with_duration(5.0)
+        assert config.duration_hours == 5.0
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(duration_hours=0.0)
+
+    def test_invalid_samples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(samples_per_hour=0)
+
+    def test_invalid_substeps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(integration_steps_per_sample=0)
+
+
+class TestMSPCConfig:
+    def test_paper_settings(self):
+        config = MSPCConfig.paper_settings()
+        assert config.detection_confidence == 0.99
+        assert config.consecutive_violations == 3
+        assert 0.95 in config.confidence_levels
+        assert 0.99 in config.confidence_levels
+
+    def test_detection_confidence_must_be_available(self):
+        with pytest.raises(ConfigurationError):
+            MSPCConfig(confidence_levels=(0.95,), detection_confidence=0.99)
+
+    def test_invalid_confidence_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MSPCConfig(confidence_levels=(1.5, 0.99))
+
+    def test_invalid_components_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MSPCConfig(n_components=0)
+
+    def test_invalid_variance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MSPCConfig(variance_to_explain=0.0)
+
+    def test_invalid_limit_method_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MSPCConfig(limit_method="bootstrap")
+
+    def test_invalid_consecutive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MSPCConfig(consecutive_violations=0)
+
+
+class TestExperimentConfig:
+    def test_paper_settings(self):
+        config = ExperimentConfig.paper_settings()
+        assert config.n_calibration_runs == 30
+        assert config.n_runs_per_scenario == 10
+        assert config.anomaly_start_hour == 10.0
+
+    def test_fast_settings_are_consistent(self):
+        config = ExperimentConfig.fast()
+        assert config.anomaly_start_hour < config.simulation.duration_hours
+
+    def test_anomaly_after_horizon_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(
+                anomaly_start_hour=100.0,
+                simulation=SimulationConfig(duration_hours=10.0),
+            )
+
+    def test_invalid_run_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(n_calibration_runs=0)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(n_runs_per_scenario=0)

@@ -1,0 +1,55 @@
+"""Tests for reproducible random streams."""
+
+import numpy as np
+
+from repro.common.randomness import RandomStream, spawn_streams
+
+
+class TestRandomStream:
+    def test_same_seed_and_name_reproduce(self):
+        first = RandomStream(7, "noise").standard_normal(10)
+        second = RandomStream(7, "noise").standard_normal(10)
+        np.testing.assert_allclose(first, second)
+
+    def test_different_names_are_independent(self):
+        first = RandomStream(7, "noise").standard_normal(10)
+        second = RandomStream(7, "ambient").standard_normal(10)
+        assert not np.allclose(first, second)
+
+    def test_different_seeds_differ(self):
+        first = RandomStream(1, "noise").standard_normal(10)
+        second = RandomStream(2, "noise").standard_normal(10)
+        assert not np.allclose(first, second)
+
+    def test_child_streams_are_deterministic(self):
+        a = RandomStream(3, "root").child("sub").uniform(size=5)
+        b = RandomStream(3, "root").child("sub").uniform(size=5)
+        np.testing.assert_allclose(a, b)
+
+    def test_reset_rewinds(self):
+        stream = RandomStream(11, "x")
+        first = stream.normal(size=4)
+        stream.reset()
+        second = stream.normal(size=4)
+        np.testing.assert_allclose(first, second)
+
+    def test_integers_within_bounds(self):
+        values = RandomStream(5, "ints").integers(0, 10, size=100)
+        assert values.min() >= 0
+        assert values.max() < 10
+
+    def test_choice_draws_from_collection(self):
+        values = RandomStream(5, "choice").choice([1, 2, 3], size=50)
+        assert set(np.unique(values)).issubset({1, 2, 3})
+
+
+class TestSpawnStreams:
+    def test_creates_named_streams(self):
+        streams = spawn_streams(0, ["a", "b", "c"])
+        assert set(streams) == {"a", "b", "c"}
+
+    def test_streams_are_mutually_independent(self):
+        streams = spawn_streams(0, ["a", "b"])
+        assert not np.allclose(
+            streams["a"].standard_normal(8), streams["b"].standard_normal(8)
+        )

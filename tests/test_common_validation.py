@@ -1,0 +1,63 @@
+"""Tests for the validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import DataShapeError
+from repro.common.validation import (
+    as_1d_array,
+    as_2d_array,
+    check_finite,
+    check_matching_columns,
+    check_probability,
+)
+
+
+class TestAs2dArray:
+    def test_passes_through_2d(self):
+        array = as_2d_array([[1.0, 2.0], [3.0, 4.0]])
+        assert array.shape == (2, 2)
+
+    def test_promotes_1d_to_single_row(self):
+        array = as_2d_array([1.0, 2.0, 3.0])
+        assert array.shape == (1, 3)
+
+    def test_rejects_3d(self):
+        with pytest.raises(DataShapeError):
+            as_2d_array(np.zeros((2, 2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataShapeError):
+            as_2d_array(np.zeros((0, 3)))
+
+
+class TestAs1dArray:
+    def test_flattens(self):
+        assert as_1d_array([[1.0], [2.0]]).shape == (2,)
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataShapeError):
+            as_1d_array([])
+
+
+class TestChecks:
+    def test_matching_columns_ok(self):
+        check_matching_columns(3, np.zeros((5, 3)))
+
+    def test_matching_columns_mismatch(self):
+        with pytest.raises(DataShapeError):
+            check_matching_columns(4, np.zeros((5, 3)))
+
+    def test_finite_rejects_nan(self):
+        with pytest.raises(DataShapeError):
+            check_finite(np.array([1.0, np.nan]))
+
+    def test_finite_accepts_normal(self):
+        check_finite(np.array([1.0, 2.0]))
+
+    def test_probability_bounds(self):
+        assert check_probability(0.5) == 0.5
+        with pytest.raises(DataShapeError):
+            check_probability(0.0)
+        with pytest.raises(DataShapeError):
+            check_probability(1.0)

@@ -1,0 +1,54 @@
+"""Tests for single control loops."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.control.loops import ControlLoop, LoopDefinition
+
+
+class TestLoopDefinition:
+    def test_valid_definition(self):
+        definition = LoopDefinition(
+            name="A feed flow", xmeas_index=1, xmv_index=3, setpoint=0.25,
+            kc=25.0, ti_hours=0.04,
+        )
+        assert definition.name == "A feed flow"
+
+    def test_invalid_indices(self):
+        with pytest.raises(ConfigurationError):
+            LoopDefinition("x", 0, 1, 0.0, 1.0, None)
+        with pytest.raises(ConfigurationError):
+            LoopDefinition("x", 1, 0, 0.0, 1.0, None)
+
+
+class TestControlLoop:
+    def _loop(self):
+        return ControlLoop(
+            LoopDefinition(
+                name="flow", xmeas_index=2, xmv_index=1, setpoint=10.0,
+                kc=1.0, ti_hours=None, direction=1, output_bias=50.0,
+            )
+        )
+
+    def test_uses_correct_measurement_column(self):
+        loop = self._loop()
+        measurements = np.array([999.0, 8.0, -999.0])
+        assert loop.update(measurements, 0.1) == pytest.approx(52.0)
+
+    def test_setpoint_override(self):
+        loop = self._loop()
+        measurements = np.array([0.0, 10.0, 0.0])
+        assert loop.update(measurements, 0.1, setpoint_override=12.0) == pytest.approx(52.0)
+
+    def test_reset(self):
+        loop = ControlLoop(
+            LoopDefinition(
+                name="flow", xmeas_index=1, xmv_index=1, setpoint=10.0,
+                kc=1.0, ti_hours=0.1, output_bias=40.0,
+            )
+        )
+        for _ in range(20):
+            loop.update(np.array([0.0]), 0.1)
+        loop.reset()
+        assert loop.controller.last_output == 40.0

@@ -1,0 +1,102 @@
+"""Tests for the PID controller."""
+
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.control.pid import PIDController, PIDGains
+
+
+class TestGains:
+    def test_invalid_integral_time(self):
+        with pytest.raises(ConfigurationError):
+            PIDGains(kc=1.0, ti_hours=0.0)
+
+    def test_negative_derivative_time(self):
+        with pytest.raises(ConfigurationError):
+            PIDGains(kc=1.0, td_hours=-1.0)
+
+
+class TestProportional:
+    def test_output_tracks_error(self):
+        controller = PIDController(PIDGains(kc=2.0), setpoint=10.0, output_bias=50.0)
+        assert controller.update(8.0, 0.1) == pytest.approx(54.0)
+        assert controller.update(12.0, 0.1) == pytest.approx(46.0)
+
+    def test_direction_reverses_action(self):
+        controller = PIDController(
+            PIDGains(kc=2.0), setpoint=10.0, output_bias=50.0, direction=-1
+        )
+        assert controller.update(8.0, 0.1) == pytest.approx(46.0)
+
+    def test_zero_dt_returns_previous_output(self):
+        controller = PIDController(PIDGains(kc=1.0), setpoint=0.0, output_bias=10.0)
+        controller.update(-5.0, 0.1)
+        assert controller.update(99.0, 0.0) == controller.last_output
+
+
+class TestIntegral:
+    def test_integral_removes_offset(self):
+        # Static process: pv = 0.1 * output.  A pure P controller leaves an
+        # offset; PI should converge to pv == setpoint.
+        controller = PIDController(
+            PIDGains(kc=2.0, ti_hours=0.2), setpoint=5.0, output_bias=0.0
+        )
+        pv = 0.0
+        for _ in range(4000):
+            output = controller.update(pv, 0.01)
+            pv = 0.1 * output
+        assert pv == pytest.approx(5.0, abs=0.05)
+
+    def test_anti_windup_limits_integral(self):
+        controller = PIDController(
+            PIDGains(kc=1.0, ti_hours=0.1),
+            setpoint=1000.0,
+            output_bias=50.0,
+            output_high=100.0,
+        )
+        for _ in range(500):
+            controller.update(0.0, 0.01)
+        assert controller.last_output == 100.0
+        # After the error reverses, the output must leave saturation quickly
+        # (within a few steps) rather than staying wound up.
+        outputs = [controller.update(2000.0, 0.01) for _ in range(5)]
+        assert outputs[-1] < 100.0
+
+    def test_output_clamped(self):
+        controller = PIDController(
+            PIDGains(kc=100.0), setpoint=10.0, output_bias=50.0
+        )
+        assert controller.update(-100.0, 0.1) == 100.0
+        assert controller.update(1000.0, 0.1) == 0.0
+
+
+class TestOther:
+    def test_setpoint_override_is_temporary(self):
+        controller = PIDController(PIDGains(kc=1.0), setpoint=10.0, output_bias=0.0)
+        controller.update(10.0, 0.1, setpoint=20.0)
+        assert controller.setpoint == 10.0
+
+    def test_derivative_term_reacts_to_error_change(self):
+        controller = PIDController(
+            PIDGains(kc=1.0, td_hours=0.1), setpoint=0.0, output_bias=50.0
+        )
+        controller.update(0.0, 0.1)
+        kick = controller.update(-1.0, 0.1)
+        assert kick > 51.0  # proportional (1) plus derivative kick
+
+    def test_reset_restores_bias(self):
+        controller = PIDController(
+            PIDGains(kc=1.0, ti_hours=0.1), setpoint=5.0, output_bias=30.0
+        )
+        for _ in range(50):
+            controller.update(0.0, 0.1)
+        controller.reset()
+        assert controller.last_output == 30.0
+
+    def test_invalid_output_range(self):
+        with pytest.raises(ConfigurationError):
+            PIDController(PIDGains(kc=1.0), setpoint=0.0, output_low=10.0, output_high=0.0)
+
+    def test_invalid_direction(self):
+        with pytest.raises(ConfigurationError):
+            PIDController(PIDGains(kc=1.0), setpoint=0.0, direction=2)

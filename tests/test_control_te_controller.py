@@ -1,0 +1,146 @@
+"""Tests for the decentralized TE controller."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.control.loops import LoopDefinition
+from repro.control.te_controller import (
+    TEDecentralizedController,
+    default_loop_definitions,
+)
+from repro.te.constants import N_XMEAS, N_XMV, XMV_TABLE
+from repro.te.variables import build_xmeas_registry
+
+
+def nominal_measurements():
+    return build_xmeas_registry().nominal_values()
+
+
+class TestLoopStructure:
+    def test_default_loops_drive_distinct_xmvs(self):
+        definitions = default_loop_definitions()
+        driven = [d.xmv_index for d in definitions]
+        assert len(driven) == len(set(driven))
+
+    def test_a_feed_loop_pairs_xmeas1_with_xmv3(self):
+        definitions = {d.name: d for d in default_loop_definitions()}
+        loop = definitions["A feed flow"]
+        assert loop.xmeas_index == 1
+        assert loop.xmv_index == 3
+
+    def test_production_loop_pairs_xmeas17_with_xmv8(self):
+        definitions = {d.name: d for d in default_loop_definitions()}
+        loop = definitions["Production rate"]
+        assert loop.xmeas_index == 17
+        assert loop.xmv_index == 8
+
+    def test_duplicate_xmv_rejected(self):
+        bad = list(default_loop_definitions()) + [
+            LoopDefinition("extra", 1, 3, 0.25, 1.0, None)
+        ]
+        with pytest.raises(ConfigurationError):
+            TEDecentralizedController(bad)
+
+
+class TestSteadyState:
+    def test_nominal_measurements_keep_nominal_valves(self):
+        controller = TEDecentralizedController()
+        controller.reset()
+        output = None
+        for _ in range(50):
+            output = controller.update(nominal_measurements(), 0.01)
+        nominal = np.array([row[1] for row in XMV_TABLE])
+        np.testing.assert_allclose(output, nominal, atol=1.5)
+
+    def test_output_shape_and_bounds(self):
+        controller = TEDecentralizedController()
+        output = controller.update(nominal_measurements(), 0.01)
+        assert output.shape == (N_XMV,)
+        assert np.all(output >= 0.0) and np.all(output <= 100.0)
+
+    def test_constant_xmvs_are_held(self):
+        controller = TEDecentralizedController()
+        output = controller.update(nominal_measurements(), 0.01)
+        assert output[4] == pytest.approx(22.210)   # compressor recycle valve
+        assert output[11] == pytest.approx(50.0)    # agitator
+
+    def test_wrong_measurement_count_rejected(self):
+        controller = TEDecentralizedController()
+        with pytest.raises(ConfigurationError):
+            controller.update(np.zeros(10), 0.01)
+
+
+class TestFeedbackDirections:
+    def test_low_a_feed_flow_opens_xmv3(self):
+        controller = TEDecentralizedController()
+        measurements = nominal_measurements()
+        measurements[0] = 0.0  # XMEAS(1) reads no flow
+        output = None
+        for _ in range(20):
+            output = controller.update(measurements, 0.01)
+        assert output[2] > 30.0
+
+    def test_high_reactor_temperature_opens_cooling(self):
+        controller = TEDecentralizedController()
+        measurements = nominal_measurements()
+        measurements[8] += 5.0
+        output = None
+        for _ in range(20):
+            output = controller.update(measurements, 0.01)
+        assert output[9] > 45.0
+
+    def test_high_pressure_opens_purge(self):
+        controller = TEDecentralizedController()
+        measurements = nominal_measurements()
+        measurements[6] += 150.0
+        output = None
+        for _ in range(20):
+            output = controller.update(measurements, 0.01)
+        assert output[5] > 45.0
+
+    def test_low_stripper_level_opens_separator_underflow(self):
+        controller = TEDecentralizedController()
+        measurements = nominal_measurements()
+        measurements[14] -= 20.0
+        output = None
+        for _ in range(20):
+            output = controller.update(measurements, 0.01)
+        assert output[6] > 40.0
+
+
+class TestOverrides:
+    def test_pressure_override_cuts_ac_and_e_feed(self):
+        controller = TEDecentralizedController(override_filter_hours=0.0)
+        measurements = nominal_measurements()
+        measurements[6] = 2950.0
+        # The A+C flow still reads nominal, so with a reduced setpoint the
+        # controller must close the valve below its nominal position.
+        output = None
+        for _ in range(100):
+            output = controller.update(measurements, 0.01)
+        assert output[3] < 50.0
+        assert output[1] < 45.0
+
+    def test_level_override_cuts_d_feed(self):
+        controller = TEDecentralizedController(override_filter_hours=0.0)
+        measurements = nominal_measurements()
+        measurements[7] = 120.0  # very high reactor level
+        output = None
+        for _ in range(100):
+            output = controller.update(measurements, 0.01)
+        assert output[0] < 55.0
+
+    def test_no_override_at_nominal(self):
+        controller = TEDecentralizedController(override_filter_hours=0.0)
+        measurements = nominal_measurements()
+        for _ in range(20):
+            output = controller.update(measurements, 0.01)
+        nominal = np.array([row[1] for row in XMV_TABLE])
+        np.testing.assert_allclose(output[:4], nominal[:4], atol=1.5)
+
+    def test_loop_by_name(self):
+        controller = TEDecentralizedController()
+        assert controller.loop_by_name("A feed flow").definition.xmv_index == 3
+        with pytest.raises(KeyError):
+            controller.loop_by_name("nonexistent")

@@ -1,0 +1,138 @@
+"""Tests for the ProcessDataset container."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import DataShapeError
+from repro.datasets.dataset import ProcessDataset
+
+
+@pytest.fixture
+def dataset():
+    values = np.arange(12, dtype=float).reshape(4, 3)
+    return ProcessDataset(values, ["a", "b", "c"], timestamps=[0.0, 1.0, 2.0, 3.0])
+
+
+class TestConstruction:
+    def test_shape_properties(self, dataset):
+        assert dataset.shape == (4, 3)
+        assert dataset.n_observations == 4
+        assert dataset.n_variables == 3
+        assert len(dataset) == 4
+
+    def test_default_timestamps(self):
+        data = ProcessDataset(np.zeros((3, 2)), ["x", "y"])
+        np.testing.assert_allclose(data.timestamps, [0.0, 1.0, 2.0])
+
+    def test_rejects_wrong_name_count(self):
+        with pytest.raises(DataShapeError):
+            ProcessDataset(np.zeros((2, 3)), ["a", "b"])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(DataShapeError):
+            ProcessDataset(np.zeros((2, 2)), ["a", "a"])
+
+    def test_rejects_wrong_timestamp_count(self):
+        with pytest.raises(DataShapeError):
+            ProcessDataset(np.zeros((2, 2)), ["a", "b"], timestamps=[0.0])
+
+    def test_metadata_is_stored(self):
+        data = ProcessDataset(np.zeros((1, 1)), ["a"], metadata={"scenario": "x"})
+        assert data.metadata["scenario"] == "x"
+
+
+class TestColumnAccess:
+    def test_index_of(self, dataset):
+        assert dataset.index_of("b") == 1
+
+    def test_unknown_variable_raises(self, dataset):
+        with pytest.raises(KeyError):
+            dataset.index_of("missing")
+
+    def test_column_values(self, dataset):
+        np.testing.assert_allclose(dataset.column("a"), [0.0, 3.0, 6.0, 9.0])
+
+    def test_has_variable(self, dataset):
+        assert dataset.has_variable("c")
+        assert not dataset.has_variable("z")
+
+    def test_select_variables_preserves_order(self, dataset):
+        selected = dataset.select_variables(["c", "a"])
+        assert selected.variable_names == ("c", "a")
+        np.testing.assert_allclose(selected.values[:, 0], dataset.column("c"))
+
+
+class TestRowAccess:
+    def test_select_rows(self, dataset):
+        subset = dataset.select_rows([1, 3])
+        assert subset.n_observations == 2
+        np.testing.assert_allclose(subset.timestamps, [1.0, 3.0])
+
+    def test_slice_time(self, dataset):
+        subset = dataset.slice_time(1.0, 3.0)
+        np.testing.assert_allclose(subset.timestamps, [1.0, 2.0])
+
+    def test_slice_time_empty_raises(self, dataset):
+        with pytest.raises(DataShapeError):
+            dataset.slice_time(100.0, 200.0)
+
+    def test_head_and_tail(self, dataset):
+        assert dataset.head(2).n_observations == 2
+        np.testing.assert_allclose(dataset.tail(1).timestamps, [3.0])
+
+
+class TestStatisticsAndCopies:
+    def test_mean_and_std(self, dataset):
+        np.testing.assert_allclose(dataset.mean(), dataset.values.mean(axis=0))
+        assert dataset.std().shape == (3,)
+
+    def test_copy_is_independent(self, dataset):
+        duplicate = dataset.copy()
+        duplicate.values[0, 0] = 999.0
+        assert dataset.values[0, 0] != 999.0
+
+    def test_with_metadata(self, dataset):
+        tagged = dataset.with_metadata(run=3)
+        assert tagged.metadata["run"] == 3
+        assert "run" not in dataset.metadata
+
+    def test_to_dict(self, dataset):
+        mapping = dataset.to_dict()
+        assert set(mapping) == {"a", "b", "c"}
+
+    def test_equality(self, dataset):
+        assert dataset == dataset.copy()
+        assert dataset != dataset.select_rows([0, 1])
+
+
+class TestCombination:
+    def test_concatenate(self, dataset):
+        combined = ProcessDataset.concatenate([dataset, dataset])
+        assert combined.n_observations == 8
+        assert combined.variable_names == dataset.variable_names
+
+    def test_concatenate_mismatched_names_raises(self, dataset):
+        other = ProcessDataset(np.zeros((2, 3)), ["x", "y", "z"])
+        with pytest.raises(DataShapeError):
+            ProcessDataset.concatenate([dataset, other])
+
+    def test_concatenate_empty_raises(self):
+        with pytest.raises(DataShapeError):
+            ProcessDataset.concatenate([])
+
+    def test_hstack(self, dataset):
+        other = ProcessDataset(np.ones((4, 2)), ["d", "e"], dataset.timestamps)
+        joined = dataset.hstack(other)
+        assert joined.n_variables == 5
+
+    def test_hstack_name_collision_needs_suffix(self, dataset):
+        other = ProcessDataset(np.ones((4, 1)), ["a"], dataset.timestamps)
+        with pytest.raises(DataShapeError):
+            dataset.hstack(other)
+        joined = dataset.hstack(other, suffix="_proc")
+        assert "a_proc" in joined.variable_names
+
+    def test_hstack_row_mismatch_raises(self, dataset):
+        other = ProcessDataset(np.ones((3, 1)), ["d"])
+        with pytest.raises(DataShapeError):
+            dataset.hstack(other)

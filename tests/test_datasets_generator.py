@@ -1,0 +1,82 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.datasets.generator import (
+    make_correlated_normal_dataset,
+    make_latent_structure_dataset,
+    make_shifted_dataset,
+)
+
+
+class TestCorrelatedNormal:
+    def test_shape_and_names(self):
+        data = make_correlated_normal_dataset(n_observations=200, n_variables=5, seed=1)
+        assert data.shape == (200, 5)
+        assert data.variable_names[0] == "VAR(1)"
+
+    def test_correlation_is_roughly_requested(self):
+        data = make_correlated_normal_dataset(
+            n_observations=4000, n_variables=4, correlation=0.8, seed=2
+        )
+        corr = np.corrcoef(data.values.T)
+        off_diagonal = corr[np.triu_indices(4, 1)]
+        assert np.all(off_diagonal > 0.6)
+
+    def test_reproducible(self):
+        a = make_correlated_normal_dataset(seed=9)
+        b = make_correlated_normal_dataset(seed=9)
+        np.testing.assert_allclose(a.values, b.values)
+
+    def test_invalid_correlation(self):
+        with pytest.raises(ConfigurationError):
+            make_correlated_normal_dataset(correlation=1.5)
+
+
+class TestLatentStructure:
+    def test_dominant_directions_match_n_latent(self):
+        data = make_latent_structure_dataset(
+            n_observations=600, n_variables=12, n_latent=3, noise_scale=0.05, seed=4
+        )
+        singular_values = np.linalg.svd(
+            data.values - data.values.mean(axis=0), compute_uv=False
+        )
+        # The 3 leading singular values should dwarf the rest.
+        assert singular_values[2] > 5 * singular_values[3]
+
+    def test_custom_names(self):
+        data = make_latent_structure_dataset(
+            n_variables=3, variable_names=["x", "y", "z"]
+        )
+        assert data.variable_names == ("x", "y", "z")
+
+    def test_invalid_latent_count(self):
+        with pytest.raises(ConfigurationError):
+            make_latent_structure_dataset(n_variables=4, n_latent=5)
+
+
+class TestShiftedDataset:
+    def test_shift_applied_after_start(self):
+        base = make_correlated_normal_dataset(n_observations=100, n_variables=3, seed=5)
+        shifted = make_shifted_dataset(base, ["VAR(2)"], shift_magnitude=5.0, start_fraction=0.5)
+        before = shifted.values[:50, 1] - base.values[:50, 1]
+        after = shifted.values[50:, 1] - base.values[50:, 1]
+        np.testing.assert_allclose(before, 0.0)
+        assert np.all(after > 0.0)
+
+    def test_other_variables_untouched(self):
+        base = make_correlated_normal_dataset(n_observations=100, n_variables=3, seed=6)
+        shifted = make_shifted_dataset(base, ["VAR(1)"])
+        np.testing.assert_allclose(shifted.values[:, 2], base.values[:, 2])
+
+    def test_metadata_records_shift(self):
+        base = make_correlated_normal_dataset(n_observations=40, n_variables=2, seed=7)
+        shifted = make_shifted_dataset(base, ["VAR(1)"], shift_magnitude=2.0)
+        assert shifted.metadata["shift_variables"] == ["VAR(1)"]
+
+    def test_invalid_start_fraction(self):
+        base = make_correlated_normal_dataset(n_observations=10, n_variables=2, seed=8)
+        with pytest.raises(ConfigurationError):
+            make_shifted_dataset(base, ["VAR(1)"], start_fraction=1.0)

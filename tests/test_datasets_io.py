@@ -1,0 +1,58 @@
+"""Tests for dataset persistence."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import DataShapeError
+from repro.datasets.dataset import ProcessDataset
+from repro.datasets.io import load_csv, load_npz, save_csv, save_npz
+
+
+@pytest.fixture
+def dataset():
+    values = np.random.default_rng(0).normal(size=(20, 4))
+    return ProcessDataset(
+        values,
+        ["XMEAS(1)", "XMEAS(2)", "XMV(1)", "XMV(2)"],
+        timestamps=np.linspace(0.0, 1.0, 20),
+        metadata={"scenario": "normal", "seed": 3},
+    )
+
+
+class TestNpzRoundTrip:
+    def test_values_preserved(self, tmp_path, dataset):
+        path = save_npz(dataset, tmp_path / "data.npz")
+        loaded = load_npz(path)
+        np.testing.assert_allclose(loaded.values, dataset.values)
+        np.testing.assert_allclose(loaded.timestamps, dataset.timestamps)
+
+    def test_names_and_metadata_preserved(self, tmp_path, dataset):
+        path = save_npz(dataset, tmp_path / "data.npz")
+        loaded = load_npz(path)
+        assert loaded.variable_names == dataset.variable_names
+        assert loaded.metadata["scenario"] == "normal"
+        assert loaded.metadata["seed"] == 3
+
+    def test_creates_parent_directories(self, tmp_path, dataset):
+        path = save_npz(dataset, tmp_path / "nested" / "deep" / "data.npz")
+        assert path.exists()
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, tmp_path, dataset):
+        path = save_csv(dataset, tmp_path / "data.csv")
+        loaded = load_csv(path)
+        np.testing.assert_allclose(loaded.values, dataset.values)
+        assert loaded.variable_names == dataset.variable_names
+
+    def test_rejects_non_dataset_csv(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("foo,bar\n1,2\n")
+        with pytest.raises(DataShapeError):
+            load_csv(path)
+
+    def test_rejects_empty_csv(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("time,a\n")
+        with pytest.raises(DataShapeError):
+            load_csv(path)

@@ -1,0 +1,78 @@
+"""Tests for the figure-data generators."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import SimulationConfig
+from repro.experiments.figures import (
+    arl_table,
+    figure1_control_chart,
+    figure3_feed_response,
+    figure4_omeda_controller,
+    figure5_omeda_process,
+)
+from repro.experiments.scenarios import disturbance_idv6_scenario
+
+
+class TestFigure1(object):
+    def test_control_chart_limits_and_coverage(self, small_evaluation):
+        figure = figure1_control_chart(small_evaluation)
+        assert set(figure.limits) == {0.95, 0.99}
+        assert figure.limits[0.99] > figure.limits[0.95]
+        assert figure.values.shape == figure.timestamps.shape
+        # Normal operation: the overwhelming majority of points sit below the
+        # 99 % limit (the defining property of the chart in Figure 1).
+        assert figure.fraction_below(0.99) > 0.9
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return figure3_feed_response(
+            SimulationConfig(duration_hours=8.0, samples_per_hour=20, seed=2),
+            anomaly_start_hour=3.0,
+            seed=2,
+        )
+
+    def test_flow_collapses_in_both_situations(self, figure):
+        idv6_after = figure.idv6_values[figure.idv6_time > 4.0]
+        attack_after = figure.attack_values[figure.attack_time > 4.0]
+        assert idv6_after.max() < 0.05
+        assert attack_after.max() < 0.05
+
+    def test_flow_normal_before_anomaly(self, figure):
+        before = figure.idv6_values[figure.idv6_time < 3.0]
+        assert abs(before.mean() - 0.25) < 0.02
+
+    def test_both_situations_nearly_indistinguishable(self, figure):
+        length = min(len(figure.idv6_values), len(figure.attack_values))
+        difference = np.abs(figure.idv6_values[:length] - figure.attack_values[:length])
+        assert difference.mean() < 0.02
+
+    def test_variable_name(self, figure):
+        assert figure.variable == "XMEAS(1)"
+
+
+class TestFigures4And5:
+    @pytest.fixture(scope="class")
+    def evaluations(self, small_evaluation):
+        evaluation = small_evaluation.evaluate_scenario(
+            disturbance_idv6_scenario(), n_runs=1
+        )
+        return {"idv6": evaluation}
+
+    def test_controller_view_panels(self, evaluations):
+        figures = figure4_omeda_controller(evaluations)
+        assert figures["idv6"].view == "controller"
+        assert figures["idv6"].dominant_variable() == "XMEAS(1)"
+        assert figures["idv6"].value_of("XMEAS(1)") < 0
+
+    def test_process_view_panels(self, evaluations):
+        figures = figure5_omeda_process(evaluations)
+        assert figures["idv6"].view == "process"
+        assert figures["idv6"].dominant_variable() == "XMEAS(1)"
+
+    def test_arl_table_rows(self, evaluations):
+        rows = arl_table(evaluations)
+        assert rows[0]["scenario"] == "idv6"
+        assert rows[0]["n_runs"] == 1

@@ -1,0 +1,96 @@
+"""Tests for scenario execution (uses the session-scoped simulation fixtures)."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import ExperimentConfig, SimulationConfig
+from repro.common.exceptions import ConfigurationError
+from repro.experiments.runner import run_calibration_campaign, run_scenario
+from repro.experiments.scenarios import disturbance_idv6_scenario, normal_scenario
+from tests.conftest import ANOMALY_START
+
+
+class TestNormalRun:
+    def test_no_shutdown(self, normal_run):
+        assert normal_run.completed
+        assert normal_run.shutdown_reason is None
+
+    def test_views_identical(self, normal_run):
+        np.testing.assert_allclose(
+            normal_run.controller_data.values, normal_run.process_data.values
+        )
+
+    def test_key_variables_near_base_case(self, normal_run):
+        data = normal_run.process_data
+        assert abs(data.column("XMEAS(1)").mean() - 0.25052) < 0.02
+        assert abs(data.column("XMEAS(9)").mean() - 120.4) < 1.0
+        assert abs(data.column("XMEAS(15)").mean() - 50.0) < 5.0
+
+    def test_metadata(self, normal_run):
+        assert normal_run.metadata["scenario"] == "normal"
+        assert normal_run.metadata["ground_truth"] == "normal"
+
+
+class TestAnomalousRuns:
+    def test_idv6_kills_a_feed_after_onset(self, idv6_run):
+        data = idv6_run.process_data
+        after = data.timestamps > ANOMALY_START + 0.5
+        assert data.column("XMEAS(1)")[after].max() < 0.05
+
+    def test_idv6_and_xmv3_attack_look_identical_to_controllers(
+        self, idv6_run, attack_xmv3_run
+    ):
+        """The premise of the paper's Figure 3: XMEAS(1) evolves the same way."""
+        idv6_xmeas1 = idv6_run.controller_data.column("XMEAS(1)")
+        attack_xmeas1 = attack_xmv3_run.controller_data.column("XMEAS(1)")
+        length = min(len(idv6_xmeas1), len(attack_xmeas1))
+        correlation = np.corrcoef(idv6_xmeas1[:length], attack_xmeas1[:length])[0, 1]
+        assert correlation > 0.95
+
+    def test_xmv3_attack_diverges_views_on_xmv3(self, attack_xmv3_run):
+        data_controller = attack_xmv3_run.controller_data
+        data_process = attack_xmv3_run.process_data
+        after = data_controller.timestamps > ANOMALY_START + 0.5
+        assert np.all(data_process.column("XMV(3)")[after] == 0.0)
+        assert data_controller.column("XMV(3)")[after].mean() > 20.0
+
+    def test_xmeas1_attack_makes_controller_open_valve(self, attack_xmeas1_run):
+        controller = attack_xmeas1_run.controller_data
+        process = attack_xmeas1_run.process_data
+        after = controller.timestamps > ANOMALY_START + 1.0
+        assert np.all(controller.column("XMEAS(1)")[after] == 0.0)
+        assert process.column("XMEAS(1)")[after].mean() > 0.27
+        assert process.column("XMV(3)")[after].mean() > 40.0
+
+    def test_dos_freezes_process_side_valve(self, dos_xmv3_run):
+        process = dos_xmv3_run.process_data
+        after = process.timestamps > ANOMALY_START
+        frozen = process.column("XMV(3)")[after]
+        assert frozen.std() == pytest.approx(0.0, abs=1e-9)
+
+    def test_shutdown_hours_after_onset_for_feed_loss(self, idv6_run, attack_xmv3_run):
+        for run in (idv6_run, attack_xmv3_run):
+            if run.shutdown_time_hours is not None:
+                assert run.shutdown_time_hours > ANOMALY_START + 1.0
+
+
+class TestCalibrationCampaign:
+    def test_campaign_concatenates_runs(self):
+        config = ExperimentConfig(
+            n_calibration_runs=2,
+            n_runs_per_scenario=1,
+            anomaly_start_hour=1.0,
+            simulation=SimulationConfig(duration_hours=2.0, samples_per_hour=20, seed=3),
+            seed=3,
+        )
+        calibration = run_calibration_campaign(config)
+        assert calibration.n_runs == 2
+        assert calibration.controller_data.n_observations == 2 * 40
+
+    def test_invalid_anomaly_start_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_scenario(
+                disturbance_idv6_scenario(),
+                SimulationConfig(duration_hours=2.0, samples_per_hour=10),
+                anomaly_start_hour=5.0,
+            )

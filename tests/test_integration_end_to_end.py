@@ -1,0 +1,125 @@
+"""End-to-end integration tests reproducing the paper's qualitative findings.
+
+These tests exercise the whole stack — TE plant, decentralized control,
+network attacks, MSPC detection and dual-level oMEDA diagnosis — on short
+simulations, and assert the *shape* of the paper's results:
+
+* every anomalous scenario is detected;
+* IDV(6) and the XMV(3) integrity attack are indistinguishable from the
+  controller-level view but distinguishable once the process-level view is
+  added;
+* the DoS attack takes considerably longer to detect than the others.
+"""
+
+import numpy as np
+import pytest
+
+from repro.anomaly.diagnosis import AnomalyClass, DualLevelAnalyzer
+from repro.common.config import MSPCConfig
+from repro.experiments.scenarios import paper_scenarios
+from tests.conftest import ANOMALY_START
+
+
+@pytest.fixture(scope="module")
+def analyzer(small_evaluation):
+    return small_evaluation.analyzer
+
+
+@pytest.fixture(scope="module")
+def diagnoses(analyzer, idv6_run, attack_xmv3_run, attack_xmeas1_run, dos_xmv3_run):
+    runs = {
+        "idv6": idv6_run,
+        "attack_xmv3": attack_xmv3_run,
+        "attack_xmeas1": attack_xmeas1_run,
+        "dos_xmv3": dos_xmv3_run,
+    }
+    return {
+        name: analyzer.analyze(
+            run.controller_data, run.process_data, anomaly_start_hour=ANOMALY_START
+        )
+        for name, run in runs.items()
+    }
+
+
+class TestDetection:
+    def test_all_anomalous_scenarios_detected(self, diagnoses):
+        for name, diagnosis in diagnoses.items():
+            assert diagnosis.detected, f"{name} was not detected"
+
+    def test_feed_loss_scenarios_detected_almost_immediately(self, diagnoses):
+        for name in ("idv6", "attack_xmv3", "attack_xmeas1"):
+            run_length = diagnoses[name].detection_time_hours - ANOMALY_START
+            assert run_length < 0.5, f"{name} detection took {run_length} h"
+
+    def test_dos_detection_is_much_slower(self, diagnoses):
+        dos_run_length = diagnoses["dos_xmv3"].detection_time_hours - ANOMALY_START
+        idv6_run_length = diagnoses["idv6"].detection_time_hours - ANOMALY_START
+        assert dos_run_length > 2 * idv6_run_length
+        assert dos_run_length > 0.2
+
+
+class TestControllerLevelAmbiguity:
+    """Figure 4a/4b: the controller-level diagnosis cannot tell IDV(6) from
+    the attack on XMV(3) — both point at XMEAS(1) being too low."""
+
+    def test_both_implicate_xmeas1_low(self, diagnoses):
+        for name in ("idv6", "attack_xmv3"):
+            omeda = diagnoses[name].controller_omeda
+            assert omeda.dominant_variable() == "XMEAS(1)"
+            assert omeda.as_dict()["XMEAS(1)"] < 0
+
+    def test_controller_level_diagnoses_are_nearly_identical(self, diagnoses):
+        idv6 = diagnoses["idv6"].controller_omeda.contributions
+        attack = diagnoses["attack_xmv3"].controller_omeda.contributions
+        cosine = float(
+            np.dot(idv6, attack) / (np.linalg.norm(idv6) * np.linalg.norm(attack))
+        )
+        assert cosine > 0.95
+
+
+class TestProcessLevelDisambiguation:
+    """Figure 5: adding the process-level view reveals the attacked variable."""
+
+    def test_idv6_views_agree(self, diagnoses):
+        assert diagnoses["idv6"].similarity > 0.99
+
+    def test_xmv3_attack_implicates_xmv3_at_process_level(self, diagnoses):
+        omeda = diagnoses["attack_xmv3"].process_omeda
+        contributions = omeda.as_dict()
+        assert contributions["XMV(3)"] < 0
+        # XMV(3) must be among the implicated variables at process level,
+        # while at the controller level it is not implicated as being low —
+        # that asymmetry is what lets the analyst spot the attack (Fig. 5b).
+        assert "XMV(3)" in omeda.top_variables(8)
+        controller_value = diagnoses["attack_xmv3"].controller_omeda.as_dict()["XMV(3)"]
+        assert controller_value > contributions["XMV(3)"]
+        assert controller_value >= 0.0
+
+    def test_xmeas1_attack_signature(self, diagnoses):
+        diagnosis = diagnoses["attack_xmeas1"]
+        assert diagnosis.controller_omeda.as_dict()["XMEAS(1)"] < 0
+        assert diagnosis.process_omeda.as_dict()["XMEAS(1)"] > 0
+        assert diagnosis.process_omeda.as_dict()["XMV(3)"] > 0
+
+    def test_classification_separates_disturbance_from_attacks(self, diagnoses):
+        assert diagnoses["idv6"].classification is AnomalyClass.DISTURBANCE
+        assert diagnoses["attack_xmv3"].classification is AnomalyClass.INTEGRITY_ATTACK
+        assert diagnoses["attack_xmeas1"].classification is AnomalyClass.INTEGRITY_ATTACK
+
+    def test_dos_diagnosis_does_not_single_out_the_attacked_variable(self, diagnoses):
+        diagnosis = diagnoses["dos_xmv3"]
+        for omeda in (diagnosis.controller_omeda, diagnosis.process_omeda):
+            if omeda is None:
+                continue
+            assert omeda.dominant_variable() != "XMV(3)" or omeda.dominance_ratio() < 3.0
+
+
+class TestShutdownBehaviour:
+    def test_feed_loss_shuts_the_plant_down_hours_later(self, idv6_run, attack_xmv3_run):
+        for run in (idv6_run, attack_xmv3_run):
+            assert run.shutdown_time_hours is not None
+            elapsed = run.shutdown_time_hours - ANOMALY_START
+            assert 1.0 < elapsed < 12.0
+
+    def test_scenarios_count(self):
+        assert len(paper_scenarios()) == 4

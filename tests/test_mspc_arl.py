@@ -1,0 +1,38 @@
+"""Tests for run-length / ARL computation."""
+
+import pytest
+
+from repro.mspc.arl import average_run_length, run_length
+
+
+class TestRunLength:
+    def test_simple_difference(self):
+        assert run_length(12.0, 10.0) == pytest.approx(2.0)
+
+    def test_none_when_undetected(self):
+        assert run_length(None, 10.0) is None
+
+    def test_false_alarm_before_onset_is_not_a_detection(self):
+        assert run_length(9.0, 10.0) is None
+
+    def test_zero_run_length(self):
+        assert run_length(10.0, 10.0) == 0.0
+
+
+class TestAverageRunLength:
+    def test_mean_over_detected_runs(self):
+        # Run lengths are 0.5 h and 1.5 h; the undetected run is excluded.
+        assert average_run_length([10.5, 11.5, None], 10.0) == pytest.approx(1.0)
+
+    def test_all_undetected_gives_none(self):
+        assert average_run_length([None, None], 10.0) is None
+
+    def test_penalty_for_undetected(self):
+        value = average_run_length([11.0, None], 10.0, undetected_penalty_hours=5.0)
+        assert value == pytest.approx(3.0)
+
+    def test_false_alarms_excluded(self):
+        assert average_run_length([5.0, 12.0], 10.0) == pytest.approx(2.0)
+
+    def test_empty_iterable(self):
+        assert average_run_length([], 10.0) is None

@@ -1,0 +1,113 @@
+"""Tests for the univariate Shewhart baseline."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError, NotFittedError
+from repro.datasets.generator import (
+    make_correlated_normal_dataset,
+    make_latent_structure_dataset,
+    make_shifted_dataset,
+)
+from repro.mspc.baseline import UnivariateShewhartMonitor
+from repro.mspc.model import MSPCMonitor
+from repro.common.config import MSPCConfig
+
+
+@pytest.fixture(scope="module")
+def split_data():
+    full = make_latent_structure_dataset(
+        n_observations=900, n_variables=10, n_latent=3, noise_scale=0.1, seed=40
+    )
+    calibration = full.select_rows(np.arange(0, 600))
+    fresh = full.select_rows(np.arange(600, 900))
+    fresh = type(fresh)(
+        fresh.values, fresh.variable_names, np.arange(fresh.n_observations, dtype=float)
+    )
+    return calibration, fresh
+
+
+class TestFitting:
+    def test_requires_fit(self, split_data):
+        _, fresh = split_data
+        with pytest.raises(NotFittedError):
+            UnivariateShewhartMonitor().monitor(fresh)
+
+    def test_one_chart_per_variable(self, split_data):
+        calibration, _ = split_data
+        monitor = UnivariateShewhartMonitor().fit(calibration)
+        assert monitor.n_charts == calibration.n_variables
+        assert len(monitor.limits()) == calibration.n_variables
+
+    def test_limits_are_symmetric_around_mean(self, split_data):
+        calibration, _ = split_data
+        monitor = UnivariateShewhartMonitor().fit(calibration)
+        limits = monitor.limits()
+        means = calibration.mean()
+        for i, name in enumerate(calibration.variable_names):
+            lower, upper = limits[name]
+            assert lower < means[i] < upper
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            UnivariateShewhartMonitor(confidence=1.5)
+        with pytest.raises(ConfigurationError):
+            UnivariateShewhartMonitor(consecutive_violations=0)
+
+
+class TestDetection:
+    def test_normal_data_rarely_flagged(self, split_data):
+        calibration, fresh = split_data
+        monitor = UnivariateShewhartMonitor().fit(calibration)
+        result = monitor.monitor(fresh)
+        assert result.any_violation.mean() < 0.15
+
+    def test_large_shift_detected(self, split_data):
+        calibration, fresh = split_data
+        monitor = UnivariateShewhartMonitor().fit(calibration)
+        shifted = make_shifted_dataset(fresh, ["VAR(2)"], 8.0, start_fraction=0.5)
+        result = monitor.monitor(shifted)
+        assert result.detection_index() is not None
+        assert result.detection_index() >= 150
+        assert "VAR(2)" in result.violating_variables()
+
+    def test_mismatched_variables_rejected(self, split_data):
+        calibration, _ = split_data
+        monitor = UnivariateShewhartMonitor().fit(calibration)
+        other = make_latent_structure_dataset(
+            n_observations=20, n_variables=10, seed=1,
+            variable_names=[f"OTHER({i})" for i in range(10)],
+        )
+        with pytest.raises(ConfigurationError):
+            monitor.monitor(other)
+
+    def test_detection_time_uses_timestamps(self, split_data):
+        calibration, fresh = split_data
+        monitor = UnivariateShewhartMonitor().fit(calibration)
+        shifted = make_shifted_dataset(fresh, ["VAR(1)"], 9.0, start_fraction=0.5)
+        result = monitor.monitor(shifted)
+        assert result.detection_time() == pytest.approx(result.detection_index())
+
+
+class TestBaselineVsMSPC:
+    def test_mspc_detects_correlation_break_missed_by_shewhart(self):
+        """A correlation-structure break keeps every variable inside its own
+        band but violates the multivariate model — the motivating case for
+        MSPC over per-variable charts."""
+        calibration = make_correlated_normal_dataset(
+            n_observations=1500, n_variables=6, correlation=0.9, seed=41
+        )
+        baseline = UnivariateShewhartMonitor().fit(calibration)
+        mspc = MSPCMonitor(MSPCConfig(n_components=1)).fit(calibration)
+
+        # Build a window where each variable is individually in range (about
+        # 1.5 sigma) but the usual positive correlation is broken.
+        rng = np.random.default_rng(7)
+        window = np.tile([1.5, -1.5, 1.5, -1.5, 1.5, -1.5], (30, 1))
+        window += 0.05 * rng.standard_normal(window.shape)
+
+        baseline_result = baseline.monitor(window)
+        assert baseline_result.detection_index() is None
+
+        mspc_result = mspc.monitor(window)
+        assert mspc_result.detected

@@ -1,0 +1,102 @@
+"""Tests for control charts and the detection rule."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.mspc.charts import ControlChart, detect_anomaly, find_violation_runs
+from repro.mspc.limits import ControlLimits
+
+
+def make_chart(values, limit99=5.0, limit95=3.0, timestamps=None):
+    return ControlChart(
+        "D",
+        np.asarray(values, dtype=float),
+        ControlLimits("D", {0.95: limit95, 0.99: limit99}),
+        None if timestamps is None else np.asarray(timestamps, dtype=float),
+    )
+
+
+class TestViolationRuns:
+    def test_no_violations(self):
+        assert find_violation_runs([1.0, 2.0, 3.0], 5.0) == []
+
+    def test_single_run(self):
+        runs = find_violation_runs([1.0, 6.0, 7.0, 1.0], 5.0)
+        assert len(runs) == 1
+        assert (runs[0].start_index, runs[0].end_index, runs[0].length) == (1, 2, 2)
+
+    def test_run_reaching_the_end(self):
+        runs = find_violation_runs([1.0, 6.0, 7.0], 5.0)
+        assert runs[0].end_index == 2
+
+    def test_multiple_runs(self):
+        runs = find_violation_runs([6.0, 1.0, 6.0, 6.0], 5.0)
+        assert [run.length for run in runs] == [1, 2]
+
+    def test_indices(self):
+        runs = find_violation_runs([0, 9, 9, 9, 0], 5.0)
+        np.testing.assert_array_equal(runs[0].indices(), [1, 2, 3])
+
+
+class TestDetectAnomaly:
+    def test_requires_consecutive_count(self):
+        values = [1, 9, 1, 9, 9, 1, 9, 9, 9, 1]
+        assert detect_anomaly(values, 5.0, consecutive=3) == 8
+
+    def test_detection_flags_at_third_point(self):
+        values = [1, 1, 9, 9, 9, 9]
+        assert detect_anomaly(values, 5.0, consecutive=3) == 4
+
+    def test_none_when_never(self):
+        assert detect_anomaly([1, 9, 1, 9], 5.0, consecutive=2) is None
+
+    def test_single_point_rule(self):
+        assert detect_anomaly([1, 9], 5.0, consecutive=1) == 1
+
+    def test_invalid_consecutive(self):
+        with pytest.raises(ConfigurationError):
+            detect_anomaly([1.0], 5.0, consecutive=0)
+
+
+class TestControlChart:
+    def test_violations_mask(self):
+        chart = make_chart([1, 4, 6])
+        np.testing.assert_array_equal(chart.violations(0.99), [False, False, True])
+        np.testing.assert_array_equal(chart.violations(0.95), [False, True, True])
+
+    def test_violation_fraction(self):
+        chart = make_chart([1, 6, 6, 1])
+        assert chart.violation_fraction(0.99) == 0.5
+
+    def test_detection_time_uses_timestamps(self):
+        chart = make_chart([1, 9, 9, 9], timestamps=[0.0, 0.5, 1.0, 1.5])
+        assert chart.detection_time(0.99, consecutive=3) == 1.5
+
+    def test_detection_with_start_time_skips_false_alarms(self):
+        values = [9, 9, 9, 1, 1, 9, 9, 9]
+        times = [0, 1, 2, 3, 4, 5, 6, 7]
+        chart = make_chart(values, timestamps=times)
+        assert chart.detection_time(0.99, 3) == 2.0
+        assert chart.detection_time(0.99, 3, start_time=3.0) == 7.0
+
+    def test_detection_after_start_none(self):
+        chart = make_chart([9, 9, 9, 1], timestamps=[0, 1, 2, 3])
+        assert chart.detection_time(0.99, 3, start_time=3.0) is None
+
+    def test_first_violating_indices(self):
+        chart = make_chart([1, 6, 1, 7, 8, 9])
+        np.testing.assert_array_equal(chart.first_violating_indices(0.99, 3), [1, 3, 4])
+
+    def test_first_violating_indices_with_start_time(self):
+        chart = make_chart([6, 1, 7, 8], timestamps=[0, 1, 2, 3])
+        np.testing.assert_array_equal(
+            chart.first_violating_indices(0.99, 3, start_time=1.0), [2, 3]
+        )
+
+    def test_timestamps_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_chart([1, 2, 3], timestamps=[0.0, 1.0])
+
+    def test_len(self):
+        assert len(make_chart([1, 2, 3])) == 3

@@ -1,0 +1,127 @@
+"""Tests for the control limits."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.datasets.generator import make_latent_structure_dataset
+from repro.mspc.limits import (
+    ControlLimits,
+    percentile_limit,
+    spe_limit_theoretical,
+    t2_limit_theoretical,
+)
+from repro.mspc.pca import PCAModel
+from repro.mspc.preprocessing import AutoScaler
+from repro.mspc.statistics import hotelling_t2, squared_prediction_error
+
+
+class TestT2Limit:
+    def test_monotone_in_confidence(self):
+        assert t2_limit_theoretical(100, 3, 0.99) > t2_limit_theoretical(100, 3, 0.95)
+
+    def test_grows_with_components(self):
+        assert t2_limit_theoretical(100, 5, 0.99) > t2_limit_theoretical(100, 2, 0.99)
+
+    def test_large_sample_approaches_chi2(self):
+        from scipy import stats
+
+        limit = t2_limit_theoretical(100000, 3, 0.99)
+        assert limit == pytest.approx(stats.chi2.ppf(0.99, 3), rel=0.01)
+
+    def test_requires_more_samples_than_components(self):
+        with pytest.raises(ConfigurationError):
+            t2_limit_theoretical(3, 3, 0.99)
+
+    def test_invalid_confidence(self):
+        from repro.common.exceptions import DataShapeError
+
+        with pytest.raises(DataShapeError):
+            t2_limit_theoretical(100, 3, 1.2)
+
+
+class TestSPELimit:
+    def test_monotone_in_confidence(self):
+        eigenvalues = [0.5, 0.3, 0.1]
+        assert spe_limit_theoretical(eigenvalues, 0.99) > spe_limit_theoretical(
+            eigenvalues, 0.95
+        )
+
+    def test_zero_when_no_residual_space(self):
+        assert spe_limit_theoretical([], 0.99) == 0.0
+
+    def test_scales_with_residual_variance(self):
+        small = spe_limit_theoretical([0.1, 0.05], 0.99)
+        large = spe_limit_theoretical([1.0, 0.5], 0.99)
+        assert large == pytest.approx(10 * small, rel=1e-6)
+
+
+class TestPercentileLimit:
+    def test_matches_numpy_percentile(self):
+        values = np.arange(1000, dtype=float)
+        assert percentile_limit(values, 0.99) == pytest.approx(
+            np.percentile(values, 99.0)
+        )
+
+
+class TestCalibrationCoverage:
+    """The theoretical limits should leave roughly alpha of calibration data above."""
+
+    @pytest.fixture(scope="class")
+    def statistics(self):
+        data = make_latent_structure_dataset(
+            n_observations=2000, n_variables=15, n_latent=4, noise_scale=0.2, seed=5
+        )
+        scaled = AutoScaler().fit_transform(data.values)
+        model = PCAModel(n_components=4).fit(scaled)
+        return (
+            model,
+            hotelling_t2(model, scaled),
+            squared_prediction_error(model, scaled),
+        )
+
+    def test_t2_coverage(self, statistics):
+        model, t2_values, _ = statistics
+        limit = t2_limit_theoretical(model.n_samples_, model.n_components, 0.99)
+        assert np.mean(t2_values > limit) < 0.03
+
+    def test_spe_coverage(self, statistics):
+        model, _, spe_values = statistics
+        limit = spe_limit_theoretical(model.residual_eigenvalues_, 0.99)
+        assert np.mean(spe_values > limit) < 0.05
+
+
+class TestControlLimits:
+    def test_lookup_and_levels(self):
+        limits = ControlLimits("D", {0.95: 10.0, 0.99: 15.0})
+        assert limits.at(0.99) == 15.0
+        assert limits.confidence_levels == (0.95, 0.99)
+
+    def test_missing_level_raises(self):
+        limits = ControlLimits("D", {0.99: 15.0})
+        with pytest.raises(KeyError):
+            limits.at(0.95)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ControlLimits("D", {})
+
+    def test_factories(self):
+        data = make_latent_structure_dataset(
+            n_observations=300, n_variables=8, n_latent=2, seed=6
+        )
+        scaled = AutoScaler().fit_transform(data.values)
+        model = PCAModel(n_components=2).fit(scaled)
+        t2_values = hotelling_t2(model, scaled)
+        spe_values = squared_prediction_error(model, scaled)
+        for method in ("theoretical", "percentile"):
+            t2_limits = ControlLimits.for_t2(model, t2_values, (0.95, 0.99), method)
+            spe_limits = ControlLimits.for_spe(model, spe_values, (0.95, 0.99), method)
+            assert t2_limits.at(0.99) > t2_limits.at(0.95)
+            assert spe_limits.at(0.99) > spe_limits.at(0.95)
+
+    def test_unknown_method_rejected(self):
+        data = np.random.default_rng(0).normal(size=(50, 4))
+        model = PCAModel(n_components=2).fit(data)
+        with pytest.raises(ConfigurationError):
+            ControlLimits.for_t2(model, np.ones(50), (0.99,), "bogus")

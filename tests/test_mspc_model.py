@@ -1,0 +1,142 @@
+"""Tests for the high-level MSPCMonitor."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import MSPCConfig
+from repro.common.exceptions import DataShapeError, NotFittedError
+from repro.datasets.generator import (
+    make_latent_structure_dataset,
+    make_shifted_dataset,
+)
+from repro.mspc.model import MSPCMonitor
+
+
+@pytest.fixture(scope="module")
+def full_dataset():
+    """One dataset drawn from a single latent model, split by the fixtures below."""
+    return make_latent_structure_dataset(
+        n_observations=1000, n_variables=12, n_latent=3, noise_scale=0.1, seed=10
+    )
+
+
+@pytest.fixture(scope="module")
+def calibration(full_dataset):
+    return full_dataset.select_rows(np.arange(0, 500))
+
+
+@pytest.fixture(scope="module")
+def fresh_normal(full_dataset):
+    subset = full_dataset.select_rows(np.arange(500, 800))
+    return type(subset)(
+        subset.values, subset.variable_names, np.arange(subset.n_observations, dtype=float)
+    )
+
+
+@pytest.fixture(scope="module")
+def monitor(calibration):
+    return MSPCMonitor(MSPCConfig(n_components=3)).fit(calibration)
+
+
+@pytest.fixture(scope="module")
+def anomalous(full_dataset):
+    fresh = full_dataset.select_rows(np.arange(800, 1000))
+    fresh = type(fresh)(
+        fresh.values, fresh.variable_names, np.arange(fresh.n_observations, dtype=float)
+    )
+    return make_shifted_dataset(
+        fresh, ["VAR(5)"], shift_magnitude=8.0, start_fraction=0.5
+    )
+
+
+class TestFitting:
+    def test_limits_available_for_all_levels(self, monitor):
+        for confidence in (0.95, 0.99):
+            assert monitor.t2_limits.at(confidence) > 0
+            assert monitor.spe_limits.at(confidence) > 0
+
+    def test_variable_names_stored(self, monitor, calibration):
+        assert monitor.variable_names == calibration.variable_names
+
+    def test_unfitted_monitor_raises(self, calibration):
+        fresh = MSPCMonitor()
+        with pytest.raises(NotFittedError):
+            fresh.monitor(calibration)
+
+    def test_calibration_statistics_shapes(self, monitor, calibration):
+        t2_values, spe_values = monitor.calibration_statistics
+        assert t2_values.shape == (calibration.n_observations,)
+        assert spe_values.shape == (calibration.n_observations,)
+
+    def test_plain_array_input_gets_default_names(self):
+        monitor = MSPCMonitor(MSPCConfig(n_components=2))
+        monitor.fit(np.random.default_rng(0).normal(size=(100, 4)))
+        assert monitor.variable_names == ("VAR(1)", "VAR(2)", "VAR(3)", "VAR(4)")
+
+
+class TestMonitoring:
+    def test_normal_data_rarely_violates(self, monitor, fresh_normal):
+        result = monitor.monitor(fresh_normal)
+        assert result.d_chart.violation_fraction(0.99) < 0.05
+        assert result.q_chart.violation_fraction(0.99) < 0.05
+
+    def test_shifted_data_detected(self, monitor, anomalous):
+        result = monitor.monitor(anomalous)
+        assert result.detected
+        assert result.detection_index >= 100
+
+    def test_detection_time_with_timestamps(self, monitor, anomalous):
+        result = monitor.monitor(anomalous)
+        assert result.detection_time == pytest.approx(result.detection_index)
+
+    def test_first_violation_indices_after_shift(self, monitor, anomalous):
+        result = monitor.monitor(anomalous)
+        # Restricting the search to the anomaly window skips the occasional
+        # isolated false-alarm point in the normal stretch.
+        indices = result.first_violation_indices(3, start_time=100.0)
+        assert len(indices) == 3
+        assert np.all(indices >= 100)
+
+    def test_mismatched_variables_rejected(self, monitor):
+        other = make_latent_structure_dataset(
+            n_observations=50,
+            n_variables=12,
+            seed=1,
+            variable_names=[f"OTHER({i})" for i in range(12)],
+        )
+        with pytest.raises(DataShapeError):
+            monitor.monitor(other)
+
+    def test_statistics_lengths(self, monitor, anomalous):
+        t2_values, spe_values = monitor.statistics(anomalous)
+        assert t2_values.shape[0] == anomalous.n_observations
+        assert spe_values.shape[0] == anomalous.n_observations
+
+
+class TestDiagnosis:
+    def test_diagnose_identifies_shifted_variable(self, monitor, anomalous):
+        result = monitor.diagnose(anomalous)
+        assert result.dominant_variable() == "VAR(5)"
+        assert result.as_dict()["VAR(5)"] > 0
+
+    def test_diagnose_with_explicit_indices(self, monitor, anomalous):
+        result = monitor.diagnose(anomalous, observation_indices=range(150, 160))
+        assert result.dominant_variable() == "VAR(5)"
+        assert result.observation_indices == tuple(range(150, 160))
+
+    def test_top_variables_ranking(self, monitor, anomalous):
+        result = monitor.diagnose(anomalous)
+        assert result.top_variables(3)[0] == "VAR(5)"
+        assert len(result.top_variables(3)) == 3
+
+    def test_dominance_ratio_large_for_single_variable_shift(self, monitor, anomalous):
+        result = monitor.diagnose(anomalous)
+        assert result.dominance_ratio() > 1.5
+
+    def test_diagnose_without_violations_raises(self, monitor, fresh_normal):
+        normal = fresh_normal.head(30)
+        try:
+            monitor.diagnose(normal)
+        except DataShapeError:
+            return
+        # If by chance some observation exceeded the limits, the call is valid.

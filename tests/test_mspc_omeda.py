@@ -1,0 +1,99 @@
+"""Tests for oMEDA diagnosis."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import DataShapeError
+from repro.datasets.generator import make_latent_structure_dataset, make_shifted_dataset
+from repro.mspc.omeda import omeda, omeda_contributions
+from repro.mspc.pca import PCAModel
+from repro.mspc.preprocessing import AutoScaler
+
+
+@pytest.fixture(scope="module")
+def omeda_setup():
+    base = make_latent_structure_dataset(
+        n_observations=600, n_variables=10, n_latent=3, noise_scale=0.1, seed=7
+    )
+    calibration = base.select_rows(np.arange(0, 400))
+    test = base.select_rows(np.arange(400, 600))
+    shifted = make_shifted_dataset(
+        test, ["VAR(4)"], shift_magnitude=6.0, start_fraction=0.0
+    )
+    scaler = AutoScaler().fit(calibration.values)
+    model = PCAModel(n_components=3).fit(scaler.transform(calibration.values))
+    return scaler, model, test, shifted
+
+
+@pytest.fixture(scope="module")
+def shifted_setup(omeda_setup):
+    scaler, model, _, shifted = omeda_setup
+    return scaler, model, shifted
+
+
+class TestOmeda:
+    def test_shifted_variable_dominates(self, shifted_setup):
+        scaler, model, shifted = shifted_setup
+        scaled = scaler.transform(shifted.values)
+        contributions = omeda_contributions(model, scaled, np.arange(50))
+        dominant = int(np.argmax(np.abs(contributions)))
+        assert shifted.variable_names[dominant] == "VAR(4)"
+
+    def test_sign_reflects_direction_of_shift(self, shifted_setup):
+        scaler, model, shifted = shifted_setup
+        scaled = scaler.transform(shifted.values)
+        contributions = omeda_contributions(model, scaled, np.arange(50))
+        assert contributions[shifted.index_of("VAR(4)")] > 0
+        negative = shifted.copy()
+        negative.values[:, negative.index_of("VAR(4)")] -= 12.0 * shifted.values[
+            :, shifted.index_of("VAR(4)")
+        ].std()
+        contributions_negative = omeda_contributions(
+            model, scaler.transform(negative.values), np.arange(50)
+        )
+        assert contributions_negative[negative.index_of("VAR(4)")] < 0
+
+    def test_unshifted_group_has_small_contributions(self, omeda_setup):
+        scaler, model, unshifted, shifted = omeda_setup
+        contributions_shifted = omeda_contributions(
+            model, scaler.transform(shifted.values), np.arange(50)
+        )
+        contributions_normal = omeda_contributions(
+            model, scaler.transform(unshifted.values), np.arange(50)
+        )
+        assert np.abs(contributions_normal).max() < np.abs(contributions_shifted).max() / 3
+
+    def test_dummy_scaling_invariance(self, shifted_setup):
+        # The oMEDA vector is normalized by the dummy norm, so rescaling the
+        # dummy must leave the diagnosis unchanged.
+        scaler, model, shifted = shifted_setup
+        scaled = scaler.transform(shifted.values)
+        dummy = np.zeros(scaled.shape[0])
+        dummy[:10] = 1.0
+        single = omeda(model, scaled, dummy)
+        double = omeda(model, scaled, 2.0 * dummy)
+        np.testing.assert_allclose(double, single, rtol=1e-9)
+
+    def test_dummy_length_mismatch_rejected(self, shifted_setup):
+        scaler, model, shifted = shifted_setup
+        scaled = scaler.transform(shifted.values)
+        with pytest.raises(DataShapeError):
+            omeda(model, scaled, np.ones(5))
+
+    def test_empty_dummy_rejected(self, shifted_setup):
+        scaler, model, shifted = shifted_setup
+        scaled = scaler.transform(shifted.values)
+        with pytest.raises(DataShapeError):
+            omeda(model, scaled, np.zeros(scaled.shape[0]))
+
+    def test_indices_out_of_range_rejected(self, shifted_setup):
+        scaler, model, shifted = shifted_setup
+        scaled = scaler.transform(shifted.values)
+        with pytest.raises(DataShapeError):
+            omeda_contributions(model, scaled, [10_000])
+
+    def test_empty_indices_rejected(self, shifted_setup):
+        scaler, model, shifted = shifted_setup
+        scaled = scaler.transform(shifted.values)
+        with pytest.raises(DataShapeError):
+            omeda_contributions(model, scaled, [])

@@ -1,0 +1,94 @@
+"""Tests for the PCA model."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError, NotFittedError
+from repro.mspc.pca import PCAModel
+from repro.mspc.preprocessing import AutoScaler
+from repro.datasets.generator import make_latent_structure_dataset
+
+
+@pytest.fixture
+def scaled_latent_data():
+    data = make_latent_structure_dataset(
+        n_observations=500, n_variables=12, n_latent=3, noise_scale=0.05, seed=0
+    )
+    return AutoScaler().fit_transform(data.values)
+
+
+class TestFit:
+    def test_decomposition_reconstructs_data(self, scaled_latent_data):
+        model = PCAModel(n_components=12).fit(scaled_latent_data)
+        reconstruction = model.reconstruct(scaled_latent_data)
+        np.testing.assert_allclose(reconstruction, scaled_latent_data, atol=1e-8)
+
+    def test_automatic_selection_finds_latent_dimension(self, scaled_latent_data):
+        model = PCAModel(variance_to_explain=0.95).fit(scaled_latent_data)
+        assert model.n_components == 3
+
+    def test_requested_components_respected(self, scaled_latent_data):
+        model = PCAModel(n_components=5).fit(scaled_latent_data)
+        assert model.n_components == 5
+
+    def test_requested_components_capped(self):
+        data = np.random.default_rng(0).normal(size=(10, 4))
+        model = PCAModel(n_components=100).fit(data)
+        assert model.n_components <= 4
+
+    def test_loadings_are_orthonormal(self, scaled_latent_data):
+        model = PCAModel(n_components=4).fit(scaled_latent_data)
+        gram = model.loadings_.T @ model.loadings_
+        np.testing.assert_allclose(gram, np.eye(4), atol=1e-10)
+
+    def test_eigenvalues_sorted_descending(self, scaled_latent_data):
+        model = PCAModel(n_components=6).fit(scaled_latent_data)
+        assert np.all(np.diff(model.eigenvalues_) <= 1e-12)
+
+    def test_explained_variance_ratio_sums_below_one(self, scaled_latent_data):
+        model = PCAModel(n_components=3).fit(scaled_latent_data)
+        total = model.explained_variance_ratio_.sum()
+        assert 0.9 < total <= 1.0
+
+    def test_scores_match_projection(self, scaled_latent_data):
+        model = PCAModel(n_components=3).fit(scaled_latent_data)
+        scores = model.transform(scaled_latent_data)
+        np.testing.assert_allclose(scores, scaled_latent_data @ model.loadings_)
+
+    def test_residuals_orthogonal_to_loadings(self, scaled_latent_data):
+        model = PCAModel(n_components=3).fit(scaled_latent_data)
+        residuals = model.residuals(scaled_latent_data)
+        projection = residuals @ model.loadings_
+        np.testing.assert_allclose(projection, 0.0, atol=1e-8)
+
+    def test_score_variance_matches_eigenvalues(self, scaled_latent_data):
+        model = PCAModel(n_components=3).fit(scaled_latent_data)
+        scores = model.transform(scaled_latent_data)
+        np.testing.assert_allclose(
+            scores.var(axis=0, ddof=1), model.eigenvalues_, rtol=1e-6
+        )
+
+
+class TestValidation:
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            PCAModel().transform(np.zeros((2, 2)))
+
+    def test_single_observation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PCAModel().fit(np.zeros((1, 3)))
+
+    def test_invalid_component_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PCAModel(n_components=0)
+
+    def test_invalid_variance_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PCAModel(variance_to_explain=1.5)
+
+    def test_wrong_variable_count_rejected(self, scaled_latent_data):
+        model = PCAModel(n_components=2).fit(scaled_latent_data)
+        from repro.common.exceptions import DataShapeError
+
+        with pytest.raises(DataShapeError):
+            model.transform(np.zeros((3, 5)))

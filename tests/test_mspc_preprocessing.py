@@ -1,0 +1,51 @@
+"""Tests for auto-scaling."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import DataShapeError, NotFittedError
+from repro.mspc.preprocessing import AutoScaler
+
+
+class TestAutoScaler:
+    def test_fit_transform_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(loc=5.0, scale=3.0, size=(200, 4))
+        scaled = AutoScaler().fit_transform(data)
+        np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(scaled.std(axis=0, ddof=1), 1.0, atol=1e-10)
+
+    def test_transform_uses_calibration_statistics(self):
+        calibration = np.array([[0.0, 0.0], [2.0, 4.0]])
+        scaler = AutoScaler().fit(calibration)
+        scaled = scaler.transform(np.array([[1.0, 2.0]]))
+        np.testing.assert_allclose(scaled, [[0.0, 0.0]])
+
+    def test_constant_variable_is_not_nan(self):
+        data = np.column_stack([np.ones(50), np.arange(50, dtype=float)])
+        scaled = AutoScaler().fit_transform(data)
+        assert np.all(np.isfinite(scaled))
+        np.testing.assert_allclose(scaled[:, 0], 0.0)
+
+    def test_inverse_transform_round_trip(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(100, 3)) * [1.0, 10.0, 0.1] + [5.0, -2.0, 0.0]
+        scaler = AutoScaler().fit(data)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(data)), data, atol=1e-10
+        )
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            AutoScaler().transform(np.zeros((2, 2)))
+
+    def test_column_mismatch_raises(self):
+        scaler = AutoScaler().fit(np.zeros((5, 3)) + np.arange(3))
+        with pytest.raises(DataShapeError):
+            scaler.transform(np.zeros((2, 4)))
+
+    def test_mean_and_std_properties(self):
+        data = np.array([[1.0, 2.0], [3.0, 6.0]])
+        scaler = AutoScaler().fit(data)
+        np.testing.assert_allclose(scaler.mean_, [2.0, 4.0])
+        assert scaler.std_.shape == (2,)

@@ -1,0 +1,80 @@
+"""Tests for the D (T^2) and Q (SPE) statistics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generator import make_latent_structure_dataset
+from repro.mspc.pca import PCAModel
+from repro.mspc.preprocessing import AutoScaler
+from repro.mspc.statistics import hotelling_t2, squared_prediction_error
+
+
+@pytest.fixture
+def fitted():
+    data = make_latent_structure_dataset(
+        n_observations=400, n_variables=10, n_latent=2, noise_scale=0.1, seed=2
+    )
+    scaled = AutoScaler().fit_transform(data.values)
+    model = PCAModel(n_components=2).fit(scaled)
+    return model, scaled
+
+
+class TestHotellingT2:
+    def test_non_negative(self, fitted):
+        model, scaled = fitted
+        assert np.all(hotelling_t2(model, scaled) >= 0)
+
+    def test_mean_close_to_component_count(self, fitted):
+        # For Gaussian scores, E[T^2] = A (sum of A standardized chi-square terms).
+        model, scaled = fitted
+        values = hotelling_t2(model, scaled)
+        assert abs(values.mean() - model.n_components) < 0.2
+
+    def test_larger_for_outlier_in_model_plane(self, fitted):
+        model, scaled = fitted
+        normal_value = hotelling_t2(model, scaled[:1])[0]
+        outlier = scaled[:1] + 20.0 * model.loadings_[:, 0]
+        outlier_value = hotelling_t2(model, outlier)[0]
+        assert outlier_value > normal_value + 50
+
+    def test_zero_for_origin(self, fitted):
+        model, _ = fitted
+        origin = np.zeros((1, model.n_variables))
+        assert hotelling_t2(model, origin)[0] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestSPE:
+    def test_non_negative(self, fitted):
+        model, scaled = fitted
+        assert np.all(squared_prediction_error(model, scaled) >= 0)
+
+    def test_equals_residual_norm(self, fitted):
+        model, scaled = fitted
+        spe = squared_prediction_error(model, scaled)
+        residuals = model.residuals(scaled)
+        np.testing.assert_allclose(spe, np.sum(residuals ** 2, axis=1))
+
+    def test_insensitive_to_in_plane_motion(self, fitted):
+        model, scaled = fitted
+        base = squared_prediction_error(model, scaled[:1])[0]
+        moved = scaled[:1] + 20.0 * model.loadings_[:, 0]
+        moved_value = squared_prediction_error(model, moved)[0]
+        assert moved_value == pytest.approx(base, rel=1e-6, abs=1e-8)
+
+    def test_sensitive_to_off_plane_motion(self, fitted):
+        model, scaled = fitted
+        residual_direction = np.zeros(model.n_variables)
+        # Build a direction orthogonal to the loadings.
+        residual_direction[0] = 1.0
+        residual_direction -= model.loadings_ @ (model.loadings_.T @ residual_direction)
+        residual_direction /= np.linalg.norm(residual_direction)
+        base = squared_prediction_error(model, scaled[:1])[0]
+        moved = scaled[:1] + 5.0 * residual_direction
+        assert squared_prediction_error(model, moved)[0] > base + 20
+
+    def test_full_rank_model_has_zero_spe(self):
+        data = np.random.default_rng(3).normal(size=(50, 4))
+        scaled = AutoScaler().fit_transform(data)
+        model = PCAModel(n_components=4).fit(scaled)
+        spe = squared_prediction_error(model, scaled)
+        np.testing.assert_allclose(spe, 0.0, atol=1e-10)

@@ -1,0 +1,97 @@
+"""Tests for the attack primitives."""
+
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.network.attacks import AttackSchedule, DoSAttack, IntegrityAttack
+
+
+class TestAttackWindows:
+    def test_active_interval_semantics(self):
+        attack = IntegrityAttack(3, start_hour=10.0, injected=0.0, end_hour=12.0)
+        assert not attack.is_active(9.99)
+        assert attack.is_active(10.0)
+        assert attack.is_active(11.99)
+        assert not attack.is_active(12.0)
+
+    def test_open_ended_attack(self):
+        attack = IntegrityAttack(1, start_hour=5.0, injected=0.0)
+        assert attack.is_active(1e9)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            IntegrityAttack(0, 0.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            IntegrityAttack(1, -1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            IntegrityAttack(1, 5.0, 0.0, end_hour=5.0)
+
+    def test_describe_mentions_target(self):
+        attack = DoSAttack(3, 10.0)
+        assert "3" in attack.describe()
+
+
+class TestIntegrityAttack:
+    def test_constant_injection(self):
+        attack = IntegrityAttack(1, 0.0, injected=42.0)
+        assert attack.tamper(7.0, 1.0) == 42.0
+
+    def test_callable_injection(self):
+        attack = IntegrityAttack(1, 0.0, injected=lambda t, value: value + t)
+        assert attack.tamper(2.0, 3.0) == 5.0
+
+    def test_paper_equation_2_semantics(self):
+        """Y'(t) = Y(t) outside the attack window, Y_a(t) inside it."""
+        attack = IntegrityAttack(1, start_hour=10.0, injected=0.0, end_hour=20.0)
+
+        def transmitted(true_value, time):
+            return attack.tamper(true_value, time) if attack.is_active(time) else true_value
+
+        assert transmitted(5.0, 9.0) == 5.0
+        assert transmitted(5.0, 15.0) == 0.0
+        assert transmitted(5.0, 25.0) == 5.0
+
+
+class TestDoSAttack:
+    def test_holds_last_pre_attack_value(self):
+        attack = DoSAttack(2, start_hour=10.0)
+        attack.observe(1.0, 8.0)
+        attack.observe(2.0, 9.0)
+        attack.observe(99.0, 10.5)  # already inside the window; must not update
+        assert attack.tamper(99.0, 10.5) == 2.0
+        assert attack.tamper(123.0, 11.0) == 2.0
+
+    def test_freezes_first_value_if_started_immediately(self):
+        attack = DoSAttack(1, start_hour=0.0)
+        assert attack.tamper(7.0, 0.0) == 7.0
+        assert attack.tamper(9.0, 1.0) == 7.0
+
+    def test_reset_clears_frozen_value(self):
+        attack = DoSAttack(1, start_hour=1.0)
+        attack.observe(5.0, 0.5)
+        assert attack.tamper(9.0, 2.0) == 5.0
+        attack.reset()
+        attack.observe(8.0, 0.5)
+        assert attack.tamper(9.0, 2.0) == 8.0
+
+
+class TestAttackSchedule:
+    def test_empty(self):
+        schedule = AttackSchedule.none()
+        assert schedule.is_empty()
+        assert schedule.active_at(10.0) == []
+
+    def test_add_and_query(self):
+        schedule = AttackSchedule().add(IntegrityAttack(1, 5.0, 0.0)).add(
+            DoSAttack(2, 8.0)
+        )
+        assert len(schedule.attacks) == 2
+        assert len(schedule.active_at(6.0)) == 1
+        assert len(schedule.active_at(9.0)) == 2
+
+    def test_reset_propagates(self):
+        dos = DoSAttack(1, 1.0)
+        dos.observe(3.0, 0.0)
+        schedule = AttackSchedule([dos])
+        schedule.reset()
+        assert dos.tamper(9.0, 2.0) == 9.0

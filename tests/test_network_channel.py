@@ -1,0 +1,89 @@
+"""Tests for the communication channel."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.network.attacks import AttackSchedule, DoSAttack, IntegrityAttack
+from repro.network.channel import Channel
+
+
+class TestBenignChannel:
+    def test_passthrough(self):
+        channel = Channel("sensors", 3)
+        values = np.array([1.0, 2.0, 3.0])
+        delivered = channel.transmit(values, 0.0)
+        np.testing.assert_allclose(delivered, values)
+        assert not channel.compromised
+
+    def test_does_not_mutate_input(self):
+        channel = Channel("actuators", 2, AttackSchedule([IntegrityAttack(1, 0.0, 0.0)]))
+        values = np.array([5.0, 6.0])
+        channel.transmit(values, 1.0)
+        np.testing.assert_allclose(values, [5.0, 6.0])
+
+    def test_counts_transmissions(self):
+        channel = Channel("sensors", 2)
+        channel.transmit(np.zeros(2), 0.0)
+        channel.transmit(np.zeros(2), 1.0)
+        assert channel.n_transmissions == 2
+        channel.reset()
+        assert channel.n_transmissions == 0
+
+    def test_wrong_length_rejected(self):
+        channel = Channel("sensors", 2)
+        with pytest.raises(ConfigurationError):
+            channel.transmit(np.zeros(3), 0.0)
+
+    def test_invalid_entry_count(self):
+        with pytest.raises(ConfigurationError):
+            Channel("sensors", 0)
+
+
+class TestCompromisedChannel:
+    def test_integrity_attack_only_inside_window(self):
+        attack = IntegrityAttack(2, start_hour=1.0, injected=0.0, end_hour=2.0)
+        channel = Channel("actuators", 3, AttackSchedule([attack]))
+        before = channel.transmit(np.array([1.0, 5.0, 3.0]), 0.5)
+        during = channel.transmit(np.array([1.0, 5.0, 3.0]), 1.5)
+        after = channel.transmit(np.array([1.0, 5.0, 3.0]), 2.5)
+        assert before[1] == 5.0
+        assert during[1] == 0.0
+        assert after[1] == 5.0
+
+    def test_untargeted_entries_untouched(self):
+        attack = IntegrityAttack(1, 0.0, injected=99.0)
+        channel = Channel("sensors", 3, AttackSchedule([attack]))
+        delivered = channel.transmit(np.array([1.0, 2.0, 3.0]), 0.0)
+        np.testing.assert_allclose(delivered, [99.0, 2.0, 3.0])
+
+    def test_dos_attack_freezes_last_transmitted_value(self):
+        attack = DoSAttack(1, start_hour=2.0)
+        channel = Channel("actuators", 1, AttackSchedule([attack]))
+        channel.transmit(np.array([10.0]), 0.0)
+        channel.transmit(np.array([20.0]), 1.0)
+        frozen = channel.transmit(np.array([30.0]), 2.0)
+        later = channel.transmit(np.array([40.0]), 3.0)
+        assert frozen[0] == 20.0
+        assert later[0] == 20.0
+
+    def test_reset_restores_dos_state(self):
+        attack = DoSAttack(1, start_hour=1.0)
+        channel = Channel("actuators", 1, AttackSchedule([attack]))
+        channel.transmit(np.array([10.0]), 0.0)
+        channel.transmit(np.array([30.0]), 1.5)
+        channel.reset()
+        channel.transmit(np.array([50.0]), 0.0)
+        frozen = channel.transmit(np.array([60.0]), 1.5)
+        assert frozen[0] == 50.0
+
+    def test_attack_target_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Channel("sensors", 2, AttackSchedule([IntegrityAttack(3, 0.0, 0.0)]))
+
+    def test_add_attack_validates(self):
+        channel = Channel("sensors", 2)
+        with pytest.raises(ConfigurationError):
+            channel.add_attack(IntegrityAttack(5, 0.0, 0.0))
+        channel.add_attack(IntegrityAttack(2, 0.0, 0.0))
+        assert channel.compromised

@@ -1,0 +1,75 @@
+"""Tests for ASCII rendering and CSV export."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import DataShapeError
+from repro.plotting.ascii import render_bar_chart, render_control_chart, render_series
+from repro.plotting.export import export_bars_csv, export_series_csv
+
+
+class TestRenderSeries:
+    def test_contains_title_and_extremes(self):
+        text = render_series([1.0, 2.0, 3.0], title="demo")
+        assert "demo" in text
+        assert "max" in text and "min" in text
+
+    def test_reference_lines_listed(self):
+        text = render_series(np.linspace(0, 1, 50), markers={"99%": 0.9})
+        assert "99% = 0.9" in text
+
+    def test_constant_series_does_not_crash(self):
+        text = render_series([5.0] * 10)
+        assert "*" in text
+
+
+class TestRenderControlChart:
+    def test_limit_names_percent(self):
+        text = render_control_chart(
+            np.random.default_rng(0).random(100), {0.95: 0.9, 0.99: 0.99}
+        )
+        assert "95%" in text and "99%" in text
+
+
+class TestRenderBarChart:
+    def test_rows_and_highlight(self):
+        text = render_bar_chart(
+            ["XMEAS(1)", "XMV(3)", "XMEAS(2)"], [-10.0, 4.0, 0.5], title="oMEDA"
+        )
+        assert "XMEAS(1)" in text
+        assert "<<" in text
+        assert "oMEDA" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_bar_chart(["a"], [1.0, 2.0])
+
+    def test_all_zero_values(self):
+        text = render_bar_chart(["a", "b"], [0.0, 0.0])
+        assert "a" in text
+
+
+class TestExport:
+    def test_series_round_trip(self, tmp_path):
+        path = export_series_csv(
+            tmp_path / "series.csv", {"time": [0.0, 1.0], "value": [2.0, 3.0]}
+        )
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "time,value"
+        assert len(content) == 3
+
+    def test_series_length_mismatch(self, tmp_path):
+        with pytest.raises(DataShapeError):
+            export_series_csv(tmp_path / "x.csv", {"a": [1.0], "b": [1.0, 2.0]})
+
+    def test_series_empty_rejected(self, tmp_path):
+        with pytest.raises(DataShapeError):
+            export_series_csv(tmp_path / "x.csv", {})
+
+    def test_bars_export(self, tmp_path):
+        path = export_bars_csv(tmp_path / "bars.csv", ["XMEAS(1)"], [-5.0])
+        assert "XMEAS(1)" in path.read_text()
+
+    def test_bars_length_mismatch(self, tmp_path):
+        with pytest.raises(DataShapeError):
+            export_bars_csv(tmp_path / "bars.csv", ["a", "b"], [1.0])

@@ -1,0 +1,63 @@
+"""Tests for disturbance specification and scheduling."""
+
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.process.disturbances import DisturbanceSchedule, DisturbanceSpec
+
+
+class TestDisturbanceSpec:
+    def test_valid_spec(self):
+        spec = DisturbanceSpec(6, "IDV(6)", "A feed loss", "step")
+        assert spec.index == 6
+
+    def test_invalid_index(self):
+        with pytest.raises(ConfigurationError):
+            DisturbanceSpec(0, "IDV(0)", "bad")
+
+    def test_invalid_kind(self):
+        with pytest.raises(ConfigurationError):
+            DisturbanceSpec(1, "IDV(1)", "x", kind="banana")
+
+
+class TestDisturbanceSchedule:
+    def test_empty_schedule(self):
+        schedule = DisturbanceSchedule.none()
+        assert schedule.is_empty()
+        assert schedule.active_at(5.0) == {}
+        assert schedule.vector_at(5.0) == [0.0] * 20
+
+    def test_single_activation_window(self):
+        schedule = DisturbanceSchedule.single(6, 10.0)
+        assert schedule.active_at(9.99) == {}
+        assert schedule.active_at(10.0) == {6: 1.0}
+        assert schedule.active_at(100.0) == {6: 1.0}
+
+    def test_finite_window(self):
+        schedule = DisturbanceSchedule.single(3, 2.0, end_hour=4.0)
+        assert schedule.active_at(3.0) == {3: 1.0}
+        assert schedule.active_at(4.0) == {}
+
+    def test_vector_layout(self):
+        schedule = DisturbanceSchedule.single(2, 0.0, magnitude=0.5)
+        vector = schedule.vector_at(1.0)
+        assert vector[1] == 0.5
+        assert sum(vector) == 0.5
+
+    def test_multiple_disturbances(self):
+        schedule = DisturbanceSchedule().add(1, 0.0).add(4, 5.0)
+        assert set(schedule.active_at(6.0)) == {1, 4}
+
+    def test_overlapping_same_index_takes_max_magnitude(self):
+        schedule = DisturbanceSchedule().add(1, 0.0, magnitude=0.3).add(1, 0.0, magnitude=0.9)
+        assert schedule.active_at(1.0) == {1: 0.9}
+
+    def test_invalid_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DisturbanceSchedule().add(21, 0.0)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DisturbanceSchedule().add(1, 5.0, end_hour=5.0)
+        with pytest.raises(ConfigurationError):
+            DisturbanceSchedule().add(1, -1.0)

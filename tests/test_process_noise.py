@@ -1,0 +1,67 @@
+"""Tests for the measurement-noise models."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.common.randomness import RandomStream
+from repro.process.noise import GaussianMeasurementNoise, NoNoise
+from repro.process.variables import VariableRegistry, VariableSpec
+
+
+@pytest.fixture
+def registry():
+    return VariableRegistry(
+        [
+            VariableSpec("flow", nominal=10.0, noise_std=0.5, minimum=0.0),
+            VariableSpec("temp", nominal=100.0, noise_std=0.0),
+        ]
+    )
+
+
+class TestNoNoise:
+    def test_returns_copy(self, registry):
+        model = NoNoise()
+        values = np.array([1.0, 2.0])
+        noisy = model.apply(values)
+        np.testing.assert_allclose(noisy, values)
+        noisy[0] = 99.0
+        assert values[0] == 1.0
+
+
+class TestGaussianNoise:
+    def test_zero_std_channel_unchanged(self, registry):
+        model = GaussianMeasurementNoise(registry, RandomStream(1, "n"))
+        noisy = model.apply(np.array([10.0, 100.0]))
+        assert noisy[1] == 100.0
+        assert noisy[0] != 10.0
+
+    def test_noise_magnitude(self, registry):
+        model = GaussianMeasurementNoise(registry, RandomStream(2, "n"))
+        samples = np.array([model.apply(np.array([10.0, 100.0]))[0] for _ in range(500)])
+        assert abs(samples.std() - 0.5) < 0.1
+
+    def test_clipping_to_bounds(self, registry):
+        model = GaussianMeasurementNoise(registry, RandomStream(3, "n"), scale=10.0)
+        noisy = np.array([model.apply(np.array([0.1, 100.0]))[0] for _ in range(200)])
+        assert noisy.min() >= 0.0
+
+    def test_scale_zero_silences(self, registry):
+        model = GaussianMeasurementNoise(registry, RandomStream(4, "n"), scale=0.0)
+        np.testing.assert_allclose(model.apply(np.array([10.0, 100.0])), [10.0, 100.0])
+
+    def test_reset_reproduces(self, registry):
+        model = GaussianMeasurementNoise(registry, RandomStream(5, "n"))
+        first = model.apply(np.array([10.0, 100.0]))
+        model.reset()
+        second = model.apply(np.array([10.0, 100.0]))
+        np.testing.assert_allclose(first, second)
+
+    def test_wrong_length_rejected(self, registry):
+        model = GaussianMeasurementNoise(registry)
+        with pytest.raises(ConfigurationError):
+            model.apply(np.array([1.0, 2.0, 3.0]))
+
+    def test_negative_scale_rejected(self, registry):
+        with pytest.raises(ConfigurationError):
+            GaussianMeasurementNoise(registry, scale=-1.0)

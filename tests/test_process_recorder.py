@@ -1,0 +1,42 @@
+"""Tests for the simulation recorder."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import DataShapeError
+from repro.process.recorder import SimulationRecorder
+
+
+class TestSimulationRecorder:
+    def test_record_and_convert(self):
+        recorder = SimulationRecorder(["a", "b"], {"scenario": "normal"})
+        recorder.record(0.0, np.array([1.0, 2.0]))
+        recorder.record(0.5, np.array([3.0, 4.0]))
+        dataset = recorder.to_dataset(run=1)
+        assert dataset.shape == (2, 2)
+        np.testing.assert_allclose(dataset.timestamps, [0.0, 0.5])
+        assert dataset.metadata["scenario"] == "normal"
+        assert dataset.metadata["run"] == 1
+
+    def test_wrong_length_rejected(self):
+        recorder = SimulationRecorder(["a", "b"])
+        with pytest.raises(DataShapeError):
+            recorder.record(0.0, np.array([1.0]))
+
+    def test_empty_recorder_cannot_convert(self):
+        recorder = SimulationRecorder(["a"])
+        with pytest.raises(DataShapeError):
+            recorder.to_dataset()
+
+    def test_clear(self):
+        recorder = SimulationRecorder(["a"])
+        recorder.record(0.0, np.array([1.0]))
+        recorder.clear()
+        assert recorder.n_samples == 0
+
+    def test_recorded_values_are_copies(self):
+        recorder = SimulationRecorder(["a"])
+        values = np.array([1.0])
+        recorder.record(0.0, values)
+        values[0] = 99.0
+        assert recorder.to_dataset().values[0, 0] == 1.0

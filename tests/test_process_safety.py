@@ -1,0 +1,67 @@
+"""Tests for safety interlocks."""
+
+import pytest
+
+from repro.common.exceptions import ConfigurationError, ProcessShutdown
+from repro.process.safety import SafetyLimit, SafetyMonitor
+
+
+class TestSafetyLimit:
+    def test_low_violation(self):
+        limit = SafetyLimit("level", low=5.0)
+        assert limit.violated_by(4.0)
+        assert not limit.violated_by(5.0)
+
+    def test_high_violation(self):
+        limit = SafetyLimit("pressure", high=3000.0)
+        assert limit.violated_by(3001.0)
+        assert not limit.violated_by(2999.0)
+
+    def test_needs_some_threshold(self):
+        with pytest.raises(ConfigurationError):
+            SafetyLimit("x")
+
+    def test_low_must_be_below_high(self):
+        with pytest.raises(ConfigurationError):
+            SafetyLimit("x", low=10.0, high=1.0)
+
+
+class TestSafetyMonitor:
+    def test_trips_immediately_without_grace(self):
+        monitor = SafetyMonitor([SafetyLimit("pressure", high=3000.0)])
+        with pytest.raises(ProcessShutdown) as excinfo:
+            monitor.check(1.0, {"pressure": 3100.0})
+        assert excinfo.value.time_hours == 1.0
+        assert monitor.tripped is not None
+
+    def test_grace_period_delays_trip(self):
+        monitor = SafetyMonitor([SafetyLimit("level", low=5.0, grace_hours=0.5)])
+        monitor.check(1.0, {"level": 3.0})
+        monitor.check(1.3, {"level": 3.0})
+        with pytest.raises(ProcessShutdown):
+            monitor.check(1.6, {"level": 3.0})
+
+    def test_grace_period_resets_when_back_in_range(self):
+        monitor = SafetyMonitor([SafetyLimit("level", low=5.0, grace_hours=0.5)])
+        monitor.check(1.0, {"level": 3.0})
+        monitor.check(1.2, {"level": 6.0})
+        monitor.check(1.4, {"level": 3.0})
+        # Only 0.2 h of continuous violation — should not trip yet.
+        monitor.check(1.6, {"level": 3.0})
+
+    def test_disabled_monitor_records_but_does_not_raise(self):
+        monitor = SafetyMonitor([SafetyLimit("pressure", high=10.0)], enabled=False)
+        monitor.check(2.0, {"pressure": 100.0})
+        assert monitor.tripped is not None
+        assert monitor.tripped[0] == 2.0
+
+    def test_missing_quantity_is_ignored(self):
+        monitor = SafetyMonitor([SafetyLimit("pressure", high=10.0)])
+        monitor.check(1.0, {"level": 50.0})
+        assert monitor.tripped is None
+
+    def test_reset_clears_state(self):
+        monitor = SafetyMonitor([SafetyLimit("pressure", high=10.0)], enabled=False)
+        monitor.check(1.0, {"pressure": 100.0})
+        monitor.reset()
+        assert monitor.tripped is None

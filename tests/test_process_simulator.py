@@ -1,0 +1,97 @@
+"""Tests for the closed-loop simulator (using the TE plant and controller)."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import SimulationConfig
+from repro.control.te_controller import TEDecentralizedController
+from repro.network.attacks import AttackSchedule, IntegrityAttack
+from repro.network.channel import Channel
+from repro.process.simulator import ClosedLoopSimulator
+from repro.te.constants import N_XMEAS, N_XMV
+from repro.te.plant import TEPlant
+from repro.te.safety import default_safety_monitor
+
+
+SHORT = SimulationConfig(duration_hours=0.5, samples_per_hour=20, seed=1)
+
+
+def make_simulator(sensor_attacks=None, actuator_attacks=None, safety=True):
+    return ClosedLoopSimulator(
+        plant=TEPlant(seed=1),
+        controller=TEDecentralizedController(),
+        sensor_channel=Channel("sensors", N_XMEAS, sensor_attacks),
+        actuator_channel=Channel("actuators", N_XMV, actuator_attacks),
+        safety_monitor=default_safety_monitor() if safety else None,
+    )
+
+
+class TestBasicRun:
+    def test_result_shapes(self):
+        result = make_simulator().run(SHORT)
+        assert result.controller_data.n_observations == SHORT.total_samples
+        assert result.process_data.n_observations == SHORT.total_samples
+        assert result.controller_data.n_variables == N_XMEAS + N_XMV
+        assert result.completed
+
+    def test_column_names_are_xmeas_then_xmv(self):
+        result = make_simulator().run(SHORT)
+        names = result.controller_data.variable_names
+        assert names[0] == "XMEAS(1)"
+        assert names[N_XMEAS] == "XMV(1)"
+        assert names[-1] == "XMV(12)"
+
+    def test_views_identical_without_attack(self):
+        result = make_simulator().run(SHORT)
+        np.testing.assert_allclose(
+            result.controller_data.values, result.process_data.values
+        )
+
+    def test_metadata_propagated(self):
+        result = make_simulator().run(SHORT, metadata={"scenario": "normal"})
+        assert result.controller_data.metadata["scenario"] == "normal"
+        assert result.metadata["seed"] == SHORT.seed
+
+    def test_timestamps_monotonic(self):
+        result = make_simulator().run(SHORT)
+        assert np.all(np.diff(result.controller_data.timestamps) > 0)
+
+    def test_reproducible_given_seed(self):
+        first = make_simulator().run(SHORT)
+        second = make_simulator().run(SHORT)
+        np.testing.assert_allclose(
+            first.process_data.values, second.process_data.values
+        )
+
+    def test_duration_property(self):
+        result = make_simulator().run(SHORT)
+        assert result.duration_hours == pytest.approx(SHORT.duration_hours)
+        assert set(result.views()) == {"controller", "process"}
+
+
+class TestAttackedRun:
+    def test_views_diverge_under_actuator_attack(self):
+        attacks = AttackSchedule([IntegrityAttack(3, start_hour=0.1, injected=0.0)])
+        result = make_simulator(actuator_attacks=attacks, safety=False).run(SHORT)
+        controller_xmv3 = result.controller_data.column("XMV(3)")
+        process_xmv3 = result.process_data.column("XMV(3)")
+        late = result.controller_data.timestamps > 0.2
+        assert np.all(process_xmv3[late] == 0.0)
+        assert np.all(controller_xmv3[late] > 0.0)
+
+    def test_views_diverge_under_sensor_attack(self):
+        attacks = AttackSchedule([IntegrityAttack(1, start_hour=0.1, injected=0.0)])
+        result = make_simulator(sensor_attacks=attacks, safety=False).run(SHORT)
+        late = result.controller_data.timestamps > 0.2
+        assert np.all(result.controller_data.column("XMEAS(1)")[late] == 0.0)
+        assert np.all(result.process_data.column("XMEAS(1)")[late] > 0.0)
+
+    def test_noise_can_be_disabled(self):
+        config = SimulationConfig(
+            duration_hours=0.3, samples_per_hour=20, seed=2, enable_noise=False
+        )
+        result = make_simulator().run(config)
+        xmeas1 = result.process_data.column("XMEAS(1)")
+        # Without measurement noise consecutive samples differ only through
+        # the (small) plant dynamics, far less than the noise std of 0.0025.
+        assert np.abs(np.diff(xmeas1)).max() < 0.02

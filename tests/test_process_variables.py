@@ -1,0 +1,72 @@
+"""Tests for variable specs and registries."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.process.variables import VariableRegistry, VariableSpec
+
+
+class TestVariableSpec:
+    def test_clip(self):
+        spec = VariableSpec("v", nominal=5.0, minimum=0.0, maximum=10.0)
+        assert spec.clip(-1.0) == 0.0
+        assert spec.clip(11.0) == 10.0
+        assert spec.clip(5.0) == 5.0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ConfigurationError):
+            VariableSpec("v", minimum=5.0, maximum=1.0)
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VariableSpec("v", noise_std=-1.0)
+
+
+class TestVariableRegistry:
+    def _registry(self):
+        return VariableRegistry(
+            [
+                VariableSpec("a", nominal=1.0, noise_std=0.1, minimum=0.0, maximum=2.0),
+                VariableSpec("b", nominal=10.0, noise_std=1.0),
+            ]
+        )
+
+    def test_length_and_iteration(self):
+        registry = self._registry()
+        assert len(registry) == 2
+        assert [spec.name for spec in registry] == ["a", "b"]
+
+    def test_duplicate_rejected(self):
+        registry = self._registry()
+        with pytest.raises(ConfigurationError):
+            registry.add(VariableSpec("a"))
+
+    def test_index_and_lookup(self):
+        registry = self._registry()
+        assert registry.index_of("b") == 1
+        assert registry["a"].nominal == 1.0
+        assert registry[1].name == "b"
+        assert "a" in registry
+        with pytest.raises(KeyError):
+            registry.index_of("missing")
+
+    def test_vectors(self):
+        registry = self._registry()
+        np.testing.assert_allclose(registry.nominal_values(), [1.0, 10.0])
+        np.testing.assert_allclose(registry.noise_stds(), [0.1, 1.0])
+        assert registry.names == ("a", "b")
+
+    def test_clip_vector(self):
+        registry = self._registry()
+        clipped = registry.clip(np.array([-5.0, 3.0]))
+        np.testing.assert_allclose(clipped, [0.0, 3.0])
+
+    def test_clip_wrong_length(self):
+        registry = self._registry()
+        with pytest.raises(ConfigurationError):
+            registry.clip(np.array([1.0]))
+
+    def test_describe_contains_names(self):
+        text = self._registry().describe()
+        assert "a" in text and "b" in text

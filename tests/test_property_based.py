@@ -1,0 +1,200 @@
+"""Property-based tests (hypothesis) for the statistical core and data structures."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.datasets.dataset import ProcessDataset
+from repro.mspc.charts import detect_anomaly, find_violation_runs
+from repro.mspc.omeda import omeda
+from repro.mspc.pca import PCAModel
+from repro.mspc.preprocessing import AutoScaler
+from repro.mspc.statistics import hotelling_t2, squared_prediction_error
+from repro.network.attacks import DoSAttack, IntegrityAttack
+from repro.process.variables import VariableRegistry, VariableSpec
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def data_matrices(min_rows=5, max_rows=40, min_cols=2, max_cols=8):
+    """Well-conditioned random data matrices."""
+    return st.integers(min_rows, max_rows).flatmap(
+        lambda rows: st.integers(min_cols, max_cols).flatmap(
+            lambda cols: arrays(
+                dtype=np.float64,
+                shape=(rows, cols),
+                elements=st.floats(-100.0, 100.0, allow_nan=False, allow_infinity=False),
+            )
+        )
+    )
+
+
+class TestScalerProperties:
+    @SETTINGS
+    @given(data=data_matrices())
+    def test_round_trip(self, data):
+        scaler = AutoScaler().fit(data)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(data)), data, atol=1e-6
+        )
+
+    @SETTINGS
+    @given(data=data_matrices(min_rows=3))
+    def test_scaled_output_is_finite(self, data):
+        scaled = AutoScaler().fit_transform(data)
+        assert np.all(np.isfinite(scaled))
+
+
+class TestPCAProperties:
+    @SETTINGS
+    @given(data=data_matrices(min_rows=10))
+    def test_variance_decomposition(self, data):
+        """T^2-energy plus SPE equals the total squared norm per observation
+        when components are weighted back by the eigenvalues."""
+        scaled = AutoScaler().fit_transform(data)
+        rank = int(np.linalg.matrix_rank(scaled))
+        if rank < 1:
+            return
+        model = PCAModel(n_components=max(rank // 2, 1)).fit(scaled)
+        scores = model.transform(scaled)
+        spe = squared_prediction_error(model, scaled)
+        reconstructed_norm = np.sum(scores ** 2, axis=1) + spe
+        np.testing.assert_allclose(
+            reconstructed_norm, np.sum(scaled ** 2, axis=1), atol=1e-6, rtol=1e-6
+        )
+
+    @SETTINGS
+    @given(data=data_matrices(min_rows=10))
+    def test_statistics_nonnegative(self, data):
+        scaled = AutoScaler().fit_transform(data)
+        if np.allclose(scaled, 0.0):
+            return
+        model = PCAModel(n_components=1).fit(scaled)
+        if model.eigenvalues_[0] <= 0:
+            return
+        assert np.all(hotelling_t2(model, scaled) >= -1e-12)
+        assert np.all(squared_prediction_error(model, scaled) >= -1e-12)
+
+
+class TestOmedaProperties:
+    @SETTINGS
+    @given(data=data_matrices(min_rows=10, min_cols=3))
+    def test_linearity_in_dummy(self, data):
+        scaled = AutoScaler().fit_transform(data)
+        if np.allclose(scaled, 0.0):
+            return
+        model = PCAModel(n_components=2).fit(scaled)
+        dummy_a = np.zeros(scaled.shape[0])
+        dummy_a[0] = 1.0
+        dummy_b = np.zeros(scaled.shape[0])
+        dummy_b[-1] = 1.0
+        combined = omeda(model, scaled, dummy_a + dummy_b)
+        separate = omeda(model, scaled, dummy_a) + omeda(model, scaled, dummy_b)
+        np.testing.assert_allclose(np.sqrt(2.0) * combined, separate, atol=1e-6)
+
+
+class TestDetectionRuleProperties:
+    @SETTINGS
+    @given(
+        values=st.lists(st.floats(0.0, 10.0, allow_nan=False), min_size=1, max_size=200),
+        limit=st.floats(0.5, 9.5),
+        consecutive=st.integers(1, 5),
+    )
+    def test_detection_implies_a_long_enough_run(self, values, limit, consecutive):
+        index = detect_anomaly(values, limit, consecutive)
+        runs = find_violation_runs(values, limit)
+        if index is None:
+            assert all(run.length < consecutive for run in runs)
+        else:
+            assert any(
+                run.start_index + consecutive - 1 == index and run.length >= consecutive
+                for run in runs
+            )
+
+    @SETTINGS
+    @given(values=st.lists(st.floats(0.0, 10.0, allow_nan=False), min_size=1, max_size=100))
+    def test_runs_partition_violations(self, values):
+        limit = 5.0
+        runs = find_violation_runs(values, limit)
+        covered = set()
+        for run in runs:
+            covered.update(run.indices().tolist())
+        expected = {i for i, v in enumerate(values) if v > limit}
+        assert covered == expected
+
+
+class TestAttackProperties:
+    @SETTINGS
+    @given(
+        start=st.floats(0.0, 50.0),
+        values=st.lists(st.floats(-100, 100, allow_nan=False), min_size=2, max_size=50),
+    )
+    def test_dos_replays_a_previously_seen_value(self, start, values):
+        attack = DoSAttack(1, start_hour=start)
+        times = np.linspace(0.0, 100.0, len(values))
+        delivered = []
+        for value, time in zip(values, times):
+            attack.observe(value, time)
+            delivered.append(
+                attack.tamper(value, time) if attack.is_active(time) else value
+            )
+        for value, time in zip(delivered, times):
+            if time >= start:
+                assert value in values
+
+    @SETTINGS
+    @given(
+        injected=st.floats(-1000, 1000, allow_nan=False),
+        true_value=st.floats(-1000, 1000, allow_nan=False),
+        time=st.floats(0, 100),
+    )
+    def test_integrity_attack_always_returns_injected_value(self, injected, true_value, time):
+        attack = IntegrityAttack(1, start_hour=0.0, injected=injected)
+        assert attack.tamper(true_value, time) == injected
+
+
+class TestDatasetProperties:
+    @SETTINGS
+    @given(data=data_matrices(min_rows=4, min_cols=2, max_cols=6))
+    def test_concatenate_preserves_rows(self, data):
+        names = [f"V{i}" for i in range(data.shape[1])]
+        dataset = ProcessDataset(data, names)
+        combined = ProcessDataset.concatenate([dataset, dataset])
+        assert combined.n_observations == 2 * dataset.n_observations
+        np.testing.assert_allclose(combined.values[: len(dataset)], dataset.values)
+
+    @SETTINGS
+    @given(data=data_matrices(min_rows=4, min_cols=3, max_cols=6))
+    def test_select_variables_round_trip(self, data):
+        names = [f"V{i}" for i in range(data.shape[1])]
+        dataset = ProcessDataset(data, names)
+        reordered = dataset.select_variables(list(reversed(names)))
+        restored = reordered.select_variables(names)
+        np.testing.assert_allclose(restored.values, dataset.values)
+
+
+class TestRegistryProperties:
+    @SETTINGS
+    @given(
+        values=arrays(
+            dtype=np.float64,
+            shape=st.integers(1, 10),
+            elements=st.floats(-1000, 1000, allow_nan=False),
+        )
+    )
+    def test_clip_is_idempotent_and_within_bounds(self, values):
+        registry = VariableRegistry(
+            [
+                VariableSpec(f"v{i}", minimum=-10.0, maximum=10.0)
+                for i in range(values.shape[0])
+            ]
+        )
+        clipped = registry.clip(values)
+        assert np.all(clipped >= -10.0) and np.all(clipped <= 10.0)
+        np.testing.assert_allclose(registry.clip(clipped), clipped)

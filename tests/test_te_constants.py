@@ -1,0 +1,66 @@
+"""Tests for the TE constants and variable tables."""
+
+import pytest
+
+from repro.te.constants import (
+    IDV_TABLE,
+    MOLECULAR_WEIGHTS,
+    N_IDV,
+    N_XMEAS,
+    N_XMV,
+    XMEAS_TABLE,
+    XMV_TABLE,
+    idv_name,
+    xmeas_name,
+    xmv_name,
+)
+
+
+class TestNaming:
+    def test_xmeas_names(self):
+        assert xmeas_name(1) == "XMEAS(1)"
+        assert xmeas_name(41) == "XMEAS(41)"
+        with pytest.raises(ValueError):
+            xmeas_name(0)
+        with pytest.raises(ValueError):
+            xmeas_name(42)
+
+    def test_xmv_names(self):
+        assert xmv_name(3) == "XMV(3)"
+        with pytest.raises(ValueError):
+            xmv_name(13)
+
+    def test_idv_names(self):
+        assert idv_name(6) == "IDV(6)"
+        with pytest.raises(ValueError):
+            idv_name(21)
+
+
+class TestTables:
+    def test_table_sizes(self):
+        assert len(XMEAS_TABLE) == N_XMEAS == 41
+        assert len(XMV_TABLE) == N_XMV == 12
+        assert len(IDV_TABLE) == N_IDV == 20
+
+    def test_published_base_case_values(self):
+        # Spot-check the Downs & Vogel base case used for calibration.
+        assert XMEAS_TABLE[0][2] == pytest.approx(0.25052)   # A feed
+        assert XMEAS_TABLE[6][2] == pytest.approx(2705.0)    # reactor pressure
+        assert XMEAS_TABLE[7][2] == pytest.approx(75.0)      # reactor level
+        assert XMEAS_TABLE[16][2] == pytest.approx(22.949)   # product flow
+        assert XMV_TABLE[2][1] == pytest.approx(24.644)      # A feed valve
+
+    def test_idv6_is_a_feed_loss(self):
+        description, kind = IDV_TABLE[5]
+        assert "A feed loss" in description
+        assert kind == "step"
+
+    def test_all_noise_stds_non_negative(self):
+        assert all(row[3] >= 0 for row in XMEAS_TABLE)
+
+    def test_xmv_nominals_within_valve_range(self):
+        assert all(0.0 <= row[1] <= 100.0 for row in XMV_TABLE)
+
+    def test_molecular_weights_for_all_components(self):
+        assert set(MOLECULAR_WEIGHTS) == {"A", "B", "C", "D", "E", "F", "G", "H"}
+        assert MOLECULAR_WEIGHTS["G"] == pytest.approx(62.0)

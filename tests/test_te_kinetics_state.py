@@ -1,0 +1,95 @@
+"""Tests for the TE state vector and reaction kinetics."""
+
+import numpy as np
+import pytest
+
+from repro.te.constants import COMPONENTS, INTERNAL
+from repro.te.kinetics import ReactionKinetics
+from repro.te.state import TEState
+
+
+class TestTEState:
+    def test_nominal_levels(self):
+        state = TEState.nominal()
+        assert state.reactor_level_percent == pytest.approx(75.0, abs=1.0)
+        assert state.separator_level_percent == pytest.approx(50.0, abs=1.0)
+        assert state.stripper_level_percent == pytest.approx(50.0, abs=1.0)
+
+    def test_nominal_pressures(self):
+        state = TEState.nominal()
+        assert state.reactor_pressure_kpa == pytest.approx(2705.0, rel=1e-6)
+        assert state.separator_pressure_kpa == pytest.approx(2633.7, rel=1e-6)
+
+    def test_pressure_scales_with_vapor_moles(self):
+        state = TEState.nominal()
+        state.reactor_vapor *= 1.2
+        assert state.reactor_pressure_kpa == pytest.approx(1.2 * 2705.0, rel=1e-6)
+
+    def test_pressure_scales_with_temperature(self):
+        state = TEState.nominal()
+        nominal_kelvin = INTERNAL["reactor_temp_nominal"] + 273.15
+        state.reactor_temp += 10.0
+        expected = 2705.0 * (nominal_kelvin + 10.0) / nominal_kelvin
+        assert state.reactor_pressure_kpa == pytest.approx(expected, rel=1e-6)
+
+    def test_copy_is_deep(self):
+        state = TEState.nominal()
+        duplicate = state.copy()
+        duplicate.reactor_vapor[0] = 0.0
+        assert state.reactor_vapor[0] > 0.0
+
+    def test_clip_nonnegative(self):
+        state = TEState.nominal()
+        state.reactor_vapor[0] = -5.0
+        state.clip_nonnegative()
+        assert state.reactor_vapor[0] == 0.0
+
+
+class TestReactionKinetics:
+    def test_nominal_rates_at_nominal_state(self):
+        state = TEState.nominal()
+        rates = ReactionKinetics().rates(
+            state.reactor_vapor, state.reactor_liquid, state.reactor_temp
+        )
+        assert rates.r1 == pytest.approx(INTERNAL["r1_nominal"], rel=1e-6)
+        assert rates.r2 == pytest.approx(INTERNAL["r2_nominal"], rel=1e-6)
+
+    def test_rates_fall_with_reactant_depletion(self):
+        state = TEState.nominal()
+        kinetics = ReactionKinetics()
+        nominal = kinetics.rates(state.reactor_vapor, state.reactor_liquid, state.reactor_temp)
+        depleted_vapor = state.reactor_vapor.copy()
+        depleted_vapor[COMPONENTS.index("A")] *= 0.5
+        depleted = kinetics.rates(depleted_vapor, state.reactor_liquid, state.reactor_temp)
+        assert depleted.r1 == pytest.approx(0.5 * nominal.r1, rel=1e-6)
+        assert depleted.r2 < nominal.r2
+
+    def test_rates_rise_with_temperature(self):
+        state = TEState.nominal()
+        kinetics = ReactionKinetics()
+        hot = kinetics.rates(state.reactor_vapor, state.reactor_liquid, state.reactor_temp + 5.0)
+        assert hot.r1 > INTERNAL["r1_nominal"]
+
+    def test_rates_never_negative(self):
+        state = TEState.nominal()
+        kinetics = ReactionKinetics()
+        empty = kinetics.rates(np.zeros(8), np.zeros(8), state.reactor_temp)
+        assert empty.r1 == 0.0
+        assert empty.total == pytest.approx(0.0, abs=1e-12)
+
+    def test_kinetics_drift_scales_rates(self):
+        state = TEState.nominal()
+        kinetics = ReactionKinetics(drift_gain=0.5)
+        drifted = kinetics.rates(
+            state.reactor_vapor, state.reactor_liquid, state.reactor_temp, kinetics_drift=-0.4
+        )
+        assert drifted.r1 == pytest.approx(0.8 * INTERNAL["r1_nominal"], rel=1e-6)
+
+    def test_mass_conservation_sign(self):
+        state = TEState.nominal()
+        rates = ReactionKinetics().rates(
+            state.reactor_vapor, state.reactor_liquid, state.reactor_temp
+        )
+        production = rates.consumption()
+        # Reactions reduce the total number of moles (3 -> 1 and 2 -> 1).
+        assert production.sum() < 0

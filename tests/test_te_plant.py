@@ -1,0 +1,157 @@
+"""Tests for the Tennessee-Eastman plant model."""
+
+import numpy as np
+import pytest
+
+from repro.te.constants import N_XMEAS, N_XMV, XMEAS_TABLE, XMV_TABLE
+from repro.te.plant import TEPlant
+from repro.te.safety import default_safety_monitor
+
+
+@pytest.fixture(scope="module")
+def plant():
+    return TEPlant(seed=0, enable_process_variation=False)
+
+
+def nominal_xmv():
+    return np.array([row[1] for row in XMV_TABLE], dtype=float)
+
+
+class TestInterface:
+    def test_registry_sizes(self, plant):
+        assert len(plant.measured_variables) == N_XMEAS
+        assert len(plant.manipulated_variables) == N_XMV
+
+    def test_measurement_vector_length(self, plant):
+        assert plant.measure(noisy=False).shape == (N_XMEAS,)
+
+    def test_initial_measurements_match_base_case(self, plant):
+        plant.reset(0)
+        measured = plant.measure(noisy=False)
+        published = np.array([row[2] for row in XMEAS_TABLE])
+        # Flows, pressures, levels and temperatures (1-22) must match closely.
+        np.testing.assert_allclose(measured[:22], published[:22], rtol=0.02)
+
+    def test_safety_quantities_present(self, plant):
+        quantities = plant.safety_quantities()
+        for key in ("reactor_pressure", "reactor_level", "separator_level", "stripper_level"):
+            assert key in quantities
+
+    def test_reset_is_reproducible(self):
+        plant = TEPlant(seed=3)
+        plant.reset(3)
+        first = [plant.measure(noisy=True) for _ in range(5)]
+        plant.reset(3)
+        second = [plant.measure(noisy=True) for _ in range(5)]
+        np.testing.assert_allclose(first, second)
+
+
+class TestOpenLoopDynamics:
+    def test_near_steady_at_nominal_inputs(self):
+        plant = TEPlant(seed=1, enable_process_variation=False)
+        start = plant.measure(noisy=False)
+        for _ in range(200):
+            plant.step(nominal_xmv(), 1.0 / 400.0)
+        end = plant.measure(noisy=False)
+        # Half an hour at frozen nominal valves: key variables stay close to
+        # the base case (the open-loop plant is not perfectly self-regulating,
+        # but must not run away on this horizon).
+        assert abs(end[6] - start[6]) < 150.0      # reactor pressure, kPa
+        assert abs(end[7] - start[7]) < 10.0       # reactor level, %
+        assert abs(end[8] - start[8]) < 2.0        # reactor temperature, degC
+        assert abs(end[14] - start[14]) < 10.0     # stripper level, %
+
+    def test_time_advances(self):
+        plant = TEPlant(seed=2, enable_process_variation=False)
+        plant.step(nominal_xmv(), 0.01)
+        plant.step(nominal_xmv(), 0.01)
+        assert plant.time_hours == pytest.approx(0.02)
+
+    def test_closing_a_feed_valve_stops_flow(self):
+        plant = TEPlant(seed=4, enable_process_variation=False)
+        xmv = nominal_xmv()
+        xmv[2] = 0.0
+        for _ in range(20):
+            plant.step(xmv, 1.0 / 400.0)
+        assert plant.measure(noisy=False)[0] < 0.01
+
+    def test_idv6_stops_a_feed_regardless_of_valve(self):
+        plant = TEPlant(seed=5, enable_process_variation=False)
+        xmv = nominal_xmv()
+        xmv[2] = 100.0
+        for _ in range(20):
+            plant.step(xmv, 1.0 / 400.0, disturbances={6: 1.0})
+        assert plant.measure(noisy=False)[0] < 0.01
+
+    def test_opening_a_feed_valve_saturates_at_capacity(self):
+        plant = TEPlant(seed=6, enable_process_variation=False)
+        xmv = nominal_xmv()
+        xmv[2] = 100.0
+        for _ in range(20):
+            plant.step(xmv, 1.0 / 400.0)
+        flow = plant.measure(noisy=False)[0]
+        assert 0.30 < flow < 0.40  # ~1.4x the nominal 0.25 kscmh
+
+    def test_more_cooling_water_lowers_reactor_temperature(self):
+        plant = TEPlant(seed=7, enable_process_variation=False)
+        xmv = nominal_xmv()
+        xmv[9] = 80.0
+        for _ in range(400):
+            plant.step(xmv, 1.0 / 400.0)
+        assert plant.measure(noisy=False)[8] < 120.0
+
+    def test_closing_product_valve_raises_stripper_level(self):
+        plant = TEPlant(seed=8, enable_process_variation=False)
+        xmv = nominal_xmv()
+        xmv[7] = 10.0
+        for _ in range(400):
+            plant.step(xmv, 1.0 / 400.0)
+        assert plant.measure(noisy=False)[14] > 52.0
+
+    def test_valve_sticking_idv14_freezes_cooling_effect(self):
+        plant = TEPlant(seed=9, enable_process_variation=False)
+        xmv = nominal_xmv()
+        for _ in range(10):
+            plant.step(xmv, 1.0 / 400.0, disturbances={14: 1.0})
+        xmv_changed = xmv.copy()
+        xmv_changed[9] = 90.0
+        for _ in range(200):
+            plant.step(xmv_changed, 1.0 / 400.0, disturbances={14: 1.0})
+        stuck_temp = plant.measure(noisy=False)[8]
+        # With the valve stuck at ~41 %, extra commanded cooling has no effect,
+        # so the temperature stays near nominal instead of dropping.
+        assert stuck_temp > 119.0
+
+
+class TestNoiseAndVariation:
+    def test_measurement_noise_magnitude(self):
+        plant = TEPlant(seed=10, enable_process_variation=False)
+        samples = np.array([plant.measure(noisy=True)[0] for _ in range(300)])
+        noise_std = XMEAS_TABLE[0][3]
+        assert 0.5 * noise_std < samples.std() < 2.0 * noise_std
+
+    def test_noiseless_measurement_is_deterministic(self):
+        plant = TEPlant(seed=11, enable_process_variation=False)
+        first = plant.measure(noisy=False)
+        second = plant.measure(noisy=False)
+        np.testing.assert_allclose(first, second)
+
+    def test_ambient_variation_moves_feed_pressure_factor(self):
+        plant = TEPlant(seed=12, enable_process_variation=True)
+        for _ in range(400):
+            plant.step(nominal_xmv(), 1.0 / 100.0)
+        assert plant.state.feed1_pressure_factor != pytest.approx(1.0, abs=1e-6)
+
+    def test_variation_disabled_keeps_factor_at_one(self):
+        plant = TEPlant(seed=13, enable_process_variation=False)
+        for _ in range(100):
+            plant.step(nominal_xmv(), 1.0 / 100.0)
+        assert plant.state.feed1_pressure_factor == pytest.approx(1.0)
+
+
+class TestSafetyIntegration:
+    def test_nominal_state_passes_default_limits(self, plant):
+        plant.reset(0)
+        monitor = default_safety_monitor()
+        monitor.check(0.0, plant.safety_quantities())
+        assert monitor.tripped is None

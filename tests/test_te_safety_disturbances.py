@@ -1,0 +1,55 @@
+"""Tests for the TE safety limits and disturbance catalogue."""
+
+import pytest
+
+from repro.common.exceptions import ProcessShutdown
+from repro.te.disturbances import IDV_SPECS, describe_idv
+from repro.te.safety import DEFAULT_SAFETY_LIMITS, default_safety_monitor
+
+
+class TestSafetyLimits:
+    def test_reactor_pressure_limit_is_3000(self):
+        limit = next(l for l in DEFAULT_SAFETY_LIMITS if l.quantity == "reactor_pressure")
+        assert limit.high == 3000.0
+
+    def test_stripper_low_level_limit_exists(self):
+        limit = next(l for l in DEFAULT_SAFETY_LIMITS if l.quantity == "stripper_level")
+        assert limit.low is not None and limit.low > 0
+
+    def test_monitor_trips_on_sustained_high_pressure(self):
+        monitor = default_safety_monitor()
+        monitor.check(0.0, {"reactor_pressure": 3100.0})
+        with pytest.raises(ProcessShutdown):
+            monitor.check(0.1, {"reactor_pressure": 3100.0})
+
+    def test_disabled_monitor_does_not_raise(self):
+        monitor = default_safety_monitor(enabled=False)
+        monitor.check(0.0, {"reactor_pressure": 3100.0})
+        monitor.check(1.0, {"reactor_pressure": 3100.0})
+        assert monitor.tripped is not None
+
+
+class TestDisturbanceCatalogue:
+    def test_twenty_disturbances(self):
+        assert len(IDV_SPECS) == 20
+
+    def test_idv6_description(self):
+        spec = describe_idv(6)
+        assert spec.name == "IDV(6)"
+        assert "A feed loss" in spec.description
+
+    def test_kinds_are_valid(self):
+        assert {spec.kind for spec in IDV_SPECS} <= {
+            "step", "random", "drift", "sticking", "unknown"
+        }
+
+    def test_random_variation_disturbances(self):
+        assert describe_idv(8).kind == "random"
+        assert describe_idv(13).kind == "drift"
+        assert describe_idv(14).kind == "sticking"
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            describe_idv(0)
+        with pytest.raises(ValueError):
+            describe_idv(21)
