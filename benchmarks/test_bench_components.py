@@ -6,14 +6,12 @@ scoring path — so that regressions in either are caught and so the
 fast/paper campaign scales can be planned.
 """
 
-import numpy as np
 import pytest
 
 from repro.common.config import MSPCConfig, SimulationConfig
 from repro.control.te_controller import TEDecentralizedController
 from repro.datasets.generator import make_latent_structure_dataset
 from repro.mspc.model import MSPCMonitor
-from repro.te.constants import XMV_TABLE
 from repro.te.plant import TEPlant
 
 

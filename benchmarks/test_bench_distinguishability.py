@@ -9,7 +9,6 @@ controller-level information only, and shows that only the dual-level scheme
 separates the disturbance from the attacks.
 """
 
-import numpy as np
 import pytest
 
 from repro.anomaly.diagnosis import AnomalyClass, omeda_similarity

@@ -11,7 +11,6 @@ Run with:  python examples/disturbance_vs_attack.py
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.anomaly.diagnosis import DualLevelAnalyzer
 from repro.common.config import ExperimentConfig, MSPCConfig, SimulationConfig

@@ -11,7 +11,6 @@ Run with:  python examples/dos_detection.py
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.anomaly.detector import StreamingDetector
 from repro.common.config import MSPCConfig, SimulationConfig

@@ -8,6 +8,10 @@ and prints the ARL table, the controller-level (Figure 4) and process-level
 samples/h, 30 calibration runs, 10 runs per scenario) — be warned that this
 takes many hours in pure Python.
 
+Simulation runs fan out over a process pool (``--workers``, default: all
+CPUs) through :class:`repro.experiments.parallel.CampaignEngine`; results are
+identical to a serial run.
+
 Run with:  python examples/full_evaluation.py [--paper-scale] [--export DIR]
 """
 
@@ -18,7 +22,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.common.config import ExperimentConfig, MSPCConfig, SimulationConfig
+from repro.common.config import ExperimentConfig, ParallelConfig
 from repro.experiments.evaluation import Evaluation
 from repro.experiments.figures import (
     arl_table,
@@ -29,17 +33,11 @@ from repro.experiments.scenarios import paper_scenarios
 from repro.plotting.export import export_bars_csv
 
 
-def build_config(paper_scale: bool) -> ExperimentConfig:
+def build_config(paper_scale: bool, workers: int | None = None) -> ExperimentConfig:
+    parallel = ParallelConfig(n_workers=workers)
     if paper_scale:
-        return ExperimentConfig.paper_settings(seed=2016)
-    return ExperimentConfig(
-        n_calibration_runs=3,
-        n_runs_per_scenario=2,
-        anomaly_start_hour=6.0,
-        simulation=SimulationConfig(duration_hours=14.0, samples_per_hour=30, seed=2016),
-        mspc=MSPCConfig(),
-        seed=2016,
-    )
+        return ExperimentConfig.paper_settings(seed=2016).with_parallel(parallel)
+    return ExperimentConfig.smoke(seed=2016).with_parallel(parallel)
 
 
 def print_omeda_summaries(title: str, figures) -> None:
@@ -60,11 +58,14 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--paper-scale", action="store_true",
                         help="use the paper's full-fidelity settings")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for the campaign engine "
+                             "(default: all CPUs; 1 forces serial)")
     parser.add_argument("--export", type=Path, default=None,
                         help="directory to export figure data as CSV")
     arguments = parser.parse_args()
 
-    config = build_config(arguments.paper_scale)
+    config = build_config(arguments.paper_scale, arguments.workers)
     print(f"campaign: {config.n_calibration_runs} calibration runs, "
           f"{config.n_runs_per_scenario} runs per scenario, "
           f"{config.simulation.duration_hours:g} h per run, anomalies at hour "

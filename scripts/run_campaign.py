@@ -1,0 +1,185 @@
+"""Run the paper's evaluation campaign through the parallel engine.
+
+The CLI front end of :class:`repro.experiments.evaluation.Evaluation`:
+calibrates the dual-level MSPC models, fans the scenario runs out over a
+process pool, and prints the ARL and classification tables.  Simulation
+results are cached on disk (``--cache-dir``, default ``.repro-cache``), so a
+re-run with unchanged settings only replays the analysis.
+
+Examples
+--------
+Fast campaign on all CPUs with caching::
+
+    PYTHONPATH=src python scripts/run_campaign.py
+
+Paper-fidelity campaign on 8 workers::
+
+    PYTHONPATH=src python scripts/run_campaign.py --scale paper --workers 8
+
+Serial, cache-less run of two scenarios::
+
+    PYTHONPATH=src python scripts/run_campaign.py --workers 1 --no-cache \
+        --scenarios idv6 dos_xmv3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+from repro.common.config import ExperimentConfig, ParallelConfig
+from repro.common.exceptions import ConfigurationError
+from repro.experiments.evaluation import Evaluation
+from repro.experiments.parallel import ResultCache
+from repro.experiments.scenarios import paper_scenarios
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def build_config(arguments: argparse.Namespace) -> ExperimentConfig:
+    if arguments.scale == "paper":
+        config = ExperimentConfig.paper_settings(seed=arguments.seed)
+    elif arguments.scale == "fast":
+        config = ExperimentConfig.fast(seed=arguments.seed)
+    else:
+        config = ExperimentConfig.smoke(seed=arguments.seed)
+    if arguments.calibration_runs is not None:
+        config = replace(config, n_calibration_runs=arguments.calibration_runs)
+    if arguments.runs_per_scenario is not None:
+        config = replace(config, n_runs_per_scenario=arguments.runs_per_scenario)
+    parallel = ParallelConfig(
+        n_workers=arguments.workers,
+        backend=arguments.backend,
+        cache_dir=None if arguments.no_cache else str(arguments.cache_dir),
+    )
+    return config.with_parallel(parallel)
+
+
+def select_scenarios(names):
+    scenarios = {scenario.name: scenario for scenario in paper_scenarios()}
+    if not names:
+        return list(scenarios.values())
+    unknown = [name for name in names if name not in scenarios]
+    if unknown:
+        raise SystemExit(
+            f"unknown scenario(s): {', '.join(unknown)} "
+            f"(available: {', '.join(scenarios)})"
+        )
+    return [scenarios[name] for name in names]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("smoke", "fast", "paper"),
+        default="smoke",
+        help="campaign size preset (default: smoke)",
+    )
+    parser.add_argument("--seed", type=int, default=2016, help="campaign root seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: all CPUs; 1 forces serial)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("process", "serial"),
+        default="process",
+        help="execution backend (default: process)",
+    )
+    parser.add_argument(
+        "--calibration-runs", type=int, default=None, help="override calibration runs"
+    )
+    parser.add_argument(
+        "--runs-per-scenario", type=int, default=None, help="override scenario repeats"
+    )
+    parser.add_argument(
+        "--scenarios",
+        nargs="*",
+        default=None,
+        metavar="NAME",
+        help="subset of scenarios to evaluate (default: the paper's four)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=Path(DEFAULT_CACHE_DIR),
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk result cache"
+    )
+    parser.add_argument(
+        "--clear-cache",
+        action="store_true",
+        help="empty the cache directory and exit",
+    )
+    arguments = parser.parse_args(argv)
+
+    if arguments.clear_cache:
+        removed = ResultCache(arguments.cache_dir).clear()
+        print(f"removed {removed} cache entries from {arguments.cache_dir}")
+        return 0
+
+    try:
+        config = build_config(arguments)
+    except ConfigurationError as error:
+        raise SystemExit(f"invalid configuration: {error}")
+    scenarios = select_scenarios(arguments.scenarios)
+    print(
+        f"campaign: {config.n_calibration_runs} calibration runs, "
+        f"{config.n_runs_per_scenario} runs per scenario, "
+        f"{config.simulation.duration_hours:g} h per run"
+    )
+    print(
+        f"engine: backend={config.parallel.backend} "
+        f"workers={config.parallel.resolved_workers} "
+        f"cache={'off' if not config.parallel.caching else config.parallel.cache_dir}"
+    )
+
+    evaluation = Evaluation(config)
+    print("\ncalibrating...")
+    evaluation.calibrate()
+    stats = evaluation.engine.last_stats
+    print(
+        f"  {stats.n_simulated} simulated, {stats.n_cache_hits} cached, "
+        f"{stats.wall_seconds:.1f} s"
+    )
+
+    print("evaluating scenarios...")
+    evaluation.evaluate_all(scenarios)
+    stats = evaluation.engine.last_stats
+    print(
+        f"  {stats.n_simulated} simulated, {stats.n_cache_hits} cached, "
+        f"{stats.wall_seconds:.1f} s\n"
+    )
+
+    print("=== ARL table (Section V) ===")
+    for row in evaluation.arl_table():
+        arl = "n/a" if row["arl_hours"] is None else f"{row['arl_hours']:.3f} h"
+        print(
+            f"  {row['scenario']:<16} detected {row['n_detected']}/{row['n_runs']}"
+            f"  ARL {arl}"
+        )
+
+    print("\n=== classification (disturbance vs intrusion) ===")
+    for row in evaluation.classification_table():
+        counts = ", ".join(
+            f"{key}: {value}"
+            for key, value in row.items()
+            if key not in ("scenario", "ground_truth")
+        )
+        print(
+            f"  {row['scenario']:<16} ground truth {row['ground_truth']:<12} -> {counts}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

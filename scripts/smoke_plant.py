@@ -1,5 +1,4 @@
 """Development smoke test: check plant stability and scenario shapes."""
-import numpy as np
 
 from repro.common.config import SimulationConfig
 from repro.experiments.runner import run_scenario

@@ -8,7 +8,12 @@ from repro.common.exceptions import (
     NotFittedError,
     DataShapeError,
 )
-from repro.common.config import SimulationConfig, MSPCConfig, ExperimentConfig
+from repro.common.config import (
+    SimulationConfig,
+    MSPCConfig,
+    ParallelConfig,
+    ExperimentConfig,
+)
 from repro.common.randomness import RandomStream, spawn_streams
 
 __all__ = [
@@ -20,6 +25,7 @@ __all__ = [
     "DataShapeError",
     "SimulationConfig",
     "MSPCConfig",
+    "ParallelConfig",
     "ExperimentConfig",
     "RandomStream",
     "spawn_streams",

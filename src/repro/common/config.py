@@ -15,12 +15,18 @@ pipeline:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
 from repro.common.exceptions import ConfigurationError
 
-__all__ = ["SimulationConfig", "MSPCConfig", "ExperimentConfig"]
+__all__ = [
+    "SimulationConfig",
+    "MSPCConfig",
+    "ParallelConfig",
+    "ExperimentConfig",
+]
 
 
 @dataclass(frozen=True)
@@ -167,6 +173,68 @@ class MSPCConfig:
 
 
 @dataclass(frozen=True)
+class ParallelConfig:
+    """How a multi-run campaign is executed.
+
+    Attributes
+    ----------
+    n_workers:
+        Number of worker processes used to fan runs out.  ``None`` uses
+        ``os.cpu_count()``.  A value of 1 forces serial execution.
+    backend:
+        ``"process"`` executes runs on a :class:`concurrent.futures.\
+ProcessPoolExecutor`; ``"serial"`` executes them in-process, in order.
+        Both backends derive per-run seeds before dispatch, so they produce
+        bitwise-identical results.  On platforms whose multiprocessing start
+        method is ``spawn`` (Windows, macOS), scripts that trigger campaigns
+        at import time need the usual ``if __name__ == "__main__":`` guard —
+        or ``backend="serial"``.
+    cache_dir:
+        Directory of the on-disk result cache.  ``None`` disables caching.
+        Cache entries are keyed by (scenario, simulation config, seed,
+        code version), so a re-run only simulates what changed.
+    cache_enabled:
+        Master switch for the cache; ignored when ``cache_dir`` is ``None``.
+    """
+
+    n_workers: Optional[int] = None
+    backend: str = "process"
+    cache_dir: Optional[str] = None
+    cache_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_workers is not None and self.n_workers < 1:
+            raise ConfigurationError("n_workers must be >= 1 or None")
+        if self.backend not in ("process", "serial"):
+            raise ConfigurationError("backend must be 'process' or 'serial'")
+
+    @property
+    def resolved_workers(self) -> int:
+        """The effective worker count (``n_workers`` or the CPU count)."""
+        if self.n_workers is not None:
+            return int(self.n_workers)
+        return os.cpu_count() or 1
+
+    @property
+    def caching(self) -> bool:
+        """Whether the on-disk result cache is active."""
+        return self.cache_enabled and self.cache_dir is not None
+
+    def with_workers(self, n_workers: Optional[int]) -> "ParallelConfig":
+        """Return a copy of this configuration with a different worker count."""
+        return replace(self, n_workers=n_workers)
+
+    def with_cache_dir(self, cache_dir: Optional[str]) -> "ParallelConfig":
+        """Return a copy of this configuration with a different cache directory."""
+        return replace(self, cache_dir=None if cache_dir is None else str(cache_dir))
+
+    @classmethod
+    def serial(cls, cache_dir: Optional[str] = None) -> "ParallelConfig":
+        """In-process, ordered execution (the pre-engine behaviour)."""
+        return cls(n_workers=1, backend="serial", cache_dir=cache_dir)
+
+
+@dataclass(frozen=True)
 class ExperimentConfig:
     """Parameters of an evaluation campaign.
 
@@ -184,6 +252,10 @@ class ExperimentConfig:
         The per-run simulation configuration.
     mspc:
         The monitoring-model configuration.
+    parallel:
+        How the campaign's runs are executed (worker count, backend, cache).
+        The default is a parallel, cache-less engine; results do not depend
+        on this setting.
     seed:
         Root seed of the campaign; per-run seeds are derived from it.
     """
@@ -193,6 +265,7 @@ class ExperimentConfig:
     anomaly_start_hour: float = 10.0
     simulation: SimulationConfig = field(default_factory=SimulationConfig)
     mspc: MSPCConfig = field(default_factory=MSPCConfig)
+    parallel: ParallelConfig = field(default_factory=ParallelConfig)
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -206,6 +279,10 @@ class ExperimentConfig:
             raise ConfigurationError(
                 "anomaly_start_hour must fall inside the simulation horizon"
             )
+
+    def with_parallel(self, parallel: ParallelConfig) -> "ExperimentConfig":
+        """Return a copy of this configuration with a different execution plan."""
+        return replace(self, parallel=parallel)
 
     @classmethod
     def paper_settings(cls, seed: int = 0) -> "ExperimentConfig":
@@ -227,6 +304,25 @@ class ExperimentConfig:
             n_runs_per_scenario=2,
             anomaly_start_hour=5.0,
             simulation=SimulationConfig.fast(seed=seed),
+            mspc=MSPCConfig.paper_settings(),
+            seed=seed,
+        )
+
+    @classmethod
+    def smoke(cls, seed: int = 2016) -> "ExperimentConfig":
+        """The smallest campaign that still reproduces the paper's claims.
+
+        Shared by the campaign CLI, ``examples/full_evaluation.py`` and the
+        benchmark harness so the "small but faithful" settings live in one
+        place.
+        """
+        return cls(
+            n_calibration_runs=3,
+            n_runs_per_scenario=2,
+            anomaly_start_hour=6.0,
+            simulation=SimulationConfig(
+                duration_hours=14.0, samples_per_hour=30, seed=seed
+            ),
             mspc=MSPCConfig.paper_settings(),
             seed=seed,
         )

@@ -10,7 +10,7 @@ while the whole experiment remains reproducible from a single seed.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, Optional
 
 import numpy as np
 

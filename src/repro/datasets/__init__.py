@@ -1,7 +1,14 @@
 """Labelled process datasets, I/O helpers and synthetic generators."""
 
 from repro.datasets.dataset import ProcessDataset
-from repro.datasets.io import save_npz, load_npz, save_csv, load_csv
+from repro.datasets.io import (
+    save_npz,
+    load_npz,
+    save_csv,
+    load_csv,
+    save_result_npz,
+    load_result_npz,
+)
 from repro.datasets.generator import (
     make_correlated_normal_dataset,
     make_shifted_dataset,
@@ -14,6 +21,8 @@ __all__ = [
     "load_npz",
     "save_csv",
     "load_csv",
+    "save_result_npz",
+    "load_result_npz",
     "make_correlated_normal_dataset",
     "make_shifted_dataset",
     "make_latent_structure_dataset",

@@ -9,7 +9,7 @@ library relies on.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -248,6 +248,20 @@ class ProcessDataset:
         values = np.hstack([self._values, other.values])
         names = list(self._variable_names) + other_names
         return ProcessDataset(values, names, self._timestamps, dict(self.metadata))
+
+    # ------------------------------------------------------------------
+    # Pickling
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Pickle as a plain tuple, skipping ``__init__`` re-validation.
+
+        Campaign workers ship datasets across process boundaries for every
+        run, so (de)serialization must not pay the name/shape checks again.
+        """
+        return (self._values, self._variable_names, self._timestamps, self.metadata)
+
+    def __setstate__(self, state) -> None:
+        self._values, self._variable_names, self._timestamps, self.metadata = state
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ProcessDataset):

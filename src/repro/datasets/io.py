@@ -4,21 +4,37 @@ Two formats are supported:
 
 * NPZ (binary, lossless) — preferred for experiment campaigns.
 * CSV (text) — convenient for inspection and for exporting figure data.
+
+Whole :class:`~repro.process.simulator.SimulationResult` objects (both data
+views plus config, shutdown state and metadata) can also be round-tripped
+through a single NPZ file; the campaign result cache in
+:mod:`repro.experiments.parallel` is built on this.
 """
 
 from __future__ import annotations
 
 import csv
 import json
+from dataclasses import asdict
 from pathlib import Path
-from typing import Union
+from typing import TYPE_CHECKING, Union
 
 import numpy as np
 
 from repro.common.exceptions import DataShapeError
 from repro.datasets.dataset import ProcessDataset
 
-__all__ = ["save_npz", "load_npz", "save_csv", "load_csv"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.process.simulator import SimulationResult
+
+__all__ = [
+    "save_npz",
+    "load_npz",
+    "save_csv",
+    "load_csv",
+    "save_result_npz",
+    "load_result_npz",
+]
 
 _PathLike = Union[str, Path]
 
@@ -45,6 +61,67 @@ def load_npz(path: _PathLike) -> ProcessDataset:
         timestamps = payload["timestamps"]
         metadata = json.loads(str(payload["metadata"]))
     return ProcessDataset(values, names, timestamps, metadata)
+
+
+def save_result_npz(result: "SimulationResult", path: _PathLike) -> Path:
+    """Save a complete simulation result to one compressed ``.npz`` file.
+
+    The file holds both data views, the simulation configuration, the
+    shutdown state and the run metadata, so :func:`load_result_npz` can
+    reconstruct a result indistinguishable from the freshly simulated one.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {}
+    for view, dataset in (
+        ("controller", result.controller_data),
+        ("process", result.process_data),
+    ):
+        payload[f"{view}_values"] = dataset.values
+        payload[f"{view}_names"] = np.array(dataset.variable_names, dtype=object)
+        payload[f"{view}_timestamps"] = dataset.timestamps
+        payload[f"{view}_metadata"] = np.array(
+            json.dumps(dataset.metadata, default=str)
+        )
+    payload["config"] = np.array(json.dumps(asdict(result.config)))
+    payload["shutdown"] = np.array(
+        json.dumps(
+            {
+                "time_hours": result.shutdown_time_hours,
+                "reason": result.shutdown_reason,
+            }
+        )
+    )
+    payload["metadata"] = np.array(json.dumps(result.metadata, default=str))
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_result_npz(path: _PathLike) -> "SimulationResult":
+    """Load a simulation result previously written by :func:`save_result_npz`."""
+    from repro.common.config import SimulationConfig
+    from repro.process.simulator import SimulationResult
+
+    with np.load(Path(path), allow_pickle=True) as payload:
+        datasets = {}
+        for view in ("controller", "process"):
+            datasets[view] = ProcessDataset(
+                payload[f"{view}_values"],
+                [str(name) for name in payload[f"{view}_names"]],
+                payload[f"{view}_timestamps"],
+                json.loads(str(payload[f"{view}_metadata"])),
+            )
+        config = SimulationConfig(**json.loads(str(payload["config"])))
+        shutdown = json.loads(str(payload["shutdown"]))
+        metadata = json.loads(str(payload["metadata"]))
+    return SimulationResult(
+        controller_data=datasets["controller"],
+        process_data=datasets["process"],
+        shutdown_time_hours=shutdown["time_hours"],
+        shutdown_reason=shutdown["reason"],
+        config=config,
+        metadata=metadata,
+    )
 
 
 def save_csv(dataset: ProcessDataset, path: _PathLike) -> Path:

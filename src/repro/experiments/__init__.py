@@ -19,6 +19,14 @@ from repro.experiments.runner import (
     run_calibration_campaign,
     CalibrationData,
 )
+from repro.experiments.parallel import (
+    RunSpec,
+    CampaignStats,
+    ResultCache,
+    CampaignEngine,
+    calibration_specs,
+    scenario_specs,
+)
 from repro.experiments.evaluation import (
     Evaluation,
     ScenarioEvaluation,
@@ -47,6 +55,12 @@ __all__ = [
     "run_scenario",
     "run_calibration_campaign",
     "CalibrationData",
+    "RunSpec",
+    "CampaignStats",
+    "ResultCache",
+    "CampaignEngine",
+    "calibration_specs",
+    "scenario_specs",
     "Evaluation",
     "ScenarioEvaluation",
     "figure1_control_chart",

@@ -8,21 +8,18 @@ needed to regenerate Figures 4 and 5 and the ARL discussion of the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.anomaly.diagnosis import AnomalyClass, DualLevelAnalyzer, DualLevelDiagnosis
+from repro.anomaly.diagnosis import DualLevelAnalyzer, DualLevelDiagnosis
 from repro.common.config import ExperimentConfig
 from repro.common.exceptions import NotFittedError
-from repro.experiments.runner import (
-    CalibrationData,
-    run_calibration_campaign,
-    run_scenario,
-)
+from repro.experiments.parallel import CampaignEngine, scenario_specs
+from repro.experiments.runner import CalibrationData, run_calibration_campaign
 from repro.experiments.scenarios import Scenario, paper_scenarios
-from repro.mspc.arl import average_run_length, run_length
+from repro.mspc.arl import run_length
 from repro.process.simulator import SimulationResult
 
 __all__ = ["ScenarioEvaluation", "Evaluation"]
@@ -112,15 +109,22 @@ class Evaluation:
     analyzer:
         Optional pre-built analyzer; a default dual-level analyzer using the
         configuration's MSPC settings is created otherwise.
+    engine:
+        Optional pre-built campaign engine; a default one following the
+        configuration's :class:`~repro.common.config.ParallelConfig` is
+        created otherwise.  All simulation batches — calibration and
+        per-scenario repeats — are dispatched through it.
     """
 
     def __init__(
         self,
         config: Optional[ExperimentConfig] = None,
         analyzer: Optional[DualLevelAnalyzer] = None,
+        engine: Optional[CampaignEngine] = None,
     ):
         self.config = config or ExperimentConfig()
         self.analyzer = analyzer or DualLevelAnalyzer(self.config.mspc)
+        self.engine = engine or CampaignEngine(self.config.parallel)
         self.calibration: Optional[CalibrationData] = None
         self._scenario_results: Dict[str, ScenarioEvaluation] = {}
 
@@ -132,7 +136,7 @@ class Evaluation:
 
     def calibrate(self) -> CalibrationData:
         """Run the calibration campaign and fit both MSPC models."""
-        self.calibration = run_calibration_campaign(self.config)
+        self.calibration = run_calibration_campaign(self.config, engine=self.engine)
         self.analyzer.fit(
             self.calibration.controller_data, self.calibration.process_data
         )
@@ -143,24 +147,13 @@ class Evaluation:
             raise NotFittedError("call calibrate() before evaluating scenarios")
 
     # ------------------------------------------------------------------
-    def evaluate_scenario(
-        self, scenario: Scenario, n_runs: Optional[int] = None
+    def _assemble(
+        self, scenario: Scenario, results: Sequence[SimulationResult]
     ) -> ScenarioEvaluation:
-        """Run one scenario ``n_runs`` times and aggregate its results."""
-        self._require_calibrated()
-        n_runs = n_runs if n_runs is not None else self.config.n_runs_per_scenario
-        results: List[SimulationResult] = []
+        """Diagnose each run of a scenario and aggregate the outcome."""
         diagnoses: List[DualLevelDiagnosis] = []
         run_lengths: List[Optional[float]] = []
-
-        for run_index in range(n_runs):
-            run_seed = self.config.seed * 7_919 + 1000 + run_index
-            simulation = self.config.simulation.with_seed(run_seed)
-            result = run_scenario(
-                scenario,
-                simulation,
-                anomaly_start_hour=self.config.anomaly_start_hour,
-            )
+        for result in results:
             diagnosis = self.analyzer.analyze(
                 result.controller_data,
                 result.process_data,
@@ -168,7 +161,6 @@ class Evaluation:
                     self.config.anomaly_start_hour if scenario.is_anomalous else None
                 ),
             )
-            results.append(result)
             diagnoses.append(diagnosis)
             if scenario.is_anomalous:
                 run_lengths.append(
@@ -181,20 +173,42 @@ class Evaluation:
 
         evaluation = ScenarioEvaluation(
             scenario=scenario,
-            results=results,
+            results=list(results),
             diagnoses=diagnoses,
             run_lengths=run_lengths,
         )
         self._scenario_results[scenario.name] = evaluation
         return evaluation
 
+    def evaluate_scenario(
+        self, scenario: Scenario, n_runs: Optional[int] = None
+    ) -> ScenarioEvaluation:
+        """Run one scenario ``n_runs`` times and aggregate its results."""
+        self._require_calibrated()
+        results = self.engine.run(scenario_specs(self.config, scenario, n_runs))
+        return self._assemble(scenario, results)
+
     def evaluate_all(
         self, scenarios: Optional[Sequence[Scenario]] = None
     ) -> Dict[str, ScenarioEvaluation]:
-        """Evaluate every scenario (defaults to the paper's four)."""
+        """Evaluate every scenario (defaults to the paper's four).
+
+        The runs of *all* scenarios are submitted to the engine as one batch,
+        so the fan-out spans the whole sweep rather than one scenario at a
+        time; per-run seeds make the outcome identical either way.
+        """
         self._require_calibrated()
-        for scenario in scenarios or paper_scenarios():
-            self.evaluate_scenario(scenario)
+        scenarios = list(scenarios or paper_scenarios())
+        spec_lists = [
+            scenario_specs(self.config, scenario) for scenario in scenarios
+        ]
+        flat_results = self.engine.run(
+            [spec for specs in spec_lists for spec in specs]
+        )
+        offset = 0
+        for scenario, specs in zip(scenarios, spec_lists):
+            self._assemble(scenario, flat_results[offset : offset + len(specs)])
+            offset += len(specs)
         return dict(self._scenario_results)
 
     @property

@@ -16,8 +16,8 @@ rendered with :mod:`repro.plotting` (ASCII / CSV) or any external tool.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 

@@ -1,0 +1,308 @@
+"""Parallel campaign engine with deterministic fan-out and result caching.
+
+The paper's evaluation (Section V) is a large batch of independent closed-loop
+simulations: a calibration campaign plus repeated runs of every anomalous
+scenario.  :class:`CampaignEngine` executes such a batch over a
+``ProcessPoolExecutor`` while guaranteeing that parallel and serial execution
+produce **bitwise-identical** results:
+
+* every run is fully described by an immutable :class:`RunSpec` whose seed is
+  derived *before* dispatch, so no run depends on execution order or on
+  shared random state;
+* results are returned in spec order regardless of completion order.
+
+On top of the executor sits an optional on-disk :class:`ResultCache` keyed by
+(scenario, simulation config, seed, code version): re-running a campaign
+after a config tweak only simulates the runs whose key actually changed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro._version import __version__
+from repro.common.config import ExperimentConfig, ParallelConfig, SimulationConfig
+from repro.experiments.scenarios import Scenario, normal_scenario
+from repro.process.simulator import SimulationResult
+
+__all__ = [
+    "RunSpec",
+    "CampaignStats",
+    "ResultCache",
+    "CampaignEngine",
+    "calibration_run_seed",
+    "scenario_run_seed",
+    "calibration_specs",
+    "scenario_specs",
+]
+
+
+# ----------------------------------------------------------------------
+# Deterministic per-run seed derivation
+# ----------------------------------------------------------------------
+def calibration_run_seed(root_seed: int, run_index: int) -> int:
+    """Seed of the ``run_index``-th calibration run of a campaign."""
+    return root_seed * 100_003 + run_index
+
+
+def scenario_run_seed(root_seed: int, run_index: int) -> int:
+    """Seed of the ``run_index``-th evaluation run of a scenario."""
+    return root_seed * 7_919 + 1000 + run_index
+
+
+# ----------------------------------------------------------------------
+# Run specification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunSpec:
+    """An immutable, self-contained description of one closed-loop run.
+
+    A spec carries everything a worker process needs — scenario, simulation
+    configuration (including the derived per-run seed), anomaly onset and
+    safety switch — so runs can execute in any order, in any process, and
+    still produce exactly the result a serial loop would have produced.
+    """
+
+    scenario: Scenario
+    simulation: SimulationConfig
+    anomaly_start_hour: float = 10.0
+    enable_safety: bool = True
+
+    def cache_token(self) -> Dict[str, object]:
+        """The canonical content this run's cache key is derived from."""
+        scenario = asdict(self.scenario)
+        scenario["kind"] = self.scenario.kind.value
+        return {
+            "code_version": __version__,
+            "scenario": scenario,
+            "simulation": asdict(self.simulation),
+            "anomaly_start_hour": float(self.anomaly_start_hour),
+            "enable_safety": bool(self.enable_safety),
+        }
+
+    def cache_key(self) -> str:
+        """A stable hex digest identifying this run's inputs and code version."""
+        blob = json.dumps(self.cache_token(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def calibration_specs(
+    config: ExperimentConfig, scenario: Optional[Scenario] = None
+) -> List[RunSpec]:
+    """Specs of the attack-free calibration campaign of a configuration."""
+    base_scenario = scenario or normal_scenario()
+    return [
+        RunSpec(
+            scenario=base_scenario,
+            simulation=config.simulation.with_seed(
+                calibration_run_seed(config.seed, run_index)
+            ),
+            anomaly_start_hour=config.anomaly_start_hour,
+            enable_safety=True,
+        )
+        for run_index in range(config.n_calibration_runs)
+    ]
+
+
+def scenario_specs(
+    config: ExperimentConfig,
+    scenario: Scenario,
+    n_runs: Optional[int] = None,
+) -> List[RunSpec]:
+    """Specs of the repeated evaluation runs of one scenario."""
+    n_runs = n_runs if n_runs is not None else config.n_runs_per_scenario
+    return [
+        RunSpec(
+            scenario=scenario,
+            simulation=config.simulation.with_seed(
+                scenario_run_seed(config.seed, run_index)
+            ),
+            anomaly_start_hour=config.anomaly_start_hour,
+            enable_safety=True,
+        )
+        for run_index in range(n_runs)
+    ]
+
+
+def _execute_spec(spec: RunSpec) -> SimulationResult:
+    """Execute one spec (top-level so it is picklable by worker pools)."""
+    from repro.experiments.runner import run_scenario
+
+    return run_scenario(
+        spec.scenario,
+        spec.simulation,
+        anomaly_start_hour=spec.anomaly_start_hour,
+        enable_safety=spec.enable_safety,
+    )
+
+
+# ----------------------------------------------------------------------
+# On-disk result cache
+# ----------------------------------------------------------------------
+class ResultCache:
+    """A directory of ``<cache_key>.npz`` files, one per completed run.
+
+    Entries are written atomically (tmp file + rename) so a crashed or
+    interrupted campaign never leaves a truncated entry behind; unreadable
+    entries are treated as misses and overwritten.  Eviction is manual:
+    :meth:`clear` drops everything, and bumping the package version
+    invalidates every old key (the key embeds the code version).
+    """
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+
+    def path_for(self, spec: RunSpec) -> Path:
+        """The cache file a spec maps to (whether or not it exists)."""
+        return self.directory / f"{spec.cache_key()}.npz"
+
+    def load(self, spec: RunSpec) -> Optional[SimulationResult]:
+        """Return the cached result of a spec, or ``None`` on a miss."""
+        from repro.datasets.io import load_result_npz
+
+        path = self.path_for(spec)
+        if not path.is_file():
+            return None
+        try:
+            return load_result_npz(path)
+        except Exception:
+            return None
+
+    def store(self, spec: RunSpec, result: SimulationResult) -> Path:
+        """Persist the result of a spec and return its cache path."""
+        from repro.datasets.io import save_result_npz
+
+        path = self.path_for(spec)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        # Unique per-writer tmp name: concurrent campaigns sharing a cache
+        # directory must never interleave writes into the same file.  The
+        # ``.npz`` suffix is required (numpy appends it otherwise); tmp files
+        # are told apart by the ``.tmp.npz`` tail.
+        handle, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp.npz")
+        os.close(handle)
+        save_result_npz(result, tmp_name)
+        os.replace(tmp_name, path)
+        return path
+
+    def _entries(self) -> List[Path]:
+        if not self.directory.is_dir():
+            return []
+        return [
+            entry
+            for entry in self.directory.glob("*.npz")
+            if not entry.name.endswith(".tmp.npz")
+        ]
+
+    def __len__(self) -> int:
+        return len(self._entries())
+
+    def clear(self) -> int:
+        """Delete every cache entry (and stray tmp files); count the entries."""
+        entries = self._entries()
+        for entry in entries:
+            entry.unlink()
+        if self.directory.is_dir():
+            for leftover in self.directory.glob("*.tmp.npz"):
+                leftover.unlink()
+        return len(entries)
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+@dataclass
+class CampaignStats:
+    """What the engine actually did for the last batch it executed."""
+
+    n_runs: int = 0
+    n_cache_hits: int = 0
+    n_simulated: int = 0
+    n_workers: int = 1
+    backend: str = "serial"
+    wall_seconds: float = 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of runs served from the cache."""
+        if self.n_runs == 0:
+            return 0.0
+        return self.n_cache_hits / self.n_runs
+
+
+class CampaignEngine:
+    """Executes batches of :class:`RunSpec` — parallel, cached, deterministic.
+
+    Parameters
+    ----------
+    config:
+        Execution plan (worker count, backend, cache directory).  The
+        default fans out over all CPUs with no cache.
+
+    Notes
+    -----
+    Results are bitwise-identical across backends and worker counts because
+    every run is seeded in its spec and returned in spec order.  The pool is
+    only spun up when more than one run actually needs simulating.
+    """
+
+    def __init__(self, config: Optional[ParallelConfig] = None):
+        self.config = config or ParallelConfig()
+        self.cache: Optional[ResultCache] = (
+            ResultCache(self.config.cache_dir) if self.config.caching else None
+        )
+        self.last_stats = CampaignStats()
+
+    def run(self, specs: Sequence[RunSpec]) -> List[SimulationResult]:
+        """Execute every spec and return results in spec order."""
+        specs = list(specs)
+        started = time.perf_counter()
+        results: List[Optional[SimulationResult]] = [None] * len(specs)
+
+        pending: List[int] = []
+        for index, spec in enumerate(specs):
+            cached = self.cache.load(spec) if self.cache is not None else None
+            if cached is not None:
+                results[index] = cached
+            else:
+                pending.append(index)
+
+        n_workers = min(self.config.resolved_workers, max(1, len(pending)))
+        use_pool = (
+            self.config.backend == "process" and n_workers > 1 and len(pending) > 1
+        )
+        # Results are cached as they complete (not after the whole batch), so
+        # an interrupted campaign resumes from the runs that already finished.
+        if use_pool:
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                futures = {
+                    pool.submit(_execute_spec, specs[index]): index
+                    for index in pending
+                }
+                for future in as_completed(futures):
+                    index = futures[future]
+                    results[index] = future.result()
+                    if self.cache is not None:
+                        self.cache.store(specs[index], results[index])
+        else:
+            for index in pending:
+                results[index] = _execute_spec(specs[index])
+                if self.cache is not None:
+                    self.cache.store(specs[index], results[index])
+
+        self.last_stats = CampaignStats(
+            n_runs=len(specs),
+            n_cache_hits=len(specs) - len(pending),
+            n_simulated=len(pending),
+            n_workers=n_workers if use_pool else 1,
+            backend="process" if use_pool else "serial",
+            wall_seconds=time.perf_counter() - started,
+        )
+        return results  # type: ignore[return-value]

@@ -9,9 +9,7 @@ disturbance schedule and safety monitor — and runs it through
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
-
-import numpy as np
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.common.config import ExperimentConfig, SimulationConfig
 from repro.common.exceptions import ConfigurationError
@@ -25,6 +23,9 @@ from repro.process.simulator import ClosedLoopSimulator, SimulationResult
 from repro.te.constants import N_IDV, N_XMEAS, N_XMV
 from repro.te.plant import TEPlant
 from repro.te.safety import default_safety_monitor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.parallel import CampaignEngine
 
 __all__ = [
     "make_plant",
@@ -153,29 +154,26 @@ class CalibrationData:
 def run_calibration_campaign(
     config: ExperimentConfig,
     scenario: Optional[Scenario] = None,
+    engine: Optional["CampaignEngine"] = None,
 ) -> CalibrationData:
-    """Run the attack-free calibration campaign of an experiment configuration."""
-    from repro.experiments.scenarios import normal_scenario
+    """Run the attack-free calibration campaign of an experiment configuration.
 
-    base_scenario = scenario or normal_scenario()
-    results: List[SimulationResult] = []
-    controller_parts: List[ProcessDataset] = []
-    process_parts: List[ProcessDataset] = []
-    for run_index in range(config.n_calibration_runs):
-        run_seed = config.seed * 100_003 + run_index
-        simulation = config.simulation.with_seed(run_seed)
-        result = run_scenario(
-            base_scenario,
-            simulation,
-            anomaly_start_hour=config.anomaly_start_hour,
-            enable_safety=True,
-        )
-        results.append(result)
-        controller_parts.append(result.controller_data)
-        process_parts.append(result.process_data)
+    The runs are dispatched through a
+    :class:`~repro.experiments.parallel.CampaignEngine` built from
+    ``config.parallel`` (or the explicitly provided ``engine``); per-run
+    seeds are derived up front, so the resulting datasets are identical
+    whichever backend or worker count executes them.
+    """
+    from repro.experiments.parallel import CampaignEngine, calibration_specs
 
+    engine = engine or CampaignEngine(config.parallel)
+    results = engine.run(calibration_specs(config, scenario))
     return CalibrationData(
-        controller_data=ProcessDataset.concatenate(controller_parts),
-        process_data=ProcessDataset.concatenate(process_parts),
-        results=results,
+        controller_data=ProcessDataset.concatenate(
+            [result.controller_data for result in results]
+        ),
+        process_data=ProcessDataset.concatenate(
+            [result.process_data for result in results]
+        ),
+        results=list(results),
     )

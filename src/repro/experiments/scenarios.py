@@ -15,7 +15,7 @@ the negative control.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.common.exceptions import ConfigurationError

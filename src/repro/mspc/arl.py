@@ -7,11 +7,10 @@ length), averaged over the repeated runs of the scenario (the ARL).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional
 
 import numpy as np
 
-from repro.common.exceptions import ConfigurationError
 
 __all__ = ["run_length", "average_run_length"]
 

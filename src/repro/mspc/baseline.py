@@ -12,7 +12,7 @@ of M.  The baseline is provided so the benchmarks can quantify that contrast
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 from scipy import stats

@@ -9,7 +9,7 @@ unchanged.  The channel never mutates the sender's array.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 

@@ -9,7 +9,7 @@ and can be exported to CSV with :mod:`repro.plotting.export`.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 import numpy as np
 

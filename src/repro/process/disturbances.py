@@ -9,8 +9,8 @@ to the attacks implemented in :mod:`repro.network.attacks`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.exceptions import ConfigurationError
 

@@ -8,7 +8,7 @@ mapping it receives at every integration step.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Tuple
 
 from repro.process.disturbances import DisturbanceSpec
 from repro.te.constants import IDV_TABLE, N_IDV, idv_name

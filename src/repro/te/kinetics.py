@@ -18,7 +18,6 @@ the base operating point a steady state by construction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 import numpy as np
 

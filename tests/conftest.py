@@ -7,7 +7,6 @@ test that only needs to *read* their results.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.common.config import ExperimentConfig, MSPCConfig, SimulationConfig

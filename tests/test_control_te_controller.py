@@ -9,7 +9,7 @@ from repro.control.te_controller import (
     TEDecentralizedController,
     default_loop_definitions,
 )
-from repro.te.constants import N_XMEAS, N_XMV, XMV_TABLE
+from repro.te.constants import N_XMV, XMV_TABLE
 from repro.te.variables import build_xmeas_registry
 
 

@@ -6,7 +6,7 @@ import pytest
 from repro.common.config import ExperimentConfig, SimulationConfig
 from repro.common.exceptions import ConfigurationError
 from repro.experiments.runner import run_calibration_campaign, run_scenario
-from repro.experiments.scenarios import disturbance_idv6_scenario, normal_scenario
+from repro.experiments.scenarios import disturbance_idv6_scenario
 from tests.conftest import ANOMALY_START
 
 

@@ -14,8 +14,7 @@ simulations, and assert the *shape* of the paper's results:
 import numpy as np
 import pytest
 
-from repro.anomaly.diagnosis import AnomalyClass, DualLevelAnalyzer
-from repro.common.config import MSPCConfig
+from repro.anomaly.diagnosis import AnomalyClass
 from repro.experiments.scenarios import paper_scenarios
 from tests.conftest import ANOMALY_START
 

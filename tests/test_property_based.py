@@ -1,7 +1,6 @@
 """Property-based tests (hypothesis) for the statistical core and data structures."""
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
