@@ -20,6 +20,15 @@ Serial, cache-less run of two scenarios::
 
     PYTHONPATH=src python scripts/run_campaign.py --workers 1 --no-cache \
         --scenarios idv6 dos_xmv3
+
+Streaming sharded analysis (peak memory O(chunk), not O(campaign))::
+
+    PYTHONPATH=src python scripts/run_campaign.py --analyze --chunk-size 4
+
+Prune the cache down to 256 MiB, dropping entries older than a week::
+
+    PYTHONPATH=src python scripts/run_campaign.py --cache-prune \
+        --cache-max-bytes 268435456 --cache-max-age 604800
 """
 
 from __future__ import annotations
@@ -53,6 +62,9 @@ def build_config(arguments: argparse.Namespace) -> ExperimentConfig:
         n_workers=arguments.workers,
         backend=arguments.backend,
         cache_dir=None if arguments.no_cache else str(arguments.cache_dir),
+        cache_max_bytes=arguments.cache_max_bytes,
+        cache_max_age=arguments.cache_max_age,
+        chunk_size=arguments.chunk_size,
     )
     return config.with_parallel(parallel)
 
@@ -120,11 +132,63 @@ def main(argv=None) -> int:
         action="store_true",
         help="empty the cache directory and exit",
     )
+    parser.add_argument(
+        "--analyze",
+        action="store_true",
+        help="streaming sharded analysis: chunked result loads, pooled MSPC "
+        "scoring + oMEDA diagnosis, incremental reducers (peak memory "
+        "O(chunk) instead of O(campaign))",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="runs per streaming shard (default: 2x the worker count)",
+    )
+    parser.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="evict oldest cache entries beyond this total size",
+    )
+    parser.add_argument(
+        "--cache-max-age",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="evict cache entries older than this many seconds",
+    )
+    parser.add_argument(
+        "--cache-prune",
+        action="store_true",
+        help="apply --cache-max-bytes/--cache-max-age to the cache and exit",
+    )
     arguments = parser.parse_args(argv)
 
     if arguments.clear_cache:
         removed = ResultCache(arguments.cache_dir).clear()
         print(f"removed {removed} cache entries from {arguments.cache_dir}")
+        return 0
+
+    if arguments.cache_prune:
+        if arguments.cache_max_bytes is None and arguments.cache_max_age is None:
+            raise SystemExit(
+                "--cache-prune needs --cache-max-bytes and/or --cache-max-age"
+            )
+        try:
+            stats = ResultCache(arguments.cache_dir).prune(
+                max_bytes=arguments.cache_max_bytes,
+                max_age_seconds=arguments.cache_max_age,
+            )
+        except ConfigurationError as error:
+            raise SystemExit(f"invalid cache policy: {error}")
+        print(
+            f"pruned {stats.n_removed} entries ({stats.bytes_removed} bytes) "
+            f"from {arguments.cache_dir}; "
+            f"{stats.n_kept} entries ({stats.bytes_kept} bytes) kept"
+        )
         return 0
 
     try:
@@ -145,23 +209,42 @@ def main(argv=None) -> int:
 
     evaluation = Evaluation(config)
     print("\ncalibrating...")
-    evaluation.calibrate()
+    # The streaming path drops per-run calibration results once the
+    # concatenated matrices are built, keeping peak memory O(chunk).
+    evaluation.calibrate(keep_results=not arguments.analyze)
     stats = evaluation.engine.last_stats
     print(
         f"  {stats.n_simulated} simulated, {stats.n_cache_hits} cached, "
         f"{stats.wall_seconds:.1f} s"
     )
 
-    print("evaluating scenarios...")
-    evaluation.evaluate_all(scenarios)
-    stats = evaluation.engine.last_stats
+    if arguments.analyze:
+        print("evaluating scenarios (streaming sharded analysis)...")
+        summaries = evaluation.evaluate_all_streaming(
+            scenarios, chunk_size=arguments.chunk_size
+        )
+        pipeline = evaluation.last_pipeline
+        arl_rows = pipeline.arl_table(summaries)
+        classification_rows = pipeline.classification_table(summaries)
+    else:
+        print("evaluating scenarios...")
+        evaluation.evaluate_all(scenarios)
+        pipeline = evaluation.last_pipeline
+        arl_rows = evaluation.arl_table()
+        classification_rows = evaluation.classification_table()
+    simulation = pipeline.simulation_stats
+    analysis = pipeline.analysis_stats
     print(
-        f"  {stats.n_simulated} simulated, {stats.n_cache_hits} cached, "
-        f"{stats.wall_seconds:.1f} s\n"
+        f"  {simulation.n_simulated} simulated, {simulation.n_cache_hits} cached, "
+        f"{simulation.wall_seconds:.1f} s"
+    )
+    print(
+        f"  analysis: {analysis.n_runs} runs scored "
+        f"({analysis.backend}, {analysis.n_workers} workers)\n"
     )
 
     print("=== ARL table (Section V) ===")
-    for row in evaluation.arl_table():
+    for row in arl_rows:
         arl = "n/a" if row["arl_hours"] is None else f"{row['arl_hours']:.3f} h"
         print(
             f"  {row['scenario']:<16} detected {row['n_detected']}/{row['n_runs']}"
@@ -169,7 +252,7 @@ def main(argv=None) -> int:
         )
 
     print("\n=== classification (disturbance vs intrusion) ===")
-    for row in evaluation.classification_table():
+    for row in classification_rows:
         counts = ", ".join(
             f"{key}: {value}"
             for key, value in row.items()

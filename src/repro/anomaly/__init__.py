@@ -13,6 +13,7 @@ from repro.anomaly.detector import StreamingDetector
 from repro.anomaly.diagnosis import (
     DualLevelAnalyzer,
     DualLevelDiagnosis,
+    DiagnosisSummary,
     AnomalyClass,
     omeda_similarity,
     view_divergence,
@@ -23,6 +24,7 @@ __all__ = [
     "StreamingDetector",
     "DualLevelAnalyzer",
     "DualLevelDiagnosis",
+    "DiagnosisSummary",
     "AnomalyClass",
     "omeda_similarity",
     "view_divergence",

@@ -30,6 +30,7 @@ from repro.mspc.model import MonitoringResult, MSPCMonitor, OmedaResult
 
 __all__ = [
     "AnomalyClass",
+    "DiagnosisSummary",
     "DualLevelDiagnosis",
     "DualLevelAnalyzer",
     "omeda_similarity",
@@ -81,8 +82,34 @@ def view_divergence(
     }
 
 
+class _VerdictMixin:
+    """The API shared by full diagnoses and their compact summaries.
+
+    Aggregation code accepts either interchangeably, so the shared members
+    live here — one body, two carriers.
+    """
+
+    detection_time_hours: Optional[float]
+    controller_omeda: Optional[OmedaResult]
+    process_omeda: Optional[OmedaResult]
+
+    @property
+    def detected(self) -> bool:
+        """Whether either view detected the anomaly."""
+        return self.detection_time_hours is not None
+
+    def implicated_variables(self, count: int = 3) -> Dict[str, Tuple[str, ...]]:
+        """Top implicated variables per view."""
+        implicated: Dict[str, Tuple[str, ...]] = {}
+        if self.controller_omeda is not None:
+            implicated["controller"] = self.controller_omeda.top_variables(count)
+        if self.process_omeda is not None:
+            implicated["process"] = self.process_omeda.top_variables(count)
+        return implicated
+
+
 @dataclass
-class DualLevelDiagnosis:
+class DualLevelDiagnosis(_VerdictMixin):
     """Joint diagnosis of one run from its two data views.
 
     Attributes
@@ -109,19 +136,44 @@ class DualLevelDiagnosis:
     detection_time_hours: Optional[float]
     metadata: Dict[str, object] = field(default_factory=dict)
 
-    @property
-    def detected(self) -> bool:
-        """Whether either view detected the anomaly."""
-        return self.detection_time_hours is not None
+    def summarize(self) -> "DiagnosisSummary":
+        """Strip the per-observation chart arrays, keeping the verdict.
 
-    def implicated_variables(self, count: int = 3) -> Dict[str, Tuple[str, ...]]:
-        """Top implicated variables per view."""
-        implicated: Dict[str, Tuple[str, ...]] = {}
-        if self.controller_omeda is not None:
-            implicated["controller"] = self.controller_omeda.top_variables(count)
-        if self.process_omeda is not None:
-            implicated["process"] = self.process_omeda.top_variables(count)
-        return implicated
+        The summary carries everything the campaign reducers consume —
+        classification, detection time, oMEDA vectors, similarity and the
+        false-alarm metadata — in a few hundred bytes, so the streaming
+        analysis stage can ship it across process boundaries and discard
+        the full per-run monitoring charts immediately.
+        """
+        return DiagnosisSummary(
+            controller_omeda=self.controller_omeda,
+            process_omeda=self.process_omeda,
+            similarity=self.similarity,
+            classification=self.classification,
+            detection_time_hours=self.detection_time_hours,
+            metadata=dict(self.metadata),
+        )
+
+
+@dataclass
+class DiagnosisSummary(_VerdictMixin):
+    """The reducer-facing slice of a :class:`DualLevelDiagnosis`.
+
+    Shares attribute names with :class:`DualLevelDiagnosis` (minus the
+    per-observation ``controller_result`` / ``process_result`` charts), so
+    aggregation code accepts either interchangeably.
+    """
+
+    controller_omeda: Optional[OmedaResult]
+    process_omeda: Optional[OmedaResult]
+    similarity: Optional[float]
+    classification: AnomalyClass
+    detection_time_hours: Optional[float]
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def summarize(self) -> "DiagnosisSummary":
+        """A summary is already its own summary (idempotent)."""
+        return self
 
 
 class DualLevelAnalyzer:

@@ -195,18 +195,40 @@ ProcessPoolExecutor`; ``"serial"`` executes them in-process, in order.
         code version), so a re-run only simulates what changed.
     cache_enabled:
         Master switch for the cache; ignored when ``cache_dir`` is ``None``.
+    cache_max_bytes:
+        Size cap of the on-disk cache.  After a campaign finishes, the
+        oldest entries are evicted until the cache fits the cap.  ``None``
+        disables the size policy.
+    cache_max_age:
+        Age cap of cache entries, in seconds.  Entries older than this are
+        evicted after a campaign finishes.  ``None`` disables the age policy.
+    chunk_size:
+        Number of runs loaded/simulated and analyzed per shard of the
+        streaming analysis stage.  Peak memory of a streaming campaign is
+        proportional to this value, not to the campaign size.  ``None``
+        picks ``2 * resolved_workers`` so every worker stays busy while a
+        chunk is reduced.
     """
 
     n_workers: Optional[int] = None
     backend: str = "process"
     cache_dir: Optional[str] = None
     cache_enabled: bool = True
+    cache_max_bytes: Optional[int] = None
+    cache_max_age: Optional[float] = None
+    chunk_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.n_workers is not None and self.n_workers < 1:
             raise ConfigurationError("n_workers must be >= 1 or None")
         if self.backend not in ("process", "serial"):
             raise ConfigurationError("backend must be 'process' or 'serial'")
+        if self.cache_max_bytes is not None and self.cache_max_bytes < 0:
+            raise ConfigurationError("cache_max_bytes must be >= 0 or None")
+        if self.cache_max_age is not None and self.cache_max_age < 0:
+            raise ConfigurationError("cache_max_age must be >= 0 or None")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ConfigurationError("chunk_size must be >= 1 or None")
 
     @property
     def resolved_workers(self) -> int:
@@ -219,6 +241,18 @@ ProcessPoolExecutor`; ``"serial"`` executes them in-process, in order.
     def caching(self) -> bool:
         """Whether the on-disk result cache is active."""
         return self.cache_enabled and self.cache_dir is not None
+
+    @property
+    def has_eviction_policy(self) -> bool:
+        """Whether any cache eviction policy (size or age) is configured."""
+        return self.cache_max_bytes is not None or self.cache_max_age is not None
+
+    @property
+    def resolved_chunk_size(self) -> int:
+        """The effective streaming chunk size (``chunk_size`` or 2x workers)."""
+        if self.chunk_size is not None:
+            return int(self.chunk_size)
+        return 2 * self.resolved_workers
 
     def with_workers(self, n_workers: Optional[int]) -> "ParallelConfig":
         """Return a copy of this configuration with a different worker count."""

@@ -34,6 +34,7 @@ __all__ = [
     "load_csv",
     "save_result_npz",
     "load_result_npz",
+    "peek_result_npz",
 ]
 
 _PathLike = Union[str, Path]
@@ -122,6 +123,23 @@ def load_result_npz(path: _PathLike) -> "SimulationResult":
         config=config,
         metadata=metadata,
     )
+
+
+def peek_result_npz(path: _PathLike) -> dict:
+    """Read a result file's config, shutdown state and metadata — cheaply.
+
+    ``np.load`` on an NPZ is lazy: member arrays decompress only on access,
+    so reading just the JSON members costs a few kilobytes however large the
+    data views are.  The streaming analysis tooling uses this to inspect and
+    prune :class:`~repro.experiments.parallel.ResultCache` entries without
+    pulling whole campaigns into memory.
+    """
+    with np.load(Path(path), allow_pickle=True) as payload:
+        return {
+            "config": json.loads(str(payload["config"])),
+            "shutdown": json.loads(str(payload["shutdown"])),
+            "metadata": json.loads(str(payload["metadata"])),
+        }
 
 
 def save_csv(dataset: ProcessDataset, path: _PathLike) -> Path:

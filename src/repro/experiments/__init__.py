@@ -22,10 +22,20 @@ from repro.experiments.runner import (
 from repro.experiments.parallel import (
     RunSpec,
     CampaignStats,
+    PruneStats,
     ResultCache,
     CampaignEngine,
     calibration_specs,
     scenario_specs,
+)
+from repro.experiments.analysis import (
+    AnalyzedRun,
+    AnalysisEngine,
+    AnalysisPipeline,
+    AnalysisStats,
+    OmedaMeanReducer,
+    ScenarioReducer,
+    ScenarioSummary,
 )
 from repro.experiments.evaluation import (
     Evaluation,
@@ -57,10 +67,18 @@ __all__ = [
     "CalibrationData",
     "RunSpec",
     "CampaignStats",
+    "PruneStats",
     "ResultCache",
     "CampaignEngine",
     "calibration_specs",
     "scenario_specs",
+    "AnalyzedRun",
+    "AnalysisEngine",
+    "AnalysisPipeline",
+    "AnalysisStats",
+    "OmedaMeanReducer",
+    "ScenarioReducer",
+    "ScenarioSummary",
     "Evaluation",
     "ScenarioEvaluation",
     "figure1_control_chart",

@@ -1,0 +1,879 @@
+"""Streaming, sharded analysis of campaign results.
+
+PR 1 parallelised the *simulation* stage of the paper's evaluation; this
+module does the same for the *analysis* stage (MSPC scoring, oMEDA diagnosis,
+ARL aggregation) while bounding memory:
+
+* campaign results are consumed as an **iterator** — chunked loads from the
+  NPZ :class:`~repro.experiments.parallel.ResultCache` instead of
+  whole-campaign lists; on the streaming path cached runs are handed to the
+  scoring workers *as paths*, so the NPZ decompression itself is sharded and
+  the parent process never materializes the run arrays;
+* per-run MSPC scoring + oMEDA diagnosis fan out over a worker pool
+  (:class:`AnalysisEngine`), with workers returning compact
+  :class:`~repro.anomaly.diagnosis.DiagnosisSummary` records instead of full
+  per-observation charts;
+* aggregation happens in **incremental reducers** (:class:`ScenarioReducer`:
+  detection counts, ARL, classification tallies, mean-oMEDA) so a finished
+  run can be dropped immediately.
+
+Peak memory of a streaming campaign is therefore O(chunk), not O(campaign),
+and the produced :class:`ScenarioSummary` tables are bitwise-identical to the
+eager :class:`~repro.experiments.evaluation.Evaluation` path (which itself
+sits on these reducers).
+"""
+
+from __future__ import annotations
+
+import numbers
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.anomaly.diagnosis import (
+    DiagnosisSummary,
+    DualLevelAnalyzer,
+    DualLevelDiagnosis,
+)
+from repro.common.config import ExperimentConfig, ParallelConfig
+from repro.common.exceptions import ConfigurationError
+from repro.datasets.io import peek_result_npz
+from repro.experiments.parallel import CampaignEngine, CampaignStats, scenario_specs
+from repro.experiments.scenarios import Scenario, paper_scenarios
+from repro.mspc.arl import RunLengthAccumulator, run_length
+from repro.mspc.model import OmedaResult
+from repro.process.simulator import SimulationResult
+
+__all__ = [
+    "AnalyzedRun",
+    "AnalysisStats",
+    "AnalysisEngine",
+    "OmedaMeanReducer",
+    "ScenarioReducer",
+    "ScenarioSummary",
+    "ScoredRun",
+    "AnalysisPipeline",
+    "build_arl_table",
+    "build_classification_table",
+]
+
+DiagnosisLike = Union[DualLevelDiagnosis, DiagnosisSummary]
+
+#: What the scoring stage accepts: an in-memory result, or the path of an
+#: NPZ :class:`~repro.experiments.parallel.ResultCache` entry that the
+#: *worker* loads — so cached campaigns are re-analyzed without the parent
+#: process ever materializing the run data.
+ResultSource = Union[SimulationResult, str, Path]
+
+
+# ----------------------------------------------------------------------
+# Per-run record
+# ----------------------------------------------------------------------
+@dataclass
+class AnalyzedRun:
+    """The analysis outcome of one run of one scenario.
+
+    ``result`` is retained only when the pipeline is asked to keep full
+    simulation results (the eager compatibility path); the streaming path
+    leaves it ``None`` so the run's arrays can be freed as soon as the
+    reducers have consumed this record.
+    """
+
+    scenario_name: str
+    run_index: int
+    diagnosis: DiagnosisLike
+    run_length: Optional[float]
+    shutdown_time_hours: Optional[float]
+    result: Optional[SimulationResult] = None
+
+
+# ----------------------------------------------------------------------
+# Sharded scoring engine
+# ----------------------------------------------------------------------
+class ScoredRun(NamedTuple):
+    """What the scoring stage returns per run: verdict plus shutdown state."""
+
+    diagnosis: DiagnosisLike
+    shutdown_time_hours: Optional[float]
+
+
+# The fitted analyzer of this worker process, installed once by the pool
+# initializer so it is pickled per *worker*, not per task.
+_WORKER_ANALYZER: Optional[DualLevelAnalyzer] = None
+
+
+def _init_analysis_worker(analyzer: DualLevelAnalyzer) -> None:
+    """Pool initializer: pin the fitted analyzer in the worker process."""
+    global _WORKER_ANALYZER
+    _WORKER_ANALYZER = analyzer
+
+
+def _analyze_one(task) -> ScoredRun:
+    """Score one run (top-level so it is picklable by worker pools).
+
+    ``task`` carries ``None`` as its analyzer when running on a pool (the
+    initializer already installed it); the serial path passes the analyzer
+    directly.  A path source is loaded from the NPZ cache *inside the
+    worker*, so both the decompression and the scoring parallelize and the
+    parent process never holds the run's arrays.
+    """
+    analyzer, source, anomaly_start_hour, summarize = task
+    if analyzer is None:
+        analyzer = _WORKER_ANALYZER
+    if isinstance(source, (str, Path)):
+        from repro.datasets.io import load_result_npz
+
+        result = load_result_npz(source)
+    else:
+        result = source
+    diagnosis = analyzer.analyze(
+        result.controller_data,
+        result.process_data,
+        anomaly_start_hour=anomaly_start_hour,
+    )
+    if summarize:
+        diagnosis = diagnosis.summarize()
+    return ScoredRun(diagnosis, result.shutdown_time_hours)
+
+
+@dataclass
+class AnalysisStats:
+    """What the analysis engine actually did for the last stream it scored."""
+
+    n_runs: int = 0
+    n_workers: int = 1
+    backend: str = "serial"
+    wall_seconds: float = 0.0
+
+    def absorb(self, other: "AnalysisStats") -> "AnalysisStats":
+        """Fold another stream's stats into this one (multi-scenario sweeps)."""
+        self.n_runs += other.n_runs
+        self.n_workers = max(self.n_workers, other.n_workers)
+        if other.backend == "process":
+            self.backend = "process"
+        self.wall_seconds += other.wall_seconds
+        return self
+
+
+class AnalysisEngine:
+    """Fans per-run MSPC scoring + oMEDA diagnosis out over a worker pool.
+
+    Mirrors :class:`~repro.experiments.parallel.CampaignEngine`, but for the
+    analysis stage: the fitted analyzer and each run's two data views are
+    shipped to a worker, which returns the diagnosis.  Scoring is a pure
+    deterministic function of (analyzer, data), so serial and parallel
+    execution produce identical diagnoses, and results are yielded in input
+    order regardless of completion order.
+
+    The pool is created lazily and persists across chunks; call
+    :meth:`close` (or use the instance as a context manager) to release it.
+    """
+
+    def __init__(
+        self,
+        analyzer: DualLevelAnalyzer,
+        config: Optional[ParallelConfig] = None,
+    ):
+        self.analyzer = analyzer
+        self.config = config or ParallelConfig()
+        self.last_stats = AnalysisStats()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_size = 0
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "AnalysisEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the worker pool down (a later map creates a fresh one)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+            self._pool_size = 0
+
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        sources: Iterable[ResultSource],
+        anomaly_start_hour: Union[
+            Optional[float], Sequence[Optional[float]]
+        ] = None,
+        summarize: bool = True,
+        chunk_size: Optional[int] = None,
+    ) -> Iterator[ScoredRun]:
+        """Score a stream of result sources, yielding verdicts in input order.
+
+        The stream is consumed in chunks of ``chunk_size`` (default
+        :attr:`ParallelConfig.resolved_chunk_size`), so at most one chunk of
+        sources is alive in this process at a time.  A source may be an
+        in-memory :class:`SimulationResult` or the path of an NPZ cache
+        entry, which the worker loads itself; with ``summarize=True``
+        workers return :class:`DiagnosisSummary` records (a few hundred
+        bytes) instead of full per-observation charts, so for a fully
+        cached campaign neither the inputs nor the outputs of the pool ever
+        transit the parent process.  ``anomaly_start_hour`` may be a single
+        value for the whole stream or one value per source (multi-scenario
+        sweeps mixing anomalous and normal runs).
+        """
+        size = (
+            int(chunk_size)
+            if chunk_size is not None
+            else self.config.resolved_chunk_size
+        )
+        if size < 1:
+            raise ConfigurationError("chunk_size must be >= 1")
+        stats = AnalysisStats(backend="serial", n_workers=1)
+        # Numeric scalars (incl. numpy scalar types, which register with
+        # numbers.Number) and None are a single start for the whole stream;
+        # anything else — list, tuple, ndarray, range — is one per source.
+        if anomaly_start_hour is None or isinstance(
+            anomaly_start_hour, numbers.Number
+        ):
+            starts: Optional[Iterator[Optional[float]]] = None
+        else:
+            starts = iter(anomaly_start_hour)
+        try:
+            iterator = iter(sources)
+            while True:
+                chunk: List[Tuple[ResultSource, Optional[float]]] = []
+                for source in iterator:
+                    if starts is not None:
+                        try:
+                            start = next(starts)
+                        except StopIteration:
+                            raise ValueError(
+                                "anomaly_start_hour sequence is shorter than "
+                                "the source stream"
+                            ) from None
+                    else:
+                        start = anomaly_start_hour
+                    chunk.append((source, start))
+                    if len(chunk) >= size:
+                        break
+                if not chunk:
+                    break
+                stats.n_runs += len(chunk)
+                # Time only the scoring itself: pulling sources from the
+                # iterator may include simulation (the engine's stream), and
+                # the consumer's reducer work happens between yields.
+                scoring_started = time.perf_counter()
+                scored = self._score_chunk(chunk, summarize, stats)
+                stats.wall_seconds += time.perf_counter() - scoring_started
+                yield from scored
+            if starts is not None:
+                leftover = object()
+                if next(starts, leftover) is not leftover:
+                    raise ValueError(
+                        "anomaly_start_hour sequence is longer than the "
+                        "source stream"
+                    )
+        finally:
+            self.last_stats = stats
+
+    def _score_chunk(
+        self,
+        chunk: List[Tuple[ResultSource, Optional[float]]],
+        summarize: bool,
+        stats: AnalysisStats,
+    ) -> List[ScoredRun]:
+        n_workers = min(self.config.resolved_workers, len(chunk))
+        use_pool = (
+            self.config.backend == "process" and n_workers > 1 and len(chunk) > 1
+        )
+        if not use_pool:
+            return [
+                _analyze_one((self.analyzer, source, start, summarize))
+                for source, start in chunk
+            ]
+
+        if self._pool is not None and self._pool_size < n_workers:
+            # A later chunk outgrew the pool: rebuild at the larger size.
+            self.close()
+        if self._pool is None:
+            # The initializer ships the analyzer once per worker; the pool is
+            # bound to the analyzer it was created with (close() to rebind).
+            # Sized to the chunk at hand: workers beyond it would only idle.
+            self._pool = ProcessPoolExecutor(
+                max_workers=n_workers,
+                initializer=_init_analysis_worker,
+                initargs=(self.analyzer,),
+            )
+            self._pool_size = n_workers
+        futures = {
+            self._pool.submit(_analyze_one, (None, source, start, summarize)): index
+            for index, (source, start) in enumerate(chunk)
+        }
+        scored: List[Optional[ScoredRun]] = [None] * len(chunk)
+        for future in as_completed(futures):
+            scored[futures[future]] = future.result()
+        stats.backend = "process"
+        stats.n_workers = max(stats.n_workers, n_workers)
+        return scored  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# Incremental reducers
+# ----------------------------------------------------------------------
+class OmedaMeanReducer:
+    """Accumulates per-view oMEDA vectors and averages them at the end.
+
+    The vectors themselves are retained (one small array of per-variable
+    contributions per run) so the final reduction can use the exact
+    ``np.mean(np.vstack(...), axis=0)`` of the eager path — bitwise-identical
+    output for a few hundred bytes per run.
+    """
+
+    def __init__(self) -> None:
+        self._vectors: List[np.ndarray] = []
+        self._names: Optional[Tuple[str, ...]] = None
+
+    def update(self, omeda: Optional[OmedaResult]) -> None:
+        """Record one run's oMEDA diagnosis (``None`` when unavailable)."""
+        if omeda is None:
+            return
+        self._vectors.append(np.asarray(omeda.contributions, dtype=float))
+        self._names = omeda.variable_names
+
+    @property
+    def n_vectors(self) -> int:
+        """Number of diagnoses recorded so far."""
+        return len(self._vectors)
+
+    def finalize(self) -> Tuple[Tuple[str, ...], np.ndarray]:
+        """Variable names and the mean oMEDA vector over recorded runs."""
+        if not self._vectors or self._names is None:
+            return tuple(), np.array([])
+        return self._names, np.mean(np.vstack(self._vectors), axis=0)
+
+
+class ScenarioReducer:
+    """Streaming aggregation of one scenario's runs.
+
+    Consumes :class:`AnalyzedRun` records one at a time and maintains the
+    aggregates the paper's tables need — detection counts and ARL
+    (:class:`~repro.mspc.arl.RunLengthAccumulator`), classification tallies,
+    false-alarm counts, shutdown times and per-view mean-oMEDA — without
+    keeping any per-run simulation data alive.
+    """
+
+    def __init__(self, scenario: Scenario):
+        self.scenario = scenario
+        self._run_lengths = RunLengthAccumulator()
+        self._counts: Dict[str, int] = {}
+        self._false_alarms = 0
+        self._shutdown_times: List[Optional[float]] = []
+        self._omeda = {
+            "controller": OmedaMeanReducer(),
+            "process": OmedaMeanReducer(),
+        }
+
+    def update(self, run: AnalyzedRun) -> None:
+        """Fold one analyzed run into the aggregates."""
+        diagnosis = run.diagnosis
+        self._run_lengths.update(run.run_length)
+        key = diagnosis.classification.value
+        self._counts[key] = self._counts.get(key, 0) + 1
+        if diagnosis.metadata.get("false_alarm_time_hours") is not None:
+            self._false_alarms += 1
+        self._shutdown_times.append(run.shutdown_time_hours)
+        self._omeda["controller"].update(diagnosis.controller_omeda)
+        self._omeda["process"].update(diagnosis.process_omeda)
+
+    @property
+    def n_runs(self) -> int:
+        """Number of runs folded in so far."""
+        return self._run_lengths.n_runs
+
+    def summary(self) -> "ScenarioSummary":
+        """Finalize the aggregates into a :class:`ScenarioSummary`."""
+        return ScenarioSummary(
+            scenario=self.scenario,
+            run_lengths=self._run_lengths.run_lengths,
+            counts=dict(self._counts),
+            false_alarm_count=self._false_alarms,
+            shutdown_times_hours=list(self._shutdown_times),
+            omeda_means={
+                view: reducer.finalize() for view, reducer in self._omeda.items()
+            },
+        )
+
+
+# eq=False: omeda_means holds numpy arrays, whose elementwise == would make
+# the generated __eq__ raise; compare the table fields explicitly instead.
+@dataclass(eq=False)
+class ScenarioSummary:
+    """Aggregates of one scenario — the streaming counterpart of
+    :class:`~repro.experiments.evaluation.ScenarioEvaluation`.
+
+    Exposes the same table-facing API (``n_runs``, ``n_detected``,
+    ``detection_rate``, ``arl_hours``, ``n_false_alarms``, ``mean_omeda``,
+    ``classification_counts``, ``shutdown_times``) while holding only
+    per-run scalars and per-view mean vectors, never simulation data.
+    """
+
+    scenario: Scenario
+    run_lengths: List[Optional[float]]
+    counts: Dict[str, int] = field(default_factory=dict)
+    false_alarm_count: int = 0
+    shutdown_times_hours: List[Optional[float]] = field(default_factory=list)
+    omeda_means: Dict[str, Tuple[Tuple[str, ...], np.ndarray]] = field(
+        default_factory=dict
+    )
+
+    def _accumulator(self) -> RunLengthAccumulator:
+        """The stored run lengths, replayed through the canonical reducer."""
+        accumulator = RunLengthAccumulator()
+        for length in self.run_lengths:
+            accumulator.update(length)
+        return accumulator
+
+    @property
+    def n_runs(self) -> int:
+        """Number of runs aggregated."""
+        return len(self.run_lengths)
+
+    @property
+    def n_detected(self) -> int:
+        """Number of runs in which the anomaly was detected."""
+        return self._accumulator().n_detected
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of runs in which the anomaly was detected."""
+        return self._accumulator().detection_rate
+
+    @property
+    def n_false_alarms(self) -> int:
+        """Runs in which a detection fired before the anomaly even began."""
+        return self.false_alarm_count
+
+    @property
+    def arl_hours(self) -> Optional[float]:
+        """Average Run Length over the detected runs, in hours."""
+        return self._accumulator().arl_hours
+
+    def mean_omeda(self, view: str) -> Tuple[Tuple[str, ...], np.ndarray]:
+        """Average oMEDA vector over runs for ``view`` ("controller"/"process")."""
+        if view not in self.omeda_means:
+            return tuple(), np.array([])
+        return self.omeda_means[view]
+
+    def classification_counts(self) -> Dict[str, int]:
+        """How many runs were classified into each anomaly class."""
+        return dict(self.counts)
+
+    def shutdown_times(self) -> List[Optional[float]]:
+        """Per-run safety shutdown time (None when the run completed)."""
+        return list(self.shutdown_times_hours)
+
+
+# ----------------------------------------------------------------------
+# The pipeline
+# ----------------------------------------------------------------------
+class AnalysisPipeline:
+    """Streams a campaign through simulation, sharded scoring and reducers.
+
+    Parameters
+    ----------
+    analyzer:
+        A fitted :class:`DualLevelAnalyzer` (both views calibrated).
+    config:
+        Campaign configuration; ``config.parallel`` supplies worker count,
+        chunk size and cache settings for both stages.
+    engine:
+        Optional pre-built simulation engine (shared with
+        :class:`~repro.experiments.evaluation.Evaluation` so cache state and
+        stats are visible to the caller).
+    summarize:
+        When ``True`` (the streaming default) workers return compact
+        :class:`DiagnosisSummary` records; ``False`` retains the full
+        :class:`DualLevelDiagnosis` per run.
+    keep_results:
+        When ``True`` each :class:`AnalyzedRun` carries its
+        :class:`SimulationResult`; peak memory then grows with the campaign
+        again, so this is only meant for the eager compatibility path.
+    """
+
+    def __init__(
+        self,
+        analyzer: DualLevelAnalyzer,
+        config: ExperimentConfig,
+        engine: Optional[CampaignEngine] = None,
+        chunk_size: Optional[int] = None,
+        summarize: bool = True,
+        keep_results: bool = False,
+    ):
+        self.config = config
+        self.analyzer = analyzer
+        self.engine = engine or CampaignEngine(config.parallel)
+        self.analysis_engine = AnalysisEngine(analyzer, config.parallel)
+        self.chunk_size = chunk_size
+        self.summarize = summarize
+        self.keep_results = keep_results
+        # Accumulated over every scenario streamed through this pipeline
+        # (each engine/analysis ``last_stats`` only covers one scenario).
+        self.simulation_stats = CampaignStats()
+        self.analysis_stats = AnalysisStats()
+
+    # ------------------------------------------------------------------
+    def iter_scenario(
+        self, scenario: Scenario, n_runs: Optional[int] = None
+    ) -> Iterator[AnalyzedRun]:
+        """Simulate, score and yield one scenario's runs, one at a time.
+
+        Results stream chunk by chunk; each chunk's MSPC scoring + oMEDA
+        diagnosis fans out over the analysis pool; every yielded record is
+        final, so the caller can fold it into reducers and drop it.
+
+        On the streaming path (``keep_results=False``) runs already present
+        in the NPZ result cache are handed to the workers *as paths*: the
+        worker loads, scores and summarizes the run, and the parent process
+        never materializes its arrays at all.  The eager path
+        (``keep_results=True``) loads results in the parent, since the
+        caller wants them retained anyway.
+
+        The raw iterators leave the cache eviction policy to the caller
+        (streaming must not evict entries whose paths workers hold);
+        :meth:`analyze_scenario` / :meth:`analyze_all` prune once their
+        campaign is done, and the eager path prunes via the engine.
+        """
+        if self.keep_results:
+            specs = scenario_specs(self.config, scenario, n_runs)
+            yield from self._iter_eager([(scenario, specs)])
+        else:
+            yield from self._iter_streaming(scenario, n_runs)
+
+    def iter_campaign(
+        self,
+        scenarios: Sequence[Scenario],
+        n_runs: Optional[int] = None,
+    ) -> Iterator[AnalyzedRun]:
+        """Stream several scenarios' runs, in scenario order.
+
+        On the eager path the whole sweep is submitted to the engine as one
+        batch (one pool, fan-out spanning every scenario — the pre-streaming
+        behaviour); per-run seeds make the outcome identical either way.
+        The streaming path goes scenario by scenario, chunk by chunk.
+        """
+        if self.keep_results:
+            groups = [
+                (scenario, scenario_specs(self.config, scenario, n_runs))
+                for scenario in scenarios
+            ]
+            yield from self._iter_eager(groups)
+        else:
+            for scenario in scenarios:
+                yield from self._iter_streaming(scenario, n_runs)
+
+    def _iter_eager(
+        self, groups: Sequence[Tuple[Scenario, List]]
+    ) -> Iterator[AnalyzedRun]:
+        """Parent-side loads, full retention: the eager compatibility path.
+
+        Retention makes O(chunk) memory moot here, so unless an explicit
+        ``chunk_size`` was configured, the whole batch runs as one chunk —
+        a single pool whose fan-out spans every scenario of the sweep.
+        """
+        flat_specs: List = []
+        scenario_of: List[Scenario] = []
+        for scenario, specs in groups:
+            flat_specs.extend(specs)
+            scenario_of.extend([scenario] * len(specs))
+        starts = [
+            self.config.anomaly_start_hour if scenario.is_anomalous else None
+            for scenario in scenario_of
+        ]
+        chunk = self.chunk_size or max(1, len(flat_specs))
+        # By the time verdict ``i`` is yielded, the chunk containing result
+        # ``i`` has necessarily passed through and been recorded.
+        retained: Dict[int, SimulationResult] = {}
+        stream = self.engine.iter_run(flat_specs, chunk)
+
+        def passthrough() -> Iterator[SimulationResult]:
+            for index, item in enumerate(stream):
+                retained[index] = item
+                yield item
+
+        scored = self.analysis_engine.map(
+            passthrough(),
+            anomaly_start_hour=starts,
+            summarize=self.summarize,
+            chunk_size=chunk,
+        )
+        try:
+            run_index = 0
+            current: Optional[Scenario] = None
+            for flat_index, verdict in enumerate(scored):
+                scenario = scenario_of[flat_index]
+                if scenario is not current:
+                    current, run_index = scenario, 0
+                yield self._record(scenario, run_index, verdict, retained[flat_index])
+                run_index += 1
+        finally:
+            # Close the inner generators first so their stats are final
+            # (and the engine's deferred prune has run) before absorbing —
+            # early termination by the consumer then still books the work
+            # actually done.
+            scored.close()
+            stream.close()
+            self.simulation_stats.absorb(self.engine.last_stats)
+            self.analysis_stats.absorb(self.analysis_engine.last_stats)
+
+    def _iter_streaming(
+        self, scenario: Scenario, n_runs: Optional[int]
+    ) -> Iterator[AnalyzedRun]:
+        """Worker-side cache loads, O(chunk) memory: the streaming path.
+
+        Misses go through :meth:`CampaignEngine.run` per chunk, which spins
+        its pool up per call — acceptable because a mostly-cold cache means
+        simulation dominates anyway; fully cached replays (the streaming
+        path's main use) never pay it.
+        """
+        specs = scenario_specs(self.config, scenario, n_runs)
+        anomaly_start = (
+            self.config.anomaly_start_hour if scenario.is_anomalous else None
+        )
+        size = (
+            int(self.chunk_size)
+            if self.chunk_size is not None
+            else self.config.parallel.resolved_chunk_size
+        )
+        if size < 1:
+            raise ConfigurationError("chunk_size must be >= 1")
+        stats = CampaignStats(backend="serial", n_workers=1)
+        run_index = 0
+        try:
+            for offset in range(0, len(specs), size):
+                chunk_specs = specs[offset : offset + size]
+                chunk_started = time.perf_counter()
+                stats.n_runs += len(chunk_specs)
+                sources: List[Optional[ResultSource]] = [None] * len(chunk_specs)
+                missing: List[int] = []
+                for index, spec in enumerate(chunk_specs):
+                    path = self._valid_cache_path(spec)
+                    if path is not None:
+                        sources[index] = path
+                    else:
+                        missing.append(index)
+                stats.n_cache_hits += len(chunk_specs) - len(missing)
+                if missing:
+                    # Eviction is deferred to the end of the campaign
+                    # (prune=False): the policy must not delete entries whose
+                    # paths were just handed to the scoring workers.
+                    simulated = self.engine.run(
+                        [chunk_specs[i] for i in missing], prune=False
+                    )
+                    for index, result in zip(missing, simulated):
+                        sources[index] = result
+                    # Book what the engine actually did: a concurrent
+                    # campaign may have filled the cache between our peek
+                    # and the run, turning a miss into a hit.
+                    engine_stats = self.engine.last_stats
+                    stats.n_simulated += engine_stats.n_simulated
+                    stats.n_cache_hits += engine_stats.n_cache_hits
+                    stats.n_workers = max(stats.n_workers, engine_stats.n_workers)
+                    if engine_stats.backend == "process":
+                        stats.backend = "process"
+                stats.wall_seconds += time.perf_counter() - chunk_started
+                try:
+                    verdicts = list(
+                        self.analysis_engine.map(
+                            sources,
+                            anomaly_start_hour=anomaly_start,
+                            summarize=self.summarize,
+                            chunk_size=len(sources),
+                        )
+                    )
+                except Exception as error:
+                    # Recovery only makes sense when the chunk depended on
+                    # cache paths that may have gone bad under us (another
+                    # campaign's prune/clear on a shared cache, or arrays
+                    # corrupt past the peeked JSON members); anything else is
+                    # a genuine scoring failure and propagates.
+                    if not any(
+                        isinstance(source, (str, Path)) for source in sources
+                    ):
+                        raise
+                    warnings.warn(
+                        f"chunk scoring failed ({error!r}); retrying with "
+                        "cache-miss semantics",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    # Rebuild the pool (a dead worker poisons it), reload
+                    # sound entries / re-simulate broken ones, and rescore
+                    # from memory.
+                    self.analysis_engine.close()
+                    recovered = self.engine.run(chunk_specs, prune=False)
+                    # Entries that had to be re-simulated were optimistically
+                    # counted as hits when their paths passed the peek.
+                    resimulated = self.engine.last_stats.n_simulated
+                    stats.n_simulated += resimulated
+                    stats.n_cache_hits = max(0, stats.n_cache_hits - resimulated)
+                    verdicts = list(
+                        self.analysis_engine.map(
+                            recovered,
+                            anomaly_start_hour=anomaly_start,
+                            summarize=self.summarize,
+                            chunk_size=len(recovered),
+                        )
+                    )
+                for verdict in verdicts:
+                    yield self._record(scenario, run_index, verdict, None)
+                    run_index += 1
+                self.analysis_stats.absorb(self.analysis_engine.last_stats)
+        finally:
+            # Eviction is a campaign-level concern: analyze_scenario /
+            # analyze_all prune once scoring is done.  Pruning here would
+            # evict entries later scenarios of the same sweep still need.
+            self.simulation_stats.absorb(stats)
+
+    def _valid_cache_path(self, spec) -> Optional[Path]:
+        """The spec's cache entry path, if present and structurally sound.
+
+        Validation uses :func:`~repro.datasets.io.peek_result_npz`, which
+        reads only the small JSON members — a corrupt or truncated entry is
+        treated as a miss and re-simulated, matching
+        :meth:`ResultCache.load` semantics without loading the arrays.
+        """
+        if self.engine.cache is None:
+            return None
+        path = self.engine.cache.path_for(spec)
+        if not path.is_file():
+            return None
+        try:
+            peek_result_npz(path)
+        except Exception:
+            return None
+        return path
+
+    def _record(
+        self,
+        scenario: Scenario,
+        run_index: int,
+        verdict: ScoredRun,
+        result: Optional[SimulationResult],
+    ) -> AnalyzedRun:
+        """Assemble the reducer-facing record of one scored run."""
+        if scenario.is_anomalous:
+            length = run_length(
+                verdict.diagnosis.detection_time_hours,
+                self.config.anomaly_start_hour,
+            )
+        else:
+            length = None
+        return AnalyzedRun(
+            scenario_name=scenario.name,
+            run_index=run_index,
+            diagnosis=verdict.diagnosis,
+            run_length=length,
+            shutdown_time_hours=verdict.shutdown_time_hours,
+            result=result,
+        )
+
+    def analyze_scenario(
+        self, scenario: Scenario, n_runs: Optional[int] = None, prune: bool = True
+    ) -> ScenarioSummary:
+        """Stream one scenario through the reducers and summarize it.
+
+        ``prune=False`` defers the cache eviction policy to the caller —
+        :meth:`analyze_all` prunes once per sweep, after the last scenario,
+        so a tight cap cannot evict entries a later scenario still needs.
+        """
+        reducer = ScenarioReducer(scenario)
+        for run in self.iter_scenario(scenario, n_runs):
+            reducer.update(run)
+        if prune:
+            self.engine.prune_cache()
+        return reducer.summary()
+
+    def analyze_all(
+        self, scenarios: Optional[Sequence[Scenario]] = None
+    ) -> Dict[str, ScenarioSummary]:
+        """Stream every scenario (defaults to the paper's four)."""
+        scenarios = list(scenarios or paper_scenarios())
+        summaries: Dict[str, ScenarioSummary] = {}
+        try:
+            for scenario in scenarios:
+                summaries[scenario.name] = self.analyze_scenario(
+                    scenario, prune=False
+                )
+        finally:
+            self.analysis_engine.close()
+            self.engine.prune_cache()
+        return summaries
+
+    # ------------------------------------------------------------------
+    def arl_table(
+        self, summaries: Dict[str, ScenarioSummary]
+    ) -> List[Dict[str, object]]:
+        """One row per scenario: detection rate and ARL in hours."""
+        return build_arl_table(summaries)
+
+    def classification_table(
+        self, summaries: Dict[str, ScenarioSummary]
+    ) -> List[Dict[str, object]]:
+        """One row per scenario: how its runs were classified."""
+        return build_classification_table(summaries)
+
+
+# ----------------------------------------------------------------------
+# Table builders — shared by the eager and streaming paths
+# ----------------------------------------------------------------------
+def build_arl_table(
+    summaries: Mapping[str, object]
+) -> List[Dict[str, object]]:
+    """One row per scenario: detection rate and ARL in hours.
+
+    Accepts any mapping of scenario name to a summary-like object (a
+    :class:`ScenarioSummary` or an eager
+    :class:`~repro.experiments.evaluation.ScenarioEvaluation` — they share
+    the table API), so the eager and streaming tables cannot drift apart.
+    """
+    rows: List[Dict[str, object]] = []
+    for name, summary in summaries.items():
+        rows.append(
+            {
+                "scenario": name,
+                "title": summary.scenario.title,
+                "n_runs": summary.n_runs,
+                "n_detected": summary.n_detected,
+                "detection_rate": summary.detection_rate,
+                "arl_hours": summary.arl_hours,
+            }
+        )
+    return rows
+
+
+def build_classification_table(
+    summaries: Mapping[str, object]
+) -> List[Dict[str, object]]:
+    """One row per scenario: how its runs were classified."""
+    rows: List[Dict[str, object]] = []
+    for name, summary in summaries.items():
+        row: Dict[str, object] = {
+            "scenario": name,
+            "ground_truth": summary.scenario.expected_ground_truth,
+        }
+        row.update(summary.classification_counts())
+        rows.append(row)
+    return rows

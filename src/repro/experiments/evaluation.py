@@ -4,11 +4,21 @@
 to fit the dual-level MSPC models, repeated runs of every anomalous scenario,
 Average Run Length computation and per-view oMEDA diagnosis — i.e. everything
 needed to regenerate Figures 4 and 5 and the ARL discussion of the paper.
+
+Since PR 2 the evaluation sits on top of the streaming analysis stage
+(:mod:`repro.experiments.analysis`): simulation results stream out of the
+engine chunk by chunk, MSPC scoring + oMEDA diagnosis fan out over the worker
+pool, and all aggregates come from the incremental
+:class:`~repro.experiments.analysis.ScenarioReducer`.  The eager API below is
+a thin retention wrapper over that pipeline — it keeps full results and
+diagnoses alive for inspection and produces bitwise-identical tables; use
+:meth:`Evaluation.evaluate_all_streaming` when the campaign is too large to
+hold in memory.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -16,10 +26,17 @@ import numpy as np
 from repro.anomaly.diagnosis import DualLevelAnalyzer, DualLevelDiagnosis
 from repro.common.config import ExperimentConfig
 from repro.common.exceptions import NotFittedError
-from repro.experiments.parallel import CampaignEngine, scenario_specs
+from repro.experiments.analysis import (
+    AnalysisPipeline,
+    AnalyzedRun,
+    ScenarioReducer,
+    ScenarioSummary,
+    build_arl_table,
+    build_classification_table,
+)
+from repro.experiments.parallel import CampaignEngine
 from repro.experiments.runner import CalibrationData, run_calibration_campaign
 from repro.experiments.scenarios import Scenario, paper_scenarios
-from repro.mspc.arl import run_length
 from repro.process.simulator import SimulationResult
 
 __all__ = ["ScenarioEvaluation", "Evaluation"]
@@ -27,12 +44,56 @@ __all__ = ["ScenarioEvaluation", "Evaluation"]
 
 @dataclass
 class ScenarioEvaluation:
-    """Aggregated results of one scenario over its repeated runs."""
+    """Aggregated results of one scenario over its repeated runs.
+
+    The eager, fully-retained record: every simulation result and diagnosis
+    stays accessible.  All aggregates delegate to the same
+    :class:`~repro.experiments.analysis.ScenarioReducer` the streaming path
+    uses, so the two paths cannot drift apart.
+    """
 
     scenario: Scenario
     results: List[SimulationResult]
     diagnoses: List[DualLevelDiagnosis]
     run_lengths: List[Optional[float]]
+    # Lazily-built aggregate; the retained lists are write-once after
+    # construction, so one replay through the reducer serves every property.
+    _summary_cache: Optional[ScenarioSummary] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def to_summary(self) -> ScenarioSummary:
+        """Replay the retained runs through the streaming reducer (cached).
+
+        The cache is invalidated when runs are appended/removed; in-place
+        mutation of an existing entry is not tracked.
+        """
+        if (
+            self._summary_cache is not None
+            and self._summary_cache.n_runs == len(self.diagnoses)
+        ):
+            return self._summary_cache
+        reducer = ScenarioReducer(self.scenario)
+        for index, (diagnosis, length) in enumerate(
+            zip(self.diagnoses, self.run_lengths)
+        ):
+            # results may legitimately be empty/shorter (lean retention);
+            # the diagnosis/run-length pair drives the aggregates.
+            result = self.results[index] if index < len(self.results) else None
+            reducer.update(
+                AnalyzedRun(
+                    scenario_name=self.scenario.name,
+                    run_index=index,
+                    diagnosis=diagnosis,
+                    run_length=length,
+                    shutdown_time_hours=(
+                        result.shutdown_time_hours if result is not None else None
+                    ),
+                    result=result,
+                )
+            )
+        self._summary_cache = reducer.summary()
+        return self._summary_cache
 
     @property
     def n_runs(self) -> int:
@@ -42,57 +103,30 @@ class ScenarioEvaluation:
     @property
     def n_detected(self) -> int:
         """Number of runs in which the anomaly was detected."""
-        return sum(1 for length in self.run_lengths if length is not None)
+        return self.to_summary().n_detected
 
     @property
     def detection_rate(self) -> float:
         """Fraction of runs in which the anomaly was detected."""
-        if not self.run_lengths:
-            return 0.0
-        return self.n_detected / len(self.run_lengths)
+        return self.to_summary().detection_rate
 
     @property
     def n_false_alarms(self) -> int:
         """Runs in which a detection fired before the anomaly even began."""
-        count = 0
-        for diagnosis in self.diagnoses:
-            if diagnosis.metadata.get("false_alarm_time_hours") is not None:
-                count += 1
-        return count
+        return self.to_summary().n_false_alarms
 
     @property
     def arl_hours(self) -> Optional[float]:
         """Average Run Length over the detected runs, in hours."""
-        lengths = [length for length in self.run_lengths if length is not None]
-        if not lengths:
-            return None
-        return float(np.mean(lengths))
+        return self.to_summary().arl_hours
 
     def mean_omeda(self, view: str) -> Tuple[Tuple[str, ...], np.ndarray]:
         """Average oMEDA vector over runs for ``view`` ("controller"/"process")."""
-        vectors: List[np.ndarray] = []
-        names: Optional[Tuple[str, ...]] = None
-        for diagnosis in self.diagnoses:
-            omeda = (
-                diagnosis.controller_omeda
-                if view == "controller"
-                else diagnosis.process_omeda
-            )
-            if omeda is None:
-                continue
-            vectors.append(np.asarray(omeda.contributions, dtype=float))
-            names = omeda.variable_names
-        if not vectors or names is None:
-            return tuple(), np.array([])
-        return names, np.mean(np.vstack(vectors), axis=0)
+        return self.to_summary().mean_omeda(view)
 
     def classification_counts(self) -> Dict[str, int]:
         """How many runs were classified into each anomaly class."""
-        counts: Dict[str, int] = {}
-        for diagnosis in self.diagnoses:
-            key = diagnosis.classification.value
-            counts[key] = counts.get(key, 0) + 1
-        return counts
+        return self.to_summary().classification_counts()
 
     def shutdown_times(self) -> List[Optional[float]]:
         """Per-run safety shutdown time (None when the run completed)."""
@@ -127,6 +161,9 @@ class Evaluation:
         self.engine = engine or CampaignEngine(self.config.parallel)
         self.calibration: Optional[CalibrationData] = None
         self._scenario_results: Dict[str, ScenarioEvaluation] = {}
+        # The pipeline of the most recent evaluate_* call, for its
+        # accumulated simulation_stats / analysis_stats.
+        self.last_pipeline: Optional[AnalysisPipeline] = None
 
     # ------------------------------------------------------------------
     @property
@@ -134,9 +171,18 @@ class Evaluation:
         """Whether the calibration campaign has been run and models fitted."""
         return self.calibration is not None and self.analyzer.is_fitted
 
-    def calibrate(self) -> CalibrationData:
-        """Run the calibration campaign and fit both MSPC models."""
-        self.calibration = run_calibration_campaign(self.config, engine=self.engine)
+    def calibrate(self, keep_results: bool = True) -> CalibrationData:
+        """Run the calibration campaign and fit both MSPC models.
+
+        ``keep_results=False`` (the streaming campaigns' choice) releases
+        each calibration run's :class:`SimulationResult` once its data has
+        been folded into the concatenated calibration matrices, instead of
+        retaining all of them on :attr:`calibration` for the process
+        lifetime.
+        """
+        self.calibration = run_calibration_campaign(
+            self.config, engine=self.engine, keep_results=keep_results
+        )
         self.analyzer.fit(
             self.calibration.controller_data, self.calibration.process_data
         )
@@ -147,33 +193,31 @@ class Evaluation:
             raise NotFittedError("call calibrate() before evaluating scenarios")
 
     # ------------------------------------------------------------------
-    def _assemble(
-        self, scenario: Scenario, results: Sequence[SimulationResult]
+    def _pipeline(self, **overrides) -> AnalysisPipeline:
+        """An analysis pipeline sharing this evaluation's engine and analyzer."""
+        options = dict(engine=self.engine, summarize=False, keep_results=True)
+        options.update(overrides)
+        pipeline = AnalysisPipeline(self.analyzer, self.config, **options)
+        self.last_pipeline = pipeline
+        return pipeline
+
+    def _evaluate_with(
+        self,
+        pipeline: AnalysisPipeline,
+        scenario: Scenario,
+        n_runs: Optional[int] = None,
     ) -> ScenarioEvaluation:
-        """Diagnose each run of a scenario and aggregate the outcome."""
+        """Stream one scenario through a pipeline, retaining everything."""
+        results: List[SimulationResult] = []
         diagnoses: List[DualLevelDiagnosis] = []
         run_lengths: List[Optional[float]] = []
-        for result in results:
-            diagnosis = self.analyzer.analyze(
-                result.controller_data,
-                result.process_data,
-                anomaly_start_hour=(
-                    self.config.anomaly_start_hour if scenario.is_anomalous else None
-                ),
-            )
-            diagnoses.append(diagnosis)
-            if scenario.is_anomalous:
-                run_lengths.append(
-                    run_length(
-                        diagnosis.detection_time_hours, self.config.anomaly_start_hour
-                    )
-                )
-            else:
-                run_lengths.append(None)
-
+        for run in pipeline.iter_scenario(scenario, n_runs):
+            results.append(run.result)
+            diagnoses.append(run.diagnosis)
+            run_lengths.append(run.run_length)
         evaluation = ScenarioEvaluation(
             scenario=scenario,
-            results=list(results),
+            results=results,
             diagnoses=diagnoses,
             run_lengths=run_lengths,
         )
@@ -185,31 +229,67 @@ class Evaluation:
     ) -> ScenarioEvaluation:
         """Run one scenario ``n_runs`` times and aggregate its results."""
         self._require_calibrated()
-        results = self.engine.run(scenario_specs(self.config, scenario, n_runs))
-        return self._assemble(scenario, results)
+        pipeline = self._pipeline()
+        try:
+            return self._evaluate_with(pipeline, scenario, n_runs)
+        finally:
+            pipeline.analysis_engine.close()
 
     def evaluate_all(
         self, scenarios: Optional[Sequence[Scenario]] = None
     ) -> Dict[str, ScenarioEvaluation]:
         """Evaluate every scenario (defaults to the paper's four).
 
-        The runs of *all* scenarios are submitted to the engine as one batch,
-        so the fan-out spans the whole sweep rather than one scenario at a
-        time; per-run seeds make the outcome identical either way.
+        The runs of *all* scenarios are submitted to the engine as one batch
+        (via :meth:`AnalysisPipeline.iter_campaign`), so the simulation
+        fan-out spans the whole sweep rather than one scenario at a time;
+        per-run seeds make the outcome bitwise-identical whatever the
+        batching, chunking, worker count or backend.
         """
         self._require_calibrated()
         scenarios = list(scenarios or paper_scenarios())
-        spec_lists = [
-            scenario_specs(self.config, scenario) for scenario in scenarios
-        ]
-        flat_results = self.engine.run(
-            [spec for specs in spec_lists for spec in specs]
-        )
-        offset = 0
-        for scenario, specs in zip(scenarios, spec_lists):
-            self._assemble(scenario, flat_results[offset : offset + len(specs)])
-            offset += len(specs)
+        by_name = {scenario.name: scenario for scenario in scenarios}
+        collected: Dict[str, Tuple[list, list, list]] = {
+            scenario.name: ([], [], []) for scenario in scenarios
+        }
+        pipeline = self._pipeline()
+        try:
+            for run in pipeline.iter_campaign(scenarios):
+                results, diagnoses, run_lengths = collected[run.scenario_name]
+                results.append(run.result)
+                diagnoses.append(run.diagnosis)
+                run_lengths.append(run.run_length)
+        finally:
+            pipeline.analysis_engine.close()
+        for name, (results, diagnoses, run_lengths) in collected.items():
+            self._scenario_results[name] = ScenarioEvaluation(
+                scenario=by_name[name],
+                results=results,
+                diagnoses=diagnoses,
+                run_lengths=run_lengths,
+            )
         return dict(self._scenario_results)
+
+    def evaluate_all_streaming(
+        self,
+        scenarios: Optional[Sequence[Scenario]] = None,
+        chunk_size: Optional[int] = None,
+    ) -> Dict[str, ScenarioSummary]:
+        """Evaluate every scenario without retaining per-run data.
+
+        The memory-bounded path: results stream out of the (cache-backed)
+        engine in chunks, workers return compact diagnosis summaries, and
+        only the incremental aggregates survive — peak memory is O(chunk)
+        rather than O(campaign).  The returned
+        :class:`~repro.experiments.analysis.ScenarioSummary` objects expose
+        the same table API as :class:`ScenarioEvaluation` and are
+        bitwise-identical to the eager path's tables.
+        """
+        self._require_calibrated()
+        pipeline = self._pipeline(
+            summarize=True, keep_results=False, chunk_size=chunk_size
+        )
+        return pipeline.analyze_all(scenarios)
 
     @property
     def scenario_results(self) -> Dict[str, ScenarioEvaluation]:
@@ -219,28 +299,8 @@ class Evaluation:
     # ------------------------------------------------------------------
     def arl_table(self) -> List[Dict[str, object]]:
         """One row per evaluated scenario: detection rate and ARL in hours."""
-        rows: List[Dict[str, object]] = []
-        for name, evaluation in self._scenario_results.items():
-            rows.append(
-                {
-                    "scenario": name,
-                    "title": evaluation.scenario.title,
-                    "n_runs": evaluation.n_runs,
-                    "n_detected": evaluation.n_detected,
-                    "detection_rate": evaluation.detection_rate,
-                    "arl_hours": evaluation.arl_hours,
-                }
-            )
-        return rows
+        return build_arl_table(self._scenario_results)
 
     def classification_table(self) -> List[Dict[str, object]]:
         """One row per scenario: how its runs were classified."""
-        rows: List[Dict[str, object]] = []
-        for name, evaluation in self._scenario_results.items():
-            row: Dict[str, object] = {
-                "scenario": name,
-                "ground_truth": evaluation.scenario.expected_ground_truth,
-            }
-            row.update(evaluation.classification_counts())
-            rows.append(row)
-        return rows
+        return build_classification_table(self._scenario_results)

@@ -26,16 +26,18 @@ import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 from repro._version import __version__
 from repro.common.config import ExperimentConfig, ParallelConfig, SimulationConfig
+from repro.common.exceptions import ConfigurationError
 from repro.experiments.scenarios import Scenario, normal_scenario
 from repro.process.simulator import SimulationResult
 
 __all__ = [
     "RunSpec",
     "CampaignStats",
+    "PruneStats",
     "ResultCache",
     "CampaignEngine",
     "calibration_run_seed",
@@ -132,6 +134,27 @@ def scenario_specs(
     ]
 
 
+# How long a ``.tmp.npz`` must sit untouched before prune treats it as the
+# debris of a crashed writer rather than an in-flight store.
+_TMP_GRACE_SECONDS = 3600.0
+
+
+def _unlink_quietly(path: Path) -> bool:
+    """Remove a file; report whether it is actually gone.
+
+    A concurrent removal by another process counts as success (the file is
+    gone either way); a permission or I/O error does not — the caller must
+    not book the entry as evicted.
+    """
+    try:
+        path.unlink()
+        return True
+    except FileNotFoundError:
+        return True
+    except OSError:
+        return False
+
+
 def _execute_spec(spec: RunSpec) -> SimulationResult:
     """Execute one spec (top-level so it is picklable by worker pools)."""
     from repro.experiments.runner import run_scenario
@@ -147,14 +170,29 @@ def _execute_spec(spec: RunSpec) -> SimulationResult:
 # ----------------------------------------------------------------------
 # On-disk result cache
 # ----------------------------------------------------------------------
+@dataclass
+class PruneStats:
+    """What a :meth:`ResultCache.prune` pass removed and what remains."""
+
+    n_removed: int = 0
+    bytes_removed: int = 0
+    n_kept: int = 0
+    bytes_kept: int = 0
+
+
 class ResultCache:
     """A directory of ``<cache_key>.npz`` files, one per completed run.
 
     Entries are written atomically (tmp file + rename) so a crashed or
     interrupted campaign never leaves a truncated entry behind; unreadable
-    entries are treated as misses and overwritten.  Eviction is manual:
-    :meth:`clear` drops everything, and bumping the package version
-    invalidates every old key (the key embeds the code version).
+    entries are treated as misses and overwritten.  Eviction is either
+    manual — :meth:`clear` drops everything, and bumping the package version
+    invalidates every old key (the key embeds the code version) — or policy
+    driven: :meth:`prune` applies size and age caps, evicting the oldest
+    entries first.  :class:`CampaignEngine` calls :meth:`prune`
+    automatically after each campaign when its
+    :class:`~repro.common.config.ParallelConfig` carries
+    ``cache_max_bytes`` / ``cache_max_age``.
     """
 
     def __init__(self, directory: Union[str, Path]):
@@ -204,6 +242,86 @@ class ResultCache:
     def __len__(self) -> int:
         return len(self._entries())
 
+    def total_bytes(self) -> int:
+        """Total size of all cache entries, in bytes."""
+        total = 0
+        for entry in self._entries():
+            try:
+                total += entry.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def prune(
+        self,
+        max_bytes: Optional[int] = None,
+        max_age_seconds: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> PruneStats:
+        """Evict entries until the cache satisfies the given caps.
+
+        The age cap removes every entry whose modification time is older
+        than ``now - max_age_seconds``; the size cap then removes the
+        oldest remaining entries until the total size fits ``max_bytes``.
+        Either cap may be ``None`` (policy disabled).  ``now`` is
+        overridable for tests.  Entries that vanish concurrently are
+        skipped, so parallel campaigns sharing a cache cannot trip a prune.
+        """
+        if max_bytes is not None and max_bytes < 0:
+            raise ConfigurationError("max_bytes must be >= 0 or None")
+        if max_age_seconds is not None and max_age_seconds < 0:
+            raise ConfigurationError("max_age_seconds must be >= 0 or None")
+        now = time.time() if now is None else float(now)
+        stamped: List[tuple] = []
+        for entry in self._entries():
+            try:
+                stat = entry.stat()
+            except OSError:
+                continue
+            stamped.append((stat.st_mtime, stat.st_size, entry))
+        stamped.sort(key=lambda item: item[0])  # oldest first
+
+        stats = PruneStats()
+        keep: List[tuple] = []
+        for mtime, size, entry in stamped:
+            expired = max_age_seconds is not None and now - mtime > max_age_seconds
+            if expired and _unlink_quietly(entry):
+                stats.n_removed += 1
+                stats.bytes_removed += size
+            else:
+                # Still on disk (not expired, or the unlink failed): it
+                # keeps counting toward the size cap below.
+                keep.append((mtime, size, entry))
+
+        if max_bytes is not None:
+            remaining = sum(size for _, size, _ in keep)
+            survivors = []
+            for mtime, size, entry in keep:  # oldest evicted first
+                if remaining > max_bytes and _unlink_quietly(entry):
+                    stats.n_removed += 1
+                    stats.bytes_removed += size
+                    remaining -= size
+                else:
+                    survivors.append((mtime, size, entry))
+            keep = survivors
+
+        stats.n_kept = len(keep)
+        stats.bytes_kept = sum(size for _, size, _ in keep)
+
+        # Stray tmp files from a crashed writer are not entries, but they do
+        # occupy disk; sweep the ones old enough that no live writer can
+        # still hold them (a store takes seconds, the grace period is an
+        # hour).
+        if self.directory.is_dir():
+            for leftover in self.directory.glob("*.tmp.npz"):
+                try:
+                    age = now - leftover.stat().st_mtime
+                except OSError:
+                    continue
+                if age > _TMP_GRACE_SECONDS:
+                    _unlink_quietly(leftover)
+        return stats
+
     def clear(self) -> int:
         """Delete every cache entry (and stray tmp files); count the entries."""
         entries = self._entries()
@@ -236,6 +354,17 @@ class CampaignStats:
             return 0.0
         return self.n_cache_hits / self.n_runs
 
+    def absorb(self, other: "CampaignStats") -> "CampaignStats":
+        """Fold another batch's stats into this one (multi-batch campaigns)."""
+        self.n_runs += other.n_runs
+        self.n_cache_hits += other.n_cache_hits
+        self.n_simulated += other.n_simulated
+        self.n_workers = max(self.n_workers, other.n_workers)
+        if other.backend == "process":
+            self.backend = "process"
+        self.wall_seconds += other.wall_seconds
+        return self
+
 
 class CampaignEngine:
     """Executes batches of :class:`RunSpec` — parallel, cached, deterministic.
@@ -260,49 +389,115 @@ class CampaignEngine:
         )
         self.last_stats = CampaignStats()
 
-    def run(self, specs: Sequence[RunSpec]) -> List[SimulationResult]:
-        """Execute every spec and return results in spec order."""
+    def run(
+        self, specs: Sequence[RunSpec], prune: bool = True
+    ) -> List[SimulationResult]:
+        """Execute every spec and return results in spec order.
+
+        One batch, one pool: equivalent to draining :meth:`iter_run` with a
+        single campaign-sized chunk.  ``prune=False`` defers the configured
+        cache eviction policy to the caller — used by the streaming
+        pipeline, which hands cache paths to analysis workers and must not
+        evict entries mid-campaign.
+        """
         specs = list(specs)
-        started = time.perf_counter()
-        results: List[Optional[SimulationResult]] = [None] * len(specs)
-
-        pending: List[int] = []
-        for index, spec in enumerate(specs):
-            cached = self.cache.load(spec) if self.cache is not None else None
-            if cached is not None:
-                results[index] = cached
-            else:
-                pending.append(index)
-
-        n_workers = min(self.config.resolved_workers, max(1, len(pending)))
-        use_pool = (
-            self.config.backend == "process" and n_workers > 1 and len(pending) > 1
+        return list(
+            self.iter_run(specs, chunk_size=max(1, len(specs)), prune=prune)
         )
-        # Results are cached as they complete (not after the whole batch), so
-        # an interrupted campaign resumes from the runs that already finished.
-        if use_pool:
-            with ProcessPoolExecutor(max_workers=n_workers) as pool:
-                futures = {
-                    pool.submit(_execute_spec, specs[index]): index
-                    for index in pending
-                }
-                for future in as_completed(futures):
-                    index = futures[future]
-                    results[index] = future.result()
-                    if self.cache is not None:
-                        self.cache.store(specs[index], results[index])
-        else:
-            for index in pending:
-                results[index] = _execute_spec(specs[index])
-                if self.cache is not None:
-                    self.cache.store(specs[index], results[index])
 
-        self.last_stats = CampaignStats(
-            n_runs=len(specs),
-            n_cache_hits=len(specs) - len(pending),
-            n_simulated=len(pending),
-            n_workers=n_workers if use_pool else 1,
-            backend="process" if use_pool else "serial",
-            wall_seconds=time.perf_counter() - started,
+    def iter_run(
+        self,
+        specs: Sequence[RunSpec],
+        chunk_size: Optional[int] = None,
+        prune: bool = True,
+    ) -> Iterator[SimulationResult]:
+        """Execute specs in chunks, yielding results in spec order.
+
+        The streaming counterpart of :meth:`run`: at most ``chunk_size``
+        results (default :attr:`ParallelConfig.resolved_chunk_size`) are
+        alive at once, so peak memory is O(chunk) instead of O(campaign).
+        Cached entries are loaded lazily, chunk by chunk; pending runs of a
+        chunk fan out over a worker pool that persists across chunks, and
+        results are cached as they complete, so an interrupted campaign
+        resumes from the runs that already finished.  Results are
+        bitwise-identical to :meth:`run` for the same specs.
+
+        :attr:`last_stats` covers the chunks actually consumed and is
+        finalized when the generator is exhausted or closed.
+        """
+        specs = list(specs)
+        size = (
+            int(chunk_size)
+            if chunk_size is not None
+            else self.config.resolved_chunk_size
         )
-        return results  # type: ignore[return-value]
+        if size < 1:
+            raise ConfigurationError("chunk_size must be >= 1")
+        stats = CampaignStats(backend="serial", n_workers=1)
+        pool: Optional[ProcessPoolExecutor] = None
+        try:
+            for offset in range(0, len(specs), size):
+                # Time only this generator's own work (cache loads and
+                # simulation), not whatever the consumer does between yields.
+                chunk_started = time.perf_counter()
+                chunk = specs[offset : offset + size]
+                results: List[Optional[SimulationResult]] = [None] * len(chunk)
+                pending: List[int] = []
+                for index, spec in enumerate(chunk):
+                    cached = self.cache.load(spec) if self.cache is not None else None
+                    if cached is not None:
+                        results[index] = cached
+                    else:
+                        pending.append(index)
+                stats.n_runs += len(chunk)
+                stats.n_cache_hits += len(chunk) - len(pending)
+
+                n_workers = self.config.resolved_workers
+                use_pool = (
+                    self.config.backend == "process"
+                    and n_workers > 1
+                    and len(pending) > 1
+                )
+                if use_pool:
+                    if pool is None:
+                        # A chunk can never hold more than ``size`` pending
+                        # runs, so a larger pool would only idle.
+                        pool = ProcessPoolExecutor(
+                            max_workers=min(n_workers, size)
+                        )
+                    futures = {
+                        pool.submit(_execute_spec, chunk[index]): index
+                        for index in pending
+                    }
+                    for future in as_completed(futures):
+                        index = futures[future]
+                        results[index] = future.result()
+                        if self.cache is not None:
+                            self.cache.store(chunk[index], results[index])
+                    stats.backend = "process"
+                    stats.n_workers = max(
+                        stats.n_workers, min(n_workers, len(pending))
+                    )
+                else:
+                    for index in pending:
+                        results[index] = _execute_spec(chunk[index])
+                        if self.cache is not None:
+                            self.cache.store(chunk[index], results[index])
+                stats.n_simulated += len(pending)
+                stats.wall_seconds += time.perf_counter() - chunk_started
+                yield from results  # type: ignore[misc]
+        finally:
+            if pool is not None:
+                pool.shutdown()
+            self.last_stats = stats
+            if prune:
+                self.prune_cache()
+
+    def prune_cache(self) -> Optional[PruneStats]:
+        """Apply the configured cache eviction policy, if any."""
+        if self.cache is None or not self.config.has_eviction_policy:
+            return None
+        return self.cache.prune(
+            max_bytes=self.config.cache_max_bytes,
+            max_age_seconds=self.config.cache_max_age,
+        )

@@ -138,42 +138,64 @@ class CalibrationData:
         attack-free, but both are kept so each monitor is fitted on its own
         view, exactly as a deployed system would be).
     results:
-        The individual run results, for inspection.
+        The individual run results, for inspection.  Empty when the campaign
+        was run with ``keep_results=False`` (the streaming path), where the
+        per-run arrays are released once concatenated.
+    n_runs_executed:
+        Number of calibration runs executed (also available when the per-run
+        results were not retained).
     """
 
     controller_data: ProcessDataset
     process_data: ProcessDataset
     results: List[SimulationResult]
+    n_runs_executed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_runs_executed == 0:
+            self.n_runs_executed = len(self.results)
 
     @property
     def n_runs(self) -> int:
         """Number of calibration runs."""
-        return len(self.results)
+        return self.n_runs_executed
 
 
 def run_calibration_campaign(
     config: ExperimentConfig,
     scenario: Optional[Scenario] = None,
     engine: Optional["CampaignEngine"] = None,
+    keep_results: bool = True,
+    chunk_size: Optional[int] = None,
 ) -> CalibrationData:
     """Run the attack-free calibration campaign of an experiment configuration.
 
-    The runs are dispatched through a
+    The runs stream out of a
     :class:`~repro.experiments.parallel.CampaignEngine` built from
-    ``config.parallel`` (or the explicitly provided ``engine``); per-run
-    seeds are derived up front, so the resulting datasets are identical
-    whichever backend or worker count executes them.
+    ``config.parallel`` (or the explicitly provided ``engine``) in chunks;
+    per-run seeds are derived up front, so the resulting datasets are
+    identical whichever backend, worker count or chunking executes them.
+    Model fitting needs the concatenation of every run, so the concatenated
+    matrices are inherently O(campaign); ``keep_results=False`` at least
+    drops the per-run :class:`SimulationResult` objects once their arrays
+    have been folded in, halving steady-state memory.
     """
     from repro.experiments.parallel import CampaignEngine, calibration_specs
 
     engine = engine or CampaignEngine(config.parallel)
-    results = engine.run(calibration_specs(config, scenario))
+    controller_parts: List[ProcessDataset] = []
+    process_parts: List[ProcessDataset] = []
+    results: List[SimulationResult] = []
+    n_executed = 0
+    for result in engine.iter_run(calibration_specs(config, scenario), chunk_size):
+        controller_parts.append(result.controller_data)
+        process_parts.append(result.process_data)
+        n_executed += 1
+        if keep_results:
+            results.append(result)
     return CalibrationData(
-        controller_data=ProcessDataset.concatenate(
-            [result.controller_data for result in results]
-        ),
-        process_data=ProcessDataset.concatenate(
-            [result.process_data for result in results]
-        ),
-        results=list(results),
+        controller_data=ProcessDataset.concatenate(controller_parts),
+        process_data=ProcessDataset.concatenate(process_parts),
+        results=results,
+        n_runs_executed=n_executed,
     )

@@ -12,7 +12,7 @@ from typing import Iterable, List, Optional
 import numpy as np
 
 
-__all__ = ["run_length", "average_run_length"]
+__all__ = ["run_length", "average_run_length", "RunLengthAccumulator"]
 
 
 def run_length(
@@ -66,3 +66,56 @@ def average_run_length(
     if not lengths:
         return None
     return float(np.mean(lengths))
+
+
+class RunLengthAccumulator:
+    """Streaming ARL reducer: consume one run length at a time.
+
+    The streaming analysis stage feeds runs through :meth:`update` as they
+    are produced, so no per-run data needs to stay alive for the final ARL.
+    Only the run-length scalars are retained (a few bytes per run), and the
+    final average uses the same ``np.mean`` reduction as the eager path, so
+    the result is bitwise-identical to averaging the full list at the end.
+    """
+
+    def __init__(self) -> None:
+        self._lengths: List[Optional[float]] = []
+
+    def update(self, length: Optional[float]) -> None:
+        """Record the run length of one run (``None`` when undetected)."""
+        self._lengths.append(None if length is None else float(length))
+
+    def merge(self, other: "RunLengthAccumulator") -> "RunLengthAccumulator":
+        """Absorb another accumulator (e.g. from a different shard)."""
+        self._lengths.extend(other._lengths)
+        return self
+
+    @property
+    def n_runs(self) -> int:
+        """Number of runs recorded."""
+        return len(self._lengths)
+
+    @property
+    def n_detected(self) -> int:
+        """Number of runs with a usable run length."""
+        return sum(1 for length in self._lengths if length is not None)
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of runs detected (0.0 when no runs were recorded)."""
+        if not self._lengths:
+            return 0.0
+        return self.n_detected / len(self._lengths)
+
+    @property
+    def run_lengths(self) -> List[Optional[float]]:
+        """The recorded run lengths, in arrival order."""
+        return list(self._lengths)
+
+    @property
+    def arl_hours(self) -> Optional[float]:
+        """Average run length over the detected runs, in hours."""
+        detected = [length for length in self._lengths if length is not None]
+        if not detected:
+            return None
+        return float(np.mean(detected))

@@ -5,6 +5,7 @@ import pytest
 
 from repro.anomaly.diagnosis import (
     AnomalyClass,
+    DiagnosisSummary,
     DualLevelAnalyzer,
     omeda_similarity,
     view_divergence,
@@ -148,3 +149,108 @@ class TestHelpers:
         different = OmedaResult(("a", "b"), np.array([10.0, -8.0]), (0,))
         assert analyzer.view_disagreement(same, same) == pytest.approx(0.0)
         assert analyzer.view_disagreement(same, different) > 1.0
+
+
+class TestHelperEdgeCases:
+    def test_omeda_similarity_zero_norm_is_zero(self):
+        first = OmedaResult(("a", "b"), np.array([0.0, 0.0]), (0,))
+        second = OmedaResult(("a", "b"), np.array([1.0, 2.0]), (0,))
+        assert omeda_similarity(first, second) == 0.0
+        assert omeda_similarity(first, first) == 0.0
+
+    def test_omeda_similarity_opposite_is_minus_one(self):
+        first = OmedaResult(("a", "b"), np.array([1.0, 2.0]), (0,))
+        second = OmedaResult(("a", "b"), np.array([-1.0, -2.0]), (0,))
+        assert omeda_similarity(first, second) == pytest.approx(-1.0)
+
+    def test_view_divergence_mismatched_names_raises(self, analyzer_and_data):
+        _, fresh = analyzer_and_data
+        renamed = type(fresh)(
+            fresh.values,
+            tuple(f"OTHER({i})" for i in range(fresh.n_variables)),
+            fresh.timestamps,
+        )
+        with pytest.raises(DataShapeError):
+            view_divergence(fresh, renamed)
+
+    def test_view_divergence_trims_to_shortest_view(self, analyzer_and_data):
+        _, fresh = analyzer_and_data
+        shorter = fresh.select_rows(np.arange(fresh.n_observations // 2))
+        divergence = view_divergence(fresh, shorter)
+        assert max(divergence.values()) == pytest.approx(0.0)
+
+    def test_view_disagreement_all_insignificant_is_zero(self, analyzer_and_data):
+        analyzer, _ = analyzer_and_data
+        tiny = OmedaResult(("a", "b"), np.array([0.0, 0.0]), (0,))
+        assert analyzer.view_disagreement(tiny, tiny) == 0.0
+
+
+class TestAnalyzerEdgeCases:
+    def test_fit_returns_self_and_sets_flag(self):
+        calibration, _ = _make_views()
+        analyzer = DualLevelAnalyzer(MSPCConfig(n_components=2))
+        assert not analyzer.is_fitted
+        assert analyzer.fit(calibration, calibration.copy()) is analyzer
+        assert analyzer.is_fitted
+
+    def test_classify_normal_without_detection(self, analyzer_and_data):
+        analyzer, _ = analyzer_and_data
+        assert analyzer._classify(None, None, None, None) is AnomalyClass.NORMAL
+
+    def test_classify_unclear_without_diagnoses(self, analyzer_and_data):
+        analyzer, _ = analyzer_and_data
+        assert analyzer._classify(1.0, None, None, None) is AnomalyClass.UNCLEAR
+
+    def test_classify_unclear_when_no_view_is_dominant(self):
+        # Default dominance threshold (2.0): a 1.0/0.9 split is diffuse.
+        analyzer = DualLevelAnalyzer()
+        diffuse = OmedaResult(("a", "b"), np.array([1.0, 0.9]), (0,))
+        assert (
+            analyzer._classify(1.0, diffuse, diffuse, 1.0) is AnomalyClass.UNCLEAR
+        )
+
+    def test_classify_attack_when_dominant_variables_differ(self, analyzer_and_data):
+        analyzer, _ = analyzer_and_data
+        controller = OmedaResult(("a", "b"), np.array([10.0, 1.0]), (0,))
+        process = OmedaResult(("a", "b"), np.array([1.0, 10.0]), (0,))
+        assert (
+            analyzer._classify(1.0, controller, process, 0.2)
+            is AnomalyClass.INTEGRITY_ATTACK
+        )
+
+    def test_classify_disturbance_when_views_agree(self, analyzer_and_data):
+        analyzer, _ = analyzer_and_data
+        shared = OmedaResult(("a", "b"), np.array([10.0, 1.0]), (0,))
+        assert (
+            analyzer._classify(1.0, shared, shared, 1.0)
+            is AnomalyClass.DISTURBANCE
+        )
+
+
+class TestDiagnosisSummary:
+    def test_summarize_preserves_verdict_fields(self, analyzer_and_data):
+        analyzer, fresh = analyzer_and_data
+        shifted = make_shifted_dataset(fresh, ["VAR(2)"], 8.0, start_fraction=0.5)
+        diagnosis = analyzer.analyze(
+            shifted, shifted.copy(), anomaly_start_hour=float(shifted.timestamps[100])
+        )
+        summary = diagnosis.summarize()
+        assert isinstance(summary, DiagnosisSummary)
+        assert summary.classification is diagnosis.classification
+        assert summary.detection_time_hours == diagnosis.detection_time_hours
+        assert summary.similarity == diagnosis.similarity
+        assert summary.detected == diagnosis.detected
+        assert summary.metadata == diagnosis.metadata
+        assert summary.implicated_variables(2) == diagnosis.implicated_variables(2)
+
+    def test_summary_drops_chart_results(self, analyzer_and_data):
+        analyzer, fresh = analyzer_and_data
+        diagnosis = analyzer.analyze(fresh, fresh.copy())
+        summary = diagnosis.summarize()
+        assert not hasattr(summary, "controller_result")
+        assert not hasattr(summary, "process_result")
+
+    def test_summarize_is_idempotent(self, analyzer_and_data):
+        analyzer, fresh = analyzer_and_data
+        summary = analyzer.analyze(fresh, fresh.copy()).summarize()
+        assert summary.summarize() is summary

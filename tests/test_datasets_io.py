@@ -56,3 +56,30 @@ class TestCsvRoundTrip:
         path.write_text("time,a\n")
         with pytest.raises(DataShapeError):
             load_csv(path)
+
+
+class TestPeekResultNpz:
+    def test_peek_reads_metadata_without_arrays(self, tmp_path):
+        from repro.common.config import SimulationConfig
+        from repro.datasets.io import peek_result_npz, save_result_npz
+        from repro.experiments.runner import run_scenario
+        from repro.experiments.scenarios import normal_scenario
+
+        result = run_scenario(
+            normal_scenario(),
+            SimulationConfig(duration_hours=1.0, samples_per_hour=10, seed=2),
+            anomaly_start_hour=0.5,
+        )
+        path = save_result_npz(result, tmp_path / "run.npz")
+        peeked = peek_result_npz(path)
+        assert peeked["config"]["seed"] == 2
+        assert peeked["shutdown"]["time_hours"] == result.shutdown_time_hours
+        assert peeked["metadata"]["scenario"] == "normal"
+
+    def test_peek_rejects_corrupt_file(self, tmp_path):
+        from repro.datasets.io import peek_result_npz
+
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"definitely not an npz")
+        with pytest.raises(Exception):
+            peek_result_npz(path)

@@ -313,3 +313,158 @@ class TestResultSerialization:
         assert_results_identical([result], [loaded])
         assert loaded.controller_data.metadata["view"] == "controller"
         assert loaded.process_data.metadata["view"] == "process"
+
+
+# ----------------------------------------------------------------------
+# Streaming iteration
+# ----------------------------------------------------------------------
+class TestIterRun:
+    def test_iter_run_matches_run(self):
+        config = tiny_config()
+        specs = calibration_specs(config)
+        batch = CampaignEngine(ParallelConfig.serial()).run(specs)
+        streamed = list(
+            CampaignEngine(ParallelConfig.serial()).iter_run(specs, chunk_size=1)
+        )
+        assert_results_identical(batch, streamed)
+
+    def test_iter_run_chunking_is_invisible(self):
+        config = tiny_config()
+        specs = calibration_specs(config)
+        one = list(CampaignEngine(ParallelConfig.serial()).iter_run(specs, 1))
+        big = list(CampaignEngine(ParallelConfig.serial()).iter_run(specs, 100))
+        assert_results_identical(one, big)
+
+    def test_iter_run_uses_cache(self, tmp_path):
+        config = tiny_config(cache_dir=str(tmp_path))
+        specs = calibration_specs(config)
+        engine = CampaignEngine(config.parallel)
+        engine.run(specs)
+        streamed = list(engine.iter_run(specs, chunk_size=1))
+        assert engine.last_stats.n_cache_hits == len(specs)
+        assert engine.last_stats.n_simulated == 0
+        assert len(streamed) == len(specs)
+
+    def test_iter_run_stats_cover_consumed_chunks(self):
+        config = tiny_config()
+        specs = calibration_specs(config)
+        engine = CampaignEngine(ParallelConfig.serial())
+        iterator = engine.iter_run(specs, chunk_size=1)
+        next(iterator)
+        iterator.close()
+        assert engine.last_stats.n_simulated == 1
+
+    def test_default_chunk_size_resolves_from_config(self):
+        assert ParallelConfig(n_workers=3).resolved_chunk_size == 6
+        assert ParallelConfig(n_workers=3, chunk_size=2).resolved_chunk_size == 2
+
+
+# ----------------------------------------------------------------------
+# Cache eviction
+# ----------------------------------------------------------------------
+class TestCachePrune:
+    def _fill(self, tmp_path, n_entries=2):
+        engine = CampaignEngine(ParallelConfig(n_workers=1, cache_dir=str(tmp_path)))
+        config = ExperimentConfig(
+            n_calibration_runs=n_entries,
+            n_runs_per_scenario=1,
+            anomaly_start_hour=1.0,
+            simulation=SimulationConfig(
+                duration_hours=2.0, samples_per_hour=10, seed=9
+            ),
+            seed=9,
+        )
+        specs = calibration_specs(config)
+        engine.run(specs)
+        return ResultCache(tmp_path), specs
+
+    def test_total_bytes(self, tmp_path):
+        cache, _ = self._fill(tmp_path)
+        total = cache.total_bytes()
+        assert total > 0
+        assert total == sum(p.stat().st_size for p in tmp_path.glob("*.npz"))
+
+    def test_prune_by_age(self, tmp_path):
+        import os
+        import time
+
+        cache, specs = self._fill(tmp_path)
+        old = cache.path_for(specs[0])
+        stale = time.time() - 1000
+        os.utime(old, (stale, stale))
+        stats = cache.prune(max_age_seconds=500)
+        assert stats.n_removed == 1
+        assert stats.n_kept == 1
+        assert not old.exists()
+        assert cache.load(specs[1]) is not None
+
+    def test_prune_by_size_evicts_oldest_first(self, tmp_path):
+        import os
+        import time
+
+        cache, specs = self._fill(tmp_path)
+        oldest = cache.path_for(specs[0])
+        stale = time.time() - 1000
+        os.utime(oldest, (stale, stale))
+        newest_size = cache.path_for(specs[1]).stat().st_size
+        stats = cache.prune(max_bytes=newest_size)
+        assert stats.n_removed == 1
+        assert not oldest.exists()
+        assert cache.path_for(specs[1]).exists()
+        assert stats.bytes_kept <= newest_size
+
+    def test_prune_without_policy_keeps_everything(self, tmp_path):
+        cache, _ = self._fill(tmp_path)
+        stats = cache.prune()
+        assert stats.n_removed == 0
+        assert stats.n_kept == len(cache)
+
+    def test_engine_applies_policy_after_run(self, tmp_path):
+        config = tiny_config(cache_dir=str(tmp_path), cache_max_bytes=0)
+        engine = CampaignEngine(config.parallel)
+        engine.run(calibration_specs(config))
+        assert len(ResultCache(tmp_path)) == 0
+
+    def test_engine_without_policy_keeps_entries(self, tmp_path):
+        config = tiny_config(cache_dir=str(tmp_path))
+        engine = CampaignEngine(config.parallel)
+        specs = calibration_specs(config)
+        engine.run(specs)
+        assert len(ResultCache(tmp_path)) == len(specs)
+
+    def test_invalid_policy_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(cache_max_bytes=-1)
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(cache_max_age=-0.5)
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(chunk_size=0)
+
+    def test_prune_rejects_negative_caps(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(ConfigurationError):
+            cache.prune(max_bytes=-1)
+        with pytest.raises(ConfigurationError):
+            cache.prune(max_age_seconds=-1.0)
+
+    def test_negative_chunk_size_rejected(self):
+        engine = CampaignEngine(ParallelConfig.serial())
+        specs = calibration_specs(tiny_config())
+        with pytest.raises(ConfigurationError):
+            list(engine.iter_run(specs, chunk_size=-1))
+
+    def test_prune_sweeps_stale_tmp_files(self, tmp_path):
+        import time
+
+        cache, _ = self._fill(tmp_path)
+        fresh = tmp_path / "inflight.tmp.npz"
+        fresh.write_bytes(b"being written")
+        stale = tmp_path / "crashed.tmp.npz"
+        stale.write_bytes(b"debris")
+        old = time.time() - 7200
+        import os
+
+        os.utime(stale, (old, old))
+        cache.prune(max_bytes=10**9)
+        assert fresh.exists()  # within the grace period: maybe in-flight
+        assert not stale.exists()

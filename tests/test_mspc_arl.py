@@ -1,8 +1,9 @@
 """Tests for run-length / ARL computation."""
 
+import numpy as np
 import pytest
 
-from repro.mspc.arl import average_run_length, run_length
+from repro.mspc.arl import RunLengthAccumulator, average_run_length, run_length
 
 
 class TestRunLength:
@@ -36,3 +37,38 @@ class TestAverageRunLength:
 
     def test_empty_iterable(self):
         assert average_run_length([], 10.0) is None
+
+
+class TestRunLengthAccumulator:
+    def test_matches_numpy_mean(self):
+        accumulator = RunLengthAccumulator()
+        for length in (0.5, 1.5, None, 2.5):
+            accumulator.update(length)
+        assert accumulator.n_runs == 4
+        assert accumulator.n_detected == 3
+        assert accumulator.detection_rate == pytest.approx(3 / 4)
+        assert accumulator.arl_hours == float(np.mean([0.5, 1.5, 2.5]))
+        assert accumulator.run_lengths == [0.5, 1.5, None, 2.5]
+
+    def test_empty_accumulator(self):
+        accumulator = RunLengthAccumulator()
+        assert accumulator.n_runs == 0
+        assert accumulator.detection_rate == 0.0
+        assert accumulator.arl_hours is None
+
+    def test_all_undetected_gives_none(self):
+        accumulator = RunLengthAccumulator()
+        accumulator.update(None)
+        accumulator.update(None)
+        assert accumulator.arl_hours is None
+        assert accumulator.n_detected == 0
+
+    def test_merge_combines_shards(self):
+        first, second = RunLengthAccumulator(), RunLengthAccumulator()
+        first.update(1.0)
+        second.update(3.0)
+        second.update(None)
+        merged = first.merge(second)
+        assert merged is first
+        assert merged.run_lengths == [1.0, 3.0, None]
+        assert merged.arl_hours == pytest.approx(2.0)
