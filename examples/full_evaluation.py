@@ -1,16 +1,16 @@
 """Full evaluation campaign: regenerate every figure of the paper in one go.
 
-This is the programmatic equivalent of the benchmark harness: it calibrates
-the dual-level MSPC models, runs the four anomalous scenarios several times,
-and prints the ARL table, the controller-level (Figure 4) and process-level
-(Figure 5) oMEDA summaries and the classification table.  Use
-``--paper-scale`` to run with the paper's exact settings (72 h runs, 2000
+The campaign itself is declared in ``examples/specs/paper.toml`` — the five
+paper scenarios at full fidelity — and executed through the ``repro.api``
+facade: this script only chooses the scale, runs the spec and renders the
+tables and oMEDA summaries.  By default the spec's simulation settings are
+swapped for the smoke scale so a pure-Python run stays affordable; pass
+``--paper-scale`` to run the file exactly as written (72 h runs, 2000
 samples/h, 30 calibration runs, 10 runs per scenario) — be warned that this
 takes many hours in pure Python.
 
 Simulation runs fan out over a process pool (``--workers``, default: all
-CPUs) through :class:`repro.experiments.parallel.CampaignEngine`; results are
-identical to a serial run.
+CPUs); results are identical to a serial run.
 
 Run with:  python examples/full_evaluation.py [--paper-scale] [--export DIR]
 """
@@ -22,22 +22,19 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import api
 from repro.common.config import ExperimentConfig, ParallelConfig
-from repro.experiments.evaluation import Evaluation
-from repro.experiments.figures import (
-    arl_table,
-    figure4_omeda_controller,
-    figure5_omeda_process,
-)
-from repro.experiments.scenarios import paper_scenarios
+from repro.experiments.figures import omeda_figures
 from repro.plotting.export import export_bars_csv
 
+PAPER_SPEC = Path(__file__).resolve().parent / "specs" / "paper.toml"
 
-def build_config(paper_scale: bool, workers: int | None = None) -> ExperimentConfig:
-    parallel = ParallelConfig(n_workers=workers)
-    if paper_scale:
-        return ExperimentConfig.paper_settings(seed=2016).with_parallel(parallel)
-    return ExperimentConfig.smoke(seed=2016).with_parallel(parallel)
+
+def build_spec(paper_scale: bool, workers: int | None = None) -> api.CampaignSpec:
+    spec = api.load_spec(PAPER_SPEC)
+    experiment = spec.experiment if paper_scale else ExperimentConfig.smoke(seed=2016)
+    experiment = experiment.with_parallel(ParallelConfig(n_workers=workers))
+    return spec.with_experiment(experiment)
 
 
 def print_omeda_summaries(title: str, figures) -> None:
@@ -57,7 +54,7 @@ def print_omeda_summaries(title: str, figures) -> None:
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--paper-scale", action="store_true",
-                        help="use the paper's full-fidelity settings")
+                        help="run the spec exactly as written (72 h, 2000 samples/h)")
     parser.add_argument("--workers", type=int, default=None,
                         help="worker processes for the campaign engine "
                              "(default: all CPUs; 1 forces serial)")
@@ -65,41 +62,41 @@ def main() -> None:
                         help="directory to export figure data as CSV")
     arguments = parser.parse_args()
 
-    config = build_config(arguments.paper_scale, arguments.workers)
-    print(f"campaign: {config.n_calibration_runs} calibration runs, "
-          f"{config.n_runs_per_scenario} runs per scenario, "
-          f"{config.simulation.duration_hours:g} h per run, anomalies at hour "
-          f"{config.anomaly_start_hour:g}\n")
+    spec = build_spec(arguments.paper_scale, arguments.workers)
+    experiment = spec.experiment
+    print(f"spec: {PAPER_SPEC.name} — {spec.description}")
+    print(f"campaign: {experiment.n_calibration_runs} calibration runs, "
+          f"{experiment.n_runs_per_scenario} runs per scenario, "
+          f"{experiment.simulation.duration_hours:g} h per run, anomalies at hour "
+          f"{experiment.anomaly_start_hour:g}\n")
 
-    evaluation = Evaluation(config)
-    print("calibrating...")
-    evaluation.calibrate()
-    print("evaluating the four scenarios...\n")
-    results = evaluation.evaluate_all(paper_scenarios())
+    print("calibrating and evaluating the five scenarios...\n")
+    result = api.run(spec)
+    results = result.scenario_results
 
     print("=== ARL table (Section V) ===")
-    for row in arl_table(results):
+    for row in result.arl_table():
         arl = "n/a" if row["arl_hours"] is None else f"{row['arl_hours']:.3f} h"
         print(f"  {row['scenario']:<16} detected {row['n_detected']}/{row['n_runs']}"
               f"  ARL {arl}")
     print()
 
-    controller_figures = figure4_omeda_controller(results)
-    process_figures = figure5_omeda_process(results)
+    controller_figures = omeda_figures(results, "controller")
+    process_figures = omeda_figures(results, "process")
     print_omeda_summaries("=== Figure 4: controller-level oMEDA ===", controller_figures)
     print_omeda_summaries("=== Figure 5: process-level oMEDA ===", process_figures)
 
     print("=== classification (disturbance vs intrusion) ===")
-    for row in evaluation.classification_table():
+    for row in result.classification_table():
         print(f"  {row['scenario']:<16} ground truth {row['ground_truth']:<12} -> "
               + ", ".join(f"{k}: {v}" for k, v in row.items()
                           if k not in ("scenario", "ground_truth")))
 
     if arguments.export is not None:
-        for name, figure in {**controller_figures, **process_figures}.items():
+        for figure in [*controller_figures.values(), *process_figures.values()]:
             if figure.contributions.size == 0:
                 continue
-            path = arguments.export / f"omeda_{figure.view}_{name}.csv"
+            path = arguments.export / f"omeda_{figure.view}_{figure.scenario}.csv"
             export_bars_csv(path, figure.variable_names, figure.contributions)
         print(f"\nfigure data exported to {arguments.export}")
 

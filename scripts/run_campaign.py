@@ -29,6 +29,12 @@ Prune the cache down to 256 MiB, dropping entries older than a week::
 
     PYTHONPATH=src python scripts/run_campaign.py --cache-prune \
         --cache-max-bytes 268435456 --cache-max-age 604800
+
+Run a declarative campaign spec (scenario selection, sweeps and analysis
+options all come from the file; operational flags like ``--workers`` and
+``--chunk-size`` still override)::
+
+    PYTHONPATH=src python scripts/run_campaign.py --spec examples/specs/paper.toml
 """
 
 from __future__ import annotations
@@ -38,11 +44,16 @@ import sys
 from dataclasses import replace
 from pathlib import Path
 
+from repro import api
 from repro.common.config import ExperimentConfig, ParallelConfig
 from repro.common.exceptions import ConfigurationError
 from repro.experiments.evaluation import Evaluation
 from repro.experiments.parallel import ResultCache
-from repro.experiments.scenarios import paper_scenarios
+from repro.experiments.registry import (
+    get_scenario,
+    paper_scenario_names,
+    scenario_names,
+)
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 
@@ -60,8 +71,12 @@ def build_config(arguments: argparse.Namespace) -> ExperimentConfig:
         config = replace(config, n_runs_per_scenario=arguments.runs_per_scenario)
     parallel = ParallelConfig(
         n_workers=arguments.workers,
-        backend=arguments.backend,
-        cache_dir=None if arguments.no_cache else str(arguments.cache_dir),
+        backend=arguments.backend or "process",
+        cache_dir=(
+            None
+            if arguments.no_cache
+            else str(arguments.cache_dir or DEFAULT_CACHE_DIR)
+        ),
         cache_max_bytes=arguments.cache_max_bytes,
         cache_max_age=arguments.cache_max_age,
         chunk_size=arguments.chunk_size,
@@ -70,16 +85,106 @@ def build_config(arguments: argparse.Namespace) -> ExperimentConfig:
 
 
 def select_scenarios(names):
-    scenarios = {scenario.name: scenario for scenario in paper_scenarios()}
+    """Resolve scenario names through the registry (default: the paper four)."""
     if not names:
-        return list(scenarios.values())
-    unknown = [name for name in names if name not in scenarios]
+        names = list(paper_scenario_names())
+    unknown = [name for name in names if name not in scenario_names()]
     if unknown:
         raise SystemExit(
             f"unknown scenario(s): {', '.join(unknown)} "
-            f"(available: {', '.join(scenarios)})"
+            f"(registered: {', '.join(scenario_names())})"
         )
-    return [scenarios[name] for name in names]
+    return [get_scenario(name) for name in names]
+
+
+def _seed_prefix(row) -> str:
+    return f"seed {row['seed']:<6} " if "seed" in row else ""
+
+
+def print_tables(tables) -> None:
+    """Print whichever result tables the campaign produced."""
+    if "arl" in tables:
+        print("=== ARL table (Section V) ===")
+        for row in tables["arl"]:
+            arl = "n/a" if row["arl_hours"] is None else f"{row['arl_hours']:.3f} h"
+            print(
+                f"  {_seed_prefix(row)}{row['scenario']:<16} "
+                f"detected {row['n_detected']}/{row['n_runs']}  ARL {arl}"
+            )
+
+    if "classification" in tables:
+        print("\n=== classification (disturbance vs intrusion) ===")
+        for row in tables["classification"]:
+            counts = ", ".join(
+                f"{key}: {value}"
+                for key, value in row.items()
+                if key not in ("seed", "scenario", "ground_truth")
+            )
+            print(
+                f"  {_seed_prefix(row)}{row['scenario']:<16} "
+                f"ground truth {row['ground_truth']:<12} -> {counts}"
+            )
+
+
+def apply_spec_overrides(
+    spec: "api.CampaignSpec", arguments: argparse.Namespace
+) -> "api.CampaignSpec":
+    """Fold the operational CLI flags into a loaded spec.
+
+    Only execution-plan settings can be overridden from the command line;
+    the scientific content (scenarios, sweeps, fidelity) always comes from
+    the reviewed file.
+    """
+    parallel = spec.experiment.parallel
+    if arguments.workers is not None:
+        parallel = replace(parallel, n_workers=arguments.workers)
+    if arguments.backend is not None:
+        parallel = replace(parallel, backend=arguments.backend)
+    if arguments.no_cache:
+        parallel = replace(parallel, cache_dir=None)
+    elif arguments.cache_dir is not None:
+        parallel = replace(parallel, cache_dir=str(arguments.cache_dir))
+    if arguments.chunk_size is not None:
+        parallel = replace(parallel, chunk_size=arguments.chunk_size)
+    if arguments.cache_max_bytes is not None:
+        parallel = replace(parallel, cache_max_bytes=arguments.cache_max_bytes)
+    if arguments.cache_max_age is not None:
+        parallel = replace(parallel, cache_max_age=arguments.cache_max_age)
+    if parallel == spec.experiment.parallel:
+        return spec
+    return spec.with_experiment(spec.experiment.with_parallel(parallel))
+
+
+def run_spec(arguments: argparse.Namespace) -> int:
+    """Execute a declarative campaign spec through the ``repro.api`` facade."""
+    try:
+        spec = apply_spec_overrides(api.load_spec(arguments.spec), arguments)
+    except ConfigurationError as error:
+        raise SystemExit(f"invalid spec: {error}")
+    experiment = spec.experiment
+    scenarios = spec.expanded_scenarios()
+    print(f"spec: {spec.name}" + (f" — {spec.description}" if spec.description else ""))
+    print(
+        f"campaign: {experiment.n_calibration_runs} calibration runs, "
+        f"{experiment.n_runs_per_scenario} runs per scenario, "
+        f"{experiment.simulation.duration_hours:g} h per run"
+    )
+    print(
+        f"scenarios: {', '.join(scenario.name for scenario in scenarios)}"
+    )
+    if len(spec.seeds()) > 1:
+        print(f"sweep: seeds {', '.join(str(seed) for seed in spec.seeds())}")
+    streaming = True if arguments.analyze else None
+    print(
+        f"engine: backend={experiment.parallel.backend} "
+        f"workers={experiment.parallel.resolved_workers} "
+        f"cache={'off' if not experiment.parallel.caching else experiment.parallel.cache_dir}"
+        f" analysis="
+        f"{'streaming' if (streaming or spec.analysis.streaming) else 'eager'}\n"
+    )
+    result = api.Session(spec).run(streaming=streaming)
+    print_tables(result.tables())
+    return 0
 
 
 def main(argv=None) -> int:
@@ -87,10 +192,20 @@ def main(argv=None) -> int:
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
     )
     parser.add_argument(
+        "--spec",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="declarative campaign spec (TOML/JSON); scenario selection, "
+        "sweeps and analysis options come from the file, and only "
+        "operational flags (--workers, --backend, --no-cache, --cache-dir, "
+        "--chunk-size, --cache-max-*, --analyze) override it",
+    )
+    parser.add_argument(
         "--scale",
         choices=("smoke", "fast", "paper"),
         default="smoke",
-        help="campaign size preset (default: smoke)",
+        help="campaign size preset (default: smoke; ignored with --spec)",
     )
     parser.add_argument("--seed", type=int, default=2016, help="campaign root seed")
     parser.add_argument(
@@ -102,7 +217,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--backend",
         choices=("process", "serial"),
-        default="process",
+        default=None,
         help="execution backend (default: process)",
     )
     parser.add_argument(
@@ -121,7 +236,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--cache-dir",
         type=Path,
-        default=Path(DEFAULT_CACHE_DIR),
+        default=None,
         help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
     )
     parser.add_argument(
@@ -166,10 +281,11 @@ def main(argv=None) -> int:
         help="apply --cache-max-bytes/--cache-max-age to the cache and exit",
     )
     arguments = parser.parse_args(argv)
+    cache_dir = arguments.cache_dir or Path(DEFAULT_CACHE_DIR)
 
     if arguments.clear_cache:
-        removed = ResultCache(arguments.cache_dir).clear()
-        print(f"removed {removed} cache entries from {arguments.cache_dir}")
+        removed = ResultCache(cache_dir).clear()
+        print(f"removed {removed} cache entries from {cache_dir}")
         return 0
 
     if arguments.cache_prune:
@@ -178,7 +294,7 @@ def main(argv=None) -> int:
                 "--cache-prune needs --cache-max-bytes and/or --cache-max-age"
             )
         try:
-            stats = ResultCache(arguments.cache_dir).prune(
+            stats = ResultCache(cache_dir).prune(
                 max_bytes=arguments.cache_max_bytes,
                 max_age_seconds=arguments.cache_max_age,
             )
@@ -186,10 +302,13 @@ def main(argv=None) -> int:
             raise SystemExit(f"invalid cache policy: {error}")
         print(
             f"pruned {stats.n_removed} entries ({stats.bytes_removed} bytes) "
-            f"from {arguments.cache_dir}; "
+            f"from {cache_dir}; "
             f"{stats.n_kept} entries ({stats.bytes_kept} bytes) kept"
         )
         return 0
+
+    if arguments.spec is not None:
+        return run_spec(arguments)
 
     try:
         config = build_config(arguments)
@@ -243,24 +362,9 @@ def main(argv=None) -> int:
         f"({analysis.backend}, {analysis.n_workers} workers)\n"
     )
 
-    print("=== ARL table (Section V) ===")
-    for row in arl_rows:
-        arl = "n/a" if row["arl_hours"] is None else f"{row['arl_hours']:.3f} h"
-        print(
-            f"  {row['scenario']:<16} detected {row['n_detected']}/{row['n_runs']}"
-            f"  ARL {arl}"
-        )
-
-    print("\n=== classification (disturbance vs intrusion) ===")
-    for row in classification_rows:
-        counts = ", ".join(
-            f"{key}: {value}"
-            for key, value in row.items()
-            if key not in ("scenario", "ground_truth")
-        )
-        print(
-            f"  {row['scenario']:<16} ground truth {row['ground_truth']:<12} -> {counts}"
-        )
+    print_tables(
+        {"arl": arl_rows, "classification": classification_rows}
+    )
     return 0
 
 

@@ -1,0 +1,156 @@
+"""Validate declarative campaign specs (CI gate).
+
+For every ``.toml`` / ``.json`` spec under the given paths (default:
+``examples/specs``) the script:
+
+1. loads and schema-validates the file;
+2. round-trips it through both TOML and JSON and checks the reparsed spec
+   is equal to the original;
+3. checks the round-tripped spec derives **identical campaign cache keys**
+   (calibration and every expanded scenario run), i.e. serialization can
+   never silently change what a campaign computes.
+
+``--check-deprecations`` additionally verifies the deprecation shims warn
+exactly once per process — the contract that keeps campaign logs readable.
+
+Run with::
+
+    PYTHONPATH=src python scripts/validate_specs.py
+    PYTHONPATH=src python scripts/validate_specs.py --check-deprecations
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import warnings
+from pathlib import Path
+
+from repro import api
+from repro.experiments.parallel import calibration_specs, scenario_specs
+
+DEFAULT_SPEC_DIR = Path(__file__).resolve().parent.parent / "examples" / "specs"
+
+
+def campaign_cache_keys(spec: api.CampaignSpec) -> list:
+    """Every run cache key the campaign would execute, in order."""
+    keys = []
+    for seed in spec.seeds():
+        experiment = spec.experiment_for(seed)
+        keys.extend(run.cache_key() for run in calibration_specs(experiment))
+        for scenario in spec.expanded_scenarios():
+            keys.extend(
+                run.cache_key() for run in scenario_specs(experiment, scenario)
+            )
+    return keys
+
+
+def validate_file(path: Path) -> list:
+    """Validate one spec file; returns a list of problem strings."""
+    problems = []
+    try:
+        spec = api.load_spec(path)
+    except Exception as error:
+        return [f"failed to load: {error}"]
+    keys = campaign_cache_keys(spec)
+    for format in ("toml", "json"):
+        try:
+            reparsed = api.loads_spec(api.dumps_spec(spec, format), format=format)
+        except Exception as error:
+            problems.append(f"{format} round-trip failed: {error}")
+            continue
+        if reparsed != spec:
+            problems.append(f"{format} round-trip changed the spec")
+        elif campaign_cache_keys(reparsed) != keys:
+            problems.append(f"{format} round-trip changed campaign cache keys")
+    return problems
+
+
+def collect_spec_files(paths) -> list:
+    files = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.toml")))
+            files.extend(sorted(path.glob("*.json")))
+        else:
+            files.append(path)
+    return files
+
+
+def check_deprecations() -> list:
+    """Verify every deprecation shim warns exactly once per process."""
+    from repro.common.deprecation import reset_deprecation_warnings
+    from repro.experiments.scenarios import Scenario, ScenarioKind
+
+    problems = []
+    shims = [
+        (
+            "Scenario(kind=...)",
+            lambda: Scenario(
+                "legacy", "legacy", ScenarioKind.DISTURBANCE, disturbance_index=6
+            ),
+        ),
+    ]
+    for name, trigger in shims:
+        reset_deprecation_warnings()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            trigger()
+            trigger()
+        emitted = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        if len(emitted) != 1:
+            problems.append(
+                f"shim {name}: expected exactly 1 DeprecationWarning over two "
+                f"calls, got {len(emitted)}"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=[DEFAULT_SPEC_DIR],
+        help=f"spec files or directories (default: {DEFAULT_SPEC_DIR})",
+    )
+    parser.add_argument(
+        "--check-deprecations",
+        action="store_true",
+        help="also verify the deprecation shims warn exactly once",
+    )
+    arguments = parser.parse_args(argv)
+
+    failures = 0
+    files = collect_spec_files(arguments.paths)
+    if not files:
+        print("no spec files found", file=sys.stderr)
+        return 1
+    for path in files:
+        problems = validate_file(path)
+        status = "ok" if not problems else "FAIL"
+        print(f"{status:>4}  {path}")
+        for problem in problems:
+            print(f"      - {problem}")
+        failures += bool(problems)
+
+    if arguments.check_deprecations:
+        problems = check_deprecations()
+        status = "ok" if not problems else "FAIL"
+        print(f"{status:>4}  deprecation shims warn exactly once")
+        for problem in problems:
+            print(f"      - {problem}")
+        failures += bool(problems)
+
+    if failures:
+        print(f"\n{failures} check(s) failed", file=sys.stderr)
+        return 1
+    print(f"\nvalidated {len(files)} spec file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,10 +25,15 @@ The package is organized in layered subpackages:
     Streaming anomaly detection and dual-level (controller vs. process)
     diagnosis that distinguishes disturbances from intrusions.
 ``repro.experiments``
-    Calibration campaigns, the paper's four evaluation scenarios and the
-    figure/table generators.
+    Calibration campaigns, the scenario registry and composable anomaly
+    DSL (the paper's five scenarios are pre-registered), the parallel
+    campaign engine, the streaming analysis stage and the figure/table
+    generators.
 ``repro.plotting``
     ASCII rendering and CSV export of control charts and oMEDA bar charts.
+``repro.api``
+    The declarative campaign facade: ``CampaignSpec`` (TOML/JSON) plus
+    ``load_spec`` / ``run`` / ``analyze`` / ``Session``.
 """
 
 from repro._version import __version__

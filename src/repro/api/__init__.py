@@ -1,0 +1,49 @@
+"""``repro.api`` — the declarative campaign facade.
+
+The one import a user of the reproduction needs:
+
+    >>> from repro import api
+    >>> spec = api.load_spec("examples/specs/paper.toml")
+    >>> result = api.run(spec)
+    >>> result.arl_table()
+
+* :func:`load_spec` / :func:`loads_spec` / :func:`dump_spec` /
+  :func:`dumps_spec` — read and write :class:`CampaignSpec` documents
+  (TOML or JSON);
+* :func:`run` / :func:`analyze` — execute a campaign (eager or streaming);
+* :class:`Session` — a reusable execution context that shares the engine,
+  the result cache and per-seed calibrations across calls;
+* the schema itself: :class:`CampaignSpec`, :class:`AnalysisSpec`,
+  :class:`SweepSpec`, :data:`SPEC_VERSION`.
+
+Scenario composition lives in :mod:`repro.experiments.injections` and the
+name registry in :mod:`repro.experiments.registry`; both are re-exported by
+:mod:`repro.experiments` for convenience.
+"""
+
+from repro.api.session import CampaignResult, Session, analyze, run
+from repro.api.spec import (
+    SPEC_VERSION,
+    AnalysisSpec,
+    CampaignSpec,
+    SweepSpec,
+    dump_spec,
+    dumps_spec,
+    load_spec,
+    loads_spec,
+)
+
+__all__ = [
+    "SPEC_VERSION",
+    "CampaignSpec",
+    "AnalysisSpec",
+    "SweepSpec",
+    "load_spec",
+    "loads_spec",
+    "dump_spec",
+    "dumps_spec",
+    "run",
+    "analyze",
+    "Session",
+    "CampaignResult",
+]

@@ -1,0 +1,116 @@
+"""Minimal TOML emitter for campaign specs.
+
+The standard library reads TOML (:mod:`tomllib`, Python 3.11+) but cannot
+write it, and the project deliberately adds no third-party dependency for
+what specs need: tables, arrays of tables, and scalar/list values.  This
+emitter covers exactly that subset and is verified round-trip-exact against
+:mod:`tomllib` by the spec test suite (floats via ``repr``, which is
+shortest-round-trip in Python 3, so numeric values survive bit-for-bit).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Any, List, Mapping, Optional, Sequence
+
+__all__ = ["dumps_toml"]
+
+_BARE_KEY = re.compile(r"^[A-Za-z0-9_-]+$")
+
+
+def _format_key(key: Any) -> str:
+    if not isinstance(key, str):
+        raise TypeError(f"TOML keys must be strings, got {key!r}")
+    if _BARE_KEY.match(key):
+        return key
+    return json.dumps(key, ensure_ascii=False).replace("\x7f", "\\u007f")
+
+
+def _format_scalar(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        return repr(value)
+    if isinstance(value, str):
+        # JSON escaping with ensure_ascii=False is TOML-compatible: control
+        # characters come out as 4-digit \uXXXX escapes and everything else
+        # (including non-BMP characters, which TOML forbids as surrogate
+        # pairs) is embedded as raw UTF-8.  DEL is the one character JSON
+        # leaves raw but TOML forbids.
+        return json.dumps(value, ensure_ascii=False).replace("\x7f", "\\u007f")
+    raise TypeError(f"cannot serialize {type(value).__name__} value {value!r} to TOML")
+
+
+def _is_sequence(value: Any) -> bool:
+    return isinstance(value, Sequence) and not isinstance(value, (str, bytes))
+
+
+def _is_table_array(value: Any) -> bool:
+    return (
+        _is_sequence(value)
+        and len(value) > 0
+        and all(isinstance(item, Mapping) for item in value)
+    )
+
+
+def _format_inline(value: Any) -> str:
+    if _is_sequence(value):
+        return "[" + ", ".join(_format_inline(item) for item in value) + "]"
+    return _format_scalar(value)
+
+
+def _emit(
+    mapping: Mapping[str, Any],
+    path: List[str],
+    lines: List[str],
+    header: Optional[str],
+) -> None:
+    """Emit one table body: header, scalar keys, then nested (array-)tables.
+
+    ``header`` is ``None`` at the root, ``"[...]"`` for a sub-table and
+    ``"[[...]]"`` for an array-of-tables element.  Sub-tables written after
+    an ``[[x]]`` header attach to the latest ``x`` element, which is exactly
+    the TOML semantics for nested compositions like a scenario's
+    ``injections`` list.
+    """
+    scalars = []
+    tables = []
+    table_arrays = []
+    for key, value in mapping.items():
+        if isinstance(value, Mapping):
+            tables.append((key, value))
+        elif _is_table_array(value):
+            table_arrays.append((key, value))
+        else:
+            scalars.append((key, value))
+
+    if header is not None:
+        lines.append(header)
+    for key, value in scalars:
+        lines.append(f"{_format_key(key)} = {_format_inline(value)}")
+    if header is not None or scalars:
+        lines.append("")
+
+    for key, value in tables:
+        dotted = ".".join(_format_key(part) for part in path + [key])
+        _emit(value, path + [key], lines, f"[{dotted}]")
+    for key, items in table_arrays:
+        dotted = ".".join(_format_key(part) for part in path + [key])
+        for item in items:
+            _emit(item, path + [key], lines, f"[[{dotted}]]")
+
+
+def dumps_toml(mapping: Mapping[str, Any]) -> str:
+    """Serialize a nested mapping to a TOML document."""
+    lines: List[str] = []
+    _emit(mapping, [], lines, None)
+    text = "\n".join(lines).strip("\n")
+    return text + "\n"

@@ -1,0 +1,178 @@
+"""Campaign execution on top of a spec: ``Session`` and ``CampaignResult``.
+
+:class:`Session` is the single place where a :class:`~repro.api.spec.
+CampaignSpec` meets the execution machinery — it owns one
+:class:`~repro.experiments.parallel.CampaignEngine` (so every sweep seed
+shares the worker pool settings and the on-disk result cache) and one
+calibrated :class:`~repro.experiments.evaluation.Evaluation` per root seed.
+:func:`run` / :func:`analyze` are the one-shot conveniences the CLI and the
+examples use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.api.spec import CampaignSpec, load_spec
+from repro.common.exceptions import ConfigurationError
+from repro.experiments.analysis import (
+    build_arl_table,
+    build_classification_table,
+)
+from repro.experiments.evaluation import Evaluation
+from repro.experiments.parallel import CampaignEngine
+
+__all__ = ["CampaignResult", "Session", "run", "analyze"]
+
+SpecLike = Union[CampaignSpec, str, Path]
+
+
+def _as_spec(spec: SpecLike) -> CampaignSpec:
+    if isinstance(spec, CampaignSpec):
+        return spec
+    return load_spec(spec)
+
+
+@dataclass
+class CampaignResult:
+    """What a campaign produced, across every sweep seed.
+
+    ``per_seed`` maps each root seed to its scenario results — eager
+    :class:`~repro.experiments.evaluation.ScenarioEvaluation` records or
+    streaming :class:`~repro.experiments.analysis.ScenarioSummary` records;
+    both expose the shared table API, so every accessor here works with
+    either.
+    """
+
+    spec: CampaignSpec
+    per_seed: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def seeds(self) -> List[int]:
+        """The sweep seeds, in execution order."""
+        return list(self.per_seed)
+
+    @property
+    def is_sweep(self) -> bool:
+        """Whether the campaign ran at more than one root seed."""
+        return len(self.per_seed) > 1
+
+    @property
+    def scenario_results(self) -> Dict[str, Any]:
+        """Scenario results of a single-seed campaign, keyed by name."""
+        if self.is_sweep:
+            raise ConfigurationError(
+                "this campaign swept several seeds; index per_seed[seed] instead"
+            )
+        (results,) = self.per_seed.values() or ({},)
+        return dict(results)
+
+    # ------------------------------------------------------------------
+    def _table(self, builder) -> List[Dict[str, object]]:
+        """One table over every seed (a ``seed`` column is added on sweeps)."""
+        rows: List[Dict[str, object]] = []
+        for seed, results in self.per_seed.items():
+            for row in builder(results):
+                if self.is_sweep:
+                    row = {"seed": seed, **row}
+                rows.append(row)
+        return rows
+
+    def arl_table(self) -> List[Dict[str, object]]:
+        """One row per scenario (and seed): detection rate and ARL in hours."""
+        return self._table(build_arl_table)
+
+    def classification_table(self) -> List[Dict[str, object]]:
+        """One row per scenario (and seed): how its runs were classified."""
+        return self._table(build_classification_table)
+
+    def tables(self) -> Dict[str, List[Dict[str, object]]]:
+        """The tables selected by the spec's analysis options, by name."""
+        builders = {
+            "arl": self.arl_table,
+            "classification": self.classification_table,
+        }
+        return {name: builders[name]() for name in self.spec.analysis.tables}
+
+
+class Session:
+    """A reusable execution context for one campaign spec.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`CampaignSpec`, or the path of a TOML/JSON spec file.
+    engine:
+        Optional pre-built campaign engine; by default one is created from
+        the spec's :class:`~repro.common.config.ParallelConfig` and shared
+        by every sweep seed, so cache state and pool settings are common to
+        the whole session.
+
+    Notes
+    -----
+    Calibration is the expensive, anomaly-independent part of a campaign;
+    the session runs it lazily, once per root seed, and reuses the fitted
+    models for every subsequent :meth:`run` / :meth:`analyze` call.
+    """
+
+    def __init__(self, spec: SpecLike, engine: Optional[CampaignEngine] = None):
+        self.spec = _as_spec(spec)
+        self.engine = engine or CampaignEngine(self.spec.experiment.parallel)
+        self._evaluations: Dict[int, Evaluation] = {}
+
+    # ------------------------------------------------------------------
+    def evaluation(self, seed: Optional[int] = None) -> Evaluation:
+        """The (lazily created) evaluation of one sweep seed."""
+        seed = self.spec.experiment.seed if seed is None else int(seed)
+        if seed not in self._evaluations:
+            self._evaluations[seed] = Evaluation(
+                self.spec.experiment_for(seed), engine=self.engine
+            )
+        return self._evaluations[seed]
+
+    def _calibrated(self, seed: int, keep_results: bool) -> Evaluation:
+        evaluation = self.evaluation(seed)
+        if not evaluation.is_calibrated:
+            evaluation.calibrate(keep_results=keep_results)
+        return evaluation
+
+    # ------------------------------------------------------------------
+    def run(self, streaming: Optional[bool] = None) -> CampaignResult:
+        """Execute the campaign: every sweep seed, every expanded scenario.
+
+        ``streaming`` overrides the spec's ``analysis.streaming`` choice;
+        with ``False`` (the default spec setting) the per-seed results are
+        fully-retained :class:`ScenarioEvaluation` records, bitwise-identical
+        to :meth:`Evaluation.evaluate_all` on the same configuration.
+        """
+        streaming = (
+            self.spec.analysis.streaming if streaming is None else bool(streaming)
+        )
+        scenarios = self.spec.expanded_scenarios()
+        result = CampaignResult(spec=self.spec)
+        for seed in self.spec.seeds():
+            evaluation = self._calibrated(seed, keep_results=not streaming)
+            if streaming:
+                results = evaluation.evaluate_all_streaming(
+                    scenarios, chunk_size=self.spec.analysis.chunk_size
+                )
+            else:
+                results = evaluation.evaluate_all(scenarios)
+            result.per_seed[seed] = results
+        return result
+
+    def analyze(self) -> CampaignResult:
+        """Execute the campaign on the streaming path (O(chunk) memory)."""
+        return self.run(streaming=True)
+
+
+def run(spec: SpecLike, streaming: Optional[bool] = None) -> CampaignResult:
+    """Load (if needed) and execute a campaign spec in one call."""
+    return Session(spec).run(streaming=streaming)
+
+
+def analyze(spec: SpecLike) -> CampaignResult:
+    """Load (if needed) and execute a campaign spec on the streaming path."""
+    return Session(spec).analyze()

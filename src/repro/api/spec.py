@@ -1,0 +1,426 @@
+"""Declarative campaign specifications: the ``CampaignSpec`` schema.
+
+A campaign spec is a single reviewable document — TOML or JSON — that fully
+describes an evaluation campaign:
+
+* **experiment** — the :class:`~repro.common.config.ExperimentConfig`
+  (simulation fidelity, MSPC settings, execution plan);
+* **scenarios** — what to evaluate: references to registered scenarios
+  (``use = "idv6"``) and/or inline compositions of anomaly-injection
+  primitives (see :mod:`repro.experiments.injections`);
+* **sweep** — seed grids and magnitude grids expanding the campaign;
+* **analysis** — how results are consumed (eager vs. streaming, chunk size,
+  which tables to produce).
+
+Specs are versioned (``version = 1``), validated eagerly with precise error
+messages (unknown keys, wrong types and unknown scenario references all
+fail at load time, not mid-campaign), and round-trip exactly:
+``loads_spec(dumps_spec(spec)) == spec`` with identical campaign cache keys,
+which the test suite pins property-style.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - Python 3.10
+    try:
+        import tomli as tomllib  # type: ignore[no-redef]
+    except ModuleNotFoundError:
+        tomllib = None  # type: ignore[assignment]
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from repro.api._toml import dumps_toml
+from repro.common.config import (
+    ExperimentConfig,
+    _as_bool,
+    _as_int,
+    _as_sequence,
+)
+from repro.common.exceptions import ConfigurationError
+from repro.experiments.registry import REGISTRY, ScenarioRegistry
+from repro.experiments.scenarios import Scenario
+
+__all__ = [
+    "SPEC_VERSION",
+    "SweepSpec",
+    "AnalysisSpec",
+    "CampaignSpec",
+    "load_spec",
+    "loads_spec",
+    "dump_spec",
+    "dumps_spec",
+]
+
+#: The campaign-spec schema version this build reads and writes.
+SPEC_VERSION = 1
+
+_TABLES = ("arl", "classification")
+_FORMATS = ("toml", "json")
+
+
+def _check_keys(mapping: Mapping[str, Any], allowed: Tuple[str, ...], label: str):
+    if not isinstance(mapping, Mapping):
+        raise ConfigurationError(f"{label} must be a table/mapping, got {mapping!r}")
+    unknown = sorted(set(mapping) - set(allowed))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown key(s) {unknown} in {label} (allowed: {sorted(allowed)})"
+        )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Grids expanding a campaign into a sweep.
+
+    Attributes
+    ----------
+    seeds:
+        Root seeds to repeat the whole campaign over.  Empty means "just
+        the experiment's own seed".
+    magnitudes:
+        Intensity multipliers applied to every scenario's injections
+        (disturbance magnitude, drift rate, bias offset — see
+        :meth:`~repro.experiments.injections.Injection.scaled`).  Each
+        magnitude produces a renamed scenario variant; empty means "no
+        magnitude expansion".
+    """
+
+    seeds: Tuple[int, ...] = ()
+    magnitudes: Tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "seeds", tuple(_as_int(seed) for seed in self.seeds)
+        )
+        object.__setattr__(
+            self, "magnitudes", tuple(float(m) for m in self.magnitudes)
+        )
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ConfigurationError("sweep seeds must be unique")
+        if len(set(self.magnitudes)) != len(self.magnitudes):
+            raise ConfigurationError("sweep magnitudes must be unique")
+        for magnitude in self.magnitudes:
+            if magnitude <= 0:
+                raise ConfigurationError("sweep magnitudes must be positive")
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether this sweep expands nothing."""
+        return not self.seeds and not self.magnitudes
+
+    def seeds_for(self, base_seed: int) -> Tuple[int, ...]:
+        """The root seeds the campaign runs at."""
+        return self.seeds or (int(base_seed),)
+
+    def expand(self, scenarios: Tuple[Scenario, ...]) -> Tuple[Scenario, ...]:
+        """Apply the magnitude grid to a scenario tuple (scenario-major).
+
+        A scenario whose injections have no intensity knob (DoS, stuck-at,
+        replay, constant integrity) would expand into identically-behaving
+        variants that each re-simulate; such scenarios are kept once,
+        unrenamed, instead.
+        """
+        if not self.magnitudes:
+            return tuple(scenarios)
+        expanded = []
+        for scenario in scenarios:
+            variants = [scenario.scaled(m) for m in self.magnitudes]
+            if all(v.injections == scenario.injections for v in variants):
+                expanded.append(scenario)
+            else:
+                expanded.extend(variants)
+        return tuple(expanded)
+
+    def to_mapping(self) -> Dict[str, Any]:
+        mapping: Dict[str, Any] = {}
+        if self.seeds:
+            mapping["seeds"] = list(self.seeds)
+        if self.magnitudes:
+            mapping["magnitudes"] = list(self.magnitudes)
+        return mapping
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "SweepSpec":
+        _check_keys(mapping, ("seeds", "magnitudes"), "sweep")
+        return cls(
+            seeds=_as_sequence(mapping.get("seeds", ()), "sweep.seeds"),
+            magnitudes=_as_sequence(
+                mapping.get("magnitudes", ()), "sweep.magnitudes"
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class AnalysisSpec:
+    """How campaign results are consumed.
+
+    Attributes
+    ----------
+    streaming:
+        ``False`` (default) retains every run eagerly —
+        :meth:`Evaluation.evaluate_all` semantics; ``True`` streams through
+        the sharded analysis pipeline with O(chunk) peak memory and keeps
+        only :class:`~repro.experiments.analysis.ScenarioSummary` records.
+    chunk_size:
+        Streaming shard size (``None``: 2x the worker count).
+    tables:
+        Which result tables :meth:`CampaignResult.tables` produces.
+    """
+
+    streaming: bool = False
+    chunk_size: Optional[int] = None
+    tables: Tuple[str, ...] = _TABLES
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "streaming", _as_bool(self.streaming))
+        object.__setattr__(self, "tables", tuple(self.tables))
+        if self.chunk_size is not None:
+            object.__setattr__(self, "chunk_size", _as_int(self.chunk_size))
+            if self.chunk_size < 1:
+                raise ConfigurationError("chunk_size must be >= 1 or None")
+        for table in self.tables:
+            if table not in _TABLES:
+                raise ConfigurationError(
+                    f"unknown table {table!r} (available: {_TABLES})"
+                )
+
+    def to_mapping(self) -> Dict[str, Any]:
+        mapping: Dict[str, Any] = {
+            "streaming": self.streaming,
+            "tables": list(self.tables),
+        }
+        if self.chunk_size is not None:
+            mapping["chunk_size"] = self.chunk_size
+        return mapping
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "AnalysisSpec":
+        _check_keys(mapping, ("streaming", "chunk_size", "tables"), "analysis")
+        return cls(
+            streaming=_as_bool(mapping.get("streaming", False)),
+            chunk_size=mapping.get("chunk_size"),
+            tables=_as_sequence(mapping.get("tables", _TABLES), "analysis.tables"),
+        )
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A complete, serializable description of an evaluation campaign."""
+
+    name: str
+    experiment: ExperimentConfig = field(default_factory=ExperimentConfig)
+    scenarios: Tuple[Scenario, ...] = ()
+    sweep: SweepSpec = field(default_factory=SweepSpec)
+    analysis: AnalysisSpec = field(default_factory=AnalysisSpec)
+    description: str = ""
+    version: int = SPEC_VERSION
+
+    def __post_init__(self) -> None:
+        if not str(self.name):
+            raise ConfigurationError("a campaign spec needs a non-empty name")
+        object.__setattr__(self, "version", _as_int(self.version))
+        if self.version != SPEC_VERSION:
+            raise ConfigurationError(
+                f"unsupported spec version {self.version} "
+                f"(this build reads version {SPEC_VERSION})"
+            )
+        scenarios = tuple(REGISTRY.resolve(ref) for ref in self.scenarios)
+        object.__setattr__(self, "scenarios", scenarios)
+        if not scenarios:
+            raise ConfigurationError("a campaign spec needs at least one scenario")
+        names = [scenario.name for scenario in scenarios]
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        if duplicates:
+            raise ConfigurationError(f"duplicate scenario name(s): {duplicates}")
+        self._check_injection_timing()
+
+    def _check_injection_timing(self) -> None:
+        """Fail at load time on windows the campaign onset would invalidate.
+
+        An injection with a deferred onset (``start_hour=None``) activates
+        at the experiment's ``anomaly_start_hour``; if its ``end_hour``
+        falls at or before that, the attack window is empty and attack
+        construction would raise mid-campaign — after calibration already
+        ran.  Specs promise to fail at load time, so catch it here.
+        """
+        onset = self.experiment.anomaly_start_hour
+        for scenario in self.scenarios:
+            for injection in scenario.injections:
+                if (
+                    injection.start_hour is None
+                    and injection.end_hour is not None
+                    and injection.end_hour <= onset
+                ):
+                    raise ConfigurationError(
+                        f"scenario {scenario.name!r}: injection "
+                        f"{injection.to_mapping()!r} ends at hour "
+                        f"{injection.end_hour:g}, at or before the campaign's "
+                        f"anomaly_start_hour ({onset:g}) it would start at"
+                    )
+
+    # ------------------------------------------------------------------
+    # Campaign expansion
+    # ------------------------------------------------------------------
+    def expanded_scenarios(self) -> Tuple[Scenario, ...]:
+        """The scenarios actually evaluated (magnitude grid applied)."""
+        return self.sweep.expand(self.scenarios)
+
+    def seeds(self) -> Tuple[int, ...]:
+        """The root seeds the campaign runs at (seed grid applied)."""
+        return self.sweep.seeds_for(self.experiment.seed)
+
+    def experiment_for(self, seed: int) -> ExperimentConfig:
+        """The experiment configuration of one sweep seed."""
+        if seed == self.experiment.seed:
+            return self.experiment
+        return self.experiment.with_seed(seed)
+
+    def with_experiment(self, experiment: ExperimentConfig) -> "CampaignSpec":
+        """This spec with a different experiment configuration."""
+        return replace(self, experiment=experiment)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_mapping(self) -> Dict[str, Any]:
+        """A plain nested mapping — the canonical serialized form."""
+        mapping: Dict[str, Any] = {
+            "version": self.version,
+            "name": self.name,
+        }
+        if self.description:
+            mapping["description"] = self.description
+        mapping["experiment"] = self.experiment.to_mapping()
+        mapping["scenarios"] = [
+            scenario.to_mapping() for scenario in self.scenarios
+        ]
+        if not self.sweep.is_empty:
+            mapping["sweep"] = self.sweep.to_mapping()
+        mapping["analysis"] = self.analysis.to_mapping()
+        return mapping
+
+    @classmethod
+    def from_mapping(
+        cls,
+        mapping: Mapping[str, Any],
+        registry: Optional[ScenarioRegistry] = None,
+    ) -> "CampaignSpec":
+        """Build and validate a spec from its mapping form."""
+        _check_keys(
+            mapping,
+            ("version", "name", "description", "experiment", "scenarios",
+             "sweep", "analysis"),
+            "campaign spec",
+        )
+        registry = registry or REGISTRY
+        if "name" not in mapping:
+            raise ConfigurationError("a campaign spec needs a 'name'")
+        raw_scenarios = mapping.get("scenarios", ())
+        if isinstance(raw_scenarios, (str, Mapping)) or not hasattr(
+            raw_scenarios, "__iter__"
+        ):
+            raise ConfigurationError(
+                "'scenarios' must be a list of scenario tables/references"
+            )
+        return cls(
+            name=str(mapping["name"]),
+            description=str(mapping.get("description", "")),
+            version=mapping.get("version", SPEC_VERSION),
+            experiment=ExperimentConfig.from_mapping(mapping.get("experiment", {})),
+            scenarios=tuple(registry.resolve(ref) for ref in raw_scenarios),
+            sweep=SweepSpec.from_mapping(mapping.get("sweep", {})),
+            analysis=AnalysisSpec.from_mapping(mapping.get("analysis", {})),
+        )
+
+    def to_toml(self) -> str:
+        """This spec as a TOML document."""
+        return dumps_toml(self.to_mapping())
+
+    def to_json(self) -> str:
+        """This spec as a JSON document."""
+        return json.dumps(self.to_mapping(), indent=2) + "\n"
+
+
+def _format_of(path: Path, format: Optional[str]) -> str:
+    if format is not None:
+        if format not in _FORMATS:
+            raise ConfigurationError(
+                f"unknown spec format {format!r} (available: {_FORMATS})"
+            )
+        return format
+    suffix = path.suffix.lower().lstrip(".")
+    if suffix in _FORMATS:
+        return suffix
+    raise ConfigurationError(
+        f"cannot infer spec format from {path.name!r}; "
+        "use a .toml/.json suffix or pass format=..."
+    )
+
+
+def loads_spec(
+    text: str,
+    format: str = "toml",
+    registry: Optional[ScenarioRegistry] = None,
+) -> CampaignSpec:
+    """Parse a campaign spec from a TOML or JSON string."""
+    if format not in _FORMATS:
+        raise ConfigurationError(
+            f"unknown spec format {format!r} (available: {_FORMATS})"
+        )
+    try:
+        if format == "toml":
+            if tomllib is None:  # pragma: no cover - Python 3.10 w/o tomli
+                raise ConfigurationError(
+                    "reading TOML specs needs Python 3.11+ (tomllib) or the "
+                    "tomli package; JSON specs work everywhere"
+                )
+            mapping = tomllib.loads(text)
+        else:
+            mapping = json.loads(text)
+    except ValueError as error:  # TOMLDecodeError and JSONDecodeError
+        raise ConfigurationError(f"malformed {format} spec: {error}") from error
+    return CampaignSpec.from_mapping(mapping, registry=registry)
+
+
+def load_spec(
+    path: Union[str, Path],
+    format: Optional[str] = None,
+    registry: Optional[ScenarioRegistry] = None,
+) -> CampaignSpec:
+    """Load a campaign spec from a ``.toml`` or ``.json`` file."""
+    path = Path(path)
+    resolved = _format_of(path, format)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise ConfigurationError(f"cannot read spec {path}: {error}") from error
+    try:
+        return loads_spec(text, format=resolved, registry=registry)
+    except ConfigurationError as error:
+        raise ConfigurationError(f"{path}: {error}") from error
+
+
+def dumps_spec(spec: CampaignSpec, format: str = "toml") -> str:
+    """Serialize a spec to TOML (default) or JSON text."""
+    if format not in _FORMATS:
+        raise ConfigurationError(
+            f"unknown spec format {format!r} (available: {_FORMATS})"
+        )
+    return spec.to_toml() if format == "toml" else spec.to_json()
+
+
+def dump_spec(
+    spec: CampaignSpec,
+    path: Union[str, Path],
+    format: Optional[str] = None,
+) -> Path:
+    """Write a spec to a ``.toml`` or ``.json`` file; returns the path."""
+    path = Path(path)
+    resolved = _format_of(path, format)
+    path.write_text(dumps_spec(spec, format=resolved), encoding="utf-8")
+    return path

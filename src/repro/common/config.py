@@ -16,8 +16,8 @@ pipeline:
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 from repro.common.exceptions import ConfigurationError
 
@@ -27,6 +27,93 @@ __all__ = [
     "ParallelConfig",
     "ExperimentConfig",
 ]
+
+
+# ----------------------------------------------------------------------
+# Mapping (de)serialization helpers — the campaign-spec layer sits on these
+# ----------------------------------------------------------------------
+def _opt(coerce: Callable[[Any], Any]) -> Callable[[Any], Any]:
+    """A coercer accepting ``None`` (for optional fields)."""
+    return lambda value: None if value is None else coerce(value)
+
+
+def _as_int(value: Any) -> int:
+    """Coerce to int, rejecting bools and fractional floats."""
+    if isinstance(value, bool):
+        raise ConfigurationError(f"expected an integer, got {value!r}")
+    if isinstance(value, float) and not value.is_integer():
+        raise ConfigurationError(f"expected an integer, got {value!r}")
+    if isinstance(value, str):
+        raise ConfigurationError(f"expected an integer, got {value!r}")
+    return int(value)
+
+
+def _as_bool(value: Any) -> bool:
+    """Require an actual boolean — ``bool("false")`` is ``True``, a classic
+    spec-file footgun, so strings are rejected rather than coerced."""
+    if not isinstance(value, bool):
+        raise ConfigurationError(f"expected a boolean, got {value!r}")
+    return value
+
+
+def _as_sequence(value: Any, label: str) -> Tuple[Any, ...]:
+    """Require a real sequence (a string would iterate per character)."""
+    if isinstance(value, (str, bytes, Mapping)) or not hasattr(value, "__iter__"):
+        raise ConfigurationError(f"{label} must be a list, got {value!r}")
+    return tuple(value)
+
+
+def _as_float_tuple(value: Any) -> Tuple[float, ...]:
+    return tuple(float(item) for item in _as_sequence(value, "a numeric list"))
+
+
+def _build_from_mapping(
+    cls: type,
+    mapping: Mapping[str, Any],
+    coercers: Mapping[str, Callable[[Any], Any]],
+    label: str,
+):
+    """Build a config dataclass from a mapping with typo and type safety.
+
+    Unknown keys raise (a misspelled option in a spec file must not be
+    silently ignored); values are coerced to the field's canonical scalar
+    type so that e.g. a TOML ``10`` and ``10.0`` produce byte-identical
+    configurations — and therefore identical campaign cache keys.
+    """
+    if not isinstance(mapping, Mapping):
+        raise ConfigurationError(f"{label} must be a table/mapping, got {mapping!r}")
+    unknown = sorted(set(mapping) - set(coercers))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown key(s) {unknown} in {label} (allowed: {sorted(coercers)})"
+        )
+    kwargs = {}
+    for key, value in mapping.items():
+        try:
+            kwargs[key] = coercers[key](value)
+        except (TypeError, ValueError) as error:
+            raise ConfigurationError(f"invalid {label}.{key}: {error}") from error
+    return cls(**kwargs)
+
+
+def _mapping_of(config: Any, floats: Tuple[str, ...] = ()) -> Dict[str, Any]:
+    """Shallow field mapping of a config, omitting ``None`` values.
+
+    ``None`` is omitted because TOML has no null; absent means "default".
+    Fields named in ``floats`` are emitted as floats so integral values
+    (``10`` for a 10-hour onset) keep their canonical float type.
+    """
+    mapping: Dict[str, Any] = {}
+    for spec in fields(config):
+        value = getattr(config, spec.name)
+        if value is None:
+            continue
+        if spec.name in floats:
+            value = float(value)
+        if isinstance(value, tuple):
+            value = list(value)
+        mapping[spec.name] = value
+    return mapping
 
 
 @dataclass(frozen=True)
@@ -99,6 +186,27 @@ class SimulationConfig:
         """Return a copy of this configuration with a different duration."""
         return replace(self, duration_hours=float(duration_hours))
 
+    def to_mapping(self) -> Dict[str, Any]:
+        """A plain, JSON/TOML-ready mapping of this configuration."""
+        return _mapping_of(self, floats=("duration_hours",))
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "SimulationConfig":
+        """Build from a mapping, rejecting unknown keys and coercing types."""
+        return _build_from_mapping(
+            cls,
+            mapping,
+            {
+                "duration_hours": float,
+                "samples_per_hour": _as_int,
+                "integration_steps_per_sample": _as_int,
+                "seed": _as_int,
+                "enable_noise": _as_bool,
+                "enable_safety": _as_bool,
+            },
+            "simulation",
+        )
+
     @classmethod
     def paper_settings(cls, seed: int = 0) -> "SimulationConfig":
         """The exact settings used in the paper (72 h, 2000 samples/h)."""
@@ -165,6 +273,29 @@ class MSPCConfig:
             raise ConfigurationError(
                 "limit_method must be 'theoretical' or 'percentile'"
             )
+
+    def to_mapping(self) -> Dict[str, Any]:
+        """A plain, JSON/TOML-ready mapping of this configuration."""
+        return _mapping_of(
+            self, floats=("variance_to_explain", "detection_confidence")
+        )
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "MSPCConfig":
+        """Build from a mapping, rejecting unknown keys and coercing types."""
+        return _build_from_mapping(
+            cls,
+            mapping,
+            {
+                "n_components": _opt(_as_int),
+                "variance_to_explain": float,
+                "confidence_levels": _as_float_tuple,
+                "detection_confidence": float,
+                "consecutive_violations": _as_int,
+                "limit_method": str,
+            },
+            "mspc",
+        )
 
     @classmethod
     def paper_settings(cls) -> "MSPCConfig":
@@ -262,6 +393,28 @@ ProcessPoolExecutor`; ``"serial"`` executes them in-process, in order.
         """Return a copy of this configuration with a different cache directory."""
         return replace(self, cache_dir=None if cache_dir is None else str(cache_dir))
 
+    def to_mapping(self) -> Dict[str, Any]:
+        """A plain, JSON/TOML-ready mapping of this configuration."""
+        return _mapping_of(self, floats=("cache_max_age",))
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "ParallelConfig":
+        """Build from a mapping, rejecting unknown keys and coercing types."""
+        return _build_from_mapping(
+            cls,
+            mapping,
+            {
+                "n_workers": _opt(_as_int),
+                "backend": str,
+                "cache_dir": _opt(str),
+                "cache_enabled": _as_bool,
+                "cache_max_bytes": _opt(_as_int),
+                "cache_max_age": _opt(float),
+                "chunk_size": _opt(_as_int),
+            },
+            "parallel",
+        )
+
     @classmethod
     def serial(cls, cache_dir: Optional[str] = None) -> "ParallelConfig":
         """In-process, ordered execution (the pre-engine behaviour)."""
@@ -317,6 +470,40 @@ class ExperimentConfig:
     def with_parallel(self, parallel: ParallelConfig) -> "ExperimentConfig":
         """Return a copy of this configuration with a different execution plan."""
         return replace(self, parallel=parallel)
+
+    def with_seed(self, seed: int) -> "ExperimentConfig":
+        """Return a copy of this configuration with a different root seed."""
+        return replace(self, seed=int(seed))
+
+    def to_mapping(self) -> Dict[str, Any]:
+        """A plain, JSON/TOML-ready nested mapping of the whole campaign."""
+        return {
+            "n_calibration_runs": self.n_calibration_runs,
+            "n_runs_per_scenario": self.n_runs_per_scenario,
+            "anomaly_start_hour": float(self.anomaly_start_hour),
+            "seed": self.seed,
+            "simulation": self.simulation.to_mapping(),
+            "mspc": self.mspc.to_mapping(),
+            "parallel": self.parallel.to_mapping(),
+        }
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "ExperimentConfig":
+        """Build from a nested mapping, rejecting unknown keys at every level."""
+        return _build_from_mapping(
+            cls,
+            mapping,
+            {
+                "n_calibration_runs": _as_int,
+                "n_runs_per_scenario": _as_int,
+                "anomaly_start_hour": float,
+                "seed": _as_int,
+                "simulation": SimulationConfig.from_mapping,
+                "mspc": MSPCConfig.from_mapping,
+                "parallel": ParallelConfig.from_mapping,
+            },
+            "experiment",
+        )
 
     @classmethod
     def paper_settings(cls, seed: int = 0) -> "ExperimentConfig":

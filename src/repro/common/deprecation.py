@@ -1,0 +1,36 @@
+"""Warn-once deprecation helper for shimmed APIs.
+
+The PR that introduced the declarative campaign API kept every superseded
+entry point working behind a thin shim.  Shims warn through
+:func:`warn_once`, which guarantees **exactly one** :class:`DeprecationWarning`
+per shim per process — loud enough to be seen, quiet enough not to flood a
+10 000-run campaign log (the default warning filter dedups by code location,
+which a loop through a shim defeats; an explicit key does not).
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Set
+
+__all__ = ["warn_once", "reset_deprecation_warnings"]
+
+_WARNED_KEYS: Set[str] = set()
+
+
+def warn_once(key: str, message: str, stacklevel: int = 3) -> bool:
+    """Emit ``message`` as a :class:`DeprecationWarning`, once per ``key``.
+
+    Returns whether the warning was actually emitted (``False`` on every
+    call after the first), so callers and tests can observe the dedup.
+    """
+    if key in _WARNED_KEYS:
+        return False
+    _WARNED_KEYS.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+    return True
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which shims have warned (test isolation helper)."""
+    _WARNED_KEYS.clear()

@@ -23,12 +23,8 @@ import numpy as np
 
 from repro.common.config import ExperimentConfig, SimulationConfig
 from repro.experiments.evaluation import Evaluation, ScenarioEvaluation
+from repro.experiments.registry import resolve_scenario, scenario_title
 from repro.experiments.runner import run_scenario
-from repro.experiments.scenarios import (
-    disturbance_idv6_scenario,
-    integrity_attack_on_xmv3_scenario,
-    normal_scenario,
-)
 from repro.mspc.model import MSPCMonitor
 
 __all__ = [
@@ -39,6 +35,7 @@ __all__ = [
     "figure3_feed_response",
     "figure4_omeda_controller",
     "figure5_omeda_process",
+    "omeda_figures",
     "arl_table",
 ]
 
@@ -73,12 +70,22 @@ class FeedResponseFigure:
 
 @dataclass
 class OmedaFigure:
-    """Data behind one panel of Figure 4 or 5: an oMEDA bar chart."""
+    """Data behind one panel of Figure 4 or 5: an oMEDA bar chart.
+
+    ``title`` is the caption of the panel; it is resolved from the
+    evaluated scenario (or the registry), so user-defined scenarios get
+    proper captions without any figure-code change.
+    """
 
     scenario: str
     view: str
     variable_names: Tuple[str, ...]
     contributions: np.ndarray
+    title: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.title:
+            self.title = scenario_title(self.scenario)
 
     def dominant_variable(self) -> Optional[str]:
         """Variable with the largest absolute bar (None when empty)."""
@@ -112,7 +119,7 @@ def figure1_control_chart(
 
     monitor: MSPCMonitor = evaluation.analyzer.controller_monitor
     verification = run_scenario(
-        normal_scenario(),
+        resolve_scenario("normal"),
         evaluation.config.simulation.with_seed(evaluation.config.seed + 999_331),
         anomaly_start_hour=evaluation.config.anomaly_start_hour,
     )
@@ -137,24 +144,30 @@ def figure3_feed_response(
     simulation: Optional[SimulationConfig] = None,
     anomaly_start_hour: float = 10.0,
     seed: int = 0,
+    disturbance: str = "idv6",
+    attack: str = "attack_xmv3",
+    variable: str = "XMEAS(1)",
 ) -> FeedResponseFigure:
-    """XMEAS(1) under IDV(6) and under an integrity attack closing XMV(3).
+    """A variable under a disturbance and under an attack, side by side.
 
-    Both anomalies start at ``anomaly_start_hour``; both runs end either at
-    the simulation horizon or at the safety shutdown, whichever comes first —
-    reproducing the phenomenon of Figure 3: the two situations are nearly
-    indistinguishable when looking at XMEAS(1) alone.
+    Defaults reproduce Figure 3 — XMEAS(1) under IDV(6) vs. under an
+    integrity attack closing XMV(3) — but any pair of registered (or
+    user-registered) scenario names and any recorded variable can be
+    compared.  Both anomalies start at ``anomaly_start_hour``; both runs
+    end either at the simulation horizon or at the safety shutdown,
+    whichever comes first — reproducing the phenomenon of Figure 3: the
+    two situations are nearly indistinguishable when looking at XMEAS(1)
+    alone.
     """
     simulation = simulation or SimulationConfig.fast(seed=seed)
     idv6_result = run_scenario(
-        disturbance_idv6_scenario(), simulation.with_seed(seed), anomaly_start_hour
+        resolve_scenario(disturbance), simulation.with_seed(seed), anomaly_start_hour
     )
     attack_result = run_scenario(
-        integrity_attack_on_xmv3_scenario(),
+        resolve_scenario(attack),
         simulation.with_seed(seed),
         anomaly_start_hour,
     )
-    variable = "XMEAS(1)"
     return FeedResponseFigure(
         variable=variable,
         anomaly_start_hour=anomaly_start_hour,
@@ -170,17 +183,28 @@ def figure3_feed_response(
 # ----------------------------------------------------------------------
 # Figures 4 and 5
 # ----------------------------------------------------------------------
-def _omeda_figures(
+def omeda_figures(
     evaluations: Dict[str, ScenarioEvaluation], view: str
 ) -> Dict[str, OmedaFigure]:
+    """oMEDA bar-chart panels of every evaluated scenario for one view.
+
+    Works with any summary-like mapping — eager
+    :class:`~repro.experiments.evaluation.ScenarioEvaluation` records or
+    streaming :class:`~repro.experiments.analysis.ScenarioSummary` records —
+    and derives each panel's caption from the evaluated scenario itself
+    (falling back to the registry), so scenarios declared in a campaign
+    spec render without touching figure code.
+    """
     figures: Dict[str, OmedaFigure] = {}
     for name, evaluation in evaluations.items():
         names, contributions = evaluation.mean_omeda(view)
+        scenario = getattr(evaluation, "scenario", None)
         figures[name] = OmedaFigure(
             scenario=name,
             view=view,
             variable_names=names,
             contributions=contributions,
+            title=scenario.title if scenario is not None else "",
         )
     return figures
 
@@ -189,14 +213,14 @@ def figure4_omeda_controller(
     evaluations: Dict[str, ScenarioEvaluation]
 ) -> Dict[str, OmedaFigure]:
     """Figure 4: oMEDA plots of every scenario from the controller point of view."""
-    return _omeda_figures(evaluations, "controller")
+    return omeda_figures(evaluations, "controller")
 
 
 def figure5_omeda_process(
     evaluations: Dict[str, ScenarioEvaluation]
 ) -> Dict[str, OmedaFigure]:
     """Figure 5: oMEDA plots of every scenario from the process point of view."""
-    return _omeda_figures(evaluations, "process")
+    return omeda_figures(evaluations, "process")
 
 
 # ----------------------------------------------------------------------

@@ -79,12 +79,15 @@ class RunSpec:
     enable_safety: bool = True
 
     def cache_token(self) -> Dict[str, object]:
-        """The canonical content this run's cache key is derived from."""
-        scenario = asdict(self.scenario)
-        scenario["kind"] = self.scenario.kind.value
+        """The canonical content this run's cache key is derived from.
+
+        The scenario enters through :meth:`Scenario.to_mapping` — its
+        canonical serialized form — so a scenario loaded from a spec file
+        and one built in code hash identically.
+        """
         return {
             "code_version": __version__,
-            "scenario": scenario,
+            "scenario": self.scenario.to_mapping(),
             "simulation": asdict(self.simulation),
             "anomaly_start_hour": float(self.anomaly_start_hour),
             "enable_safety": bool(self.enable_safety),

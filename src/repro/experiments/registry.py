@@ -1,0 +1,195 @@
+"""Scenario registry: name → scenario factory, extensible by users.
+
+The registry is what lets campaign specs (and the CLI, figures, docs)
+reference scenarios **by name** instead of importing factory functions: the
+five paper scenarios are pre-registered, and user code — or a plugin, or a
+test — registers new compositions with :func:`register_scenario` (usable as
+a decorator) without touching library code:
+
+    >>> from repro.experiments.registry import register_scenario
+    >>> from repro.experiments.injections import DriftInjection
+    >>> @register_scenario
+    ... def drift_xmeas2():
+    ...     return Scenario(
+    ...         name="drift_xmeas2",
+    ...         injections=(DriftInjection("sensor", 2, 0.05),),
+    ...     )
+
+Factories (rather than instances) are registered so every lookup returns a
+fresh, immutable scenario and registration order cannot leak state between
+campaigns.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Tuple, Union
+
+from repro.common.exceptions import ConfigurationError
+from repro.experiments.scenarios import (
+    Scenario,
+    disturbance_idv6_scenario,
+    dos_attack_on_xmv3_scenario,
+    integrity_attack_on_xmeas1_scenario,
+    integrity_attack_on_xmv3_scenario,
+    normal_scenario,
+    paper_scenarios,
+)
+
+__all__ = [
+    "ScenarioRegistry",
+    "REGISTRY",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "scenario_title",
+    "resolve_scenario",
+    "paper_scenario_names",
+]
+
+ScenarioFactory = Callable[[], Scenario]
+#: What :meth:`ScenarioRegistry.resolve` accepts: a registered name, an
+#: already-built scenario, or a scenario mapping (e.g. parsed from a spec).
+ScenarioRef = Union[str, Scenario, Mapping[str, Any]]
+
+
+class ScenarioRegistry:
+    """A mapping of scenario names to scenario factories."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, ScenarioFactory] = {}
+
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        factory: ScenarioFactory,
+        name: Optional[str] = None,
+        overwrite: bool = False,
+    ) -> ScenarioFactory:
+        """Register a factory under ``name`` (default: its scenario's name).
+
+        Returns the factory unchanged, so this method — and the module-level
+        :func:`register_scenario` — can be used as a decorator.  Registering
+        an existing name requires ``overwrite=True``; silently shadowing a
+        built-in would corrupt every spec referencing it.
+        """
+        if name is None:
+            name = factory().name
+        if name in self._factories and not overwrite:
+            raise ConfigurationError(
+                f"scenario {name!r} is already registered "
+                "(pass overwrite=True to replace it)"
+            )
+        self._factories[str(name)] = factory
+        return factory
+
+    def unregister(self, name: str) -> None:
+        """Remove a registered scenario (no error if absent)."""
+        self._factories.pop(name, None)
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Scenario:
+        """Build the scenario registered under ``name``."""
+        if name not in self._factories:
+            raise ConfigurationError(
+                f"unknown scenario {name!r} (registered: {', '.join(self.names()) or 'none'})"
+            )
+        scenario = self._factories[name]()
+        if not isinstance(scenario, Scenario):
+            raise ConfigurationError(
+                f"factory of {name!r} returned {type(scenario).__name__}, "
+                "expected Scenario"
+            )
+        return scenario
+
+    def resolve(self, ref: ScenarioRef) -> Scenario:
+        """Turn a name, mapping or scenario into a :class:`Scenario`."""
+        if isinstance(ref, Scenario):
+            return ref
+        if isinstance(ref, str):
+            return self.get(ref)
+        if isinstance(ref, Mapping):
+            if "use" in ref:
+                extra = sorted(set(ref) - {"use"})
+                if extra:
+                    raise ConfigurationError(
+                        f"a 'use' scenario reference takes no other keys, got {extra}"
+                    )
+                return self.get(str(ref["use"]))
+            return Scenario.from_mapping(ref)
+        raise ConfigurationError(
+            f"cannot resolve {ref!r} into a scenario "
+            "(expected a name, a mapping or a Scenario)"
+        )
+
+    def title_of(self, name: str, default: Optional[str] = None) -> str:
+        """Human-readable title of a registered scenario (``default``/name otherwise)."""
+        if name in self._factories:
+            return self._factories[name]().title
+        return name if default is None else default
+
+    # ------------------------------------------------------------------
+    def names(self) -> Tuple[str, ...]:
+        """The registered names, in registration order."""
+        return tuple(self._factories)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._factories)
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+
+#: The process-wide default registry, pre-loaded with the paper's scenarios.
+REGISTRY = ScenarioRegistry()
+for _factory in (
+    normal_scenario,
+    disturbance_idv6_scenario,
+    integrity_attack_on_xmv3_scenario,
+    integrity_attack_on_xmeas1_scenario,
+    dos_attack_on_xmv3_scenario,
+):
+    REGISTRY.register(_factory)
+del _factory
+
+
+def register_scenario(
+    factory: Optional[ScenarioFactory] = None,
+    name: Optional[str] = None,
+    overwrite: bool = False,
+):
+    """Register a factory on the default registry (usable as a decorator)."""
+    if factory is None:
+
+        def decorator(inner: ScenarioFactory) -> ScenarioFactory:
+            return REGISTRY.register(inner, name=name, overwrite=overwrite)
+
+        return decorator
+    return REGISTRY.register(factory, name=name, overwrite=overwrite)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Build the scenario registered under ``name`` on the default registry."""
+    return REGISTRY.get(name)
+
+
+def scenario_names() -> Tuple[str, ...]:
+    """Names registered on the default registry."""
+    return REGISTRY.names()
+
+
+def scenario_title(name: str) -> str:
+    """Figure/report title of a scenario name (falls back to the name)."""
+    return REGISTRY.title_of(name)
+
+
+def resolve_scenario(ref: ScenarioRef) -> Scenario:
+    """Resolve a name / mapping / scenario through the default registry."""
+    return REGISTRY.resolve(ref)
+
+
+def paper_scenario_names() -> Tuple[str, ...]:
+    """The four anomalous paper scenarios' names, in paper order."""
+    return tuple(scenario.name for scenario in paper_scenarios())

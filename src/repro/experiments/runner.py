@@ -15,8 +15,8 @@ from repro.common.config import ExperimentConfig, SimulationConfig
 from repro.common.exceptions import ConfigurationError
 from repro.control.te_controller import TEDecentralizedController
 from repro.datasets.dataset import ProcessDataset
-from repro.experiments.scenarios import Scenario, ScenarioKind
-from repro.network.attacks import AttackSchedule, DoSAttack, IntegrityAttack
+from repro.experiments.scenarios import Scenario
+from repro.network.attacks import AttackSchedule
 from repro.network.channel import Channel
 from repro.process.disturbances import DisturbanceSchedule
 from repro.process.simulator import ClosedLoopSimulator, SimulationResult
@@ -51,41 +51,40 @@ def make_controller() -> TEDecentralizedController:
 def build_disturbance_schedule(
     scenario: Scenario, anomaly_start_hour: float
 ) -> DisturbanceSchedule:
-    """Disturbance schedule of a scenario (empty unless it is a disturbance)."""
-    if scenario.kind is ScenarioKind.DISTURBANCE:
-        return DisturbanceSchedule.single(
-            scenario.disturbance_index, anomaly_start_hour, n_disturbances=N_IDV
+    """Disturbance schedule of a scenario's process-disturbance injections.
+
+    Each :class:`~repro.experiments.injections.DisturbanceInjection` becomes
+    one activation window; injections without an explicit ``start_hour``
+    activate at the campaign's ``anomaly_start_hour``.
+    """
+    schedule = DisturbanceSchedule.none(N_IDV)
+    for injection in scenario.disturbance_injections:
+        schedule.add(
+            injection.index,
+            injection.onset(anomaly_start_hour),
+            end_hour=injection.end_hour,
+            magnitude=injection.magnitude,
         )
-    return DisturbanceSchedule.none(N_IDV)
+    return schedule
 
 
 def build_channels(
     scenario: Scenario, anomaly_start_hour: float
 ) -> Tuple[Channel, Channel]:
-    """Sensor and actuator channels with the scenario's attack installed."""
+    """Sensor and actuator channels with the scenario's attacks installed.
+
+    Every channel injection of the composition contributes one attack to
+    the channel it targets, so multi-stage scenarios (e.g. a replayed
+    sensor masking a DoS'd valve) assemble without special cases.
+    """
     sensor_attacks = AttackSchedule.none()
     actuator_attacks = AttackSchedule.none()
-
-    if scenario.kind is ScenarioKind.INTEGRITY_SENSOR:
-        sensor_attacks.add(
-            IntegrityAttack(
-                target_index=scenario.target_xmeas,
-                start_hour=anomaly_start_hour,
-                injected=float(scenario.injected_value),
-            )
-        )
-    elif scenario.kind is ScenarioKind.INTEGRITY_ACTUATOR:
-        actuator_attacks.add(
-            IntegrityAttack(
-                target_index=scenario.target_xmv,
-                start_hour=anomaly_start_hour,
-                injected=float(scenario.injected_value),
-            )
-        )
-    elif scenario.kind is ScenarioKind.DOS_ACTUATOR:
-        actuator_attacks.add(
-            DoSAttack(target_index=scenario.target_xmv, start_hour=anomaly_start_hour)
-        )
+    for injection in scenario.channel_injections:
+        attack = injection.build_attack(anomaly_start_hour)
+        if injection.channel == "sensor":
+            sensor_attacks.add(attack)
+        else:
+            actuator_attacks.add(attack)
 
     sensor_channel = Channel("sensors", N_XMEAS, sensor_attacks)
     actuator_channel = Channel("actuators", N_XMV, actuator_attacks)

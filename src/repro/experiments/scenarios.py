@@ -1,4 +1,4 @@
-"""The evaluation scenarios of the paper.
+"""Scenario definitions: named compositions of anomaly injections.
 
 Section V of the paper defines four anomalous situations, all starting at the
 10th simulation hour:
@@ -10,19 +10,40 @@ d) Denial of Service on XMV(3) — the actuator keeps the last received value.
 
 A fifth, attack- and disturbance-free scenario is used for calibration and as
 the negative control.
+
+Since the declarative-campaign redesign a :class:`Scenario` is no longer an
+enum-plus-fields record but a **composition of injection primitives**
+(:mod:`repro.experiments.injections`): the paper's scenarios are one-element
+compositions, and arbitrary multi-stage anomalies (a disturbance masked by a
+replayed sensor, a drift plus a DoS, …) are expressed by listing several
+injections — in code or in a TOML/JSON campaign spec.  The historical
+``kind`` / ``disturbance_index`` / ``target_*`` constructor keeps working as
+a deprecation shim and is normalized into the equivalent injection
+composition, so old and new construction paths produce identical scenarios
+(and identical campaign cache keys).
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
 
+from repro.common.deprecation import warn_once
 from repro.common.exceptions import ConfigurationError
+from repro.experiments.injections import (
+    ChannelInjection,
+    DisturbanceInjection,
+    DoSInjection,
+    Injection,
+    IntegrityInjection,
+    injections_from_mappings,
+)
 
 __all__ = [
     "ScenarioKind",
     "Scenario",
+    "GROUND_TRUTHS",
     "normal_scenario",
     "disturbance_idv6_scenario",
     "integrity_attack_on_xmv3_scenario",
@@ -31,82 +52,268 @@ __all__ = [
     "paper_scenarios",
 ]
 
+GROUND_TRUTHS = ("normal", "disturbance", "attack")
+
 
 class ScenarioKind(enum.Enum):
-    """The nature of the anomaly injected in a scenario."""
+    """The nature of the anomaly injected in a scenario.
+
+    Kinds are *derived* from the injection composition nowadays; the enum is
+    kept for reporting and for the legacy constructor shim.  Compositions
+    that do not match one of the historical single-injection patterns are
+    :attr:`COMPOSITE`.
+    """
 
     NORMAL = "normal"
     DISTURBANCE = "disturbance"
     INTEGRITY_SENSOR = "integrity attack on a sensor"
     INTEGRITY_ACTUATOR = "integrity attack on an actuator"
     DOS_ACTUATOR = "denial of service on an actuator"
+    COMPOSITE = "composite"
+
+
+def _derive_legacy_view(
+    injections: Tuple[Injection, ...]
+) -> Dict[str, Any]:
+    """Map an injection composition onto the historical field set.
+
+    Single-injection compositions with campaign-default timing fold back
+    onto the exact pre-redesign ``kind``/index fields, which keeps every
+    legacy consumer (reports, metadata, user code) working unchanged;
+    everything else is :attr:`ScenarioKind.COMPOSITE`.
+    """
+    view: Dict[str, Any] = {
+        "kind": ScenarioKind.COMPOSITE,
+        "disturbance_index": None,
+        "target_xmeas": None,
+        "target_xmv": None,
+        "injected_value": None,
+    }
+    if not injections:
+        view["kind"] = ScenarioKind.NORMAL
+        return view
+    if len(injections) > 1:
+        return view
+    injection = injections[0]
+    if injection.start_hour is not None or injection.end_hour is not None:
+        return view
+    if isinstance(injection, DisturbanceInjection):
+        if injection.magnitude == 1.0:
+            view["kind"] = ScenarioKind.DISTURBANCE
+            view["disturbance_index"] = injection.index
+        return view
+    if isinstance(injection, IntegrityInjection):
+        if injection.channel == "sensor":
+            view["kind"] = ScenarioKind.INTEGRITY_SENSOR
+            view["target_xmeas"] = injection.target
+        else:
+            view["kind"] = ScenarioKind.INTEGRITY_ACTUATOR
+            view["target_xmv"] = injection.target
+        view["injected_value"] = injection.value
+        return view
+    if isinstance(injection, DoSInjection) and injection.channel == "actuator":
+        view["kind"] = ScenarioKind.DOS_ACTUATOR
+        view["target_xmv"] = injection.target
+    return view
+
+
+def _injections_from_legacy(
+    kind: ScenarioKind,
+    disturbance_index: Optional[int],
+    target_xmeas: Optional[int],
+    target_xmv: Optional[int],
+    injected_value: Optional[float],
+) -> Tuple[Injection, ...]:
+    """The injection composition equivalent to a legacy field set."""
+    if kind is ScenarioKind.NORMAL:
+        return ()
+    if kind is ScenarioKind.DISTURBANCE:
+        if disturbance_index is None:
+            raise ConfigurationError("disturbance scenarios need a disturbance_index")
+        return (DisturbanceInjection(disturbance_index),)
+    if kind is ScenarioKind.INTEGRITY_SENSOR:
+        if target_xmeas is None:
+            raise ConfigurationError("sensor integrity attacks need target_xmeas")
+        return (
+            IntegrityInjection(
+                "sensor",
+                target_xmeas,
+                0.0 if injected_value is None else float(injected_value),
+            ),
+        )
+    if kind is ScenarioKind.INTEGRITY_ACTUATOR:
+        if target_xmv is None:
+            raise ConfigurationError("actuator attacks need target_xmv")
+        return (
+            IntegrityInjection(
+                "actuator",
+                target_xmv,
+                0.0 if injected_value is None else float(injected_value),
+            ),
+        )
+    if kind is ScenarioKind.DOS_ACTUATOR:
+        if target_xmv is None:
+            raise ConfigurationError("actuator attacks need target_xmv")
+        return (DoSInjection("actuator", target_xmv),)
+    raise ConfigurationError(
+        "the legacy constructor cannot express composite scenarios; "
+        "pass injections=[...] instead"
+    )
 
 
 @dataclass(frozen=True)
 class Scenario:
-    """One evaluation scenario.
+    """One evaluation scenario: a named composition of injections.
 
     Attributes
     ----------
     name:
         Short identifier, e.g. ``"idv6"``.
     title:
-        Human-readable title used in reports and figure captions.
+        Human-readable title used in reports and figure captions (defaults
+        to ``name``).
     kind:
-        The anomaly type.
-    disturbance_index:
-        1-based IDV index for disturbance scenarios.
-    target_xmeas / target_xmv:
-        1-based index of the attacked sensor / actuator for attack scenarios.
-    injected_value:
-        Value injected by integrity attacks (ignored for DoS).
+        Derived :class:`ScenarioKind`.  Passing it explicitly (together
+        with the ``disturbance_index`` / ``target_*`` / ``injected_value``
+        fields) is the **deprecated** pre-redesign constructor; it still
+        works, warns once, and is normalized into ``injections``.
     expected_ground_truth:
         ``"disturbance"``, ``"attack"`` or ``"normal"`` — used by the
-        distinguishability benchmarks.
+        distinguishability benchmarks.  Derived from the composition when
+        not given.
+    injections:
+        The anomaly primitives of this scenario, applied together
+        (see :mod:`repro.experiments.injections`).  Mappings (e.g. parsed
+        from a spec file) are accepted and built into primitives.
     """
 
     name: str
-    title: str
-    kind: ScenarioKind
+    title: str = ""
+    kind: Optional[ScenarioKind] = None
     disturbance_index: Optional[int] = None
     target_xmeas: Optional[int] = None
     target_xmv: Optional[int] = None
     injected_value: Optional[float] = None
-    expected_ground_truth: str = "normal"
+    expected_ground_truth: Optional[str] = None
+    injections: Tuple[Injection, ...] = field(default=())
 
     def __post_init__(self) -> None:
-        if self.kind is ScenarioKind.DISTURBANCE and self.disturbance_index is None:
-            raise ConfigurationError("disturbance scenarios need a disturbance_index")
-        if self.kind is ScenarioKind.INTEGRITY_SENSOR and self.target_xmeas is None:
-            raise ConfigurationError("sensor integrity attacks need target_xmeas")
-        if self.kind in (ScenarioKind.INTEGRITY_ACTUATOR, ScenarioKind.DOS_ACTUATOR) and (
-            self.target_xmv is None
-        ):
-            raise ConfigurationError("actuator attacks need target_xmv")
+        injections = injections_from_mappings(self.injections)
+        if self.kind is not None:
+            if injections:
+                raise ConfigurationError(
+                    "pass either the legacy kind fields or injections, not both"
+                )
+            warn_once(
+                "Scenario(kind=...)",
+                "constructing Scenario from kind/disturbance_index/target_* "
+                "fields is deprecated; compose injection primitives instead "
+                "(see repro.experiments.injections)",
+                stacklevel=4,
+            )
+            injections = _injections_from_legacy(
+                self.kind,
+                self.disturbance_index,
+                self.target_xmeas,
+                self.target_xmv,
+                self.injected_value,
+            )
+        object.__setattr__(self, "injections", injections)
+        # Canonicalize the legacy view from the composition, whichever
+        # constructor ran: both paths then yield field-identical scenarios
+        # (and identical campaign cache keys).
+        for key, value in _derive_legacy_view(injections).items():
+            object.__setattr__(self, key, value)
+        object.__setattr__(self, "title", str(self.title) or self.name)
+        if self.expected_ground_truth is None:
+            object.__setattr__(self, "expected_ground_truth", self._derived_truth())
+        if self.expected_ground_truth not in GROUND_TRUTHS:
+            raise ConfigurationError(
+                f"expected_ground_truth must be one of {GROUND_TRUTHS}, "
+                f"got {self.expected_ground_truth!r}"
+            )
 
+    def _derived_truth(self) -> str:
+        if any(isinstance(i, ChannelInjection) for i in self.injections):
+            return "attack"
+        if self.injections:
+            return "disturbance"
+        return "normal"
+
+    # ------------------------------------------------------------------
     @property
     def is_attack(self) -> bool:
-        """Whether the scenario is an attack (as opposed to a disturbance)."""
-        return self.kind in (
-            ScenarioKind.INTEGRITY_SENSOR,
-            ScenarioKind.INTEGRITY_ACTUATOR,
-            ScenarioKind.DOS_ACTUATOR,
-        )
+        """Whether the scenario tampers with a channel (vs. pure disturbance)."""
+        return any(isinstance(i, ChannelInjection) for i in self.injections)
 
     @property
     def is_anomalous(self) -> bool:
         """Whether the scenario injects any anomaly at all."""
-        return self.kind is not ScenarioKind.NORMAL
+        return bool(self.injections)
+
+    @property
+    def disturbance_injections(self) -> Tuple[DisturbanceInjection, ...]:
+        """The process-disturbance primitives of this scenario."""
+        return tuple(
+            i for i in self.injections if isinstance(i, DisturbanceInjection)
+        )
+
+    @property
+    def channel_injections(self) -> Tuple[ChannelInjection, ...]:
+        """The channel-tampering primitives of this scenario."""
+        return tuple(i for i in self.injections if isinstance(i, ChannelInjection))
+
+    # ------------------------------------------------------------------
+    def scaled(self, magnitude: float) -> "Scenario":
+        """This scenario with every injection's intensity scaled.
+
+        Used by campaign-spec magnitude sweeps; the variant is renamed
+        ``<name>@x<magnitude>`` so sweep results stay distinguishable.
+        """
+        magnitude = float(magnitude)
+        return Scenario(
+            name=f"{self.name}@x{magnitude:g}",
+            title=f"{self.title} (magnitude x{magnitude:g})",
+            expected_ground_truth=self.expected_ground_truth,
+            injections=tuple(i.scaled(magnitude) for i in self.injections),
+        )
+
+    def to_mapping(self) -> Dict[str, Any]:
+        """A plain, JSON/TOML-ready mapping describing this scenario.
+
+        Only the canonical content (name, title, ground truth, injections)
+        is serialized; the legacy view is re-derived on load.
+        """
+        return {
+            "name": self.name,
+            "title": self.title,
+            "ground_truth": self.expected_ground_truth,
+            "injections": [i.to_mapping() for i in self.injections],
+        }
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "Scenario":
+        """Build a scenario from its :meth:`to_mapping` form."""
+        allowed = {"name", "title", "ground_truth", "injections"}
+        unknown = sorted(set(mapping) - allowed)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown key(s) {unknown} in scenario mapping "
+                f"(allowed: {sorted(allowed)})"
+            )
+        if "name" not in mapping:
+            raise ConfigurationError("a scenario mapping needs a 'name'")
+        return cls(
+            name=str(mapping["name"]),
+            title=str(mapping.get("title", "")),
+            expected_ground_truth=mapping.get("ground_truth"),
+            injections=injections_from_mappings(mapping.get("injections", ())),
+        )
 
 
 def normal_scenario() -> Scenario:
     """Attack- and disturbance-free operation (calibration / negative control)."""
-    return Scenario(
-        name="normal",
-        title="Normal operation",
-        kind=ScenarioKind.NORMAL,
-        expected_ground_truth="normal",
-    )
+    return Scenario(name="normal", title="Normal operation")
 
 
 def disturbance_idv6_scenario() -> Scenario:
@@ -114,9 +321,7 @@ def disturbance_idv6_scenario() -> Scenario:
     return Scenario(
         name="idv6",
         title="Disturbance IDV(6): A feed loss",
-        kind=ScenarioKind.DISTURBANCE,
-        disturbance_index=6,
-        expected_ground_truth="disturbance",
+        injections=(DisturbanceInjection(6),),
     )
 
 
@@ -125,10 +330,7 @@ def integrity_attack_on_xmv3_scenario() -> Scenario:
     return Scenario(
         name="attack_xmv3",
         title="Integrity attack on XMV(3): close the A feed valve",
-        kind=ScenarioKind.INTEGRITY_ACTUATOR,
-        target_xmv=3,
-        injected_value=0.0,
-        expected_ground_truth="attack",
+        injections=(IntegrityInjection("actuator", 3, 0.0),),
     )
 
 
@@ -137,10 +339,7 @@ def integrity_attack_on_xmeas1_scenario() -> Scenario:
     return Scenario(
         name="attack_xmeas1",
         title="Integrity attack on XMEAS(1): forge a zero A feed reading",
-        kind=ScenarioKind.INTEGRITY_SENSOR,
-        target_xmeas=1,
-        injected_value=0.0,
-        expected_ground_truth="attack",
+        injections=(IntegrityInjection("sensor", 1, 0.0),),
     )
 
 
@@ -149,9 +348,7 @@ def dos_attack_on_xmv3_scenario() -> Scenario:
     return Scenario(
         name="dos_xmv3",
         title="DoS attack on XMV(3): hold the last received valve command",
-        kind=ScenarioKind.DOS_ACTUATOR,
-        target_xmv=3,
-        expected_ground_truth="attack",
+        injections=(DoSInjection("actuator", 3),),
     )
 
 

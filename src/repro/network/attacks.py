@@ -10,6 +10,16 @@ or one actuator signal) over an attack interval ``[start_hour, end_hour)``:
 * :class:`DoSAttack` — the attacker suppresses communication, so the receiver
   keeps using the last value received before the attack started:
   ``Y_i^a(t) = Y_i(t_a - 1)``.
+
+Beyond the paper's two primitives, three further manipulations common in the
+ICS-attack literature are provided (all composable through
+:mod:`repro.experiments.injections`):
+
+* :class:`BiasAttack` — a constant offset is added to the true value;
+* :class:`DriftAttack` — the delivered value drifts away from the true one at
+  a constant rate, emulating slow sensor degradation or a stealthy ramp;
+* :class:`ReplayAttack` — values recorded during a pre-attack window are
+  replayed in a loop, masking whatever happens behind them.
 """
 
 from __future__ import annotations
@@ -19,7 +29,15 @@ from typing import Callable, List, Optional, Sequence, Union
 
 from repro.common.exceptions import ConfigurationError
 
-__all__ = ["Attack", "IntegrityAttack", "DoSAttack", "AttackSchedule"]
+__all__ = [
+    "Attack",
+    "IntegrityAttack",
+    "DoSAttack",
+    "BiasAttack",
+    "DriftAttack",
+    "ReplayAttack",
+    "AttackSchedule",
+]
 
 #: An injected value: either a constant or ``f(time_hours, true_value) -> value``.
 InjectedValue = Union[float, Callable[[float, float], float]]
@@ -66,6 +84,13 @@ class Attack(ABC):
 
     def reset(self) -> None:
         """Clear any per-run internal state (e.g. the DoS frozen value)."""
+
+    def observe(self, true_value: float, time_hours: float) -> None:
+        """See the true value in transit (called on every transmission).
+
+        Stateful attacks (DoS freezing the last pre-attack value, replay
+        recording its window) override this; stateless attacks ignore it.
+        """
 
     @abstractmethod
     def tamper(self, true_value: float, time_hours: float) -> float:
@@ -132,6 +157,94 @@ class DoSAttack(Attack):
             # to freezing the first value seen.
             self._frozen_value = float(true_value)
         return self._frozen_value
+
+
+class BiasAttack(Attack):
+    """Add a constant offset to the transmitted value.
+
+    Parameters
+    ----------
+    offset:
+        The bias added to the true value while the attack is active.
+    """
+
+    def __init__(
+        self,
+        target_index: int,
+        start_hour: float,
+        offset: float,
+        end_hour: Optional[float] = None,
+    ):
+        super().__init__(target_index, start_hour, end_hour)
+        self.offset = float(offset)
+
+    def tamper(self, true_value: float, time_hours: float) -> float:
+        return float(true_value) + self.offset
+
+
+class DriftAttack(Attack):
+    """Drift the delivered value away from the true one at a constant rate.
+
+    The delivered value is ``true + rate_per_hour * (t - start_hour)``: zero
+    deviation at onset, growing linearly — the stealthy ramp / slow sensor
+    degradation pattern, much harder to catch with fixed thresholds than a
+    step change.
+    """
+
+    def __init__(
+        self,
+        target_index: int,
+        start_hour: float,
+        rate_per_hour: float,
+        end_hour: Optional[float] = None,
+    ):
+        super().__init__(target_index, start_hour, end_hour)
+        self.rate_per_hour = float(rate_per_hour)
+
+    def tamper(self, true_value: float, time_hours: float) -> float:
+        elapsed = float(time_hours) - self.start_hour
+        return float(true_value) + self.rate_per_hour * elapsed
+
+
+class ReplayAttack(Attack):
+    """Replay values recorded during a pre-attack window, in a loop.
+
+    The attacker records the signal over ``[start_hour - record_hours,
+    start_hour)`` and, once active, substitutes the recording for the live
+    signal, cycling back to its beginning when it runs out — the classic
+    cover for a concurrent physical manipulation.  If nothing was recorded
+    (the attack starts too early), the first live value is frozen instead,
+    degenerating to a DoS-style hold.
+    """
+
+    def __init__(
+        self,
+        target_index: int,
+        start_hour: float,
+        record_hours: float = 1.0,
+        end_hour: Optional[float] = None,
+    ):
+        super().__init__(target_index, start_hour, end_hour)
+        if record_hours <= 0:
+            raise ConfigurationError("record_hours must be positive")
+        self.record_hours = float(record_hours)
+        self._recording: List[float] = []
+        self._cursor = 0
+
+    def reset(self) -> None:
+        self._recording = []
+        self._cursor = 0
+
+    def observe(self, true_value: float, time_hours: float) -> None:
+        if self.start_hour - self.record_hours <= time_hours < self.start_hour:
+            self._recording.append(float(true_value))
+
+    def tamper(self, true_value: float, time_hours: float) -> float:
+        if not self._recording:
+            self._recording.append(float(true_value))
+        value = self._recording[self._cursor % len(self._recording)]
+        self._cursor += 1
+        return value
 
 
 class AttackSchedule:

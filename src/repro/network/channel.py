@@ -14,7 +14,7 @@ from typing import Optional
 import numpy as np
 
 from repro.common.exceptions import ConfigurationError
-from repro.network.attacks import Attack, AttackSchedule, DoSAttack
+from repro.network.attacks import Attack, AttackSchedule
 
 __all__ = ["Channel"]
 
@@ -92,8 +92,7 @@ class Channel:
         delivered = values.copy()
         for attack in self.attacks.attacks:
             index = attack.target_index - 1
-            if isinstance(attack, DoSAttack):
-                attack.observe(float(values[index]), time_hours)
+            attack.observe(float(values[index]), time_hours)
             if attack.is_active(time_hours):
                 delivered[index] = attack.tamper(float(values[index]), time_hours)
         self._transmissions += 1

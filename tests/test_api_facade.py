@@ -1,0 +1,221 @@
+"""Tests for the ``repro.api`` facade: Session, run/analyze, acceptance pins.
+
+The acceptance pin of the declarative redesign: the five paper scenarios,
+loaded from ``examples/specs/paper.toml`` and executed through
+``repro.api.run``, produce detection/diagnosis tables **bitwise-identical**
+to the pre-existing eager ``Evaluation.evaluate_all`` path; and novel
+anomaly primitives (drift, stuck-at, replay) run purely from a spec file.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.common.config import (
+    ExperimentConfig,
+    ParallelConfig,
+    SimulationConfig,
+)
+from repro.common.exceptions import ConfigurationError
+from repro.experiments.evaluation import Evaluation
+from repro.experiments.scenarios import normal_scenario, paper_scenarios
+
+SPEC_DIR = Path(__file__).resolve().parent.parent / "examples" / "specs"
+
+# Small but complete: every paper scenario runs, anomalies have room to be
+# detected, and the whole campaign stays a few seconds of pure Python.
+SMALL_EXPERIMENT = ExperimentConfig(
+    n_calibration_runs=2,
+    n_runs_per_scenario=1,
+    anomaly_start_hour=2.0,
+    simulation=SimulationConfig(duration_hours=5.0, samples_per_hour=20, seed=13),
+    parallel=ParallelConfig.serial(),
+    seed=13,
+)
+
+
+class TestPaperSpecAcceptance:
+    @pytest.fixture(scope="class")
+    def paper_spec(self):
+        """paper.toml at test scale: scenarios from the file, small config."""
+        spec = api.load_spec(SPEC_DIR / "paper.toml")
+        return spec.with_experiment(SMALL_EXPERIMENT)
+
+    @pytest.fixture(scope="class")
+    def facade_result(self, paper_spec):
+        return api.run(paper_spec)
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        """The pre-redesign eager path on the identical campaign."""
+        evaluation = Evaluation(SMALL_EXPERIMENT)
+        evaluation.calibrate()
+        evaluation.evaluate_all([normal_scenario(), *paper_scenarios()])
+        return evaluation
+
+    def test_spec_lists_the_five_paper_scenarios(self, paper_spec):
+        assert [s.name for s in paper_spec.scenarios] == [
+            "normal", "idv6", "attack_xmv3", "attack_xmeas1", "dos_xmv3",
+        ]
+
+    def test_arl_table_bitwise_identical(self, facade_result, reference):
+        assert facade_result.arl_table() == reference.arl_table()
+
+    def test_classification_table_bitwise_identical(self, facade_result, reference):
+        assert (
+            facade_result.classification_table()
+            == reference.classification_table()
+        )
+
+    def test_omeda_diagnoses_bitwise_identical(self, facade_result, reference):
+        for name, summary in facade_result.scenario_results.items():
+            for view in ("controller", "process"):
+                names_a, mean_a = summary.mean_omeda(view)
+                names_b, mean_b = reference.scenario_results[name].mean_omeda(view)
+                assert names_a == names_b
+                assert np.array_equal(mean_a, mean_b)
+
+    def test_run_lengths_bitwise_identical(self, facade_result, reference):
+        for name, summary in facade_result.scenario_results.items():
+            assert (
+                summary.run_lengths
+                == reference.scenario_results[name].run_lengths
+            )
+
+
+class TestNovelPrimitivesFromSpecFile:
+    @pytest.fixture(scope="class")
+    def result(self):
+        """multi_anomaly.toml at test scale, streaming path."""
+        spec = api.load_spec(SPEC_DIR / "multi_anomaly.toml")
+        spec = spec.with_experiment(SMALL_EXPERIMENT)
+        return api.analyze(spec)
+
+    def test_all_variants_ran(self, result):
+        names = set(result.scenario_results)
+        # Scalable scenarios expand over the [0.5, 1.0] magnitude sweep;
+        # stuck-at and replay/integrity compositions have no intensity knob,
+        # so they run once instead of as identical duplicates.
+        assert names == {
+            "drift_xmeas7@x0.5", "drift_xmeas7@x1",
+            "stuck_xmv3",
+            "stealthy_xmv3",
+            "idv6_biased_sensor@x0.5", "idv6_biased_sensor@x1",
+        }
+
+    def test_each_variant_produced_runs(self, result):
+        for name, summary in result.scenario_results.items():
+            assert summary.n_runs == SMALL_EXPERIMENT.n_runs_per_scenario, name
+
+    def test_tables_cover_every_variant(self, result):
+        rows = result.arl_table()
+        assert len(rows) == 6
+        assert all(row["n_runs"] == 1 for row in rows)
+
+
+class TestSession:
+    def test_session_reuses_calibration(self):
+        spec = api.CampaignSpec(
+            name="s", experiment=SMALL_EXPERIMENT, scenarios=("idv6",)
+        )
+        session = api.Session(spec)
+        first = session.run()
+        evaluation = session.evaluation()
+        second = session.run()
+        assert session.evaluation() is evaluation  # same calibrated instance
+        assert first.arl_table() == second.arl_table()
+
+    def test_session_accepts_path(self, tmp_path):
+        spec = api.CampaignSpec(
+            name="p", experiment=SMALL_EXPERIMENT, scenarios=("idv6",)
+        )
+        path = api.dump_spec(spec, tmp_path / "spec.toml")
+        assert api.Session(str(path)).spec == spec
+
+    def test_streaming_override_matches_eager_tables(self):
+        spec = api.CampaignSpec(
+            name="s", experiment=SMALL_EXPERIMENT, scenarios=("idv6",)
+        )
+        session = api.Session(spec)
+        eager = session.run(streaming=False)
+        streaming = session.run(streaming=True)
+        assert eager.arl_table() == streaming.arl_table()
+        assert eager.classification_table() == streaming.classification_table()
+
+
+class TestSweeps:
+    @pytest.fixture(scope="class")
+    def sweep_result(self):
+        spec = api.CampaignSpec(
+            name="sw",
+            experiment=SMALL_EXPERIMENT,
+            scenarios=("idv6",),
+            sweep=api.SweepSpec(seeds=(13, 14)),
+            analysis=api.AnalysisSpec(streaming=True),
+        )
+        return api.run(spec)
+
+    def test_per_seed_results(self, sweep_result):
+        assert sweep_result.seeds == [13, 14]
+        assert sweep_result.is_sweep
+        for seed in (13, 14):
+            assert set(sweep_result.per_seed[seed]) == {"idv6"}
+
+    def test_tables_gain_seed_column(self, sweep_result):
+        rows = sweep_result.arl_table()
+        assert [row["seed"] for row in rows] == [13, 14]
+
+    def test_scenario_results_guarded_on_sweeps(self, sweep_result):
+        with pytest.raises(ConfigurationError, match="swept"):
+            sweep_result.scenario_results
+
+    def test_first_sweep_seed_matches_plain_run(self, sweep_result):
+        plain = api.run(
+            api.CampaignSpec(
+                name="sw0",
+                experiment=SMALL_EXPERIMENT,
+                scenarios=("idv6",),
+                analysis=api.AnalysisSpec(streaming=True),
+            )
+        )
+        sweep_rows = [
+            {k: v for k, v in row.items() if k != "seed"}
+            for row in sweep_result.arl_table()
+            if row["seed"] == 13
+        ]
+        assert sweep_rows == plain.arl_table()
+
+    def test_tables_selection(self):
+        spec = api.CampaignSpec(
+            name="t",
+            experiment=SMALL_EXPERIMENT,
+            scenarios=("idv6",),
+            analysis=api.AnalysisSpec(streaming=True, tables=("arl",)),
+        )
+        tables = api.run(spec).tables()
+        assert set(tables) == {"arl"}
+
+
+class TestFigureRegistryIntegration:
+    def test_omeda_figures_carry_titles(self):
+        from repro.experiments.figures import omeda_figures
+
+        spec = api.CampaignSpec(
+            name="f", experiment=SMALL_EXPERIMENT, scenarios=("idv6",)
+        )
+        result = api.run(spec)
+        figures = omeda_figures(result.scenario_results, "process")
+        assert figures["idv6"].title == "Disturbance IDV(6): A feed loss"
+
+    def test_unregistered_scenario_title_falls_back(self):
+        from repro.experiments.figures import OmedaFigure
+
+        figure = OmedaFigure(
+            scenario="no_such",
+            view="process",
+            variable_names=(),
+            contributions=np.array([]),
+        )
+        assert figure.title == "no_such"

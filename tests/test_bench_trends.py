@@ -1,0 +1,88 @@
+"""Tests for the nightly benchmark trend comparison tool."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "bench_trends.py"
+_spec = importlib.util.spec_from_file_location("bench_trends", _SCRIPT)
+bench_trends = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_trends)
+
+
+def write_bench(path: Path, means: dict) -> Path:
+    payload = {
+        "benchmarks": [
+            {"fullname": name, "stats": {"mean": mean}}
+            for name, mean in means.items()
+        ]
+    }
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def history(tmp_path):
+    write_bench(tmp_path / "BENCH_20260101_1.json", {"a": 1.0, "b": 2.0, "c": 4.0})
+    write_bench(tmp_path / "BENCH_20260102_2.json", {"a": 1.2, "b": 2.0, "c": 4.0})
+    write_bench(
+        tmp_path / "BENCH_20260103_3.json", {"a": 1.5, "b": 1.0, "d": 7.0}
+    )
+    return tmp_path
+
+
+class TestCompare:
+    def test_classification(self, history):
+        files = bench_trends.collect_files([history])
+        report = bench_trends.compare(files[:-1], files[-1], threshold=0.10)
+        assert [e["name"] for e in report["regressions"]] == ["a"]
+        assert [e["name"] for e in report["improvements"]] == ["b"]
+        assert [e["name"] for e in report["new"]] == ["d"]
+        assert [e["name"] for e in report["missing"]] == ["c"]
+
+    def test_baseline_is_median_of_history(self, history):
+        files = bench_trends.collect_files([history])
+        report = bench_trends.compare(files[:-1], files[-1], threshold=0.10)
+        (regression,) = report["regressions"]
+        assert regression["baseline"] == pytest.approx(1.1)  # median of 1.0, 1.2
+        assert regression["delta"] == pytest.approx((1.5 - 1.1) / 1.1)
+
+    def test_stable_within_threshold(self, tmp_path):
+        a = write_bench(tmp_path / "BENCH_1.json", {"x": 1.00})
+        b = write_bench(tmp_path / "BENCH_2.json", {"x": 1.05})
+        report = bench_trends.compare([a], b, threshold=0.10)
+        assert [e["name"] for e in report["stable"]] == ["x"]
+        assert not report["regressions"]
+
+    def test_collect_sorts_by_name(self, history):
+        names = [f.name for f in bench_trends.collect_files([history])]
+        assert names == sorted(names)
+
+
+class TestCli:
+    def test_strict_exit_code_on_regression(self, history, capsys):
+        assert bench_trends.main([str(history), "--strict"]) == 1
+        out = capsys.readouterr().out
+        assert "1 regression(s)" in out
+
+    def test_non_strict_reports_but_passes(self, history):
+        assert bench_trends.main([str(history)]) == 0
+
+    def test_explicit_latest(self, history, capsys):
+        latest = history / "BENCH_20260102_2.json"
+        assert bench_trends.main([str(history), "--latest", str(latest)]) == 0
+        assert "BENCH_20260102_2.json" in capsys.readouterr().out
+
+    def test_no_history_is_a_no_op(self, tmp_path, capsys):
+        write_bench(tmp_path / "BENCH_only.json", {"a": 1.0})
+        assert bench_trends.main([str(tmp_path)]) == 0
+        assert "no earlier runs" in capsys.readouterr().out
+
+    def test_higher_threshold_suppresses_regression(self, history):
+        assert bench_trends.main([str(history), "--threshold", "0.5", "--strict"]) == 0
+
+    def test_missing_path_fails(self):
+        with pytest.raises(SystemExit):
+            bench_trends.main(["/no/such/dir"])
