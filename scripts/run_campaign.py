@@ -35,6 +35,17 @@ options all come from the file; operational flags like ``--workers`` and
 ``--chunk-size`` still override)::
 
     PYTHONPATH=src python scripts/run_campaign.py --spec examples/specs/paper.toml
+
+Live campaign with early stopping — anomalous runs are scored while they
+simulate and stop a grace window after the detection is confirmed::
+
+    PYTHONPATH=src python scripts/run_campaign.py \
+        --spec examples/specs/live_paper.toml --live
+
+Per-run progress lines while the campaign streams (or no chatter at all)::
+
+    PYTHONPATH=src python scripts/run_campaign.py --progress
+    PYTHONPATH=src python scripts/run_campaign.py --quiet
 """
 
 from __future__ import annotations
@@ -101,6 +112,35 @@ def _seed_prefix(row) -> str:
     return f"seed {row['seed']:<6} " if "seed" in row else ""
 
 
+def make_run_printer(enabled: bool):
+    """Per-run progress callback (``--progress``), or ``None``.
+
+    Prints one line per analyzed run as it streams out of the pipeline —
+    between all-or-nothing silence and the summary tables.
+    """
+    if not enabled:
+        return None
+
+    def on_run(run) -> None:
+        diagnosis = run.diagnosis
+        detection = (
+            "no detection"
+            if diagnosis.detection_time_hours is None
+            else f"detected at {diagnosis.detection_time_hours:.3f} h"
+        )
+        truncated = ""
+        result = getattr(run, "result", None)
+        if result is not None and result.stopped_early:
+            truncated = f"  [early stop at {result.early_stop_time_hours:.3f} h]"
+        print(
+            f"  run {run.scenario_name}#{run.run_index}: {detection} "
+            f"-> {diagnosis.classification.value}{truncated}",
+            flush=True,
+        )
+
+    return on_run
+
+
 def print_tables(tables) -> None:
     """Print whichever result tables the campaign produced."""
     if "arl" in tables:
@@ -163,26 +203,40 @@ def run_spec(arguments: argparse.Namespace) -> int:
         raise SystemExit(f"invalid spec: {error}")
     experiment = spec.experiment
     scenarios = spec.expanded_scenarios()
-    print(f"spec: {spec.name}" + (f" — {spec.description}" if spec.description else ""))
-    print(
-        f"campaign: {experiment.n_calibration_runs} calibration runs, "
-        f"{experiment.n_runs_per_scenario} runs per scenario, "
-        f"{experiment.simulation.duration_hours:g} h per run"
-    )
-    print(
-        f"scenarios: {', '.join(scenario.name for scenario in scenarios)}"
-    )
-    if len(spec.seeds()) > 1:
-        print(f"sweep: seeds {', '.join(str(seed) for seed in spec.seeds())}")
     streaming = True if arguments.analyze else None
-    print(
-        f"engine: backend={experiment.parallel.backend} "
-        f"workers={experiment.parallel.resolved_workers} "
-        f"cache={'off' if not experiment.parallel.caching else experiment.parallel.cache_dir}"
-        f" analysis="
-        f"{'streaming' if (streaming or spec.analysis.streaming) else 'eager'}\n"
-    )
-    result = api.Session(spec).run(streaming=streaming)
+    if not arguments.quiet:
+        print(
+            f"spec: {spec.name}"
+            + (f" — {spec.description}" if spec.description else "")
+        )
+        print(
+            f"campaign: {experiment.n_calibration_runs} calibration runs, "
+            f"{experiment.n_runs_per_scenario} runs per scenario, "
+            f"{experiment.simulation.duration_hours:g} h per run"
+        )
+        print(
+            f"scenarios: {', '.join(scenario.name for scenario in scenarios)}"
+        )
+        if len(spec.seeds()) > 1:
+            print(f"sweep: seeds {', '.join(str(seed) for seed in spec.seeds())}")
+        mode = "streaming" if (streaming or spec.analysis.streaming) else "eager"
+        if arguments.live:
+            mode += ", live early-stop"
+        print(
+            f"engine: backend={experiment.parallel.backend} "
+            f"workers={experiment.parallel.resolved_workers} "
+            f"cache={'off' if not experiment.parallel.caching else experiment.parallel.cache_dir}"
+            f" analysis={mode}\n"
+        )
+    on_run = make_run_printer(arguments.progress)
+    session = api.Session(spec)
+    try:
+        if arguments.live:
+            result = session.run_live(streaming=streaming, on_run=on_run)
+        else:
+            result = session.run(streaming=streaming, on_run=on_run)
+    except ConfigurationError as error:
+        raise SystemExit(f"cannot run spec: {error}")
     print_tables(result.tables())
     return 0
 
@@ -255,6 +309,24 @@ def main(argv=None) -> int:
         "O(chunk) instead of O(campaign))",
     )
     parser.add_argument(
+        "--live",
+        action="store_true",
+        help="live co-simulation monitoring with early stopping: anomalous "
+        "runs are scored sample-by-sample while they simulate and stop a "
+        "grace window after a confirmed detection (with --spec the [live] "
+        "section must be enabled; without it a default policy is used)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one line per analyzed run as the campaign streams",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress informational output; only the result tables print",
+    )
+    parser.add_argument(
         "--chunk-size",
         type=int,
         default=None,
@@ -315,52 +387,72 @@ def main(argv=None) -> int:
     except ConfigurationError as error:
         raise SystemExit(f"invalid configuration: {error}")
     scenarios = select_scenarios(arguments.scenarios)
-    print(
-        f"campaign: {config.n_calibration_runs} calibration runs, "
-        f"{config.n_runs_per_scenario} runs per scenario, "
-        f"{config.simulation.duration_hours:g} h per run"
-    )
-    print(
-        f"engine: backend={config.parallel.backend} "
-        f"workers={config.parallel.resolved_workers} "
-        f"cache={'off' if not config.parallel.caching else config.parallel.cache_dir}"
-    )
+    quiet = arguments.quiet
+    if not quiet:
+        print(
+            f"campaign: {config.n_calibration_runs} calibration runs, "
+            f"{config.n_runs_per_scenario} runs per scenario, "
+            f"{config.simulation.duration_hours:g} h per run"
+        )
+        print(
+            f"engine: backend={config.parallel.backend} "
+            f"workers={config.parallel.resolved_workers} "
+            f"cache={'off' if not config.parallel.caching else config.parallel.cache_dir}"
+        )
 
     evaluation = Evaluation(config)
-    print("\ncalibrating...")
+    if not quiet:
+        print("\ncalibrating...")
     # The streaming path drops per-run calibration results once the
     # concatenated matrices are built, keeping peak memory O(chunk).
     evaluation.calibrate(keep_results=not arguments.analyze)
     stats = evaluation.engine.last_stats
-    print(
-        f"  {stats.n_simulated} simulated, {stats.n_cache_hits} cached, "
-        f"{stats.wall_seconds:.1f} s"
-    )
+    if not quiet:
+        print(
+            f"  {stats.n_simulated} simulated, {stats.n_cache_hits} cached, "
+            f"{stats.wall_seconds:.1f} s"
+        )
 
-    if arguments.analyze:
-        print("evaluating scenarios (streaming sharded analysis)...")
+    on_run = make_run_printer(arguments.progress)
+    if arguments.live:
+        if not quiet:
+            print("evaluating scenarios (live monitoring, early stop)...")
+        results = evaluation.evaluate_all_live(
+            scenarios,
+            streaming=arguments.analyze,
+            chunk_size=arguments.chunk_size,
+            on_run=on_run,
+        )
+        pipeline = evaluation.last_pipeline
+        arl_rows = pipeline.arl_table(results)
+        classification_rows = pipeline.classification_table(results)
+    elif arguments.analyze:
+        if not quiet:
+            print("evaluating scenarios (streaming sharded analysis)...")
         summaries = evaluation.evaluate_all_streaming(
-            scenarios, chunk_size=arguments.chunk_size
+            scenarios, chunk_size=arguments.chunk_size, on_run=on_run
         )
         pipeline = evaluation.last_pipeline
         arl_rows = pipeline.arl_table(summaries)
         classification_rows = pipeline.classification_table(summaries)
     else:
-        print("evaluating scenarios...")
-        evaluation.evaluate_all(scenarios)
+        if not quiet:
+            print("evaluating scenarios...")
+        evaluation.evaluate_all(scenarios, on_run=on_run)
         pipeline = evaluation.last_pipeline
         arl_rows = evaluation.arl_table()
         classification_rows = evaluation.classification_table()
     simulation = pipeline.simulation_stats
     analysis = pipeline.analysis_stats
-    print(
-        f"  {simulation.n_simulated} simulated, {simulation.n_cache_hits} cached, "
-        f"{simulation.wall_seconds:.1f} s"
-    )
-    print(
-        f"  analysis: {analysis.n_runs} runs scored "
-        f"({analysis.backend}, {analysis.n_workers} workers)\n"
-    )
+    if not quiet:
+        print(
+            f"  {simulation.n_simulated} simulated, {simulation.n_cache_hits} cached, "
+            f"{simulation.wall_seconds:.1f} s"
+        )
+        print(
+            f"  analysis: {analysis.n_runs} runs scored "
+            f"({analysis.backend}, {analysis.n_workers} workers)\n"
+        )
 
     print_tables(
         {"arl": arl_rows, "classification": classification_rows}

@@ -31,6 +31,11 @@ The package is organized in layered subpackages:
     generators.
 ``repro.plotting``
     ASCII rendering and CSV export of control charts and oMEDA bar charts.
+``repro.live``
+    Online co-simulation monitoring: sample-by-sample MSPC scoring while a
+    run simulates, alarm management, on-alarm oMEDA snapshots and
+    early-stop campaigns (``scripts/run_live.py``, ``[live]`` spec
+    section).
 ``repro.api``
     The declarative campaign facade: ``CampaignSpec`` (TOML/JSON) plus
     ``load_spec`` / ``run`` / ``analyze`` / ``Session``.

@@ -10,7 +10,7 @@ rule and produce identical detections.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -37,7 +37,12 @@ class StreamingDetector:
         self.reset()
 
     def reset(self) -> None:
-        """Forget all streamed observations and detections."""
+        """Forget all streamed observations and detections.
+
+        A reset detector is indistinguishable from a freshly constructed
+        one: re-feeding the same observations reproduces the same events
+        and history (pinned in the test suite).
+        """
         self._index = 0
         self._consecutive_d = 0
         self._consecutive_q = 0
@@ -45,11 +50,23 @@ class StreamingDetector:
         self._history_d: List[float] = []
         self._history_q: List[float] = []
         self._times: List[float] = []
+        self._invalidate_caches()
+
+    def _invalidate_caches(self) -> None:
+        self._events_cache: Optional[Tuple[AnomalyEvent, ...]] = None
+        self._history_cache: Optional[Dict[str, np.ndarray]] = None
 
     @property
-    def events(self) -> List[AnomalyEvent]:
-        """All detections fired so far."""
-        return list(self._events)
+    def events(self) -> Tuple[AnomalyEvent, ...]:
+        """All detections fired so far (cached; do not mutate).
+
+        The tuple is rebuilt only after new observations arrive, so hot
+        loops polling ``detector.events`` between observations no longer
+        copy the event list on every access.
+        """
+        if self._events_cache is None:
+            self._events_cache = tuple(self._events)
+        return self._events_cache
 
     @property
     def first_event(self) -> Optional[AnomalyEvent]:
@@ -58,15 +75,20 @@ class StreamingDetector:
 
     @property
     def history(self) -> Dict[str, np.ndarray]:
-        """Streamed statistic values and timestamps."""
-        return {
-            "D": np.array(self._history_d),
-            "Q": np.array(self._history_q),
-            "time": np.array(self._times),
-        }
+        """Streamed statistic values and timestamps (cached; treat as
+        read-only — the same arrays are returned until new observations
+        arrive)."""
+        if self._history_cache is None:
+            self._history_cache = {
+                "D": np.array(self._history_d),
+                "Q": np.array(self._history_q),
+                "time": np.array(self._times),
+            }
+        return self._history_cache
 
     def observe(self, observation: np.ndarray, time_hours: Optional[float] = None) -> Optional[AnomalyEvent]:
         """Process one observation; return an event if the rule fires on it."""
+        self._invalidate_caches()
         config = self.monitor.config
         t2_values, spe_values = self.monitor.statistics(np.asarray(observation, dtype=float))
         t2_value = float(t2_values[0])
@@ -105,7 +127,16 @@ class StreamingDetector:
         return event
 
     def observe_many(self, observations: np.ndarray, times: Optional[np.ndarray] = None) -> List[AnomalyEvent]:
-        """Stream a batch of observations; return the events fired."""
+        """Stream a batch of observations; return the events fired.
+
+        The bulk-feed API: equivalent to calling :meth:`observe` on every
+        row of ``observations`` (a single 1-D observation is accepted too)
+        with the matching entry of ``times`` — a convenience for replaying
+        a recorded window through the online rule, e.g. to compare the
+        streaming detections with :meth:`MSPCMonitor.monitor` on the same
+        data.  Only the observations that *fired* the rule produce events;
+        the per-observation statistics are all recorded in :attr:`history`.
+        """
         observations = np.asarray(observations, dtype=float)
         if observations.ndim == 1:
             observations = observations.reshape(1, -1)
@@ -116,3 +147,8 @@ class StreamingDetector:
             if event is not None:
                 events.append(event)
         return events
+
+    #: Alias of :meth:`observe_many`, so the bulk-feed API is reachable
+    #: under the conventional "feed" name as well (see the README's live
+    #: monitoring section).
+    feed_many = observe_many

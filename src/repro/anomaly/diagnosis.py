@@ -246,7 +246,33 @@ class DualLevelAnalyzer:
         self._require_fitted()
         controller_result = self.controller_monitor.monitor(controller_data)
         process_result = self.process_monitor.monitor(process_data)
+        return self.assemble(
+            controller_data,
+            process_data,
+            controller_result,
+            process_result,
+            diagnosis_group_size=diagnosis_group_size,
+            anomaly_start_hour=anomaly_start_hour,
+        )
 
+    def assemble(
+        self,
+        controller_data: ProcessDataset,
+        process_data: ProcessDataset,
+        controller_result: MonitoringResult,
+        process_result: MonitoringResult,
+        diagnosis_group_size: int = 3,
+        anomaly_start_hour: Optional[float] = None,
+    ) -> DualLevelDiagnosis:
+        """Diagnose and classify from already-monitored charts.
+
+        The second half of :meth:`analyze`, split out so callers that
+        already hold per-view :class:`MonitoringResult` charts — notably the
+        live monitoring subsystem, which accumulates the statistic values
+        sample by sample — produce diagnoses through exactly the same code
+        path as the batch API.
+        """
+        self._require_fitted()
         controller_omeda = self._diagnose_if_possible(
             self.controller_monitor,
             controller_data,

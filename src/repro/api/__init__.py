@@ -11,6 +11,8 @@ The one import a user of the reproduction needs:
   :func:`dumps_spec` — read and write :class:`CampaignSpec` documents
   (TOML or JSON);
 * :func:`run` / :func:`analyze` — execute a campaign (eager or streaming);
+* :func:`run_live` — execute a campaign with live co-simulation monitoring
+  and early stopping (the spec's ``[live]`` section, :mod:`repro.live`);
 * :class:`Session` — a reusable execution context that shares the engine,
   the result cache and per-seed calibrations across calls;
 * the schema itself: :class:`CampaignSpec`, :class:`AnalysisSpec`,
@@ -21,7 +23,7 @@ name registry in :mod:`repro.experiments.registry`; both are re-exported by
 :mod:`repro.experiments` for convenience.
 """
 
-from repro.api.session import CampaignResult, Session, analyze, run
+from repro.api.session import CampaignResult, Session, analyze, run, run_live
 from repro.api.spec import (
     SPEC_VERSION,
     AnalysisSpec,
@@ -32,17 +34,21 @@ from repro.api.spec import (
     load_spec,
     loads_spec,
 )
+from repro.common.config import EarlyStopPolicy, LiveConfig
 
 __all__ = [
     "SPEC_VERSION",
     "CampaignSpec",
     "AnalysisSpec",
     "SweepSpec",
+    "LiveConfig",
+    "EarlyStopPolicy",
     "load_spec",
     "loads_spec",
     "dump_spec",
     "dumps_spec",
     "run",
+    "run_live",
     "analyze",
     "Session",
     "CampaignResult",

@@ -139,13 +139,17 @@ class Session:
         return evaluation
 
     # ------------------------------------------------------------------
-    def run(self, streaming: Optional[bool] = None) -> CampaignResult:
+    def run(
+        self, streaming: Optional[bool] = None, on_run=None
+    ) -> CampaignResult:
         """Execute the campaign: every sweep seed, every expanded scenario.
 
         ``streaming`` overrides the spec's ``analysis.streaming`` choice;
         with ``False`` (the default spec setting) the per-seed results are
         fully-retained :class:`ScenarioEvaluation` records, bitwise-identical
         to :meth:`Evaluation.evaluate_all` on the same configuration.
+        ``on_run`` is called with every analyzed run as it completes
+        (progress reporting).
         """
         streaming = (
             self.spec.analysis.streaming if streaming is None else bool(streaming)
@@ -156,11 +160,49 @@ class Session:
             evaluation = self._calibrated(seed, keep_results=not streaming)
             if streaming:
                 results = evaluation.evaluate_all_streaming(
-                    scenarios, chunk_size=self.spec.analysis.chunk_size
+                    scenarios,
+                    chunk_size=self.spec.analysis.chunk_size,
+                    on_run=on_run,
                 )
             else:
-                results = evaluation.evaluate_all(scenarios)
+                results = evaluation.evaluate_all(scenarios, on_run=on_run)
             result.per_seed[seed] = results
+        return result
+
+    def run_live(
+        self, streaming: Optional[bool] = None, on_run=None
+    ) -> CampaignResult:
+        """Execute the campaign with live monitoring and early stopping.
+
+        Requires the spec's ``[live]`` section to be enabled.  Anomalous
+        runs are scored sample-by-sample while they simulate and — unless
+        ``live.early_stop`` is off — terminated a grace window after a
+        confirmed detection (see
+        :meth:`~repro.experiments.evaluation.Evaluation.evaluate_all_live`).
+        Detection verdicts match :meth:`run` exactly; anomalous runs just
+        stop simulating once the verdict is in, so the campaign finishes
+        measurably faster.
+        """
+        live = self.spec.live
+        if not live.enabled:
+            raise ConfigurationError(
+                "the spec's [live] section is not enabled; set "
+                "live.enabled = true (or use Session.run for batch execution)"
+            )
+        streaming = (
+            self.spec.analysis.streaming if streaming is None else bool(streaming)
+        )
+        scenarios = self.spec.expanded_scenarios()
+        result = CampaignResult(spec=self.spec)
+        for seed in self.spec.seeds():
+            evaluation = self._calibrated(seed, keep_results=not streaming)
+            result.per_seed[seed] = evaluation.evaluate_all_live(
+                scenarios,
+                policy=live.policy(),
+                streaming=streaming,
+                chunk_size=self.spec.analysis.chunk_size,
+                on_run=on_run,
+            )
         return result
 
     def analyze(self) -> CampaignResult:
@@ -171,6 +213,11 @@ class Session:
 def run(spec: SpecLike, streaming: Optional[bool] = None) -> CampaignResult:
     """Load (if needed) and execute a campaign spec in one call."""
     return Session(spec).run(streaming=streaming)
+
+
+def run_live(spec: SpecLike, streaming: Optional[bool] = None) -> CampaignResult:
+    """Load (if needed) and execute a campaign spec with live early stopping."""
+    return Session(spec).run_live(streaming=streaming)
 
 
 def analyze(spec: SpecLike) -> CampaignResult:

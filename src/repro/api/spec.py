@@ -10,7 +10,11 @@ describes an evaluation campaign:
   primitives (see :mod:`repro.experiments.injections`);
 * **sweep** — seed grids and magnitude grids expanding the campaign;
 * **analysis** — how results are consumed (eager vs. streaming, chunk size,
-  which tables to produce).
+  which tables to produce);
+* **live** — online co-simulation monitoring (:mod:`repro.live`): score runs
+  sample-by-sample while they simulate and optionally stop them a grace
+  window after a confirmed detection (:meth:`~repro.api.session.Session.
+  run_live` / ``run_campaign.py --live``).
 
 Specs are versioned (``version = 1``), validated eagerly with precise error
 messages (unknown keys, wrong types and unknown scenario references all
@@ -37,6 +41,7 @@ from typing import Any, Dict, Mapping, Optional, Tuple, Union
 from repro.api._toml import dumps_toml
 from repro.common.config import (
     ExperimentConfig,
+    LiveConfig,
     _as_bool,
     _as_int,
     _as_sequence,
@@ -217,6 +222,7 @@ class CampaignSpec:
     scenarios: Tuple[Scenario, ...] = ()
     sweep: SweepSpec = field(default_factory=SweepSpec)
     analysis: AnalysisSpec = field(default_factory=AnalysisSpec)
+    live: LiveConfig = field(default_factory=LiveConfig)
     description: str = ""
     version: int = SPEC_VERSION
 
@@ -302,6 +308,8 @@ class CampaignSpec:
         if not self.sweep.is_empty:
             mapping["sweep"] = self.sweep.to_mapping()
         mapping["analysis"] = self.analysis.to_mapping()
+        if not self.live.is_default:
+            mapping["live"] = self.live.to_mapping()
         return mapping
 
     @classmethod
@@ -314,7 +322,7 @@ class CampaignSpec:
         _check_keys(
             mapping,
             ("version", "name", "description", "experiment", "scenarios",
-             "sweep", "analysis"),
+             "sweep", "analysis", "live"),
             "campaign spec",
         )
         registry = registry or REGISTRY
@@ -335,6 +343,7 @@ class CampaignSpec:
             scenarios=tuple(registry.resolve(ref) for ref in raw_scenarios),
             sweep=SweepSpec.from_mapping(mapping.get("sweep", {})),
             analysis=AnalysisSpec.from_mapping(mapping.get("analysis", {})),
+            live=LiveConfig.from_mapping(mapping.get("live", {})),
         )
 
     def to_toml(self) -> str:

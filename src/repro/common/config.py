@@ -25,6 +25,8 @@ __all__ = [
     "SimulationConfig",
     "MSPCConfig",
     "ParallelConfig",
+    "EarlyStopPolicy",
+    "LiveConfig",
     "ExperimentConfig",
 ]
 
@@ -419,6 +421,118 @@ ProcessPoolExecutor`; ``"serial"`` executes them in-process, in order.
     def serial(cls, cache_dir: Optional[str] = None) -> "ParallelConfig":
         """In-process, ordered execution (the pre-engine behaviour)."""
         return cls(n_workers=1, backend="serial", cache_dir=cache_dir)
+
+
+@dataclass(frozen=True)
+class EarlyStopPolicy:
+    """When a live-monitored run may stop simulating.
+
+    A run with this policy attached terminates ``grace_samples`` samples
+    after the live monitor confirms a detection (the consecutive-violation
+    rule firing at or after the anomaly onset, on either data view).  The
+    grace window keeps enough post-detection samples alive for the on-alarm
+    oMEDA diagnosis and for any post-hoc re-analysis of the truncated run;
+    detections themselves are unaffected, because the truncation point is
+    strictly after the detection sample.
+
+    Attributes
+    ----------
+    grace_samples:
+        Samples simulated beyond the confirming sample before the run stops.
+    min_samples:
+        Lower bound on the run length in samples; a run never stops before
+        this many samples have been recorded, however early the detection.
+    """
+
+    grace_samples: int = 25
+    min_samples: int = 0
+
+    def __post_init__(self) -> None:
+        if self.grace_samples < 0:
+            raise ConfigurationError("grace_samples must be >= 0")
+        if self.min_samples < 0:
+            raise ConfigurationError("min_samples must be >= 0")
+
+    def to_mapping(self) -> Dict[str, Any]:
+        """A plain, JSON/TOML-ready mapping of this policy."""
+        return _mapping_of(self)
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "EarlyStopPolicy":
+        """Build from a mapping, rejecting unknown keys and coercing types."""
+        return _build_from_mapping(
+            cls,
+            mapping,
+            {"grace_samples": _as_int, "min_samples": _as_int},
+            "early_stop",
+        )
+
+
+@dataclass(frozen=True)
+class LiveConfig:
+    """The ``[live]`` section of a campaign spec: online co-simulation
+    monitoring.
+
+    Attributes
+    ----------
+    enabled:
+        Whether campaign runs are monitored live (sample-by-sample MSPC
+        scoring while they simulate).  Live scoring with early stopping
+        disabled is a pure observer: results are bitwise-identical to the
+        batch path.
+    early_stop:
+        Whether anomalous runs terminate once the live monitor confirms a
+        detection (see :class:`EarlyStopPolicy`).  Ignored when ``enabled``
+        is ``False``.
+    grace_samples / min_samples:
+        The early-stop policy knobs, see :class:`EarlyStopPolicy`.
+    """
+
+    enabled: bool = False
+    early_stop: bool = True
+    # Mirrored policy knobs take their defaults from EarlyStopPolicy itself
+    # (dataclass defaults are class attributes), so the two can never drift.
+    grace_samples: int = EarlyStopPolicy.grace_samples
+    min_samples: int = EarlyStopPolicy.min_samples
+
+    def __post_init__(self) -> None:
+        # Delegate bounds validation to the policy the knobs describe —
+        # one rule set, enforced identically however the policy is built.
+        EarlyStopPolicy(
+            grace_samples=self.grace_samples, min_samples=self.min_samples
+        )
+
+    def policy(self) -> Optional[EarlyStopPolicy]:
+        """The early-stop policy this section configures (``None`` = off)."""
+        if not (self.enabled and self.early_stop):
+            return None
+        return EarlyStopPolicy(
+            grace_samples=self.grace_samples, min_samples=self.min_samples
+        )
+
+    @property
+    def is_default(self) -> bool:
+        """Whether this section matches the defaults (and can be omitted)."""
+        return self == LiveConfig()
+
+    def to_mapping(self) -> Dict[str, Any]:
+        """A plain, JSON/TOML-ready mapping of this configuration."""
+        return _mapping_of(self)
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "LiveConfig":
+        """Build from a mapping, rejecting unknown keys and coercing types."""
+        return _build_from_mapping(
+            cls,
+            mapping,
+            {
+                "enabled": _as_bool,
+                "early_stop": _as_bool,
+                "grace_samples": _as_int,
+                "min_samples": _as_int,
+            },
+            "live",
+        )
 
 
 @dataclass(frozen=True)

@@ -51,7 +51,7 @@ from repro.anomaly.diagnosis import (
     DualLevelAnalyzer,
     DualLevelDiagnosis,
 )
-from repro.common.config import ExperimentConfig, ParallelConfig
+from repro.common.config import EarlyStopPolicy, ExperimentConfig, ParallelConfig
 from repro.common.exceptions import ConfigurationError
 from repro.datasets.io import peek_result_npz
 from repro.experiments.parallel import CampaignEngine, CampaignStats, scenario_specs
@@ -511,6 +511,14 @@ class AnalysisPipeline:
         When ``True`` each :class:`AnalyzedRun` carries its
         :class:`SimulationResult`; peak memory then grows with the campaign
         again, so this is only meant for the eager compatibility path.
+    early_stop:
+        Optional :class:`~repro.common.config.EarlyStopPolicy`: anomalous
+        scenarios' runs are then live-monitored while they simulate and
+        truncated once a detection is confirmed (the engine needs the
+        fitted analyzer installed via
+        :meth:`CampaignEngine.set_live_analyzer`; the pipeline installs its
+        own analyzer automatically).  Detection verdicts are unaffected —
+        the truncation point is strictly after the confirming sample.
     """
 
     def __init__(
@@ -521,6 +529,7 @@ class AnalysisPipeline:
         chunk_size: Optional[int] = None,
         summarize: bool = True,
         keep_results: bool = False,
+        early_stop: Optional[EarlyStopPolicy] = None,
     ):
         self.config = config
         self.analyzer = analyzer
@@ -529,10 +538,21 @@ class AnalysisPipeline:
         self.chunk_size = chunk_size
         self.summarize = summarize
         self.keep_results = keep_results
+        self.early_stop = early_stop
+        if early_stop is not None:
+            self.engine.set_live_analyzer(analyzer)
         # Accumulated over every scenario streamed through this pipeline
         # (each engine/analysis ``last_stats`` only covers one scenario).
         self.simulation_stats = CampaignStats()
         self.analysis_stats = AnalysisStats()
+
+    def _specs(self, scenario: Scenario, n_runs: Optional[int]) -> List:
+        """The scenario's run specs, live early stopping attached if set."""
+        if self.early_stop is None:
+            return scenario_specs(self.config, scenario, n_runs)
+        from repro.live.campaign import live_scenario_specs
+
+        return live_scenario_specs(self.config, scenario, self.early_stop, n_runs)
 
     # ------------------------------------------------------------------
     def iter_scenario(
@@ -557,7 +577,7 @@ class AnalysisPipeline:
         campaign is done, and the eager path prunes via the engine.
         """
         if self.keep_results:
-            specs = scenario_specs(self.config, scenario, n_runs)
+            specs = self._specs(scenario, n_runs)
             yield from self._iter_eager([(scenario, specs)])
         else:
             yield from self._iter_streaming(scenario, n_runs)
@@ -576,7 +596,7 @@ class AnalysisPipeline:
         """
         if self.keep_results:
             groups = [
-                (scenario, scenario_specs(self.config, scenario, n_runs))
+                (scenario, self._specs(scenario, n_runs))
                 for scenario in scenarios
             ]
             yield from self._iter_eager(groups)
@@ -648,7 +668,7 @@ class AnalysisPipeline:
         simulation dominates anyway; fully cached replays (the streaming
         path's main use) never pay it.
         """
-        specs = scenario_specs(self.config, scenario, n_runs)
+        specs = self._specs(scenario, n_runs)
         anomaly_start = (
             self.config.anomaly_start_hour if scenario.is_anomalous else None
         )
@@ -791,23 +811,33 @@ class AnalysisPipeline:
         )
 
     def analyze_scenario(
-        self, scenario: Scenario, n_runs: Optional[int] = None, prune: bool = True
+        self,
+        scenario: Scenario,
+        n_runs: Optional[int] = None,
+        prune: bool = True,
+        on_run=None,
     ) -> ScenarioSummary:
         """Stream one scenario through the reducers and summarize it.
 
         ``prune=False`` defers the cache eviction policy to the caller —
         :meth:`analyze_all` prunes once per sweep, after the last scenario,
         so a tight cap cannot evict entries a later scenario still needs.
+        ``on_run`` is called with every :class:`AnalyzedRun` as it streams
+        through (progress reporting).
         """
         reducer = ScenarioReducer(scenario)
         for run in self.iter_scenario(scenario, n_runs):
             reducer.update(run)
+            if on_run is not None:
+                on_run(run)
         if prune:
             self.engine.prune_cache()
         return reducer.summary()
 
     def analyze_all(
-        self, scenarios: Optional[Sequence[Scenario]] = None
+        self,
+        scenarios: Optional[Sequence[Scenario]] = None,
+        on_run=None,
     ) -> Dict[str, ScenarioSummary]:
         """Stream every scenario (defaults to the paper's four)."""
         scenarios = list(scenarios or paper_scenarios())
@@ -815,7 +845,7 @@ class AnalysisPipeline:
         try:
             for scenario in scenarios:
                 summaries[scenario.name] = self.analyze_scenario(
-                    scenario, prune=False
+                    scenario, prune=False, on_run=on_run
                 )
         finally:
             self.analysis_engine.close()

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.anomaly.diagnosis import DualLevelAnalyzer, DualLevelDiagnosis
-from repro.common.config import ExperimentConfig
+from repro.common.config import EarlyStopPolicy, ExperimentConfig
 from repro.common.exceptions import NotFittedError
 from repro.experiments.analysis import (
     AnalysisPipeline,
@@ -235,30 +235,25 @@ class Evaluation:
         finally:
             pipeline.analysis_engine.close()
 
-    def evaluate_all(
-        self, scenarios: Optional[Sequence[Scenario]] = None
+    def _evaluate_all_with(
+        self,
+        pipeline: AnalysisPipeline,
+        scenarios: Sequence[Scenario],
+        on_run=None,
     ) -> Dict[str, ScenarioEvaluation]:
-        """Evaluate every scenario (defaults to the paper's four).
-
-        The runs of *all* scenarios are submitted to the engine as one batch
-        (via :meth:`AnalysisPipeline.iter_campaign`), so the simulation
-        fan-out spans the whole sweep rather than one scenario at a time;
-        per-run seeds make the outcome bitwise-identical whatever the
-        batching, chunking, worker count or backend.
-        """
-        self._require_calibrated()
-        scenarios = list(scenarios or paper_scenarios())
+        """Drain a campaign pipeline into eager per-scenario records."""
         by_name = {scenario.name: scenario for scenario in scenarios}
         collected: Dict[str, Tuple[list, list, list]] = {
             scenario.name: ([], [], []) for scenario in scenarios
         }
-        pipeline = self._pipeline()
         try:
             for run in pipeline.iter_campaign(scenarios):
                 results, diagnoses, run_lengths = collected[run.scenario_name]
                 results.append(run.result)
                 diagnoses.append(run.diagnosis)
                 run_lengths.append(run.run_length)
+                if on_run is not None:
+                    on_run(run)
         finally:
             pipeline.analysis_engine.close()
         for name, (results, diagnoses, run_lengths) in collected.items():
@@ -270,10 +265,30 @@ class Evaluation:
             )
         return dict(self._scenario_results)
 
+    def evaluate_all(
+        self,
+        scenarios: Optional[Sequence[Scenario]] = None,
+        on_run=None,
+    ) -> Dict[str, ScenarioEvaluation]:
+        """Evaluate every scenario (defaults to the paper's four).
+
+        The runs of *all* scenarios are submitted to the engine as one batch
+        (via :meth:`AnalysisPipeline.iter_campaign`), so the simulation
+        fan-out spans the whole sweep rather than one scenario at a time;
+        per-run seeds make the outcome bitwise-identical whatever the
+        batching, chunking, worker count or backend.  ``on_run`` is called
+        with every :class:`~repro.experiments.analysis.AnalyzedRun` as it
+        completes (progress reporting).
+        """
+        self._require_calibrated()
+        scenarios = list(scenarios or paper_scenarios())
+        return self._evaluate_all_with(self._pipeline(), scenarios, on_run)
+
     def evaluate_all_streaming(
         self,
         scenarios: Optional[Sequence[Scenario]] = None,
         chunk_size: Optional[int] = None,
+        on_run=None,
     ) -> Dict[str, ScenarioSummary]:
         """Evaluate every scenario without retaining per-run data.
 
@@ -289,7 +304,43 @@ class Evaluation:
         pipeline = self._pipeline(
             summarize=True, keep_results=False, chunk_size=chunk_size
         )
-        return pipeline.analyze_all(scenarios)
+        return pipeline.analyze_all(scenarios, on_run=on_run)
+
+    def evaluate_all_live(
+        self,
+        scenarios: Optional[Sequence[Scenario]] = None,
+        policy: Optional[EarlyStopPolicy] = EarlyStopPolicy(),
+        streaming: bool = False,
+        chunk_size: Optional[int] = None,
+        on_run=None,
+    ):
+        """Evaluate every scenario with live monitoring and early stopping.
+
+        Anomalous scenarios' runs are scored sample-by-sample *while they
+        simulate* (see :mod:`repro.live`) and terminated
+        ``policy.grace_samples`` samples after a confirmed detection, so
+        the campaign spends no wall-clock simulating what the monitor has
+        already decided.  Detection verdicts (detected / detection time /
+        run length) are identical to the full-horizon campaign, because the
+        truncation point is strictly after the confirming sample;
+        truncated results are cached under dedicated keys
+        (:meth:`~repro.experiments.parallel.RunSpec.cache_token`) and never
+        mix with full-horizon entries.  Normal scenarios always run their
+        whole horizon, and ``policy=None`` disables early stopping entirely
+        (the campaign is then identical to :meth:`evaluate_all`).
+        """
+        self._require_calibrated()
+        scenarios = list(scenarios or paper_scenarios())
+        if streaming:
+            pipeline = self._pipeline(
+                summarize=True,
+                keep_results=False,
+                chunk_size=chunk_size,
+                early_stop=policy,
+            )
+            return pipeline.analyze_all(scenarios, on_run=on_run)
+        pipeline = self._pipeline(early_stop=policy, chunk_size=chunk_size)
+        return self._evaluate_all_with(pipeline, scenarios, on_run)
 
     @property
     def scenario_results(self) -> Dict[str, ScenarioEvaluation]:

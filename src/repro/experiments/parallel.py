@@ -29,7 +29,12 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 from repro._version import __version__
-from repro.common.config import ExperimentConfig, ParallelConfig, SimulationConfig
+from repro.common.config import (
+    EarlyStopPolicy,
+    ExperimentConfig,
+    ParallelConfig,
+    SimulationConfig,
+)
 from repro.common.exceptions import ConfigurationError
 from repro.experiments.scenarios import Scenario, normal_scenario
 from repro.process.simulator import SimulationResult
@@ -77,21 +82,40 @@ class RunSpec:
     simulation: SimulationConfig
     anomaly_start_hour: float = 10.0
     enable_safety: bool = True
+    #: Optional live early-stop policy: the run is monitored while it
+    #: simulates and truncated once a detection is confirmed.  Executing
+    #: such a spec needs a fitted analyzer installed on the engine
+    #: (:meth:`CampaignEngine.set_live_analyzer`).
+    early_stop: Optional[EarlyStopPolicy] = None
+    #: Identity of the calibration behind the live models (see
+    #: :func:`repro.live.campaign.live_context_token`); part of the cache
+    #: key, because a truncated result depends on what the monitor was
+    #: fitted on.
+    live_token: str = ""
 
     def cache_token(self) -> Dict[str, object]:
         """The canonical content this run's cache key is derived from.
 
         The scenario enters through :meth:`Scenario.to_mapping` — its
         canonical serialized form — so a scenario loaded from a spec file
-        and one built in code hash identically.
+        and one built in code hash identically.  Live early-stop runs add a
+        ``live`` entry (policy + calibration identity), so truncated results
+        can never shadow — or be shadowed by — full-horizon results of the
+        same run.
         """
-        return {
+        token: Dict[str, object] = {
             "code_version": __version__,
             "scenario": self.scenario.to_mapping(),
             "simulation": asdict(self.simulation),
             "anomaly_start_hour": float(self.anomaly_start_hour),
             "enable_safety": bool(self.enable_safety),
         }
+        if self.early_stop is not None:
+            token["live"] = {
+                "early_stop": self.early_stop.to_mapping(),
+                "context": self.live_token,
+            }
+        return token
 
     def cache_key(self) -> str:
         """A stable hex digest identifying this run's inputs and code version."""
@@ -158,15 +182,37 @@ def _unlink_quietly(path: Path) -> bool:
         return False
 
 
+# The fitted dual-level analyzer live early-stop runs score against,
+# installed once per worker by the pool initializer (or in-process on the
+# serial path) so it is pickled per *worker*, not per task.
+_LIVE_ANALYZER = None
+
+
+def _install_live_analyzer(analyzer) -> None:
+    """Pool initializer: pin the fitted live analyzer in this process."""
+    global _LIVE_ANALYZER
+    _LIVE_ANALYZER = analyzer
+
+
 def _execute_spec(spec: RunSpec) -> SimulationResult:
     """Execute one spec (top-level so it is picklable by worker pools)."""
     from repro.experiments.runner import run_scenario
 
+    live_analyzer = None
+    if spec.early_stop is not None:
+        live_analyzer = _LIVE_ANALYZER
+        if live_analyzer is None:
+            raise ConfigurationError(
+                "the spec requests live early stopping but no fitted analyzer "
+                "is installed; call CampaignEngine.set_live_analyzer first"
+            )
     return run_scenario(
         spec.scenario,
         spec.simulation,
         anomaly_start_hour=spec.anomaly_start_hour,
         enable_safety=spec.enable_safety,
+        early_stop=spec.early_stop,
+        live_analyzer=live_analyzer,
     )
 
 
@@ -391,6 +437,16 @@ class CampaignEngine:
             ResultCache(self.config.cache_dir) if self.config.caching else None
         )
         self.last_stats = CampaignStats()
+        self._live_analyzer = None
+
+    def set_live_analyzer(self, analyzer) -> None:
+        """Install the fitted analyzer live early-stop specs score against.
+
+        The analyzer is shipped once per worker process when the next pool
+        spins up (and installed in-process for the serial path).  Specs
+        without an :attr:`RunSpec.early_stop` policy ignore it entirely.
+        """
+        self._live_analyzer = analyzer
 
     def run(
         self, specs: Sequence[RunSpec], prune: bool = True
@@ -465,8 +521,14 @@ class CampaignEngine:
                     if pool is None:
                         # A chunk can never hold more than ``size`` pending
                         # runs, so a larger pool would only idle.
+                        initializer, initargs = None, ()
+                        if self._live_analyzer is not None:
+                            initializer = _install_live_analyzer
+                            initargs = (self._live_analyzer,)
                         pool = ProcessPoolExecutor(
-                            max_workers=min(n_workers, size)
+                            max_workers=min(n_workers, size),
+                            initializer=initializer,
+                            initargs=initargs,
                         )
                     futures = {
                         pool.submit(_execute_spec, chunk[index]): index
@@ -482,6 +544,12 @@ class CampaignEngine:
                         stats.n_workers, min(n_workers, len(pending))
                     )
                 else:
+                    # Install unconditionally — including None: a previous
+                    # campaign's analyzer must not linger in the module
+                    # global, or an engine that was never given one would
+                    # silently score live specs against a stale calibration
+                    # instead of raising.
+                    _install_live_analyzer(self._live_analyzer)
                     for index in pending:
                         results[index] = _execute_spec(chunk[index])
                         if self.cache is not None:

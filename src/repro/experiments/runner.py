@@ -9,7 +9,7 @@ disturbance schedule and safety monitor — and runs it through
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.common.config import ExperimentConfig, SimulationConfig
 from repro.common.exceptions import ConfigurationError
@@ -96,8 +96,20 @@ def run_scenario(
     simulation: SimulationConfig,
     anomaly_start_hour: float = 10.0,
     enable_safety: bool = True,
+    observers: Sequence = (),
+    early_stop=None,
+    live_analyzer=None,
 ) -> SimulationResult:
-    """Run one scenario once and return both data views."""
+    """Run one scenario once and return both data views.
+
+    ``observers`` are step-tap hooks forwarded to
+    :meth:`ClosedLoopSimulator.run`.  ``early_stop`` (an
+    :class:`~repro.common.config.EarlyStopPolicy`) plus a fitted
+    ``live_analyzer`` attach a live monitor that scores the run while it
+    simulates and truncates it once a detection is confirmed; the truncated
+    data views are bitwise-identical to the corresponding prefix of the
+    full-horizon run.
+    """
     if scenario.is_anomalous and anomaly_start_hour >= simulation.duration_hours:
         raise ConfigurationError(
             "anomaly_start_hour must fall inside the simulation horizon"
@@ -123,7 +135,25 @@ def run_scenario(
         "anomaly_start_hour": anomaly_start_hour if scenario.is_anomalous else None,
         "ground_truth": scenario.expected_ground_truth,
     }
-    return simulator.run(simulation, metadata)
+    observers = list(observers)
+    if early_stop is not None:
+        if live_analyzer is None:
+            raise ConfigurationError(
+                "early_stop needs a fitted live_analyzer to score the run"
+            )
+        # Imported lazily: repro.live sits on top of the experiments layer.
+        from repro.live.monitor import LiveMonitor
+        from repro.live.observer import LiveRunObserver
+
+        live_monitor = LiveMonitor(
+            live_analyzer,
+            anomaly_start_hour=(
+                anomaly_start_hour if scenario.is_anomalous else None
+            ),
+            policy=early_stop,
+        )
+        observers.append(LiveRunObserver(live_monitor))
+    return simulator.run(simulation, metadata, observers=observers)
 
 
 @dataclass

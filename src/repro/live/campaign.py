@@ -1,0 +1,65 @@
+"""Live campaigns: early-stopping run specs and calibration identity.
+
+The glue between :mod:`repro.live` and the campaign engine: a live campaign
+is an ordinary campaign whose anomalous :class:`~repro.experiments.parallel.
+RunSpec` records carry an :class:`~repro.common.config.EarlyStopPolicy` plus
+a *context token* identifying the calibration the live models were fitted
+on.  The token is part of each run's cache key — a truncated result is only
+reusable if the monitor that truncated it was fitted on the same
+calibration campaign with the same MSPC settings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import replace
+from typing import List, Optional
+
+from repro._version import __version__
+from repro.common.config import EarlyStopPolicy, ExperimentConfig
+from repro.experiments.parallel import RunSpec, scenario_specs
+from repro.experiments.scenarios import Scenario
+
+__all__ = ["live_context_token", "live_scenario_specs"]
+
+
+def live_context_token(config: ExperimentConfig) -> str:
+    """A stable digest of the calibration identity behind the live models.
+
+    Covers everything that determines the fitted monitors — the number of
+    calibration runs, the campaign root seed (per-run calibration seeds
+    derive from it), the simulation settings and the MSPC settings — plus
+    the code version, mirroring :meth:`RunSpec.cache_token`.
+    """
+    payload = {
+        "code_version": __version__,
+        "n_calibration_runs": int(config.n_calibration_runs),
+        "seed": int(config.seed),
+        "simulation": config.simulation.to_mapping(),
+        "mspc": config.mspc.to_mapping(),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def live_scenario_specs(
+    config: ExperimentConfig,
+    scenario: Scenario,
+    policy: Optional[EarlyStopPolicy],
+    n_runs: Optional[int] = None,
+) -> List[RunSpec]:
+    """Specs of one scenario's runs, with live early stopping attached.
+
+    Non-anomalous scenarios (and a ``None`` policy) produce the plain
+    full-horizon specs: a run without an anomaly has no detection to
+    confirm, and truncating it would silently change the negative-control
+    statistics.
+    """
+    specs = scenario_specs(config, scenario, n_runs)
+    if policy is None or not scenario.is_anomalous:
+        return specs
+    token = live_context_token(config)
+    return [
+        replace(spec, early_stop=policy, live_token=token) for spec in specs
+    ]

@@ -1,0 +1,115 @@
+"""ASCII dashboard for live-monitored runs.
+
+Renders a :class:`~repro.live.monitor.LiveMonitor`'s state — per-view D/Q
+control charts, the alarm log, the on-alarm oMEDA snapshot and the latency
+metrics — as plain text, built on the primitives of
+:mod:`repro.plotting.ascii`.  ``scripts/run_live.py`` prints it after (or
+during) a run; it is equally usable from a notebook or a log file.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.live.monitor import LiveMonitor
+from repro.plotting.ascii import render_bar_chart, render_control_chart
+
+__all__ = ["render_live_dashboard"]
+
+
+def _format_hours(value: Optional[float]) -> str:
+    return "—" if value is None else f"{value:.3f} h"
+
+
+def render_live_dashboard(
+    monitor: LiveMonitor,
+    width: int = 72,
+    height: int = 10,
+    top_variables: int = 3,
+) -> str:
+    """Render the monitor's current state as a multi-section text dashboard."""
+    report = monitor.report()
+    lines: List[str] = []
+    lines.append("=" * width)
+    lines.append("LIVE MONITOR".center(width))
+    lines.append("=" * width)
+    status = "ALARM" if any(
+        view.alarms.active for view in monitor.views.values()
+    ) else "normal"
+    lines.append(
+        f"samples: {report.n_samples}   status: {status}   "
+        f"detected: {'yes' if report.detected else 'no'}"
+    )
+    lines.append(
+        f"onset: {_format_hours(monitor.anomaly_start_hour)}   "
+        f"detection: {_format_hours(report.detection_time_hours)}   "
+        f"latency: {_format_hours(report.detection_latency_hours)}   "
+        f"diagnosis: {_format_hours(report.time_to_diagnosis_hours)}"
+    )
+    if report.stopped_early:
+        lines.append(
+            f"early stop: after sample {report.stop_index} "
+            f"(t = {_format_hours(report.stop_time_hours)})"
+        )
+    if report.false_alarm_time_hours is not None:
+        lines.append(
+            f"false alarm before onset at {_format_hours(report.false_alarm_time_hours)}"
+        )
+
+    for name, view in monitor.views.items():
+        statistics = view.statistics
+        if statistics["D"].size == 0:
+            continue
+        for chart, limits in (("D", view.monitor.t2_limits), ("Q", view.monitor.spe_limits)):
+            lines.append("")
+            lines.append(
+                render_control_chart(
+                    statistics[chart],
+                    limits.limits,
+                    title=f"{name} view — {chart} statistic",
+                    width=width,
+                    height=height,
+                )
+            )
+
+    events = [
+        (event, name)
+        for name, view in monitor.views.items()
+        for event in view.alarms.events
+    ]
+    events.sort(key=lambda item: (item[0].index, item[1]))
+    lines.append("")
+    lines.append("alarm log:")
+    if not events:
+        lines.append("  (no alarms)")
+    for event, name in events:
+        lines.append(
+            f"  [{event.time_hours:9.3f} h] {name:<10} {event.kind:<8} "
+            f"{event.chart:<3} value {event.statistic_value:.4g} "
+            f"(limit {event.limit:.4g})"
+        )
+
+    snapshot = report.snapshot
+    if snapshot is not None:
+        lines.append("")
+        lines.append(
+            f"on-alarm diagnosis (t = {_format_hours(report.snapshot_time_hours)}): "
+            f"{snapshot.classification.value}"
+        )
+        for view_name, omeda in (
+            ("controller", snapshot.controller_omeda),
+            ("process", snapshot.process_omeda),
+        ):
+            if omeda is None:
+                continue
+            lines.append("")
+            lines.append(
+                render_bar_chart(
+                    omeda.variable_names,
+                    omeda.contributions,
+                    title=f"oMEDA snapshot — {view_name} view",
+                    width=min(width - 24, 48),
+                    highlight_top=top_variables,
+                )
+            )
+    return "\n".join(lines)

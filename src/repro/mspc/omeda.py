@@ -59,7 +59,14 @@ def omeda(model: PCAModel, scaled_data, dummy) -> np.ndarray:
         raise DataShapeError("the dummy vector must designate at least one observation")
 
     reconstruction = model.reconstruct(data)
-    contributions = ((2.0 * data - reconstruction) * np.abs(reconstruction)).T @ weights
+    # einsum keeps the reduction over observations strictly in index order,
+    # so designating the same observations inside a shorter window (a live
+    # monitor's buffer) or a longer one (the full post-hoc run) yields
+    # bitwise-identical contributions: the zero-weighted rows are exact
+    # identities however the window is padded.
+    contributions = np.einsum(
+        "nm,n->m", (2.0 * data - reconstruction) * np.abs(reconstruction), weights
+    )
     norm = np.sqrt(float(weights @ weights))
     return contributions / norm
 

@@ -134,15 +134,27 @@ class PCAModel:
         return self
 
     def transform(self, scaled_data) -> np.ndarray:
-        """Project observations onto the retained components (scores ``T_A``)."""
+        """Project observations onto the retained components (scores ``T_A``).
+
+        The projection is evaluated with :func:`numpy.einsum` rather than
+        ``@``: einsum accumulates each output element over the variable axis
+        in a fixed order regardless of how many observations are projected,
+        so scoring a single observation, a prefix of a run, or the whole run
+        produces bitwise-identical values per row.  BLAS matmul does not
+        guarantee this (it switches kernels by shape), and the live
+        monitoring subsystem (:mod:`repro.live`) relies on sample-by-sample
+        scores matching the batch path exactly.
+        """
         self._require_fitted()
         array = as_2d_array(scaled_data, "data")
         check_matching_columns(self.n_variables, array, "data")
-        return array @ self._loadings
+        return np.einsum("nm,ma->na", array, self._loadings)
 
     def reconstruct(self, scaled_data) -> np.ndarray:
         """Reconstruction of the observations from the retained subspace."""
-        return self.transform(scaled_data) @ self._loadings.T
+        return np.einsum(
+            "na,ma->nm", self.transform(scaled_data), self._loadings
+        )
 
     def residuals(self, scaled_data) -> np.ndarray:
         """Residual matrix ``E_A`` of the observations."""

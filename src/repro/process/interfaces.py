@@ -10,13 +10,14 @@ either direction.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.process.variables import VariableRegistry
 
-__all__ = ["PlantModel", "Controller"]
+__all__ = ["PlantModel", "Controller", "StepSample", "StepObserver"]
 
 
 class PlantModel(ABC):
@@ -68,6 +69,75 @@ class PlantModel(ABC):
     def safety_quantities(self) -> Dict[str, float]:
         """Named quantities evaluated by the safety monitor (empty by default)."""
         return {}
+
+
+@dataclass(frozen=True)
+class StepSample:
+    """One recorded sample of a closed-loop run, as both views saw it.
+
+    This is exactly what the simulator hands to its recorders: the
+    network-channel observations of the sampling instant, *after* the
+    attack/injection stack has acted on them.  Observers therefore see the
+    same values a historian-connected monitor would see, sample by sample,
+    while the run is still simulating.
+
+    Attributes
+    ----------
+    index:
+        0-based sample index within the run.
+    time_hours:
+        Simulation time of the sample.
+    controller_values:
+        XMEAS + XMV as the controllers saw them (received measurements,
+        emitted commands) — the controller-level view.
+    process_values:
+        XMEAS + XMV as the plant experienced them (true measurements,
+        applied commands) — the process-level view.
+    """
+
+    index: int
+    time_hours: float
+    controller_values: np.ndarray
+    process_values: np.ndarray
+
+
+class StepObserver(ABC):
+    """Step-tap protocol: follow a closed-loop run sample by sample.
+
+    Observers are attached per run
+    (:meth:`~repro.process.simulator.ClosedLoopSimulator.run`), receive every
+    recorded sample as it is produced, and may request early termination of
+    the run by returning a truthy value from :meth:`on_sample` — the hook the
+    live monitoring subsystem (:mod:`repro.live`) uses to stop a simulation
+    once a detection is confirmed.  Observers must treat the sample vectors
+    as read-only; they observe the loop, they never perturb it, so a run
+    with observers attached is bitwise-identical to the same run without
+    them (up to where an observer stops it).
+    """
+
+    def on_run_start(
+        self,
+        variable_names: Sequence[str],
+        config,
+        metadata: Dict[str, object],
+    ) -> None:
+        """Called once before the first sample (default: no-op)."""
+
+    @abstractmethod
+    def on_sample(self, sample: StepSample) -> Optional[bool]:
+        """Consume one sample; return ``True`` to stop the run after it."""
+
+    def on_run_end(
+        self,
+        shutdown_time_hours: Optional[float],
+        shutdown_reason: Optional[str],
+    ) -> None:
+        """Called once after the last sample (default: no-op)."""
+
+    @property
+    def stop_reason(self) -> Optional[str]:
+        """Why this observer requested a stop (``None`` if it did not)."""
+        return None
 
 
 class Controller(ABC):

@@ -19,7 +19,7 @@ which is precisely the signal exploited for diagnosis.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -27,7 +27,7 @@ from repro.common.config import SimulationConfig
 from repro.common.exceptions import ConfigurationError, ProcessShutdown
 from repro.datasets.dataset import ProcessDataset
 from repro.process.disturbances import DisturbanceSchedule
-from repro.process.interfaces import Controller, PlantModel
+from repro.process.interfaces import Controller, PlantModel, StepObserver, StepSample
 from repro.process.recorder import SimulationRecorder
 from repro.process.safety import SafetyMonitor
 
@@ -65,13 +65,26 @@ class SimulationResult:
     @property
     def completed(self) -> bool:
         """Whether the run reached its full horizon without a safety trip."""
-        return self.shutdown_time_hours is None
+        return self.shutdown_time_hours is None and not self.stopped_early
+
+    @property
+    def stopped_early(self) -> bool:
+        """Whether a step observer terminated the run before its horizon."""
+        return bool(self.metadata.get("stopped_early", False))
+
+    @property
+    def early_stop_time_hours(self) -> Optional[float]:
+        """Time at which an observer stopped the run, or ``None``."""
+        value = self.metadata.get("early_stop_time_hours")
+        return None if value is None else float(value)
 
     @property
     def duration_hours(self) -> float:
         """Actual simulated duration."""
         if self.shutdown_time_hours is not None:
             return float(self.shutdown_time_hours)
+        if self.early_stop_time_hours is not None:
+            return self.early_stop_time_hours
         return float(self.config.duration_hours)
 
     def views(self) -> Dict[str, ProcessDataset]:
@@ -125,10 +138,23 @@ class ClosedLoopSimulator:
         self,
         config: SimulationConfig,
         metadata: Optional[Dict[str, object]] = None,
+        observers: Sequence[StepObserver] = (),
     ) -> SimulationResult:
-        """Execute one run and return its :class:`SimulationResult`."""
+        """Execute one run and return its :class:`SimulationResult`.
+
+        ``observers`` are step-tap hooks
+        (:class:`~repro.process.interfaces.StepObserver`): each recorded
+        sample is handed to every observer as it is produced, carrying the
+        same controller-level and process-level vectors the recorders store.
+        An observer returning a truthy value from ``on_sample`` terminates
+        the run after that sample; the result's data views then hold the
+        truncated prefix — bitwise-identical to the corresponding prefix of
+        the untruncated run — and its metadata records ``stopped_early``,
+        ``early_stop_time_hours`` and ``early_stop_reason``.
+        """
         if config.total_samples < 1:
             raise ConfigurationError("configuration yields no samples")
+        observers = list(observers)
 
         self.plant.reset(seed=config.seed)
         self.controller.reset()
@@ -148,6 +174,11 @@ class ClosedLoopSimulator:
         dt = config.integration_step_hours
         shutdown_time: Optional[float] = None
         shutdown_reason: Optional[str] = None
+        early_stop_time: Optional[float] = None
+        early_stop_reason: Optional[str] = None
+
+        for observer in observers:
+            observer.on_run_start(names, config, dict(run_metadata))
 
         try:
             for sample_index in range(config.total_samples):
@@ -176,12 +207,27 @@ class ClosedLoopSimulator:
                         )
 
                 sample_time = self.plant.time_hours
-                controller_recorder.record(
-                    sample_time, np.concatenate([received_xmeas, commanded_xmv])
-                )
-                process_recorder.record(
-                    sample_time, np.concatenate([true_xmeas, applied_xmv])
-                )
+                controller_values = np.concatenate([received_xmeas, commanded_xmv])
+                process_values = np.concatenate([true_xmeas, applied_xmv])
+                controller_recorder.record(sample_time, controller_values)
+                process_recorder.record(sample_time, process_values)
+
+                if observers:
+                    sample = StepSample(
+                        index=sample_index,
+                        time_hours=float(sample_time),
+                        controller_values=controller_values,
+                        process_values=process_values,
+                    )
+                    stop_requested = False
+                    for observer in observers:
+                        if observer.on_sample(sample):
+                            stop_requested = True
+                            if early_stop_reason is None:
+                                early_stop_reason = observer.stop_reason
+                    if stop_requested:
+                        early_stop_time = float(sample_time)
+                        break
         except ProcessShutdown as trip:
             shutdown_time = trip.time_hours
             shutdown_reason = trip.reason
@@ -194,6 +240,9 @@ class ClosedLoopSimulator:
             controller_recorder.record(0.0, np.concatenate([xmeas, xmv]))
             process_recorder.record(0.0, np.concatenate([xmeas, xmv]))
 
+        for observer in observers:
+            observer.on_run_end(shutdown_time, shutdown_reason)
+
         run_metadata.update(
             {
                 "shutdown_time_hours": shutdown_time,
@@ -201,6 +250,14 @@ class ClosedLoopSimulator:
                 "seed": config.seed,
             }
         )
+        if early_stop_time is not None:
+            run_metadata.update(
+                {
+                    "stopped_early": True,
+                    "early_stop_time_hours": early_stop_time,
+                    "early_stop_reason": early_stop_reason,
+                }
+            )
         return SimulationResult(
             controller_data=controller_recorder.to_dataset(**run_metadata),
             process_data=process_recorder.to_dataset(**run_metadata),

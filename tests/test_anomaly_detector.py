@@ -78,8 +78,46 @@ class TestStreamingDetector:
         detector = StreamingDetector(monitor)
         detector.observe_many(anomalous_data.values)
         detector.reset()
-        assert detector.events == []
+        assert detector.events == ()
         assert detector.history["D"].shape[0] == 0
+
+    def test_reset_round_trip_reproduces_everything(self, monitor, anomalous_data):
+        """reset() returns the detector to a truly pristine state: replaying
+        the same stream reproduces identical events and history."""
+        detector = StreamingDetector(monitor)
+        detector.observe_many(anomalous_data.values, anomalous_data.timestamps)
+        first_events = detector.events
+        first_history = {key: value.copy() for key, value in detector.history.items()}
+
+        detector.reset()
+        assert detector.events == ()
+        assert detector.first_event is None
+        detector.observe_many(anomalous_data.values, anomalous_data.timestamps)
+        assert detector.events == first_events
+        for key, value in detector.history.items():
+            assert np.array_equal(value, first_history[key])
+
+    def test_events_and_history_are_cached_between_observations(
+        self, monitor, anomalous_data
+    ):
+        """The events tuple and history dict are rebuilt only after new
+        observations, not on every property access."""
+        detector = StreamingDetector(monitor)
+        detector.observe_many(anomalous_data.values)
+        assert detector.events is detector.events
+        assert detector.history is detector.history
+        history_before = detector.history
+        detector.observe(anomalous_data.values[-1])
+        assert detector.history is not history_before
+        assert detector.history["D"].shape[0] == history_before["D"].shape[0] + 1
+
+    def test_feed_many_is_observe_many(self, monitor, anomalous_data):
+        detector = StreamingDetector(monitor)
+        events = detector.feed_many(anomalous_data.values, anomalous_data.timestamps)
+        replay = StreamingDetector(monitor)
+        assert events == replay.observe_many(
+            anomalous_data.values, anomalous_data.timestamps
+        )
 
     def test_event_chart_attribution(self, monitor, anomalous_data):
         detector = StreamingDetector(monitor)

@@ -7,6 +7,7 @@ from repro.common.config import SimulationConfig
 from repro.control.te_controller import TEDecentralizedController
 from repro.network.attacks import AttackSchedule, IntegrityAttack
 from repro.network.channel import Channel
+from repro.process.interfaces import StepObserver
 from repro.process.simulator import ClosedLoopSimulator
 from repro.te.constants import N_XMEAS, N_XMV
 from repro.te.plant import TEPlant
@@ -95,3 +96,80 @@ class TestAttackedRun:
         # Without measurement noise consecutive samples differ only through
         # the (small) plant dynamics, far less than the noise std of 0.0025.
         assert np.abs(np.diff(xmeas1)).max() < 0.02
+
+
+class TestStepObservers:
+    class Recorder(StepObserver):
+        """Collects every sample; optionally stops after a given index."""
+
+        def __init__(self, stop_after=None):
+            self.samples = []
+            self.started = False
+            self.ended = None
+            self.stop_after = stop_after
+
+        def on_run_start(self, variable_names, config, metadata):
+            self.started = True
+            self.names = tuple(variable_names)
+
+        def on_sample(self, sample):
+            self.samples.append(sample)
+            return self.stop_after is not None and sample.index >= self.stop_after
+
+        def on_run_end(self, shutdown_time_hours, shutdown_reason):
+            self.ended = (shutdown_time_hours, shutdown_reason)
+
+        @property
+        def stop_reason(self):
+            return "recorder asked" if self.stop_after is not None else None
+
+    def test_observer_sees_every_recorded_sample(self):
+        observer = self.Recorder()
+        result = make_simulator().run(SHORT, observers=[observer])
+        assert observer.started
+        assert observer.ended == (None, None)
+        assert len(observer.samples) == result.controller_data.n_observations
+        assert observer.names == tuple(result.controller_data.variable_names)
+        for index, sample in enumerate(observer.samples):
+            assert sample.index == index
+            assert sample.time_hours == result.controller_data.timestamps[index]
+            assert np.array_equal(
+                sample.controller_values, result.controller_data.values[index]
+            )
+            assert np.array_equal(
+                sample.process_values, result.process_data.values[index]
+            )
+
+    def test_observer_does_not_perturb_the_run(self):
+        plain = make_simulator().run(SHORT)
+        observed = make_simulator().run(SHORT, observers=[self.Recorder()])
+        assert np.array_equal(
+            plain.controller_data.values, observed.controller_data.values
+        )
+        assert np.array_equal(
+            plain.process_data.values, observed.process_data.values
+        )
+
+    def test_observer_can_stop_the_run(self):
+        observer = self.Recorder(stop_after=4)
+        result = make_simulator().run(SHORT, observers=[observer])
+        assert result.stopped_early
+        assert not result.completed
+        assert result.controller_data.n_observations == 5
+        assert result.metadata["early_stop_reason"] == "recorder asked"
+        assert result.early_stop_time_hours == result.controller_data.timestamps[-1]
+        assert result.duration_hours == result.early_stop_time_hours
+
+    def test_observer_sees_attacked_channel_values(self):
+        attacks = AttackSchedule([IntegrityAttack(3, start_hour=0.1, injected=0.0)])
+        observer = self.Recorder()
+        make_simulator(actuator_attacks=attacks, safety=False).run(
+            SHORT, observers=[observer]
+        )
+        xmv3_index = N_XMEAS + 2
+        late = [s for s in observer.samples if s.time_hours > 0.2]
+        assert late
+        # The process view carries the tampered (zeroed) actuator command,
+        # while the controller view still shows the commanded value.
+        assert all(s.process_values[xmv3_index] == 0.0 for s in late)
+        assert all(s.controller_values[xmv3_index] > 0.0 for s in late)
