@@ -1,0 +1,127 @@
+"""Batched vectorized simulation — the wall-clock case for ``repro.batch``.
+
+Runs the simulation stage of the paper's five-scenario campaign twice on a
+single core: once through the serial backend (one interpreter pass per run)
+and once through the batch backend (the whole campaign stepped as lockstep
+``(B, ...)`` arrays).  Asserts the per-run results are bitwise-identical and
+records the measured speedup.  The speedup is always reported
+(``extra_info`` and ``BENCH_batch.json``); it becomes a hard >= 3x gate only
+when ``REPRO_BENCH_STRICT=1`` (the CI bench jobs).
+
+Unlike the figure benchmarks this one sizes its own campaign: the batch
+backend's win grows with the rows it can step together, so the run counts
+are floored to fill one default-sized batch even at smoke scale.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.common.config import ParallelConfig
+from repro.experiments.parallel import (
+    CampaignEngine,
+    calibration_specs,
+    scenario_specs,
+)
+from repro.experiments.scenarios import normal_scenario, paper_scenarios
+
+MIN_SPEEDUP = 3.0
+BENCH_JSON = Path("BENCH_batch.json")
+
+
+def campaign_specs(bench_config):
+    """Simulation specs of the five-scenario campaign, batch-sized.
+
+    Calibration and per-scenario repeats are floored so the campaign holds
+    at least one default batch worth of runs even at smoke scale — the
+    regime the backend is built for.
+    """
+    config = replace(
+        bench_config,
+        # 6 calibration runs + 5 scenarios x 2 = 16 runs: one full default
+        # batch, the regime the backend is built for.
+        n_calibration_runs=max(bench_config.n_calibration_runs, 6),
+        n_runs_per_scenario=max(bench_config.n_runs_per_scenario, 2),
+    )
+    specs = list(calibration_specs(config))
+    for scenario in [normal_scenario(), *paper_scenarios()]:
+        specs.extend(scenario_specs(config, scenario))
+    return specs
+
+
+def emit_bench_json(extra_info) -> None:
+    """Write ``BENCH_batch.json`` so the nightly trend always has this
+    trajectory, independently of pytest-benchmark's ``--benchmark-json``."""
+    payload = {
+        "benchmarks": [
+            {
+                "name": "test_batch_backend_speedup",
+                "fullname": "benchmarks/test_bench_batch.py::test_batch_backend_speedup",
+                "stats": {"mean": extra_info["batch_seconds"]},
+                "extra_info": dict(extra_info),
+            }
+        ]
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+
+@pytest.mark.benchmark(group="batch-campaign")
+def test_batch_backend_speedup(benchmark, bench_config):
+    specs = campaign_specs(bench_config)
+
+    serial_engine = CampaignEngine(ParallelConfig.serial())
+    started = time.perf_counter()
+    serial_results = serial_engine.run(specs)
+    serial_seconds = time.perf_counter() - started
+
+    batch_engine = CampaignEngine(ParallelConfig(n_workers=1, backend="batch"))
+    batch_results = benchmark.pedantic(
+        batch_engine.run, args=(specs,), rounds=1, iterations=1
+    )
+    batch_seconds = benchmark.stats.stats.mean
+
+    # Equivalence anchor: per-run results identical across backends — data
+    # views, timestamps, shutdown truncation, metadata.
+    assert len(serial_results) == len(batch_results)
+    for serial_run, batch_run in zip(serial_results, batch_results):
+        assert np.array_equal(
+            serial_run.controller_data.values, batch_run.controller_data.values
+        )
+        assert np.array_equal(
+            serial_run.process_data.values, batch_run.process_data.values
+        )
+        assert np.array_equal(
+            serial_run.controller_data.timestamps,
+            batch_run.controller_data.timestamps,
+        )
+        assert serial_run.metadata == batch_run.metadata
+        assert serial_run.shutdown_time_hours == batch_run.shutdown_time_hours
+
+    # The campaign horizon is long enough that anomalous runs really trip,
+    # so the gate covers per-row truncation, not just the happy path.
+    assert any(run.shutdown_time_hours is not None for run in serial_results)
+
+    speedup = serial_seconds / batch_seconds if batch_seconds > 0 else 1.0
+    benchmark.extra_info["n_runs"] = len(specs)
+    benchmark.extra_info["serial_seconds"] = round(serial_seconds, 3)
+    benchmark.extra_info["batch_seconds"] = round(batch_seconds, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    emit_bench_json(benchmark.extra_info)
+
+    print()
+    print("Batched vectorized campaign (five paper scenarios, single core)")
+    print(f"  serial backend {serial_seconds:7.2f} s   ({len(specs)} runs)")
+    print(f"  batch backend  {batch_seconds:7.2f} s   speedup {speedup:.2f}x")
+
+    if os.environ.get("REPRO_BENCH_STRICT") == "1":
+        assert speedup >= MIN_SPEEDUP, (
+            f"batched campaign only {speedup:.2f}x faster than serial "
+            f"(expected >= {MIN_SPEEDUP}x)"
+        )

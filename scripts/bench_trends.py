@@ -32,17 +32,35 @@ from typing import Dict, List, Optional
 DEFAULT_THRESHOLD = 0.10
 
 
-def load_means(path: Path) -> Dict[str, float]:
-    """Benchmark name -> mean seconds for one pytest-benchmark JSON file."""
+def load_metrics(path: Path) -> Dict[str, tuple]:
+    """All comparable metrics of one benchmark JSON file.
+
+    Returns ``name -> (value, higher_is_better, unit)``.  Besides each
+    benchmark's mean time, numeric ``extra_info`` columns are compared too:
+    the backend benchmarks record per-backend wall clocks (keys ending in
+    ``_seconds``, lower is better) and measured ``speedup`` columns (higher
+    is better), so a backend that silently loses its edge flags a
+    regression even when the overall mean stays flat.
+    """
     with open(path, encoding="utf-8") as handle:
         payload = json.load(handle)
-    means: Dict[str, float] = {}
+    metrics: Dict[str, tuple] = {}
     for benchmark in payload.get("benchmarks", ()):
         name = benchmark.get("fullname") or benchmark.get("name")
+        if not name:
+            continue
         stats = benchmark.get("stats") or {}
-        if name and isinstance(stats.get("mean"), (int, float)):
-            means[str(name)] = float(stats["mean"])
-    return means
+        if isinstance(stats.get("mean"), (int, float)):
+            metrics[str(name)] = (float(stats["mean"]), False, "s")
+        extra = benchmark.get("extra_info") or {}
+        for key, value in extra.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            if key.endswith("_seconds"):
+                metrics[f"{name}::{key}"] = (float(value), False, "s")
+            elif "speedup" in key:
+                metrics[f"{name}::{key}"] = (float(value), True, "x")
+    return metrics
 
 
 def collect_files(paths) -> List[Path]:
@@ -70,13 +88,14 @@ def compare(
     """Classify every benchmark of the latest run against the baseline.
 
     The baseline value of a benchmark is the **median** of its mean times
-    over the earlier files — robust to one noisy night.
+    over the earlier files — robust to one noisy night.  Time-like metrics
+    regress upward; ``speedup`` columns regress downward.
     """
     history: Dict[str, List[float]] = {}
     for path in baseline_files:
-        for name, mean in load_means(path).items():
-            history.setdefault(name, []).append(mean)
-    latest = load_means(latest_file)
+        for name, (value, _, _) in load_metrics(path).items():
+            history.setdefault(name, []).append(value)
+    latest = load_metrics(latest_file)
 
     report: Dict[str, List[Dict[str, object]]] = {
         "regressions": [],
@@ -85,22 +104,24 @@ def compare(
         "new": [],
         "missing": [],
     }
-    for name, mean in sorted(latest.items()):
+    for name, (value, higher_is_better, unit) in sorted(latest.items()):
         if name not in history:
-            report["new"].append({"name": name, "latest": mean})
+            report["new"].append({"name": name, "latest": value, "unit": unit})
             continue
         baseline = statistics.median(history[name])
-        delta = (mean - baseline) / baseline if baseline > 0 else 0.0
+        delta = (value - baseline) / baseline if baseline > 0 else 0.0
         entry = {
             "name": name,
             "baseline": baseline,
-            "latest": mean,
+            "latest": value,
             "delta": delta,
             "n_history": len(history[name]),
+            "unit": unit,
         }
-        if delta > threshold:
+        worsened = -delta if higher_is_better else delta
+        if worsened > threshold:
             report["regressions"].append(entry)
-        elif delta < -threshold:
+        elif worsened < -threshold:
             report["improvements"].append(entry)
         else:
             report["stable"].append(entry)
@@ -125,13 +146,15 @@ def print_report(
         ("stable", "="),
     ):
         for entry in report[kind]:
+            unit = entry.get("unit", "s")
             print(
-                f"  {symbol} {entry['name']}: {entry['baseline']:.4f}s -> "
-                f"{entry['latest']:.4f}s ({entry['delta']:+.1%}, "
+                f"  {symbol} {entry['name']}: {entry['baseline']:.4f}{unit} -> "
+                f"{entry['latest']:.4f}{unit} ({entry['delta']:+.1%}, "
                 f"n={entry['n_history']})"
             )
     for entry in report["new"]:
-        print(f"  + {entry['name']}: {entry['latest']:.4f}s (no history)")
+        unit = entry.get("unit", "s")
+        print(f"  + {entry['name']}: {entry['latest']:.4f}{unit} (no history)")
     for entry in report["missing"]:
         print(f"  - {entry['name']}: present in history, absent from latest")
     print(

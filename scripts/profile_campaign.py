@@ -1,0 +1,147 @@
+"""cProfile hotspot report for the simulation hot path.
+
+Profiles two workloads so future performance PRs start from data instead of
+guesses:
+
+* **one run** — a single closed-loop simulation through the serial
+  :class:`~repro.process.simulator.ClosedLoopSimulator` (the per-step
+  Python costs: plant flows, PID updates, channel transmits, recording);
+* **one campaign chunk** — a batch of runs through the
+  :class:`~repro.experiments.parallel.CampaignEngine` on a selectable
+  backend, which is what a worker process actually executes.
+
+Each report prints the top-N functions by cumulative time (default 20).
+
+Examples
+--------
+Profile the default smoke-scale workloads::
+
+    PYTHONPATH=src python scripts/profile_campaign.py
+
+Profile a chunk on the batched backend, top 30 functions::
+
+    PYTHONPATH=src python scripts/profile_campaign.py --backend batch --top 30
+
+Profile only the single serial run, at higher fidelity::
+
+    PYTHONPATH=src python scripts/profile_campaign.py --only run \
+        --duration 20 --samples-per-hour 60
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+
+from repro.common.config import ExperimentConfig, ParallelConfig, SimulationConfig
+from repro.experiments.parallel import (
+    CampaignEngine,
+    calibration_specs,
+    scenario_specs,
+)
+from repro.experiments.registry import get_scenario
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import normal_scenario, paper_scenarios
+
+
+def _report(title: str, profiler: cProfile.Profile, top: int) -> None:
+    print(f"\n=== {title}: top {top} by cumulative time ===")
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(top)
+
+
+def profile_single_run(arguments: argparse.Namespace) -> None:
+    """One serial closed-loop run of the requested scenario."""
+    scenario = get_scenario(arguments.scenario)
+    simulation = SimulationConfig(
+        duration_hours=arguments.duration,
+        samples_per_hour=arguments.samples_per_hour,
+        seed=arguments.seed,
+    )
+    onset = arguments.onset
+    if onset >= arguments.duration:
+        onset = arguments.duration / 2.0
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_scenario(scenario, simulation, anomaly_start_hour=onset)
+    profiler.disable()
+    _report(
+        f"one serial run ({scenario.name}, {arguments.duration:g} h)",
+        profiler,
+        arguments.top,
+    )
+
+
+def profile_campaign_chunk(arguments: argparse.Namespace) -> None:
+    """One engine chunk of the five-scenario campaign on a backend."""
+    config = ExperimentConfig.smoke(seed=arguments.seed)
+    specs = list(calibration_specs(config))
+    for scenario in [normal_scenario(), *paper_scenarios()]:
+        specs.extend(scenario_specs(config, scenario))
+    engine = CampaignEngine(
+        ParallelConfig(
+            n_workers=1,
+            backend=arguments.backend,
+            batch_size=arguments.batch_size,
+        )
+    )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    engine.run(specs)
+    profiler.disable()
+    _report(
+        f"one campaign chunk ({len(specs)} runs, backend={arguments.backend})",
+        profiler,
+        arguments.top,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument(
+        "--only",
+        choices=("run", "chunk"),
+        default=None,
+        help="profile only one of the two workloads",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("serial", "batch"),
+        default="serial",
+        help="engine backend for the campaign-chunk workload "
+        "(default: serial; process pools cannot be cProfiled from the parent)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=None, help="batch backend rows per batch"
+    )
+    parser.add_argument(
+        "--scenario", default="idv6", help="scenario of the single-run workload"
+    )
+    parser.add_argument("--seed", type=int, default=2016, help="root seed")
+    parser.add_argument(
+        "--duration", type=float, default=8.0, help="single-run duration, hours"
+    )
+    parser.add_argument(
+        "--samples-per-hour", type=int, default=30, help="single-run sampling rate"
+    )
+    parser.add_argument(
+        "--onset", type=float, default=4.0, help="single-run anomaly onset, hours"
+    )
+    parser.add_argument(
+        "--top", type=int, default=20, help="functions shown per report (default 20)"
+    )
+    arguments = parser.parse_args(argv)
+
+    if arguments.only in (None, "run"):
+        profile_single_run(arguments)
+    if arguments.only in (None, "chunk"):
+        profile_campaign_chunk(arguments)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

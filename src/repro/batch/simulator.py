@@ -1,0 +1,372 @@
+"""The batched closed-loop simulation driver.
+
+:class:`BatchSimulator` executes a sequence of campaign
+:class:`~repro.experiments.parallel.RunSpec` runs by advancing many of them
+simultaneously: plant state, controller state, channel traffic and safety
+bookkeeping all become ``(B, ...)`` arrays stepped in lockstep
+(:mod:`repro.te.batch`, :mod:`repro.control.batch`,
+:class:`~repro.network.channel.BatchChannel`,
+:class:`~repro.process.safety.BatchSafetyMonitor`).  Each row keeps its own
+scenario windows, injection magnitudes, random streams and (optionally) live
+early-stop observer, so the per-run :class:`SimulationResult` objects are
+**bitwise-identical** to what :func:`repro.experiments.runner.run_scenario`
+produces for the same spec — including safety-trip truncation, the
+trip-before-first-sample fallback sample, and live early stopping.
+
+Rows that finish early (safety trip or confirmed live detection) are
+*compacted out* of the batch: every batched component drops the finished
+rows' state, so the remaining rows keep stepping through dense arrays with
+no masking overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.common.config import ParallelConfig, SimulationConfig
+from repro.common.exceptions import ConfigurationError
+from repro.control.batch import BatchDecentralizedController
+from repro.datasets.dataset import ProcessDataset
+from repro.network.channel import BatchChannel
+from repro.process.disturbances import BatchDisturbanceView
+from repro.process.interfaces import StepObserver, StepSample
+from repro.process.safety import BatchSafetyMonitor
+from repro.process.simulator import SimulationResult
+from repro.te.batch import BatchTEPlant
+from repro.te.safety import DEFAULT_SAFETY_LIMITS
+
+__all__ = ["BatchSimulator", "run_specs_batched", "DEFAULT_BATCH_SIZE"]
+
+#: Default number of runs stepped together per vectorized batch.  Large
+#: enough to amortize the per-step interpreter cost, small enough that the
+#: in-flight trajectory arrays of a batch stay modest.
+DEFAULT_BATCH_SIZE = ParallelConfig.DEFAULT_BATCH_SIZE
+
+
+@dataclass
+class _Row:
+    """Everything one run of a lockstep batch carries besides array state."""
+
+    position: int  # index into the caller's spec sequence
+    batch_index: int  # row within the batch's trajectory slabs
+    spec: object  # the RunSpec (typed loosely to avoid a layering import)
+    metadata: Dict[str, object]
+    observers: List[StepObserver] = field(default_factory=list)
+    n_recorded: int = 0
+    shutdown_time_hours: Optional[float] = None
+    shutdown_reason: Optional[str] = None
+    early_stop_time_hours: Optional[float] = None
+    early_stop_reason: Optional[str] = None
+    fallback_sample: Optional[np.ndarray] = None
+
+
+def _group_key(config: SimulationConfig) -> SimulationConfig:
+    """Runs sharing everything but the seed can advance in lockstep."""
+    return replace(config, seed=0)
+
+
+class BatchSimulator:
+    """Executes campaign specs by stepping whole batches of runs at once.
+
+    Parameters
+    ----------
+    batch_size:
+        Maximum number of runs advanced together.  ``None`` uses
+        :data:`DEFAULT_BATCH_SIZE`.
+    live_analyzer:
+        Fitted dual-level analyzer for specs carrying an early-stop policy
+        (same contract as ``CampaignEngine.set_live_analyzer``).
+    """
+
+    def __init__(self, batch_size: Optional[int] = None, live_analyzer=None):
+        if batch_size is not None and batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1 or None")
+        self.batch_size = (
+            int(batch_size) if batch_size is not None else DEFAULT_BATCH_SIZE
+        )
+        self.live_analyzer = live_analyzer
+
+    # ------------------------------------------------------------------
+    def run_specs(self, specs: Sequence) -> List[SimulationResult]:
+        """Execute every spec and return results in spec order.
+
+        Specs are grouped by lockstep compatibility (identical simulation
+        settings apart from the seed), each group is split into batches of
+        at most :attr:`batch_size` rows, and each batch advances through
+        one vectorized loop.
+        """
+        specs = list(specs)
+        groups: Dict[SimulationConfig, List[int]] = {}
+        for position, spec in enumerate(specs):
+            groups.setdefault(_group_key(spec.simulation), []).append(position)
+
+        results: List[Optional[SimulationResult]] = [None] * len(specs)
+        for positions in groups.values():
+            for offset in range(0, len(positions), self.batch_size):
+                chunk = positions[offset : offset + self.batch_size]
+                for position, result in zip(
+                    chunk, self._run_batch([specs[i] for i in chunk], chunk)
+                ):
+                    results[position] = result
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _build_row(self, position: int, batch_index: int, spec) -> _Row:
+        """Mirror of :func:`repro.experiments.runner.run_scenario` assembly."""
+        from repro.experiments.runner import (
+            build_live_observers,
+            scenario_run_metadata,
+        )
+
+        scenario = spec.scenario
+        simulation = spec.simulation
+        if simulation.total_samples < 1:
+            raise ConfigurationError("configuration yields no samples")
+        if (
+            scenario.is_anomalous
+            and spec.anomaly_start_hour >= simulation.duration_hours
+        ):
+            raise ConfigurationError(
+                "anomaly_start_hour must fall inside the simulation horizon"
+            )
+        return _Row(
+            position=position,
+            batch_index=batch_index,
+            spec=spec,
+            metadata=scenario_run_metadata(scenario, spec.anomaly_start_hour),
+            observers=build_live_observers(
+                scenario, spec.anomaly_start_hour, spec.early_stop, self.live_analyzer
+            ),
+        )
+
+    def _run_batch(
+        self, specs: Sequence, positions: Sequence[int]
+    ) -> List[SimulationResult]:
+        """Advance one lockstep batch to completion and build its results."""
+        from repro.experiments.runner import (
+            build_channels,
+            build_disturbance_schedule,
+        )
+
+        rows = [
+            self._build_row(position, batch_index, spec)
+            for batch_index, (position, spec) in enumerate(zip(positions, specs))
+        ]
+        config = specs[0].simulation  # lockstep fields are shared by the group
+        n_rows = len(rows)
+
+        plant = BatchTEPlant(seeds=[spec.simulation.seed for spec in specs])
+        controller = BatchDecentralizedController(None, n_rows)
+        sensor_channels, actuator_channels, schedules = [], [], []
+        for spec in specs:
+            sensor, actuator = build_channels(spec.scenario, spec.anomaly_start_hour)
+            sensor_channels.append(sensor)
+            actuator_channels.append(actuator)
+            schedules.append(
+                build_disturbance_schedule(spec.scenario, spec.anomaly_start_hour)
+            )
+        sensor_channel = BatchChannel(sensor_channels)
+        actuator_channel = BatchChannel(actuator_channels)
+        disturbances = BatchDisturbanceView(schedules)
+        safety = BatchSafetyMonitor(
+            DEFAULT_SAFETY_LIMITS, n_rows, enabled=config.enable_safety
+        )
+
+        names = list(plant.measured_variables.names) + list(
+            plant.manipulated_variables.names
+        )
+        total_samples = config.total_samples
+        steps_per_sample = config.integration_steps_per_sample
+        dt = config.integration_step_hours
+        n_columns = len(names)
+
+        # Preallocated per-run trajectories; the lockstep clock is one scalar
+        # sequence, so a single times vector serves every row's prefix.
+        controller_slab = np.empty((n_rows, total_samples, n_columns))
+        process_slab = np.empty((n_rows, total_samples, n_columns))
+        times = np.empty(total_samples)
+
+        for row in rows:
+            for observer in row.observers:
+                observer.on_run_start(names, row.spec.simulation, dict(row.metadata))
+
+        # ``alive`` maps batch-local position -> original batch index (the
+        # slab row); components are compacted whenever rows finish early.
+        # ``recorded_through`` is the shared count of fully recorded samples
+        # (rows advance in lockstep, so one scalar serves every alive row);
+        # a row's own n_recorded is stamped only when it leaves the batch.
+        alive = np.arange(n_rows)
+        recorded_through = 0
+        any_observers = any(row.observers for row in rows)
+
+        def compact(keep_mask: np.ndarray, arrays: Sequence[np.ndarray] = ()):
+            nonlocal alive
+            keep = np.flatnonzero(keep_mask)
+            plant.take(keep)
+            controller.take(keep)
+            sensor_channel.take(keep)
+            actuator_channel.take(keep)
+            disturbances.take(keep)
+            safety.take(keep)
+            alive = alive[keep]
+            return [array[keep] for array in arrays]
+
+        for sample_index in range(total_samples):
+            if alive.size == 0:
+                break
+            batch_ended = False
+            for _ in range(steps_per_sample):
+                time = plant.time_hours
+                true_xmeas = plant.measure(noisy=config.enable_noise)
+                received_xmeas = sensor_channel.transmit(true_xmeas, time)
+                commanded_xmv = controller.update(received_xmeas, dt)
+                applied_xmv = actuator_channel.transmit(commanded_xmv, time)
+                idv = disturbances.at(time)
+                plant.step_batch(applied_xmv, dt, idv)
+
+                tripped, reasons = safety.check(
+                    plant.time_hours, plant.safety_quantities()
+                )
+                if tripped.any():
+                    trip_time = plant.time_hours
+                    tripped_locals = np.flatnonzero(tripped)
+                    if recorded_through == 0:
+                        # The plant tripped before its first sample could be
+                        # stored; mirror the serial fallback of recording the
+                        # (noiseless) state at t = 0 with nominal commands.
+                        xmeas = plant.measure(noisy=False)
+                        xmv = plant.manipulated_variables.nominal_values()
+                        for local in tripped_locals:
+                            rows[alive[local]].fallback_sample = np.concatenate(
+                                [xmeas[local], xmv]
+                            )
+                    for local in tripped_locals:
+                        row = rows[alive[local]]
+                        row.n_recorded = recorded_through
+                        row.shutdown_time_hours = trip_time
+                        row.shutdown_reason = reasons[local]
+                    (
+                        true_xmeas,
+                        received_xmeas,
+                        commanded_xmv,
+                        applied_xmv,
+                    ) = compact(
+                        ~tripped,
+                        (true_xmeas, received_xmeas, commanded_xmv, applied_xmv),
+                    )
+                    if alive.size == 0:
+                        batch_ended = True
+                        break
+            if batch_ended:
+                break
+
+            sample_time = plant.time_hours
+            controller_values = np.concatenate(
+                [received_xmeas, commanded_xmv], axis=1
+            )
+            process_values = np.concatenate([true_xmeas, applied_xmv], axis=1)
+            controller_slab[alive, sample_index] = controller_values
+            process_slab[alive, sample_index] = process_values
+            times[sample_index] = sample_time
+            recorded_through = sample_index + 1
+
+            if any_observers:
+                stopping = np.zeros(alive.size, dtype=bool)
+                for local in range(alive.size):
+                    row = rows[alive[local]]
+                    if not row.observers:
+                        continue
+                    sample = StepSample(
+                        index=sample_index,
+                        time_hours=float(sample_time),
+                        controller_values=controller_values[local],
+                        process_values=process_values[local],
+                    )
+                    stop_requested = False
+                    for observer in row.observers:
+                        if observer.on_sample(sample):
+                            stop_requested = True
+                            if row.early_stop_reason is None:
+                                row.early_stop_reason = observer.stop_reason
+                    if stop_requested:
+                        row.n_recorded = recorded_through
+                        row.early_stop_time_hours = float(sample_time)
+                        stopping[local] = True
+                if stopping.any():
+                    compact(~stopping)
+                    if alive.size == 0:
+                        break
+
+        for local in range(alive.size):
+            rows[alive[local]].n_recorded = recorded_through
+        for row in rows:
+            for observer in row.observers:
+                observer.on_run_end(row.shutdown_time_hours, row.shutdown_reason)
+
+        return [
+            self._finalize(row, names, controller_slab, process_slab, times)
+            for row in rows
+        ]
+
+    # ------------------------------------------------------------------
+    def _finalize(
+        self,
+        row: _Row,
+        names: Sequence[str],
+        controller_slab: np.ndarray,
+        process_slab: np.ndarray,
+        times: np.ndarray,
+    ) -> SimulationResult:
+        """Assemble one row's :class:`SimulationResult` (serial-identical)."""
+        run_metadata = dict(row.metadata)
+        run_metadata.update(
+            {
+                "shutdown_time_hours": row.shutdown_time_hours,
+                "shutdown_reason": row.shutdown_reason,
+                "seed": row.spec.simulation.seed,
+            }
+        )
+        if row.early_stop_time_hours is not None:
+            run_metadata.update(
+                {
+                    "stopped_early": True,
+                    "early_stop_time_hours": row.early_stop_time_hours,
+                    "early_stop_reason": row.early_stop_reason,
+                }
+            )
+
+        if row.n_recorded == 0:
+            controller_values = row.fallback_sample[None, :].copy()
+            process_values = row.fallback_sample[None, :].copy()
+            row_times = np.array([0.0])
+        else:
+            controller_values = controller_slab[row.batch_index, : row.n_recorded].copy()
+            process_values = process_slab[row.batch_index, : row.n_recorded].copy()
+            row_times = times[: row.n_recorded].copy()
+
+        def dataset(values: np.ndarray, view: str) -> ProcessDataset:
+            metadata = dict(row.metadata, view=view)
+            metadata.update(run_metadata)
+            return ProcessDataset(values, names, row_times, metadata)
+
+        return SimulationResult(
+            controller_data=dataset(controller_values, "controller"),
+            process_data=dataset(process_values, "process"),
+            shutdown_time_hours=row.shutdown_time_hours,
+            shutdown_reason=row.shutdown_reason,
+            config=row.spec.simulation,
+            metadata=run_metadata,
+        )
+
+
+def run_specs_batched(
+    specs: Sequence,
+    batch_size: Optional[int] = None,
+    live_analyzer=None,
+) -> List[SimulationResult]:
+    """Execute campaign specs through the batched backend, in spec order."""
+    simulator = BatchSimulator(batch_size=batch_size, live_analyzer=live_analyzer)
+    return simulator.run_specs(specs)

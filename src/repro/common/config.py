@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, fields, replace
-from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+from typing import Any, Callable, ClassVar, Dict, Mapping, Optional, Tuple
 
 from repro.common.exceptions import ConfigurationError
 
@@ -315,13 +315,22 @@ class ParallelConfig:
         Number of worker processes used to fan runs out.  ``None`` uses
         ``os.cpu_count()``.  A value of 1 forces serial execution.
     backend:
-        ``"process"`` executes runs on a :class:`concurrent.futures.\
-ProcessPoolExecutor`; ``"serial"`` executes them in-process, in order.
-        Both backends derive per-run seeds before dispatch, so they produce
-        bitwise-identical results.  On platforms whose multiprocessing start
-        method is ``spawn`` (Windows, macOS), scripts that trigger campaigns
-        at import time need the usual ``if __name__ == "__main__":`` guard —
-        or ``backend="serial"``.
+        ``"process"`` executes runs one-per-task on a
+        :class:`concurrent.futures.ProcessPoolExecutor`; ``"serial"``
+        executes them in-process, in order; ``"batch"`` executes them
+        through the vectorized lockstep simulator (:mod:`repro.batch`),
+        stepping up to ``batch_size`` runs at once per worker — and still
+        fans batches out over the process pool when ``n_workers`` allows,
+        so the two speedups multiply.  All backends derive per-run seeds
+        before dispatch and produce bitwise-identical results.  On
+        platforms whose multiprocessing start method is ``spawn`` (Windows,
+        macOS), scripts that trigger campaigns at import time need the
+        usual ``if __name__ == "__main__":`` guard — or ``n_workers=1``.
+    batch_size:
+        Runs stepped together per vectorized batch of the ``"batch"``
+        backend (ignored by the other backends).  ``None`` uses the
+        backend's default.  Larger batches amortize more interpreter
+        overhead but hold more in-flight trajectory memory.
     cache_dir:
         Directory of the on-disk result cache.  ``None`` disables caching.
         Cache entries are keyed by (scenario, simulation config, seed,
@@ -343,6 +352,9 @@ ProcessPoolExecutor`; ``"serial"`` executes them in-process, in order.
         chunk is reduced.
     """
 
+    #: Default rows per vectorized batch of the ``"batch"`` backend.
+    DEFAULT_BATCH_SIZE: ClassVar[int] = 16
+
     n_workers: Optional[int] = None
     backend: str = "process"
     cache_dir: Optional[str] = None
@@ -350,12 +362,17 @@ ProcessPoolExecutor`; ``"serial"`` executes them in-process, in order.
     cache_max_bytes: Optional[int] = None
     cache_max_age: Optional[float] = None
     chunk_size: Optional[int] = None
+    batch_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.n_workers is not None and self.n_workers < 1:
             raise ConfigurationError("n_workers must be >= 1 or None")
-        if self.backend not in ("process", "serial"):
-            raise ConfigurationError("backend must be 'process' or 'serial'")
+        if self.backend not in ("process", "serial", "batch"):
+            raise ConfigurationError(
+                "backend must be 'process', 'serial' or 'batch'"
+            )
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1 or None")
         if self.cache_max_bytes is not None and self.cache_max_bytes < 0:
             raise ConfigurationError("cache_max_bytes must be >= 0 or None")
         if self.cache_max_age is not None and self.cache_max_age < 0:
@@ -381,10 +398,41 @@ ProcessPoolExecutor`; ``"serial"`` executes them in-process, in order.
         return self.cache_max_bytes is not None or self.cache_max_age is not None
 
     @property
+    def resolved_batch_size(self) -> int:
+        """The effective rows-per-batch of the ``"batch"`` backend."""
+        if self.batch_size is not None:
+            return int(self.batch_size)
+        return self.DEFAULT_BATCH_SIZE
+
+    @property
     def resolved_chunk_size(self) -> int:
-        """The effective streaming chunk size (``chunk_size`` or 2x workers)."""
+        """The effective streaming chunk size (``chunk_size`` or 2x workers).
+
+        This governs the *analysis* stage's shards — and therefore its
+        O(chunk) peak memory — so it stays small regardless of backend; the
+        simulation fan-out uses :attr:`resolved_simulation_chunk_size`,
+        which grows with the batch size on the ``"batch"`` backend.
+        """
         if self.chunk_size is not None:
             return int(self.chunk_size)
+        return 2 * self.resolved_workers
+
+    @property
+    def resolved_simulation_chunk_size(self) -> int:
+        """Specs per chunk of the simulation engine's fan-out.
+
+        Same as :attr:`resolved_chunk_size`, except that on the ``"batch"``
+        backend an auto-sized chunk is floored to one full vectorized batch
+        per worker — otherwise the streaming granularity would cap the
+        lockstep batch at two rows and erase the backend's speedup.
+        """
+        if self.chunk_size is not None:
+            return int(self.chunk_size)
+        if self.backend == "batch":
+            return max(
+                2 * self.resolved_workers,
+                self.resolved_batch_size * self.resolved_workers,
+            )
         return 2 * self.resolved_workers
 
     def with_workers(self, n_workers: Optional[int]) -> "ParallelConfig":
@@ -413,6 +461,7 @@ ProcessPoolExecutor`; ``"serial"`` executes them in-process, in order.
                 "cache_max_bytes": _opt(_as_int),
                 "cache_max_age": _opt(float),
                 "chunk_size": _opt(_as_int),
+                "batch_size": _opt(_as_int),
             },
             "parallel",
         )

@@ -165,8 +165,8 @@ class AnalysisStats:
         """Fold another stream's stats into this one (multi-scenario sweeps)."""
         self.n_runs += other.n_runs
         self.n_workers = max(self.n_workers, other.n_workers)
-        if other.backend == "process":
-            self.backend = "process"
+        if other.backend in ("process", "batch"):
+            self.backend = other.backend
         self.wall_seconds += other.wall_seconds
         return self
 
@@ -296,8 +296,12 @@ class AnalysisEngine:
         stats: AnalysisStats,
     ) -> List[ScoredRun]:
         n_workers = min(self.config.resolved_workers, len(chunk))
+        # The batch backend vectorizes *simulation*; scoring still fans out
+        # over the process pool whenever workers allow.
         use_pool = (
-            self.config.backend == "process" and n_workers > 1 and len(chunk) > 1
+            self.config.backend in ("process", "batch")
+            and n_workers > 1
+            and len(chunk) > 1
         )
         if not use_pool:
             return [
@@ -711,8 +715,8 @@ class AnalysisPipeline:
                     stats.n_simulated += engine_stats.n_simulated
                     stats.n_cache_hits += engine_stats.n_cache_hits
                     stats.n_workers = max(stats.n_workers, engine_stats.n_workers)
-                    if engine_stats.backend == "process":
-                        stats.backend = "process"
+                    if engine_stats.backend in ("process", "batch"):
+                        stats.backend = engine_stats.backend
                 stats.wall_seconds += time.perf_counter() - chunk_started
                 try:
                     verdicts = list(

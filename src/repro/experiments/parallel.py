@@ -216,6 +216,30 @@ def _execute_spec(spec: RunSpec) -> SimulationResult:
     )
 
 
+def _execute_specs_batch(
+    specs: Sequence[RunSpec], batch_size: Optional[int]
+) -> List[SimulationResult]:
+    """Execute a group of specs through the vectorized lockstep backend.
+
+    Top-level so worker pools can pickle it; each pool task steps one whole
+    batch of runs in a single vectorized loop, which is what makes the
+    batch backend's speedup multiplicative with the process fan-out.
+    """
+    from repro.batch import run_specs_batched
+
+    live_analyzer = None
+    if any(spec.early_stop is not None for spec in specs):
+        live_analyzer = _LIVE_ANALYZER
+        if live_analyzer is None:
+            raise ConfigurationError(
+                "the spec requests live early stopping but no fitted analyzer "
+                "is installed; call CampaignEngine.set_live_analyzer first"
+            )
+    return run_specs_batched(
+        specs, batch_size=batch_size, live_analyzer=live_analyzer
+    )
+
+
 # ----------------------------------------------------------------------
 # On-disk result cache
 # ----------------------------------------------------------------------
@@ -409,8 +433,8 @@ class CampaignStats:
         self.n_cache_hits += other.n_cache_hits
         self.n_simulated += other.n_simulated
         self.n_workers = max(self.n_workers, other.n_workers)
-        if other.backend == "process":
-            self.backend = "process"
+        if other.backend in ("process", "batch"):
+            self.backend = other.backend
         self.wall_seconds += other.wall_seconds
         return self
 
@@ -488,7 +512,7 @@ class CampaignEngine:
         size = (
             int(chunk_size)
             if chunk_size is not None
-            else self.config.resolved_chunk_size
+            else self.config.resolved_simulation_chunk_size
         )
         if size < 1:
             raise ConfigurationError("chunk_size must be >= 1")
@@ -511,13 +535,33 @@ class CampaignEngine:
                 stats.n_runs += len(chunk)
                 stats.n_cache_hits += len(chunk) - len(pending)
 
+                def book(index: int, result: SimulationResult) -> None:
+                    """Record one simulated result (and cache it)."""
+                    results[index] = result
+                    if self.cache is not None:
+                        self.cache.store(chunk[index], result)
+
                 n_workers = self.config.resolved_workers
+                batching = self.config.backend == "batch"
                 use_pool = (
-                    self.config.backend == "process"
+                    self.config.backend in ("process", "batch")
                     and n_workers > 1
                     and len(pending) > 1
                 )
-                if use_pool:
+                if batching and not use_pool:
+                    # In-process vectorized execution: one lockstep loop
+                    # steps the whole pending chunk.  Install the analyzer
+                    # unconditionally (including None), as the serial path
+                    # does, so no stale calibration can linger.
+                    _install_live_analyzer(self._live_analyzer)
+                    batch_results = _execute_specs_batch(
+                        [chunk[index] for index in pending],
+                        self.config.batch_size,
+                    )
+                    for index, result in zip(pending, batch_results):
+                        book(index, result)
+                    stats.backend = "batch"
+                elif use_pool:
                     if pool is None:
                         # A chunk can never hold more than ``size`` pending
                         # runs, so a larger pool would only idle.
@@ -530,19 +574,42 @@ class CampaignEngine:
                             initializer=initializer,
                             initargs=initargs,
                         )
-                    futures = {
-                        pool.submit(_execute_spec, chunk[index]): index
-                        for index in pending
-                    }
-                    for future in as_completed(futures):
-                        index = futures[future]
-                        results[index] = future.result()
-                        if self.cache is not None:
-                            self.cache.store(chunk[index], results[index])
-                    stats.backend = "process"
-                    stats.n_workers = max(
-                        stats.n_workers, min(n_workers, len(pending))
-                    )
+                    if batching:
+                        # Fan whole batches out: every task advances up to
+                        # ``batch_size`` runs in one vectorized loop, so the
+                        # batch speedup multiplies with the process fan-out.
+                        group_size = self.config.resolved_batch_size
+                        futures = {}
+                        for start in range(0, len(pending), group_size):
+                            group = pending[start : start + group_size]
+                            future = pool.submit(
+                                _execute_specs_batch,
+                                [chunk[index] for index in group],
+                                self.config.batch_size,
+                            )
+                            futures[future] = group
+                        for future in as_completed(futures):
+                            group = futures[future]
+                            for index, result in zip(group, future.result()):
+                                book(index, result)
+                        stats.backend = "batch"
+                        # Batching submits one task per batch, so that —
+                        # not the pending-run count — bounds the workers
+                        # actually busy.
+                        stats.n_workers = max(
+                            stats.n_workers, min(n_workers, len(futures))
+                        )
+                    else:
+                        futures = {
+                            pool.submit(_execute_spec, chunk[index]): index
+                            for index in pending
+                        }
+                        for future in as_completed(futures):
+                            book(futures[future], future.result())
+                        stats.backend = "process"
+                        stats.n_workers = max(
+                            stats.n_workers, min(n_workers, len(pending))
+                        )
                 else:
                     # Install unconditionally — including None: a previous
                     # campaign's analyzer must not linger in the module
@@ -551,9 +618,7 @@ class CampaignEngine:
                     # instead of raising.
                     _install_live_analyzer(self._live_analyzer)
                     for index in pending:
-                        results[index] = _execute_spec(chunk[index])
-                        if self.cache is not None:
-                            self.cache.store(chunk[index], results[index])
+                        book(index, _execute_spec(chunk[index]))
                 stats.n_simulated += len(pending)
                 stats.wall_seconds += time.perf_counter() - chunk_started
                 yield from results  # type: ignore[misc]

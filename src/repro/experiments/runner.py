@@ -32,10 +32,54 @@ __all__ = [
     "make_controller",
     "build_channels",
     "build_disturbance_schedule",
+    "build_live_observers",
+    "scenario_run_metadata",
     "run_scenario",
     "run_calibration_campaign",
     "CalibrationData",
 ]
+
+
+def scenario_run_metadata(scenario: Scenario, anomaly_start_hour: float) -> dict:
+    """The run-level metadata both simulation backends attach to results."""
+    return {
+        "scenario": scenario.name,
+        "scenario_title": scenario.title,
+        "scenario_kind": scenario.kind.value,
+        "anomaly_start_hour": anomaly_start_hour if scenario.is_anomalous else None,
+        "ground_truth": scenario.expected_ground_truth,
+    }
+
+
+def build_live_observers(
+    scenario: Scenario,
+    anomaly_start_hour: float,
+    early_stop,
+    live_analyzer,
+) -> list:
+    """The early-stop observer stack of one run (shared by both backends).
+
+    Returns an empty list when no :class:`~repro.common.config.\
+EarlyStopPolicy` is requested; otherwise a single
+    :class:`~repro.live.observer.LiveRunObserver` scoring the run against
+    the fitted ``live_analyzer``.
+    """
+    if early_stop is None:
+        return []
+    if live_analyzer is None:
+        raise ConfigurationError(
+            "early_stop needs a fitted live_analyzer to score the run"
+        )
+    # Imported lazily: repro.live sits on top of the experiments layer.
+    from repro.live.monitor import LiveMonitor
+    from repro.live.observer import LiveRunObserver
+
+    live_monitor = LiveMonitor(
+        live_analyzer,
+        anomaly_start_hour=(anomaly_start_hour if scenario.is_anomalous else None),
+        policy=early_stop,
+    )
+    return [LiveRunObserver(live_monitor)]
 
 
 def make_plant(seed: int = 0, enable_process_variation: bool = True) -> TEPlant:
@@ -128,31 +172,10 @@ def run_scenario(
         disturbances=disturbances,
         safety_monitor=safety,
     )
-    metadata = {
-        "scenario": scenario.name,
-        "scenario_title": scenario.title,
-        "scenario_kind": scenario.kind.value,
-        "anomaly_start_hour": anomaly_start_hour if scenario.is_anomalous else None,
-        "ground_truth": scenario.expected_ground_truth,
-    }
-    observers = list(observers)
-    if early_stop is not None:
-        if live_analyzer is None:
-            raise ConfigurationError(
-                "early_stop needs a fitted live_analyzer to score the run"
-            )
-        # Imported lazily: repro.live sits on top of the experiments layer.
-        from repro.live.monitor import LiveMonitor
-        from repro.live.observer import LiveRunObserver
-
-        live_monitor = LiveMonitor(
-            live_analyzer,
-            anomaly_start_hour=(
-                anomaly_start_hour if scenario.is_anomalous else None
-            ),
-            policy=early_stop,
-        )
-        observers.append(LiveRunObserver(live_monitor))
+    metadata = scenario_run_metadata(scenario, anomaly_start_hour)
+    observers = list(observers) + build_live_observers(
+        scenario, anomaly_start_hour, early_stop, live_analyzer
+    )
     return simulator.run(simulation, metadata, observers=observers)
 
 

@@ -9,14 +9,14 @@ unchanged.  The channel never mutates the sender's array.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.common.exceptions import ConfigurationError
 from repro.network.attacks import Attack, AttackSchedule
 
-__all__ = ["Channel"]
+__all__ = ["Channel", "BatchChannel"]
 
 
 class Channel:
@@ -96,4 +96,59 @@ class Channel:
             if attack.is_active(time_hours):
                 delivered[index] = attack.tamper(float(values[index]), time_hours)
         self._transmissions += 1
+        return delivered
+
+
+class BatchChannel:
+    """Row-wise view over the per-run channels of a lockstep batch.
+
+    Each run keeps its own :class:`Channel` (and therefore its own stateful
+    attack instances — DoS freezes, replay recordings), so the batched
+    backend applies exactly the serial tampering semantics per row.  Rows
+    whose channel carries no attack take a vectorized pass-through: the
+    delivered matrix starts as one copy of the transmitted matrix and only
+    compromised rows are rewritten through their channel.
+
+    Parameters
+    ----------
+    channels:
+        One (possibly compromised) :class:`Channel` per batch row, all
+        carrying the same number of entries.
+    """
+
+    def __init__(self, channels: Sequence[Channel]):
+        self._channels = list(channels)
+        if self._channels:
+            widths = {channel.n_entries for channel in self._channels}
+            if len(widths) != 1:
+                raise ConfigurationError(
+                    "all channels of a batch must carry the same entry count"
+                )
+        self._refresh_compromised()
+
+    def _refresh_compromised(self) -> None:
+        self._compromised_rows = [
+            row for row, channel in enumerate(self._channels) if channel.compromised
+        ]
+
+    @property
+    def n_rows(self) -> int:
+        """Number of runs in the batch."""
+        return len(self._channels)
+
+    def reset(self) -> None:
+        """Reset per-run state of every row's channel."""
+        for channel in self._channels:
+            channel.reset()
+
+    def take(self, indices: np.ndarray) -> None:
+        """Keep only the given rows (compaction after trips / early stops)."""
+        self._channels = [self._channels[int(i)] for i in np.asarray(indices)]
+        self._refresh_compromised()
+
+    def transmit(self, values: np.ndarray, time_hours: float) -> np.ndarray:
+        """Deliver a ``(B, n_entries)`` matrix, tampering compromised rows."""
+        delivered = values.copy()
+        for row in self._compromised_rows:
+            delivered[row] = self._channels[row].transmit(values[row], time_hours)
         return delivered

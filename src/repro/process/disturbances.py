@@ -10,11 +10,13 @@ to the attacks implemented in :mod:`repro.network.attacks`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.common.exceptions import ConfigurationError
 
-__all__ = ["DisturbanceSpec", "DisturbanceSchedule"]
+__all__ = ["DisturbanceSpec", "DisturbanceSchedule", "BatchIdv", "BatchDisturbanceView"]
 
 
 @dataclass(frozen=True)
@@ -143,3 +145,105 @@ class DisturbanceSchedule:
     ) -> "DisturbanceSchedule":
         """A schedule with exactly one activation (the common case)."""
         return cls(n_disturbances).add(index, start_hour, end_hour, magnitude)
+
+
+class BatchIdv:
+    """The IDV activations of ``B`` lockstep runs at one instant.
+
+    A thin wrapper over a ``(B, n_disturbances + 1)`` magnitude matrix
+    (column 0 unused; IDV indices are 1-based) mirroring the semantics of
+    the per-run ``{index: magnitude}`` dictionaries: an index is *active*
+    exactly when its magnitude is non-zero, matching the truthiness tests
+    the serial plant applies to ``active_at`` dictionaries.
+    """
+
+    def __init__(self, magnitudes: np.ndarray):
+        self._magnitudes = magnitudes
+
+    @property
+    def n_rows(self) -> int:
+        """Number of runs in the batch."""
+        return self._magnitudes.shape[0]
+
+    def value(self, index: int) -> np.ndarray:
+        """Per-row magnitude of IDV(``index``), ``(B,)`` (0 when inactive)."""
+        return self._magnitudes[:, index]
+
+    def active(self, index: int) -> np.ndarray:
+        """Per-row activity of IDV(``index``), ``(B,)`` booleans."""
+        return self._magnitudes[:, index] != 0.0
+
+    @classmethod
+    def none(cls, n_rows: int, n_disturbances: int = 20) -> "BatchIdv":
+        """No disturbance active on any row."""
+        return cls(np.zeros((n_rows, n_disturbances + 1)))
+
+
+class BatchDisturbanceView:
+    """Evaluates ``B`` per-run schedules at one lockstep time, vectorized.
+
+    All activation windows of all rows are flattened into parallel arrays
+    once at construction, so :meth:`at` is a handful of array comparisons
+    per step regardless of the batch size — the batched counterpart of
+    calling :meth:`DisturbanceSchedule.active_at` per run.
+    """
+
+    def __init__(self, schedules: Sequence[DisturbanceSchedule]):
+        self._n_rows = len(schedules)
+        self._n = max((s.n_disturbances for s in schedules), default=20)
+        rows: List[int] = []
+        indices: List[int] = []
+        starts: List[float] = []
+        ends: List[float] = []
+        magnitudes: List[float] = []
+        for row, schedule in enumerate(schedules):
+            for entry in schedule.entries:
+                rows.append(row)
+                indices.append(entry.index)
+                starts.append(entry.start_hour)
+                ends.append(np.inf if entry.end_hour is None else entry.end_hour)
+                magnitudes.append(entry.magnitude)
+        self._rows = np.array(rows, dtype=np.intp)
+        self._indices = np.array(indices, dtype=np.intp)
+        self._starts = np.array(starts)
+        self._ends = np.array(ends)
+        self._magnitudes = np.array(magnitudes)
+
+    @property
+    def n_rows(self) -> int:
+        """Number of runs in the batch."""
+        return self._n_rows
+
+    def is_empty(self) -> bool:
+        """Whether no row schedules any disturbance."""
+        return self._rows.size == 0
+
+    def at(self, time_hours: float) -> BatchIdv:
+        """The batch's IDV magnitudes at ``time_hours``.
+
+        Duplicate activations of one index on one row combine through
+        ``max``, exactly like :meth:`DisturbanceSchedule.active_at`.
+        """
+        magnitudes = np.zeros((self._n_rows, self._n + 1))
+        if self._rows.size:
+            active = (time_hours >= self._starts) & (time_hours < self._ends)
+            if active.any():
+                np.maximum.at(
+                    magnitudes,
+                    (self._rows[active], self._indices[active]),
+                    self._magnitudes[active],
+                )
+        return BatchIdv(magnitudes)
+
+    def take(self, indices: np.ndarray) -> None:
+        """Keep only the given rows (compaction after trips / early stops)."""
+        indices = np.asarray(indices)
+        remap = np.full(self._n_rows, -1, dtype=np.intp)
+        remap[indices] = np.arange(indices.size)
+        keep = remap[self._rows] >= 0
+        self._rows = remap[self._rows[keep]]
+        self._indices = self._indices[keep]
+        self._starts = self._starts[keep]
+        self._ends = self._ends[keep]
+        self._magnitudes = self._magnitudes[keep]
+        self._n_rows = int(indices.size)

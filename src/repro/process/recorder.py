@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -11,9 +11,19 @@ from repro.datasets.dataset import ProcessDataset
 
 __all__ = ["SimulationRecorder"]
 
+#: Rows of the initial buffer allocation; grows by doubling from here.
+_INITIAL_CAPACITY = 256
+
 
 class SimulationRecorder:
     """Accumulates per-sample vectors and converts them to a dataset.
+
+    Samples land in a preallocated ``(capacity, n_cols)`` buffer that grows
+    by doubling, so recording a run performs O(log n) allocations instead of
+    one small-array allocation per sample.  :meth:`record` copies the
+    incoming vector into the buffer — callers may therefore hand the
+    recorder live views of their working arrays (the simulator relies on
+    this: it records channel outputs without defensive copies).
 
     Parameters
     ----------
@@ -21,49 +31,68 @@ class SimulationRecorder:
         Column names of the recorded vectors.
     metadata:
         Metadata attached to the produced :class:`ProcessDataset`.
+    capacity:
+        Initial buffer capacity in samples (grown automatically).  Passing
+        the known run length up front makes recording allocation-free.
     """
 
     def __init__(
         self,
         variable_names: Sequence[str],
         metadata: Optional[Dict[str, object]] = None,
+        capacity: int = _INITIAL_CAPACITY,
     ):
         self._names = [str(name) for name in variable_names]
-        self._rows: List[np.ndarray] = []
-        self._times: List[float] = []
+        self._n = 0
+        self._values = np.empty((max(int(capacity), 1), len(self._names)))
+        self._times = np.empty(self._values.shape[0])
         self._metadata = dict(metadata or {})
 
     @property
     def n_samples(self) -> int:
         """Number of samples recorded so far."""
-        return len(self._rows)
+        return self._n
 
     @property
     def variable_names(self) -> Sequence[str]:
         """Column names of the recorded vectors."""
         return tuple(self._names)
 
+    def _grow(self) -> None:
+        capacity = 2 * self._values.shape[0]
+        values = np.empty((capacity, self._values.shape[1]))
+        values[: self._n] = self._values[: self._n]
+        times = np.empty(capacity)
+        times[: self._n] = self._times[: self._n]
+        self._values = values
+        self._times = times
+
     def record(self, time_hours: float, values: np.ndarray) -> None:
-        """Append one sample."""
+        """Append one sample (the values are copied into the buffer)."""
         values = np.asarray(values, dtype=float).ravel()
         if values.shape[0] != len(self._names):
             raise DataShapeError(
                 f"expected {len(self._names)} values, got {values.shape[0]}"
             )
-        self._rows.append(values.copy())
-        self._times.append(float(time_hours))
+        if self._n == self._values.shape[0]:
+            self._grow()
+        self._values[self._n] = values
+        self._times[self._n] = float(time_hours)
+        self._n += 1
 
     def clear(self) -> None:
-        """Discard everything recorded so far."""
-        self._rows.clear()
-        self._times.clear()
+        """Discard everything recorded so far (the buffer is retained)."""
+        self._n = 0
 
     def to_dataset(self, **extra_metadata) -> ProcessDataset:
         """Build a :class:`ProcessDataset` from the recorded samples."""
-        if not self._rows:
+        if self._n == 0:
             raise DataShapeError("no samples have been recorded")
         metadata = dict(self._metadata)
         metadata.update(extra_metadata)
         return ProcessDataset(
-            np.vstack(self._rows), self._names, np.array(self._times), metadata
+            self._values[: self._n].copy(),
+            self._names,
+            self._times[: self._n].copy(),
+            metadata,
         )

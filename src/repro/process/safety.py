@@ -13,9 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
+import numpy as np
+
 from repro.common.exceptions import ConfigurationError, ProcessShutdown
 
-__all__ = ["SafetyLimit", "SafetyMonitor"]
+__all__ = ["SafetyLimit", "SafetyMonitor", "BatchSafetyMonitor"]
 
 
 @dataclass(frozen=True)
@@ -117,3 +119,84 @@ class SafetyMonitor:
                         raise ProcessShutdown(time_hours, reason)
             else:
                 self._violation_start.pop(key, None)
+
+
+class BatchSafetyMonitor:
+    """Row-wise safety interlocks for ``B`` lockstep runs.
+
+    Applies the same limits, grace periods and first-limit-wins trip
+    ordering as :class:`SafetyMonitor`, but over ``(B,)`` quantity arrays:
+    :meth:`check` returns the rows that tripped this step (with the reason
+    the serial monitor would have raised) instead of raising, so the batch
+    simulator can freeze those rows while the rest continue.
+
+    Parameters
+    ----------
+    limits:
+        The interlocks to enforce (same objects as the serial monitor).
+    n_rows:
+        Number of runs in the batch.
+    enabled:
+        When ``False`` violations are tracked but no row ever trips,
+        mirroring a disabled :class:`SafetyMonitor`.
+    """
+
+    def __init__(
+        self, limits: Iterable[SafetyLimit], n_rows: int, enabled: bool = True
+    ):
+        self._limits: List[SafetyLimit] = list(limits)
+        self._n_rows = int(n_rows)
+        # Keyed by quantity name — shared between limits on the same
+        # quantity — exactly like the serial monitor's start dictionary, so
+        # the two track grace windows identically even for limit sets with
+        # duplicate quantities.
+        self._violation_start: Dict[str, np.ndarray] = {}
+        self.enabled = bool(enabled)
+
+    def check(
+        self, time_hours: float, quantities: Dict[str, np.ndarray]
+    ) -> Tuple[np.ndarray, List[Optional[str]]]:
+        """Evaluate all limits against per-row ``(B,)`` quantity arrays.
+
+        Returns ``(tripped, reasons)``: a boolean row mask and, for each
+        tripped row, the description the serial monitor's
+        :class:`~repro.common.exceptions.ProcessShutdown` would carry.
+        Limits are evaluated in list order and the first limit to trip a
+        row supplies its reason, exactly like the serial raise.
+        """
+        tripped = np.zeros(self._n_rows, dtype=bool)
+        reasons: List[Optional[str]] = [None] * self._n_rows
+        for limit in self._limits:
+            if limit.quantity not in quantities:
+                continue
+            values = quantities[limit.quantity]
+            violated = np.zeros(self._n_rows, dtype=bool)
+            if limit.low is not None:
+                violated |= values < limit.low
+            if limit.high is not None:
+                violated |= values > limit.high
+            if limit.quantity not in self._violation_start:
+                self._violation_start[limit.quantity] = np.full(
+                    self._n_rows, np.nan
+                )
+            start = self._violation_start[limit.quantity]
+            start[violated & np.isnan(start)] = time_hours
+            if self.enabled:
+                trips_now = violated & (time_hours - start >= limit.grace_hours)
+                for row in np.flatnonzero(trips_now & ~tripped):
+                    reasons[row] = (
+                        limit.description
+                        or f"{limit.quantity} = {float(values[row]):.4g} "
+                        f"outside [{limit.low}, {limit.high}]"
+                    )
+                tripped |= trips_now
+            start[~violated] = np.nan
+        return tripped, reasons
+
+    def take(self, indices: np.ndarray) -> None:
+        """Keep only the given rows (compaction after trips / early stops)."""
+        self._violation_start = {
+            quantity: start[indices]
+            for quantity, start in self._violation_start.items()
+        }
+        self._n_rows = int(np.asarray(indices).size)

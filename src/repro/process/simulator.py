@@ -168,8 +168,12 @@ class ClosedLoopSimulator:
 
         names = self._column_names()
         run_metadata = dict(metadata or {})
-        controller_recorder = SimulationRecorder(names, dict(run_metadata, view="controller"))
-        process_recorder = SimulationRecorder(names, dict(run_metadata, view="process"))
+        controller_recorder = SimulationRecorder(
+            names, dict(run_metadata, view="controller"), capacity=config.total_samples
+        )
+        process_recorder = SimulationRecorder(
+            names, dict(run_metadata, view="process"), capacity=config.total_samples
+        )
 
         dt = config.integration_step_hours
         shutdown_time: Optional[float] = None
@@ -186,17 +190,23 @@ class ClosedLoopSimulator:
                     time = self.plant.time_hours
                     true_xmeas = self.plant.measure(noisy=config.enable_noise)
 
+                    # No defensive copies on the None-channel paths: the
+                    # plant and controller return fresh arrays each call,
+                    # nothing downstream mutates them in place, and the
+                    # recorders copy on record — so passing the views
+                    # through keeps the data bitwise-identical while
+                    # avoiding two small allocations per integration step.
                     if self.sensor_channel is not None:
                         received_xmeas = self.sensor_channel.transmit(true_xmeas, time)
                     else:
-                        received_xmeas = np.array(true_xmeas, copy=True)
+                        received_xmeas = true_xmeas
 
                     commanded_xmv = self.controller.update(received_xmeas, dt)
 
                     if self.actuator_channel is not None:
                         applied_xmv = self.actuator_channel.transmit(commanded_xmv, time)
                     else:
-                        applied_xmv = np.array(commanded_xmv, copy=True)
+                        applied_xmv = commanded_xmv
 
                     active = self.disturbances.active_at(time)
                     self.plant.step(applied_xmv, dt, active)

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.te.constants import COMPONENTS, INTERNAL
 
-__all__ = ["ReactionRates", "ReactionKinetics"]
+__all__ = ["ReactionRates", "BatchReactionRates", "ReactionKinetics"]
 
 _INDEX = {component: i for i, component in enumerate(COMPONENTS)}
 
@@ -64,6 +64,40 @@ class ReactionRates:
         rates[_INDEX["F"]] += self.r3 + 2.0 * self.r4
         rates[_INDEX["G"]] += self.r1
         rates[_INDEX["H"]] += self.r2
+        return rates
+
+
+@dataclass(frozen=True)
+class BatchReactionRates:
+    """Extents of the four reactions for ``B`` reactors, each ``(B,)``."""
+
+    r1: np.ndarray
+    r2: np.ndarray
+    r3: np.ndarray
+    r4: np.ndarray
+
+    @property
+    def heat_release(self) -> np.ndarray:
+        """Row-wise normalized heat release (mirrors :class:`ReactionRates`)."""
+        nominal = (
+            float(INTERNAL["r1_nominal"])
+            + float(INTERNAL["r2_nominal"])
+            + 0.5 * float(INTERNAL["r3_nominal"])
+            + 0.5 * float(INTERNAL["r4_nominal"])
+        )
+        value = self.r1 + self.r2 + 0.5 * self.r3 + 0.5 * self.r4
+        return value / nominal
+
+    def consumption(self) -> np.ndarray:
+        """Net molar production per component, ``(B, 8)`` (negative = consumed)."""
+        rates = np.zeros((self.r1.shape[0], len(COMPONENTS)))
+        rates[:, _INDEX["A"]] -= self.r1 + self.r2 + self.r3
+        rates[:, _INDEX["C"]] -= self.r1 + self.r2
+        rates[:, _INDEX["D"]] -= self.r1 + 3.0 * self.r4
+        rates[:, _INDEX["E"]] -= self.r2 + self.r3
+        rates[:, _INDEX["F"]] += self.r3 + 2.0 * self.r4
+        rates[:, _INDEX["G"]] += self.r1
+        rates[:, _INDEX["H"]] += self.r2
         return rates
 
 
@@ -122,3 +156,56 @@ class ReactionKinetics:
         r3 = float(INTERNAL["r3_nominal"]) * a * e * factor3 * drift
         r4 = float(INTERNAL["r4_nominal"]) * d * factor4 * drift
         return ReactionRates(r1=max(r1, 0.0), r2=max(r2, 0.0), r3=max(r3, 0.0), r4=max(r4, 0.0))
+
+    # ------------------------------------------------------------------
+    # Batched evaluation (one call advances B reactors)
+    # ------------------------------------------------------------------
+    def _availability_batch(
+        self, vapor: np.ndarray, liquid: np.ndarray, component: str
+    ) -> np.ndarray:
+        """Row-wise availability, ``(B,)`` — mirrors :meth:`_availability`."""
+        index = _INDEX[component]
+        if self._nominal_vapor[index] > 0:
+            return np.maximum(vapor[:, index] / self._nominal_vapor[index], 0.0)
+        if self._nominal_liquid[index] > 0:
+            return np.maximum(liquid[:, index] / self._nominal_liquid[index], 0.0)
+        return np.zeros(vapor.shape[0])
+
+    def rates_batch(
+        self,
+        reactor_vapor: np.ndarray,
+        reactor_liquid: np.ndarray,
+        reactor_temp: np.ndarray,
+        kinetics_drift: np.ndarray,
+    ) -> "BatchReactionRates":
+        """Reaction extents for ``B`` reactor states at once.
+
+        Inputs are ``(B, 8)`` inventories and ``(B,)`` temperatures/drifts;
+        every arithmetic step applies the same ufunc, in the same order, as
+        the scalar :meth:`rates` path, so row ``i`` of the result is
+        bitwise-identical to ``rates(vapor[i], liquid[i], temp[i], drift[i])``.
+        """
+        a = self._availability_batch(reactor_vapor, reactor_liquid, "A")
+        c = self._availability_batch(reactor_vapor, reactor_liquid, "C")
+        d = self._availability_batch(reactor_vapor, reactor_liquid, "D")
+        e = self._availability_batch(reactor_vapor, reactor_liquid, "E")
+
+        delta_t = reactor_temp - self._nominal_temp
+        drift = 1.0 + self.drift_gain * kinetics_drift
+
+        factor1 = np.exp(float(INTERNAL["r1_temp_gain"]) * delta_t)
+        factor2 = np.exp(float(INTERNAL["r2_temp_gain"]) * delta_t)
+        factor3 = np.exp(float(INTERNAL["r3_temp_gain"]) * delta_t)
+        factor4 = np.exp(float(INTERNAL["r4_temp_gain"]) * delta_t)
+
+        sqrt_c = np.sqrt(np.maximum(c, 0.0))
+        r1 = float(INTERNAL["r1_nominal"]) * a * sqrt_c * d * factor1 * drift
+        r2 = float(INTERNAL["r2_nominal"]) * a * sqrt_c * e * factor2 * drift
+        r3 = float(INTERNAL["r3_nominal"]) * a * e * factor3 * drift
+        r4 = float(INTERNAL["r4_nominal"]) * d * factor4 * drift
+        return BatchReactionRates(
+            r1=np.maximum(r1, 0.0),
+            r2=np.maximum(r2, 0.0),
+            r3=np.maximum(r3, 0.0),
+            r4=np.maximum(r4, 0.0),
+        )

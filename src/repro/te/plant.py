@@ -240,7 +240,10 @@ class TEPlant(PlantModel):
         separator_pressure = state.separator_pressure_kpa
         pressure_ratio = separator_pressure / self._sep_pressure_nominal
 
-        purge_total = self._purge_per_percent * effective[5] * pressure_ratio ** 2
+        # np.power, not ``**``: CPython's float pow (libm) disagrees with the
+        # ufunc's x*x fast path by 1 ulp on some inputs, and the batched
+        # backend evaluates this expression through the ufunc row-wise.
+        purge_total = self._purge_per_percent * effective[5] * np.power(pressure_ratio, 2)
         recycle_target = (
             self._recycle_nominal
             * pressure_ratio
@@ -458,9 +461,14 @@ class TEPlant(PlantModel):
             INTERNAL["condenser_cw_inlet_nominal"]
         )
         cooling_ratio = max(effective[10] / self._xmv_nominal[10], 0.05)
+        # np.power instead of ``**``: the ufunc loop is what the batched
+        # backend evaluates row-wise, and np.float64.__pow__ does not take
+        # that loop — routing both paths through the same ufunc is what keeps
+        # serial and batched runs bitwise-identical (same shape-stable
+        # discipline as the einsum PCA projections).
         separator_target = condenser_inlet + nominal_sep_driving * (
             effluent_total / self._effluent_nominal
-        ) / cooling_ratio ** 0.6
+        ) / np.power(cooling_ratio, 0.6)
         tau_s = float(INTERNAL["separator_temp_tau"])
         state.separator_temp += dt * (separator_target - state.separator_temp) / tau_s
 
@@ -480,7 +488,7 @@ class TEPlant(PlantModel):
         )
         reactor_cw_target = reactor_inlet + nominal_rise * (
             (state.reactor_temp - reactor_inlet) / nominal_driving
-        ) * (self._xmv_nominal[9] / max(effective[9], 5.0)) ** 0.8
+        ) * np.power(self._xmv_nominal[9] / max(effective[9], 5.0), 0.8)
         state.reactor_cw_outlet += dt * (reactor_cw_target - state.reactor_cw_outlet) / tau_cw
 
         nominal_cond_rise = float(INTERNAL["separator_cw_outlet_nominal"]) - float(
@@ -488,7 +496,7 @@ class TEPlant(PlantModel):
         )
         condenser_cw_target = condenser_inlet + nominal_cond_rise * (
             (state.separator_temp - condenser_inlet) / nominal_sep_driving
-        ) * (self._xmv_nominal[10] / max(effective[10], 5.0)) ** 0.8
+        ) * np.power(self._xmv_nominal[10] / max(effective[10], 5.0), 0.8)
         state.separator_cw_outlet += (
             dt * (condenser_cw_target - state.separator_cw_outlet) / tau_cw
         )

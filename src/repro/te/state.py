@@ -9,7 +9,7 @@ import numpy as np
 
 from repro.te.constants import COMPONENTS, INTERNAL
 
-__all__ = ["TEState"]
+__all__ = ["TEState", "BatchTEState"]
 
 _LIGHTS = ("A", "B", "C")
 _HEAVIES = ("D", "E", "F", "G", "H")
@@ -141,6 +141,141 @@ class TEState:
         nominal_moles = sum(INTERNAL["separator_vapor_nominal"].values())
         nominal_temp_k = float(INTERNAL["separator_temp_nominal"]) + 273.15
         moles = float(self.separator_vapor.sum())
+        temp_k = self.separator_temp + 273.15
+        nominal_pressure = float(INTERNAL["separator_pressure_nominal"])
+        return nominal_pressure * (moles / nominal_moles) * (temp_k / nominal_temp_k)
+
+    def clip_nonnegative(self) -> None:
+        """Clamp all molar inventories to be non-negative (numerical guard)."""
+        np.clip(self.reactor_vapor, 0.0, None, out=self.reactor_vapor)
+        np.clip(self.reactor_liquid, 0.0, None, out=self.reactor_liquid)
+        np.clip(self.separator_vapor, 0.0, None, out=self.separator_vapor)
+        np.clip(self.separator_liquid, 0.0, None, out=self.separator_liquid)
+        np.clip(self.stripper_liquid, 0.0, None, out=self.stripper_liquid)
+
+
+@dataclass
+class BatchTEState:
+    """Dynamic state of ``B`` independent plants, stored row-wise.
+
+    The molar inventories become ``(B, 8)`` arrays and every scalar state of
+    :class:`TEState` becomes a ``(B,)`` array; the simulation clock stays a
+    single scalar because batched runs advance in lockstep.  Each derived
+    quantity applies exactly the arithmetic of the corresponding
+    :class:`TEState` property as elementwise ufuncs, which is what anchors
+    the batched backend's bitwise equivalence to the serial simulator.
+    """
+
+    reactor_vapor: np.ndarray
+    reactor_liquid: np.ndarray
+    separator_vapor: np.ndarray
+    separator_liquid: np.ndarray
+    stripper_liquid: np.ndarray
+    reactor_temp: np.ndarray
+    separator_temp: np.ndarray
+    stripper_temp: np.ndarray
+    reactor_cw_outlet: np.ndarray
+    separator_cw_outlet: np.ndarray
+    recycle_flow: np.ndarray
+    feed1_pressure_factor: np.ndarray
+    feed4_composition_shift: np.ndarray
+    cw_inlet_shift: np.ndarray
+    kinetics_drift: np.ndarray
+    time_hours: float = 0.0
+
+    #: Names of the per-row array fields (everything except the clock).
+    ARRAY_FIELDS = (
+        "reactor_vapor",
+        "reactor_liquid",
+        "separator_vapor",
+        "separator_liquid",
+        "stripper_liquid",
+        "reactor_temp",
+        "separator_temp",
+        "stripper_temp",
+        "reactor_cw_outlet",
+        "separator_cw_outlet",
+        "recycle_flow",
+        "feed1_pressure_factor",
+        "feed4_composition_shift",
+        "cw_inlet_shift",
+        "kinetics_drift",
+    )
+
+    @classmethod
+    def nominal(cls, n_rows: int) -> "BatchTEState":
+        """``n_rows`` copies of the Downs & Vogel base case."""
+        single = TEState.nominal()
+
+        def tile_vec(vector: np.ndarray) -> np.ndarray:
+            return np.tile(np.asarray(vector, dtype=float), (n_rows, 1))
+
+        def fill(value: float) -> np.ndarray:
+            return np.full(n_rows, float(value))
+
+        return cls(
+            reactor_vapor=tile_vec(single.reactor_vapor),
+            reactor_liquid=tile_vec(single.reactor_liquid),
+            separator_vapor=tile_vec(single.separator_vapor),
+            separator_liquid=tile_vec(single.separator_liquid),
+            stripper_liquid=tile_vec(single.stripper_liquid),
+            reactor_temp=fill(single.reactor_temp),
+            separator_temp=fill(single.separator_temp),
+            stripper_temp=fill(single.stripper_temp),
+            reactor_cw_outlet=fill(single.reactor_cw_outlet),
+            separator_cw_outlet=fill(single.separator_cw_outlet),
+            recycle_flow=fill(single.recycle_flow),
+            feed1_pressure_factor=fill(single.feed1_pressure_factor),
+            feed4_composition_shift=fill(single.feed4_composition_shift),
+            cw_inlet_shift=fill(single.cw_inlet_shift),
+            kinetics_drift=fill(single.kinetics_drift),
+        )
+
+    @property
+    def n_rows(self) -> int:
+        """Number of plants in the batch."""
+        return self.reactor_vapor.shape[0]
+
+    def take(self, indices: np.ndarray) -> None:
+        """Keep only the given rows (compaction after trips / early stops)."""
+        for name in self.ARRAY_FIELDS:
+            setattr(self, name, getattr(self, name)[indices])
+
+    # -- derived quantities (row-wise mirrors of TEState) ---------------
+    @property
+    def reactor_level_percent(self) -> np.ndarray:
+        """Reactor liquid level, % of capacity, per row."""
+        capacity = float(INTERNAL["reactor_liquid_capacity"])
+        return 100.0 * self.reactor_liquid.sum(axis=1) / capacity
+
+    @property
+    def separator_level_percent(self) -> np.ndarray:
+        """Separator liquid level, % of capacity, per row."""
+        capacity = float(INTERNAL["separator_liquid_capacity"])
+        return 100.0 * self.separator_liquid.sum(axis=1) / capacity
+
+    @property
+    def stripper_level_percent(self) -> np.ndarray:
+        """Stripper liquid level, % of capacity, per row."""
+        capacity = float(INTERNAL["stripper_liquid_capacity"])
+        return 100.0 * self.stripper_liquid.sum(axis=1) / capacity
+
+    @property
+    def reactor_pressure_kpa(self) -> np.ndarray:
+        """Reactor pressure (kPa gauge) per row."""
+        nominal_moles = sum(INTERNAL["reactor_vapor_nominal"].values())
+        nominal_temp_k = float(INTERNAL["reactor_temp_nominal"]) + 273.15
+        moles = self.reactor_vapor.sum(axis=1)
+        temp_k = self.reactor_temp + 273.15
+        nominal_pressure = float(INTERNAL["reactor_pressure_nominal"])
+        return nominal_pressure * (moles / nominal_moles) * (temp_k / nominal_temp_k)
+
+    @property
+    def separator_pressure_kpa(self) -> np.ndarray:
+        """Separator pressure (kPa gauge) per row."""
+        nominal_moles = sum(INTERNAL["separator_vapor_nominal"].values())
+        nominal_temp_k = float(INTERNAL["separator_temp_nominal"]) + 273.15
+        moles = self.separator_vapor.sum(axis=1)
         temp_k = self.separator_temp + 273.15
         nominal_pressure = float(INTERNAL["separator_pressure_nominal"])
         return nominal_pressure * (moles / nominal_moles) * (temp_k / nominal_temp_k)

@@ -1,0 +1,189 @@
+"""Batch-vs-serial determinism: seeds, backends, batch sizes, caching.
+
+The batched backend must be a pure execution detail: per-run derived seeds,
+noise draws and injection windows are fixed by the
+:class:`~repro.experiments.parallel.RunSpec` before dispatch, so whichever
+backend or batch size executes a campaign, every run — and every cache key —
+comes out identical.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.batch import run_specs_batched
+from repro.common.config import ExperimentConfig, ParallelConfig, SimulationConfig
+from repro.experiments.parallel import (
+    CampaignEngine,
+    RunSpec,
+    calibration_specs,
+    scenario_specs,
+)
+from repro.experiments.registry import get_scenario
+from repro.experiments.runner import run_scenario
+
+SETTINGS = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: Tiny but complete: noise, ambient walks, attack windows all active.
+TINY = SimulationConfig(duration_hours=1.0, samples_per_hour=10, seed=0)
+
+
+def tiny_specs(n_runs=13):
+    """A mixed bag of scenarios/seeds small enough to run many times."""
+    names = ("normal", "idv6", "attack_xmv3", "attack_xmeas1", "dos_xmv3")
+    return [
+        RunSpec(
+            scenario=get_scenario(names[index % len(names)]),
+            simulation=TINY.with_seed(8000 + 17 * index),
+            anomaly_start_hour=0.5,
+        )
+        for index in range(n_runs)
+    ]
+
+
+def values_of(results):
+    return [
+        (result.controller_data.values, result.process_data.values)
+        for result in results
+    ]
+
+
+def assert_same_runs(a, b):
+    assert len(a) == len(b)
+    for (ac, ap), (bc, bp) in zip(values_of(a), values_of(b)):
+        assert np.array_equal(ac, bc)
+        assert np.array_equal(ap, bp)
+
+
+class TestBackendDeterminism:
+    def test_engine_backends_bitwise_identical(self):
+        specs = tiny_specs()
+        serial = CampaignEngine(ParallelConfig.serial()).run(specs)
+        batch = CampaignEngine(ParallelConfig(n_workers=1, backend="batch")).run(specs)
+        assert_same_runs(serial, batch)
+        for serial_run, batch_run in zip(serial, batch):
+            assert serial_run.metadata == batch_run.metadata
+
+    def test_batch_one_equals_serial_runner(self):
+        for spec in tiny_specs(5):
+            serial = run_scenario(
+                spec.scenario, spec.simulation, anomaly_start_hour=spec.anomaly_start_hour
+            )
+            batched = run_specs_batched([spec], batch_size=1)[0]
+            assert np.array_equal(
+                serial.controller_data.values, batched.controller_data.values
+            )
+            assert np.array_equal(
+                serial.process_data.values, batched.process_data.values
+            )
+
+    def test_batch_sizes_row_identical(self):
+        specs = tiny_specs()
+        b7 = run_specs_batched(specs, batch_size=7)
+        b32 = run_specs_batched(specs, batch_size=32)
+        assert_same_runs(b7, b32)
+
+    @SETTINGS
+    @given(batch_size=st.integers(1, 32), n_runs=st.integers(1, 13))
+    def test_any_batch_size_matches_whole_batch(self, batch_size, n_runs):
+        specs = tiny_specs(n_runs)
+        assert_same_runs(
+            run_specs_batched(specs, batch_size=batch_size),
+            run_specs_batched(specs, batch_size=32),
+        )
+
+    def test_derived_seeds_and_cache_keys_backend_independent(self):
+        config = ExperimentConfig.smoke(seed=2016)
+        specs = calibration_specs(config) + scenario_specs(
+            config, get_scenario("idv6")
+        )
+        # Specs (and therefore derived seeds and cache keys) are built
+        # before dispatch; the backend never enters the derivation.
+        seeds = [spec.simulation.seed for spec in specs]
+        keys = [spec.cache_key() for spec in specs]
+        assert len(set(seeds)) == len(seeds)
+        assert len(set(keys)) == len(keys)
+        again = calibration_specs(config) + scenario_specs(
+            config, get_scenario("idv6")
+        )
+        assert [spec.cache_key() for spec in again] == keys
+
+    def test_noise_draws_and_windows_identical_across_backends(self):
+        # An attack window boundary falls between samples; both backends
+        # must flip the tampered entry at exactly the same sample.
+        spec = RunSpec(
+            scenario=get_scenario("attack_xmeas1"),
+            simulation=TINY.with_seed(123),
+            anomaly_start_hour=0.5,
+        )
+        serial = run_scenario(spec.scenario, spec.simulation, anomaly_start_hour=0.5)
+        batched = run_specs_batched([spec] * 3, batch_size=3)
+        for result in batched:
+            assert np.array_equal(
+                serial.controller_data.values, result.controller_data.values
+            )
+        # The forged sensor reads zero inside the window on the controller
+        # view while the process view keeps the true value.
+        attacked = serial.controller_data.values[:, 0]
+        onset_sample = int(0.5 * 10)
+        assert np.all(attacked[onset_sample:] == 0.0)
+        assert not np.all(serial.process_data.values[onset_sample:, 0] == 0.0)
+
+
+class TestCacheInterop:
+    def test_serial_cache_entries_hit_from_batch_backend(self, tmp_path):
+        specs = tiny_specs(6)
+        serial_engine = CampaignEngine(
+            ParallelConfig.serial(cache_dir=str(tmp_path))
+        )
+        serial = serial_engine.run(specs)
+        assert serial_engine.last_stats.n_simulated == len(specs)
+
+        batch_engine = CampaignEngine(
+            ParallelConfig(n_workers=1, backend="batch", cache_dir=str(tmp_path))
+        )
+        batch = batch_engine.run(specs)
+        assert batch_engine.last_stats.n_cache_hits == len(specs)
+        assert batch_engine.last_stats.n_simulated == 0
+        assert_same_runs(serial, batch)
+
+    def test_batch_cache_entries_hit_from_serial_backend(self, tmp_path):
+        specs = tiny_specs(6)
+        batch_engine = CampaignEngine(
+            ParallelConfig(n_workers=1, backend="batch", cache_dir=str(tmp_path))
+        )
+        batch_engine.run(specs)
+        assert batch_engine.last_stats.backend == "batch"
+        serial_engine = CampaignEngine(
+            ParallelConfig.serial(cache_dir=str(tmp_path))
+        )
+        serial_engine.run(specs)
+        assert serial_engine.last_stats.n_cache_hits == len(specs)
+
+
+class TestParallelConfigBatchFields:
+    def test_backend_batch_round_trips(self):
+        config = ParallelConfig(backend="batch", batch_size=8)
+        mapping = config.to_mapping()
+        assert mapping["backend"] == "batch"
+        assert mapping["batch_size"] == 8
+        assert ParallelConfig.from_mapping(mapping) == config
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(Exception):
+            ParallelConfig(batch_size=0)
+
+    def test_simulation_chunk_covers_batches_analysis_chunk_stays_small(self):
+        config = ParallelConfig(n_workers=2, backend="batch", batch_size=8)
+        assert config.resolved_simulation_chunk_size >= 16
+        # The analysis stage's O(chunk) memory bound is backend-independent.
+        assert config.resolved_chunk_size == 4
+        assert ParallelConfig(n_workers=2).resolved_simulation_chunk_size == 4
+        explicit = ParallelConfig(n_workers=2, backend="batch", chunk_size=5)
+        assert explicit.resolved_simulation_chunk_size == 5
+        assert explicit.resolved_chunk_size == 5

@@ -12,10 +12,14 @@ bench_trends = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(bench_trends)
 
 
-def write_bench(path: Path, means: dict) -> Path:
+def write_bench(path: Path, means: dict, extra_info: dict | None = None) -> Path:
     payload = {
         "benchmarks": [
-            {"fullname": name, "stats": {"mean": mean}}
+            {
+                "fullname": name,
+                "stats": {"mean": mean},
+                **({"extra_info": extra_info} if extra_info else {}),
+            }
             for name, mean in means.items()
         ]
     }
@@ -59,6 +63,62 @@ class TestCompare:
     def test_collect_sorts_by_name(self, history):
         names = [f.name for f in bench_trends.collect_files([history])]
         assert names == sorted(names)
+
+
+class TestBackendColumns:
+    """Numeric extra_info columns (per-backend seconds, speedups) compare too."""
+
+    def test_extra_info_columns_loaded(self, tmp_path):
+        path = write_bench(
+            tmp_path / "BENCH_1.json",
+            {"bench": 1.0},
+            extra_info={
+                "serial_seconds": 4.0,
+                "batch_seconds": 1.0,
+                "speedup": 4.0,
+                "n_runs": 13,  # counts are not comparable metrics
+                "label": "x",
+            },
+        )
+        metrics = bench_trends.load_metrics(path)
+        assert metrics["bench"] == (1.0, False, "s")
+        assert metrics["bench::serial_seconds"] == (4.0, False, "s")
+        assert metrics["bench::batch_seconds"] == (1.0, False, "s")
+        assert metrics["bench::speedup"] == (4.0, True, "x")
+        assert "bench::n_runs" not in metrics
+        assert "bench::label" not in metrics
+
+    def test_speedup_drop_flags_regression(self, tmp_path):
+        old = write_bench(
+            tmp_path / "BENCH_1.json", {"bench": 1.0}, {"speedup": 4.0}
+        )
+        new = write_bench(
+            tmp_path / "BENCH_2.json", {"bench": 1.0}, {"speedup": 3.0}
+        )
+        report = bench_trends.compare([old], new, threshold=0.10)
+        assert [e["name"] for e in report["regressions"]] == ["bench::speedup"]
+
+    def test_speedup_gain_is_improvement(self, tmp_path):
+        old = write_bench(
+            tmp_path / "BENCH_1.json", {"bench": 1.0}, {"speedup": 3.0}
+        )
+        new = write_bench(
+            tmp_path / "BENCH_2.json", {"bench": 1.0}, {"speedup": 4.0}
+        )
+        report = bench_trends.compare([old], new, threshold=0.10)
+        assert [e["name"] for e in report["improvements"]] == ["bench::speedup"]
+
+    def test_backend_seconds_regress_upward(self, tmp_path):
+        old = write_bench(
+            tmp_path / "BENCH_1.json", {"bench": 1.0}, {"batch_seconds": 1.0}
+        )
+        new = write_bench(
+            tmp_path / "BENCH_2.json", {"bench": 1.0}, {"batch_seconds": 1.5}
+        )
+        report = bench_trends.compare([old], new, threshold=0.10)
+        assert [e["name"] for e in report["regressions"]] == [
+            "bench::batch_seconds"
+        ]
 
 
 class TestCli:

@@ -65,3 +65,76 @@ class TestSafetyMonitor:
         monitor.check(1.0, {"pressure": 100.0})
         monitor.reset()
         assert monitor.tripped is None
+
+
+class TestBatchSafetyMonitor:
+    """Row-wise monitor must mirror the serial one, limit set for limit set."""
+
+    def _limits(self):
+        return [
+            SafetyLimit("pressure", high=100.0, grace_hours=0.1),
+            SafetyLimit("level", low=4.0, description="level too low"),
+        ]
+
+    def test_rows_trip_independently_with_serial_reasons(self):
+        import numpy as np
+
+        from repro.process.safety import BatchSafetyMonitor
+
+        monitor = BatchSafetyMonitor(self._limits(), n_rows=3)
+        quantities = {
+            "pressure": np.array([50.0, 150.0, 50.0]),
+            "level": np.array([10.0, 10.0, 1.0]),
+        }
+        tripped, reasons = monitor.check(1.0, quantities)
+        # Pressure has a grace window; the level limit trips immediately.
+        assert tripped.tolist() == [False, False, True]
+        assert reasons[2] == "level too low"
+        tripped, reasons = monitor.check(1.2, quantities)
+        assert tripped.tolist() == [False, True, True]
+        assert "pressure" in reasons[1]
+
+    def test_duplicate_quantity_limits_share_start_like_serial(self):
+        # The serial monitor keys violation starts by *quantity*, so a
+        # second limit on the same quantity clears the shared key whenever
+        # it is not violated — and the first limit's grace window can never
+        # elapse.  The batch monitor must reproduce exactly that.
+        import numpy as np
+
+        from repro.process.safety import BatchSafetyMonitor
+
+        limits = [
+            SafetyLimit("pressure", high=90.0, grace_hours=0.05),
+            SafetyLimit("pressure", low=0.0),
+        ]
+        serial = SafetyMonitor(limits)
+        batch = BatchSafetyMonitor(limits, n_rows=1)
+        time = 0.0
+        for _ in range(30):
+            time += 0.01
+            serial.check(time, {"pressure": 95.0})  # must never raise
+            tripped, _ = batch.check(time, {"pressure": np.array([95.0])})
+            assert not tripped.any()
+
+    def test_disabled_monitor_never_trips(self):
+        import numpy as np
+
+        from repro.process.safety import BatchSafetyMonitor
+
+        monitor = BatchSafetyMonitor(self._limits(), n_rows=2, enabled=False)
+        tripped, reasons = monitor.check(1.0, {"pressure": np.array([500.0, 500.0])})
+        assert not tripped.any()
+        assert reasons == [None, None]
+
+    def test_take_compacts_rows(self):
+        import numpy as np
+
+        from repro.process.safety import BatchSafetyMonitor
+
+        monitor = BatchSafetyMonitor(self._limits(), n_rows=3)
+        monitor.check(1.0, {"pressure": np.array([150.0, 50.0, 150.0])})
+        monitor.take(np.array([1, 2]))
+        tripped, _ = monitor.check(1.2, {"pressure": np.array([50.0, 150.0])})
+        # Row 0 (old row 1) never violated; row 1 (old row 2) finishes its
+        # grace window started at t=1.0.
+        assert tripped.tolist() == [False, True]
