@@ -1,0 +1,80 @@
+"""Distributed service overhead — coordination cost vs. in-process execution.
+
+Runs the same small campaign twice: once through ``api.run`` in-process and
+once through the full service stack (coordinator + REST server + one HTTP
+worker + reduction), asserts the tables are bitwise-identical, and records
+the measured protocol overhead.  The service is pure coordination — every
+simulated second is spent in the same engine either way — so the overhead
+is dominated by HTTP round-trips and the reduce's cache reads and should
+stay a small multiple of the chunk count.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import api
+from repro.api.spec import CampaignSpec
+from repro.common.config import ExperimentConfig, ParallelConfig, SimulationConfig
+from repro.service import (
+    CampaignCoordinator,
+    ChunkWorker,
+    CoordinatorClient,
+    CoordinatorServer,
+)
+
+BENCH_EXPERIMENT = ExperimentConfig(
+    n_calibration_runs=2,
+    n_runs_per_scenario=1,
+    anomaly_start_hour=2.0,
+    simulation=SimulationConfig(duration_hours=5.0, samples_per_hour=20, seed=13),
+    parallel=ParallelConfig.serial(),
+    seed=13,
+)
+
+
+def _spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="bench-service", scenarios=["idv6", "attack_xmv3"]
+    ).with_experiment(BENCH_EXPERIMENT)
+
+
+def _run_distributed(shared: Path):
+    coordinator = CampaignCoordinator(shared)
+    with CoordinatorServer(coordinator, port=0) as server:
+        client = CoordinatorClient(server.url)
+        campaign_id = client.submit(_spec())
+        ChunkWorker(client, worker_id="bench").drain(campaign_id)
+        return client.tables(campaign_id)
+
+
+@pytest.mark.benchmark(group="service")
+def test_service_overhead_vs_in_process(benchmark):
+    with tempfile.TemporaryDirectory(prefix="bench-svc-") as tmp:
+        started = time.perf_counter()
+        local_spec = _spec().with_experiment(
+            BENCH_EXPERIMENT.with_parallel(
+                ParallelConfig.serial().with_cache_dir(str(Path(tmp) / "local"))
+            )
+        )
+        local_tables = api.run(local_spec).tables()
+        local_seconds = time.perf_counter() - started
+
+        distributed_tables = benchmark.pedantic(
+            _run_distributed,
+            args=(Path(tmp) / "shared",),
+            rounds=1,
+            iterations=1,
+        )
+        service_seconds = benchmark.stats.stats.mean
+
+    assert distributed_tables == local_tables
+
+    overhead = service_seconds - local_seconds
+    benchmark.extra_info["local_seconds"] = round(local_seconds, 3)
+    benchmark.extra_info["service_seconds"] = round(service_seconds, 3)
+    benchmark.extra_info["overhead_seconds"] = round(overhead, 3)

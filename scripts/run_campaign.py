@@ -52,6 +52,16 @@ Per-run progress lines while the campaign streams (or no chatter at all)::
 
     PYTHONPATH=src python scripts/run_campaign.py --progress
     PYTHONPATH=src python scripts/run_campaign.py --quiet
+
+Distributed campaign — boot a coordinator, attach workers (any number,
+any host sharing the cache directory), submit a spec and collect tables
+bitwise-identical to a single-host run::
+
+    PYTHONPATH=src python scripts/run_campaign.py --serve \
+        --spec examples/specs/paper.toml --cache-dir /shared/cache
+    PYTHONPATH=src python scripts/run_campaign.py --worker http://127.0.0.1:8765
+    PYTHONPATH=src python scripts/run_campaign.py --submit http://127.0.0.1:8765 \
+        --spec examples/specs/paper.toml
 """
 
 from __future__ import annotations
@@ -250,6 +260,114 @@ def run_spec(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def serve(arguments: argparse.Namespace, cache_dir: Path) -> int:
+    """``--serve``: boot a campaign coordinator and block until killed."""
+    from repro.common.config import ServiceConfig
+    from repro.service import CampaignCoordinator, CoordinatorServer
+
+    spec = None
+    service = ServiceConfig()
+    if arguments.spec is not None:
+        try:
+            spec = apply_spec_overrides(api.load_spec(arguments.spec), arguments)
+        except ConfigurationError as error:
+            raise SystemExit(f"invalid spec: {error}")
+        service = spec.service
+    coordinator = CampaignCoordinator(cache_dir)
+    server = CoordinatorServer(coordinator, host=service.host, port=service.port)
+    if spec is not None:
+        campaign_id = coordinator.submit(spec)
+        progress = coordinator.progress(campaign_id)
+        print(
+            f"submitted campaign {campaign_id}: {spec.name!r}, "
+            f"{progress['n_runs']} runs in {progress['n_chunks']} chunks"
+        )
+    print(f"coordinator listening on {server.url} (shared cache: {cache_dir})")
+    print("attach workers with: --worker " + server.url)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\ncoordinator stopped")
+    return 0
+
+
+def work(arguments: argparse.Namespace) -> int:
+    """``--worker URL``: execute chunks for a remote coordinator."""
+    from repro.common.exceptions import ServiceUnavailableError
+    from repro.service import ChunkWorker, CoordinatorClient
+
+    client = CoordinatorClient(arguments.worker)
+    try:
+        health = client.health()
+    except ServiceUnavailableError as error:
+        raise SystemExit(f"error: {error}")
+    worker = ChunkWorker(
+        client,
+        cache_dir=(
+            str(arguments.cache_dir) if arguments.cache_dir is not None else None
+        ),
+        n_workers=arguments.workers,
+    )
+    print(
+        f"worker {worker.worker_id} attached to {arguments.worker} "
+        f"({health['n_campaigns']} campaign(s) known)"
+    )
+    try:
+        executed = worker.drain_all(max_idle=arguments.max_idle)
+    except ServiceUnavailableError as error:
+        raise SystemExit(f"error: coordinator went away: {error}")
+    except KeyboardInterrupt:
+        executed = worker.n_chunks_done
+        print("\nworker interrupted")
+    print(
+        f"worker {worker.worker_id}: {executed} chunks executed "
+        f"({worker.n_simulated} simulated, {worker.n_cache_hits} cached, "
+        f"{worker.n_chunks_abandoned} abandoned)"
+    )
+    return 0
+
+
+def submit(arguments: argparse.Namespace) -> int:
+    """``--submit URL``: push a spec to a coordinator and await its tables."""
+    import time as _time
+
+    from repro.common.exceptions import ServiceUnavailableError
+    from repro.service import CoordinatorClient
+
+    if arguments.spec is None:
+        raise SystemExit("--submit needs --spec FILE")
+    try:
+        spec = apply_spec_overrides(api.load_spec(arguments.spec), arguments)
+    except ConfigurationError as error:
+        raise SystemExit(f"invalid spec: {error}")
+    client = CoordinatorClient(arguments.submit)
+    try:
+        campaign_id = client.submit(spec)
+        progress = client.progress(campaign_id)
+        print(
+            f"submitted campaign {campaign_id}: {spec.name!r}, "
+            f"{progress['n_runs']} runs in {progress['n_chunks']} chunks"
+        )
+        if arguments.no_wait:
+            return 0
+        last_done = -1
+        while not progress["complete"]:
+            if progress["n_done"] != last_done and not arguments.quiet:
+                print(
+                    f"  {progress['n_done']}/{progress['n_chunks']} chunks done "
+                    f"({progress['n_leased']} leased, "
+                    f"{progress['n_pending']} pending)"
+                )
+                last_done = progress["n_done"]
+            _time.sleep(float(spec.service.poll_seconds))
+            progress = client.progress(campaign_id)
+        tables = client.tables(campaign_id)
+    except ServiceUnavailableError as error:
+        raise SystemExit(f"error: {error}")
+    print_tables(tables)
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
@@ -371,8 +489,56 @@ def main(argv=None) -> int:
         action="store_true",
         help="apply --cache-max-bytes/--cache-max-age to the cache and exit",
     )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="boot a campaign coordinator (REST, [service] host/port from "
+        "--spec when given) over the shared --cache-dir and block; with "
+        "--spec the campaign is submitted immediately",
+    )
+    parser.add_argument(
+        "--worker",
+        metavar="URL",
+        default=None,
+        help="attach to a coordinator as a chunk worker; exits non-zero "
+        "when the coordinator is unreachable",
+    )
+    parser.add_argument(
+        "--submit",
+        metavar="URL",
+        default=None,
+        help="submit --spec to a coordinator, wait for completion and "
+        "print the tables (see --no-wait); exits non-zero when the "
+        "coordinator is unreachable",
+    )
+    parser.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="with --submit: print the campaign id and return immediately",
+    )
+    parser.add_argument(
+        "--max-idle",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --worker: exit once every known campaign has been "
+        "complete for this long (default: keep serving forever)",
+    )
     arguments = parser.parse_args(argv)
     cache_dir = arguments.cache_dir or Path(DEFAULT_CACHE_DIR)
+
+    service_modes = sum(
+        1 for chosen in (arguments.serve, arguments.worker, arguments.submit)
+        if chosen
+    )
+    if service_modes > 1:
+        raise SystemExit("--serve, --worker and --submit are mutually exclusive")
+    if arguments.serve:
+        return serve(arguments, cache_dir)
+    if arguments.worker is not None:
+        return work(arguments)
+    if arguments.submit is not None:
+        return submit(arguments)
 
     if arguments.clear_cache:
         removed = ResultCache(cache_dir).clear()

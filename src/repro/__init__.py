@@ -38,7 +38,13 @@ The package is organized in layered subpackages:
     section).
 ``repro.api``
     The declarative campaign facade: ``CampaignSpec`` (TOML/JSON) plus
-    ``load_spec`` / ``run`` / ``analyze`` / ``Session``.
+    ``load_spec`` / ``run`` / ``analyze`` / ``Session``, and the
+    distributed entry points ``submit_spec`` / ``poll`` / ``fetch_tables``.
+``repro.service``
+    The distributed campaign service: coordinator (chunk leases, cache-
+    verified acks, reduction), worker protocol, REST control surface and
+    HTTP client (``scripts/run_campaign.py --serve/--worker/--submit``,
+    ``[service]`` spec section).
 """
 
 from repro._version import __version__
@@ -49,6 +55,8 @@ from repro.common.exceptions import (
     ProcessShutdown,
     NotFittedError,
     DataShapeError,
+    ServiceError,
+    ServiceUnavailableError,
 )
 
 __all__ = [
@@ -59,4 +67,6 @@ __all__ = [
     "ProcessShutdown",
     "NotFittedError",
     "DataShapeError",
+    "ServiceError",
+    "ServiceUnavailableError",
 ]

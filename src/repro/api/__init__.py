@@ -13,6 +13,9 @@ The one import a user of the reproduction needs:
 * :func:`run` / :func:`analyze` — execute a campaign (eager or streaming);
 * :func:`run_live` — execute a campaign with live co-simulation monitoring
   and early stopping (the spec's ``[live]`` section, :mod:`repro.live`);
+* :func:`submit_spec` / :func:`poll` / :func:`fetch_tables` — hand a
+  campaign to a distributed coordinator (the spec's ``[service]`` section,
+  :mod:`repro.service`) and collect the same tables ``run`` would produce;
 * :class:`Session` — a reusable execution context that shares the engine,
   the result cache and per-seed calibrations across calls;
 * the schema itself: :class:`CampaignSpec`, :class:`AnalysisSpec`,
@@ -23,7 +26,16 @@ name registry in :mod:`repro.experiments.registry`; both are re-exported by
 :mod:`repro.experiments` for convenience.
 """
 
-from repro.api.session import CampaignResult, Session, analyze, run, run_live
+from repro.api.session import (
+    CampaignResult,
+    Session,
+    analyze,
+    fetch_tables,
+    poll,
+    run,
+    run_live,
+    submit_spec,
+)
 from repro.api.spec import (
     SPEC_VERSION,
     AnalysisSpec,
@@ -50,6 +62,9 @@ __all__ = [
     "run",
     "run_live",
     "analyze",
+    "submit_spec",
+    "poll",
+    "fetch_tables",
     "Session",
     "CampaignResult",
 ]

@@ -18,13 +18,22 @@ from typing import Any, Dict, List, Optional, Union
 from repro.api.spec import CampaignSpec, load_spec
 from repro.common.exceptions import ConfigurationError
 from repro.experiments.analysis import (
+    ScenarioSummary,
     build_arl_table,
     build_classification_table,
 )
 from repro.experiments.evaluation import Evaluation
 from repro.experiments.parallel import CampaignEngine
 
-__all__ = ["CampaignResult", "Session", "run", "analyze"]
+__all__ = [
+    "CampaignResult",
+    "Session",
+    "run",
+    "analyze",
+    "submit_spec",
+    "poll",
+    "fetch_tables",
+]
 
 SpecLike = Union[CampaignSpec, str, Path]
 
@@ -96,6 +105,43 @@ class CampaignResult:
         }
         return {name: builders[name]() for name in self.spec.analysis.tables}
 
+    # ------------------------------------------------------------------
+    def to_mapping(self) -> Dict[str, object]:
+        """A JSON-safe mapping of this result.
+
+        Eager :class:`~repro.experiments.evaluation.ScenarioEvaluation`
+        records are folded through their streaming summaries first, so the
+        wire form always carries
+        :class:`~repro.experiments.analysis.ScenarioSummary` mappings —
+        per-run scalars and mean vectors, never simulation arrays.  The
+        round-trip is table-exact: ``from_mapping(to_mapping()).tables()``
+        equals :meth:`tables`.
+        """
+        per_seed: Dict[str, Dict[str, object]] = {}
+        for seed, results in self.per_seed.items():
+            per_seed[str(int(seed))] = {
+                name: (
+                    record if isinstance(record, ScenarioSummary)
+                    else record.to_summary()
+                ).to_mapping()
+                for name, record in results.items()
+            }
+        return {"spec": self.spec.to_mapping(), "per_seed": per_seed}
+
+    @classmethod
+    def from_mapping(cls, mapping: Dict[str, object]) -> "CampaignResult":
+        """Rebuild a result from its :meth:`to_mapping` form."""
+        per_seed: Dict[int, Dict[str, Any]] = {}
+        for seed, results in dict(mapping.get("per_seed", {})).items():
+            per_seed[int(seed)] = {
+                str(name): ScenarioSummary.from_mapping(record)
+                for name, record in dict(results).items()
+            }
+        return cls(
+            spec=CampaignSpec.from_mapping(mapping["spec"]),
+            per_seed=per_seed,
+        )
+
 
 class Session:
     """A reusable execution context for one campaign spec.
@@ -121,6 +167,7 @@ class Session:
         self.spec = _as_spec(spec)
         self.engine = engine or CampaignEngine(self.spec.experiment.parallel)
         self._evaluations: Dict[int, Evaluation] = {}
+        self._campaign_id: Optional[str] = None
 
     # ------------------------------------------------------------------
     def evaluation(self, seed: Optional[int] = None) -> Evaluation:
@@ -209,6 +256,56 @@ class Session:
         """Execute the campaign on the streaming path (O(chunk) memory)."""
         return self.run(streaming=True)
 
+    # ------------------------------------------------------------------
+    # Distributed execution (repro.service)
+    # ------------------------------------------------------------------
+    def _client(self, url: Optional[str]):
+        # Imported lazily: repro.service sits on top of repro.api, so a
+        # module-level import would be circular.
+        from repro.service.client import CoordinatorClient
+
+        return CoordinatorClient(url or self.spec.service.url)
+
+    def submit(self, url: Optional[str] = None) -> str:
+        """Submit this campaign to a coordinator; returns its campaign id.
+
+        ``url`` defaults to the spec's ``[service]`` section
+        (``http://{host}:{port}``).  Submission is idempotent — the id is
+        the fingerprint of the coordinator-normalized spec, so re-submitting
+        (or submitting from several clients) never duplicates work.
+        Raises :class:`~repro.common.exceptions.ServiceUnavailableError`
+        when the coordinator cannot be reached.
+        """
+        campaign_id = self._client(url).submit(self.spec)
+        self._campaign_id = campaign_id
+        return campaign_id
+
+    def status(self, url: Optional[str] = None) -> Dict[str, Any]:
+        """Scheduling progress of this campaign at the coordinator.
+
+        Submits first (idempotently) when this session has not submitted
+        yet — the coordinator assigns ids to normalized specs, so the only
+        way to learn ours is to ask.
+        """
+        client = self._client(url)
+        campaign_id = self._campaign_id or client.submit(self.spec)
+        self._campaign_id = campaign_id
+        return client.progress(campaign_id)
+
+    def fetch(self, url: Optional[str] = None) -> Dict[str, List[Dict[str, Any]]]:
+        """The reduced tables of this campaign, from the coordinator.
+
+        Raises :class:`~repro.common.exceptions.ServiceError` while the
+        campaign is still incomplete (poll :meth:`status` first).  The
+        returned tables are bitwise-identical to ``self.run().tables()`` —
+        the coordinator's reduction *is* the single-host path, run over the
+        shared cache.
+        """
+        client = self._client(url)
+        campaign_id = self._campaign_id or client.submit(self.spec)
+        self._campaign_id = campaign_id
+        return client.tables(campaign_id)
+
 
 def run(spec: SpecLike, streaming: Optional[bool] = None) -> CampaignResult:
     """Load (if needed) and execute a campaign spec in one call."""
@@ -223,3 +320,36 @@ def run_live(spec: SpecLike, streaming: Optional[bool] = None) -> CampaignResult
 def analyze(spec: SpecLike) -> CampaignResult:
     """Load (if needed) and execute a campaign spec on the streaming path."""
     return Session(spec).analyze()
+
+
+def submit_spec(spec: SpecLike, url: Optional[str] = None) -> str:
+    """Submit a campaign spec to a coordinator; returns the campaign id.
+
+    The distributed counterpart of :func:`run`: the coordinator shards the
+    campaign into chunks for its workers, and the tables eventually fetched
+    via :func:`fetch_tables` are bitwise-identical to ``run(spec).tables()``.
+    ``url`` defaults to the spec's ``[service]`` section.
+    """
+    return Session(spec).submit(url=url)
+
+
+def poll(spec: SpecLike, url: Optional[str] = None) -> Dict[str, Any]:
+    """Scheduling progress of a spec's campaign at the coordinator.
+
+    Idempotently (re-)submits the spec to resolve its campaign id, so
+    polling works from any client, not just the submitting one.
+    """
+    return Session(spec).status(url=url)
+
+
+def fetch_tables(
+    spec: SpecLike, url: Optional[str] = None
+) -> Dict[str, List[Dict[str, Any]]]:
+    """The reduced tables of a spec's campaign at the coordinator.
+
+    Raises :class:`~repro.common.exceptions.ServiceError` while the
+    campaign is incomplete and
+    :class:`~repro.common.exceptions.ServiceUnavailableError` when the
+    coordinator is unreachable.
+    """
+    return Session(spec).fetch(url=url)

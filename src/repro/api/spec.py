@@ -14,7 +14,11 @@ describes an evaluation campaign:
 * **live** — online co-simulation monitoring (:mod:`repro.live`): score runs
   sample-by-sample while they simulate and optionally stop them a grace
   window after a confirmed detection (:meth:`~repro.api.session.Session.
-  run_live` / ``run_campaign.py --live``).
+  run_live` / ``run_campaign.py --live``);
+* **service** — distributed execution (:mod:`repro.service`): where the
+  campaign coordinator listens, lease/heartbeat timing of the worker
+  protocol and the claimable chunk size (``run_campaign.py --serve`` /
+  ``--worker`` / ``--submit``).
 
 Specs are versioned (``version = 1``), validated eagerly with precise error
 messages (unknown keys, wrong types and unknown scenario references all
@@ -42,6 +46,7 @@ from repro.api._toml import dumps_toml
 from repro.common.config import (
     ExperimentConfig,
     LiveConfig,
+    ServiceConfig,
     _as_bool,
     _as_int,
     _as_sequence,
@@ -223,6 +228,7 @@ class CampaignSpec:
     sweep: SweepSpec = field(default_factory=SweepSpec)
     analysis: AnalysisSpec = field(default_factory=AnalysisSpec)
     live: LiveConfig = field(default_factory=LiveConfig)
+    service: ServiceConfig = field(default_factory=ServiceConfig)
     description: str = ""
     version: int = SPEC_VERSION
 
@@ -310,6 +316,8 @@ class CampaignSpec:
         mapping["analysis"] = self.analysis.to_mapping()
         if not self.live.is_default:
             mapping["live"] = self.live.to_mapping()
+        if not self.service.is_default:
+            mapping["service"] = self.service.to_mapping()
         return mapping
 
     @classmethod
@@ -322,7 +330,7 @@ class CampaignSpec:
         _check_keys(
             mapping,
             ("version", "name", "description", "experiment", "scenarios",
-             "sweep", "analysis", "live"),
+             "sweep", "analysis", "live", "service"),
             "campaign spec",
         )
         registry = registry or REGISTRY
@@ -344,6 +352,7 @@ class CampaignSpec:
             sweep=SweepSpec.from_mapping(mapping.get("sweep", {})),
             analysis=AnalysisSpec.from_mapping(mapping.get("analysis", {})),
             live=LiveConfig.from_mapping(mapping.get("live", {})),
+            service=ServiceConfig.from_mapping(mapping.get("service", {})),
         )
 
     def to_toml(self) -> str:

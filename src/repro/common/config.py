@@ -27,6 +27,7 @@ __all__ = [
     "ParallelConfig",
     "EarlyStopPolicy",
     "LiveConfig",
+    "ServiceConfig",
     "ExperimentConfig",
 ]
 
@@ -581,6 +582,107 @@ class LiveConfig:
                 "min_samples": _as_int,
             },
             "live",
+        )
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """The ``[service]`` section of a campaign spec: distributed execution.
+
+    Configures how a campaign is executed through the
+    :mod:`repro.service` coordinator/worker architecture instead of the
+    in-process engine.  The section is purely operational — like
+    ``[parallel]`` it never changes what a campaign computes, only where
+    and how its runs are simulated.
+
+    Attributes
+    ----------
+    host / port:
+        Where the campaign coordinator listens (and where
+        :meth:`~repro.api.session.Session.submit` connects).  The service
+        is unauthenticated: bind to loopback or a trusted LAN only.
+    lease_seconds:
+        How long a claimed chunk stays leased to a worker without a
+        heartbeat before the coordinator reclaims it for another worker.
+    heartbeat_seconds:
+        How often a busy worker renews its lease.  Must leave room for at
+        least two missed beats inside the lease window, so one delayed
+        heartbeat cannot forfeit a healthy worker's chunk.
+    poll_seconds:
+        How long an idle worker (or a polling submitter) sleeps between
+        requests to the coordinator.
+    chunk_size:
+        Runs per claimable chunk.  ``None`` uses the execution plan's
+        batch-aware :attr:`ParallelConfig.resolved_simulation_chunk_size`,
+        so a ``"batch"`` backend worker always claims whole vectorized
+        batches.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8765
+    lease_seconds: float = 60.0
+    heartbeat_seconds: float = 15.0
+    poll_seconds: float = 0.5
+    chunk_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not str(self.host):
+            raise ConfigurationError("service host must be non-empty")
+        if not 1 <= self.port <= 65535:
+            raise ConfigurationError("service port must be in [1, 65535]")
+        if self.lease_seconds <= 0:
+            raise ConfigurationError("lease_seconds must be positive")
+        if self.heartbeat_seconds <= 0:
+            raise ConfigurationError("heartbeat_seconds must be positive")
+        if self.heartbeat_seconds * 2 > self.lease_seconds:
+            raise ConfigurationError(
+                "lease_seconds must cover at least two heartbeat intervals "
+                f"(lease {self.lease_seconds:g} s, heartbeat every "
+                f"{self.heartbeat_seconds:g} s)"
+            )
+        if self.poll_seconds <= 0:
+            raise ConfigurationError("poll_seconds must be positive")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ConfigurationError("chunk_size must be >= 1 or None")
+
+    @property
+    def url(self) -> str:
+        """The coordinator's base URL."""
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def is_default(self) -> bool:
+        """Whether this section matches the defaults (and can be omitted)."""
+        return self == ServiceConfig()
+
+    def resolved_chunk_size(self, parallel: "ParallelConfig") -> int:
+        """Runs per claimable chunk under a given execution plan."""
+        if self.chunk_size is not None:
+            return int(self.chunk_size)
+        return parallel.resolved_simulation_chunk_size
+
+    def to_mapping(self) -> Dict[str, Any]:
+        """A plain, JSON/TOML-ready mapping of this configuration."""
+        return _mapping_of(
+            self,
+            floats=("lease_seconds", "heartbeat_seconds", "poll_seconds"),
+        )
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "ServiceConfig":
+        """Build from a mapping, rejecting unknown keys and coercing types."""
+        return _build_from_mapping(
+            cls,
+            mapping,
+            {
+                "host": str,
+                "port": _as_int,
+                "lease_seconds": float,
+                "heartbeat_seconds": float,
+                "poll_seconds": float,
+                "chunk_size": _opt(_as_int),
+            },
+            "service",
         )
 
 

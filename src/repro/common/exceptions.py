@@ -38,6 +38,19 @@ class ProcessShutdown(ReproError):
         self.reason = str(reason)
 
 
+class ServiceError(ReproError):
+    """The distributed campaign service rejected or failed a request."""
+
+
+class ServiceUnavailableError(ServiceError):
+    """The campaign coordinator could not be reached at all.
+
+    Raised by the HTTP client on connection failures and timeouts so CLI
+    front ends can exit with a clear message instead of hanging or
+    retrying forever.
+    """
+
+
 class NotFittedError(ReproError):
     """A statistical model was used before being fitted to calibration data."""
 

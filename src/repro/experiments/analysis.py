@@ -489,6 +489,65 @@ class ScenarioSummary:
         """Per-run safety shutdown time (None when the run completed)."""
         return list(self.shutdown_times_hours)
 
+    # ------------------------------------------------------------------
+    def to_mapping(self) -> Dict[str, object]:
+        """A JSON-safe mapping capturing this summary exactly.
+
+        Everything a summary holds is scalars and mean vectors, so the wire
+        form round-trips losslessly: ``from_mapping(to_mapping())`` rebuilds
+        a summary whose every table-facing accessor agrees with the
+        original.  This is what lets campaign results cross the REST
+        boundary of :mod:`repro.service`.
+        """
+        return {
+            "scenario": self.scenario.to_mapping(),
+            "run_lengths": [
+                None if length is None else float(length)
+                for length in self.run_lengths
+            ],
+            "counts": {str(key): int(value) for key, value in self.counts.items()},
+            "false_alarm_count": int(self.false_alarm_count),
+            "shutdown_times_hours": [
+                None if value is None else float(value)
+                for value in self.shutdown_times_hours
+            ],
+            "omeda_means": {
+                view: {
+                    "names": list(names),
+                    "values": [float(v) for v in values],
+                }
+                for view, (names, values) in self.omeda_means.items()
+            },
+        }
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, object]) -> "ScenarioSummary":
+        """Rebuild a summary from its :meth:`to_mapping` form."""
+        omeda_means = {
+            str(view): (
+                tuple(str(name) for name in entry["names"]),
+                np.asarray(entry["values"], dtype=float),
+            )
+            for view, entry in dict(mapping.get("omeda_means", {})).items()
+        }
+        return cls(
+            scenario=Scenario.from_mapping(mapping["scenario"]),
+            run_lengths=[
+                None if length is None else float(length)
+                for length in mapping.get("run_lengths", [])
+            ],
+            counts={
+                str(key): int(value)
+                for key, value in dict(mapping.get("counts", {})).items()
+            },
+            false_alarm_count=int(mapping.get("false_alarm_count", 0)),
+            shutdown_times_hours=[
+                None if value is None else float(value)
+                for value in mapping.get("shutdown_times_hours", [])
+            ],
+            omeda_means=omeda_means,
+        )
+
 
 # ----------------------------------------------------------------------
 # The pipeline

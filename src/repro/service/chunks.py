@@ -1,0 +1,178 @@
+"""Deterministic sharding of a campaign spec into claimable work chunks.
+
+The distributed service never ships simulation data between hosts — only
+*coordinates*.  That works because everything a worker needs to execute a
+slice of a campaign is derivable, deterministically, from the spec itself:
+
+* :func:`campaign_run_specs` flattens a :class:`~repro.api.spec.CampaignSpec`
+  into the exact ordered list of :class:`~repro.experiments.parallel.RunSpec`
+  a single-host :meth:`~repro.api.session.Session.run` would execute —
+  calibration runs first, then every expanded scenario's repeats, per sweep
+  seed.  Coordinator and workers derive the same list independently, so a
+  chunk on the wire is just an index range.
+* :func:`shard_campaign` splits that list into :class:`WorkChunk` slices
+  sized by the batch-aware
+  :attr:`~repro.common.config.ParallelConfig.resolved_simulation_chunk_size`
+  (or the ``[service]`` section's explicit ``chunk_size``), so a ``"batch"``
+  backend worker always claims whole vectorized batches.
+* :func:`campaign_fingerprint` hashes the spec's canonical mapping; it is
+  both the campaign id (submitting the same spec twice is idempotent) and
+  the wire-level guard that a worker and its coordinator agree on what a
+  chunk's indices mean.
+
+Results land in the shared NPZ cache under each run's existing
+:meth:`~repro.experiments.parallel.RunSpec.cache_key`, which makes chunk
+execution idempotent: re-running a chunk (after a lost lease, a worker
+crash or a coordinator restart) only simulates the runs whose entries are
+missing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.api.spec import CampaignSpec
+from repro.common.exceptions import ConfigurationError
+from repro.experiments.parallel import (
+    RunSpec,
+    calibration_specs,
+    scenario_specs,
+)
+
+__all__ = [
+    "WorkChunk",
+    "campaign_run_specs",
+    "campaign_fingerprint",
+    "shard_campaign",
+]
+
+
+def campaign_run_specs(spec: CampaignSpec) -> List[RunSpec]:
+    """The ordered run specs a single-host execution of ``spec`` simulates.
+
+    Per sweep seed: the calibration campaign, then every expanded
+    scenario's repeated evaluation runs — exactly the specs (and therefore
+    exactly the cache keys) :meth:`Session.run` produces, which is what
+    makes distributed results indistinguishable from single-host ones.
+    """
+    specs: List[RunSpec] = []
+    scenarios = spec.expanded_scenarios()
+    for seed in spec.seeds():
+        experiment = spec.experiment_for(seed)
+        specs.extend(calibration_specs(experiment))
+        for scenario in scenarios:
+            specs.extend(scenario_specs(experiment, scenario))
+    return specs
+
+
+def campaign_fingerprint(spec: CampaignSpec) -> str:
+    """A stable digest identifying a campaign's full content.
+
+    Hashes the spec's canonical mapping form, so a spec loaded from TOML,
+    one parsed from a JSON request body and one built in code all
+    fingerprint identically.  Doubles as the campaign id.
+    """
+    blob = json.dumps(
+        spec.to_mapping(), sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class WorkChunk:
+    """One claimable slice of a campaign's flattened run-spec list.
+
+    The wire form carries only indices plus the campaign fingerprint; the
+    worker re-derives the actual :class:`RunSpec` objects from the spec
+    document and takes ``specs[start:stop]``.
+    """
+
+    chunk_id: str
+    start: int
+    stop: int
+    fingerprint: str
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start < self.stop:
+            raise ConfigurationError(
+                f"chunk [{self.start}, {self.stop}) is empty or negative"
+            )
+
+    @property
+    def n_runs(self) -> int:
+        """Number of runs this chunk covers."""
+        return self.stop - self.start
+
+    def specs_of(self, spec: CampaignSpec) -> List[RunSpec]:
+        """Materialize this chunk's run specs from its campaign spec.
+
+        Refuses a spec whose fingerprint does not match the chunk's — the
+        guard against a worker pairing a chunk descriptor with a stale or
+        differently-configured spec document.
+        """
+        fingerprint = campaign_fingerprint(spec)
+        if fingerprint != self.fingerprint:
+            raise ConfigurationError(
+                f"chunk {self.chunk_id} belongs to campaign "
+                f"{self.fingerprint}, not {fingerprint}; refetch the spec"
+            )
+        specs = campaign_run_specs(spec)
+        if self.stop > len(specs):
+            raise ConfigurationError(
+                f"chunk {self.chunk_id} ends at run {self.stop} but the "
+                f"campaign only has {len(specs)} runs"
+            )
+        return specs[self.start : self.stop]
+
+    def to_mapping(self) -> Dict[str, Any]:
+        """The JSON-safe wire form of this chunk."""
+        return {
+            "chunk_id": self.chunk_id,
+            "start": self.start,
+            "stop": self.stop,
+            "fingerprint": self.fingerprint,
+        }
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "WorkChunk":
+        """Rebuild a chunk from its wire form."""
+        return cls(
+            chunk_id=str(mapping["chunk_id"]),
+            start=int(mapping["start"]),
+            stop=int(mapping["stop"]),
+            fingerprint=str(mapping["fingerprint"]),
+        )
+
+
+def shard_campaign(
+    spec: CampaignSpec, chunk_size: Optional[int] = None
+) -> List[WorkChunk]:
+    """Split a campaign into claimable chunks.
+
+    ``chunk_size`` defaults to the ``[service]`` section's setting, which
+    itself falls back to the execution plan's batch-aware
+    :attr:`~repro.common.config.ParallelConfig.resolved_simulation_chunk_size`
+    — so on the ``"batch"`` backend every chunk holds whole vectorized
+    batches and the lockstep speedup survives distribution.
+    """
+    if chunk_size is None:
+        chunk_size = spec.service.resolved_chunk_size(spec.experiment.parallel)
+    chunk_size = int(chunk_size)
+    if chunk_size < 1:
+        raise ConfigurationError("chunk_size must be >= 1")
+    n_runs = len(campaign_run_specs(spec))
+    fingerprint = campaign_fingerprint(spec)
+    chunks = []
+    for index, start in enumerate(range(0, n_runs, chunk_size)):
+        chunks.append(
+            WorkChunk(
+                chunk_id=f"c{index:04d}",
+                start=start,
+                stop=min(start + chunk_size, n_runs),
+                fingerprint=fingerprint,
+            )
+        )
+    return chunks

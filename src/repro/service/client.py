@@ -1,0 +1,149 @@
+"""HTTP client for the campaign coordinator's REST surface.
+
+:class:`CoordinatorClient` mirrors the in-process
+:class:`~repro.service.coordinator.CampaignCoordinator` protocol
+(``campaign_ids``, ``spec_mapping``, ``claim``, ``heartbeat``, ``ack``,
+``progress``, ``tables``, ``health``) so a
+:class:`~repro.service.worker.ChunkWorker` drives either interchangeably;
+it additionally exposes ``submit`` for clients pushing a spec to a remote
+coordinator.
+
+Error mapping: a coordinator that cannot be reached at all (connection
+refused, DNS failure, timeout) raises
+:class:`~repro.common.exceptions.ServiceUnavailableError`; a reachable
+coordinator that rejects the request (bad spec, unknown campaign, tables
+requested before completion) raises
+:class:`~repro.common.exceptions.ServiceError` carrying the server's
+message.  Callers never see raw ``urllib`` exceptions.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+from repro.api.spec import CampaignSpec
+from repro.common.exceptions import ServiceError, ServiceUnavailableError
+
+__all__ = ["CoordinatorClient"]
+
+
+class CoordinatorClient:
+    """Talks to a :class:`CoordinatorServer` over HTTP.
+
+    Parameters
+    ----------
+    base_url:
+        The coordinator's base URL, e.g. ``"http://127.0.0.1:8765"``.
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            # The coordinator answered — surface its message, not a stack
+            # of urllib internals.
+            try:
+                detail = json.loads(error.read().decode("utf-8")).get("error")
+            except Exception:
+                detail = None
+            raise ServiceError(
+                detail or f"coordinator returned HTTP {error.code} for {method} {path}"
+            ) from None
+        except (urllib.error.URLError, socket.timeout, ConnectionError, OSError) as error:
+            reason = getattr(error, "reason", error)
+            raise ServiceUnavailableError(
+                f"cannot reach campaign coordinator at {self.base_url}: {reason}"
+            ) from None
+
+    # -- coordinator protocol (what ChunkWorker drives) ----------------
+    def campaign_ids(self) -> List[str]:
+        """Ids of every campaign the coordinator knows about."""
+        return list(self._request("GET", "/campaigns")["campaigns"])
+
+    def spec_mapping(self, campaign_id: str) -> Dict[str, Any]:
+        """The campaign's normalized spec document."""
+        return self._request("GET", f"/campaigns/{campaign_id}/spec")["spec"]
+
+    def claim(self, campaign_id: str, worker_id: str) -> Optional[Dict[str, Any]]:
+        """Lease the next pending chunk; None when nothing is claimable."""
+        response = self._request(
+            "POST", f"/campaigns/{campaign_id}/claim", {"worker_id": worker_id}
+        )
+        return response["chunk"]
+
+    def heartbeat(self, campaign_id: str, chunk_id: str, worker_id: str) -> bool:
+        """Renew a lease; False means it is no longer ours."""
+        response = self._request(
+            "POST",
+            f"/campaigns/{campaign_id}/chunks/{chunk_id}/heartbeat",
+            {"worker_id": worker_id},
+        )
+        return bool(response["alive"])
+
+    def ack(
+        self,
+        campaign_id: str,
+        chunk_id: str,
+        worker_id: str,
+        n_simulated: int = 0,
+        n_cache_hits: int = 0,
+    ) -> Dict[str, Any]:
+        """Report a chunk complete; the coordinator verifies the cache."""
+        return self._request(
+            "POST",
+            f"/campaigns/{campaign_id}/chunks/{chunk_id}/ack",
+            {
+                "worker_id": worker_id,
+                "n_simulated": int(n_simulated),
+                "n_cache_hits": int(n_cache_hits),
+            },
+        )
+
+    def progress(self, campaign_id: str) -> Dict[str, Any]:
+        """Scheduling progress: chunk counts by state, run totals, complete."""
+        return self._request("GET", f"/campaigns/{campaign_id}")
+
+    def chunk_states(self, campaign_id: str) -> List[Dict[str, Any]]:
+        """Per-chunk state records (for monitoring, not the work loop)."""
+        return list(self._request("GET", f"/campaigns/{campaign_id}/chunks")["chunks"])
+
+    def events(self, campaign_id: str) -> List[str]:
+        """The coordinator's per-campaign progress log."""
+        return list(self._request("GET", f"/campaigns/{campaign_id}/events")["events"])
+
+    def tables(self, campaign_id: str) -> Dict[str, Any]:
+        """The reduced result tables; raises ServiceError until complete."""
+        return self._request("GET", f"/campaigns/{campaign_id}/tables")["tables"]
+
+    def health(self) -> Dict[str, Any]:
+        """The coordinator's liveness document."""
+        return self._request("GET", "/health")
+
+    # -- client-only conveniences --------------------------------------
+    def submit(self, spec: CampaignSpec) -> str:
+        """Submit a campaign spec; returns its campaign id (idempotent)."""
+        response = self._request(
+            "POST", "/campaigns", {"spec": spec.to_mapping()}
+        )
+        return str(response["campaign_id"])

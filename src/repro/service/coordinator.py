@@ -1,0 +1,433 @@
+"""The campaign coordinator: chunk scheduling, leases and reduction.
+
+:class:`CampaignCoordinator` owns the scheduling state of submitted
+campaigns — never simulation data.  A submitted
+:class:`~repro.api.spec.CampaignSpec` is normalized onto the coordinator's
+shared cache directory and sharded into :class:`~repro.service.chunks.
+WorkChunk` slices; workers then drive the claim → simulate → ack protocol:
+
+1. **claim** — the oldest pending chunk is leased to the worker for
+   ``lease_seconds``.  Expired leases are reaped lazily on every claim and
+   progress call, so a lost worker's chunks return to the pending pool
+   without any background thread.
+2. **heartbeat** — a busy worker renews its lease; a heartbeat on a lease
+   the coordinator already reclaimed is refused, telling the worker to
+   abandon the chunk (its results still land in the cache and are never
+   wasted).
+3. **ack** — before marking a chunk done the coordinator verifies that
+   every run's NPZ entry actually exists in the shared cache; a partial
+   chunk goes back to pending.  Acks are idempotent and ownership-blind:
+   results live under content-derived cache keys, so whoever completed the
+   chunk, completed it.
+
+When every chunk is done, :meth:`tables` reduces the campaign by running
+the ordinary in-process :class:`~repro.api.session.Session` over the now
+fully-warm shared cache — the reduction therefore *is* the single-host
+path, which is what makes distributed tables bitwise-identical to
+``api.run`` on the same spec, and what makes any loss recoverable: a
+re-submitted campaign only simulates the chunks whose cache entries are
+missing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro._version import __version__
+from repro.api.session import CampaignResult, Session
+from repro.api.spec import CampaignSpec
+from repro.common.exceptions import ConfigurationError, ServiceError
+from repro.experiments.parallel import ResultCache
+from repro.service.chunks import (
+    WorkChunk,
+    campaign_fingerprint,
+    campaign_run_specs,
+    shard_campaign,
+)
+
+__all__ = ["ChunkRecord", "CampaignRecord", "CampaignCoordinator"]
+
+#: Chunk lifecycle states.
+PENDING, LEASED, DONE = "pending", "leased", "done"
+
+
+@dataclass
+class ChunkRecord:
+    """Scheduling state of one chunk."""
+
+    chunk: WorkChunk
+    state: str = PENDING
+    worker_id: Optional[str] = None
+    lease_deadline: Optional[float] = None
+    attempts: int = 0
+    n_simulated: int = 0
+    n_cache_hits: int = 0
+
+    def to_mapping(self) -> Dict[str, Any]:
+        """The JSON-safe status form of this record."""
+        return {
+            **self.chunk.to_mapping(),
+            "state": self.state,
+            "worker_id": self.worker_id,
+            "attempts": self.attempts,
+            "n_simulated": self.n_simulated,
+            "n_cache_hits": self.n_cache_hits,
+        }
+
+
+@dataclass
+class CampaignRecord:
+    """Everything the coordinator tracks about one submitted campaign."""
+
+    campaign_id: str
+    spec: CampaignSpec
+    chunks: List[ChunkRecord]
+    #: The flattened run-spec list, kept so ack verification can map any
+    #: chunk to its cache paths without re-deriving the whole campaign.
+    run_specs: List[Any] = field(default_factory=list)
+    events: List[str] = field(default_factory=list)
+    result: Optional[CampaignResult] = None
+
+    @property
+    def n_runs(self) -> int:
+        """Total runs across every chunk."""
+        return len(self.run_specs)
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether every chunk has been acknowledged."""
+        return all(record.state == DONE for record in self.chunks)
+
+
+class CampaignCoordinator:
+    """Shards campaigns, leases chunks to workers and reduces results.
+
+    Parameters
+    ----------
+    cache_dir:
+        The shared result store — a directory every worker can write to
+        (same filesystem path on all hosts: a local path for single-host
+        fan-out, an NFS/bind mount for a LAN).  Submitted specs are
+        normalized onto it, whatever their own ``cache_dir`` said.
+    lease_seconds:
+        Default chunk lease duration; a spec's ``[service]`` section
+        overrides it per campaign.
+    clock:
+        Monotonic time source, injectable for tests.
+
+    All public methods are thread-safe (the REST surface serves each
+    request on its own thread).
+    """
+
+    def __init__(
+        self,
+        cache_dir: Union[str, Path],
+        lease_seconds: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.cache_dir = str(cache_dir)
+        self.lease_seconds = lease_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._campaigns: Dict[str, CampaignRecord] = {}
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def normalize(self, spec: CampaignSpec) -> CampaignSpec:
+        """A submitted spec, rebased onto the shared cache directory.
+
+        Normalization touches only the execution plan (which never affects
+        results), so every spec differing merely in its local cache path
+        maps to the same campaign id.
+        """
+        parallel = replace(
+            spec.experiment.parallel, cache_dir=self.cache_dir, cache_enabled=True
+        )
+        return spec.with_experiment(spec.experiment.with_parallel(parallel))
+
+    def submit(self, spec: CampaignSpec) -> str:
+        """Register a campaign; returns its id.  Idempotent.
+
+        Re-submitting a spec already known to this coordinator returns the
+        existing campaign unchanged (its chunk states survive); after a
+        coordinator restart the chunks start over as pending, and the
+        shared cache turns every already-simulated run into a hit.
+        """
+        if spec.live.enabled:
+            raise ConfigurationError(
+                "live early-stop campaigns are not distributable yet; "
+                "disable the spec's [live] section or run in-process"
+            )
+        spec = self.normalize(spec)
+        campaign_id = campaign_fingerprint(spec)
+        with self._lock:
+            record = self._campaigns.get(campaign_id)
+            if record is None:
+                chunks = [
+                    ChunkRecord(chunk=chunk) for chunk in shard_campaign(spec)
+                ]
+                record = CampaignRecord(
+                    campaign_id=campaign_id,
+                    spec=spec,
+                    chunks=chunks,
+                    run_specs=campaign_run_specs(spec),
+                )
+                self._campaigns[campaign_id] = record
+                self._log(
+                    record,
+                    f"submitted: {spec.name!r}, {record.n_runs} runs in "
+                    f"{len(chunks)} chunks",
+                )
+            else:
+                self._log(record, "re-submitted (idempotent)")
+        return campaign_id
+
+    # ------------------------------------------------------------------
+    # Worker protocol
+    # ------------------------------------------------------------------
+    def claim(
+        self, campaign_id: str, worker_id: str
+    ) -> Optional[Dict[str, Any]]:
+        """Lease the next pending chunk to ``worker_id``.
+
+        Returns the chunk's wire mapping (with its lease duration), or
+        ``None`` when nothing is claimable — either the campaign is
+        complete or every remaining chunk is currently leased out.
+        """
+        with self._lock:
+            record = self._require(campaign_id)
+            self._reap(record)
+            lease = self._lease_of(record)
+            for chunk_record in record.chunks:
+                if chunk_record.state != PENDING:
+                    continue
+                chunk_record.state = LEASED
+                chunk_record.worker_id = str(worker_id)
+                chunk_record.lease_deadline = self._clock() + lease
+                chunk_record.attempts += 1
+                self._log(
+                    record,
+                    f"claim: {chunk_record.chunk.chunk_id} -> {worker_id} "
+                    f"(attempt {chunk_record.attempts}, lease {lease:g} s)",
+                )
+                return {
+                    **chunk_record.chunk.to_mapping(),
+                    "campaign_id": campaign_id,
+                    "lease_seconds": lease,
+                }
+            return None
+
+    def heartbeat(self, campaign_id: str, chunk_id: str, worker_id: str) -> bool:
+        """Renew a worker's lease on a chunk.
+
+        Returns ``False`` when the lease is no longer the worker's to renew
+        (expired and reclaimed, or the chunk already completed) — the
+        worker should stop executing the chunk.
+        """
+        with self._lock:
+            record = self._require(campaign_id)
+            self._reap(record)
+            chunk_record = self._chunk(record, chunk_id)
+            if (
+                chunk_record.state != LEASED
+                or chunk_record.worker_id != str(worker_id)
+            ):
+                return False
+            chunk_record.lease_deadline = self._clock() + self._lease_of(record)
+            return True
+
+    def ack(
+        self,
+        campaign_id: str,
+        chunk_id: str,
+        worker_id: str,
+        n_simulated: int = 0,
+        n_cache_hits: int = 0,
+    ) -> Dict[str, Any]:
+        """Mark a chunk complete, after verifying its results are on disk.
+
+        Every run of the chunk must have an NPZ entry in the shared cache;
+        otherwise the chunk goes back to pending (and the ack reports how
+        many entries were missing).  Acks are idempotent — a second ack of
+        a done chunk is accepted without changing anything — and
+        ownership-blind, because a result under the right cache key is
+        correct no matter which worker's lease produced it.
+        """
+        with self._lock:
+            record = self._require(campaign_id)
+            chunk_record = self._chunk(record, chunk_id)
+            if chunk_record.state == DONE:
+                return {"accepted": True, "missing": 0, "complete": record.is_complete}
+            missing = self._missing_results(record, chunk_record.chunk)
+            if missing:
+                chunk_record.state = PENDING
+                chunk_record.worker_id = None
+                chunk_record.lease_deadline = None
+                self._log(
+                    record,
+                    f"ack rejected: {chunk_id} from {worker_id} "
+                    f"({missing} results missing from the shared cache)",
+                )
+                return {"accepted": False, "missing": missing, "complete": False}
+            chunk_record.state = DONE
+            chunk_record.worker_id = str(worker_id)
+            chunk_record.lease_deadline = None
+            chunk_record.n_simulated = int(n_simulated)
+            chunk_record.n_cache_hits = int(n_cache_hits)
+            complete = record.is_complete
+            self._log(
+                record,
+                f"ack: {chunk_id} by {worker_id} "
+                f"({n_simulated} simulated, {n_cache_hits} cached)"
+                + ("; campaign complete" if complete else ""),
+            )
+            return {"accepted": True, "missing": 0, "complete": complete}
+
+    # ------------------------------------------------------------------
+    # Introspection and reduction
+    # ------------------------------------------------------------------
+    def campaign_ids(self) -> List[str]:
+        """Ids of every submitted campaign, in submission order."""
+        with self._lock:
+            return list(self._campaigns)
+
+    def spec_mapping(self, campaign_id: str) -> Dict[str, Any]:
+        """The normalized spec document of a campaign (wire form)."""
+        with self._lock:
+            return self._require(campaign_id).spec.to_mapping()
+
+    def progress(self, campaign_id: str) -> Dict[str, Any]:
+        """Scheduling progress of a campaign."""
+        with self._lock:
+            record = self._require(campaign_id)
+            self._reap(record)
+            states = [chunk.state for chunk in record.chunks]
+            n_done = states.count(DONE)
+            chunk_runs_done = sum(
+                chunk.chunk.n_runs
+                for chunk in record.chunks
+                if chunk.state == DONE
+            )
+            return {
+                "campaign_id": campaign_id,
+                "name": record.spec.name,
+                "complete": record.is_complete,
+                "n_runs": record.n_runs,
+                "n_runs_done": chunk_runs_done,
+                "n_chunks": len(states),
+                "n_pending": states.count(PENDING),
+                "n_leased": states.count(LEASED),
+                "n_done": n_done,
+                "n_simulated": sum(c.n_simulated for c in record.chunks),
+                "n_cache_hits": sum(c.n_cache_hits for c in record.chunks),
+            }
+
+    def chunk_states(self, campaign_id: str) -> List[Dict[str, Any]]:
+        """Per-chunk scheduling state of a campaign."""
+        with self._lock:
+            record = self._require(campaign_id)
+            self._reap(record)
+            return [chunk.to_mapping() for chunk in record.chunks]
+
+    def events(self, campaign_id: str) -> List[str]:
+        """The campaign's progress log, oldest first."""
+        with self._lock:
+            return list(self._require(campaign_id).events)
+
+    def result(self, campaign_id: str) -> CampaignResult:
+        """Reduce a complete campaign into its :class:`CampaignResult`.
+
+        The reduction runs the ordinary in-process session over the shared
+        cache — every simulation is a cache hit, so only NPZ loads, model
+        fitting and scoring execute here, and the produced tables are the
+        single-host tables by construction.  The result is memoized.
+        """
+        with self._lock:
+            record = self._require(campaign_id)
+            self._reap(record)
+            if not record.is_complete:
+                raise ServiceError(
+                    f"campaign {campaign_id} is not complete "
+                    f"({sum(c.state == DONE for c in record.chunks)}/"
+                    f"{len(record.chunks)} chunks done)"
+                )
+            if record.result is not None:
+                return record.result
+            spec = record.spec
+        # Reduce outside the lock: scoring a large campaign may take a
+        # while and must not block claims/heartbeats of other campaigns.
+        result = Session(spec).run()
+        with self._lock:
+            if record.result is None:
+                record.result = result
+                self._log(record, "reduced: tables built from the shared cache")
+            return record.result
+
+    def tables(self, campaign_id: str) -> Dict[str, List[Dict[str, Any]]]:
+        """The reduced result tables of a complete campaign (JSON-safe)."""
+        return self.result(campaign_id).tables()
+
+    def health(self) -> Dict[str, Any]:
+        """Liveness snapshot for the ``/health`` endpoint."""
+        with self._lock:
+            return {
+                "status": "ok",
+                "version": __version__,
+                "cache_dir": self.cache_dir,
+                "n_campaigns": len(self._campaigns),
+            }
+
+    # ------------------------------------------------------------------
+    # Internals (call with the lock held)
+    # ------------------------------------------------------------------
+    def _require(self, campaign_id: str) -> CampaignRecord:
+        record = self._campaigns.get(campaign_id)
+        if record is None:
+            raise ServiceError(f"unknown campaign {campaign_id!r}")
+        return record
+
+    @staticmethod
+    def _chunk(record: CampaignRecord, chunk_id: str) -> ChunkRecord:
+        for chunk_record in record.chunks:
+            if chunk_record.chunk.chunk_id == chunk_id:
+                return chunk_record
+        raise ServiceError(
+            f"campaign {record.campaign_id} has no chunk {chunk_id!r}"
+        )
+
+    def _lease_of(self, record: CampaignRecord) -> float:
+        if self.lease_seconds is not None:
+            return float(self.lease_seconds)
+        return float(record.spec.service.lease_seconds)
+
+    def _reap(self, record: CampaignRecord) -> None:
+        """Return expired leases to the pending pool."""
+        now = self._clock()
+        for chunk_record in record.chunks:
+            if (
+                chunk_record.state == LEASED
+                and chunk_record.lease_deadline is not None
+                and chunk_record.lease_deadline < now
+            ):
+                self._log(
+                    record,
+                    f"lease expired: {chunk_record.chunk.chunk_id} "
+                    f"(was {chunk_record.worker_id}); back to pending",
+                )
+                chunk_record.state = PENDING
+                chunk_record.worker_id = None
+                chunk_record.lease_deadline = None
+
+    def _missing_results(self, record: CampaignRecord, chunk: WorkChunk) -> int:
+        """How many of a chunk's runs have no entry in the shared cache."""
+        cache = ResultCache(self.cache_dir)
+        specs = record.run_specs[chunk.start : chunk.stop]
+        return sum(1 for spec in specs if not cache.path_for(spec).is_file())
+
+    def _log(self, record: CampaignRecord, message: str) -> None:
+        record.events.append(f"[{record.campaign_id}] {message}")

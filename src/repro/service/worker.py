@@ -1,0 +1,220 @@
+"""The chunk worker: claim → simulate → publish → ack.
+
+:class:`ChunkWorker` is deliberately coordinator-agnostic: it drives any
+object exposing the coordinator protocol (``campaign_ids``,
+``spec_mapping``, ``claim``, ``heartbeat``, ``ack``, ``progress``) — the
+in-process :class:`~repro.service.coordinator.CampaignCoordinator` for
+tests and single-host fan-out, or a
+:class:`~repro.service.client.CoordinatorClient` for remote execution.
+
+Executing a chunk is just handing its :class:`RunSpec` slice to a normal
+:class:`~repro.experiments.parallel.CampaignEngine` whose cache points at
+the shared store: the batch backend (``run_specs_batched`` under the hood),
+per-run derived seeds and atomic NPZ publication are all inherited, so a
+distributed run is bitwise-identical to a local one and every completed
+run is durable the moment it is written — a worker dying mid-chunk loses
+at most the runs it had not yet finished.
+
+While a chunk simulates, a daemon heartbeat thread renews the lease every
+``[service] heartbeat_seconds``; if the coordinator refuses a renewal (the
+lease expired and was reclaimed), the worker abandons the chunk after the
+current engine call instead of acking it.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import uuid
+from dataclasses import replace
+from typing import Any, Dict, Optional
+
+from repro.api.spec import CampaignSpec
+from repro.experiments.parallel import CampaignEngine
+from repro.service.chunks import WorkChunk
+
+__all__ = ["ChunkWorker"]
+
+
+class ChunkWorker:
+    """Executes claimable chunks against a coordinator.
+
+    Parameters
+    ----------
+    coordinator:
+        A :class:`CampaignCoordinator` or :class:`CoordinatorClient`.
+    worker_id:
+        Stable identity used in leases and logs; defaults to
+        ``"<hostname>-<pid>-<4 hex>"``.
+    cache_dir:
+        Override of the shared store path, for workers that mount it
+        somewhere else than the coordinator does.  ``None`` trusts the
+        normalized spec.
+    n_workers:
+        Override of the per-chunk process fan-out (``None`` keeps the
+        spec's execution plan).  ``1`` makes the worker purely in-process.
+    """
+
+    def __init__(
+        self,
+        coordinator,
+        worker_id: Optional[str] = None,
+        cache_dir: Optional[str] = None,
+        n_workers: Optional[int] = None,
+    ):
+        self.coordinator = coordinator
+        self.worker_id = worker_id or (
+            f"{os.uname().nodename}-{os.getpid()}-{uuid.uuid4().hex[:4]}"
+        )
+        self.cache_dir = cache_dir
+        self.n_workers = n_workers
+        self.n_chunks_done = 0
+        self.n_chunks_abandoned = 0
+        self.n_simulated = 0
+        self.n_cache_hits = 0
+        self._specs: Dict[str, CampaignSpec] = {}
+
+    # ------------------------------------------------------------------
+    def _spec_of(self, campaign_id: str) -> CampaignSpec:
+        """The campaign's normalized spec, fetched once and cached."""
+        if campaign_id not in self._specs:
+            spec = CampaignSpec.from_mapping(
+                self.coordinator.spec_mapping(campaign_id)
+            )
+            if self.cache_dir is not None or self.n_workers is not None:
+                parallel = spec.experiment.parallel
+                if self.cache_dir is not None:
+                    parallel = replace(parallel, cache_dir=str(self.cache_dir))
+                if self.n_workers is not None:
+                    parallel = replace(parallel, n_workers=int(self.n_workers))
+                spec = spec.with_experiment(
+                    spec.experiment.with_parallel(parallel)
+                )
+            self._specs[campaign_id] = spec
+        return self._specs[campaign_id]
+
+    def _execute(
+        self, campaign_id: str, descriptor: Dict[str, Any]
+    ) -> bool:
+        """Simulate one claimed chunk and ack it; True when acknowledged."""
+        spec = self._spec_of(campaign_id)
+        chunk = WorkChunk.from_mapping(descriptor)
+        specs = chunk.specs_of(spec)
+        engine = CampaignEngine(spec.experiment.parallel)
+
+        lease_lost = threading.Event()
+        stop_beating = threading.Event()
+        interval = float(spec.service.heartbeat_seconds)
+
+        def beat() -> None:
+            while not stop_beating.wait(interval):
+                try:
+                    alive = self.coordinator.heartbeat(
+                        campaign_id, chunk.chunk_id, self.worker_id
+                    )
+                except Exception:
+                    # A transient coordinator outage must not kill the
+                    # simulation; the lease may expire, in which case the
+                    # ack below simply won't be ours to make.
+                    continue
+                if not alive:
+                    lease_lost.set()
+                    return
+
+        heartbeat_thread = threading.Thread(target=beat, daemon=True)
+        heartbeat_thread.start()
+        try:
+            # Publication happens inside the engine: every completed run is
+            # written to the shared cache under its content-derived key as
+            # it finishes.  prune=False — eviction mid-campaign could drop
+            # entries other chunks already produced.
+            engine.run(specs, prune=False)
+        finally:
+            stop_beating.set()
+            heartbeat_thread.join(timeout=1.0)
+        stats = engine.last_stats
+        self.n_simulated += stats.n_simulated
+        self.n_cache_hits += stats.n_cache_hits
+        if lease_lost.is_set():
+            # The chunk was reclaimed while we simulated.  The results are
+            # in the cache regardless (nothing is wasted), but the ack —
+            # and the bookkeeping that goes with it — belongs to the
+            # current leaseholder.
+            self.n_chunks_abandoned += 1
+            return False
+        response = self.coordinator.ack(
+            campaign_id,
+            chunk.chunk_id,
+            self.worker_id,
+            n_simulated=stats.n_simulated,
+            n_cache_hits=stats.n_cache_hits,
+        )
+        if response.get("accepted"):
+            self.n_chunks_done += 1
+            return True
+        self.n_chunks_abandoned += 1
+        return False
+
+    # ------------------------------------------------------------------
+    def run_once(self, campaign_id: str) -> bool:
+        """Claim and execute at most one chunk; True when one was executed."""
+        descriptor = self.coordinator.claim(campaign_id, self.worker_id)
+        if descriptor is None:
+            return False
+        self._execute(campaign_id, descriptor)
+        return True
+
+    def drain(self, campaign_id: str, poll_seconds: Optional[float] = None) -> int:
+        """Work on a campaign until it completes; returns chunks executed.
+
+        When no chunk is claimable but the campaign is still incomplete
+        (every remaining chunk is leased to someone else), the worker
+        sleeps ``poll_seconds`` — another worker's death would then return
+        chunks to the pool for us to pick up.
+        """
+        executed = 0
+        while True:
+            if self.run_once(campaign_id):
+                executed += 1
+                continue
+            progress = self.coordinator.progress(campaign_id)
+            if progress["complete"]:
+                return executed
+            time.sleep(
+                float(poll_seconds)
+                if poll_seconds is not None
+                else float(self._spec_of(campaign_id).service.poll_seconds)
+            )
+
+    def drain_all(self, poll_seconds: float = 0.5, max_idle: Optional[float] = None) -> int:
+        """Work on every submitted campaign until all complete (or idle out).
+
+        ``max_idle`` bounds how long the worker waits for *new* campaigns
+        once everything it can see is complete; ``None`` waits forever
+        (the long-running service worker).  Returns chunks executed.
+        """
+        executed = 0
+        idle_since: Optional[float] = None
+        while True:
+            progressed = False
+            for campaign_id in self.coordinator.campaign_ids():
+                while self.run_once(campaign_id):
+                    executed += 1
+                    progressed = True
+            if progressed:
+                idle_since = None
+                continue
+            incomplete = [
+                campaign_id
+                for campaign_id in self.coordinator.campaign_ids()
+                if not self.coordinator.progress(campaign_id)["complete"]
+            ]
+            if not incomplete:
+                if max_idle is not None:
+                    now = time.monotonic()
+                    if idle_since is None:
+                        idle_since = now
+                    elif now - idle_since >= max_idle:
+                        return executed
+            time.sleep(float(poll_seconds))

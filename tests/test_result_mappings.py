@@ -1,0 +1,145 @@
+"""Round-trip pins for the JSON-safe result mappings.
+
+``CampaignResult`` and ``ScenarioSummary`` must cross process and HTTP
+boundaries losslessly: ``from_mapping(to_mapping(x))`` has to reproduce
+every table-facing number exactly, and the mapping itself has to survive
+``json.dumps`` untouched.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.api.session import CampaignResult
+from repro.api.spec import CampaignSpec, SweepSpec
+from repro.common.config import (
+    ExperimentConfig,
+    ParallelConfig,
+    SimulationConfig,
+)
+from repro.experiments.analysis import ScenarioSummary
+from repro.experiments.scenarios import disturbance_idv6_scenario
+
+SMALL_EXPERIMENT = ExperimentConfig(
+    n_calibration_runs=2,
+    n_runs_per_scenario=1,
+    anomaly_start_hour=2.0,
+    simulation=SimulationConfig(duration_hours=5.0, samples_per_hour=20, seed=13),
+    parallel=ParallelConfig.serial(),
+    seed=13,
+)
+
+
+def small_spec(**kwargs) -> CampaignSpec:
+    defaults = dict(name="mappings", scenarios=["idv6", "attack_xmv3"])
+    defaults.update(kwargs)
+    return CampaignSpec(**defaults).with_experiment(SMALL_EXPERIMENT)
+
+
+@pytest.fixture(scope="module")
+def campaign_result():
+    return api.run(small_spec())
+
+
+class TestScenarioSummaryMapping:
+    def summary(self) -> ScenarioSummary:
+        return ScenarioSummary(
+            scenario=disturbance_idv6_scenario(),
+            run_lengths=[1.25, None, 0.5],
+            counts={"disturbance": 2, "normal": 1},
+            false_alarm_count=1,
+            shutdown_times_hours=[None, 4.5, None],
+            omeda_means={
+                "controller": (("a", "b"), np.array([0.5, -1.5])),
+                "process": (("x",), np.array([2.0])),
+            },
+        )
+
+    def test_mapping_is_json_safe(self):
+        blob = json.dumps(self.summary().to_mapping())
+        assert json.loads(blob)["false_alarm_count"] == 1
+
+    def test_round_trip_preserves_every_accessor(self):
+        original = self.summary()
+        rebuilt = ScenarioSummary.from_mapping(
+            json.loads(json.dumps(original.to_mapping()))
+        )
+        assert rebuilt.scenario.name == original.scenario.name
+        assert rebuilt.run_lengths == original.run_lengths
+        assert rebuilt.n_runs == original.n_runs
+        assert rebuilt.n_detected == original.n_detected
+        assert rebuilt.detection_rate == original.detection_rate
+        assert rebuilt.arl_hours == original.arl_hours
+        assert rebuilt.n_false_alarms == original.n_false_alarms
+        assert rebuilt.classification_counts() == original.classification_counts()
+        assert rebuilt.shutdown_times() == original.shutdown_times()
+        for view in ("controller", "process"):
+            names, values = original.mean_omeda(view)
+            rebuilt_names, rebuilt_values = rebuilt.mean_omeda(view)
+            assert rebuilt_names == names
+            np.testing.assert_array_equal(rebuilt_values, values)
+
+    def test_second_round_trip_is_byte_stable(self):
+        first = json.dumps(self.summary().to_mapping(), sort_keys=True)
+        second = json.dumps(
+            ScenarioSummary.from_mapping(json.loads(first)).to_mapping(),
+            sort_keys=True,
+        )
+        assert first == second
+
+
+class TestCampaignResultMapping:
+    def test_mapping_is_json_safe(self, campaign_result):
+        json.dumps(campaign_result.to_mapping())
+
+    def test_round_trip_reproduces_the_tables_exactly(self, campaign_result):
+        blob = json.dumps(campaign_result.to_mapping())
+        rebuilt = CampaignResult.from_mapping(json.loads(blob))
+        assert rebuilt.tables() == campaign_result.tables()
+        assert rebuilt.arl_table() == campaign_result.arl_table()
+        assert (
+            rebuilt.classification_table()
+            == campaign_result.classification_table()
+        )
+
+    def test_round_trip_preserves_the_spec(self, campaign_result):
+        rebuilt = CampaignResult.from_mapping(campaign_result.to_mapping())
+        assert rebuilt.spec == campaign_result.spec
+
+    def test_eager_results_are_folded_through_summaries(self, campaign_result):
+        # api.run's default eager path stores ScenarioEvaluation records;
+        # the wire form must still be summaries (no simulation arrays)
+        mapping = campaign_result.to_mapping()
+        seed = str(SMALL_EXPERIMENT.seed)
+        record = mapping["per_seed"][seed]["idv6"]
+        assert set(record) == {
+            "scenario",
+            "run_lengths",
+            "counts",
+            "false_alarm_count",
+            "shutdown_times_hours",
+            "omeda_means",
+        }
+
+    def test_sweep_results_round_trip(self):
+        spec = small_spec(
+            name="mappings-sweep",
+            scenarios=["idv6"],
+            sweep=SweepSpec(seeds=(7, 8)),
+        )
+        result = api.run(spec)
+        rebuilt = CampaignResult.from_mapping(
+            json.loads(json.dumps(result.to_mapping()))
+        )
+        assert rebuilt.seeds == [7, 8]
+        assert rebuilt.tables() == result.tables()
+
+    def test_second_round_trip_is_byte_stable(self, campaign_result):
+        first = json.dumps(campaign_result.to_mapping(), sort_keys=True)
+        second = json.dumps(
+            CampaignResult.from_mapping(json.loads(first)).to_mapping(),
+            sort_keys=True,
+        )
+        assert first == second

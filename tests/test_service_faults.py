@@ -1,0 +1,189 @@
+"""Fault-injection tests: dead workers, partial chunks, coordinator restarts.
+
+The service's recovery guarantees all reduce to one invariant: simulation
+results live in the shared cache under content-derived keys, so whatever
+dies — a worker mid-chunk, a whole worker fleet, the coordinator itself —
+completed runs are never lost and never simulated twice.
+"""
+
+import pytest
+
+from repro.api.session import Session
+from repro.api.spec import CampaignSpec
+from repro.common.config import (
+    ExperimentConfig,
+    ParallelConfig,
+    SimulationConfig,
+)
+from repro.experiments.parallel import CampaignEngine
+from repro.service import CampaignCoordinator, ChunkWorker, WorkChunk
+
+SMALL_EXPERIMENT = ExperimentConfig(
+    n_calibration_runs=2,
+    n_runs_per_scenario=1,
+    anomaly_start_hour=2.0,
+    simulation=SimulationConfig(duration_hours=5.0, samples_per_hour=20, seed=13),
+    parallel=ParallelConfig.serial(),
+    seed=13,
+)
+
+
+def small_spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="faults", scenarios=["idv6", "attack_xmv3"]
+    ).with_experiment(SMALL_EXPERIMENT)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def coordinator(tmp_path, clock):
+    return CampaignCoordinator(tmp_path / "shared", clock=clock)
+
+
+def die_mid_chunk(coordinator, campaign_id, worker_id, n_completed):
+    """Simulate a worker that claims a chunk, finishes ``n_completed`` of
+    its runs into the shared cache, then dies without acking."""
+    descriptor = coordinator.claim(campaign_id, worker_id)
+    spec = CampaignSpec.from_mapping(coordinator.spec_mapping(campaign_id))
+    specs = WorkChunk.from_mapping(descriptor).specs_of(spec)
+    if n_completed:
+        CampaignEngine(spec.experiment.parallel).run(
+            specs[:n_completed], prune=False
+        )
+    return descriptor, len(specs)
+
+
+class TestDeadWorkers:
+    def test_killed_worker_chunk_is_recovered_without_resimulation(
+        self, coordinator, clock
+    ):
+        """The pinned guarantee: a worker dying mid-chunk costs nothing.
+
+        Its finished runs are reused as cache hits by whoever re-claims the
+        chunk, only the unfinished remainder is simulated, and the final
+        tables are bitwise-identical to a single-host run.
+        """
+        campaign_id = coordinator.submit(small_spec())
+        n_runs = coordinator.progress(campaign_id)["n_runs"]
+
+        descriptor, chunk_runs = die_mid_chunk(
+            coordinator, campaign_id, "doomed", n_completed=1
+        )
+        clock.advance(descriptor["lease_seconds"] + 1)
+
+        survivor = ChunkWorker(coordinator, worker_id="survivor")
+        survivor.drain(campaign_id)
+
+        assert coordinator.progress(campaign_id)["complete"]
+        # every run simulated exactly once across the dead and live worker:
+        # the survivor re-claimed the doomed chunk but only simulated the
+        # run the dead worker never finished
+        assert survivor.n_simulated == n_runs - 1
+        assert survivor.n_cache_hits == 1
+        # and the tables are the single-host tables, bit for bit
+        distributed = coordinator.tables(campaign_id)
+        local = Session(coordinator.normalize(small_spec())).run().tables()
+        assert distributed == local
+
+    def test_worker_killed_before_any_progress(self, coordinator, clock):
+        campaign_id = coordinator.submit(small_spec())
+        n_runs = coordinator.progress(campaign_id)["n_runs"]
+        descriptor, _ = die_mid_chunk(coordinator, campaign_id, "doomed", 0)
+        clock.advance(descriptor["lease_seconds"] + 1)
+        survivor = ChunkWorker(coordinator, worker_id="survivor")
+        survivor.drain(campaign_id)
+        assert survivor.n_simulated == n_runs
+        assert survivor.n_cache_hits == 0
+        attempts = {
+            chunk["chunk_id"]: chunk["attempts"]
+            for chunk in coordinator.chunk_states(campaign_id)
+        }
+        assert attempts[descriptor["chunk_id"]] == 2
+
+    def test_whole_fleet_dies_and_a_new_fleet_finishes(self, coordinator, clock):
+        campaign_id = coordinator.submit(small_spec())
+        n_runs = coordinator.progress(campaign_id)["n_runs"]
+        # the first fleet claims everything, completes it all in the cache,
+        # but dies before acking a single chunk
+        claimed = []
+        while True:
+            descriptor = coordinator.claim(campaign_id, "fleet-1")
+            if descriptor is None:
+                break
+            claimed.append(descriptor)
+        spec = CampaignSpec.from_mapping(coordinator.spec_mapping(campaign_id))
+        for descriptor in claimed:
+            CampaignEngine(spec.experiment.parallel).run(
+                WorkChunk.from_mapping(descriptor).specs_of(spec), prune=False
+            )
+        clock.advance(max(d["lease_seconds"] for d in claimed) + 1)
+        # the second fleet acks everything from cache without simulating
+        survivor = ChunkWorker(coordinator, worker_id="fleet-2")
+        survivor.drain(campaign_id)
+        assert survivor.n_simulated == 0
+        assert survivor.n_cache_hits == n_runs
+        assert coordinator.progress(campaign_id)["complete"]
+
+
+class TestCoordinatorRestart:
+    def test_restarted_coordinator_resumes_from_the_cache(
+        self, tmp_path, clock
+    ):
+        """Killing the coordinator mid-campaign loses scheduling state only.
+
+        A fresh coordinator over the same shared cache re-shards the spec
+        identically (deterministic chunking) and the replacement workers'
+        engines turn every already-simulated run into a cache hit.
+        """
+        shared = tmp_path / "shared"
+        first = CampaignCoordinator(shared, clock=clock)
+        campaign_id = first.submit(small_spec())
+        n_runs = first.progress(campaign_id)["n_runs"]
+        n_chunks = first.progress(campaign_id)["n_chunks"]
+
+        # phase 1: one chunk fully done and acked, then the coordinator dies
+        worker = ChunkWorker(first, worker_id="phase-1")
+        assert worker.run_once(campaign_id)
+        phase1_simulated = worker.n_simulated
+        assert 0 < phase1_simulated < n_runs
+
+        # phase 2: a new coordinator process over the same shared cache
+        second = CampaignCoordinator(shared, clock=clock)
+        assert second.submit(small_spec()) == campaign_id  # same id: same spec
+        assert second.progress(campaign_id)["n_chunks"] == n_chunks
+        survivor = ChunkWorker(second, worker_id="phase-2")
+        survivor.drain(campaign_id)
+
+        # nothing simulated twice: phase 2 only simulated what phase 1 didn't
+        assert phase1_simulated + survivor.n_simulated == n_runs
+        assert survivor.n_cache_hits == phase1_simulated
+        distributed = second.tables(campaign_id)
+        local = Session(second.normalize(small_spec())).run().tables()
+        assert distributed == local
+
+    def test_lost_lease_makes_worker_abandon_not_ack(self, coordinator, clock):
+        """A worker whose lease was reclaimed mid-simulation must not ack."""
+        campaign_id = coordinator.submit(small_spec())
+        descriptor = coordinator.claim(campaign_id, "slow-worker")
+        chunk_id = descriptor["chunk_id"]
+        # lease expires and someone else claims the chunk
+        clock.advance(descriptor["lease_seconds"] + 1)
+        stolen = coordinator.claim(campaign_id, "fast-worker")
+        assert stolen["chunk_id"] == chunk_id
+        # the slow worker's heartbeat now tells it to stand down
+        assert not coordinator.heartbeat(campaign_id, chunk_id, "slow-worker")

@@ -1,0 +1,160 @@
+"""Tests for the REST control surface and its urllib client."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro import api
+from repro.api.spec import CampaignSpec
+from repro.common.config import (
+    ExperimentConfig,
+    ParallelConfig,
+    SimulationConfig,
+)
+from repro.common.exceptions import ServiceError, ServiceUnavailableError
+from repro.service import (
+    CampaignCoordinator,
+    ChunkWorker,
+    CoordinatorClient,
+    CoordinatorServer,
+)
+
+SMALL_EXPERIMENT = ExperimentConfig(
+    n_calibration_runs=2,
+    n_runs_per_scenario=1,
+    anomaly_start_hour=2.0,
+    simulation=SimulationConfig(duration_hours=5.0, samples_per_hour=20, seed=13),
+    parallel=ParallelConfig.serial(),
+    seed=13,
+)
+
+
+def small_spec(**kwargs) -> CampaignSpec:
+    defaults = dict(name="http", scenarios=["idv6"])
+    defaults.update(kwargs)
+    return CampaignSpec(**defaults).with_experiment(SMALL_EXPERIMENT)
+
+
+@pytest.fixture
+def service(tmp_path):
+    coordinator = CampaignCoordinator(tmp_path / "shared")
+    with CoordinatorServer(coordinator, port=0) as server:
+        yield coordinator, server, CoordinatorClient(server.url)
+
+
+class TestRoutes:
+    def test_health(self, service):
+        _, _, client = service
+        health = client.health()
+        assert health["status"] == "ok"
+
+    def test_submit_and_list(self, service):
+        _, _, client = service
+        campaign_id = client.submit(small_spec())
+        assert client.campaign_ids() == [campaign_id]
+        assert client.submit(small_spec()) == campaign_id
+
+    def test_spec_round_trips_over_the_wire(self, service):
+        coordinator, _, client = service
+        campaign_id = client.submit(small_spec())
+        fetched = CampaignSpec.from_mapping(client.spec_mapping(campaign_id))
+        assert fetched == coordinator._campaigns[campaign_id].spec
+
+    def test_progress_chunks_events(self, service):
+        _, _, client = service
+        campaign_id = client.submit(small_spec())
+        progress = client.progress(campaign_id)
+        assert progress["n_chunks"] == len(client.chunk_states(campaign_id))
+        assert any("submitted" in event for event in client.events(campaign_id))
+
+    def test_full_protocol_over_http(self, service):
+        coordinator, _, client = service
+        campaign_id = client.submit(small_spec())
+        worker = ChunkWorker(client, worker_id="http-worker")
+        executed = worker.drain(campaign_id)
+        assert executed > 0
+        assert client.progress(campaign_id)["complete"]
+        tables = client.tables(campaign_id)
+        # HTTP tables == in-process coordinator tables == single-host run
+        assert tables == coordinator.tables(campaign_id)
+        local = api.run(coordinator.normalize(small_spec()))
+        assert tables == local.tables()
+
+
+class TestErrors:
+    def test_unreachable_coordinator(self):
+        client = CoordinatorClient("http://127.0.0.1:1", timeout=2.0)
+        with pytest.raises(ServiceUnavailableError, match="cannot reach"):
+            client.health()
+
+    def test_unknown_campaign_is_service_error(self, service):
+        _, _, client = service
+        with pytest.raises(ServiceError, match="unknown campaign"):
+            client.progress("deadbeef01234567")
+
+    def test_tables_before_completion_is_conflict(self, service):
+        _, server, client = service
+        campaign_id = client.submit(small_spec())
+        with pytest.raises(ServiceError, match="not complete"):
+            client.tables(campaign_id)
+        # and the raw status code is 409, not 404/500
+        try:
+            urllib.request.urlopen(f"{server.url}/campaigns/{campaign_id}/tables")
+        except urllib.error.HTTPError as error:
+            assert error.code == 409
+        else:
+            pytest.fail("expected HTTP 409")
+
+    def test_bad_submission_body(self, service):
+        _, server, _ = service
+        request = urllib.request.Request(
+            f"{server.url}/campaigns",
+            data=b"this is not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request)
+        assert info.value.code == 400
+
+    def test_invalid_spec_is_a_400_not_a_500(self, service):
+        _, server, _ = service
+        body = json.dumps({"spec": {"name": "x", "scenarios": ["no-such"]}})
+        request = urllib.request.Request(
+            f"{server.url}/campaigns",
+            data=body.encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request)
+        assert info.value.code == 400
+
+    def test_unknown_route_is_404(self, service):
+        _, server, _ = service
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(f"{server.url}/nope")
+        assert info.value.code == 404
+
+
+class TestFacade:
+    def test_submit_poll_fetch(self, service, tmp_path):
+        _, server, client = service
+        spec = small_spec()
+        campaign_id = api.submit_spec(spec, url=server.url)
+        progress = api.poll(spec, url=server.url)
+        assert progress["campaign_id"] == campaign_id
+        ChunkWorker(client, worker_id="w").drain(campaign_id)
+        tables = api.fetch_tables(spec, url=server.url)
+        assert set(tables) == set(spec.analysis.tables)
+
+    def test_session_methods_share_the_campaign_id(self, service):
+        _, server, client = service
+        session = api.Session(small_spec())
+        campaign_id = session.submit(url=server.url)
+        assert session.status(url=server.url)["campaign_id"] == campaign_id
+
+    def test_facade_surfaces_unreachable_coordinator(self):
+        with pytest.raises(ServiceUnavailableError):
+            api.submit_spec(small_spec(), url="http://127.0.0.1:1")
