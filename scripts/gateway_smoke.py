@@ -1,0 +1,226 @@
+"""Streaming-gateway smoke test: server + N feeder clients vs in-process.
+
+The end-to-end acceptance check of :mod:`repro.gateway`, runnable locally
+and in CI:
+
+1. calibrates a smoke-scale dual-level monitor and records one run of
+   each registered paper scenario,
+2. boots a :class:`~repro.gateway.server.GatewayServer` on loopback
+   ephemeral ports,
+3. replays the recorded runs over ``--streams`` concurrent feeder threads
+   (scenarios round-robined across streams, newline-JSON TCP transport),
+4. closes every stream and compares each gateway report **byte for byte**
+   (canonical JSON) against an in-process
+   :class:`~repro.live.monitor.LiveMonitor` fed the same samples — the
+   cross-stream batched scoring path must be bitwise-identical to local
+   monitoring, and
+5. appends every stream's alarm transitions and the final ``/metrics``
+   document to ``--log`` (uploaded as a CI artifact).
+
+Exits non-zero on any mismatch, feeder failure, or refused stream.
+
+Usage::
+
+    PYTHONPATH=src python scripts/gateway_smoke.py --streams 6 \
+        --log gateway-smoke-alarms.log
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.common.config import (  # noqa: E402
+    ExperimentConfig,
+    GatewayConfig,
+    ParallelConfig,
+    SimulationConfig,
+)
+from repro.experiments.evaluation import Evaluation  # noqa: E402
+from repro.experiments.registry import get_scenario, scenario_names  # noqa: E402
+from repro.experiments.runner import run_scenario  # noqa: E402
+from repro.gateway import GatewayServer, MonitorPool, StreamClient  # noqa: E402
+from repro.live.monitor import LiveMonitor  # noqa: E402
+
+# Small but complete: every paper scenario runs, anomalies have room to be
+# detected, and the whole harness is seconds of pure Python.
+SMOKE_EXPERIMENT = ExperimentConfig(
+    n_calibration_runs=2,
+    n_runs_per_scenario=1,
+    anomaly_start_hour=2.0,
+    simulation=SimulationConfig(duration_hours=5.0, samples_per_hour=20, seed=13),
+    parallel=ParallelConfig.serial(),
+    seed=13,
+)
+
+
+def canonical(mapping) -> str:
+    return json.dumps(mapping, sort_keys=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--streams", type=int, default=6, help="concurrent feeder streams"
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=16, help="cross-stream scoring batch"
+    )
+    parser.add_argument(
+        "--log",
+        type=Path,
+        default=Path("gateway-smoke-alarms.log"),
+        help="alarm log artifact",
+    )
+    arguments = parser.parse_args(argv)
+
+    log_lines = []
+
+    def log(message: str) -> None:
+        line = f"[{time.strftime('%H:%M:%S')}] {message}"
+        print(line, flush=True)
+        log_lines.append(line)
+
+    exit_code = 1
+    try:
+        log(f"calibrating ({SMOKE_EXPERIMENT.n_calibration_runs} runs)...")
+        evaluation = Evaluation(SMOKE_EXPERIMENT)
+        evaluation.calibrate(keep_results=False)
+        analyzer = evaluation.analyzer
+
+        runs = {}
+        for name in scenario_names():
+            log(f"recording scenario {name}...")
+            runs[name] = run_scenario(
+                get_scenario(name),
+                SMOKE_EXPERIMENT.simulation,
+                anomaly_start_hour=SMOKE_EXPERIMENT.anomaly_start_hour,
+            )
+
+        config = GatewayConfig(
+            port=0,
+            ingest_port=0,
+            scoring_batch_size=arguments.batch_size,
+            flush_interval_seconds=0.02,
+        )
+        pool = MonitorPool(analyzer, config)
+        scenario_cycle = list(runs)
+        plan = [
+            (f"stream-{index}", scenario_cycle[index % len(scenario_cycle)])
+            for index in range(arguments.streams)
+        ]
+        reports = {}
+        failures = []
+
+        with GatewayServer(pool) as server:
+            log(f"gateway up: ops {server.url}, ingest {server.ingest_address}")
+
+            def replay(stream_id: str, scenario_name: str) -> None:
+                try:
+                    result = runs[scenario_name]
+                    controller = result.controller_data
+                    process = result.process_data
+                    onset = (
+                        SMOKE_EXPERIMENT.anomaly_start_hour
+                        if get_scenario(scenario_name).is_anomalous
+                        else None
+                    )
+                    client = StreamClient(server.url)
+                    with client:
+                        client.open_stream(stream_id, anomaly_start_hour=onset)
+                        for i in range(controller.n_observations):
+                            client.feed(
+                                stream_id,
+                                controller.values[i],
+                                process.values[i],
+                                float(controller.timestamps[i]),
+                            )
+                        reports[stream_id] = client.close_stream(stream_id)
+                except Exception as error:  # noqa: BLE001 - collected below
+                    failures.append(f"{stream_id} ({scenario_name}): {error}")
+
+            threads = [
+                threading.Thread(target=replay, args=spec, daemon=True)
+                for spec in plan
+            ]
+            log(f"feeding {len(threads)} concurrent streams...")
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=300.0)
+
+            metrics_text = StreamClient(server.url).metrics_text()
+
+        if failures:
+            for failure in failures:
+                log(f"FEEDER FAILURE: {failure}")
+            return 1
+
+        log("comparing against in-process LiveMonitor (bitwise)...")
+        mismatches = 0
+        for stream_id, scenario_name in plan:
+            result = runs[scenario_name]
+            controller = result.controller_data
+            process = result.process_data
+            onset = (
+                SMOKE_EXPERIMENT.anomaly_start_hour
+                if get_scenario(scenario_name).is_anomalous
+                else None
+            )
+            reference = LiveMonitor(analyzer, anomaly_start_hour=onset)
+            for i in range(controller.n_observations):
+                reference.observe(
+                    controller.values[i],
+                    process.values[i],
+                    float(controller.timestamps[i]),
+                )
+            expected = canonical(reference.report().to_mapping())
+            actual = canonical(reports[stream_id])
+            verdict = "identical" if expected == actual else "MISMATCH"
+            if expected != actual:
+                mismatches += 1
+            report = reports[stream_id]
+            n_raised = sum(
+                1
+                for events in report["alarm_events"].values()
+                for event in events
+                if event["kind"] == "raised"
+            )
+            log(
+                f"  {stream_id} [{scenario_name}]: {report['n_samples']} "
+                f"samples, {n_raised} alarm(s) raised -> {verdict}"
+            )
+            for view, events in sorted(report["alarm_events"].items()):
+                for event in events:
+                    log(
+                        f"    alarm {event['kind']} [{view}/{event['chart']}] "
+                        f"at t={event['time_hours']:.3f} h "
+                        f"(value {event['statistic_value']:.3f}, "
+                        f"limit {event['limit']:.3f})"
+                    )
+
+        log_lines.append("")
+        log_lines.append("# final /metrics document")
+        log_lines.extend(metrics_text.rstrip("\n").splitlines())
+
+        if mismatches:
+            log(f"FAILED: {mismatches} stream(s) diverged from in-process")
+            return 1
+        log(f"OK: all {len(plan)} gateway streams bitwise-identical in-process")
+        exit_code = 0
+        return 0
+    finally:
+        arguments.log.write_text("\n".join(log_lines) + "\n", encoding="utf-8")
+        if exit_code != 0:
+            print(f"alarm log written to {arguments.log}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

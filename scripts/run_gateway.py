@@ -1,0 +1,245 @@
+"""Serve or feed the streaming detection gateway.
+
+Two modes around :mod:`repro.gateway`:
+
+``--serve``
+    Calibrate the spec's dual-level monitor and serve it: newline-JSON TCP
+    ingest for plant streams, HTTP operations surface (health, Prometheus
+    ``/metrics``, per-stream alarms/reports, SSE events).  Blocks until
+    interrupted.
+
+``--feed URL``
+    Replay a recorded run against a serving gateway: simulate one
+    registered scenario, open ``--streams`` concurrent streams, feed every
+    sample of the run into each, and print the per-stream verdicts.
+
+Examples
+--------
+Serve the paper's monitor (smoke-scale calibration)::
+
+    PYTHONPATH=src python scripts/run_gateway.py --serve --scale smoke
+
+Serve from a spec file::
+
+    PYTHONPATH=src python scripts/run_gateway.py --serve \
+        --spec examples/specs/gateway_paper.toml
+
+Feed 8 replayed IDV(6) streams into a running gateway::
+
+    PYTHONPATH=src python scripts/run_gateway.py --feed http://127.0.0.1:8790 \
+        --scenario idv6 --streams 8 --scale smoke
+
+The gateway is unauthenticated: bind it to loopback or a trusted LAN only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+from dataclasses import replace
+
+from repro.api import CampaignSpec, StreamClient, load_spec
+from repro.api.session import Session
+from repro.common.config import ExperimentConfig, GatewayConfig
+from repro.common.exceptions import ReproError
+from repro.experiments.registry import get_scenario, scenario_names
+from repro.experiments.runner import run_scenario
+
+
+def build_experiment(scale: str, seed: int) -> ExperimentConfig:
+    if scale == "paper":
+        return ExperimentConfig.paper_settings(seed=seed)
+    if scale == "fast":
+        return ExperimentConfig.fast(seed=seed)
+    return ExperimentConfig.smoke(seed=seed)
+
+
+def build_spec(arguments: argparse.Namespace) -> CampaignSpec:
+    if arguments.spec is not None:
+        spec = load_spec(arguments.spec)
+    else:
+        spec = CampaignSpec(
+            name=f"gateway-{arguments.scale}",
+            experiment=build_experiment(arguments.scale, arguments.seed),
+            scenarios=("normal", "idv6", "attack_xmv3", "attack_xmeas1", "dos_xmv3"),
+        )
+    overrides = {}
+    if arguments.port is not None:
+        overrides["port"] = arguments.port
+    if arguments.ingest_port is not None:
+        overrides["ingest_port"] = arguments.ingest_port
+    if overrides:
+        spec = replace(spec, gateway=replace(spec.gateway, **overrides))
+    return spec
+
+
+def serve(arguments: argparse.Namespace) -> int:
+    spec = build_spec(arguments)
+    config: GatewayConfig = spec.gateway
+    print(
+        f"calibrating {spec.name} "
+        f"({spec.experiment.n_calibration_runs} runs, "
+        f"{spec.experiment.simulation.duration_hours:g} h each)...",
+        flush=True,
+    )
+    server = Session(spec).serve_gateway()
+    server.start()
+    host, port = server.address
+    ingest_host, ingest_port = server.ingest_address
+    print(f"operations surface on http://{host}:{port}")
+    print(f"newline-JSON ingest on {ingest_host}:{ingest_port}")
+    print(
+        f"pool: {config.max_streams} streams max, "
+        f"scoring batches of {config.scoring_batch_size}, "
+        f"flush every {config.flush_interval_seconds:g} s",
+        flush=True,
+    )
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        print("\nshutting down...")
+    finally:
+        server.shutdown()
+    return 0
+
+
+def feed(arguments: argparse.Namespace) -> int:
+    if arguments.scenario not in scenario_names():
+        raise SystemExit(
+            f"unknown scenario {arguments.scenario!r} "
+            f"(registered: {', '.join(scenario_names())})"
+        )
+    scenario = get_scenario(arguments.scenario)
+    experiment = build_experiment(arguments.scale, arguments.seed)
+    print(
+        f"recording one {scenario.name} run "
+        f"({experiment.simulation.duration_hours:g} h, "
+        f"{experiment.simulation.samples_per_hour} samples/h)...",
+        flush=True,
+    )
+    result = run_scenario(
+        scenario,
+        experiment.simulation,
+        anomaly_start_hour=experiment.anomaly_start_hour,
+    )
+    controller = result.controller_data
+    process = result.process_data
+    onset = experiment.anomaly_start_hour if scenario.is_anomalous else None
+
+    client = StreamClient(arguments.feed)
+    health = client.health()
+    print(
+        f"gateway {arguments.feed} is up "
+        f"(version {health['version']}, "
+        f"{health['streams_active']}/{health['max_streams']} streams)"
+    )
+    stream_ids = [
+        f"{scenario.name}-{arguments.seed}-{index}"
+        for index in range(arguments.streams)
+    ]
+
+    def replay(stream_id: str) -> None:
+        feeder = StreamClient(arguments.feed)
+        try:
+            feeder.open_stream(stream_id, anomaly_start_hour=onset)
+            for i in range(controller.n_observations):
+                feeder.feed(
+                    stream_id,
+                    controller.values[i],
+                    process.values[i],
+                    float(controller.timestamps[i]),
+                )
+            reports[stream_id] = feeder.close_stream(stream_id)
+        finally:
+            feeder.close()
+
+    reports = {}
+    threads = [
+        threading.Thread(target=replay, args=(stream_id,), daemon=True)
+        for stream_id in stream_ids
+    ]
+    print(f"feeding {len(threads)} stream(s)...", flush=True)
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    for stream_id in stream_ids:
+        report = reports.get(stream_id)
+        if report is None:
+            print(f"  {stream_id}: FAILED (no report)")
+            continue
+        detection = report["detection_time_hours"]
+        verdict = (report.get("diagnosis") or {}).get("classification", "-")
+        raised = sum(
+            1
+            for events in report["alarm_events"].values()
+            for event in events
+            if event["kind"] == "raised"
+        )
+        print(
+            f"  {stream_id}: {report['n_samples']} samples, "
+            f"detection at "
+            f"{'-' if detection is None else format(detection, '.3f') + ' h'}, "
+            f"{raised} alarm(s), verdict: {verdict}"
+        )
+    return 0 if len(reports) == len(stream_ids) else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--serve", action="store_true", help="calibrate and serve the gateway"
+    )
+    mode.add_argument(
+        "--feed",
+        metavar="URL",
+        help="replay a recorded run into the gateway at URL",
+    )
+    parser.add_argument(
+        "--spec",
+        default=None,
+        metavar="PATH",
+        help="campaign spec (TOML/JSON) with a [gateway] section",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("smoke", "fast", "paper"),
+        default="smoke",
+        help="preset when no --spec is given (default: smoke)",
+    )
+    parser.add_argument("--seed", type=int, default=2016, help="root seed")
+    parser.add_argument(
+        "--port", type=int, default=None, help="override the operations port"
+    )
+    parser.add_argument(
+        "--ingest-port", type=int, default=None, help="override the ingest port"
+    )
+    parser.add_argument(
+        "--scenario",
+        default="attack_xmv3",
+        metavar="NAME",
+        help="scenario to replay in --feed mode (default: attack_xmv3)",
+    )
+    parser.add_argument(
+        "--streams",
+        type=int,
+        default=4,
+        metavar="N",
+        help="concurrent replayed streams in --feed mode (default: 4)",
+    )
+    arguments = parser.parse_args(argv)
+    try:
+        if arguments.serve:
+            return serve(arguments)
+        return feed(arguments)
+    except ReproError as error:
+        raise SystemExit(f"error: {error}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,6 +45,13 @@ The package is organized in layered subpackages:
     verified acks, reduction), worker protocol, REST control surface and
     HTTP client (``scripts/run_campaign.py --serve/--worker/--submit``,
     ``[service]`` spec section).
+``repro.gateway``
+    The streaming detection gateway: a multi-tenant monitor pool scoring
+    thousands of concurrent plant streams with cross-stream batched
+    T^2/SPE, newline-JSON TCP ingest + HTTP/SSE operations surface with
+    Prometheus metrics, and the ``StreamClient`` facade
+    (``scripts/run_gateway.py --serve/--feed``, ``[gateway]`` spec
+    section).
 """
 
 from repro._version import __version__
@@ -57,6 +64,9 @@ from repro.common.exceptions import (
     DataShapeError,
     ServiceError,
     ServiceUnavailableError,
+    GatewayError,
+    StreamRejectedError,
+    UnknownStreamError,
 )
 
 __all__ = [
@@ -69,4 +79,7 @@ __all__ = [
     "DataShapeError",
     "ServiceError",
     "ServiceUnavailableError",
+    "GatewayError",
+    "StreamRejectedError",
+    "UnknownStreamError",
 ]

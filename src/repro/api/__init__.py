@@ -16,6 +16,10 @@ The one import a user of the reproduction needs:
 * :func:`submit_spec` / :func:`poll` / :func:`fetch_tables` — hand a
   campaign to a distributed coordinator (the spec's ``[service]`` section,
   :mod:`repro.service`) and collect the same tables ``run`` would produce;
+* :func:`serve_gateway` / :class:`StreamClient` — put the spec's
+  calibrated monitor behind a streaming detection gateway (the spec's
+  ``[gateway]`` section, :mod:`repro.gateway`) and feed/query plant
+  streams against it;
 * :class:`Session` — a reusable execution context that shares the engine,
   the result cache and per-seed calibrations across calls;
 * the schema itself: :class:`CampaignSpec`, :class:`AnalysisSpec`,
@@ -34,6 +38,7 @@ from repro.api.session import (
     poll,
     run,
     run_live,
+    serve_gateway,
     submit_spec,
 )
 from repro.api.spec import (
@@ -46,7 +51,8 @@ from repro.api.spec import (
     load_spec,
     loads_spec,
 )
-from repro.common.config import EarlyStopPolicy, LiveConfig
+from repro.common.config import EarlyStopPolicy, GatewayConfig, LiveConfig
+from repro.gateway.client import StreamClient
 
 __all__ = [
     "SPEC_VERSION",
@@ -55,6 +61,7 @@ __all__ = [
     "SweepSpec",
     "LiveConfig",
     "EarlyStopPolicy",
+    "GatewayConfig",
     "load_spec",
     "loads_spec",
     "dump_spec",
@@ -65,6 +72,8 @@ __all__ = [
     "submit_spec",
     "poll",
     "fetch_tables",
+    "serve_gateway",
+    "StreamClient",
     "Session",
     "CampaignResult",
 ]

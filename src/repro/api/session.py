@@ -33,6 +33,7 @@ __all__ = [
     "submit_spec",
     "poll",
     "fetch_tables",
+    "serve_gateway",
 ]
 
 SpecLike = Union[CampaignSpec, str, Path]
@@ -292,6 +293,33 @@ class Session:
         self._campaign_id = campaign_id
         return client.progress(campaign_id)
 
+    # ------------------------------------------------------------------
+    # Streaming gateway (repro.gateway)
+    # ------------------------------------------------------------------
+    def serve_gateway(self, seed: Optional[int] = None):
+        """Build a streaming gateway server around this spec's monitor.
+
+        Calibrates the spec's experiment (lazily, shared with :meth:`run`)
+        and wraps the fitted analyzer in a
+        :class:`~repro.gateway.server.GatewayServer` configured from the
+        spec's ``[gateway]`` section.  The server is returned unstarted —
+        use it as a context manager, call
+        :meth:`~repro.gateway.server.GatewayServer.start` for background
+        serving, or :meth:`~repro.gateway.server.GatewayServer.serve_forever`
+        to block (the ``run_gateway.py --serve`` mode).
+        """
+        # Imported lazily: repro.gateway sits on top of repro.api, so a
+        # module-level import would be circular.
+        from repro.gateway.pool import MonitorPool
+        from repro.gateway.server import GatewayServer
+
+        evaluation = self._calibrated(
+            self.spec.experiment.seed if seed is None else int(seed),
+            keep_results=False,
+        )
+        pool = MonitorPool(evaluation.analyzer, self.spec.gateway)
+        return GatewayServer(pool)
+
     def fetch(self, url: Optional[str] = None) -> Dict[str, List[Dict[str, Any]]]:
         """The reduced tables of this campaign, from the coordinator.
 
@@ -353,3 +381,17 @@ def fetch_tables(
     coordinator is unreachable.
     """
     return Session(spec).fetch(url=url)
+
+
+def serve_gateway(spec: SpecLike):
+    """Calibrate a spec's monitor and build its streaming gateway server.
+
+    The streaming counterpart of :func:`run`: instead of simulating a
+    campaign, the spec's calibrated dual-level analyzer is put behind a
+    :class:`~repro.gateway.server.GatewayServer` that scores external
+    plant streams against it (``[gateway]`` section for host/port,
+    capacity and batching).  The server is returned unstarted; every
+    stream it serves produces scores and alarm events bitwise-identical
+    to an in-process :class:`~repro.live.monitor.LiveMonitor`.
+    """
+    return Session(spec).serve_gateway()

@@ -18,7 +18,11 @@ describes an evaluation campaign:
 * **service** — distributed execution (:mod:`repro.service`): where the
   campaign coordinator listens, lease/heartbeat timing of the worker
   protocol and the claimable chunk size (``run_campaign.py --serve`` /
-  ``--worker`` / ``--submit``).
+  ``--worker`` / ``--submit``);
+* **gateway** — the streaming detection gateway (:mod:`repro.gateway`):
+  where the multi-tenant stream server listens, its pool capacity, the
+  cross-stream scoring batch size and the flush/idle timing
+  (``run_gateway.py --serve`` / ``--feed``).
 
 Specs are versioned (``version = 1``), validated eagerly with precise error
 messages (unknown keys, wrong types and unknown scenario references all
@@ -45,6 +49,7 @@ from typing import Any, Dict, Mapping, Optional, Tuple, Union
 from repro.api._toml import dumps_toml
 from repro.common.config import (
     ExperimentConfig,
+    GatewayConfig,
     LiveConfig,
     ServiceConfig,
     _as_bool,
@@ -229,6 +234,7 @@ class CampaignSpec:
     analysis: AnalysisSpec = field(default_factory=AnalysisSpec)
     live: LiveConfig = field(default_factory=LiveConfig)
     service: ServiceConfig = field(default_factory=ServiceConfig)
+    gateway: GatewayConfig = field(default_factory=GatewayConfig)
     description: str = ""
     version: int = SPEC_VERSION
 
@@ -318,6 +324,8 @@ class CampaignSpec:
             mapping["live"] = self.live.to_mapping()
         if not self.service.is_default:
             mapping["service"] = self.service.to_mapping()
+        if not self.gateway.is_default:
+            mapping["gateway"] = self.gateway.to_mapping()
         return mapping
 
     @classmethod
@@ -330,7 +338,7 @@ class CampaignSpec:
         _check_keys(
             mapping,
             ("version", "name", "description", "experiment", "scenarios",
-             "sweep", "analysis", "live", "service"),
+             "sweep", "analysis", "live", "service", "gateway"),
             "campaign spec",
         )
         registry = registry or REGISTRY
@@ -353,6 +361,7 @@ class CampaignSpec:
             analysis=AnalysisSpec.from_mapping(mapping.get("analysis", {})),
             live=LiveConfig.from_mapping(mapping.get("live", {})),
             service=ServiceConfig.from_mapping(mapping.get("service", {})),
+            gateway=GatewayConfig.from_mapping(mapping.get("gateway", {})),
         )
 
     def to_toml(self) -> str:

@@ -28,6 +28,7 @@ __all__ = [
     "EarlyStopPolicy",
     "LiveConfig",
     "ServiceConfig",
+    "GatewayConfig",
     "ExperimentConfig",
 ]
 
@@ -683,6 +684,119 @@ class ServiceConfig:
                 "chunk_size": _opt(_as_int),
             },
             "service",
+        )
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """The ``[gateway]`` section of a campaign spec: streaming detection.
+
+    Configures the :mod:`repro.gateway` server — the multi-tenant
+    streaming front-end that scores thousands of concurrent plant streams
+    against one calibrated analyzer.  Like ``[service]`` the section is
+    purely operational: it never changes what any stream's monitor
+    computes, only how samples are transported and batched.
+
+    Attributes
+    ----------
+    host / port:
+        Where the gateway's HTTP operations surface listens (health,
+        metrics, per-stream queries, sample POSTs).  ``port = 0`` binds an
+        ephemeral port (useful in tests).  Unauthenticated — bind to
+        loopback or a trusted LAN only, like :class:`ServiceConfig`.
+    ingest_port:
+        Where the newline-JSON TCP ingest listener binds (``0`` for
+        ephemeral).  Feeding through TCP avoids per-sample HTTP overhead.
+    max_streams:
+        Pool capacity: opening a stream beyond it is refused (and the
+        readiness probe reports the pool as full).
+    scoring_batch_size:
+        Upper bound on rows packed into one cross-stream
+        :meth:`~repro.mspc.model.MSPCMonitor.statistics` call.
+    flush_interval_seconds:
+        How often the background flusher scores pending samples (a
+        client's own feed also flushes inline when its buffer fills).
+    idle_timeout_seconds:
+        Streams with no sample for this long are reaped and their pool
+        slot freed.  ``0`` disables reaping (TOML has no null, so the
+        sentinel keeps the section round-trippable).
+    max_pending_samples:
+        Per-stream bound on buffered unscored samples — the backpressure
+        knob.  A feed that fills the buffer triggers an inline flush
+        instead of growing it, so gateway memory stays bounded.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8790
+    ingest_port: int = 8791
+    max_streams: int = 4096
+    scoring_batch_size: int = 256
+    flush_interval_seconds: float = 0.05
+    idle_timeout_seconds: float = 300.0
+    max_pending_samples: int = 512
+
+    def __post_init__(self) -> None:
+        if not str(self.host):
+            raise ConfigurationError("gateway host must be non-empty")
+        for label, value in (("port", self.port), ("ingest_port", self.ingest_port)):
+            if not 0 <= value <= 65535:
+                raise ConfigurationError(f"gateway {label} must be in [0, 65535]")
+        if self.port != 0 and self.port == self.ingest_port:
+            raise ConfigurationError(
+                "gateway port and ingest_port must differ (both non-ephemeral)"
+            )
+        if self.max_streams < 1:
+            raise ConfigurationError("max_streams must be >= 1")
+        if self.scoring_batch_size < 1:
+            raise ConfigurationError("scoring_batch_size must be >= 1")
+        if self.flush_interval_seconds <= 0:
+            raise ConfigurationError("flush_interval_seconds must be positive")
+        if self.idle_timeout_seconds < 0:
+            raise ConfigurationError(
+                "idle_timeout_seconds must be >= 0 (0 disables reaping)"
+            )
+        if self.max_pending_samples < 1:
+            raise ConfigurationError("max_pending_samples must be >= 1")
+
+    @property
+    def url(self) -> str:
+        """The operations surface's base URL."""
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def idle_timeout(self) -> Optional[float]:
+        """The idle timeout, or ``None`` when reaping is disabled."""
+        return None if self.idle_timeout_seconds == 0 else self.idle_timeout_seconds
+
+    @property
+    def is_default(self) -> bool:
+        """Whether this section matches the defaults (and can be omitted)."""
+        return self == GatewayConfig()
+
+    def to_mapping(self) -> Dict[str, Any]:
+        """A plain, JSON/TOML-ready mapping of this configuration."""
+        return _mapping_of(
+            self,
+            floats=("flush_interval_seconds", "idle_timeout_seconds"),
+        )
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "GatewayConfig":
+        """Build from a mapping, rejecting unknown keys and coercing types."""
+        return _build_from_mapping(
+            cls,
+            mapping,
+            {
+                "host": str,
+                "port": _as_int,
+                "ingest_port": _as_int,
+                "max_streams": _as_int,
+                "scoring_batch_size": _as_int,
+                "flush_interval_seconds": float,
+                "idle_timeout_seconds": float,
+                "max_pending_samples": _as_int,
+            },
+            "gateway",
         )
 
 

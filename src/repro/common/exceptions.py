@@ -51,6 +51,18 @@ class ServiceUnavailableError(ServiceError):
     """
 
 
+class GatewayError(ReproError):
+    """The streaming detection gateway rejected or failed a request."""
+
+
+class StreamRejectedError(GatewayError):
+    """A stream could not be opened (pool full or duplicate id)."""
+
+
+class UnknownStreamError(GatewayError):
+    """An operation referenced a stream id the pool does not hold."""
+
+
 class NotFittedError(ReproError):
     """A statistical model was used before being fitted to calibration data."""
 

@@ -1,0 +1,266 @@
+"""Client for the streaming gateway: TCP feeding + HTTP queries.
+
+:class:`StreamClient` is the public way to talk to a
+:class:`~repro.gateway.server.GatewayServer`.  Control-plane calls
+(open/alarms/report/status/metrics) go over the HTTP operations surface;
+sample feeding rides the newline-JSON TCP ingest listener, one connection
+per open stream, discovered automatically from ``GET /health``.
+
+Error mapping mirrors :class:`~repro.service.client.CoordinatorClient`: a
+gateway that cannot be reached raises
+:class:`~repro.common.exceptions.GatewayError` with the transport failure;
+a reachable gateway that rejects a request raises
+:class:`~repro.common.exceptions.StreamRejectedError` /
+:class:`~repro.common.exceptions.UnknownStreamError` carrying the server's
+message.  Callers never see raw ``urllib`` or socket exceptions.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.exceptions import (
+    GatewayError,
+    StreamRejectedError,
+    UnknownStreamError,
+)
+
+__all__ = ["StreamClient"]
+
+
+class _StreamConnection:
+    """One ingest TCP connection feeding one stream."""
+
+    def __init__(self, host: str, port: int, timeout: float):
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._socket.makefile("rb")
+        self._writer = self._socket.makefile("wb")
+
+    def send(self, message: Dict[str, Any]) -> None:
+        self._writer.write(json.dumps(message).encode("utf-8") + b"\n")
+        self._writer.flush()
+
+    def receive(self) -> Dict[str, Any]:
+        line = self._reader.readline()
+        if not line:
+            raise GatewayError("gateway closed the ingest connection")
+        return json.loads(line.decode("utf-8"))
+
+    def call(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one op and check its acknowledgement."""
+        self.send(message)
+        reply = self.receive()
+        if not reply.get("ok"):
+            raise GatewayError(str(reply.get("error") or "gateway refused the op"))
+        return reply
+
+    def abandon(self) -> None:
+        """Sever the connection without a close op (simulates a crash)."""
+        try:
+            self._socket.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self.close()
+
+    def close(self) -> None:
+        for resource in (self._reader, self._writer, self._socket):
+            try:
+                resource.close()
+            except OSError:
+                pass
+
+
+class StreamClient:
+    """Feeds plant streams into a gateway and queries their verdicts.
+
+    Parameters
+    ----------
+    base_url:
+        The gateway's operations URL, e.g. ``"http://127.0.0.1:8790"``.
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+        self._connections: Dict[str, _StreamConnection] = {}
+        self._ingest_address: Optional[Tuple[str, int]] = None
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            url, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            try:
+                detail = json.loads(error.read().decode("utf-8")).get("error")
+            except Exception:
+                detail = None
+            message = detail or (
+                f"gateway returned HTTP {error.code} for {method} {path}"
+            )
+            if error.code == 404:
+                raise UnknownStreamError(message) from None
+            if error.code in (409, 503):
+                raise StreamRejectedError(message) from None
+            raise GatewayError(message) from None
+        except (urllib.error.URLError, socket.timeout, ConnectionError, OSError) as error:
+            reason = getattr(error, "reason", error)
+            raise GatewayError(
+                f"cannot reach gateway at {self.base_url}: {reason}"
+            ) from None
+
+    def _ingest(self) -> Tuple[str, int]:
+        if self._ingest_address is None:
+            health = self.health()
+            self._ingest_address = (
+                str(health["ingest_host"]), int(health["ingest_port"])
+            )
+        return self._ingest_address
+
+    # ------------------------------------------------------------------
+    # Stream lifecycle (TCP data plane)
+    # ------------------------------------------------------------------
+    def open_stream(
+        self, stream_id: str, anomaly_start_hour: Optional[float] = None
+    ) -> None:
+        """Open a stream and its ingest connection."""
+        stream_id = str(stream_id)
+        if stream_id in self._connections:
+            raise StreamRejectedError(f"stream {stream_id!r} is already open here")
+        host, port = self._ingest()
+        try:
+            connection = _StreamConnection(host, port, self.timeout)
+        except OSError as error:
+            raise GatewayError(
+                f"cannot reach gateway ingest at {host}:{port}: {error}"
+            ) from None
+        message: Dict[str, Any] = {"op": "open", "stream": stream_id}
+        if anomaly_start_hour is not None:
+            message["anomaly_start_hour"] = float(anomaly_start_hour)
+        try:
+            connection.call(message)
+        except GatewayError:
+            connection.close()
+            raise
+        self._connections[stream_id] = connection
+
+    def feed(
+        self, stream_id: str, controller_values, process_values, time_hours: float
+    ) -> None:
+        """Send one sample of both views (fire-and-forget)."""
+        self._connection(stream_id).send(
+            {
+                "op": "sample",
+                "controller": [float(v) for v in controller_values],
+                "process": [float(v) for v in process_values],
+                "time_hours": float(time_hours),
+            }
+        )
+
+    def sync(self, stream_id: str) -> int:
+        """Force the stream's buffered samples through scoring; returns
+        how many were scored (also drains any prior feed errors)."""
+        reply = self._connection(stream_id).call({"op": "sync"})
+        return int(reply["scored"])
+
+    def close_stream(self, stream_id: str) -> Dict[str, Any]:
+        """Close the stream cleanly; returns its final report mapping."""
+        connection = self._connection(stream_id)
+        try:
+            reply = connection.call({"op": "close"})
+        finally:
+            connection.close()
+            del self._connections[str(stream_id)]
+        return dict(reply["report"])
+
+    def abandon_stream(self, stream_id: str) -> None:
+        """Drop the connection without closing (simulates a client crash)."""
+        connection = self._connections.pop(str(stream_id), None)
+        if connection is not None:
+            connection.abandon()
+
+    # ------------------------------------------------------------------
+    # Queries (HTTP control plane)
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        """The gateway's liveness document (includes the ingest address)."""
+        return self._request("GET", "/health")
+
+    def ready(self) -> bool:
+        """Whether the pool can admit another stream."""
+        try:
+            return bool(self._request("GET", "/ready").get("ready"))
+        except StreamRejectedError:
+            return False
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus ``/metrics`` document."""
+        url = f"{self.base_url}/metrics"
+        try:
+            with urllib.request.urlopen(url, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except (urllib.error.URLError, socket.timeout, OSError) as error:
+            reason = getattr(error, "reason", error)
+            raise GatewayError(
+                f"cannot reach gateway at {self.base_url}: {reason}"
+            ) from None
+
+    def streams(self) -> List[str]:
+        """Ids of every open stream."""
+        return list(self._request("GET", "/streams")["streams"])
+
+    def status(self, stream_id: str) -> Dict[str, Any]:
+        """One stream's status mapping."""
+        return self._request("GET", f"/streams/{stream_id}")
+
+    def alarms(self, stream_id: str) -> Dict[str, List[Dict[str, Any]]]:
+        """Per-view alarm transitions of one stream."""
+        return dict(self._request("GET", f"/streams/{stream_id}/alarms")["alarms"])
+
+    def report(self, stream_id: str) -> Dict[str, Any]:
+        """The stream's :class:`LiveRunReport` mapping."""
+        return dict(self._request("GET", f"/streams/{stream_id}/report")["report"])
+
+    # ------------------------------------------------------------------
+    def _connection(self, stream_id: str) -> _StreamConnection:
+        connection = self._connections.get(str(stream_id))
+        if connection is None:
+            raise UnknownStreamError(
+                f"stream {stream_id!r} is not open on this client"
+            )
+        return connection
+
+    def close(self) -> None:
+        """Close every open ingest connection (streams stay open remotely
+        until the gateway notices the disconnects and drops them)."""
+        for connection in self._connections.values():
+            connection.close()
+        self._connections.clear()
+
+    def __enter__(self) -> "StreamClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,408 @@
+"""The multi-tenant monitor pool: per-stream state, cross-stream scoring.
+
+:class:`MonitorPool` is the heart of the gateway.  Every open stream owns a
+private :class:`~repro.live.monitor.LiveMonitor` (alarm machines, detection
+bookkeeping, on-alarm snapshots) plus a bounded buffer of unscored samples;
+all streams share one calibrated
+:class:`~repro.anomaly.diagnosis.DualLevelAnalyzer`.  A flush drains the
+buffers and packs the due samples of *all* streams into ``(B, M)`` matrices,
+calling each view's :meth:`~repro.mspc.model.MSPCMonitor.statistics` once
+per batch instead of once per sample — cross-stream vectorization at the
+serving layer.
+
+The equivalence anchor: because the PCA projection is shape-stable (see
+:meth:`repro.mspc.pca.PCAModel.transform`), row ``i`` of a batched
+``statistics`` call is bitwise-identical to scoring that row alone, and the
+scattered results drive :meth:`LiveMonitor.ingest_scored` — the same state
+machines :meth:`LiveMonitor.observe` drives.  A stream fed through the pool
+therefore produces scores, alarm events and reports bitwise-identical to an
+in-process :class:`LiveMonitor` over the same samples.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.anomaly.diagnosis import DualLevelAnalyzer
+from repro.common.config import GatewayConfig
+from repro.common.exceptions import (
+    NotFittedError,
+    StreamRejectedError,
+    UnknownStreamError,
+)
+from repro.gateway.metrics import GatewayMetrics
+from repro.live.monitor import LiveMonitor
+
+__all__ = ["MonitorPool", "StreamStatus"]
+
+
+class _PendingSample:
+    """One buffered, not-yet-scored sample of a stream."""
+
+    __slots__ = ("controller", "process", "time_hours")
+
+    def __init__(self, controller, process, time_hours: float):
+        self.controller = np.asarray(controller, dtype=float).ravel()
+        self.process = np.asarray(process, dtype=float).ravel()
+        self.time_hours = float(time_hours)
+
+
+class _StreamState:
+    """Everything the pool holds for one open stream."""
+
+    __slots__ = ("stream_id", "monitor", "pending", "last_seen", "event_cursor")
+
+    def __init__(self, stream_id: str, monitor: LiveMonitor, now: float):
+        self.stream_id = stream_id
+        self.monitor = monitor
+        self.pending: Deque[_PendingSample] = deque()
+        self.last_seen = now
+        self.event_cursor = 0  # SSE consumers track events past this point
+
+
+class StreamStatus:
+    """A point-in-time summary of one stream (the ``GET /streams/<id>``
+    payload)."""
+
+    __slots__ = (
+        "stream_id", "n_samples", "n_pending", "detected", "alarm_active",
+        "n_alarm_events", "last_seen_age_seconds",
+    )
+
+    def __init__(
+        self,
+        stream_id: str,
+        n_samples: int,
+        n_pending: int,
+        detected: bool,
+        alarm_active: bool,
+        n_alarm_events: int,
+        last_seen_age_seconds: float,
+    ):
+        self.stream_id = stream_id
+        self.n_samples = n_samples
+        self.n_pending = n_pending
+        self.detected = detected
+        self.alarm_active = alarm_active
+        self.n_alarm_events = n_alarm_events
+        self.last_seen_age_seconds = last_seen_age_seconds
+
+    def to_mapping(self) -> Dict[str, Any]:
+        """A plain, JSON-safe mapping of this status."""
+        return {
+            "stream_id": self.stream_id,
+            "n_samples": self.n_samples,
+            "n_pending": self.n_pending,
+            "detected": self.detected,
+            "alarm_active": self.alarm_active,
+            "n_alarm_events": self.n_alarm_events,
+            "last_seen_age_seconds": self.last_seen_age_seconds,
+        }
+
+
+class MonitorPool:
+    """Per-stream live monitors with cross-stream batched scoring.
+
+    Parameters
+    ----------
+    analyzer:
+        The calibrated dual-level analyzer every stream is scored against.
+    config:
+        The gateway configuration (capacity, batch size, backpressure and
+        idle-reaping knobs).
+    clock:
+        Monotonic time source; injectable so idle-reaping tests can march
+        time forward without sleeping.
+
+    All public methods are thread-safe behind one pool lock.  Scoring a
+    batch happens inside the lock — the numpy calls release the GIL, and
+    correctness (per-stream sample order, snapshot timing) is easier to
+    audit with one serialization point than with per-stream locks.
+    """
+
+    def __init__(
+        self,
+        analyzer: DualLevelAnalyzer,
+        config: Optional[GatewayConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if not analyzer.is_fitted:
+            raise NotFittedError(
+                "the DualLevelAnalyzer must be calibrated before serving streams"
+            )
+        self.analyzer = analyzer
+        self.config = config or GatewayConfig()
+        self.clock = clock
+        self.metrics = GatewayMetrics(self.config.scoring_batch_size)
+        self._streams: "OrderedDict[str, _StreamState]" = OrderedDict()
+        self._closed_reports: Dict[str, Dict[str, Any]] = {}
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # Stream lifecycle
+    # ------------------------------------------------------------------
+    def open_stream(
+        self, stream_id: str, anomaly_start_hour: Optional[float] = None
+    ) -> None:
+        """Admit a new stream; reject duplicates and a full pool."""
+        stream_id = str(stream_id)
+        if not stream_id:
+            raise StreamRejectedError("stream id must be non-empty")
+        with self._lock:
+            if stream_id in self._streams:
+                raise StreamRejectedError(f"stream {stream_id!r} is already open")
+            if len(self._streams) >= self.config.max_streams:
+                raise StreamRejectedError(
+                    f"pool is full ({self.config.max_streams} streams)"
+                )
+            monitor = LiveMonitor(self.analyzer, anomaly_start_hour)
+            self._streams[stream_id] = _StreamState(
+                stream_id, monitor, self.clock()
+            )
+            self._closed_reports.pop(stream_id, None)
+            self.metrics.streams_opened.increment()
+            self.metrics.streams_active.set(len(self._streams))
+
+    def feed(
+        self, stream_id: str, controller_values, process_values, time_hours: float
+    ) -> None:
+        """Buffer one sample; flush inline when the buffer is full.
+
+        The inline flush is the backpressure mechanism: a stream can never
+        hold more than ``max_pending_samples`` unscored samples, so gateway
+        memory stays bounded no matter how fast clients feed — the cost of
+        scoring is simply paid on the caller's thread when the background
+        flusher falls behind.
+        """
+        started = time.perf_counter()
+        with self._lock:
+            state = self._require(stream_id)
+            state.pending.append(
+                _PendingSample(controller_values, process_values, time_hours)
+            )
+            state.last_seen = self.clock()
+            self.metrics.samples_ingested.increment()
+            if len(state.pending) >= self.config.max_pending_samples:
+                self._flush_locked()
+        self.metrics.ingest_latency.observe(time.perf_counter() - started)
+
+    def close_stream(self, stream_id: str) -> Dict[str, Any]:
+        """Score any pending samples, archive and return the final report."""
+        with self._lock:
+            state = self._require(stream_id)
+            self._flush_streams_locked([state])
+            report = state.monitor.report().to_mapping()
+            del self._streams[stream_id]
+            self._closed_reports[str(stream_id)] = report
+            self.metrics.streams_closed.increment()
+            self._update_gauges_locked()
+            return report
+
+    def drop_stream(self, stream_id: str) -> None:
+        """Discard a stream (disconnect path): free its slot, score nothing.
+
+        Pending samples are thrown away unscored — a vanished client gets
+        no report, and the freed slot carries no state into the next
+        stream that takes it.
+        """
+        with self._lock:
+            state = self._streams.pop(str(stream_id), None)
+            if state is None:
+                return
+            self.metrics.streams_dropped.increment()
+            self._update_gauges_locked()
+
+    def reap_idle(self) -> List[str]:
+        """Drop streams silent for longer than the idle timeout."""
+        timeout = self.config.idle_timeout
+        if timeout is None:
+            return []
+        with self._lock:
+            now = self.clock()
+            stale = [
+                state.stream_id
+                for state in self._streams.values()
+                if now - state.last_seen > timeout
+            ]
+            for stream_id in stale:
+                del self._streams[stream_id]
+                self.metrics.streams_reaped.increment()
+            if stale:
+                self._update_gauges_locked()
+            return stale
+
+    # ------------------------------------------------------------------
+    # Cross-stream batched scoring
+    # ------------------------------------------------------------------
+    def flush(self) -> int:
+        """Score every buffered sample of every stream; return the count."""
+        started = time.perf_counter()
+        with self._lock:
+            scored = self._flush_locked()
+        if scored:
+            self.metrics.flush_latency.observe(time.perf_counter() - started)
+        return scored
+
+    def flush_stream(self, stream_id: str) -> int:
+        """Score one stream's buffered samples (the ``sync`` op)."""
+        with self._lock:
+            state = self._require(stream_id)
+            return self._flush_streams_locked([state])
+
+    def _flush_locked(self) -> int:
+        return self._flush_streams_locked(list(self._streams.values()))
+
+    def _flush_streams_locked(self, states: List[_StreamState]) -> int:
+        """Drain the given streams' buffers through batched scoring.
+
+        Samples are packed stream-major (all of stream A's due samples,
+        then stream B's, ...) so each stream's samples are ingested in feed
+        order; the batch boundary at ``scoring_batch_size`` may split a
+        stream across batches, which is harmless — scoring is stateless,
+        only ingestion order matters.
+        """
+        work: List[Tuple[_StreamState, _PendingSample]] = []
+        for state in states:
+            while state.pending:
+                work.append((state, state.pending.popleft()))
+        if not work:
+            return 0
+        batch_size = self.config.scoring_batch_size
+        for start in range(0, len(work), batch_size):
+            self._score_batch_locked(work[start:start + batch_size])
+        self._update_gauges_locked()
+        return len(work)
+
+    def _score_batch_locked(
+        self, batch: List[Tuple[_StreamState, _PendingSample]]
+    ) -> None:
+        started = time.perf_counter()
+        controller_rows = np.vstack([sample.controller for _, sample in batch])
+        process_rows = np.vstack([sample.process for _, sample in batch])
+        c_t2, c_spe = self.analyzer.controller_monitor.statistics(controller_rows)
+        p_t2, p_spe = self.analyzer.process_monitor.statistics(process_rows)
+        self.metrics.scoring_latency.observe(time.perf_counter() - started)
+        self.metrics.scoring_batches.increment()
+        self.metrics.batch_occupancy.observe(len(batch))
+        self.metrics.samples_scored.increment(len(batch))
+
+        for row, (state, sample) in enumerate(batch):
+            events = state.monitor.ingest_scored(
+                sample.controller,
+                sample.process,
+                sample.time_hours,
+                (float(c_t2[row]), float(c_spe[row])),
+                (float(p_t2[row]), float(p_spe[row])),
+            )
+            for event in events:
+                if event.raised:
+                    self.metrics.alarms_raised.increment()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def stream_ids(self) -> List[str]:
+        """Ids of every open stream, in open order."""
+        with self._lock:
+            return list(self._streams)
+
+    @property
+    def n_streams(self) -> int:
+        """Number of open streams."""
+        with self._lock:
+            return len(self._streams)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the pool is at capacity (readiness probe)."""
+        with self._lock:
+            return len(self._streams) >= self.config.max_streams
+
+    def status(self, stream_id: str) -> StreamStatus:
+        """Point-in-time summary of one stream."""
+        with self._lock:
+            state = self._require(stream_id)
+            monitor = state.monitor
+            n_events = sum(
+                len(view.alarms.events) for view in monitor.views.values()
+            )
+            return StreamStatus(
+                stream_id=state.stream_id,
+                n_samples=monitor.n_samples,
+                n_pending=len(state.pending),
+                detected=monitor.detected,
+                alarm_active=any(
+                    view.alarms.active for view in monitor.views.values()
+                ),
+                n_alarm_events=n_events,
+                last_seen_age_seconds=self.clock() - state.last_seen,
+            )
+
+    def alarms(self, stream_id: str) -> Dict[str, List[Dict[str, Any]]]:
+        """Per-view alarm transitions of one stream (scored samples only)."""
+        with self._lock:
+            state = self._require(stream_id)
+            return {
+                name: [event.to_mapping() for event in view.alarms.events]
+                for name, view in sorted(state.monitor.views.items())
+            }
+
+    def alarm_feed(
+        self, stream_id: str, cursor: int
+    ) -> Tuple[List[Dict[str, Any]], int]:
+        """Alarm transitions past ``cursor``, merged across views.
+
+        The SSE endpoint polls this; consumers hold their own cursor, so a
+        slow consumer costs the gateway nothing — events already live in
+        the per-view alarm managers, nothing is buffered per consumer.
+        """
+        with self._lock:
+            state = self._require(stream_id)
+            merged = []
+            for name, view in sorted(state.monitor.views.items()):
+                for event in view.alarms.events:
+                    payload = event.to_mapping()
+                    payload["view"] = name
+                    merged.append(payload)
+            merged.sort(key=lambda event: (event["index"], event["view"]))
+            cursor = max(0, int(cursor))
+            return merged[cursor:], len(merged)
+
+    def report(self, stream_id: str) -> Dict[str, Any]:
+        """The stream's :class:`LiveRunReport` mapping (pending flushed).
+
+        Open streams are flushed and reported in place; a closed stream's
+        archived final report is served until its id is reused.
+        """
+        with self._lock:
+            state = self._streams.get(str(stream_id))
+            if state is not None:
+                self._flush_streams_locked([state])
+                return state.monitor.report().to_mapping()
+            archived = self._closed_reports.get(str(stream_id))
+            if archived is not None:
+                return archived
+            raise UnknownStreamError(f"no such stream: {stream_id!r}")
+
+    def n_pending(self) -> int:
+        """Buffered unscored samples across all streams."""
+        with self._lock:
+            return sum(len(state.pending) for state in self._streams.values())
+
+    # ------------------------------------------------------------------
+    def _require(self, stream_id: str) -> _StreamState:
+        state = self._streams.get(str(stream_id))
+        if state is None:
+            raise UnknownStreamError(f"no such stream: {stream_id!r}")
+        return state
+
+    def _update_gauges_locked(self) -> None:
+        self.metrics.streams_active.set(len(self._streams))
+        self.metrics.pending_samples.set(
+            sum(len(state.pending) for state in self._streams.values())
+        )

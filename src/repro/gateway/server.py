@@ -1,0 +1,445 @@
+"""The gateway server: newline-JSON ingest, HTTP operations surface, flusher.
+
+Three cooperating pieces around one :class:`~repro.gateway.pool.MonitorPool`:
+
+* a **TCP ingest listener** speaking newline-delimited JSON — one
+  connection per stream, ``open`` / ``sample`` / ``sync`` / ``close`` ops;
+  a connection that vanishes mid-stream drops its stream and frees the
+  pool slot;
+* an **HTTP operations surface** in the :mod:`repro.service.rest` style —
+  health/readiness probes, Prometheus ``/metrics``, per-stream queries
+  (status, alarms, report) and an SSE alarm-event feed, plus an HTTP
+  sample path for clients that prefer POSTs over sockets;
+* a **flusher thread** driving cross-stream batched scoring every
+  ``flush_interval_seconds`` and reaping idle streams.
+
+Routes::
+
+    GET  /health                      liveness + ingest address + version
+    GET  /ready                       200, or 503 while the pool is full
+    GET  /metrics                     Prometheus text exposition
+    GET  /streams                     open stream ids
+    GET  /streams/<id>                stream status
+    GET  /streams/<id>/alarms         per-view alarm transitions
+    GET  /streams/<id>/report         LiveRunReport mapping (flushes first)
+    GET  /streams/<id>/events         SSE feed of alarm transitions
+    POST /streams     {"stream_id"}   open a stream
+    POST /streams/<id>/samples        feed samples (batched accepted)
+    POST /streams/<id>/close          close; returns the final report
+
+Ingest wire format (one JSON object per line, UTF-8)::
+
+    {"op": "open", "stream": "plant-7", "anomaly_start_hour": 10.0}
+    {"op": "sample", "controller": [...], "process": [...], "time_hours": 0.0005}
+    {"op": "sync"}
+    {"op": "close"}
+
+``open`` / ``sync`` / ``close`` are acknowledged with one JSON reply line;
+``sample`` is not (feeding stays one-way for throughput — backpressure
+comes from the bounded per-stream buffer, whose inline flush runs on the
+ingest connection's thread and therefore slows exactly the client that
+overruns it).
+
+Security note: the gateway is **unauthenticated** and meant for loopback
+or a trusted LAN only — bind it accordingly (the default
+:class:`~repro.common.config.GatewayConfig` listens on ``127.0.0.1``).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import socketserver
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro._version import __version__
+from repro.common.exceptions import (
+    GatewayError,
+    StreamRejectedError,
+    UnknownStreamError,
+)
+from repro.gateway.pool import MonitorPool
+
+__all__ = ["GatewayServer"]
+
+#: Largest accepted HTTP request body (a batched sample POST).
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Largest accepted ingest line; one sample is a few KB of JSON.
+_MAX_LINE_BYTES = 1024 * 1024
+
+_STREAM = re.compile(r"^/streams/([A-Za-z0-9_.:-]+)$")
+_STREAM_SUB = re.compile(
+    r"^/streams/([A-Za-z0-9_.:-]+)/(alarms|report|events|samples|close)$"
+)
+
+
+class _OpsHandler(BaseHTTPRequestHandler):
+    """Routes operations requests onto the server's pool."""
+
+    # Bound by GatewayServer when the handler class is created.
+    gateway: "GatewayServer"
+
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Silence per-request stderr chatter; /metrics carries the load."""
+
+    # ------------------------------------------------------------------
+    def _reply(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._reply(status, {"error": message})
+
+    def _body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > _MAX_BODY_BYTES:
+            raise ValueError(f"request body exceeds {_MAX_BODY_BYTES} bytes")
+        if length == 0:
+            return {}
+        payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        try:
+            self._get()
+        except UnknownStreamError as error:
+            self._error(404, str(error))
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-reply (SSE consumers routinely do)
+        except Exception as error:  # pragma: no cover - defensive
+            self._error(500, f"{type(error).__name__}: {error}")
+
+    def _get(self) -> None:
+        pool = self.gateway.pool
+        if self.path == "/health":
+            ingest_host, ingest_port = self.gateway.ingest_address
+            self._reply(
+                200,
+                {
+                    "status": "ok",
+                    "version": __version__,
+                    "streams_active": pool.n_streams,
+                    "max_streams": pool.config.max_streams,
+                    "ingest_host": ingest_host,
+                    "ingest_port": ingest_port,
+                },
+            )
+            return
+        if self.path == "/ready":
+            if pool.is_full:
+                self._error(503, "stream pool is full")
+            else:
+                self._reply(200, {"ready": True})
+            return
+        if self.path == "/metrics":
+            self._reply_text(
+                200, pool.metrics.render(), "text/plain; version=0.0.4"
+            )
+            return
+        if self.path == "/streams":
+            self._reply(200, {"streams": pool.stream_ids()})
+            return
+        match = _STREAM.match(self.path)
+        if match:
+            self._reply(200, pool.status(match.group(1)).to_mapping())
+            return
+        match = _STREAM_SUB.match(self.path)
+        if match:
+            stream_id, resource = match.groups()
+            if resource == "alarms":
+                self._reply(200, {"alarms": pool.alarms(stream_id)})
+            elif resource == "report":
+                self._reply(200, {"report": pool.report(stream_id)})
+            elif resource == "events":
+                self._serve_events(stream_id)
+            else:
+                self._error(405, f"{resource} requires POST")
+            return
+        self._error(404, f"no such resource: {self.path}")
+
+    def _serve_events(self, stream_id: str) -> None:
+        """SSE feed of a stream's alarm transitions.
+
+        Consumers poll through a per-connection cursor, so a slow consumer
+        buffers nothing on the server: events live once in the alarm
+        managers, and each connection just reads forward at its own pace.
+        A keepalive comment goes out every poll so a vanished consumer is
+        noticed promptly (the write fails) instead of leaking its thread.
+        """
+        pool = self.gateway.pool
+        pool.status(stream_id)  # 404 before headers when unknown
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.end_headers()
+        cursor = 0
+        interval = self.gateway.pool.config.flush_interval_seconds
+        while not self.gateway.closing:
+            try:
+                events, cursor = pool.alarm_feed(stream_id, cursor)
+            except UnknownStreamError:
+                self.wfile.write(b"event: end\ndata: {}\n\n")
+                self.wfile.flush()
+                return
+            for event in events:
+                payload = json.dumps(event)
+                self.wfile.write(f"event: alarm\ndata: {payload}\n\n".encode())
+            self.wfile.write(b": keepalive\n\n")
+            self.wfile.flush()
+            time.sleep(interval)
+
+    # ------------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            payload = self._body()
+        except ValueError as error:
+            self._error(400, f"malformed request body: {error}")
+            return
+        try:
+            self._post(payload)
+        except StreamRejectedError as error:
+            self._error(409, str(error))
+        except UnknownStreamError as error:
+            self._error(404, str(error))
+        except GatewayError as error:
+            self._error(400, str(error))
+        except Exception as error:  # pragma: no cover - defensive
+            self._error(500, f"{type(error).__name__}: {error}")
+
+    def _post(self, payload: Dict[str, Any]) -> None:
+        pool = self.gateway.pool
+        if self.path == "/streams":
+            stream_id = str(payload.get("stream_id") or "")
+            onset = payload.get("anomaly_start_hour")
+            pool.open_stream(
+                stream_id, None if onset is None else float(onset)
+            )
+            self._reply(200, {"stream_id": stream_id, "open": True})
+            return
+        match = _STREAM_SUB.match(self.path)
+        if match:
+            stream_id, resource = match.groups()
+            if resource == "samples":
+                samples = payload.get("samples")
+                if not isinstance(samples, list):
+                    self._error(400, "body needs a 'samples' list")
+                    return
+                for sample in samples:
+                    pool.feed(
+                        stream_id,
+                        sample["controller"],
+                        sample["process"],
+                        float(sample["time_hours"]),
+                    )
+                self._reply(200, {"accepted": len(samples)})
+            elif resource == "close":
+                self._reply(200, {"report": pool.close_stream(stream_id)})
+            else:
+                self._error(405, f"{resource} requires GET")
+            return
+        self._error(404, f"no such resource: {self.path}")
+
+
+class _IngestHandler(socketserver.StreamRequestHandler):
+    """One newline-JSON ingest connection == one plant stream.
+
+    The handler runs on its own thread (ThreadingTCPServer); a full
+    per-stream buffer flushes inline on this thread, so TCP's own flow
+    control pushes back on exactly the client that overruns the gateway.
+    """
+
+    # Bound by GatewayServer when the handler class is created.
+    gateway: "GatewayServer"
+
+    def handle(self) -> None:
+        pool = self.gateway.pool
+        stream_id: Optional[str] = None
+        try:
+            for raw in self.rfile:
+                if len(raw) > _MAX_LINE_BYTES:
+                    self._send({"ok": False, "error": "line too long"})
+                    return
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    message = json.loads(line)
+                    op = message.get("op")
+                except (ValueError, AttributeError):
+                    self._send({"ok": False, "error": "malformed JSON line"})
+                    return
+                if op == "open":
+                    if stream_id is not None:
+                        self._send(
+                            {"ok": False, "error": "stream already open here"}
+                        )
+                        return
+                    candidate = str(message.get("stream") or "")
+                    onset = message.get("anomaly_start_hour")
+                    try:
+                        pool.open_stream(
+                            candidate,
+                            None if onset is None else float(onset),
+                        )
+                    except GatewayError as error:
+                        self._send({"ok": False, "error": str(error)})
+                        return
+                    stream_id = candidate
+                    self._send({"ok": True, "stream": stream_id})
+                elif op == "sample":
+                    if stream_id is None:
+                        self._send({"ok": False, "error": "open a stream first"})
+                        return
+                    pool.feed(
+                        stream_id,
+                        message["controller"],
+                        message["process"],
+                        float(message["time_hours"]),
+                    )
+                elif op == "sync":
+                    if stream_id is None:
+                        self._send({"ok": False, "error": "open a stream first"})
+                        return
+                    scored = pool.flush_stream(stream_id)
+                    self._send({"ok": True, "scored": scored})
+                elif op == "close":
+                    if stream_id is None:
+                        self._send({"ok": False, "error": "open a stream first"})
+                        return
+                    report = pool.close_stream(stream_id)
+                    stream_id = None
+                    self._send({"ok": True, "report": report})
+                    return
+                else:
+                    self._send({"ok": False, "error": f"unknown op {op!r}"})
+                    return
+        except (BrokenPipeError, ConnectionResetError, UnknownStreamError):
+            pass  # disconnect or reaped underneath us: fall through to drop
+        finally:
+            if stream_id is not None:
+                # The client vanished without closing: free the slot and
+                # discard its unscored samples — nothing leaks to the next
+                # stream admitted into the pool.
+                pool.drop_stream(stream_id)
+
+    def _send(self, payload: Dict[str, Any]) -> None:
+        self.wfile.write(json.dumps(payload).encode("utf-8") + b"\n")
+        self.wfile.flush()
+
+
+class _IngestServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class GatewayServer:
+    """The assembled gateway: pool + ingest + operations + flusher.
+
+    Usable blocking (:meth:`serve_forever`, the ``--serve`` CLI mode) or in
+    the background (:meth:`start` / :meth:`shutdown`, tests and the smoke
+    harness).  Binding port ``0`` lets the OS pick free ports — :attr:`url`
+    and :attr:`ingest_address` report the actual ones.
+    """
+
+    def __init__(self, pool: MonitorPool):
+        self.pool = pool
+        config = pool.config
+        ops_handler = type("BoundOpsHandler", (_OpsHandler,), {"gateway": self})
+        ingest_handler = type(
+            "BoundIngestHandler", (_IngestHandler,), {"gateway": self}
+        )
+        self._ops = ThreadingHTTPServer((config.host, config.port), ops_handler)
+        self._ops.daemon_threads = True
+        self._ingest = _IngestServer(
+            (config.host, config.ingest_port), ingest_handler
+        )
+        self.closing = False
+        self._threads: Tuple[threading.Thread, ...] = ()
+        self._stop_flusher = threading.Event()
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The (host, port) the operations surface actually bound."""
+        return self._ops.server_address[0], self._ops.server_address[1]
+
+    @property
+    def ingest_address(self) -> Tuple[str, int]:
+        """The (host, port) the ingest listener actually bound."""
+        return self._ingest.server_address[0], self._ingest.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """The operations surface's base URL."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    # ------------------------------------------------------------------
+    def _flusher(self) -> None:
+        interval = self.pool.config.flush_interval_seconds
+        while not self._stop_flusher.wait(interval):
+            self.pool.flush()
+            self.pool.reap_idle()
+
+    def start(self) -> "GatewayServer":
+        """Serve on daemon threads; returns self for chaining."""
+        threads = (
+            threading.Thread(target=self._ops.serve_forever, daemon=True),
+            threading.Thread(target=self._ingest.serve_forever, daemon=True),
+            threading.Thread(target=self._flusher, daemon=True),
+        )
+        for thread in threads:
+            thread.start()
+        self._threads = threads
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted."""
+        self.start()
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+        finally:
+            self.shutdown()
+
+    def shutdown(self) -> None:
+        """Stop serving, score what is buffered, release the sockets."""
+        self.closing = True
+        self._stop_flusher.set()
+        self._ops.shutdown()
+        self._ops.server_close()
+        self._ingest.shutdown()
+        self._ingest.server_close()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads = ()
+        self.pool.flush()
+
+    def __enter__(self) -> "GatewayServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

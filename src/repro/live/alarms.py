@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.common.exceptions import ConfigurationError
 
@@ -82,6 +82,34 @@ class AlarmEvent:
     def raised(self) -> bool:
         """Whether this event raised (vs. cleared) an alarm."""
         return self.kind == "raised"
+
+    def to_mapping(self) -> Dict[str, Any]:
+        """A plain, JSON-safe mapping of this event.
+
+        Floats are emitted as Python floats (``json.dumps`` writes their
+        shortest round-trip repr), so a transition that crosses the wire is
+        rebuilt bit-for-bit by :meth:`from_mapping`.
+        """
+        return {
+            "kind": self.kind,
+            "index": int(self.index),
+            "time_hours": float(self.time_hours),
+            "chart": self.chart,
+            "statistic_value": float(self.statistic_value),
+            "limit": float(self.limit),
+        }
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "AlarmEvent":
+        """Rebuild an event from its :meth:`to_mapping` form."""
+        return cls(
+            kind=str(mapping["kind"]),
+            index=int(mapping["index"]),
+            time_hours=float(mapping["time_hours"]),
+            chart=str(mapping["chart"]),
+            statistic_value=float(mapping["statistic_value"]),
+            limit=float(mapping["limit"]),
+        )
 
 
 class AlarmManager:

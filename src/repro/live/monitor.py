@@ -22,7 +22,7 @@ window — because diagnosis and classification literally run through
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -177,8 +177,27 @@ class LiveViewMonitor:
         t2_values, spe_values = self.monitor.statistics(
             np.asarray(values, dtype=float)
         )
-        t2 = float(t2_values[0])
-        spe = float(spe_values[0])
+        return self.ingest(
+            values, time_hours, float(t2_values[0]), float(spe_values[0])
+        )
+
+    def ingest(
+        self, values, time_hours: float, t2: float, spe: float
+    ) -> Optional[AlarmEvent]:
+        """Fold one already-scored observation into the monitor's state.
+
+        The bookkeeping half of :meth:`observe`, split out so callers that
+        score observations in bulk — the streaming gateway packs due samples
+        from many concurrent streams into one ``(B, M)`` matrix and calls
+        :meth:`MSPCMonitor.statistics` once — drive exactly the same state
+        machines with the precomputed per-row values.  Because the PCA
+        projection is shape-stable (see :meth:`repro.mspc.pca.PCAModel.
+        transform`), a batched row's ``t2``/``spe`` equals the values
+        :meth:`observe` would have computed, so the two entry points are
+        interchangeable bit for bit.
+        """
+        t2 = float(t2)
+        spe = float(spe)
         index = len(self._times)
         time_value = float(time_hours)
 
@@ -276,6 +295,75 @@ class LiveRunReport:
     def detected(self) -> bool:
         """Whether a detection was confirmed at/after the anomaly onset."""
         return self.detection_index is not None
+
+    def to_mapping(self) -> Dict[str, Any]:
+        """A plain, JSON-safe mapping of this report.
+
+        Every key is always present (``None`` where the field is unset), so
+        two reports that compare equal serialize to the same bytes under
+        ``json.dumps(..., sort_keys=True)``.  Floats survive the wire
+        bit-for-bit via their shortest round-trip repr.
+        """
+        return {
+            "n_samples": int(self.n_samples),
+            "detection_index": (
+                None if self.detection_index is None else int(self.detection_index)
+            ),
+            "detection_time_hours": _opt_float(self.detection_time_hours),
+            "detection_latency_hours": _opt_float(self.detection_latency_hours),
+            "false_alarm_time_hours": _opt_float(self.false_alarm_time_hours),
+            "snapshot": None if self.snapshot is None else self.snapshot.to_mapping(),
+            "snapshot_time_hours": _opt_float(self.snapshot_time_hours),
+            "time_to_diagnosis_hours": _opt_float(self.time_to_diagnosis_hours),
+            "diagnosis": (
+                None if self.diagnosis is None else self.diagnosis.to_mapping()
+            ),
+            "alarm_events": {
+                name: [event.to_mapping() for event in events]
+                for name, events in sorted(self.alarm_events.items())
+            },
+            "stopped_early": bool(self.stopped_early),
+            "stop_index": None if self.stop_index is None else int(self.stop_index),
+            "stop_time_hours": _opt_float(self.stop_time_hours),
+        }
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "LiveRunReport":
+        """Rebuild a report from its :meth:`to_mapping` form."""
+        snapshot = mapping.get("snapshot")
+        diagnosis = mapping.get("diagnosis")
+        return cls(
+            n_samples=int(mapping["n_samples"]),
+            detection_index=(
+                None
+                if mapping["detection_index"] is None
+                else int(mapping["detection_index"])
+            ),
+            detection_time_hours=_opt_float(mapping["detection_time_hours"]),
+            detection_latency_hours=_opt_float(mapping["detection_latency_hours"]),
+            false_alarm_time_hours=_opt_float(mapping["false_alarm_time_hours"]),
+            snapshot=(
+                None if snapshot is None else DiagnosisSummary.from_mapping(snapshot)
+            ),
+            snapshot_time_hours=_opt_float(mapping["snapshot_time_hours"]),
+            time_to_diagnosis_hours=_opt_float(mapping["time_to_diagnosis_hours"]),
+            diagnosis=(
+                None if diagnosis is None else DiagnosisSummary.from_mapping(diagnosis)
+            ),
+            alarm_events={
+                str(name): tuple(AlarmEvent.from_mapping(event) for event in events)
+                for name, events in mapping["alarm_events"].items()
+            },
+            stopped_early=bool(mapping["stopped_early"]),
+            stop_index=(
+                None if mapping["stop_index"] is None else int(mapping["stop_index"])
+            ),
+            stop_time_hours=_opt_float(mapping["stop_time_hours"]),
+        )
+
+
+def _opt_float(value: Optional[float]) -> Optional[float]:
+    return None if value is None else float(value)
 
 
 class LiveMonitor:
@@ -410,12 +498,44 @@ class LiveMonitor:
             event = view.observe(values, time_hours)
             if event is not None:
                 events.append(event)
+        self._after_sample(time_hours)
+        return events
+
+    def ingest_scored(
+        self,
+        controller_values,
+        process_values,
+        time_hours: float,
+        controller_stats: Tuple[float, float],
+        process_stats: Tuple[float, float],
+    ) -> List[AlarmEvent]:
+        """Feed one already-scored sample of both views.
+
+        ``controller_stats`` / ``process_stats`` are the ``(t2, spe)`` pairs
+        for the sample, typically cut out of a cross-stream batched
+        :meth:`MSPCMonitor.statistics` call.  Alarm state machines, detection
+        bookkeeping and the on-alarm snapshot run through exactly the same
+        code as :meth:`observe`, so a gateway stream fed through here is
+        bitwise-identical to an in-process monitor fed through
+        :meth:`observe`.
+        """
+        events = []
+        for view, values, stats in (
+            (self.controller_view, controller_values, controller_stats),
+            (self.process_view, process_values, process_stats),
+        ):
+            event = view.ingest(values, time_hours, stats[0], stats[1])
+            if event is not None:
+                events.append(event)
+        self._after_sample(time_hours)
+        return events
+
+    def _after_sample(self, time_hours: float) -> None:
         if self._snapshot is None and self.detected:
             # The on-alarm snapshot: diagnose the window available the
             # moment the detection is confirmed, before the run moves on.
             self._snapshot = self.diagnose()
             self._snapshot_time = float(time_hours)
-        return events
 
     def diagnose(self) -> DualLevelDiagnosis:
         """Dual-level diagnosis of everything streamed so far.

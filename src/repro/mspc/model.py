@@ -17,7 +17,7 @@ paper uses them:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -80,6 +80,23 @@ class OmedaResult:
         if magnitudes.size < 2 or magnitudes[1] == 0:
             return float("inf") if magnitudes[0] > 0 else 1.0
         return float(magnitudes[0] / magnitudes[1])
+
+    def to_mapping(self) -> Dict[str, Any]:
+        """A plain, JSON-safe mapping of this diagnosis vector."""
+        return {
+            "variable_names": list(self.variable_names),
+            "contributions": [float(value) for value in self.contributions],
+            "observation_indices": [int(i) for i in self.observation_indices],
+        }
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "OmedaResult":
+        """Rebuild a diagnosis vector from its :meth:`to_mapping` form."""
+        return cls(
+            variable_names=tuple(str(name) for name in mapping["variable_names"]),
+            contributions=np.asarray(mapping["contributions"], dtype=float),
+            observation_indices=tuple(int(i) for i in mapping["observation_indices"]),
+        )
 
 
 @dataclass

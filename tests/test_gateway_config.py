@@ -1,0 +1,119 @@
+"""Tests for :class:`GatewayConfig` and the spec's ``[gateway]`` section."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import api
+from repro.api.spec import CampaignSpec
+from repro.common.config import GatewayConfig
+from repro.common.exceptions import ConfigurationError
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = GatewayConfig()
+        assert config.is_default
+        assert config.url == "http://127.0.0.1:8790"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"host": ""},
+            {"port": -1},
+            {"port": 70000},
+            {"ingest_port": -1},
+            {"port": 9000, "ingest_port": 9000},
+            {"max_streams": 0},
+            {"scoring_batch_size": 0},
+            {"flush_interval_seconds": 0.0},
+            {"flush_interval_seconds": -0.1},
+            {"idle_timeout_seconds": -1.0},
+            {"max_pending_samples": 0},
+        ],
+    )
+    def test_bad_values_are_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            GatewayConfig(**kwargs)
+
+    def test_both_ports_ephemeral_is_allowed(self):
+        config = GatewayConfig(port=0, ingest_port=0)
+        assert config.port == config.ingest_port == 0
+
+    def test_idle_timeout_zero_means_disabled(self):
+        assert GatewayConfig(idle_timeout_seconds=0.0).idle_timeout is None
+        assert GatewayConfig(idle_timeout_seconds=12.5).idle_timeout == 12.5
+
+
+class TestMappingRoundTrip:
+    def test_round_trip_is_exact(self):
+        config = GatewayConfig(
+            host="0.0.0.0",
+            port=9100,
+            ingest_port=9101,
+            max_streams=17,
+            scoring_batch_size=5,
+            flush_interval_seconds=0.125,
+            idle_timeout_seconds=0.0,
+            max_pending_samples=33,
+        )
+        rebuilt = GatewayConfig.from_mapping(
+            json.loads(json.dumps(config.to_mapping()))
+        )
+        assert rebuilt == config
+        assert rebuilt.idle_timeout is None  # the 0-sentinel survives the wire
+
+    def test_unknown_keys_are_rejected(self):
+        with pytest.raises(ConfigurationError, match="gateway"):
+            GatewayConfig.from_mapping({"prot": 8790})
+
+    def test_integer_like_floats_are_coerced(self):
+        config = GatewayConfig.from_mapping({"port": 8080.0, "max_streams": 3.0})
+        assert config.port == 8080 and config.max_streams == 3
+
+
+class TestSpecSection:
+    def spec(self, **gateway_kwargs) -> CampaignSpec:
+        return CampaignSpec(
+            name="gw",
+            scenarios=["idv6"],
+            gateway=GatewayConfig(**gateway_kwargs),
+        )
+
+    def test_default_section_is_omitted_from_the_mapping(self):
+        assert "gateway" not in self.spec().to_mapping()
+
+    def test_non_default_section_is_included(self):
+        mapping = self.spec(port=9000).to_mapping()
+        assert mapping["gateway"]["port"] == 9000
+
+    @pytest.mark.parametrize("format", ["toml", "json"])
+    def test_spec_round_trip_preserves_the_section(self, format):
+        spec = self.spec(
+            port=9000, scoring_batch_size=64, idle_timeout_seconds=0.0
+        )
+        reparsed = api.loads_spec(api.dumps_spec(spec, format), format=format)
+        assert reparsed.gateway == spec.gateway
+
+    def test_spec_without_section_gets_the_defaults(self):
+        spec = api.loads_spec('name = "x"\n[[scenarios]]\nuse = "idv6"\n')
+        assert spec.gateway == GatewayConfig()
+
+    def test_unknown_gateway_key_in_toml_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            api.loads_spec(
+                'name = "x"\n[gateway]\nbogus = 1\n[[scenarios]]\nuse = "idv6"\n'
+            )
+
+
+class TestExampleSpec:
+    def test_gateway_paper_spec_loads(self):
+        spec = api.load_spec(REPO_ROOT / "examples" / "specs" / "gateway_paper.toml")
+        assert spec.gateway.port == 8790
+        assert spec.gateway.ingest_port == 8791
+        assert spec.gateway.max_streams == 4096
+        assert spec.gateway.scoring_batch_size == 256
+        assert len(spec.scenarios) == 5

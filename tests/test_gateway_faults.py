@@ -1,0 +1,231 @@
+"""Fault-path tests for the gateway: disconnects, backpressure, reaping.
+
+The contracts under test:
+
+* a client that vanishes (socket severed, no ``close`` op) frees its pool
+  slot, and nothing from the dead stream leaks into the next stream that
+  takes the slot or reuses the id;
+* backpressure is an inline flush, not unbounded buffering — a stream's
+  pending buffer never exceeds ``max_pending_samples``;
+* streams silent past the idle timeout are reaped (with an injectable
+  clock, so tests march time instead of sleeping), and ``0`` disables
+  reaping entirely.
+"""
+
+import json
+import time
+
+from repro.common.config import GatewayConfig
+from repro.gateway.pool import MonitorPool
+from repro.gateway.server import GatewayServer
+from repro.gateway.client import StreamClient
+from repro.live.monitor import LiveMonitor
+
+ANOMALY_START = 4.0
+
+
+def canonical(mapping) -> str:
+    return json.dumps(mapping, sort_keys=True)
+
+
+def pool_config(**kwargs) -> GatewayConfig:
+    defaults = dict(port=0, ingest_port=0)
+    defaults.update(kwargs)
+    return GatewayConfig(**defaults)
+
+
+class FakeClock:
+    """An injectable monotonic clock tests can march forward."""
+
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def feed_pool(pool, stream_id, result, limit):
+    controller = result.controller_data
+    for i in range(limit):
+        pool.feed(
+            stream_id,
+            controller.values[i],
+            result.process_data.values[i],
+            float(controller.timestamps[i]),
+        )
+
+
+def feed_pool_via_client(client, stream_id, result, limit):
+    controller = result.controller_data
+    for i in range(limit):
+        client.feed(
+            stream_id,
+            controller.values[i],
+            result.process_data.values[i],
+            float(controller.timestamps[i]),
+        )
+
+
+# ----------------------------------------------------------------------
+# Disconnects free the slot with no cross-stream leakage
+# ----------------------------------------------------------------------
+class TestDisconnect:
+    def test_abandoned_connection_frees_the_pool_slot(
+        self, small_evaluation, attack_xmv3_run
+    ):
+        pool = MonitorPool(small_evaluation.analyzer, pool_config())
+        with GatewayServer(pool) as server:
+            client = StreamClient(server.url, timeout=10.0)
+            client.open_stream("crashy", anomaly_start_hour=ANOMALY_START)
+            feed_pool_via_client(client, "crashy", attack_xmv3_run, limit=30)
+            assert pool.n_streams == 1
+            client.abandon_stream("crashy")
+            deadline = time.monotonic() + 10.0
+            while pool.n_streams and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert pool.n_streams == 0
+            assert pool.metrics.streams_dropped.value == 1
+
+    def test_reused_id_carries_no_state_from_the_dead_stream(
+        self, small_evaluation, attack_xmv3_run, normal_run
+    ):
+        pool = MonitorPool(small_evaluation.analyzer, pool_config(max_streams=1))
+        pool.open_stream("slot", ANOMALY_START)
+        feed_pool(pool, "slot", attack_xmv3_run, limit=150)
+        pool.flush()
+        assert pool.status("slot").detected
+        pool.drop_stream("slot")
+
+        # the freed slot, reused under the same id, starts from scratch
+        pool.open_stream("slot")
+        feed_pool(pool, "slot", normal_run, limit=30)
+        report = pool.close_stream("slot")
+        reference = LiveMonitor(small_evaluation.analyzer)
+        controller = normal_run.controller_data
+        for i in range(30):
+            reference.observe(
+                controller.values[i],
+                normal_run.process_data.values[i],
+                float(controller.timestamps[i]),
+            )
+        assert canonical(report) == canonical(reference.report().to_mapping())
+
+    def test_dropped_stream_discards_pending_samples(
+        self, small_evaluation, idv6_run
+    ):
+        pool = MonitorPool(
+            small_evaluation.analyzer, pool_config(max_pending_samples=1000)
+        )
+        pool.open_stream("s")
+        feed_pool(pool, "s", idv6_run, limit=25)
+        assert pool.n_pending() == 25
+        pool.drop_stream("s")
+        assert pool.n_pending() == 0
+        assert pool.flush() == 0  # nothing of the dead stream gets scored
+
+    def test_dropping_an_unknown_stream_is_a_no_op(self, small_evaluation):
+        pool = MonitorPool(small_evaluation.analyzer, pool_config())
+        pool.drop_stream("never-existed")
+        assert pool.metrics.streams_dropped.value == 0
+
+
+# ----------------------------------------------------------------------
+# Backpressure: bounded buffering, inline flush
+# ----------------------------------------------------------------------
+class TestBackpressure:
+    def test_pending_buffer_never_exceeds_the_bound(
+        self, small_evaluation, idv6_run
+    ):
+        bound = 8
+        pool = MonitorPool(
+            small_evaluation.analyzer,
+            pool_config(max_pending_samples=bound),
+        )
+        pool.open_stream("s", ANOMALY_START)
+        controller = idv6_run.controller_data
+        for i in range(60):
+            pool.feed(
+                "s",
+                controller.values[i],
+                idv6_run.process_data.values[i],
+                float(controller.timestamps[i]),
+            )
+            assert pool.status("s").n_pending < bound
+        # the overrun was absorbed by scoring, not by buffering
+        status = pool.status("s")
+        assert status.n_samples + status.n_pending == 60
+        assert status.n_samples >= 60 - (bound - 1)
+
+    def test_inline_flush_preserves_equivalence(
+        self, small_evaluation, attack_xmv3_run
+    ):
+        pool = MonitorPool(
+            small_evaluation.analyzer,
+            pool_config(max_pending_samples=4, scoring_batch_size=3),
+        )
+        pool.open_stream("s", ANOMALY_START)
+        n = attack_xmv3_run.controller_data.n_observations
+        feed_pool(pool, "s", attack_xmv3_run, limit=n)
+        report = pool.close_stream("s")
+        reference = LiveMonitor(
+            small_evaluation.analyzer, anomaly_start_hour=ANOMALY_START
+        )
+        controller = attack_xmv3_run.controller_data
+        for i in range(n):
+            reference.observe(
+                controller.values[i],
+                attack_xmv3_run.process_data.values[i],
+                float(controller.timestamps[i]),
+            )
+        assert canonical(report) == canonical(reference.report().to_mapping())
+
+
+# ----------------------------------------------------------------------
+# Idle-stream reaping
+# ----------------------------------------------------------------------
+class TestIdleReaping:
+    def test_silent_streams_are_reaped_active_ones_kept(
+        self, small_evaluation, normal_run
+    ):
+        clock = FakeClock()
+        pool = MonitorPool(
+            small_evaluation.analyzer,
+            pool_config(idle_timeout_seconds=10.0),
+            clock=clock,
+        )
+        pool.open_stream("quiet")
+        pool.open_stream("chatty")
+        clock.advance(8.0)
+        feed_pool(pool, "chatty", normal_run, limit=1)  # refreshes last_seen
+        clock.advance(5.0)  # quiet: 13s silent; chatty: 5s
+        assert pool.reap_idle() == ["quiet"]
+        assert pool.stream_ids() == ["chatty"]
+        assert pool.metrics.streams_reaped.value == 1
+
+    def test_exactly_at_the_timeout_is_not_reaped(self, small_evaluation):
+        clock = FakeClock()
+        pool = MonitorPool(
+            small_evaluation.analyzer,
+            pool_config(idle_timeout_seconds=10.0),
+            clock=clock,
+        )
+        pool.open_stream("edge")
+        clock.advance(10.0)
+        assert pool.reap_idle() == []
+        clock.advance(0.001)
+        assert pool.reap_idle() == ["edge"]
+
+    def test_zero_timeout_disables_reaping(self, small_evaluation):
+        clock = FakeClock()
+        pool = MonitorPool(
+            small_evaluation.analyzer,
+            pool_config(idle_timeout_seconds=0.0),
+            clock=clock,
+        )
+        pool.open_stream("eternal")
+        clock.advance(1e6)
+        assert pool.reap_idle() == []
+        assert pool.stream_ids() == ["eternal"]

@@ -1,0 +1,304 @@
+"""Tests for the multi-tenant monitor pool (:mod:`repro.gateway.pool`).
+
+The anchor is the tentpole equivalence contract: streams fed through the
+pool's cross-stream batched scoring produce reports **bitwise-identical**
+(canonical JSON) to an in-process :class:`LiveMonitor` fed the same
+samples, on all five registered paper scenarios, interleaved across
+streams and with batch boundaries falling mid-stream.
+"""
+
+import json
+
+import pytest
+
+from repro.common.config import GatewayConfig
+from repro.common.exceptions import (
+    NotFittedError,
+    StreamRejectedError,
+    UnknownStreamError,
+)
+from repro.experiments.registry import get_scenario
+from repro.gateway.pool import MonitorPool
+from repro.live.monitor import LiveMonitor
+
+ANOMALY_START = 4.0
+
+FIVE_SCENARIO_FIXTURES = {
+    "normal": "normal_run",
+    "idv6": "idv6_run",
+    "attack_xmv3": "attack_xmv3_run",
+    "attack_xmeas1": "attack_xmeas1_run",
+    "dos_xmv3": "dos_xmv3_run",
+}
+
+
+def onset_for(scenario_name):
+    return ANOMALY_START if get_scenario(scenario_name).is_anomalous else None
+
+
+def canonical(mapping) -> str:
+    return json.dumps(mapping, sort_keys=True)
+
+
+def pool_config(**kwargs) -> GatewayConfig:
+    defaults = dict(port=0, ingest_port=0)
+    defaults.update(kwargs)
+    return GatewayConfig(**defaults)
+
+
+def feed_pool(pool, stream_id, result, limit=None):
+    controller = result.controller_data
+    process = result.process_data
+    n = controller.n_observations if limit is None else limit
+    for i in range(n):
+        pool.feed(
+            stream_id,
+            controller.values[i],
+            process.values[i],
+            float(controller.timestamps[i]),
+        )
+
+
+def reference_report(analyzer, result, onset, limit=None):
+    monitor = LiveMonitor(analyzer, anomaly_start_hour=onset)
+    controller = result.controller_data
+    process = result.process_data
+    n = controller.n_observations if limit is None else limit
+    for i in range(n):
+        monitor.observe(
+            controller.values[i],
+            process.values[i],
+            float(controller.timestamps[i]),
+        )
+    return monitor.report().to_mapping()
+
+
+@pytest.fixture(scope="module")
+def scenario_runs(
+    normal_run, idv6_run, attack_xmv3_run, attack_xmeas1_run, dos_xmv3_run
+):
+    return {
+        "normal": normal_run,
+        "idv6": idv6_run,
+        "attack_xmv3": attack_xmv3_run,
+        "attack_xmeas1": attack_xmeas1_run,
+        "dos_xmv3": dos_xmv3_run,
+    }
+
+
+# ----------------------------------------------------------------------
+# The tentpole pin: batched cross-stream scoring == in-process LiveMonitor
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def gateway_reports(small_evaluation, scenario_runs):
+    """All five scenarios fed interleaved through one pool.
+
+    The odd batch size (7) guarantees batches routinely span stream
+    boundaries and split a stream's samples across batches; the periodic
+    mid-stream flushes exercise partial-buffer scoring.
+    """
+    pool = MonitorPool(
+        small_evaluation.analyzer,
+        pool_config(scoring_batch_size=7, idle_timeout_seconds=0.0),
+    )
+    for name in scenario_runs:
+        pool.open_stream(name, onset_for(name))
+    longest = max(
+        run.controller_data.n_observations for run in scenario_runs.values()
+    )
+    for i in range(longest):
+        for name, result in scenario_runs.items():
+            controller = result.controller_data
+            if i < controller.n_observations:
+                pool.feed(
+                    name,
+                    controller.values[i],
+                    result.process_data.values[i],
+                    float(controller.timestamps[i]),
+                )
+        if i % 13 == 5:
+            pool.flush()
+    return {name: pool.close_stream(name) for name in scenario_runs}
+
+
+class TestBitwiseEquivalence:
+    @pytest.mark.parametrize("scenario_name", list(FIVE_SCENARIO_FIXTURES))
+    def test_interleaved_batched_reports_are_bitwise_identical(
+        self, small_evaluation, scenario_runs, gateway_reports, scenario_name
+    ):
+        expected = reference_report(
+            small_evaluation.analyzer,
+            scenario_runs[scenario_name],
+            onset_for(scenario_name),
+        )
+        assert canonical(gateway_reports[scenario_name]) == canonical(expected)
+
+    def test_anomalous_streams_detected_and_alarmed(self, gateway_reports):
+        for name, report in gateway_reports.items():
+            if onset_for(name) is None:
+                continue
+            assert report["detection_time_hours"] is not None, name
+            assert any(report["alarm_events"].values()), name
+
+    def test_batch_size_does_not_change_the_report(
+        self, small_evaluation, attack_xmv3_run
+    ):
+        reports = []
+        for batch_size in (1, 64):
+            pool = MonitorPool(
+                small_evaluation.analyzer,
+                pool_config(scoring_batch_size=batch_size),
+            )
+            pool.open_stream("s", ANOMALY_START)
+            feed_pool(pool, "s", attack_xmv3_run)
+            reports.append(canonical(pool.close_stream("s")))
+        assert reports[0] == reports[1]
+
+
+# ----------------------------------------------------------------------
+# Lifecycle and admission control
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_unfitted_analyzer_is_rejected(self):
+        from repro.anomaly.diagnosis import DualLevelAnalyzer
+
+        with pytest.raises(NotFittedError):
+            MonitorPool(DualLevelAnalyzer(), pool_config())
+
+    def test_duplicate_stream_is_rejected(self, small_evaluation):
+        pool = MonitorPool(small_evaluation.analyzer, pool_config())
+        pool.open_stream("dup")
+        with pytest.raises(StreamRejectedError, match="already open"):
+            pool.open_stream("dup")
+
+    def test_empty_stream_id_is_rejected(self, small_evaluation):
+        pool = MonitorPool(small_evaluation.analyzer, pool_config())
+        with pytest.raises(StreamRejectedError):
+            pool.open_stream("")
+
+    def test_full_pool_refuses_and_reports_not_ready(self, small_evaluation):
+        pool = MonitorPool(
+            small_evaluation.analyzer, pool_config(max_streams=2)
+        )
+        pool.open_stream("a")
+        assert not pool.is_full
+        pool.open_stream("b")
+        assert pool.is_full
+        with pytest.raises(StreamRejectedError, match="full"):
+            pool.open_stream("c")
+        pool.drop_stream("a")
+        pool.open_stream("c")  # the freed slot is reusable
+
+    def test_unknown_stream_raises(self, small_evaluation):
+        pool = MonitorPool(small_evaluation.analyzer, pool_config())
+        with pytest.raises(UnknownStreamError):
+            pool.feed("ghost", [0.0], [0.0], 0.0)
+        with pytest.raises(UnknownStreamError):
+            pool.status("ghost")
+        with pytest.raises(UnknownStreamError):
+            pool.report("ghost")
+
+    def test_stream_ids_in_open_order(self, small_evaluation):
+        pool = MonitorPool(small_evaluation.analyzer, pool_config())
+        for name in ("c", "a", "b"):
+            pool.open_stream(name)
+        assert pool.stream_ids() == ["c", "a", "b"]
+        assert pool.n_streams == 3
+
+
+# ----------------------------------------------------------------------
+# Queries
+# ----------------------------------------------------------------------
+class TestQueries:
+    def test_status_counts_pending_and_scored(
+        self, small_evaluation, idv6_run
+    ):
+        pool = MonitorPool(
+            small_evaluation.analyzer, pool_config(max_pending_samples=1000)
+        )
+        pool.open_stream("s", ANOMALY_START)
+        feed_pool(pool, "s", idv6_run, limit=10)
+        status = pool.status("s")
+        assert status.n_pending == 10 and status.n_samples == 0
+        assert pool.n_pending() == 10
+        assert pool.flush() == 10
+        status = pool.status("s")
+        assert status.n_pending == 0 and status.n_samples == 10
+        mapping = status.to_mapping()
+        assert mapping["stream_id"] == "s"
+        assert json.loads(json.dumps(mapping)) == mapping
+
+    def test_alarms_and_alarm_feed_agree(
+        self, small_evaluation, attack_xmv3_run
+    ):
+        pool = MonitorPool(small_evaluation.analyzer, pool_config())
+        pool.open_stream("s", ANOMALY_START)
+        feed_pool(pool, "s", attack_xmv3_run)
+        pool.flush()
+        alarms = pool.alarms("s")
+        assert set(alarms) == {"controller", "process"}
+        total = sum(len(events) for events in alarms.values())
+        assert total > 0
+        events, cursor = pool.alarm_feed("s", 0)
+        assert cursor == total and len(events) == total
+        assert all("view" in event for event in events)
+        later, cursor2 = pool.alarm_feed("s", cursor)
+        assert later == [] and cursor2 == cursor
+
+    def test_report_on_open_stream_flushes_in_place(
+        self, small_evaluation, idv6_run
+    ):
+        pool = MonitorPool(
+            small_evaluation.analyzer, pool_config(max_pending_samples=1000)
+        )
+        pool.open_stream("s", ANOMALY_START)
+        feed_pool(pool, "s", idv6_run, limit=20)
+        report = pool.report("s")
+        assert report["n_samples"] == 20
+        assert pool.n_pending() == 0
+        assert "s" in pool.stream_ids()  # still open
+
+    def test_closed_stream_report_is_archived_until_id_reuse(
+        self, small_evaluation, idv6_run
+    ):
+        pool = MonitorPool(small_evaluation.analyzer, pool_config())
+        pool.open_stream("s", ANOMALY_START)
+        feed_pool(pool, "s", idv6_run, limit=15)
+        closed = pool.close_stream("s")
+        assert "s" not in pool.stream_ids()
+        assert pool.report("s") == closed
+        pool.open_stream("s")  # reuse clears the archive
+        assert pool.report("s")["n_samples"] == 0
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_counters_track_the_stream_lifecycle(
+        self, small_evaluation, attack_xmv3_run
+    ):
+        pool = MonitorPool(
+            small_evaluation.analyzer, pool_config(scoring_batch_size=32)
+        )
+        pool.open_stream("s", ANOMALY_START)
+        feed_pool(pool, "s", attack_xmv3_run)
+        pool.close_stream("s")
+        snapshot = pool.metrics.snapshot()
+        n = attack_xmv3_run.controller_data.n_observations
+        assert snapshot["gateway_streams_opened_total"] == 1
+        assert snapshot["gateway_streams_closed_total"] == 1
+        assert snapshot["gateway_samples_ingested_total"] == n
+        assert snapshot["gateway_samples_scored_total"] == n
+        assert snapshot["gateway_alarms_raised_total"] >= 1
+        assert snapshot["gateway_streams_active"] == 0
+        assert snapshot["gateway_scoring_batch_rows_count"] >= n / 32
+
+    def test_render_emits_prometheus_text(self, small_evaluation):
+        pool = MonitorPool(small_evaluation.analyzer, pool_config())
+        pool.open_stream("s")
+        text = pool.metrics.render()
+        assert "# TYPE gateway_streams_active gauge" in text
+        assert "gateway_streams_active 1" in text
+        assert '# TYPE gateway_flush_latency_seconds histogram' in text
+        assert 'gateway_flush_latency_seconds_bucket{le="+Inf"} 0' in text

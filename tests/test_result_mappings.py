@@ -1,9 +1,10 @@
 """Round-trip pins for the JSON-safe result mappings.
 
-``CampaignResult`` and ``ScenarioSummary`` must cross process and HTTP
-boundaries losslessly: ``from_mapping(to_mapping(x))`` has to reproduce
-every table-facing number exactly, and the mapping itself has to survive
-``json.dumps`` untouched.
+``CampaignResult``, ``ScenarioSummary``, ``LiveRunReport`` and
+``AlarmEvent`` must cross process and HTTP boundaries losslessly:
+``from_mapping(to_mapping(x))`` has to reproduce every number exactly, and
+the mapping itself has to survive ``json.dumps`` untouched — the gateway's
+wire contract (bitwise-identical reports) rests on these pins.
 """
 
 import json
@@ -21,6 +22,8 @@ from repro.common.config import (
 )
 from repro.experiments.analysis import ScenarioSummary
 from repro.experiments.scenarios import disturbance_idv6_scenario
+from repro.live.alarms import AlarmEvent
+from repro.live.monitor import LiveMonitor, LiveRunReport
 
 SMALL_EXPERIMENT = ExperimentConfig(
     n_calibration_runs=2,
@@ -140,6 +143,103 @@ class TestCampaignResultMapping:
         first = json.dumps(campaign_result.to_mapping(), sort_keys=True)
         second = json.dumps(
             CampaignResult.from_mapping(json.loads(first)).to_mapping(),
+            sort_keys=True,
+        )
+        assert first == second
+
+
+class TestAlarmEventMapping:
+    def event(self) -> AlarmEvent:
+        return AlarmEvent(
+            kind="raised",
+            index=42,
+            time_hours=2.1500000000000004,  # a value with float repr noise
+            chart="D+Q",
+            statistic_value=6473.803261,
+            limit=25.42485,
+        )
+
+    def test_mapping_is_json_safe(self):
+        blob = json.dumps(self.event().to_mapping())
+        assert json.loads(blob)["chart"] == "D+Q"
+
+    def test_round_trip_is_exact(self):
+        original = self.event()
+        rebuilt = AlarmEvent.from_mapping(
+            json.loads(json.dumps(original.to_mapping()))
+        )
+        assert rebuilt == original
+
+    def test_second_round_trip_is_byte_stable(self):
+        first = json.dumps(self.event().to_mapping(), sort_keys=True)
+        second = json.dumps(
+            AlarmEvent.from_mapping(json.loads(first)).to_mapping(),
+            sort_keys=True,
+        )
+        assert first == second
+
+
+class TestLiveRunReportMapping:
+    @pytest.fixture(scope="class")
+    def live_report(self, small_evaluation, idv6_run):
+        """A report with detections, alarms and both diagnosis summaries."""
+        monitor = LiveMonitor(small_evaluation.analyzer, anomaly_start_hour=4.0)
+        controller = idv6_run.controller_data
+        process = idv6_run.process_data
+        for i in range(controller.n_observations):
+            monitor.observe(
+                controller.values[i],
+                process.values[i],
+                float(controller.timestamps[i]),
+            )
+        return monitor.report()
+
+    def test_mapping_is_json_safe(self, live_report):
+        blob = json.dumps(live_report.to_mapping())
+        assert json.loads(blob)["n_samples"] == live_report.n_samples
+
+    def test_round_trip_preserves_every_field(self, live_report):
+        rebuilt = LiveRunReport.from_mapping(
+            json.loads(json.dumps(live_report.to_mapping()))
+        )
+        assert rebuilt.n_samples == live_report.n_samples
+        assert rebuilt.detection_index == live_report.detection_index
+        assert rebuilt.detection_time_hours == live_report.detection_time_hours
+        assert (
+            rebuilt.detection_latency_hours == live_report.detection_latency_hours
+        )
+        assert (
+            rebuilt.false_alarm_time_hours == live_report.false_alarm_time_hours
+        )
+        assert rebuilt.snapshot_time_hours == live_report.snapshot_time_hours
+        assert (
+            rebuilt.time_to_diagnosis_hours == live_report.time_to_diagnosis_hours
+        )
+        assert rebuilt.stopped_early == live_report.stopped_early
+        assert rebuilt.alarm_events == live_report.alarm_events
+        assert (
+            rebuilt.diagnosis.classification
+            == live_report.diagnosis.classification
+        )
+        np.testing.assert_array_equal(
+            rebuilt.snapshot.controller_omeda.contributions,
+            live_report.snapshot.controller_omeda.contributions,
+        )
+
+    def test_second_round_trip_is_byte_stable(self, live_report):
+        first = json.dumps(live_report.to_mapping(), sort_keys=True)
+        second = json.dumps(
+            LiveRunReport.from_mapping(json.loads(first)).to_mapping(),
+            sort_keys=True,
+        )
+        assert first == second
+
+    def test_empty_report_round_trips(self, small_evaluation):
+        report = LiveMonitor(small_evaluation.analyzer).report()
+        assert report.n_samples == 0
+        first = json.dumps(report.to_mapping(), sort_keys=True)
+        second = json.dumps(
+            LiveRunReport.from_mapping(json.loads(first)).to_mapping(),
             sort_keys=True,
         )
         assert first == second
