@@ -67,6 +67,7 @@ from repro.common.exceptions import (
     GatewayError,
     StreamRejectedError,
     UnknownStreamError,
+    SampleRejectedError,
 )
 
 __all__ = [
@@ -82,4 +83,5 @@ __all__ = [
     "GatewayError",
     "StreamRejectedError",
     "UnknownStreamError",
+    "SampleRejectedError",
 ]

@@ -63,6 +63,11 @@ class UnknownStreamError(GatewayError):
     """An operation referenced a stream id the pool does not hold."""
 
 
+class SampleRejectedError(GatewayError):
+    """A fed sample was malformed or did not match the calibrated
+    dimensions, and was rejected before touching any stream's buffer."""
+
+
 class NotFittedError(ReproError):
     """A statistical model was used before being fitted to calibration data."""
 

@@ -175,6 +175,10 @@ class GatewayMetrics:
         self.samples_ingested = Counter(
             "gateway_samples_ingested_total", "Samples accepted from clients."
         )
+        self.samples_rejected = Counter(
+            "gateway_samples_rejected_total",
+            "Samples rejected at feed time (malformed or wrong dimension).",
+        )
         self.samples_scored = Counter(
             "gateway_samples_scored_total", "Samples scored by the pool."
         )
@@ -184,6 +188,10 @@ class GatewayMetrics:
         )
         self.alarms_raised = Counter(
             "gateway_alarms_raised_total", "Alarm raise transitions emitted."
+        )
+        self.flusher_errors = Counter(
+            "gateway_flusher_errors_total",
+            "Background flusher passes that raised and were survived.",
         )
         self.batch_occupancy = Histogram(
             "gateway_scoring_batch_rows",
@@ -213,9 +221,11 @@ class GatewayMetrics:
             self.streams_dropped,
             self.streams_reaped,
             self.samples_ingested,
+            self.samples_rejected,
             self.samples_scored,
             self.scoring_batches,
             self.alarms_raised,
+            self.flusher_errors,
             self.batch_occupancy,
             self.flush_latency,
             self.scoring_latency,

@@ -32,6 +32,7 @@ from repro.anomaly.diagnosis import DualLevelAnalyzer
 from repro.common.config import GatewayConfig
 from repro.common.exceptions import (
     NotFittedError,
+    SampleRejectedError,
     StreamRejectedError,
     UnknownStreamError,
 )
@@ -123,7 +124,19 @@ class MonitorPool:
     batch happens inside the lock — the numpy calls release the GIL, and
     correctness (per-stream sample order, snapshot timing) is easier to
     audit with one serialization point than with per-stream locks.
+
+    Samples are validated against the analyzer's calibrated dimensions at
+    feed time: a malformed or wrong-length vector raises
+    :class:`~repro.common.exceptions.SampleRejectedError` before touching
+    any buffer, so one stream's bad sample can never poison a cross-stream
+    scoring batch (which would lose *other* streams' already-drained
+    samples).  Reports of cleanly closed streams are archived in an LRU
+    bounded at :attr:`max_closed_reports`; the oldest untouched reports
+    age out once the cap is hit.
     """
+
+    #: Upper bound on archived closed-stream reports (LRU eviction).
+    max_closed_reports = 1024
 
     def __init__(
         self,
@@ -139,8 +152,10 @@ class MonitorPool:
         self.config = config or GatewayConfig()
         self.clock = clock
         self.metrics = GatewayMetrics(self.config.scoring_batch_size)
+        self._controller_dim = len(analyzer.controller_monitor.variable_names)
+        self._process_dim = len(analyzer.process_monitor.variable_names)
         self._streams: "OrderedDict[str, _StreamState]" = OrderedDict()
-        self._closed_reports: Dict[str, Dict[str, Any]] = {}
+        self._closed_reports: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
@@ -178,18 +193,63 @@ class MonitorPool:
         memory stays bounded no matter how fast clients feed — the cost of
         scoring is simply paid on the caller's thread when the background
         flusher falls behind.
+
+        A malformed sample raises
+        :class:`~repro.common.exceptions.SampleRejectedError` and buffers
+        nothing: only the offending feed fails, never a later cross-stream
+        batch.
         """
         started = time.perf_counter()
         with self._lock:
             state = self._require(stream_id)
             state.pending.append(
-                _PendingSample(controller_values, process_values, time_hours)
+                self._make_sample(controller_values, process_values, time_hours)
             )
             state.last_seen = self.clock()
             self.metrics.samples_ingested.increment()
             if len(state.pending) >= self.config.max_pending_samples:
                 self._flush_locked()
         self.metrics.ingest_latency.observe(time.perf_counter() - started)
+
+    def validate_sample(
+        self, controller_values, process_values, time_hours: float
+    ) -> None:
+        """Raise :class:`SampleRejectedError` unless the sample is scorable.
+
+        Needs no lock — the calibrated dimensions are immutable — so batch
+        endpoints can vet a whole payload up front and reject it atomically
+        before feeding anything.
+        """
+        self._make_sample(controller_values, process_values, time_hours)
+
+    def _make_sample(
+        self, controller_values, process_values, time_hours
+    ) -> _PendingSample:
+        """Build a pending sample, rejecting anything that cannot score.
+
+        The dimension check at feed time is what keeps a bad sample's blast
+        radius to its own stream: once buffered, samples are drained in
+        cross-stream batches, where a wrong-length row would abort scoring
+        after every stream's pending queue had already been popped.
+        """
+        try:
+            sample = _PendingSample(controller_values, process_values, time_hours)
+        except (TypeError, ValueError) as error:
+            self.metrics.samples_rejected.increment()
+            raise SampleRejectedError(f"malformed sample: {error}") from error
+        if sample.controller.shape[0] != self._controller_dim:
+            self.metrics.samples_rejected.increment()
+            raise SampleRejectedError(
+                f"controller vector has {sample.controller.shape[0]} values,"
+                f" expected {self._controller_dim}"
+            )
+        if sample.process.shape[0] != self._process_dim:
+            self.metrics.samples_rejected.increment()
+            raise SampleRejectedError(
+                f"process vector has {sample.process.shape[0]} values,"
+                f" expected {self._process_dim}"
+            )
+        return sample
 
     def close_stream(self, stream_id: str) -> Dict[str, Any]:
         """Score any pending samples, archive and return the final report."""
@@ -199,6 +259,9 @@ class MonitorPool:
             report = state.monitor.report().to_mapping()
             del self._streams[stream_id]
             self._closed_reports[str(stream_id)] = report
+            self._closed_reports.move_to_end(str(stream_id))
+            while len(self._closed_reports) > self.max_closed_reports:
+                self._closed_reports.popitem(last=False)
             self.metrics.streams_closed.increment()
             self._update_gauges_locked()
             return report
@@ -377,7 +440,10 @@ class MonitorPool:
         """The stream's :class:`LiveRunReport` mapping (pending flushed).
 
         Open streams are flushed and reported in place; a closed stream's
-        archived final report is served until its id is reused.
+        archived final report is served until its id is reused or the
+        report ages out of the bounded archive (the
+        :attr:`max_closed_reports` least-recently-read reports are kept,
+        so a long-running gateway cycling many streams stays bounded).
         """
         with self._lock:
             state = self._streams.get(str(stream_id))
@@ -386,6 +452,7 @@ class MonitorPool:
                 return state.monitor.report().to_mapping()
             archived = self._closed_reports.get(str(stream_id))
             if archived is not None:
+                self._closed_reports.move_to_end(str(stream_id))
                 return archived
             raise UnknownStreamError(f"no such stream: {stream_id!r}")
 

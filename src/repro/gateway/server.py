@@ -35,10 +35,13 @@ Ingest wire format (one JSON object per line, UTF-8)::
     {"op": "close"}
 
 ``open`` / ``sync`` / ``close`` are acknowledged with one JSON reply line;
-``sample`` is not (feeding stays one-way for throughput — backpressure
-comes from the bounded per-stream buffer, whose inline flush runs on the
-ingest connection's thread and therefore slows exactly the client that
-overruns it).
+an accepted ``sample`` is not (feeding stays one-way for throughput —
+backpressure comes from the bounded per-stream buffer, whose inline flush
+runs on the ingest connection's thread and therefore slows exactly the
+client that overruns it).  A *rejected* ``sample`` — wrong vector length,
+missing field, non-numeric value — gets one error reply and ends the
+connection; the bad sample buffers nothing and no other stream is
+affected.
 
 Security note: the gateway is **unauthenticated** and meant for loopback
 or a trusted LAN only — bind it accordingly (the default
@@ -58,6 +61,7 @@ from typing import Any, Dict, Optional, Tuple
 from repro._version import __version__
 from repro.common.exceptions import (
     GatewayError,
+    SampleRejectedError,
     StreamRejectedError,
     UnknownStreamError,
 )
@@ -245,14 +249,30 @@ class _OpsHandler(BaseHTTPRequestHandler):
                 if not isinstance(samples, list):
                     self._error(400, "body needs a 'samples' list")
                     return
-                for sample in samples:
-                    pool.feed(
-                        stream_id,
-                        sample["controller"],
-                        sample["process"],
-                        float(sample["time_hours"]),
-                    )
-                self._reply(200, {"accepted": len(samples)})
+                # Vet the whole batch before feeding any of it, so a bad
+                # entry yields a 400 naming its index with zero samples
+                # buffered — never a 500 after a partial accept.
+                parsed = []
+                for index, sample in enumerate(samples):
+                    if not isinstance(sample, dict):
+                        self._error(400, f"sample {index} must be an object")
+                        return
+                    try:
+                        entry = (
+                            sample["controller"],
+                            sample["process"],
+                            float(sample["time_hours"]),
+                        )
+                        pool.validate_sample(*entry)
+                    except (
+                        SampleRejectedError, KeyError, TypeError, ValueError,
+                    ) as error:
+                        self._error(400, f"sample {index} rejected: {error}")
+                        return
+                    parsed.append(entry)
+                for controller, process, time_hours in parsed:
+                    pool.feed(stream_id, controller, process, time_hours)
+                self._reply(200, {"accepted": len(parsed)})
             elif resource == "close":
                 self._reply(200, {"report": pool.close_stream(stream_id)})
             else:
@@ -276,7 +296,13 @@ class _IngestHandler(socketserver.StreamRequestHandler):
         pool = self.gateway.pool
         stream_id: Optional[str] = None
         try:
-            for raw in self.rfile:
+            while True:
+                # A bounded readline so an endless newline-free line is
+                # rejected after ~1 MB instead of buffered whole: readline
+                # with a limit returns at most limit bytes, newline or not.
+                raw = self.rfile.readline(_MAX_LINE_BYTES + 1)
+                if not raw:
+                    break
                 if len(raw) > _MAX_LINE_BYTES:
                     self._send({"ok": False, "error": "line too long"})
                     return
@@ -311,12 +337,22 @@ class _IngestHandler(socketserver.StreamRequestHandler):
                     if stream_id is None:
                         self._send({"ok": False, "error": "open a stream first"})
                         return
-                    pool.feed(
-                        stream_id,
-                        message["controller"],
-                        message["process"],
-                        float(message["time_hours"]),
-                    )
+                    try:
+                        pool.feed(
+                            stream_id,
+                            message["controller"],
+                            message["process"],
+                            float(message["time_hours"]),
+                        )
+                    except (
+                        SampleRejectedError, KeyError, TypeError, ValueError,
+                    ) as error:
+                        # Reject this stream's bad sample and end only this
+                        # connection; other streams are untouched.
+                        self._send(
+                            {"ok": False, "error": f"rejected sample: {error}"}
+                        )
+                        return
                 elif op == "sync":
                     if stream_id is None:
                         self._send({"ok": False, "error": "open a stream first"})
@@ -399,8 +435,14 @@ class GatewayServer:
     def _flusher(self) -> None:
         interval = self.pool.config.flush_interval_seconds
         while not self._stop_flusher.wait(interval):
-            self.pool.flush()
-            self.pool.reap_idle()
+            # One failed pass must not kill the thread: background scoring
+            # and idle reaping for every stream ride on this loop, so
+            # survive, count the error, and try again next tick.
+            try:
+                self.pool.flush()
+                self.pool.reap_idle()
+            except Exception:
+                self.pool.metrics.flusher_errors.increment()
 
     def start(self) -> "GatewayServer":
         """Serve on daemon threads; returns self for chaining."""

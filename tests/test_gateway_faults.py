@@ -9,13 +9,21 @@ The contracts under test:
   pending buffer never exceeds ``max_pending_samples``;
 * streams silent past the idle timeout are reaped (with an injectable
   clock, so tests march time instead of sleeping), and ``0`` disables
-  reaping entirely.
+  reaping entirely;
+* a malformed or wrong-dimension sample is rejected at feed time with no
+  effect on any other stream's buffered samples, and a failing flush pass
+  never kills the background flusher thread;
+* the closed-stream report archive is a bounded LRU, not an unbounded
+  leak.
 """
 
 import json
 import time
 
+import pytest
+
 from repro.common.config import GatewayConfig
+from repro.common.exceptions import SampleRejectedError, UnknownStreamError
 from repro.gateway.pool import MonitorPool
 from repro.gateway.server import GatewayServer
 from repro.gateway.client import StreamClient
@@ -181,6 +189,124 @@ class TestBackpressure:
                 float(controller.timestamps[i]),
             )
         assert canonical(report) == canonical(reference.report().to_mapping())
+
+
+# ----------------------------------------------------------------------
+# Feed-time validation: a bad sample's blast radius is its own feed call
+# ----------------------------------------------------------------------
+class TestFeedValidation:
+    def test_wrong_length_vectors_are_rejected(self, small_evaluation):
+        analyzer = small_evaluation.analyzer
+        c_dim = len(analyzer.controller_monitor.variable_names)
+        p_dim = len(analyzer.process_monitor.variable_names)
+        pool = MonitorPool(analyzer, pool_config())
+        pool.open_stream("s")
+        with pytest.raises(SampleRejectedError, match="controller vector"):
+            pool.feed("s", [0.0] * (c_dim + 1), [0.0] * p_dim, 0.0)
+        with pytest.raises(SampleRejectedError, match="process vector"):
+            pool.feed("s", [0.0] * c_dim, [0.0] * (p_dim + 1), 0.0)
+        assert pool.n_pending() == 0
+        assert pool.metrics.samples_rejected.value == 2
+
+    def test_non_numeric_sample_is_rejected(self, small_evaluation):
+        pool = MonitorPool(small_evaluation.analyzer, pool_config())
+        pool.open_stream("s")
+        with pytest.raises(SampleRejectedError, match="malformed"):
+            pool.feed("s", ["not", "numbers"], [0.0], 0.0)
+        assert pool.n_pending() == 0
+
+    def test_rejection_leaves_other_streams_samples_intact(
+        self, small_evaluation, normal_run
+    ):
+        pool = MonitorPool(small_evaluation.analyzer, pool_config())
+        pool.open_stream("good")
+        pool.open_stream("bad")
+        feed_pool(pool, "good", normal_run, limit=10)
+        assert pool.n_pending() == 10
+        with pytest.raises(SampleRejectedError):
+            pool.feed("bad", [1.0], [2.0], 0.0)
+        # the good stream's buffered samples survived and still score
+        assert pool.n_pending() == 10
+        assert pool.flush() == 10
+        assert pool.status("good").n_samples == 10
+        assert pool.status("bad").n_samples == 0
+
+    def test_validate_sample_vets_without_buffering(self, small_evaluation):
+        pool = MonitorPool(small_evaluation.analyzer, pool_config())
+        pool.open_stream("s")
+        with pytest.raises(SampleRejectedError):
+            pool.validate_sample([1.0], [2.0], 0.0)
+        assert pool.n_pending() == 0
+
+
+# ----------------------------------------------------------------------
+# The flusher survives a failing pass
+# ----------------------------------------------------------------------
+class TestFlusherResilience:
+    def test_one_failing_flush_does_not_kill_the_flusher(
+        self, small_evaluation, normal_run
+    ):
+        pool = MonitorPool(
+            small_evaluation.analyzer,
+            pool_config(flush_interval_seconds=0.01),
+        )
+        original_flush = pool.flush
+        calls = {"n": 0}
+
+        def flaky_flush():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("injected flush failure")
+            return original_flush()
+
+        pool.flush = flaky_flush
+        with GatewayServer(pool):
+            pool.open_stream("s")
+            feed_pool(pool, "s", normal_run, limit=3)
+            # background scoring must resume after the injected failure
+            deadline = time.monotonic() + 10.0
+            while (
+                pool.status("s").n_samples < 3
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.02)
+            assert pool.status("s").n_samples == 3
+        assert pool.metrics.flusher_errors.value >= 1
+        assert calls["n"] >= 2
+
+
+# ----------------------------------------------------------------------
+# Closed-report archive is bounded
+# ----------------------------------------------------------------------
+class TestClosedReportArchive:
+    def test_archive_evicts_oldest_beyond_the_cap(self, small_evaluation):
+        pool = MonitorPool(small_evaluation.analyzer, pool_config())
+        pool.max_closed_reports = 3
+        for i in range(5):
+            pool.open_stream(f"s{i}")
+            pool.close_stream(f"s{i}")
+        assert len(pool._closed_reports) == 3
+        for aged_out in ("s0", "s1"):
+            with pytest.raises(UnknownStreamError):
+                pool.report(aged_out)
+        for kept in ("s2", "s3", "s4"):
+            assert pool.report(kept)["n_samples"] == 0
+
+    def test_reading_a_report_refreshes_its_archive_slot(
+        self, small_evaluation
+    ):
+        pool = MonitorPool(small_evaluation.analyzer, pool_config())
+        pool.max_closed_reports = 2
+        pool.open_stream("a")
+        pool.close_stream("a")
+        pool.open_stream("b")
+        pool.close_stream("b")
+        pool.report("a")  # touch: "a" becomes most recently read
+        pool.open_stream("c")
+        pool.close_stream("c")  # evicts "b", the least recently read
+        assert pool.report("a")["n_samples"] == 0
+        with pytest.raises(UnknownStreamError):
+            pool.report("b")
 
 
 # ----------------------------------------------------------------------

@@ -7,6 +7,8 @@ are ephemeral, so the whole file runs in seconds.
 """
 
 import json
+import socket
+import time
 import urllib.error
 import urllib.request
 import uuid
@@ -167,6 +169,37 @@ class TestTCPIngest:
         # the archived report stays queryable after close
         assert canonical(client.report(stream_id)) == canonical(closed_report)
 
+    def test_rejected_sample_ends_only_its_own_stream(
+        self, server, client, normal_run
+    ):
+        good, bad = unique_id("goodtcp"), unique_id("badtcp")
+        client.open_stream(good)
+        client.open_stream(bad)
+        replay(client, good, normal_run, limit=5)
+        client.feed(bad, [1.0], [2.0], 0.0)  # wrong-length vectors
+        with pytest.raises(GatewayError, match="rejected sample"):
+            client.sync(bad)  # drains the rejection reply
+        # the bad stream's connection is dropped server-side...
+        deadline = time.monotonic() + 10.0
+        while bad in client.streams() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert bad not in client.streams()
+        # ...while the good stream keeps every sample it fed
+        assert good in client.streams()
+        client.sync(good)
+        status = client.status(good)
+        assert status["n_samples"] + status["n_pending"] == 5
+        client.close_stream(good)
+
+    def test_oversized_ingest_line_is_rejected_bounded(self, server):
+        host, port = server.ingest_address
+        with socket.create_connection((host, port), timeout=10.0) as sock:
+            # one byte past the cap, no newline: the bounded readline must
+            # reject without waiting for (or buffering) an endless line
+            sock.sendall(b"x" * (1024 * 1024 + 1))
+            reply = json.loads(sock.makefile("rb").readline())
+        assert reply == {"ok": False, "error": "line too long"}
+
 
 # ----------------------------------------------------------------------
 # HTTP sample path (POST /streams/<id>/samples)
@@ -205,6 +238,36 @@ class TestHTTPSamples:
         with pytest.raises(GatewayError, match="samples"):
             client._request(
                 "POST", f"/streams/{stream_id}/samples", {"samples": 7}
+            )
+        client._request("POST", f"/streams/{stream_id}/close", {})
+
+    def test_bad_batch_entry_names_its_index_and_buffers_nothing(
+        self, server, client, idv6_run
+    ):
+        stream_id = unique_id("atomic")
+        client._request("POST", "/streams", {"stream_id": stream_id})
+        controller = idv6_run.controller_data
+        process = idv6_run.process_data
+        good = {
+            "controller": [float(v) for v in controller.values[0]],
+            "process": [float(v) for v in process.values[0]],
+            "time_hours": float(controller.timestamps[0]),
+        }
+        bad = {"controller": [1.0], "process": [2.0], "time_hours": 0.0}
+        with pytest.raises(GatewayError, match="sample 1"):
+            client._request(
+                "POST",
+                f"/streams/{stream_id}/samples",
+                {"samples": [good, bad, good]},
+            )
+        # atomic rejection: not even the valid leading sample was buffered
+        status = client.status(stream_id)
+        assert status["n_samples"] + status["n_pending"] == 0
+        with pytest.raises(GatewayError, match="sample 0"):
+            client._request(
+                "POST",
+                f"/streams/{stream_id}/samples",
+                {"samples": [{"controller": [1.0]}]},
             )
         client._request("POST", f"/streams/{stream_id}/close", {})
 
