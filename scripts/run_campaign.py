@@ -48,6 +48,13 @@ simulate and stop a grace window after the detection is confirmed::
     PYTHONPATH=src python scripts/run_campaign.py \
         --spec examples/specs/live_paper.toml --live
 
+Closed-loop response campaign — confirmed alarms trigger the spec's
+``[response]`` rules mid-run (quarantine, fallback gains, ...) and the
+per-scenario recovery table prints at the end::
+
+    PYTHONPATH=src python scripts/run_campaign.py \
+        --spec examples/specs/response_paper.toml --respond
+
 Per-run progress lines while the campaign streams (or no chatter at all)::
 
     PYTHONPATH=src python scripts/run_campaign.py --progress
@@ -158,6 +165,28 @@ def make_run_printer(enabled: bool):
     return on_run
 
 
+def make_report_printer(enabled: bool):
+    """Per-run response progress callback (``--progress``), or ``None``."""
+    if not enabled:
+        return None
+
+    def on_report(scenario_name, run_index, report) -> None:
+        verdict = "no response"
+        if report.responded:
+            verdict = f"{report.n_actions} action(s)"
+            if report.recovered:
+                verdict += f", recovered in {report.time_to_recovery_hours:.3f} h"
+            elif report.shutdown_reason is not None:
+                verdict += ", tripped"
+        print(
+            f"  run {scenario_name}#{run_index}: "
+            f"{'detected' if report.detected else 'no detection'} -> {verdict}",
+            flush=True,
+        )
+
+    return on_report
+
+
 def print_tables(tables) -> None:
     """Print whichever result tables the campaign produced."""
     if "arl" in tables:
@@ -180,6 +209,22 @@ def print_tables(tables) -> None:
             print(
                 f"  {_seed_prefix(row)}{row['scenario']:<16} "
                 f"ground truth {row['ground_truth']:<12} -> {counts}"
+            )
+
+    if "response" in tables:
+        print("\n=== closed-loop response (recovery) ===")
+        for row in tables["response"]:
+            ttr = (
+                "n/a"
+                if row["time_to_recovery_hours"] is None
+                else f"{row['time_to_recovery_hours']:.3f} h"
+            )
+            print(
+                f"  {_seed_prefix(row)}{row['scenario']:<16} "
+                f"responded {row['n_responded']}/{row['n_runs']}  "
+                f"actions {row['n_actions']}  "
+                f"recovered {row['n_recovered']}  TTR {ttr}  "
+                f"trips avoided {row['trip_avoidance_rate']:.2f}"
             )
 
 
@@ -241,6 +286,8 @@ def run_spec(arguments: argparse.Namespace) -> int:
         mode = "streaming" if (streaming or spec.analysis.streaming) else "eager"
         if arguments.live:
             mode += ", live early-stop"
+        if arguments.respond:
+            mode = "closed-loop response (in-process, cache bypassed)"
         print(
             f"engine: backend={experiment.parallel.backend} "
             f"workers={experiment.parallel.resolved_workers} "
@@ -250,7 +297,11 @@ def run_spec(arguments: argparse.Namespace) -> int:
     on_run = make_run_printer(arguments.progress)
     session = api.Session(spec)
     try:
-        if arguments.live:
+        if arguments.respond:
+            result = session.run_response(
+                on_report=make_report_printer(arguments.progress)
+            )
+        elif arguments.live:
             result = session.run_live(streaming=streaming, on_run=on_run)
         else:
             result = session.run(streaming=streaming, on_run=on_run)
@@ -454,6 +505,14 @@ def main(argv=None) -> int:
         "section must be enabled; without it a default policy is used)",
     )
     parser.add_argument(
+        "--respond",
+        action="store_true",
+        help="closed-loop response: run the spec's [response] rules against "
+        "confirmed alarms mid-run and print the recovery table (needs "
+        "--spec with an enabled [response] section; runs execute "
+        "in-process, bypassing the result cache)",
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="print one line per analyzed run as the campaign streams",
@@ -563,6 +622,11 @@ def main(argv=None) -> int:
             f"{stats.n_kept} entries ({stats.bytes_kept} bytes) kept"
         )
         return 0
+
+    if arguments.respond and arguments.spec is None:
+        raise SystemExit(
+            "--respond needs --spec FILE with an enabled [response] section"
+        )
 
     if arguments.spec is not None:
         return run_spec(arguments)

@@ -1,0 +1,243 @@
+"""Run one scenario with the closed-loop response stack and show the dashboard.
+
+The single-run front end of :mod:`repro.response`: calibrates the
+dual-level MSPC models, attaches a
+:class:`~repro.live.observer.LiveRunObserver` plus a
+:class:`~repro.response.runner.ResponseRunner` to one closed-loop run —
+confirmed alarms are matched against the policy's rules and the chosen
+recovery action (quarantine, fallback gains, limit escalation, sensor
+shedding) is applied *while the plant simulates* — and renders the ASCII
+dashboard with ``>>>`` action markers, followed by the per-run response
+verdict (recovery, residual alarms, trip avoidance).
+
+Examples
+--------
+Watch the paper's XMV(3) integrity attack get caught and quarantined::
+
+    PYTHONPATH=src python scripts/run_response.py --scenario attack_xmv3
+
+Use the rules of a reviewed spec file (downsized for a quick look)::
+
+    PYTHONPATH=src python scripts/run_response.py \
+        --spec examples/specs/response_paper.toml --scale smoke
+
+Keep a machine-readable action log (one line per applied action)::
+
+    PYTHONPATH=src python scripts/run_response.py --log response-actions.log
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro import api
+from repro.common.config import ExperimentConfig
+from repro.common.exceptions import ConfigurationError
+from repro.experiments.evaluation import Evaluation
+from repro.experiments.registry import get_scenario, scenario_names
+from repro.experiments.runner import run_scenario
+from repro.live.dashboard import render_live_dashboard
+from repro.live.monitor import LiveMonitor
+from repro.live.observer import LiveRunObserver
+from repro.response import ActionSpec, ResponsePolicy, ResponseRunner
+
+
+def demo_policy() -> ResponsePolicy:
+    """The policy used without ``--spec``: quarantine, then tighten limits."""
+    return ResponsePolicy(
+        enabled=True,
+        rules=(
+            ActionSpec(action="quarantine_channel", channel="actuators"),
+            ActionSpec(action="escalate_sensitivity", limit_factor=0.9),
+        ),
+        cooldown_samples=30,
+        max_actions=3,
+        hold_samples=12,
+    )
+
+
+def build_config(scale: str, seed: int) -> ExperimentConfig:
+    if scale == "paper":
+        return ExperimentConfig.paper_settings(seed=seed)
+    if scale == "fast":
+        return ExperimentConfig.fast(seed=seed)
+    return ExperimentConfig.smoke(seed=seed)
+
+
+def write_log(path: Path, scenario_name: str, report) -> None:
+    """One line per applied action plus a summary line (the CI artifact)."""
+    lines = [
+        f"# response log: scenario={scenario_name} "
+        f"detected={report.detected} responded={report.responded} "
+        f"recovered={report.recovered} "
+        f"trip_avoided={report.trip_avoided} "
+        f"residual_alarms={report.residual_alarms}"
+    ]
+    for action in report.actions:
+        lines.append(
+            f"{action.index}\t{action.time_hours:.6f}\t{action.action}\t"
+            f"rule={action.rule_index}\tview={action.view}\t"
+            f"chart={action.chart}\t{action.detail}"
+        )
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument(
+        "--spec",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="campaign spec whose [response] rules to use (must be enabled); "
+        "without it a built-in demo policy quarantines the actuator "
+        "channel and tightens the limits",
+    )
+    parser.add_argument(
+        "--scenario",
+        default="attack_xmv3",
+        metavar="NAME",
+        help="registered scenario to run (default: attack_xmv3)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("smoke", "fast", "paper"),
+        default=None,
+        help="campaign size preset (default: smoke; with --spec it "
+        "*replaces* the spec's experiment settings — the CI downsizer)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="root seed (default: 2016)"
+    )
+    parser.add_argument(
+        "--run-seed",
+        type=int,
+        default=None,
+        help="seed of the monitored run (default: the root seed)",
+    )
+    parser.add_argument(
+        "--width", type=int, default=72, help="dashboard width in characters"
+    )
+    parser.add_argument(
+        "--height", type=int, default=10, help="chart height in rows"
+    )
+    parser.add_argument(
+        "--log",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write a tab-separated action log (one line per applied action)",
+    )
+    arguments = parser.parse_args(argv)
+
+    if arguments.scenario not in scenario_names():
+        raise SystemExit(
+            f"unknown scenario {arguments.scenario!r} "
+            f"(registered: {', '.join(scenario_names())})"
+        )
+    scenario = get_scenario(arguments.scenario)
+
+    if arguments.spec is not None:
+        try:
+            spec = api.load_spec(arguments.spec)
+        except ConfigurationError as error:
+            raise SystemExit(f"invalid spec: {error}")
+        policy = spec.response
+        if not policy.enabled:
+            raise SystemExit(
+                f"{arguments.spec}: the [response] section is not enabled"
+            )
+        seed = arguments.seed if arguments.seed is not None else spec.experiment.seed
+        config = (
+            build_config(arguments.scale, seed)
+            if arguments.scale is not None
+            else spec.experiment_for(seed)
+        )
+    else:
+        policy = demo_policy()
+        seed = arguments.seed if arguments.seed is not None else 2016
+        config = build_config(arguments.scale or "smoke", seed)
+
+    print(
+        f"calibrating ({config.n_calibration_runs} runs, "
+        f"{config.simulation.duration_hours:g} h each)...",
+        flush=True,
+    )
+    evaluation = Evaluation(config)
+    evaluation.calibrate(keep_results=False)
+
+    monitor = LiveMonitor(
+        evaluation.analyzer,
+        anomaly_start_hour=(
+            config.anomaly_start_hour if scenario.is_anomalous else None
+        ),
+    )
+    runner = ResponseRunner(monitor, policy)
+
+    simulation = config.simulation
+    if arguments.run_seed is not None:
+        simulation = simulation.with_seed(arguments.run_seed)
+    print(
+        f"running {scenario.name} with response armed "
+        f"({simulation.duration_hours:g} h horizon, "
+        f"anomaly at {config.anomaly_start_hour:g} h, "
+        f"{len(policy.rules)} rule(s), budget {policy.max_actions})...",
+        flush=True,
+    )
+    run_scenario(
+        scenario,
+        simulation,
+        anomaly_start_hour=config.anomaly_start_hour,
+        observers=[LiveRunObserver(monitor)],
+        observer_factories=[runner.bind],
+    )
+    report = runner.report()
+
+    print()
+    print(
+        render_live_dashboard(
+            monitor,
+            width=arguments.width,
+            height=arguments.height,
+            actions=report.actions,
+        )
+    )
+    print()
+    print("response verdict:")
+    print(f"  actions applied: {report.n_actions}")
+    if report.responded:
+        print(
+            f"  first action: sample {report.first_action_index} "
+            f"(t = {report.first_action_time_hours:.3f} h)"
+        )
+        recovery = (
+            f"yes, in {report.time_to_recovery_hours:.3f} h"
+            if report.recovered
+            else "no"
+        )
+        print(f"  recovered: {recovery}")
+        print(
+            f"  residual alarms: {report.residual_alarms} "
+            f"(rate {report.residual_alarm_rate:.4f}/sample)"
+        )
+        print(
+            "  trip avoided: "
+            + ("yes" if report.trip_avoided else "no")
+        )
+    if report.shutdown_reason is not None:
+        print(
+            f"  safety trip at {report.shutdown_time_hours:.3f} h: "
+            f"{report.shutdown_reason}"
+        )
+    if arguments.log is not None:
+        write_log(arguments.log, scenario.name, report)
+        print(f"\naction log written to {arguments.log}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,9 @@ The one import a user of the reproduction needs:
 * :func:`run` / :func:`analyze` — execute a campaign (eager or streaming);
 * :func:`run_live` — execute a campaign with live co-simulation monitoring
   and early stopping (the spec's ``[live]`` section, :mod:`repro.live`);
+* :func:`run_response` — execute a campaign with the closed-loop response
+  stack: policy-matched recovery actions applied mid-run on confirmed
+  alarms (the spec's ``[response]`` section, :mod:`repro.response`);
 * :func:`submit_spec` / :func:`poll` / :func:`fetch_tables` — hand a
   campaign to a distributed coordinator (the spec's ``[service]`` section,
   :mod:`repro.service`) and collect the same tables ``run`` would produce;
@@ -32,12 +35,14 @@ name registry in :mod:`repro.experiments.registry`; both are re-exported by
 
 from repro.api.session import (
     CampaignResult,
+    ResponseCampaignResult,
     Session,
     analyze,
     fetch_tables,
     poll,
     run,
     run_live,
+    run_response,
     serve_gateway,
     submit_spec,
 )
@@ -53,6 +58,7 @@ from repro.api.spec import (
 )
 from repro.common.config import EarlyStopPolicy, GatewayConfig, LiveConfig
 from repro.gateway.client import StreamClient
+from repro.response.policy import ActionSpec, ResponsePolicy
 
 __all__ = [
     "SPEC_VERSION",
@@ -62,12 +68,15 @@ __all__ = [
     "LiveConfig",
     "EarlyStopPolicy",
     "GatewayConfig",
+    "ResponsePolicy",
+    "ActionSpec",
     "load_spec",
     "loads_spec",
     "dump_spec",
     "dumps_spec",
     "run",
     "run_live",
+    "run_response",
     "analyze",
     "submit_spec",
     "poll",
@@ -76,4 +85,5 @@ __all__ = [
     "StreamClient",
     "Session",
     "CampaignResult",
+    "ResponseCampaignResult",
 ]

@@ -27,6 +27,7 @@ from repro.experiments.parallel import CampaignEngine
 
 __all__ = [
     "CampaignResult",
+    "ResponseCampaignResult",
     "Session",
     "run",
     "analyze",
@@ -144,6 +145,57 @@ class CampaignResult:
         )
 
 
+@dataclass
+class ResponseCampaignResult:
+    """What a response-enabled campaign produced, across every sweep seed.
+
+    ``per_seed`` maps each root seed to its
+    :class:`~repro.response.campaign.ResponseScenarioResult` records, keyed
+    by scenario name.
+    """
+
+    spec: CampaignSpec
+    per_seed: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def seeds(self) -> List[int]:
+        """The sweep seeds, in execution order."""
+        return list(self.per_seed)
+
+    @property
+    def is_sweep(self) -> bool:
+        """Whether the campaign ran at more than one root seed."""
+        return len(self.per_seed) > 1
+
+    def response_table(self) -> List[Dict[str, object]]:
+        """The per-scenario recovery table (a ``seed`` column on sweeps)."""
+        from repro.response.metrics import build_response_table
+
+        rows: List[Dict[str, object]] = []
+        for seed, results in self.per_seed.items():
+            seed_rows = build_response_table(
+                [record.to_summary() for record in results.values()]
+            )
+            for row in seed_rows:
+                if self.is_sweep:
+                    row = {"seed": seed, **row}
+                rows.append(row)
+        return rows
+
+    def tables(self) -> Dict[str, List[Dict[str, object]]]:
+        """Every table this result produces, by name."""
+        return {"response": self.response_table()}
+
+    def to_mapping(self) -> Dict[str, object]:
+        """A JSON-safe mapping: the spec plus every per-run report."""
+        per_seed: Dict[str, Dict[str, object]] = {}
+        for seed, results in self.per_seed.items():
+            per_seed[str(int(seed))] = {
+                name: record.to_mapping() for name, record in results.items()
+            }
+        return {"spec": self.spec.to_mapping(), "per_seed": per_seed}
+
+
 class Session:
     """A reusable execution context for one campaign spec.
 
@@ -253,6 +305,40 @@ class Session:
             )
         return result
 
+    def run_response(self, on_report=None) -> ResponseCampaignResult:
+        """Execute the campaign with the closed-loop response stack attached.
+
+        Requires the spec's ``[response]`` section to be enabled.  Every run
+        simulates in-process (response actions mutate the trajectory, so the
+        campaign cache is bypassed) with a
+        :class:`~repro.response.runner.ResponseRunner` riding behind the
+        live monitor; per-run seeds match the engine's derivation, so a run
+        in which no action fires is bitwise-identical to its :meth:`run`
+        counterpart.  ``on_report`` is called with
+        ``(scenario_name, run_index, report)`` as each run completes.
+        """
+        # Imported lazily: repro.response reaches into the live/experiments
+        # stack; keep the session importable without it fully loaded.
+        from repro.response.campaign import evaluate_all_response
+
+        if not self.spec.response.enabled:
+            raise ConfigurationError(
+                "the spec's [response] section is not enabled; set "
+                "response.enabled = true (or use Session.run for batch "
+                "execution)"
+            )
+        scenarios = self.spec.expanded_scenarios()
+        result = ResponseCampaignResult(spec=self.spec)
+        for seed in self.spec.seeds():
+            evaluation = self._calibrated(seed, keep_results=False)
+            result.per_seed[seed] = evaluate_all_response(
+                evaluation,
+                scenarios,
+                self.spec.response,
+                on_report=on_report,
+            )
+        return result
+
     def analyze(self) -> CampaignResult:
         """Execute the campaign on the streaming path (O(chunk) memory)."""
         return self.run(streaming=True)
@@ -343,6 +429,11 @@ def run(spec: SpecLike, streaming: Optional[bool] = None) -> CampaignResult:
 def run_live(spec: SpecLike, streaming: Optional[bool] = None) -> CampaignResult:
     """Load (if needed) and execute a campaign spec with live early stopping."""
     return Session(spec).run_live(streaming=streaming)
+
+
+def run_response(spec: SpecLike, on_report=None) -> ResponseCampaignResult:
+    """Load (if needed) and execute a campaign spec with closed-loop response."""
+    return Session(spec).run_response(on_report=on_report)
 
 
 def analyze(spec: SpecLike) -> CampaignResult:

@@ -22,7 +22,12 @@ describes an evaluation campaign:
 * **gateway** — the streaming detection gateway (:mod:`repro.gateway`):
   where the multi-tenant stream server listens, its pool capacity, the
   cross-stream scoring batch size and the flush/idle timing
-  (``run_gateway.py --serve`` / ``--feed``).
+  (``run_gateway.py --serve`` / ``--feed``);
+* **response** — closed-loop response (:mod:`repro.response`): declarative
+  rules turning confirmed alarms into mid-run recovery actions, plus the
+  cooldown/budget/verification knobs
+  (:meth:`~repro.api.session.Session.run_response` /
+  ``run_campaign.py --respond``).
 
 Specs are versioned (``version = 1``), validated eagerly with precise error
 messages (unknown keys, wrong types and unknown scenario references all
@@ -33,6 +38,7 @@ which the test suite pins property-style.
 
 from __future__ import annotations
 
+import difflib
 import json
 from dataclasses import dataclass, field, replace
 
@@ -59,6 +65,7 @@ from repro.common.config import (
 from repro.common.exceptions import ConfigurationError
 from repro.experiments.registry import REGISTRY, ScenarioRegistry
 from repro.experiments.scenarios import Scenario
+from repro.response.policy import ResponsePolicy
 
 __all__ = [
     "SPEC_VERSION",
@@ -83,8 +90,15 @@ def _check_keys(mapping: Mapping[str, Any], allowed: Tuple[str, ...], label: str
         raise ConfigurationError(f"{label} must be a table/mapping, got {mapping!r}")
     unknown = sorted(set(mapping) - set(allowed))
     if unknown:
+        hints = []
+        for key in unknown:
+            close = difflib.get_close_matches(key, allowed, n=1)
+            if close:
+                hints.append(f"{key!r} -> did you mean {close[0]!r}?")
+        hint = f" ({'; '.join(hints)})" if hints else ""
         raise ConfigurationError(
-            f"unknown key(s) {unknown} in {label} (allowed: {sorted(allowed)})"
+            f"unknown key(s) {unknown} in {label} "
+            f"(allowed: {sorted(allowed)}){hint}"
         )
 
 
@@ -235,6 +249,7 @@ class CampaignSpec:
     live: LiveConfig = field(default_factory=LiveConfig)
     service: ServiceConfig = field(default_factory=ServiceConfig)
     gateway: GatewayConfig = field(default_factory=GatewayConfig)
+    response: ResponsePolicy = field(default_factory=ResponsePolicy)
     description: str = ""
     version: int = SPEC_VERSION
 
@@ -326,6 +341,8 @@ class CampaignSpec:
             mapping["service"] = self.service.to_mapping()
         if not self.gateway.is_default:
             mapping["gateway"] = self.gateway.to_mapping()
+        if not self.response.is_default:
+            mapping["response"] = self.response.to_mapping()
         return mapping
 
     @classmethod
@@ -338,7 +355,7 @@ class CampaignSpec:
         _check_keys(
             mapping,
             ("version", "name", "description", "experiment", "scenarios",
-             "sweep", "analysis", "live", "service", "gateway"),
+             "sweep", "analysis", "live", "service", "gateway", "response"),
             "campaign spec",
         )
         registry = registry or REGISTRY
@@ -362,6 +379,7 @@ class CampaignSpec:
             live=LiveConfig.from_mapping(mapping.get("live", {})),
             service=ServiceConfig.from_mapping(mapping.get("service", {})),
             gateway=GatewayConfig.from_mapping(mapping.get("gateway", {})),
+            response=ResponsePolicy.from_mapping(mapping.get("response", {})),
         )
 
     def to_toml(self) -> str:

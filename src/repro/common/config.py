@@ -15,6 +15,7 @@ pipeline:
 
 from __future__ import annotations
 
+import difflib
 import os
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Callable, ClassVar, Dict, Mapping, Optional, Tuple
@@ -88,8 +89,15 @@ def _build_from_mapping(
         raise ConfigurationError(f"{label} must be a table/mapping, got {mapping!r}")
     unknown = sorted(set(mapping) - set(coercers))
     if unknown:
+        hints = []
+        for key in unknown:
+            close = difflib.get_close_matches(key, list(coercers), n=1)
+            if close:
+                hints.append(f"{key!r} -> did you mean {close[0]!r}?")
+        hint = f" ({'; '.join(hints)})" if hints else ""
         raise ConfigurationError(
-            f"unknown key(s) {unknown} in {label} (allowed: {sorted(coercers)})"
+            f"unknown key(s) {unknown} in {label} "
+            f"(allowed: {sorted(coercers)}){hint}"
         )
     kwargs = {}
     for key, value in mapping.items():

@@ -143,6 +143,7 @@ def run_scenario(
     observers: Sequence = (),
     early_stop=None,
     live_analyzer=None,
+    observer_factories: Sequence = (),
 ) -> SimulationResult:
     """Run one scenario once and return both data views.
 
@@ -153,6 +154,13 @@ def run_scenario(
     simulates and truncates it once a detection is confirmed; the truncated
     data views are bitwise-identical to the corresponding prefix of the
     full-horizon run.
+
+    ``observer_factories`` are callables invoked with the constructed
+    :class:`ClosedLoopSimulator`; each returns an iterable of further
+    observers, appended after ``observers`` and the early-stop stack.
+    This is the seam for observers that need the simulator itself — the
+    closed-loop response runner mutates controller and channels mid-run
+    through it (see :meth:`repro.response.runner.ResponseRunner.bind`).
     """
     if scenario.is_anomalous and anomaly_start_hour >= simulation.duration_hours:
         raise ConfigurationError(
@@ -176,6 +184,8 @@ def run_scenario(
     observers = list(observers) + build_live_observers(
         scenario, anomaly_start_hour, early_stop, live_analyzer
     )
+    for factory in observer_factories:
+        observers.extend(factory(simulator))
     return simulator.run(simulation, metadata, observers=observers)
 
 

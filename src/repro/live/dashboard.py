@@ -9,7 +9,7 @@ during) a run; it is equally usable from a notebook or a log file.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.live.monitor import LiveMonitor
 from repro.plotting.ascii import render_bar_chart, render_control_chart
@@ -26,8 +26,14 @@ def render_live_dashboard(
     width: int = 72,
     height: int = 10,
     top_variables: int = 3,
+    actions: Sequence = (),
 ) -> str:
-    """Render the monitor's current state as a multi-section text dashboard."""
+    """Render the monitor's current state as a multi-section text dashboard.
+
+    ``actions`` are :class:`~repro.response.verify.ActionRecord` entries of
+    a closed-loop response run; when given, a ``response actions:`` section
+    with ``>>>``-marked lines follows the alarm log.
+    """
     report = monitor.report()
     lines: List[str] = []
     lines.append("=" * width)
@@ -88,6 +94,17 @@ def render_live_dashboard(
             f"{event.chart:<3} value {event.statistic_value:.4g} "
             f"(limit {event.limit:.4g})"
         )
+
+    if actions:
+        lines.append("")
+        lines.append("response actions:")
+        for action in actions:
+            detail = f" — {action.detail}" if action.detail else ""
+            lines.append(
+                f"  >>> [{action.time_hours:9.3f} h] {action.view:<10} "
+                f"{action.action} (rule {action.rule_index}, "
+                f"chart {action.chart}){detail}"
+            )
 
     snapshot = report.snapshot
     if snapshot is not None:

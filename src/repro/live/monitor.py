@@ -141,6 +141,20 @@ class LiveViewMonitor:
             "time": np.array(self._times),
         }
 
+    @property
+    def in_control(self) -> bool:
+        """Whether the latest sample sits at or under both detection limits.
+
+        O(1) — read every sample by the response subsystem's recovery
+        tracker, so it must not rebuild the statistics arrays.  ``True``
+        before any sample has been streamed.  The comparison uses the
+        *current* ``d_limit`` / ``q_limit``, so escalated limits are
+        honoured.
+        """
+        if not self._times:
+            return True
+        return self._t2[-1] <= self.d_limit and self._spe[-1] <= self.q_limit
+
     def _first_fire(self, rules) -> Tuple[Optional[int], Optional[float]]:
         fired = [
             (rule.fire_index, rule.fire_time)

@@ -110,9 +110,15 @@ class StepObserver(ABC):
     the run by returning a truthy value from :meth:`on_sample` — the hook the
     live monitoring subsystem (:mod:`repro.live`) uses to stop a simulation
     once a detection is confirmed.  Observers must treat the sample vectors
-    as read-only; they observe the loop, they never perturb it, so a run
-    with observers attached is bitwise-identical to the same run without
-    them (up to where an observer stops it).
+    as read-only.  A *monitoring* observer never perturbs the loop, so a run
+    with such observers attached is bitwise-identical to the same run
+    without them (up to where an observer stops it).  The one sanctioned
+    exception is a *response* observer
+    (:class:`~repro.response.runner.ResponseRunner`): it may swap the
+    simulator's controller or mutate its channels between samples — through
+    the simulator's attributes, never through the sample vectors — in which
+    case the run diverges from the unobserved one only from the sample
+    after the first applied action onward.
     """
 
     def on_run_start(

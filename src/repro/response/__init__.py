@@ -1,0 +1,53 @@
+"""Closed-loop response: policy engine, action runner, recovery verification.
+
+The paper's pipeline stops at detection + oMEDA diagnosis; this subsystem
+closes the loop the way industrial anomaly-response stacks do:
+
+* :mod:`repro.response.policy` — declarative rules mapping a confirmed
+  alarm plus its oMEDA signature to a recovery action (the ``[response]``
+  spec section).
+* :mod:`repro.response.runner` — a step observer that applies the chosen
+  action mid-run through the simulator's mutation seams, deterministically.
+* :mod:`repro.response.verify` / :mod:`repro.response.metrics` — scoring
+  whether the plant returned to in-control operation, per-run
+  ``ResponseReport`` verdicts and the per-scenario recovery table.
+* :mod:`repro.response.campaign` — response-enabled campaign execution
+  (in-process, cache-bypassing, engine-identical seeds).
+"""
+
+from repro.response.campaign import (
+    ResponseScenarioResult,
+    evaluate_all_response,
+    evaluate_scenario_response,
+)
+from repro.response.metrics import (
+    ResponseReducer,
+    ResponseSummary,
+    build_response_table,
+)
+from repro.response.policy import ACTIONS, ActionSpec, ResponsePolicy
+from repro.response.runner import ResponseRunner, apply_action
+from repro.response.verify import (
+    ActionRecord,
+    RecoveryTracker,
+    ResponseReport,
+    build_response_report,
+)
+
+__all__ = [
+    "ACTIONS",
+    "ActionSpec",
+    "ResponsePolicy",
+    "ResponseRunner",
+    "apply_action",
+    "ActionRecord",
+    "RecoveryTracker",
+    "ResponseReport",
+    "build_response_report",
+    "ResponseReducer",
+    "ResponseSummary",
+    "build_response_table",
+    "ResponseScenarioResult",
+    "evaluate_scenario_response",
+    "evaluate_all_response",
+]

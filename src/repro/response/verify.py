@@ -1,0 +1,289 @@
+"""Recovery verification: did the action restore in-control operation?
+
+After the :class:`~repro.response.runner.ResponseRunner` fires its first
+action, :class:`RecoveryTracker` watches both monitor views and declares
+the plant *recovered* once D and Q stay at or under their detection limits
+for ``hold_samples`` consecutive samples.  :class:`ResponseReport` is the
+per-run verdict: the underlying
+:class:`~repro.live.monitor.LiveRunReport` plus the actions taken,
+time-to-recovery, trip-avoided and residual-alarm-rate metrics — JSON-safe
+and rebuildable bit-for-bit via ``to_mapping`` / ``from_mapping`` like
+every other result object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.live.monitor import LiveMonitor, LiveRunReport, _opt_float
+
+__all__ = [
+    "ActionRecord",
+    "RecoveryTracker",
+    "ResponseReport",
+    "build_response_report",
+]
+
+
+@dataclass(frozen=True)
+class ActionRecord:
+    """One action the runner applied, pinned to its sample.
+
+    Attributes
+    ----------
+    index / time_hours:
+        Sample at which the action fired (it takes effect at the next
+        sample — the simulator re-reads its collaborators per sub-step).
+    action:
+        The :data:`~repro.response.policy.ACTIONS` entry that fired.
+    rule_index:
+        Position of the matching rule in the policy's rule list.
+    view / chart:
+        The alarm that triggered the rule: which view raised and which
+        chart fired.
+    detail:
+        Human-readable description of what the action changed.
+    """
+
+    index: int
+    time_hours: float
+    action: str
+    rule_index: int
+    view: str
+    chart: str
+    detail: str = ""
+
+    def to_mapping(self) -> Dict[str, Any]:
+        """A plain, JSON-safe mapping of this record."""
+        return {
+            "index": int(self.index),
+            "time_hours": float(self.time_hours),
+            "action": self.action,
+            "rule_index": int(self.rule_index),
+            "view": self.view,
+            "chart": self.chart,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "ActionRecord":
+        """Rebuild a record from its :meth:`to_mapping` form."""
+        return cls(
+            index=int(mapping["index"]),
+            time_hours=float(mapping["time_hours"]),
+            action=str(mapping["action"]),
+            rule_index=int(mapping["rule_index"]),
+            view=str(mapping["view"]),
+            chart=str(mapping["chart"]),
+            detail=str(mapping.get("detail", "")),
+        )
+
+
+class RecoveryTracker:
+    """Counts consecutive in-control samples after the first action fired.
+
+    The tracker is armed by the first action; from then on every sample at
+    which *both* views are in control (D and Q at or under their current
+    detection limits) extends a streak, any violation resets it, and the
+    sample completing a ``hold_samples``-long streak is the recovery
+    point.  Escalated detection limits are honoured: the comparison uses
+    whatever limits the views hold at each sample.
+    """
+
+    def __init__(self, monitor: LiveMonitor, hold_samples: int):
+        self.monitor = monitor
+        self.hold_samples = int(hold_samples)
+        self.armed = False
+        self.arm_index: Optional[int] = None
+        self.arm_time_hours: Optional[float] = None
+        self.recovery_index: Optional[int] = None
+        self.recovery_time_hours: Optional[float] = None
+        self._streak = 0
+
+    def arm(self, index: int, time_hours: float) -> None:
+        """Start verification at the sample where the first action fired."""
+        if self.armed:
+            return
+        self.armed = True
+        self.arm_index = int(index)
+        self.arm_time_hours = float(time_hours)
+        self._streak = 0
+
+    @property
+    def recovered(self) -> bool:
+        """Whether the hold window has completed since the first action."""
+        return self.recovery_index is not None
+
+    @property
+    def time_to_recovery_hours(self) -> Optional[float]:
+        """Hours from the first action to the completed hold window."""
+        if self.recovery_time_hours is None or self.arm_time_hours is None:
+            return None
+        return self.recovery_time_hours - self.arm_time_hours
+
+    def update(self, index: int, time_hours: float) -> None:
+        """Fold one sample in (call after the monitor has scored it)."""
+        if not self.armed or self.recovered:
+            return
+        if all(view.in_control for view in self.monitor.views.values()):
+            self._streak += 1
+        else:
+            self._streak = 0
+        if self._streak >= self.hold_samples:
+            self.recovery_index = int(index)
+            self.recovery_time_hours = float(time_hours)
+
+
+@dataclass(frozen=True)
+class ResponseReport:
+    """Everything one response-enabled run produced.
+
+    Extends the live monitor's :class:`~repro.live.monitor.LiveRunReport`
+    (kept whole under :attr:`live`) with the response verdict: the actions
+    taken, whether and when the plant recovered, whether a safety trip was
+    avoided, and the residual alarm rate after the first action.
+
+    ``trip_avoided`` is three-valued: ``None`` when no action fired (there
+    was nothing to avoid on the response's account), else whether the run
+    finished without a safety shutdown.
+    """
+
+    live: LiveRunReport
+    policy_enabled: bool = False
+    hold_samples: int = 1
+    actions: Tuple[ActionRecord, ...] = ()
+    first_action_index: Optional[int] = None
+    first_action_time_hours: Optional[float] = None
+    recovered: bool = False
+    recovery_index: Optional[int] = None
+    recovery_time_hours: Optional[float] = None
+    time_to_recovery_hours: Optional[float] = None
+    residual_alarms: int = 0
+    residual_alarm_rate: Optional[float] = None
+    trip_avoided: Optional[bool] = None
+    shutdown_time_hours: Optional[float] = None
+    shutdown_reason: Optional[str] = None
+
+    @property
+    def n_actions(self) -> int:
+        """How many actions fired during the run."""
+        return len(self.actions)
+
+    @property
+    def responded(self) -> bool:
+        """Whether at least one action fired."""
+        return bool(self.actions)
+
+    @property
+    def detected(self) -> bool:
+        """Whether the underlying live monitor confirmed a detection."""
+        return self.live.detected
+
+    def to_mapping(self) -> Dict[str, Any]:
+        """A plain, JSON-safe mapping; every key is always present."""
+        return {
+            "live": self.live.to_mapping(),
+            "policy_enabled": bool(self.policy_enabled),
+            "hold_samples": int(self.hold_samples),
+            "actions": [record.to_mapping() for record in self.actions],
+            "first_action_index": (
+                None
+                if self.first_action_index is None
+                else int(self.first_action_index)
+            ),
+            "first_action_time_hours": _opt_float(self.first_action_time_hours),
+            "recovered": bool(self.recovered),
+            "recovery_index": (
+                None if self.recovery_index is None else int(self.recovery_index)
+            ),
+            "recovery_time_hours": _opt_float(self.recovery_time_hours),
+            "time_to_recovery_hours": _opt_float(self.time_to_recovery_hours),
+            "residual_alarms": int(self.residual_alarms),
+            "residual_alarm_rate": _opt_float(self.residual_alarm_rate),
+            "trip_avoided": self.trip_avoided,
+            "shutdown_time_hours": _opt_float(self.shutdown_time_hours),
+            "shutdown_reason": self.shutdown_reason,
+        }
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "ResponseReport":
+        """Rebuild a report from its :meth:`to_mapping` form."""
+        trip_avoided = mapping.get("trip_avoided")
+        shutdown_reason = mapping.get("shutdown_reason")
+        return cls(
+            live=LiveRunReport.from_mapping(mapping["live"]),
+            policy_enabled=bool(mapping.get("policy_enabled", False)),
+            hold_samples=int(mapping.get("hold_samples", 1)),
+            actions=tuple(
+                ActionRecord.from_mapping(item)
+                for item in mapping.get("actions", ())
+            ),
+            first_action_index=(
+                None
+                if mapping.get("first_action_index") is None
+                else int(mapping["first_action_index"])
+            ),
+            first_action_time_hours=_opt_float(
+                mapping.get("first_action_time_hours")
+            ),
+            recovered=bool(mapping.get("recovered", False)),
+            recovery_index=(
+                None
+                if mapping.get("recovery_index") is None
+                else int(mapping["recovery_index"])
+            ),
+            recovery_time_hours=_opt_float(mapping.get("recovery_time_hours")),
+            time_to_recovery_hours=_opt_float(
+                mapping.get("time_to_recovery_hours")
+            ),
+            residual_alarms=int(mapping.get("residual_alarms", 0)),
+            residual_alarm_rate=_opt_float(mapping.get("residual_alarm_rate")),
+            trip_avoided=None if trip_avoided is None else bool(trip_avoided),
+            shutdown_time_hours=_opt_float(mapping.get("shutdown_time_hours")),
+            shutdown_reason=(
+                None if shutdown_reason is None else str(shutdown_reason)
+            ),
+        )
+
+
+def build_response_report(
+    live: LiveRunReport,
+    policy_enabled: bool,
+    tracker: RecoveryTracker,
+    actions: Tuple[ActionRecord, ...],
+    shutdown_time_hours: Optional[float],
+    shutdown_reason: Optional[str],
+) -> ResponseReport:
+    """Assemble the per-run verdict from the runner's pieces."""
+    first = actions[0] if actions else None
+    residual_alarms = 0
+    residual_alarm_rate: Optional[float] = None
+    if first is not None:
+        residual_alarms = sum(
+            1
+            for events in live.alarm_events.values()
+            for event in events
+            if event.raised and event.index > first.index
+        )
+        samples_after = live.n_samples - 1 - first.index
+        residual_alarm_rate = (
+            residual_alarms / samples_after if samples_after > 0 else 0.0
+        )
+    return ResponseReport(
+        live=live,
+        policy_enabled=bool(policy_enabled),
+        hold_samples=tracker.hold_samples,
+        actions=actions,
+        first_action_index=None if first is None else first.index,
+        first_action_time_hours=None if first is None else first.time_hours,
+        recovered=tracker.recovered,
+        recovery_index=tracker.recovery_index,
+        recovery_time_hours=tracker.recovery_time_hours,
+        time_to_recovery_hours=tracker.time_to_recovery_hours,
+        residual_alarms=residual_alarms,
+        residual_alarm_rate=residual_alarm_rate,
+        trip_avoided=None if first is None else shutdown_time_hours is None,
+        shutdown_time_hours=shutdown_time_hours,
+        shutdown_reason=shutdown_reason,
+    )

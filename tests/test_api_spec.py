@@ -181,6 +181,29 @@ class TestSchemaValidation:
         with pytest.raises(ConfigurationError, match="unknown scenario"):
             api.loads_spec('name = "x"\n[[scenarios]]\nuse = "idv99"\n')
 
+    def test_near_miss_key_suggests_the_intended_one(self):
+        # A misspelled section name gets a "did you mean" hint naming the
+        # closest allowed key, alongside the full allowed list.
+        with pytest.raises(
+            ConfigurationError, match=r"did you mean 'response'"
+        ):
+            api.loads_spec(
+                'name = "x"\n[[scenarios]]\nuse = "idv6"\n'
+                "[responce]\nenabled = true\n"
+            )
+        with pytest.raises(
+            ConfigurationError, match=r"did you mean 'max_actions'"
+        ):
+            api.loads_spec(
+                'name = "x"\n[[scenarios]]\nuse = "idv6"\n'
+                "[response]\nenabled = true\nmax_action = 2\n"
+            )
+
+    def test_far_off_key_gets_no_suggestion(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            api.loads_spec('name = "x"\n[[scenarios]]\nuse = "idv6"\nzzqq = 1\n')
+        assert "did you mean" not in str(excinfo.value)
+
     def test_malformed_toml(self):
         with pytest.raises(ConfigurationError, match="malformed toml"):
             api.loads_spec("name = ")

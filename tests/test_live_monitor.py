@@ -231,6 +231,51 @@ class TestAlarmManager:
         with pytest.raises(ConfigurationError):
             AlarmManager(0)
 
+    def test_active_alarm_does_not_re_raise_on_continued_violations(self):
+        """While standing, further violations are absorbed silently."""
+        manager = AlarmManager(2)
+        events = self._feed(manager, [20, 20, 20, 20, 20])
+        assert [event.kind for event in events] == ["raised"]
+        assert manager.raise_events == (events[0],)
+        assert manager.active
+
+    def test_re_raise_needs_a_fresh_full_streak(self):
+        """Hysteresis: after a clear, a re-raise needs `consecutive` fresh
+        violations — a shorter, interrupted run must stay silent."""
+        manager = AlarmManager(3)
+        events = self._feed(
+            manager, [20, 20, 20, 1, 20, 20, 1, 20, 20, 20]
+        )
+        kinds = [event.kind for event in events]
+        assert kinds == ["raised", "cleared", "raised"]
+        assert events[0].index == 2
+        assert events[1].index == 3
+        # The two violations at indices 4-5 did NOT re-raise; only the
+        # fresh three-run at 7-9 does.
+        assert events[2].index == 9
+
+    def test_no_cleared_event_while_a_streak_is_pending(self):
+        """A recovered sample during a pending (un-raised) streak resets
+        it without emitting a `cleared` event."""
+        manager = AlarmManager(3)
+        events = self._feed(manager, [20, 20, 1, 20, 1, 20, 20])
+        assert events == []
+        assert manager.state is AlarmState.NORMAL
+        assert manager.events == ()
+
+    def test_partial_recovery_keeps_the_alarm_standing(self):
+        """Clearing needs BOTH statistics back at/under their limits in
+        the same sample; one chart recovering alone is not enough."""
+        manager = AlarmManager(1)
+        raised = manager.update(0, 0.0, 20.0, 10.0, 20.0, 10.0)
+        assert raised.kind == "raised" and raised.chart == "D+Q"
+        still = manager.update(1, 1.0, 1.0, 10.0, 20.0, 10.0)
+        assert still is None and manager.active
+        cleared = manager.update(2, 2.0, 1.0, 10.0, 1.0, 10.0)
+        assert cleared.kind == "cleared"
+        assert cleared.chart == "D+Q"
+        assert manager.state is AlarmState.NORMAL
+
 
 # ----------------------------------------------------------------------
 # Early stopping

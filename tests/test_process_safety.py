@@ -49,6 +49,46 @@ class TestSafetyMonitor:
         # Only 0.2 h of continuous violation — should not trip yet.
         monitor.check(1.6, {"level": 3.0})
 
+    def test_trips_exactly_at_grace_expiry(self):
+        # The grace comparison is inclusive (>=): a violation standing
+        # since t=1.0 with a 0.5 h grace trips at t=1.5 sharp, not one
+        # sample later.
+        monitor = SafetyMonitor([SafetyLimit("level", low=5.0, grace_hours=0.5)])
+        monitor.check(1.0, {"level": 3.0})
+        monitor.check(1.49, {"level": 3.0})
+        with pytest.raises(ProcessShutdown) as excinfo:
+            monitor.check(1.5, {"level": 3.0})
+        assert excinfo.value.time_hours == 1.5
+
+    def test_zero_grace_trips_at_the_first_violating_sample(self):
+        monitor = SafetyMonitor([SafetyLimit("level", low=5.0, grace_hours=0.0)])
+        with pytest.raises(ProcessShutdown) as excinfo:
+            monitor.check(2.0, {"level": 3.0})
+        assert excinfo.value.time_hours == 2.0
+
+    def test_first_limit_wins_when_several_trip_together(self):
+        # Limits are evaluated in list order; when one sample violates
+        # several at once, the first one's reason is raised (the ordering
+        # the batch monitor mirrors row-wise).
+        monitor = SafetyMonitor(
+            [
+                SafetyLimit("pressure", high=100.0, description="pressure first"),
+                SafetyLimit("level", low=5.0, description="level second"),
+            ]
+        )
+        with pytest.raises(ProcessShutdown) as excinfo:
+            monitor.check(1.0, {"pressure": 500.0, "level": 1.0})
+        assert excinfo.value.reason == "pressure first"
+        monitor = SafetyMonitor(
+            [
+                SafetyLimit("level", low=5.0, description="level first"),
+                SafetyLimit("pressure", high=100.0, description="pressure second"),
+            ]
+        )
+        with pytest.raises(ProcessShutdown) as excinfo:
+            monitor.check(1.0, {"pressure": 500.0, "level": 1.0})
+        assert excinfo.value.reason == "level first"
+
     def test_disabled_monitor_records_but_does_not_raise(self):
         monitor = SafetyMonitor([SafetyLimit("pressure", high=10.0)], enabled=False)
         monitor.check(2.0, {"pressure": 100.0})

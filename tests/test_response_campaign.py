@@ -1,0 +1,204 @@
+"""Tests for response-enabled campaigns (:mod:`repro.response.campaign`),
+the recovery-table metrics (:mod:`repro.response.metrics`) and the
+``Session.run_response`` facade.
+
+Pins the recovery table of a small two-scenario campaign: the normal
+scenario never responds, the integrity attack is detected, triggers at
+least one action and avoids the safety trip — and the whole result is
+reproducible bit-for-bit across repeated evaluations.
+"""
+
+import json
+
+import pytest
+
+from repro.api import CampaignSpec, Session, run_response
+from repro.common.config import ExperimentConfig, SimulationConfig
+from repro.common.exceptions import ConfigurationError
+from repro.experiments.registry import get_scenario
+from repro.response import (
+    ActionSpec,
+    ResponsePolicy,
+    ResponseReport,
+    build_response_table,
+    evaluate_all_response,
+    evaluate_scenario_response,
+)
+
+TABLE_COLUMNS = (
+    "scenario",
+    "title",
+    "n_runs",
+    "n_detected",
+    "n_responded",
+    "n_actions",
+    "n_recovered",
+    "recovery_rate",
+    "time_to_recovery_hours",
+    "n_trips",
+    "trip_avoidance_rate",
+    "residual_alarm_rate",
+)
+
+
+def campaign_policy():
+    return ResponsePolicy(
+        enabled=True,
+        rules=(
+            ActionSpec(
+                action="quarantine_channel",
+                channel="actuators",
+                classification="integrity attack",
+            ),
+            ActionSpec(action="escalate_sensitivity", limit_factor=0.9),
+        ),
+        cooldown_samples=30,
+        max_actions=3,
+        hold_samples=12,
+    )
+
+
+class TestEvaluateScenarioResponse:
+    def test_attack_scenario_detects_and_responds(self, small_evaluation):
+        result = evaluate_scenario_response(
+            small_evaluation, get_scenario("attack_xmv3"), campaign_policy()
+        )
+        assert result.n_runs == 1
+        (report,) = result.reports
+        assert report.detected and report.responded
+        assert report.policy_enabled
+        assert report.first_action_index == report.actions[0].index
+        summary = result.to_summary()
+        assert summary.n_detected == 1
+        assert summary.n_responded == 1
+        assert summary.n_actions >= 1
+
+    def test_classification_gate_ignores_false_alarms(self, small_evaluation):
+        # The normal run's eventual false alarm is diagnosed as a process
+        # disturbance, so a policy whose only rule is gated on "integrity
+        # attack" must stay silent — the catch-all-free counterpart of the
+        # full policy's false-positive response pinned in the table test.
+        gated = ResponsePolicy(
+            enabled=True,
+            rules=(
+                ActionSpec(
+                    action="quarantine_channel",
+                    channel="actuators",
+                    classification="integrity attack",
+                ),
+            ),
+            cooldown_samples=30,
+            max_actions=3,
+            hold_samples=12,
+        )
+        result = evaluate_scenario_response(
+            small_evaluation, get_scenario("normal"), gated
+        )
+        (report,) = result.reports
+        assert not report.responded
+        assert report.trip_avoided is None
+        summary = result.to_summary()
+        assert summary.n_responded == 0
+        assert summary.recovery_rate == 0.0
+        assert summary.trip_avoidance_rate == 0.0
+
+    def test_repeated_evaluation_is_bitwise_reproducible(
+        self, small_evaluation
+    ):
+        scenario = get_scenario("attack_xmv3")
+        first = evaluate_scenario_response(
+            small_evaluation, scenario, campaign_policy()
+        )
+        second = evaluate_scenario_response(
+            small_evaluation, scenario, campaign_policy()
+        )
+        assert json.dumps(first.to_mapping(), sort_keys=True) == json.dumps(
+            second.to_mapping(), sort_keys=True
+        )
+
+    def test_on_report_callback_sees_every_run(self, small_evaluation):
+        calls = []
+        evaluate_scenario_response(
+            small_evaluation,
+            get_scenario("normal"),
+            campaign_policy(),
+            n_runs=2,
+            on_report=lambda name, index, report: calls.append((name, index)),
+        )
+        assert calls == [("normal", 0), ("normal", 1)]
+
+    def test_report_mapping_round_trips(self, small_evaluation):
+        result = evaluate_scenario_response(
+            small_evaluation, get_scenario("attack_xmv3"), campaign_policy()
+        )
+        (report,) = result.reports
+        rebuilt = ResponseReport.from_mapping(report.to_mapping())
+        assert rebuilt.to_mapping() == report.to_mapping()
+        assert rebuilt.actions == report.actions
+
+
+class TestRecoveryTable:
+    def test_two_scenario_table_pins(self, small_evaluation):
+        scenarios = [get_scenario("normal"), get_scenario("attack_xmv3")]
+        results = evaluate_all_response(
+            small_evaluation, scenarios, campaign_policy()
+        )
+        assert sorted(results) == ["attack_xmv3", "normal"]
+        rows = build_response_table(
+            [results[s.name].to_summary() for s in scenarios]
+        )
+        assert [row["scenario"] for row in rows] == ["normal", "attack_xmv3"]
+        for row in rows:
+            assert tuple(row) == TABLE_COLUMNS
+        normal, attack = rows
+        # With no anomaly onset, the normal run's false alarm counts as a
+        # detection and the catch-all escalate rule responds to it — the
+        # false-positive cost the recovery table is there to expose.
+        assert normal["n_detected"] == 1
+        assert normal["n_responded"] == 1
+        assert normal["n_actions"] == 1
+        assert normal["n_trips"] == 0
+        assert attack["n_runs"] == 1
+        assert attack["n_detected"] == 1
+        assert attack["n_responded"] == 1
+        assert attack["n_actions"] >= 1
+        # The quarantine cleared the attack before the safety limits blew.
+        assert attack["n_trips"] == 0
+        assert attack["trip_avoidance_rate"] == 1.0
+
+
+class TestSessionRunResponse:
+    def spec(self, policy=None):
+        return CampaignSpec(
+            name="response-session-test",
+            experiment=ExperimentConfig(
+                n_calibration_runs=2,
+                n_runs_per_scenario=1,
+                anomaly_start_hour=4.0,
+                simulation=SimulationConfig(
+                    duration_hours=9.0, samples_per_hour=20, seed=21
+                ),
+                seed=21,
+            ),
+            scenarios=("attack_xmv3",),
+            response=policy if policy is not None else campaign_policy(),
+        )
+
+    def test_disabled_response_section_is_rejected(self):
+        session = Session(self.spec(policy=ResponsePolicy()))
+        with pytest.raises(ConfigurationError, match="not enabled"):
+            session.run_response()
+
+    def test_run_response_produces_the_recovery_table(self):
+        result = run_response(self.spec())
+        assert result.seeds == [21]
+        assert not result.is_sweep
+        tables = result.tables()
+        assert list(tables) == ["response"]
+        (row,) = tables["response"]
+        assert row["scenario"] == "attack_xmv3"
+        assert row["n_detected"] == 1
+        assert row["n_responded"] == 1
+        mapping = result.to_mapping()
+        assert mapping["spec"]["response"]["enabled"] is True
+        json.dumps(mapping)  # the whole result must be JSON-safe

@@ -1,0 +1,231 @@
+"""Tests for the response policy engine (:mod:`repro.response.policy`).
+
+Covers rule validation, the matching semantics (view/chart/classification/
+variables criteria against an alarm event plus its oMEDA snapshot), the
+cooldown/budget knobs, and the mapping + campaign-spec round trips that make
+``[response]`` a first-class spec section.
+"""
+
+import pytest
+
+from repro.anomaly.diagnosis import AnomalyClass
+from repro.api import CampaignSpec, dumps_spec, loads_spec
+from repro.common.exceptions import ConfigurationError
+from repro.live.alarms import AlarmEvent
+from repro.response import ACTIONS, ActionSpec, ResponsePolicy
+
+
+def raise_event(chart="D", index=7):
+    return AlarmEvent(
+        kind="raised",
+        index=index,
+        time_hours=index * 0.05,
+        chart=chart,
+        statistic_value=12.0,
+        limit=10.0,
+    )
+
+
+class FakeSummary:
+    """The duck-typed subset of DiagnosisSummary that matching reads."""
+
+    def __init__(self, classification=AnomalyClass.INTEGRITY_ATTACK, names=()):
+        self.classification = classification
+        self._names = tuple(names)
+
+    def implicated_variables(self, top):
+        return {"controller": self._names[:top]}
+
+
+class TestActionSpecValidation:
+    def test_rejects_unknown_action(self):
+        with pytest.raises(ConfigurationError, match="rule action"):
+            ActionSpec(action="reboot_plant")
+
+    def test_rejects_unknown_view_chart_classification_channel(self):
+        with pytest.raises(ConfigurationError, match="rule view"):
+            ActionSpec(action="fallback_gains", view="historian")
+        with pytest.raises(ConfigurationError, match="rule chart"):
+            ActionSpec(action="fallback_gains", chart="T2")
+        with pytest.raises(ConfigurationError, match="rule classification"):
+            ActionSpec(action="fallback_gains", classification="weird")
+        with pytest.raises(ConfigurationError, match="rule channel"):
+            ActionSpec(action="quarantine_channel", channel="modbus")
+
+    def test_rejects_non_positive_factors(self):
+        with pytest.raises(ConfigurationError, match="gain_factor"):
+            ActionSpec(action="fallback_gains", gain_factor=0.0)
+        with pytest.raises(ConfigurationError, match="limit_factor"):
+            ActionSpec(action="escalate_sensitivity", limit_factor=-1.0)
+
+    def test_shed_sensor_needs_a_sensor(self):
+        with pytest.raises(ConfigurationError, match="shed_sensor"):
+            ActionSpec(action="shed_sensor")
+
+    def test_rejects_negative_cooldown(self):
+        with pytest.raises(ConfigurationError, match="cooldown_samples"):
+            ActionSpec(action="fallback_gains", cooldown_samples=-1)
+
+    def test_catalog_actions_all_construct(self):
+        for action in ACTIONS:
+            sensor = "XMEAS(1)" if action == "shed_sensor" else None
+            spec = ActionSpec(action=action, sensor=sensor)
+            assert spec.action == action
+
+
+class TestActionSpecMatching:
+    def test_unconstrained_rule_matches_anything_without_a_summary(self):
+        rule = ActionSpec(action="fallback_gains")
+        assert rule.matches("controller", raise_event(), None)
+        assert rule.matches("process", raise_event("Q"), None)
+
+    def test_view_criterion(self):
+        rule = ActionSpec(action="fallback_gains", view="controller")
+        assert rule.matches("controller", raise_event(), None)
+        assert not rule.matches("process", raise_event(), None)
+
+    def test_single_chart_criterion_matches_the_joint_raise(self):
+        rule = ActionSpec(action="fallback_gains", chart="D")
+        assert rule.matches("controller", raise_event("D"), None)
+        assert rule.matches("controller", raise_event("D+Q"), None)
+        assert not rule.matches("controller", raise_event("Q"), None)
+
+    def test_joint_chart_criterion_matches_only_the_joint_raise(self):
+        rule = ActionSpec(action="fallback_gains", chart="D+Q")
+        assert rule.matches("controller", raise_event("D+Q"), None)
+        assert not rule.matches("controller", raise_event("D"), None)
+        assert not rule.matches("controller", raise_event("Q"), None)
+
+    def test_classification_criterion_needs_a_summary(self):
+        rule = ActionSpec(
+            action="quarantine_channel", classification="integrity attack"
+        )
+        assert not rule.matches("controller", raise_event(), None)
+        assert rule.matches(
+            "controller",
+            raise_event(),
+            FakeSummary(AnomalyClass.INTEGRITY_ATTACK),
+        )
+        assert not rule.matches(
+            "controller", raise_event(), FakeSummary(AnomalyClass.DISTURBANCE)
+        )
+
+    def test_variables_criterion_intersects_top_contributors(self):
+        rule = ActionSpec(action="fallback_gains", variables=("XMV(3)",))
+        summary = FakeSummary(names=("XMEAS(1)", "XMV(3)", "XMEAS(9)"))
+        assert not rule.matches("controller", raise_event(), None)
+        assert rule.matches("controller", raise_event(), summary)
+        # Shrinking the top-N window below the variable's rank unmatches it.
+        assert not rule.matches(
+            "controller", raise_event(), summary, top_variables=1
+        )
+        never = ActionSpec(action="fallback_gains", variables=("NOPE",))
+        assert not never.matches("controller", raise_event(), summary)
+
+
+class TestResponsePolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="cooldown_samples"):
+            ResponsePolicy(cooldown_samples=-1)
+        with pytest.raises(ConfigurationError, match="max_actions"):
+            ResponsePolicy(max_actions=-1)
+        with pytest.raises(ConfigurationError, match="hold_samples"):
+            ResponsePolicy(hold_samples=0)
+        with pytest.raises(ConfigurationError, match="match_top_variables"):
+            ResponsePolicy(match_top_variables=0)
+        with pytest.raises(ConfigurationError, match="ActionSpec"):
+            ResponsePolicy(rules=("fallback_gains",))
+
+    def test_is_default_and_is_armed(self):
+        assert ResponsePolicy().is_default
+        assert not ResponsePolicy().is_armed
+        rule = ActionSpec(action="fallback_gains")
+        assert not ResponsePolicy(rules=(rule,)).is_armed  # not enabled
+        assert not ResponsePolicy(enabled=True).is_armed  # no rules
+        assert not ResponsePolicy(
+            enabled=True, rules=(rule,), max_actions=0
+        ).is_armed  # no budget
+        armed = ResponsePolicy(enabled=True, rules=(rule,))
+        assert armed.is_armed and not armed.is_default
+
+    def test_first_match_is_ordered(self):
+        policy = ResponsePolicy(
+            enabled=True,
+            rules=(
+                ActionSpec(action="quarantine_channel", view="process"),
+                ActionSpec(action="fallback_gains"),
+                ActionSpec(action="escalate_sensitivity"),
+            ),
+        )
+        index, rule = policy.first_match("process", raise_event(), None)
+        assert (index, rule.action) == (0, "quarantine_channel")
+        index, rule = policy.first_match("controller", raise_event(), None)
+        assert (index, rule.action) == (1, "fallback_gains")
+
+    def test_rule_cooldown_prefers_the_per_rule_override(self):
+        policy = ResponsePolicy(cooldown_samples=30)
+        assert policy.rule_cooldown(ActionSpec(action="fallback_gains")) == 30
+        assert (
+            policy.rule_cooldown(
+                ActionSpec(action="fallback_gains", cooldown_samples=5)
+            )
+            == 5
+        )
+
+
+class TestMappingRoundTrip:
+    def policy(self):
+        return ResponsePolicy(
+            enabled=True,
+            rules=(
+                ActionSpec(
+                    action="quarantine_channel",
+                    view="controller",
+                    chart="D",
+                    classification="integrity attack",
+                    channel="actuators",
+                    cooldown_samples=10,
+                ),
+                ActionSpec(
+                    action="shed_sensor",
+                    sensor="XMEAS(1)",
+                    variables=("XMEAS(1)", "XMEAS(9)"),
+                ),
+                ActionSpec(action="escalate_sensitivity", limit_factor=0.9),
+            ),
+            cooldown_samples=40,
+            max_actions=2,
+            hold_samples=24,
+            match_top_variables=5,
+        )
+
+    def test_policy_mapping_round_trips(self):
+        policy = self.policy()
+        assert ResponsePolicy.from_mapping(policy.to_mapping()) == policy
+
+    def test_from_mapping_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            ResponsePolicy.from_mapping({"enabled": True, "cooldowns": 3})
+        with pytest.raises(ConfigurationError, match="unknown"):
+            ActionSpec.from_mapping({"action": "fallback_gains", "gain": 0.5})
+
+    def test_spec_round_trips_in_both_formats(self):
+        spec = CampaignSpec(
+            name="response-round-trip",
+            scenarios=("attack_xmv3", "normal"),
+            response=self.policy(),
+        )
+        for fmt in ("toml", "json"):
+            rebuilt = loads_spec(dumps_spec(spec, format=fmt), format=fmt)
+            assert rebuilt == spec
+            assert rebuilt.response == self.policy()
+
+    def test_default_policy_is_omitted_from_the_spec_mapping(self):
+        spec = CampaignSpec(name="plain", scenarios=("normal",))
+        assert "response" not in spec.to_mapping()
+        enabled = CampaignSpec(
+            name="armed",
+            scenarios=("normal",),
+            response=ResponsePolicy(enabled=True),
+        )
+        assert enabled.to_mapping()["response"]["enabled"] is True

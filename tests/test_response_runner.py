@@ -1,0 +1,274 @@
+"""Tests for the response action runner (:mod:`repro.response.runner`).
+
+The anchors are the two contracts the closed-loop subsystem promises:
+
+* **Determinism** — the same seed produces the same alarms, hence the same
+  actions at the same step indices and an identical response report.
+* **Invisibility when disarmed** — with a disabled policy the runner is a
+  pure observer: both data views are bitwise-identical to a run without it,
+  on all five registered paper scenarios.
+
+The per-action unit tests exercise :func:`apply_action` against the real
+controller/channel objects through a lightweight simulator stand-in.
+"""
+
+import json
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.common.config import SimulationConfig
+from repro.common.exceptions import ConfigurationError
+from repro.control.te_controller import TEDecentralizedController
+from repro.experiments.registry import get_scenario
+from repro.experiments.runner import run_scenario
+from repro.live.monitor import LiveMonitor
+from repro.live.observer import LiveRunObserver
+from repro.network.attacks import DoSAttack
+from repro.network.channel import Channel
+from repro.process.interfaces import StepSample
+from repro.response import (
+    ActionSpec,
+    ResponsePolicy,
+    ResponseRunner,
+    apply_action,
+)
+from repro.te.constants import N_XMEAS, N_XMV
+
+# Mirrors the shared conftest simulation fixtures, so the bitwise tests
+# reproduce exactly the runs the session-scoped fixtures recorded.
+SHORT_SIM = SimulationConfig(duration_hours=3.0, samples_per_hour=20, seed=5)
+ANOMALY_SIM = SimulationConfig(duration_hours=9.0, samples_per_hour=20, seed=5)
+ANOMALY_START = 4.0
+
+FIVE_SCENARIO_FIXTURES = {
+    "normal": "normal_run",
+    "idv6": "idv6_run",
+    "attack_xmv3": "attack_xmv3_run",
+    "attack_xmeas1": "attack_xmeas1_run",
+    "dos_xmv3": "dos_xmv3_run",
+}
+
+
+def response_policy():
+    """The demo policy: quarantine on integrity attacks, then escalate."""
+    return ResponsePolicy(
+        enabled=True,
+        rules=(
+            ActionSpec(
+                action="quarantine_channel",
+                channel="actuators",
+                classification="integrity attack",
+            ),
+            ActionSpec(action="escalate_sensitivity", limit_factor=0.9),
+        ),
+        cooldown_samples=30,
+        max_actions=3,
+        hold_samples=12,
+    )
+
+
+def response_run(analyzer, scenario_name="attack_xmv3", policy=None):
+    """One anomalous run with the runner riding behind the live monitor."""
+    monitor = LiveMonitor(analyzer, anomaly_start_hour=ANOMALY_START)
+    runner = ResponseRunner(monitor, policy or response_policy())
+    result = run_scenario(
+        get_scenario(scenario_name),
+        ANOMALY_SIM,
+        anomaly_start_hour=ANOMALY_START,
+        observers=[LiveRunObserver(monitor)],
+        observer_factories=[runner.bind],
+    )
+    return result, runner
+
+
+# ----------------------------------------------------------------------
+# apply_action unit tests (no simulation)
+# ----------------------------------------------------------------------
+class TestApplyAction:
+    def make_simulator(self):
+        return SimpleNamespace(
+            controller=TEDecentralizedController(),
+            sensor_channel=Channel("sensors", N_XMEAS),
+            actuator_channel=Channel("actuators", N_XMV),
+        )
+
+    def test_fallback_gains_scales_every_loop(self):
+        simulator = self.make_simulator()
+        original = [loop.definition.kc for loop in simulator.controller.loops]
+        detail = apply_action(
+            simulator,
+            None,
+            ActionSpec(action="fallback_gains", gain_factor=0.5),
+            1.0,
+        )
+        replaced = [loop.definition.kc for loop in simulator.controller.loops]
+        assert replaced == [kc * 0.5 for kc in original]
+        assert "0.5" in detail
+
+    def test_quarantine_channel_clears_the_attack_schedule(self):
+        simulator = self.make_simulator()
+        simulator.actuator_channel.add_attack(DoSAttack(3, start_hour=1.0))
+        detail = apply_action(
+            simulator,
+            None,
+            ActionSpec(action="quarantine_channel", channel="actuators"),
+            2.0,
+        )
+        assert simulator.actuator_channel.attacks.attacks == ()
+        assert "1 attack(s) cleared" in detail
+        # The sensor channel is untouched.
+        assert simulator.sensor_channel.attacks.attacks == ()
+
+    def test_escalate_sensitivity_scales_both_views_limits(self):
+        monitor = SimpleNamespace(
+            views={
+                "controller": SimpleNamespace(d_limit=10.0, q_limit=8.0),
+                "process": SimpleNamespace(d_limit=12.0, q_limit=6.0),
+            }
+        )
+        apply_action(
+            None,
+            monitor,
+            ActionSpec(action="escalate_sensitivity", limit_factor=0.8),
+            1.0,
+        )
+        assert monitor.views["controller"].d_limit == pytest.approx(8.0)
+        assert monitor.views["controller"].q_limit == pytest.approx(6.4)
+        assert monitor.views["process"].d_limit == pytest.approx(9.6)
+
+    def test_shed_sensor_routes_to_the_right_channel(self):
+        simulator = self.make_simulator()
+        apply_action(
+            simulator,
+            None,
+            ActionSpec(action="shed_sensor", sensor="XMEAS(9)"),
+            2.5,
+        )
+        (attack,) = simulator.sensor_channel.attacks.attacks
+        assert isinstance(attack, DoSAttack)
+        assert attack.target_index == 9
+        assert attack.start_hour == pytest.approx(2.5)
+
+        apply_action(
+            simulator,
+            None,
+            ActionSpec(action="shed_sensor", sensor="XMV(3)"),
+            2.5,
+        )
+        (attack,) = simulator.actuator_channel.attacks.attacks
+        assert attack.target_index == 3
+
+    def test_shed_sensor_rejects_an_unknown_variable(self):
+        rule = SimpleNamespace(action="shed_sensor", sensor="XMEAS(99)")
+        with pytest.raises(ConfigurationError, match="shed_sensor"):
+            apply_action(self.make_simulator(), None, rule, 0.0)
+
+    def test_unknown_action_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown action"):
+            apply_action(
+                self.make_simulator(),
+                None,
+                SimpleNamespace(action="reboot"),
+                0.0,
+            )
+
+
+# ----------------------------------------------------------------------
+# Wiring guards (no simulation)
+# ----------------------------------------------------------------------
+class TestRunnerGuards:
+    def test_unbound_runner_fails_at_run_start(self):
+        runner = ResponseRunner(
+            SimpleNamespace(views={}, n_samples=0), ResponsePolicy()
+        )
+        with pytest.raises(ConfigurationError, match="not bound"):
+            runner.on_run_start((), None, {})
+
+    def test_bind_attaches_and_returns_the_runner(self):
+        runner = ResponseRunner(
+            SimpleNamespace(views={}, n_samples=0), ResponsePolicy()
+        )
+        simulator = object()
+        assert runner.bind(simulator) == (runner,)
+        assert runner.simulator is simulator
+
+    def test_unscored_sample_is_rejected(self):
+        # No LiveRunObserver ahead of the runner: the monitor has not seen
+        # the sample, so the ordering guard must fire.
+        runner = ResponseRunner(
+            SimpleNamespace(views={}, n_samples=0),
+            ResponsePolicy(),
+            simulator=object(),
+        )
+        sample = StepSample(
+            index=0,
+            time_hours=0.0,
+            controller_values=np.zeros(N_XMEAS + N_XMV),
+            process_values=np.zeros(N_XMEAS + N_XMV),
+        )
+        with pytest.raises(ConfigurationError, match="unscored"):
+            runner.on_sample(sample)
+
+
+# ----------------------------------------------------------------------
+# End-to-end contracts (simulation)
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def test_same_seed_same_actions_same_report(self, small_evaluation):
+        analyzer = small_evaluation.analyzer
+        _, first = response_run(analyzer)
+        _, second = response_run(analyzer)
+        assert first.actions, "the attack run should trigger at least one action"
+        key = [(record.index, record.action) for record in first.actions]
+        assert key == [(r.index, r.action) for r in second.actions]
+        assert json.dumps(
+            first.report().to_mapping(), sort_keys=True
+        ) == json.dumps(second.report().to_mapping(), sort_keys=True)
+
+    def test_actions_fire_at_or_after_the_confirmed_detection(
+        self, small_evaluation
+    ):
+        _, runner = response_run(small_evaluation.analyzer)
+        report = runner.report()
+        assert report.detected
+        detection = report.live.detection_index
+        assert all(record.index >= detection for record in report.actions)
+
+
+class TestDisabledPolicyInvisibility:
+    @pytest.mark.parametrize(
+        "scenario_name", sorted(FIVE_SCENARIO_FIXTURES)
+    )
+    def test_disabled_policy_run_is_bitwise_identical(
+        self, request, scenario_name, small_evaluation
+    ):
+        reference = request.getfixturevalue(
+            FIVE_SCENARIO_FIXTURES[scenario_name]
+        )
+        scenario = get_scenario(scenario_name)
+        simulation = SHORT_SIM if scenario_name == "normal" else ANOMALY_SIM
+        onset = 1.0 if scenario_name == "normal" else ANOMALY_START
+        monitor = LiveMonitor(
+            small_evaluation.analyzer,
+            anomaly_start_hour=onset if scenario.is_anomalous else None,
+        )
+        runner = ResponseRunner(monitor, ResponsePolicy())
+        result = run_scenario(
+            scenario,
+            simulation,
+            anomaly_start_hour=onset,
+            observers=[LiveRunObserver(monitor)],
+            observer_factories=[runner.bind],
+        )
+        assert runner.actions == ()
+        report = runner.report()
+        assert not report.policy_enabled and not report.responded
+        assert report.trip_avoided is None
+        np.testing.assert_array_equal(
+            result.controller_data.values, reference.controller_data.values
+        )
+        np.testing.assert_array_equal(
+            result.process_data.values, reference.process_data.values
+        )
