@@ -1,0 +1,168 @@
+"""Summarize a Chrome trace-event JSON produced by the obs layer.
+
+Reads a trace written by ``run_campaign.py --trace``,
+``profile_campaign.py --trace`` or :meth:`repro.obs.trace.Tracer.
+write_chrome_trace` and prints:
+
+* a per-stage breakdown — total/mean/max wall time per span name, heaviest
+  stages first, with each stage's share of the summed span time;
+* the longest individual spans, with their process/thread lanes and
+  attributes;
+* the trace-level counters and metadata carried in ``otherData``.
+
+Examples
+--------
+Stage breakdown of a traced campaign::
+
+    PYTHONPATH=src python scripts/run_campaign.py \
+        --spec examples/specs/paper.toml --trace trace.json
+    PYTHONPATH=src python scripts/obs_report.py trace.json
+
+Machine-readable form (the breakdown as JSON, for dashboards)::
+
+    PYTHONPATH=src python scripts/obs_report.py trace.json --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.obs.trace import validate_chrome_trace
+
+
+def load_events(path: Path) -> Dict[str, Any]:
+    """Parse and schema-check a trace file; returns the document."""
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise SystemExit(f"no such trace file: {path}")
+    except json.JSONDecodeError as error:
+        raise SystemExit(f"{path} is not valid JSON: {error}")
+    try:
+        validate_chrome_trace(document)
+    except ValueError as error:
+        raise SystemExit(f"{path} is not a valid Chrome trace: {error}")
+    return document
+
+
+def stage_breakdown(events: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Aggregate complete events by span name, heaviest first."""
+    stages: Dict[str, Dict[str, float]] = {}
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        entry = stages.setdefault(
+            str(event["name"]),
+            {"count": 0, "total_us": 0, "max_us": 0},
+        )
+        duration = int(event.get("dur", 0))
+        entry["count"] += 1
+        entry["total_us"] += duration
+        entry["max_us"] = max(entry["max_us"], duration)
+    grand_total = sum(entry["total_us"] for entry in stages.values()) or 1
+    rows = []
+    for name, entry in stages.items():
+        rows.append(
+            {
+                "stage": name,
+                "count": int(entry["count"]),
+                "total_seconds": entry["total_us"] / 1e6,
+                "mean_seconds": entry["total_us"] / entry["count"] / 1e6,
+                "max_seconds": entry["max_us"] / 1e6,
+                "share": entry["total_us"] / grand_total,
+            }
+        )
+    rows.sort(key=lambda row: -row["total_seconds"])
+    return rows
+
+
+def print_breakdown(rows: List[Dict[str, Any]]) -> None:
+    width = max([len(row["stage"]) for row in rows] + [len("stage")])
+    print(
+        f"{'stage':<{width}}  {'count':>7}  {'total s':>10}  "
+        f"{'mean s':>10}  {'max s':>10}  {'share':>6}"
+    )
+    for row in rows:
+        print(
+            f"{row['stage']:<{width}}  {row['count']:>7}  "
+            f"{row['total_seconds']:>10.4f}  {row['mean_seconds']:>10.4f}  "
+            f"{row['max_seconds']:>10.4f}  {row['share']:>5.1%}"
+        )
+
+
+def print_top_spans(events: List[Dict[str, Any]], limit: int) -> None:
+    spans = sorted(
+        (event for event in events if event.get("ph") == "X"),
+        key=lambda event: -int(event.get("dur", 0)),
+    )[:limit]
+    if not spans:
+        return
+    print(f"\nlongest spans (top {len(spans)}):")
+    for event in spans:
+        args = event.get("args") or {}
+        detail = (
+            "  " + ", ".join(f"{key}={value}" for key, value in args.items())
+            if args
+            else ""
+        )
+        print(
+            f"  {int(event.get('dur', 0)) / 1e6:>9.4f} s  "
+            f"{event['name']}  [{event['pid']}/{event['tid']}]{detail}"
+        )
+
+
+def print_other_data(document: Dict[str, Any]) -> None:
+    other = document.get("otherData")
+    if not isinstance(other, dict) or not other:
+        return
+    print("\ntrace metadata:")
+    counters = other.get("counters")
+    if isinstance(counters, dict):
+        for name, value in sorted(counters.items()):
+            print(f"  counter {name} = {value:g}")
+    for key, value in other.items():
+        if key == "counters":
+            continue
+        print(f"  {key} = {value}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("trace", type=Path, help="Chrome trace-event JSON file")
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="how many of the longest spans to list (default: 10)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the stage breakdown as JSON instead of tables",
+    )
+    arguments = parser.parse_args(argv)
+    document = load_events(arguments.trace)
+    events = document["traceEvents"]
+    rows = stage_breakdown(events)
+    if arguments.json:
+        print(json.dumps({"stages": rows}, indent=2))
+        return 0
+    if not rows:
+        print(f"{arguments.trace}: no complete spans recorded")
+        return 0
+    print(f"{arguments.trace}: {len(events)} event(s)\n")
+    print_breakdown(rows)
+    print_top_spans(events, arguments.top)
+    print_other_data(document)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

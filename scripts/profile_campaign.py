@@ -26,6 +26,13 @@ Profile only the single serial run, at higher fidelity::
 
     PYTHONPATH=src python scripts/profile_campaign.py --only run \
         --duration 20 --samples-per-hour 60
+
+Emit the profile as a Chrome trace-event JSON (same format as
+``run_campaign.py --trace``: real spans for each workload plus a synthetic
+``cprofile`` lane holding the top functions by cumulative time; open in
+Perfetto, or summarize with ``scripts/obs_report.py``)::
+
+    PYTHONPATH=src python scripts/profile_campaign.py --trace profile.json
 """
 
 from __future__ import annotations
@@ -44,12 +51,49 @@ from repro.experiments.parallel import (
 from repro.experiments.registry import get_scenario
 from repro.experiments.runner import run_scenario
 from repro.experiments.scenarios import normal_scenario, paper_scenarios
+from repro.obs.trace import Tracer, get_tracer, set_tracer, span
 
 
 def _report(title: str, profiler: cProfile.Profile, top: int) -> None:
     print(f"\n=== {title}: top {top} by cumulative time ===")
     stats = pstats.Stats(profiler)
     stats.sort_stats("cumulative").print_stats(top)
+
+
+def _absorb_pstats(
+    profiler: cProfile.Profile, top: int, lane: str
+) -> None:
+    """Lay the top functions by cumulative time onto a synthetic lane.
+
+    cProfile has no per-call timestamps, so the functions are placed
+    side by side (width = cumulative time) on a ``cprofile`` pid — the
+    lane reads as a ranking, not a timeline, next to the real spans.
+    """
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return
+    stats = pstats.Stats(profiler)
+    entries = sorted(
+        stats.stats.items(), key=lambda item: -item[1][3]
+    )[:top]
+    import time as _time
+
+    offset = _time.time()
+    records = []
+    for (filename, line, funcname), (_cc, ncalls, _tt, cumtime, _callers) in entries:
+        label = f"{funcname} ({filename.rsplit('/', 1)[-1]}:{line})"
+        records.append(
+            {
+                "name": label,
+                "start": offset,
+                "duration": float(cumtime),
+                "process": "cprofile",
+                "thread": lane,
+                "attributes": {"ncalls": ncalls},
+            }
+        )
+        offset += float(cumtime)
+    tracer.absorb(records)
 
 
 def profile_single_run(arguments: argparse.Namespace) -> None:
@@ -64,9 +108,13 @@ def profile_single_run(arguments: argparse.Namespace) -> None:
     if onset >= arguments.duration:
         onset = arguments.duration / 2.0
     profiler = cProfile.Profile()
-    profiler.enable()
-    run_scenario(scenario, simulation, anomaly_start_hour=onset)
-    profiler.disable()
+    with span(
+        "profile.run", scenario=scenario.name, duration_hours=arguments.duration
+    ):
+        profiler.enable()
+        run_scenario(scenario, simulation, anomaly_start_hour=onset)
+        profiler.disable()
+    _absorb_pstats(profiler, arguments.top, lane="run")
     _report(
         f"one serial run ({scenario.name}, {arguments.duration:g} h)",
         profiler,
@@ -88,9 +136,13 @@ def profile_campaign_chunk(arguments: argparse.Namespace) -> None:
         )
     )
     profiler = cProfile.Profile()
-    profiler.enable()
-    engine.run(specs)
-    profiler.disable()
+    with span(
+        "profile.chunk", n_runs=len(specs), backend=arguments.backend
+    ):
+        profiler.enable()
+        engine.run(specs)
+        profiler.disable()
+    _absorb_pstats(profiler, arguments.top, lane="chunk")
     _report(
         f"one campaign chunk ({len(specs)} runs, backend={arguments.backend})",
         profiler,
@@ -134,12 +186,31 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--top", type=int, default=20, help="functions shown per report (default 20)"
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="also write the profile as Chrome trace-event JSON (the "
+        "run_campaign.py --trace format): real workload/engine spans plus "
+        "a synthetic 'cprofile' lane of the top functions",
+    )
     arguments = parser.parse_args(argv)
+
+    tracer = None
+    if arguments.trace is not None:
+        tracer = set_tracer(Tracer(enabled=True, process="profile"))
 
     if arguments.only in (None, "run"):
         profile_single_run(arguments)
     if arguments.only in (None, "chunk"):
         profile_campaign_chunk(arguments)
+
+    if tracer is not None:
+        tracer.write_chrome_trace(
+            arguments.trace,
+            metadata={"tool": "profile_campaign.py", "top": arguments.top},
+        )
+        print(f"\ntrace: {tracer.n_spans} span(s) written to {arguments.trace}")
     return 0
 
 

@@ -69,6 +69,13 @@ bitwise-identical to a single-host run::
     PYTHONPATH=src python scripts/run_campaign.py --worker http://127.0.0.1:8765
     PYTHONPATH=src python scripts/run_campaign.py --submit http://127.0.0.1:8765 \
         --spec examples/specs/paper.toml
+
+Traced campaign — every stage records spans, written as a Chrome
+trace-event JSON loadable in Perfetto / about://tracing (with --submit the
+workers' span buffers are fetched from the coordinator and merged in)::
+
+    PYTHONPATH=src python scripts/run_campaign.py \
+        --spec examples/specs/paper.toml --trace trace.json
 """
 
 from __future__ import annotations
@@ -391,6 +398,12 @@ def submit(arguments: argparse.Namespace) -> int:
         spec = apply_spec_overrides(api.load_spec(arguments.spec), arguments)
     except ConfigurationError as error:
         raise SystemExit(f"invalid spec: {error}")
+    if arguments.trace is not None:
+        # Tracing rides the spec: workers see [obs].trace and ship their
+        # span buffers back in acks, which we fetch and merge below.
+        spec = replace(
+            spec, obs=spec.obs.with_trace_path(str(arguments.trace))
+        )
     client = CoordinatorClient(arguments.submit)
     try:
         campaign_id = client.submit(spec)
@@ -413,6 +426,12 @@ def submit(arguments: argparse.Namespace) -> int:
             _time.sleep(float(spec.service.poll_seconds))
             progress = client.progress(campaign_id)
         tables = client.tables(campaign_id)
+        if arguments.trace is not None:
+            from repro.obs.trace import get_tracer
+
+            spans = client.trace(campaign_id)
+            get_tracer().absorb(spans)
+            print(f"merged {len(spans)} worker span(s) into the campaign trace")
     except ServiceUnavailableError as error:
         raise SystemExit(f"error: {error}")
     print_tables(tables)
@@ -583,7 +602,34 @@ def main(argv=None) -> int:
         help="with --worker: exit once every known campaign has been "
         "complete for this long (default: keep serving forever)",
     )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="record spans for every campaign stage and write them as "
+        "Chrome trace-event JSON (open in Perfetto or about://tracing); "
+        "with --submit the workers' span buffers are merged in",
+    )
     arguments = parser.parse_args(argv)
+
+    tracer = None
+    if arguments.trace is not None:
+        from repro.common.config import ObsConfig
+        from repro.obs import configure
+
+        tracer = configure(ObsConfig().with_trace_path(str(arguments.trace)))
+    try:
+        return _dispatch(arguments)
+    finally:
+        if tracer is not None and tracer.n_spans:
+            tracer.write_chrome_trace(
+                arguments.trace, metadata={"argv": list(argv or sys.argv[1:])}
+            )
+            print(f"trace: {tracer.n_spans} span(s) written to {arguments.trace}")
+
+
+def _dispatch(arguments: argparse.Namespace) -> int:
     cache_dir = arguments.cache_dir or Path(DEFAULT_CACHE_DIR)
 
     service_modes = sum(

@@ -24,6 +24,8 @@ from repro.experiments.analysis import (
 )
 from repro.experiments.evaluation import Evaluation
 from repro.experiments.parallel import CampaignEngine
+from repro.obs.logs import get_logger, log_context
+from repro.obs.trace import span as obs_span
 
 __all__ = [
     "CampaignResult",
@@ -38,6 +40,8 @@ __all__ = [
 ]
 
 SpecLike = Union[CampaignSpec, str, Path]
+
+_LOG = get_logger("session")
 
 
 def _as_spec(spec: SpecLike) -> CampaignSpec:
@@ -221,6 +225,20 @@ class Session:
         self.engine = engine or CampaignEngine(self.spec.experiment.parallel)
         self._evaluations: Dict[int, Evaluation] = {}
         self._campaign_id: Optional[str] = None
+        if not self.spec.obs.is_default:
+            # A non-default [obs] section owns the process-wide tracer and
+            # logging setup; specs without one leave whatever the embedding
+            # script configured (e.g. run_campaign.py --trace) untouched.
+            from repro.obs import configure as _configure_obs
+
+            _configure_obs(self.spec.obs)
+
+    def fingerprint(self) -> str:
+        """The campaign id of this spec (the coordinator's fingerprint)."""
+        # Imported lazily: repro.service sits on top of repro.api.
+        from repro.service.chunks import campaign_fingerprint
+
+        return campaign_fingerprint(self.spec)
 
     # ------------------------------------------------------------------
     def evaluation(self, seed: Optional[int] = None) -> Evaluation:
@@ -235,7 +253,9 @@ class Session:
     def _calibrated(self, seed: int, keep_results: bool) -> Evaluation:
         evaluation = self.evaluation(seed)
         if not evaluation.is_calibrated:
-            evaluation.calibrate(keep_results=keep_results)
+            with obs_span("session.calibrate", seed=seed):
+                evaluation.calibrate(keep_results=keep_results)
+            _LOG.info("calibrated", extra={"seed": seed})
         return evaluation
 
     # ------------------------------------------------------------------
@@ -256,17 +276,34 @@ class Session:
         )
         scenarios = self.spec.expanded_scenarios()
         result = CampaignResult(spec=self.spec)
-        for seed in self.spec.seeds():
-            evaluation = self._calibrated(seed, keep_results=not streaming)
-            if streaming:
-                results = evaluation.evaluate_all_streaming(
-                    scenarios,
-                    chunk_size=self.spec.analysis.chunk_size,
-                    on_run=on_run,
-                )
-            else:
-                results = evaluation.evaluate_all(scenarios, on_run=on_run)
-            result.per_seed[seed] = results
+        with log_context(campaign=self.fingerprint()), obs_span(
+            "session.run",
+            n_seeds=len(self.spec.seeds()),
+            n_scenarios=len(scenarios),
+            streaming=streaming,
+        ):
+            for seed in self.spec.seeds():
+                evaluation = self._calibrated(seed, keep_results=not streaming)
+                with obs_span("session.seed", seed=seed), log_context(seed=seed):
+                    if streaming:
+                        results = evaluation.evaluate_all_streaming(
+                            scenarios,
+                            chunk_size=self.spec.analysis.chunk_size,
+                            on_run=on_run,
+                        )
+                    else:
+                        results = evaluation.evaluate_all(
+                            scenarios, on_run=on_run
+                        )
+                result.per_seed[seed] = results
+            _LOG.info(
+                "campaign complete",
+                extra={
+                    "n_seeds": len(result.per_seed),
+                    "n_scenarios": len(scenarios),
+                    "streaming": streaming,
+                },
+            )
         return result
 
     def run_live(

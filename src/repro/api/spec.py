@@ -27,7 +27,10 @@ describes an evaluation campaign:
   rules turning confirmed alarms into mid-run recovery actions, plus the
   cooldown/budget/verification knobs
   (:meth:`~repro.api.session.Session.run_response` /
-  ``run_campaign.py --respond``).
+  ``run_campaign.py --respond``);
+* **obs** — observability (:mod:`repro.obs`): span tracing, structured
+  JSON logs and the shared metrics registry; purely operational and off
+  by default (``run_campaign.py --trace PATH``).
 
 Specs are versioned (``version = 1``), validated eagerly with precise error
 messages (unknown keys, wrong types and unknown scenario references all
@@ -57,6 +60,7 @@ from repro.common.config import (
     ExperimentConfig,
     GatewayConfig,
     LiveConfig,
+    ObsConfig,
     ServiceConfig,
     _as_bool,
     _as_int,
@@ -250,6 +254,7 @@ class CampaignSpec:
     service: ServiceConfig = field(default_factory=ServiceConfig)
     gateway: GatewayConfig = field(default_factory=GatewayConfig)
     response: ResponsePolicy = field(default_factory=ResponsePolicy)
+    obs: ObsConfig = field(default_factory=ObsConfig)
     description: str = ""
     version: int = SPEC_VERSION
 
@@ -343,6 +348,8 @@ class CampaignSpec:
             mapping["gateway"] = self.gateway.to_mapping()
         if not self.response.is_default:
             mapping["response"] = self.response.to_mapping()
+        if not self.obs.is_default:
+            mapping["obs"] = self.obs.to_mapping()
         return mapping
 
     @classmethod
@@ -355,7 +362,8 @@ class CampaignSpec:
         _check_keys(
             mapping,
             ("version", "name", "description", "experiment", "scenarios",
-             "sweep", "analysis", "live", "service", "gateway", "response"),
+             "sweep", "analysis", "live", "service", "gateway", "response",
+             "obs"),
             "campaign spec",
         )
         registry = registry or REGISTRY
@@ -380,6 +388,7 @@ class CampaignSpec:
             service=ServiceConfig.from_mapping(mapping.get("service", {})),
             gateway=GatewayConfig.from_mapping(mapping.get("gateway", {})),
             response=ResponsePolicy.from_mapping(mapping.get("response", {})),
+            obs=ObsConfig.from_mapping(mapping.get("obs", {})),
         )
 
     def to_toml(self) -> str:

@@ -30,6 +30,7 @@ __all__ = [
     "LiveConfig",
     "ServiceConfig",
     "GatewayConfig",
+    "ObsConfig",
     "ExperimentConfig",
 ]
 
@@ -805,6 +806,92 @@ class GatewayConfig:
                 "max_pending_samples": _as_int,
             },
             "gateway",
+        )
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """The ``[obs]`` section of a campaign spec: observability.
+
+    Configures the :mod:`repro.obs` subsystem — span tracing, shared
+    metrics and structured JSON logging.  Like ``[parallel]`` and
+    ``[service]`` the section is purely operational: it never changes
+    what a campaign computes (results with obs on are bitwise-identical
+    to results with obs off, pinned by ``benchmarks/test_bench_obs.py``),
+    and it defaults **off**, in which state the instrumented hot paths
+    take no locks and allocate nothing.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch.  Off (the default) parks the whole subsystem:
+        spans are no-ops, loggers carry a ``NullHandler``.
+    trace:
+        Whether spans are collected.  Implied by ``trace_path``.
+    trace_path:
+        Where the Chrome ``trace_event`` JSON is written after a campaign
+        (``run_campaign.py --trace PATH`` sets this).  ``None`` keeps the
+        trace in memory only (``Tracer.records()`` / ``format_summary()``).
+    log_level:
+        Threshold of the JSON-lines log: ``"debug"``, ``"info"``,
+        ``"warning"`` or ``"error"``.
+    log_path:
+        File the JSON log lines append to; ``None`` writes to stderr.
+    """
+
+    enabled: bool = False
+    trace: bool = False
+    trace_path: Optional[str] = None
+    log_level: str = "info"
+    log_path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.log_level not in ("debug", "info", "warning", "error"):
+            raise ConfigurationError(
+                "log_level must be 'debug', 'info', 'warning' or 'error'"
+            )
+        if self.trace_path is not None and not str(self.trace_path):
+            raise ConfigurationError("trace_path must be non-empty or None")
+        if self.log_path is not None and not str(self.log_path):
+            raise ConfigurationError("log_path must be non-empty or None")
+
+    @property
+    def tracing(self) -> bool:
+        """Whether spans are collected (``trace`` or a ``trace_path``)."""
+        return self.enabled and (self.trace or self.trace_path is not None)
+
+    @property
+    def is_default(self) -> bool:
+        """Whether this section matches the defaults (and can be omitted)."""
+        return self == ObsConfig()
+
+    def with_trace_path(self, trace_path: Optional[str]) -> "ObsConfig":
+        """An enabled copy of this config writing its trace to a file."""
+        return replace(
+            self,
+            enabled=True,
+            trace=True,
+            trace_path=None if trace_path is None else str(trace_path),
+        )
+
+    def to_mapping(self) -> Dict[str, Any]:
+        """A plain, JSON/TOML-ready mapping of this configuration."""
+        return _mapping_of(self)
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "ObsConfig":
+        """Build from a mapping, rejecting unknown keys and coercing types."""
+        return _build_from_mapping(
+            cls,
+            mapping,
+            {
+                "enabled": _as_bool,
+                "trace": _as_bool,
+                "trace_path": _opt(str),
+                "log_level": str,
+                "log_path": _opt(str),
+            },
+            "obs",
         )
 
 

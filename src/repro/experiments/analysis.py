@@ -58,6 +58,8 @@ from repro.experiments.parallel import CampaignEngine, CampaignStats, scenario_s
 from repro.experiments.scenarios import Scenario, paper_scenarios
 from repro.mspc.arl import RunLengthAccumulator, run_length
 from repro.mspc.model import OmedaResult
+from repro.obs.logs import get_logger, log_context
+from repro.obs.trace import span as obs_span
 from repro.process.simulator import SimulationResult
 
 __all__ = [
@@ -72,6 +74,8 @@ __all__ = [
     "build_arl_table",
     "build_classification_table",
 ]
+
+_LOG = get_logger("analysis")
 
 DiagnosisLike = Union[DualLevelDiagnosis, DiagnosisSummary]
 
@@ -276,7 +280,11 @@ class AnalysisEngine:
                 # iterator may include simulation (the engine's stream), and
                 # the consumer's reducer work happens between yields.
                 scoring_started = time.perf_counter()
-                scored = self._score_chunk(chunk, summarize, stats)
+                with obs_span(
+                    "analysis.score_chunk", n_runs=len(chunk)
+                ) as score_span:
+                    scored = self._score_chunk(chunk, summarize, stats)
+                    score_span.annotate(backend=stats.backend)
                 stats.wall_seconds += time.perf_counter() - scoring_started
                 yield from scored
             if starts is not None:
@@ -802,6 +810,11 @@ class AnalysisPipeline:
                         RuntimeWarning,
                         stacklevel=2,
                     )
+                    _LOG.warning(
+                        "chunk scoring failed; retrying with cache-miss "
+                        "semantics",
+                        extra={"chunk": offset // size, "error": repr(error)},
+                    )
                     # Rebuild the pool (a dead worker poisons it), reload
                     # sound entries / re-simulate broken ones, and rescore
                     # from memory.
@@ -889,13 +902,28 @@ class AnalysisPipeline:
         through (progress reporting).
         """
         reducer = ScenarioReducer(scenario)
-        for run in self.iter_scenario(scenario, n_runs):
-            reducer.update(run)
-            if on_run is not None:
-                on_run(run)
-        if prune:
-            self.engine.prune_cache()
-        return reducer.summary()
+        with obs_span(
+            "analysis.scenario", scenario=scenario.name
+        ) as scenario_span, log_context(scenario=scenario.name):
+            for run in self.iter_scenario(scenario, n_runs):
+                reducer.update(run)
+                if on_run is not None:
+                    on_run(run)
+            if prune:
+                self.engine.prune_cache()
+            summary = reducer.summary()
+            scenario_span.annotate(
+                n_runs=summary.n_runs, n_detected=summary.n_detected
+            )
+        _LOG.info(
+            "scenario analyzed",
+            extra={
+                "scenario": scenario.name,
+                "n_runs": summary.n_runs,
+                "n_detected": summary.n_detected,
+            },
+        )
+        return summary
 
     def analyze_all(
         self,

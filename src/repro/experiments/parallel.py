@@ -37,6 +37,8 @@ from repro.common.config import (
 )
 from repro.common.exceptions import ConfigurationError
 from repro.experiments.scenarios import Scenario, normal_scenario
+from repro.obs.logs import get_logger
+from repro.obs.trace import span as obs_span
 from repro.process.simulator import SimulationResult
 
 __all__ = [
@@ -50,6 +52,8 @@ __all__ = [
     "calibration_specs",
     "scenario_specs",
 ]
+
+_LOG = get_logger("engine")
 
 
 # ----------------------------------------------------------------------
@@ -235,9 +239,15 @@ def _execute_specs_batch(
                 "the spec requests live early stopping but no fitted analyzer "
                 "is installed; call CampaignEngine.set_live_analyzer first"
             )
-    return run_specs_batched(
-        specs, batch_size=batch_size, live_analyzer=live_analyzer
+    with obs_span("engine.batch", n_runs=len(specs)):
+        results = run_specs_batched(
+            specs, batch_size=batch_size, live_analyzer=live_analyzer
+        )
+    _LOG.debug(
+        "batch executed",
+        extra={"n_runs": len(specs), "batch_size": batch_size},
     )
+    return results
 
 
 # ----------------------------------------------------------------------
@@ -524,103 +534,127 @@ class CampaignEngine:
                 # simulation), not whatever the consumer does between yields.
                 chunk_started = time.perf_counter()
                 chunk = specs[offset : offset + size]
-                results: List[Optional[SimulationResult]] = [None] * len(chunk)
-                pending: List[int] = []
-                for index, spec in enumerate(chunk):
-                    cached = self.cache.load(spec) if self.cache is not None else None
-                    if cached is not None:
-                        results[index] = cached
-                    else:
-                        pending.append(index)
-                stats.n_runs += len(chunk)
-                stats.n_cache_hits += len(chunk) - len(pending)
-
-                def book(index: int, result: SimulationResult) -> None:
-                    """Record one simulated result (and cache it)."""
-                    results[index] = result
-                    if self.cache is not None:
-                        self.cache.store(chunk[index], result)
-
-                n_workers = self.config.resolved_workers
-                batching = self.config.backend == "batch"
-                use_pool = (
-                    self.config.backend in ("process", "batch")
-                    and n_workers > 1
-                    and len(pending) > 1
-                )
-                if batching and not use_pool:
-                    # In-process vectorized execution: one lockstep loop
-                    # steps the whole pending chunk.  Install the analyzer
-                    # unconditionally (including None), as the serial path
-                    # does, so no stale calibration can linger.
-                    _install_live_analyzer(self._live_analyzer)
-                    batch_results = _execute_specs_batch(
-                        [chunk[index] for index in pending],
-                        self.config.batch_size,
-                    )
-                    for index, result in zip(pending, batch_results):
-                        book(index, result)
-                    stats.backend = "batch"
-                elif use_pool:
-                    if pool is None:
-                        # A chunk can never hold more than ``size`` pending
-                        # runs, so a larger pool would only idle.
-                        initializer, initargs = None, ()
-                        if self._live_analyzer is not None:
-                            initializer = _install_live_analyzer
-                            initargs = (self._live_analyzer,)
-                        pool = ProcessPoolExecutor(
-                            max_workers=min(n_workers, size),
-                            initializer=initializer,
-                            initargs=initargs,
-                        )
-                    if batching:
-                        # Fan whole batches out: every task advances up to
-                        # ``batch_size`` runs in one vectorized loop, so the
-                        # batch speedup multiplies with the process fan-out.
-                        group_size = self.config.resolved_batch_size
-                        futures = {}
-                        for start in range(0, len(pending), group_size):
-                            group = pending[start : start + group_size]
-                            future = pool.submit(
-                                _execute_specs_batch,
-                                [chunk[index] for index in group],
-                                self.config.batch_size,
+                chunk_index = offset // size
+                with obs_span(
+                    "engine.chunk", chunk=chunk_index, n_runs=len(chunk)
+                ) as chunk_span:
+                    results: List[Optional[SimulationResult]] = [None] * len(chunk)
+                    pending: List[int] = []
+                    with obs_span("engine.cache_load", chunk=chunk_index):
+                        for index, spec in enumerate(chunk):
+                            cached = (
+                                self.cache.load(spec)
+                                if self.cache is not None
+                                else None
                             )
-                            futures[future] = group
-                        for future in as_completed(futures):
-                            group = futures[future]
-                            for index, result in zip(group, future.result()):
-                                book(index, result)
+                            if cached is not None:
+                                results[index] = cached
+                            else:
+                                pending.append(index)
+                    stats.n_runs += len(chunk)
+                    stats.n_cache_hits += len(chunk) - len(pending)
+
+                    def book(index: int, result: SimulationResult) -> None:
+                        """Record one simulated result (and cache it)."""
+                        results[index] = result
+                        if self.cache is not None:
+                            self.cache.store(chunk[index], result)
+
+                    n_workers = self.config.resolved_workers
+                    batching = self.config.backend == "batch"
+                    use_pool = (
+                        self.config.backend in ("process", "batch")
+                        and n_workers > 1
+                        and len(pending) > 1
+                    )
+                    if batching and not use_pool:
+                        # In-process vectorized execution: one lockstep loop
+                        # steps the whole pending chunk.  Install the analyzer
+                        # unconditionally (including None), as the serial path
+                        # does, so no stale calibration can linger.
+                        _install_live_analyzer(self._live_analyzer)
+                        batch_results = _execute_specs_batch(
+                            [chunk[index] for index in pending],
+                            self.config.batch_size,
+                        )
+                        for index, result in zip(pending, batch_results):
+                            book(index, result)
                         stats.backend = "batch"
-                        # Batching submits one task per batch, so that —
-                        # not the pending-run count — bounds the workers
-                        # actually busy.
-                        stats.n_workers = max(
-                            stats.n_workers, min(n_workers, len(futures))
-                        )
+                    elif use_pool:
+                        if pool is None:
+                            # A chunk can never hold more than ``size`` pending
+                            # runs, so a larger pool would only idle.
+                            initializer, initargs = None, ()
+                            if self._live_analyzer is not None:
+                                initializer = _install_live_analyzer
+                                initargs = (self._live_analyzer,)
+                            pool = ProcessPoolExecutor(
+                                max_workers=min(n_workers, size),
+                                initializer=initializer,
+                                initargs=initargs,
+                            )
+                        if batching:
+                            # Fan whole batches out: every task advances up to
+                            # ``batch_size`` runs in one vectorized loop, so the
+                            # batch speedup multiplies with the process fan-out.
+                            group_size = self.config.resolved_batch_size
+                            futures = {}
+                            for start in range(0, len(pending), group_size):
+                                group = pending[start : start + group_size]
+                                future = pool.submit(
+                                    _execute_specs_batch,
+                                    [chunk[index] for index in group],
+                                    self.config.batch_size,
+                                )
+                                futures[future] = group
+                            for future in as_completed(futures):
+                                group = futures[future]
+                                for index, result in zip(group, future.result()):
+                                    book(index, result)
+                            stats.backend = "batch"
+                            # Batching submits one task per batch, so that —
+                            # not the pending-run count — bounds the workers
+                            # actually busy.
+                            stats.n_workers = max(
+                                stats.n_workers, min(n_workers, len(futures))
+                            )
+                        else:
+                            futures = {
+                                pool.submit(_execute_spec, chunk[index]): index
+                                for index in pending
+                            }
+                            for future in as_completed(futures):
+                                book(futures[future], future.result())
+                            stats.backend = "process"
+                            stats.n_workers = max(
+                                stats.n_workers, min(n_workers, len(pending))
+                            )
                     else:
-                        futures = {
-                            pool.submit(_execute_spec, chunk[index]): index
-                            for index in pending
-                        }
-                        for future in as_completed(futures):
-                            book(futures[future], future.result())
-                        stats.backend = "process"
-                        stats.n_workers = max(
-                            stats.n_workers, min(n_workers, len(pending))
-                        )
-                else:
-                    # Install unconditionally — including None: a previous
-                    # campaign's analyzer must not linger in the module
-                    # global, or an engine that was never given one would
-                    # silently score live specs against a stale calibration
-                    # instead of raising.
-                    _install_live_analyzer(self._live_analyzer)
-                    for index in pending:
-                        book(index, _execute_spec(chunk[index]))
-                stats.n_simulated += len(pending)
-                stats.wall_seconds += time.perf_counter() - chunk_started
+                        # Install unconditionally — including None: a previous
+                        # campaign's analyzer must not linger in the module
+                        # global, or an engine that was never given one would
+                        # silently score live specs against a stale calibration
+                        # instead of raising.
+                        _install_live_analyzer(self._live_analyzer)
+                        for index in pending:
+                            book(index, _execute_spec(chunk[index]))
+                    stats.n_simulated += len(pending)
+                    stats.wall_seconds += time.perf_counter() - chunk_started
+                    chunk_span.annotate(
+                        backend=stats.backend,
+                        n_cache_hits=len(chunk) - len(pending),
+                        n_simulated=len(pending),
+                    )
+                    _LOG.info(
+                        "chunk executed",
+                        extra={
+                            "chunk": chunk_index,
+                            "n_runs": len(chunk),
+                            "n_cache_hits": len(chunk) - len(pending),
+                            "n_simulated": len(pending),
+                            "backend": stats.backend,
+                        },
+                    )
                 yield from results  # type: ignore[misc]
         finally:
             if pool is not None:

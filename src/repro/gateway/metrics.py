@@ -1,254 +1,121 @@
-"""Prometheus-style instrumentation for the streaming gateway.
+"""Gateway instrumentation, served at ``GET /metrics``.
 
-A tiny, dependency-free metrics registry: counters, gauges and fixed-bucket
-histograms that render to the Prometheus text exposition format served at
-``GET /metrics``.  Only what the gateway needs — no labels-on-everything
-generality, no client library.  All types are thread-safe: the gateway
-updates them from ingest handlers, the flusher thread and HTTP workers
-concurrently.
+The Counter/Gauge/Histogram primitives that used to live here were
+promoted to :mod:`repro.obs.metrics` (the registry is now shared with the
+service coordinator's ``/metrics`` surface); this module re-exports them
+unchanged — ``from repro.gateway.metrics import Counter`` keeps working
+and resolves to the very same classes — and keeps the gateway-specific
+:class:`GatewayMetrics` bundle, now built on a
+:class:`~repro.obs.metrics.MetricsRegistry`.
 """
 
 from __future__ import annotations
 
-import threading
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Tuple
+
+from repro.obs.metrics import (  # noqa: F401  (re-exported shim surface)
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    escape_label_value,
+)
 
 __all__ = ["Counter", "Gauge", "Histogram", "GatewayMetrics"]
 
-
-def _format_value(value: float) -> str:
-    """Render a sample value the way Prometheus expects (no float noise
-    for integral values)."""
-    as_float = float(value)
-    if as_float.is_integer():
-        return str(int(as_float))
-    return repr(as_float)
-
-
-class Counter:
-    """A monotonically increasing counter."""
-
-    def __init__(self, name: str, help_text: str):
-        self.name = name
-        self.help_text = help_text
-        self._value = 0.0
-        self._lock = threading.Lock()
-
-    def increment(self, amount: float = 1.0) -> None:
-        """Add ``amount`` (must be >= 0) to the counter."""
-        with self._lock:
-            self._value += float(amount)
-
-    @property
-    def value(self) -> float:
-        """Current counter value."""
-        with self._lock:
-            return self._value
-
-    def render(self) -> List[str]:
-        """Prometheus text lines for this metric."""
-        return [
-            f"# HELP {self.name} {self.help_text}",
-            f"# TYPE {self.name} counter",
-            f"{self.name} {_format_value(self.value)}",
-        ]
-
-
-class Gauge:
-    """A value that can go up and down."""
-
-    def __init__(self, name: str, help_text: str):
-        self.name = name
-        self.help_text = help_text
-        self._value = 0.0
-        self._lock = threading.Lock()
-
-    def set(self, value: float) -> None:
-        """Replace the gauge's value."""
-        with self._lock:
-            self._value = float(value)
-
-    @property
-    def value(self) -> float:
-        """Current gauge value."""
-        with self._lock:
-            return self._value
-
-    def render(self) -> List[str]:
-        """Prometheus text lines for this metric."""
-        return [
-            f"# HELP {self.name} {self.help_text}",
-            f"# TYPE {self.name} gauge",
-            f"{self.name} {_format_value(self.value)}",
-        ]
-
-
-class Histogram:
-    """A fixed-bucket cumulative histogram (Prometheus semantics).
-
-    ``buckets`` are the upper bounds of the finite buckets; a ``+Inf``
-    bucket is implicit.  ``observe`` records one sample into every bucket
-    whose bound it does not exceed — exactly the cumulative counts the
-    ``_bucket`` series of the exposition format carries.
-    """
-
-    def __init__(self, name: str, help_text: str, buckets: Sequence[float]):
-        self.name = name
-        self.help_text = help_text
-        self.buckets: Tuple[float, ...] = tuple(sorted(float(b) for b in buckets))
-        self._counts = [0] * len(self.buckets)
-        self._count = 0
-        self._sum = 0.0
-        self._lock = threading.Lock()
-
-    def observe(self, value: float) -> None:
-        """Record one sample."""
-        value = float(value)
-        with self._lock:
-            self._count += 1
-            self._sum += value
-            for i, bound in enumerate(self.buckets):
-                if value <= bound:
-                    self._counts[i] += 1
-
-    @property
-    def count(self) -> int:
-        """Total samples observed."""
-        with self._lock:
-            return self._count
-
-    @property
-    def sum(self) -> float:
-        """Sum of all observed values."""
-        with self._lock:
-            return self._sum
-
-    def render(self) -> List[str]:
-        """Prometheus text lines for this metric."""
-        with self._lock:
-            counts = list(self._counts)
-            total, total_sum = self._count, self._sum
-        lines = [
-            f"# HELP {self.name} {self.help_text}",
-            f"# TYPE {self.name} histogram",
-        ]
-        for bound, count in zip(self.buckets, counts):
-            lines.append(
-                f'{self.name}_bucket{{le="{_format_value(bound)}"}} {count}'
-            )
-        lines.append(f'{self.name}_bucket{{le="+Inf"}} {total}')
-        lines.append(f"{self.name}_sum {_format_value(total_sum)}")
-        lines.append(f"{self.name}_count {total}")
-        return lines
-
-
-#: Latency bucket bounds (seconds) shared by the per-stage histograms.
-_LATENCY_BUCKETS = (
-    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
-    0.1, 0.25, 0.5, 1.0,
-)
+#: Kept under its historical name for in-tree users of the old module.
+_LATENCY_BUCKETS = LATENCY_BUCKETS
 
 
 class GatewayMetrics:
-    """Every metric the gateway exposes, in registration order."""
+    """Every metric the gateway exposes, in registration order.
+
+    Registration order is the exposition order of ``/metrics``; new
+    metrics are appended after the historical ones so existing scrape
+    parsers (and the wire-format pin in the tests) see an unchanged
+    prefix.
+    """
 
     def __init__(self, scoring_batch_size: int):
-        self.streams_active = Gauge(
+        self.registry = MetricsRegistry()
+        self.streams_active = self.registry.gauge(
             "gateway_streams_active", "Streams currently held by the pool."
         )
-        self.pending_samples = Gauge(
+        self.pending_samples = self.registry.gauge(
             "gateway_pending_samples", "Buffered samples awaiting scoring."
         )
-        self.streams_opened = Counter(
+        self.streams_opened = self.registry.counter(
             "gateway_streams_opened_total", "Streams opened since start."
         )
-        self.streams_closed = Counter(
+        self.streams_closed = self.registry.counter(
             "gateway_streams_closed_total", "Streams closed cleanly."
         )
-        self.streams_dropped = Counter(
+        self.streams_dropped = self.registry.counter(
             "gateway_streams_dropped_total",
             "Streams dropped by disconnect or error.",
         )
-        self.streams_reaped = Counter(
+        self.streams_reaped = self.registry.counter(
             "gateway_streams_reaped_total", "Idle streams reaped."
         )
-        self.samples_ingested = Counter(
+        self.samples_ingested = self.registry.counter(
             "gateway_samples_ingested_total", "Samples accepted from clients."
         )
-        self.samples_rejected = Counter(
+        self.samples_rejected = self.registry.counter(
             "gateway_samples_rejected_total",
             "Samples rejected at feed time (malformed or wrong dimension).",
         )
-        self.samples_scored = Counter(
+        self.samples_scored = self.registry.counter(
             "gateway_samples_scored_total", "Samples scored by the pool."
         )
-        self.scoring_batches = Counter(
+        self.scoring_batches = self.registry.counter(
             "gateway_scoring_batches_total",
             "Cross-stream statistics() calls issued.",
         )
-        self.alarms_raised = Counter(
+        self.alarms_raised = self.registry.counter(
             "gateway_alarms_raised_total", "Alarm raise transitions emitted."
         )
-        self.flusher_errors = Counter(
+        self.flusher_errors = self.registry.counter(
             "gateway_flusher_errors_total",
             "Background flusher passes that raised and were survived.",
         )
-        self.batch_occupancy = Histogram(
+        self.batch_occupancy = self.registry.histogram(
             "gateway_scoring_batch_rows",
             "Rows packed per cross-stream scoring batch.",
             buckets=_occupancy_buckets(scoring_batch_size),
         )
-        self.flush_latency = Histogram(
+        self.flush_latency = self.registry.histogram(
             "gateway_flush_latency_seconds",
             "Wall time of one pool flush pass.",
-            buckets=_LATENCY_BUCKETS,
+            buckets=LATENCY_BUCKETS,
         )
-        self.scoring_latency = Histogram(
+        self.scoring_latency = self.registry.histogram(
             "gateway_scoring_latency_seconds",
             "Wall time of one cross-stream scoring batch.",
-            buckets=_LATENCY_BUCKETS,
+            buckets=LATENCY_BUCKETS,
         )
-        self.ingest_latency = Histogram(
+        self.ingest_latency = self.registry.histogram(
             "gateway_ingest_latency_seconds",
             "Wall time from sample receipt to buffer append.",
-            buckets=_LATENCY_BUCKETS,
+            buckets=LATENCY_BUCKETS,
         )
-        self._all = [
-            self.streams_active,
-            self.pending_samples,
-            self.streams_opened,
-            self.streams_closed,
-            self.streams_dropped,
-            self.streams_reaped,
-            self.samples_ingested,
-            self.samples_rejected,
-            self.samples_scored,
-            self.scoring_batches,
-            self.alarms_raised,
-            self.flusher_errors,
-            self.batch_occupancy,
-            self.flush_latency,
-            self.scoring_latency,
-            self.ingest_latency,
-        ]
+        self.streams_peak = self.registry.gauge(
+            "gateway_streams_peak",
+            "High-water mark of concurrently open streams.",
+        )
+        self.flush_duration = self.registry.histogram(
+            "gateway_flush_duration_seconds",
+            "Wall time of one full background flusher pass (flush + reap).",
+            buckets=LATENCY_BUCKETS,
+        )
 
     def render(self) -> str:
         """The full ``/metrics`` document (text exposition format)."""
-        lines: List[str] = []
-        for metric in self._all:
-            lines.extend(metric.render())
-        return "\n".join(lines) + "\n"
+        return self.registry.render()
 
     def snapshot(self) -> Dict[str, float]:
         """Scalar metric values as a mapping (tests and health payloads)."""
-        values: Dict[str, float] = {}
-        for metric in self._all:
-            if isinstance(metric, (Counter, Gauge)):
-                values[metric.name] = metric.value
-            else:
-                values[f"{metric.name}_count"] = float(metric.count)
-                values[f"{metric.name}_sum"] = metric.sum
-        return values
+        return self.registry.snapshot()
 
 
 def _occupancy_buckets(batch_size: int) -> Tuple[float, ...]:

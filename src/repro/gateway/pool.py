@@ -182,6 +182,7 @@ class MonitorPool:
             self._closed_reports.pop(stream_id, None)
             self.metrics.streams_opened.increment()
             self.metrics.streams_active.set(len(self._streams))
+            self.metrics.streams_peak.set_max(len(self._streams))
 
     def feed(
         self, stream_id: str, controller_values, process_values, time_hours: float

@@ -66,8 +66,11 @@ from repro.common.exceptions import (
     UnknownStreamError,
 )
 from repro.gateway.pool import MonitorPool
+from repro.obs.logs import get_logger
 
 __all__ = ["GatewayServer"]
+
+_LOG = get_logger("gateway")
 
 #: Largest accepted HTTP request body (a batched sample POST).
 _MAX_BODY_BYTES = 8 * 1024 * 1024
@@ -332,6 +335,7 @@ class _IngestHandler(socketserver.StreamRequestHandler):
                         self._send({"ok": False, "error": str(error)})
                         return
                     stream_id = candidate
+                    _LOG.info("stream opened", extra={"stream": stream_id})
                     self._send({"ok": True, "stream": stream_id})
                 elif op == "sample":
                     if stream_id is None:
@@ -378,6 +382,10 @@ class _IngestHandler(socketserver.StreamRequestHandler):
                 # discard its unscored samples — nothing leaks to the next
                 # stream admitted into the pool.
                 pool.drop_stream(stream_id)
+                _LOG.info(
+                    "stream dropped on disconnect",
+                    extra={"stream": stream_id},
+                )
 
     def _send(self, payload: Dict[str, Any]) -> None:
         self.wfile.write(json.dumps(payload).encode("utf-8") + b"\n")
@@ -438,11 +446,21 @@ class GatewayServer:
             # One failed pass must not kill the thread: background scoring
             # and idle reaping for every stream ride on this loop, so
             # survive, count the error, and try again next tick.
+            started = time.perf_counter()
             try:
                 self.pool.flush()
-                self.pool.reap_idle()
+                reaped = self.pool.reap_idle()
+                if reaped:
+                    _LOG.info(
+                        "reaped idle streams", extra={"streams": reaped}
+                    )
             except Exception:
                 self.pool.metrics.flusher_errors.increment()
+                _LOG.warning("flusher pass failed", exc_info=True)
+            finally:
+                self.pool.metrics.flush_duration.observe(
+                    time.perf_counter() - started
+                )
 
     def start(self) -> "GatewayServer":
         """Serve on daemon threads; returns self for chaining."""

@@ -1,0 +1,79 @@
+"""Unified observability: tracing, metrics and structured logs.
+
+``repro.obs`` is the dependency-free observability subsystem shared by
+every layer of the reproduction — the campaign engine, the analysis
+pipeline, the distributed service, the streaming gateway and the response
+runner all emit through the same three primitives:
+
+* **tracing** (:mod:`repro.obs.trace`) — nested spans with monotonic
+  timing, per-span attributes and counters; thread-safe, mergeable across
+  processes (service workers ship their span buffers back with chunk
+  acks), exported as a summary table or Chrome ``trace_event`` JSON that
+  loads in ``about://tracing`` / Perfetto.
+* **metrics** (:mod:`repro.obs.metrics`) — the Prometheus-style
+  Counter/Gauge/Histogram registry promoted from ``repro.gateway``; the
+  gateway and the service coordinator both serve it at ``GET /metrics``.
+* **structured logging** (:mod:`repro.obs.logs`) — stdlib-``logging``
+  JSON lines with ambient correlation fields (campaign fingerprint,
+  scenario, seed, chunk id, stream id, action id).
+
+Everything rides behind :class:`~repro.common.config.ObsConfig` (the
+``[obs]`` spec section) and defaults **off**: the module-level
+:func:`span` helper returns a shared no-op span without taking a lock,
+loggers carry no handlers, and campaign results are bitwise-identical
+with obs on or off — pinned by ``benchmarks/test_bench_obs.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.config import ObsConfig
+from repro.obs.logs import JsonLinesFormatter, configure_logging, get_logger, log_context
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    span,
+)
+
+__all__ = [
+    "ObsConfig",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "NULL_SPAN",
+    "get_tracer",
+    "set_tracer",
+    "span",
+    "configure",
+    "configure_logging",
+    "get_logger",
+    "log_context",
+    "JsonLinesFormatter",
+]
+
+
+def configure(config: Optional[ObsConfig]) -> Tracer:
+    """Install the observability stack described by an ``ObsConfig``.
+
+    Replaces the process-global tracer (enabled iff the config asks for
+    tracing) and attaches the JSON-lines log handler when obs is enabled.
+    With ``config`` ``None`` or disabled this resets obs to its zero-cost
+    default state.  Returns the installed tracer either way.
+    """
+    config = config or ObsConfig()
+    tracer = Tracer(enabled=config.tracing)
+    set_tracer(tracer)
+    configure_logging(
+        enabled=config.enabled,
+        level=config.log_level,
+        path=config.log_path,
+    )
+    return tracer

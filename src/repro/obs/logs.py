@@ -1,0 +1,177 @@
+"""Structured logging: stdlib ``logging``, JSON lines, correlation fields.
+
+Every layer logs through :func:`get_logger`, which namespaces under the
+``"repro"`` root logger.  When obs is enabled a
+:class:`JsonLinesFormatter` handler is attached there, rendering one JSON
+object per line::
+
+    {"ts": "2016-06-28T12:00:00.123Z", "level": "info",
+     "logger": "repro.engine", "message": "chunk done",
+     "campaign": "a1b2c3...", "scenario": "idv6", "seed": 42,
+     "chunk": 3, "n_runs": 8}
+
+Correlation fields travel two ways: per-call ``extra={...}`` mappings
+(the stdlib mechanism) and ambient :func:`log_context` scopes — a
+``contextvars``-based stack merged into every record emitted inside the
+scope, so a campaign fingerprint set once at the top of ``Session.run``
+stamps every chunk/scenario line below it without threading arguments
+through each layer.
+
+With obs disabled (the default) no handler is attached: the ``repro``
+root logger carries a ``NullHandler`` and does not propagate, so a
+``logger.info(...)`` on the hot path costs one level check.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import datetime
+import json
+import logging
+import sys
+from typing import Any, Dict, Iterator, Optional
+
+__all__ = [
+    "JsonLinesFormatter",
+    "configure_logging",
+    "get_logger",
+    "log_context",
+    "current_context",
+]
+
+#: Attribute names every LogRecord carries; anything else came in via
+#: ``extra=`` and is folded into the JSON payload as a correlation field.
+_STANDARD_ATTRS = frozenset(
+    vars(
+        logging.LogRecord("x", logging.INFO, "x", 0, "x", None, None)
+    )
+) | {"message", "asctime", "taskName"}
+
+_CONTEXT: "contextvars.ContextVar[Dict[str, Any]]" = contextvars.ContextVar(
+    "repro_log_context", default={}
+)
+
+#: Marker attribute identifying handlers this module attached.
+_HANDLER_MARK = "_repro_obs_handler"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+def current_context() -> Dict[str, Any]:
+    """The ambient correlation fields of the calling context."""
+    return dict(_CONTEXT.get())
+
+
+@contextlib.contextmanager
+def log_context(**fields: Any) -> Iterator[None]:
+    """Ambient correlation fields for every record emitted in the scope.
+
+    Scopes nest: inner fields shadow outer ones for the duration of the
+    inner scope only.  New threads start from the default (empty)
+    context; to carry the ambient fields into one, run its target through
+    ``contextvars.copy_context()``.
+    """
+    merged = dict(_CONTEXT.get())
+    merged.update(fields)
+    token = _CONTEXT.set(merged)
+    try:
+        yield
+    finally:
+        _CONTEXT.reset(token)
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """Render each record as one JSON object per line.
+
+    Field order is stable — timestamp, level, logger, message, then
+    correlation fields (ambient context first, per-record extras after,
+    so an explicit ``extra=`` wins over the ambient value).  Values that
+    JSON cannot carry are stringified rather than raising mid-log.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = datetime.datetime.fromtimestamp(
+            record.created, tz=datetime.timezone.utc
+        )
+        payload: Dict[str, Any] = {
+            "ts": stamp.isoformat(timespec="milliseconds").replace(
+                "+00:00", "Z"
+            ),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        payload.update(_CONTEXT.get())
+        for key, value in record.__dict__.items():
+            if key not in _STANDARD_ATTRS and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` namespace (``get_logger("engine")``
+    -> ``repro.engine``)."""
+    if name.startswith("repro"):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")
+
+
+def configure_logging(
+    enabled: bool = True,
+    level: str = "info",
+    path: Optional[str] = None,
+    stream: Optional[Any] = None,
+) -> logging.Logger:
+    """(Re)configure the ``repro`` root logger.
+
+    Enabled: attaches one JSON-lines handler writing to ``path`` (append
+    mode) or ``stream`` (default ``sys.stderr``) at ``level``.  Disabled:
+    detaches any handler this module attached and parks a ``NullHandler``
+    so logging calls stay silent and cheap.  Idempotent either way — the
+    previous obs handler is always removed first, so reconfiguring never
+    stacks handlers.
+    """
+    logger = logging.getLogger("repro")
+    logger.propagate = False
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_MARK, False):
+            logger.removeHandler(handler)
+            handler.close()
+    if not enabled:
+        if not any(
+            isinstance(handler, logging.NullHandler)
+            for handler in logger.handlers
+        ):
+            null_handler = logging.NullHandler()
+            setattr(null_handler, _HANDLER_MARK, True)
+            logger.addHandler(null_handler)
+        logger.setLevel(logging.WARNING)
+        return logger
+    if path is not None:
+        handler: logging.Handler = logging.FileHandler(
+            path, mode="a", encoding="utf-8"
+        )
+    else:
+        handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(JsonLinesFormatter())
+    setattr(handler, _HANDLER_MARK, True)
+    logger.addHandler(handler)
+    try:
+        logger.setLevel(_LEVELS[str(level).lower()])
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r} (expected one of {sorted(_LEVELS)})"
+        ) from None
+    return logger
+
+
+# Default state: silent and cheap.
+configure_logging(enabled=False)

@@ -1,0 +1,323 @@
+"""Prometheus-style metrics: counters, gauges, fixed-bucket histograms.
+
+A tiny, dependency-free registry rendering the Prometheus text exposition
+format.  It started life private to the streaming gateway
+(``repro.gateway.metrics``) and was promoted here once the service
+coordinator grew its own ``GET /metrics`` surface; the gateway module now
+re-exports these types, so existing imports keep working.
+
+All types are thread-safe — producers update them from ingest handlers,
+flusher threads, HTTP workers and the coordinator's request handlers
+concurrently.  Metrics may carry constant labels
+(``Counter("requests_total", "...", labels={"surface": "rest"})``); label
+values are escaped per the exposition-format rules (backslash, double
+quote and newline).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "escape_label_value",
+]
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value the way Prometheus expects (no float noise
+    for integral values)."""
+    as_float = float(value)
+    if as_float.is_integer():
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format.
+
+    Backslash, double quote and line feed are the three characters the
+    format defines escapes for; everything else passes through verbatim.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _render_labels(labels: Mapping[str, str]) -> str:
+    """The ``{name="value",...}`` suffix of a labelled series (or '')."""
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{escape_label_value(value)}"'
+        for name, value in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+def _merge_labels(
+    labels: Mapping[str, str], extra: Mapping[str, str]
+) -> Dict[str, str]:
+    merged = dict(labels)
+    merged.update(extra)
+    return merged
+
+
+class _Metric:
+    """Shared name/help/label plumbing of the three metric types."""
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labels: Optional[Mapping[str, str]] = None,
+    ):
+        self.name = name
+        self.help_text = help_text
+        self.labels: Dict[str, str] = {
+            str(k): str(v) for k, v in (labels or {}).items()
+        }
+        self._lock = threading.Lock()
+
+    def _series(self, extra: Optional[Mapping[str, str]] = None) -> str:
+        return self.name + _render_labels(
+            _merge_labels(self.labels, extra or {})
+        )
+
+
+class Counter(_Metric):
+    """A monotonically increasing counter."""
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labels: Optional[Mapping[str, str]] = None,
+    ):
+        super().__init__(name, help_text, labels)
+        self._value = 0.0
+
+    def increment(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        with self._lock:
+            self._value += float(amount)
+
+    @property
+    def value(self) -> float:
+        """Current counter value."""
+        with self._lock:
+            return self._value
+
+    def render(self) -> List[str]:
+        """Prometheus text lines for this metric."""
+        return [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} counter",
+            f"{self._series()} {_format_value(self.value)}",
+        ]
+
+
+class Gauge(_Metric):
+    """A value that can go up and down."""
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labels: Optional[Mapping[str, str]] = None,
+    ):
+        super().__init__(name, help_text, labels)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        with self._lock:
+            self._value = float(value)
+
+    def increment(self, amount: float = 1.0) -> None:
+        """Adjust the gauge by ``amount`` (may be negative)."""
+        with self._lock:
+            self._value += float(amount)
+
+    def set_max(self, value: float) -> None:
+        """Raise the gauge to ``value`` if it exceeds the current one
+        (high-water-mark semantics, atomically)."""
+        value = float(value)
+        with self._lock:
+            if value > self._value:
+                self._value = value
+
+    @property
+    def value(self) -> float:
+        """Current gauge value."""
+        with self._lock:
+            return self._value
+
+    def render(self) -> List[str]:
+        """Prometheus text lines for this metric."""
+        return [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} gauge",
+            f"{self._series()} {_format_value(self.value)}",
+        ]
+
+
+class Histogram(_Metric):
+    """A fixed-bucket cumulative histogram (Prometheus semantics).
+
+    ``buckets`` are the upper bounds of the finite buckets; a ``+Inf``
+    bucket is implicit.  ``observe`` records one sample into every bucket
+    whose bound it does not exceed — exactly the cumulative counts the
+    ``_bucket`` series of the exposition format carries (bounds are
+    inclusive: a sample equal to a bound lands in that bucket).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        buckets: Sequence[float],
+        labels: Optional[Mapping[str, str]] = None,
+    ):
+        super().__init__(name, help_text, labels)
+        self.buckets: Tuple[float, ...] = tuple(sorted(float(b) for b in buckets))
+        self._counts = [0] * len(self.buckets)
+        self._count = 0
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._counts[i] += 1
+
+    @property
+    def count(self) -> int:
+        """Total samples observed."""
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        with self._lock:
+            return self._sum
+
+    def render(self) -> List[str]:
+        """Prometheus text lines for this metric."""
+        with self._lock:
+            counts = list(self._counts)
+            total, total_sum = self._count, self._sum
+        lines = [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} histogram",
+        ]
+        for bound, count in zip(self.buckets, counts):
+            series = f"{self.name}_bucket" + _render_labels(
+                _merge_labels(self.labels, {"le": _format_value(bound)})
+            )
+            lines.append(f"{series} {count}")
+        inf_series = f"{self.name}_bucket" + _render_labels(
+            _merge_labels(self.labels, {"le": "+Inf"})
+        )
+        lines.append(f"{inf_series} {total}")
+        lines.append(f"{self.name}_sum{_render_labels(self.labels)} {_format_value(total_sum)}")
+        lines.append(f"{self.name}_count{_render_labels(self.labels)} {total}")
+        return lines
+
+
+class MetricsRegistry:
+    """An ordered collection of metrics rendering one ``/metrics`` document.
+
+    Registration order is exposition order, so a registry's document is
+    deterministic — tests pin it, and diffs between two scrapes stay
+    readable.  The factory helpers (:meth:`counter`, :meth:`gauge`,
+    :meth:`histogram`) create *and* register in one step.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: List[_Metric] = []
+        self._lock = threading.Lock()
+
+    def register(self, metric: "_Metric") -> "_Metric":
+        """Add an already-built metric; returns it for assignment chaining."""
+        with self._lock:
+            self._metrics.append(metric)
+        return metric
+
+    def counter(
+        self,
+        name: str,
+        help_text: str,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Counter:
+        """Create and register a :class:`Counter`."""
+        return self.register(Counter(name, help_text, labels))  # type: ignore[return-value]
+
+    def gauge(
+        self,
+        name: str,
+        help_text: str,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Gauge:
+        """Create and register a :class:`Gauge`."""
+        return self.register(Gauge(name, help_text, labels))  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        buckets: Sequence[float],
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Histogram:
+        """Create and register a :class:`Histogram`."""
+        return self.register(Histogram(name, help_text, buckets, labels))  # type: ignore[return-value]
+
+    def metrics(self) -> Tuple["_Metric", ...]:
+        """The registered metrics, in registration order."""
+        with self._lock:
+            return tuple(self._metrics)
+
+    def render(self) -> str:
+        """The full ``/metrics`` document (text exposition format)."""
+        lines: List[str] = []
+        for metric in self.metrics():
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> Dict[str, float]:
+        """Scalar metric values as a mapping (tests and health payloads)."""
+        values: Dict[str, float] = {}
+        for metric in self.metrics():
+            if isinstance(metric, (Counter, Gauge)):
+                values[metric.name] = metric.value
+            elif isinstance(metric, Histogram):
+                values[f"{metric.name}_count"] = float(metric.count)
+                values[f"{metric.name}_sum"] = metric.sum
+        return values
+
+
+#: Latency bucket bounds (seconds) shared by per-stage histograms.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0,
+)
+
+
+def render_metrics(metrics: Iterable["_Metric"]) -> str:
+    """Render an ad-hoc iterable of metrics as one exposition document."""
+    lines: List[str] = []
+    for metric in metrics:
+        lines.extend(metric.render())
+    return "\n".join(lines) + "\n"

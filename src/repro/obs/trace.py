@@ -1,0 +1,400 @@
+"""Span tracing: nested, thread-safe, multiprocess-mergeable.
+
+A :class:`Tracer` collects :class:`Span` records — named, wall-anchored
+intervals timed with ``time.perf_counter`` and annotated with attributes
+and counters::
+
+    tracer = Tracer(enabled=True)
+    with tracer.span("simulate", scenario="idv6", seed=42) as span:
+        ...
+        span.add("samples", n)
+
+Spans nest: entering a span inside another (same thread) records its
+depth and parent name, and the Chrome ``trace_event`` export lays them
+out as stacked ``"X"`` (complete) events per thread, loadable in
+``about://tracing`` / Perfetto.
+
+The finished-span buffer is a list of plain dicts, so it serializes
+through JSON untouched — a service worker drains its buffer with
+:meth:`Tracer.drain` and ships it inside the chunk ack; the coordinator
+:meth:`Tracer.absorb`\\ s the records into the campaign trace.  Records
+are anchored to the wall clock (captured once at tracer construction and
+advanced by the monotonic clock), so spans merged from processes on the
+same host line up on one timeline.
+
+Disabled tracing is contractually free of locks: :meth:`Tracer.span` on a
+disabled tracer (and the module-level :func:`span` helper while no tracer
+is installed) returns the shared :data:`NULL_SPAN`, whose every method is
+a no-op.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NULL_SPAN",
+    "get_tracer",
+    "set_tracer",
+    "span",
+    "chrome_trace",
+    "validate_chrome_trace",
+]
+
+
+class _NullSpan:
+    """The do-nothing span handed out while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+    def annotate(self, **attributes: Any) -> None:
+        """No-op."""
+
+    def add(self, counter: str, amount: float = 1.0) -> None:
+        """No-op."""
+
+
+#: The shared no-op span; identity-comparable in tests.
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One live span: a context manager recording itself on exit."""
+
+    __slots__ = (
+        "tracer", "name", "attributes", "counters",
+        "_start_perf", "_depth", "_parent",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: Dict[str, Any]):
+        self.tracer = tracer
+        self.name = name
+        self.attributes = attributes
+        self.counters: Dict[str, float] = {}
+        self._start_perf = 0.0
+        self._depth = 0
+        self._parent: Optional[str] = None
+
+    def __enter__(self) -> "Span":
+        stack = self.tracer._stack()
+        self._depth = len(stack)
+        self._parent = stack[-1] if stack else None
+        stack.append(self.name)
+        self._start_perf = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        duration = time.perf_counter() - self._start_perf
+        stack = self.tracer._stack()
+        if stack and stack[-1] == self.name:
+            stack.pop()
+        self.tracer._record(self, duration)
+
+    def annotate(self, **attributes: Any) -> None:
+        """Attach (or overwrite) attributes on the live span."""
+        self.attributes.update(attributes)
+
+    def add(self, counter: str, amount: float = 1.0) -> None:
+        """Accumulate a named counter on the live span."""
+        self.counters[counter] = self.counters.get(counter, 0.0) + float(amount)
+
+
+class Tracer:
+    """Collects spans; thread-safe; mergeable across processes.
+
+    Parameters
+    ----------
+    enabled:
+        A disabled tracer's :meth:`span` returns :data:`NULL_SPAN`
+        without touching a lock — the zero-impact contract of the
+        ``[obs]`` section rests on this path.
+    process:
+        Label of this tracer's process in exported traces (defaults to
+        ``"pid<os.getpid()>"``); worker buffers absorbed from other
+        processes keep their own labels.
+    """
+
+    def __init__(self, enabled: bool = True, process: Optional[str] = None):
+        self.enabled = bool(enabled)
+        self.process = process if process is not None else f"pid{os.getpid()}"
+        self._epoch_wall = time.time()
+        self._epoch_perf = time.perf_counter()
+        self._records: List[Dict[str, Any]] = []
+        self._counters: Dict[str, float] = {}
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attributes: Any):
+        """Open a span; use as a context manager.
+
+        Returns :data:`NULL_SPAN` when disabled — no allocation beyond
+        the call itself, no lock.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, str(name), dict(attributes))
+
+    def add_counter(self, name: str, amount: float = 1.0) -> None:
+        """Accumulate a tracer-level counter (exported with the trace)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + float(amount)
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _record(self, span: Span, duration: float) -> None:
+        start_wall = self._epoch_wall + (span._start_perf - self._epoch_perf)
+        record: Dict[str, Any] = {
+            "name": span.name,
+            "start": start_wall,
+            "duration": float(duration),
+            "process": self.process,
+            "thread": threading.current_thread().name,
+            "depth": span._depth,
+        }
+        if span._parent is not None:
+            record["parent"] = span._parent
+        if span.attributes:
+            record["attributes"] = dict(span.attributes)
+        if span.counters:
+            record["counters"] = dict(span.counters)
+        with self._lock:
+            self._records.append(record)
+
+    # ------------------------------------------------------------------
+    # Buffers and merging
+    # ------------------------------------------------------------------
+    def records(self) -> List[Dict[str, Any]]:
+        """A copy of the finished-span buffer (JSON-safe dicts)."""
+        with self._lock:
+            return [dict(record) for record in self._records]
+
+    def counters(self) -> Dict[str, float]:
+        """A copy of the tracer-level counters."""
+        with self._lock:
+            return dict(self._counters)
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Return and clear the finished-span buffer.
+
+        This is the worker-side half of the multiprocess merge: drain
+        after each chunk and ship the records with the ack.
+        """
+        with self._lock:
+            records, self._records = self._records, []
+            return records
+
+    def absorb(
+        self,
+        records: Iterable[Mapping[str, Any]],
+        process: Optional[str] = None,
+    ) -> int:
+        """Merge span records produced elsewhere into this tracer.
+
+        ``process`` relabels the absorbed records (e.g. with a worker
+        id); records missing timing fields are dropped rather than
+        poisoning the export.  Returns the number of records absorbed.
+        Absorbing works even on a disabled tracer, so a coordinator can
+        collect worker traces without tracing itself.
+        """
+        cleaned: List[Dict[str, Any]] = []
+        for record in records:
+            if not isinstance(record, Mapping):
+                continue
+            if "name" not in record or "start" not in record:
+                continue
+            copy = dict(record)
+            copy.setdefault("duration", 0.0)
+            if process is not None:
+                copy["process"] = process
+            cleaned.append(copy)
+        with self._lock:
+            self._records.extend(cleaned)
+        return len(cleaned)
+
+    @property
+    def n_spans(self) -> int:
+        """Number of finished spans currently buffered."""
+        with self._lock:
+            return len(self._records)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Aggregate statistics per span name: count/total/mean/min/max."""
+        stats: Dict[str, Dict[str, float]] = {}
+        for record in self.records():
+            entry = stats.setdefault(
+                record["name"],
+                {"count": 0.0, "total": 0.0, "min": float("inf"), "max": 0.0},
+            )
+            duration = float(record.get("duration", 0.0))
+            entry["count"] += 1
+            entry["total"] += duration
+            entry["min"] = min(entry["min"], duration)
+            entry["max"] = max(entry["max"], duration)
+        for entry in stats.values():
+            entry["mean"] = entry["total"] / entry["count"] if entry["count"] else 0.0
+        return stats
+
+    def format_summary(self) -> str:
+        """The summary as an aligned text table, heaviest stages first."""
+        stats = self.summary()
+        if not stats:
+            return "no spans recorded\n"
+        rows = sorted(stats.items(), key=lambda item: -item[1]["total"])
+        width = max(len(name) for name, _ in rows)
+        lines = [
+            f"{'span':<{width}}  {'count':>7}  {'total s':>10}  "
+            f"{'mean s':>10}  {'max s':>10}"
+        ]
+        for name, entry in rows:
+            lines.append(
+                f"{name:<{width}}  {int(entry['count']):>7}  "
+                f"{entry['total']:>10.4f}  {entry['mean']:>10.4f}  "
+                f"{entry['max']:>10.4f}"
+            )
+        return "\n".join(lines) + "\n"
+
+    def chrome_trace(
+        self, metadata: Optional[Mapping[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """The buffered spans as a Chrome ``trace_event`` document."""
+        other: Dict[str, Any] = dict(metadata or {})
+        counters = self.counters()
+        if counters:
+            other.setdefault("counters", counters)
+        return chrome_trace(self.records(), metadata=other)
+
+    def write_chrome_trace(
+        self, path: str, metadata: Optional[Mapping[str, Any]] = None
+    ) -> None:
+        """Write the Chrome trace JSON to ``path``."""
+        document = self.chrome_trace(metadata=metadata)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, default=str)
+            handle.write("\n")
+
+
+def chrome_trace(
+    records: Iterable[Mapping[str, Any]],
+    metadata: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Convert span records to the Chrome ``trace_event`` JSON object form.
+
+    Every record becomes one ``"ph": "X"`` (complete) event with
+    microsecond ``ts``/``dur``; ``pid`` carries the record's process
+    label, ``tid`` its thread, ``cat`` the first dotted segment of the
+    span name and ``args`` the attributes and counters.  The object form
+    (``{"traceEvents": [...]}``) is what ``about://tracing`` and Perfetto
+    both accept, with ``otherData`` carrying trace-level metadata.
+    """
+    events: List[Dict[str, Any]] = []
+    for record in records:
+        name = str(record.get("name", ""))
+        args: Dict[str, Any] = {}
+        attributes = record.get("attributes")
+        if isinstance(attributes, Mapping):
+            args.update(attributes)
+        counters = record.get("counters")
+        if isinstance(counters, Mapping):
+            args.update(counters)
+        events.append(
+            {
+                "name": name,
+                "cat": name.split(".", 1)[0] if name else "span",
+                "ph": "X",
+                "ts": int(float(record.get("start", 0.0)) * 1e6),
+                "dur": int(float(record.get("duration", 0.0)) * 1e6),
+                "pid": str(record.get("process", "main")),
+                "tid": str(record.get("thread", "main")),
+                "args": args,
+            }
+        )
+    events.sort(key=lambda event: event["ts"])
+    document: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        document["otherData"] = dict(metadata)
+    return document
+
+
+def validate_chrome_trace(document: Any) -> List[Dict[str, Any]]:
+    """Check a parsed trace document against the Chrome trace-event schema.
+
+    Returns the event list on success; raises ``ValueError`` naming the
+    first violation otherwise.  Used by the trace tests and the CI
+    obs-smoke job to assert an emitted file actually loads.
+    """
+    if not isinstance(document, Mapping):
+        raise ValueError("trace document must be a JSON object")
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace document must carry a 'traceEvents' list")
+    for index, event in enumerate(events):
+        if not isinstance(event, Mapping):
+            raise ValueError(f"traceEvents[{index}] is not an object")
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                raise ValueError(f"traceEvents[{index}] misses {key!r}")
+        if event["ph"] == "X" and "dur" not in event:
+            raise ValueError(f"traceEvents[{index}] is 'X' without 'dur'")
+        if not isinstance(event["ts"], int):
+            raise ValueError(f"traceEvents[{index}].ts must be an integer")
+    return events
+
+
+# ----------------------------------------------------------------------
+# The process-global tracer
+# ----------------------------------------------------------------------
+_GLOBAL_TRACER = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer (disabled until :func:`set_tracer` or
+    :func:`repro.obs.configure` installs an enabled one)."""
+    return _GLOBAL_TRACER
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the process-global tracer; returns it."""
+    global _GLOBAL_TRACER
+    _GLOBAL_TRACER = tracer
+    return tracer
+
+
+def span(name: str, **attributes: Any):
+    """Open a span on the process-global tracer.
+
+    This is the helper the engine/pipeline/service/gateway hot paths
+    call; with tracing off (the default) it does one attribute check and
+    returns the shared :data:`NULL_SPAN` — no lock, no allocation.
+    """
+    tracer = _GLOBAL_TRACER
+    if not tracer.enabled:
+        return NULL_SPAN
+    return Span(tracer, str(name), dict(attributes))

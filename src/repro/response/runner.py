@@ -34,6 +34,7 @@ from repro.common.exceptions import ConfigurationError
 from repro.control.te_controller import TEDecentralizedController
 from repro.live.monitor import LiveMonitor
 from repro.network.attacks import AttackSchedule, DoSAttack
+from repro.obs.logs import get_logger
 from repro.process.interfaces import StepObserver, StepSample
 from repro.process.simulator import ClosedLoopSimulator
 from repro.response.policy import ActionSpec, ResponsePolicy
@@ -46,6 +47,8 @@ from repro.response.verify import (
 from repro.te.constants import XMEAS_NAMES, XMV_NAMES
 
 __all__ = ["ResponseRunner", "apply_action"]
+
+_LOG = get_logger("response")
 
 
 def apply_action(
@@ -231,6 +234,19 @@ class ResponseRunner(StepObserver):
                         chart=event.chart,
                         detail=detail,
                     )
+                )
+                _LOG.info(
+                    "action applied",
+                    extra={
+                        "action_id": len(self._actions) - 1,
+                        "action": rule.action,
+                        "rule": rule_index,
+                        "view": view_name,
+                        "chart": event.chart,
+                        "sample": sample.index,
+                        "time_hours": float(sample.time_hours),
+                        "detail": detail,
+                    },
                 )
                 self._tracker.arm(sample.index, sample.time_hours)
         self._tracker.update(sample.index, sample.time_hours)

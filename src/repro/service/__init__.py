@@ -34,12 +34,13 @@ from repro.service.chunks import (
     shard_campaign,
 )
 from repro.service.client import CoordinatorClient
-from repro.service.coordinator import CampaignCoordinator
+from repro.service.coordinator import CampaignCoordinator, CoordinatorMetrics
 from repro.service.rest import CoordinatorServer
 from repro.service.worker import ChunkWorker
 
 __all__ = [
     "CampaignCoordinator",
+    "CoordinatorMetrics",
     "ChunkWorker",
     "CoordinatorClient",
     "CoordinatorServer",

@@ -108,16 +108,25 @@ class CoordinatorClient:
         worker_id: str,
         n_simulated: int = 0,
         n_cache_hits: int = 0,
+        spans: Optional[List[Dict[str, Any]]] = None,
     ) -> Dict[str, Any]:
-        """Report a chunk complete; the coordinator verifies the cache."""
+        """Report a chunk complete; the coordinator verifies the cache.
+
+        ``spans`` ships the worker's drained trace buffer for the chunk
+        (tracing campaigns only); the coordinator merges every worker's
+        buffer into the campaign trace served at ``/campaigns/<id>/trace``.
+        """
+        payload: Dict[str, Any] = {
+            "worker_id": worker_id,
+            "n_simulated": int(n_simulated),
+            "n_cache_hits": int(n_cache_hits),
+        }
+        if spans:
+            payload["spans"] = list(spans)
         return self._request(
             "POST",
             f"/campaigns/{campaign_id}/chunks/{chunk_id}/ack",
-            {
-                "worker_id": worker_id,
-                "n_simulated": int(n_simulated),
-                "n_cache_hits": int(n_cache_hits),
-            },
+            payload,
         )
 
     def progress(self, campaign_id: str) -> Dict[str, Any]:
@@ -131,6 +140,29 @@ class CoordinatorClient:
     def events(self, campaign_id: str) -> List[str]:
         """The coordinator's per-campaign progress log."""
         return list(self._request("GET", f"/campaigns/{campaign_id}/events")["events"])
+
+    def trace(self, campaign_id: str) -> List[Dict[str, Any]]:
+        """The campaign's merged worker span records."""
+        return list(
+            self._request("GET", f"/campaigns/{campaign_id}/trace")["spans"]
+        )
+
+    def metrics_text(self) -> str:
+        """The coordinator's ``/metrics`` document (Prometheus text)."""
+        url = f"{self.base_url}/metrics"
+        request = urllib.request.Request(url, method="GET")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            raise ServiceError(
+                f"coordinator returned HTTP {error.code} for GET /metrics"
+            ) from None
+        except (urllib.error.URLError, socket.timeout, ConnectionError, OSError) as error:
+            reason = getattr(error, "reason", error)
+            raise ServiceUnavailableError(
+                f"cannot reach campaign coordinator at {self.base_url}: {reason}"
+            ) from None
 
     def tables(self, campaign_id: str) -> Dict[str, Any]:
         """The reduced result tables; raises ServiceError until complete."""

@@ -42,6 +42,8 @@ from repro.api.session import CampaignResult, Session
 from repro.api.spec import CampaignSpec
 from repro.common.exceptions import ConfigurationError, ServiceError
 from repro.experiments.parallel import ResultCache
+from repro.obs.logs import get_logger
+from repro.obs.metrics import MetricsRegistry
 from repro.service.chunks import (
     WorkChunk,
     campaign_fingerprint,
@@ -49,10 +51,73 @@ from repro.service.chunks import (
     shard_campaign,
 )
 
-__all__ = ["ChunkRecord", "CampaignRecord", "CampaignCoordinator"]
+__all__ = [
+    "ChunkRecord",
+    "CampaignRecord",
+    "CampaignCoordinator",
+    "CoordinatorMetrics",
+]
+
+_LOG = get_logger("service")
 
 #: Chunk lifecycle states.
 PENDING, LEASED, DONE = "pending", "leased", "done"
+
+
+class CoordinatorMetrics:
+    """The coordinator's ``/metrics`` bundle (Prometheus text exposition).
+
+    Counters are incremented at the protocol events themselves; the
+    chunk-state and worker gauges are recomputed from the scheduling state
+    on every scrape (:meth:`CampaignCoordinator.metrics_render`), so they
+    can never drift from the records they describe.
+    """
+
+    def __init__(self):
+        self.registry = MetricsRegistry()
+        self.campaigns = self.registry.gauge(
+            "service_campaigns", "Campaigns the coordinator tracks."
+        )
+        self.chunks_pending = self.registry.gauge(
+            "service_chunks_pending", "Chunks waiting to be claimed."
+        )
+        self.chunks_leased = self.registry.gauge(
+            "service_chunks_leased", "Chunks currently leased to workers."
+        )
+        self.chunks_done = self.registry.gauge(
+            "service_chunks_done", "Chunks acknowledged complete."
+        )
+        self.workers_active = self.registry.gauge(
+            "service_workers_active", "Distinct workers holding a lease."
+        )
+        self.submissions = self.registry.counter(
+            "service_submissions_total", "Campaign submissions (incl. re-submits)."
+        )
+        self.claims = self.registry.counter(
+            "service_claims_total", "Chunk leases granted."
+        )
+        self.heartbeats = self.registry.counter(
+            "service_heartbeats_total", "Lease renewals granted."
+        )
+        self.acks = self.registry.counter(
+            "service_acks_total", "Chunk acknowledgements accepted."
+        )
+        self.acks_rejected = self.registry.counter(
+            "service_acks_rejected_total",
+            "Chunk acknowledgements rejected (results missing from cache).",
+        )
+        self.leases_reaped = self.registry.counter(
+            "service_leases_reaped_total",
+            "Expired leases returned to the pending pool.",
+        )
+
+    def render(self) -> str:
+        """The full ``/metrics`` document (text exposition format)."""
+        return self.registry.render()
+
+    def snapshot(self) -> Dict[str, float]:
+        """Scalar metric values as a mapping (tests and health payloads)."""
+        return self.registry.snapshot()
 
 
 @dataclass
@@ -91,6 +156,10 @@ class CampaignRecord:
     run_specs: List[Any] = field(default_factory=list)
     events: List[str] = field(default_factory=list)
     result: Optional[CampaignResult] = None
+    #: Span records shipped by workers in their acks (when the campaign's
+    #: ``[obs]`` section enables tracing); merged into one campaign trace
+    #: via ``GET /campaigns/<id>/trace``.
+    spans: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def n_runs(self) -> int:
@@ -134,6 +203,7 @@ class CampaignCoordinator:
         self._clock = clock
         self._lock = threading.Lock()
         self._campaigns: Dict[str, CampaignRecord] = {}
+        self.metrics = CoordinatorMetrics()
 
     # ------------------------------------------------------------------
     # Submission
@@ -185,6 +255,7 @@ class CampaignCoordinator:
                 )
             else:
                 self._log(record, "re-submitted (idempotent)")
+            self.metrics.submissions.increment()
         return campaign_id
 
     # ------------------------------------------------------------------
@@ -215,6 +286,7 @@ class CampaignCoordinator:
                     f"claim: {chunk_record.chunk.chunk_id} -> {worker_id} "
                     f"(attempt {chunk_record.attempts}, lease {lease:g} s)",
                 )
+                self.metrics.claims.increment()
                 return {
                     **chunk_record.chunk.to_mapping(),
                     "campaign_id": campaign_id,
@@ -239,6 +311,7 @@ class CampaignCoordinator:
             ):
                 return False
             chunk_record.lease_deadline = self._clock() + self._lease_of(record)
+            self.metrics.heartbeats.increment()
             return True
 
     def ack(
@@ -248,6 +321,7 @@ class CampaignCoordinator:
         worker_id: str,
         n_simulated: int = 0,
         n_cache_hits: int = 0,
+        spans: Optional[List[Dict[str, Any]]] = None,
     ) -> Dict[str, Any]:
         """Mark a chunk complete, after verifying its results are on disk.
 
@@ -256,7 +330,9 @@ class CampaignCoordinator:
         many entries were missing).  Acks are idempotent — a second ack of
         a done chunk is accepted without changing anything — and
         ownership-blind, because a result under the right cache key is
-        correct no matter which worker's lease produced it.
+        correct no matter which worker's lease produced it.  ``spans`` is
+        the worker's drained trace buffer (when the campaign traces); it is
+        absorbed into the campaign's merged trace (:meth:`trace`).
         """
         with self._lock:
             record = self._require(campaign_id)
@@ -273,7 +349,12 @@ class CampaignCoordinator:
                     f"ack rejected: {chunk_id} from {worker_id} "
                     f"({missing} results missing from the shared cache)",
                 )
+                self.metrics.acks_rejected.increment()
                 return {"accepted": False, "missing": missing, "complete": False}
+            if spans:
+                record.spans.extend(
+                    dict(span) for span in spans if isinstance(span, dict)
+                )
             chunk_record.state = DONE
             chunk_record.worker_id = str(worker_id)
             chunk_record.lease_deadline = None
@@ -286,6 +367,7 @@ class CampaignCoordinator:
                 f"({n_simulated} simulated, {n_cache_hits} cached)"
                 + ("; campaign complete" if complete else ""),
             )
+            self.metrics.acks.increment()
             return {"accepted": True, "missing": 0, "complete": complete}
 
     # ------------------------------------------------------------------
@@ -338,6 +420,22 @@ class CampaignCoordinator:
         """The campaign's progress log, oldest first."""
         with self._lock:
             return list(self._require(campaign_id).events)
+
+    def trace(self, campaign_id: str) -> List[Dict[str, Any]]:
+        """The campaign's merged span records, as shipped by worker acks.
+
+        Each record carries the worker id in its ``process`` field, so the
+        merged list renders as one per-worker-lane timeline (see
+        :func:`repro.obs.trace.chrome_trace`).
+        """
+        with self._lock:
+            return [dict(span) for span in self._require(campaign_id).spans]
+
+    def metrics_render(self) -> str:
+        """The ``/metrics`` document, with state gauges freshly recomputed."""
+        with self._lock:
+            self._refresh_gauges()
+        return self.metrics.render()
 
     def result(self, campaign_id: str) -> CampaignResult:
         """Reduce a complete campaign into its :class:`CampaignResult`.
@@ -422,6 +520,26 @@ class CampaignCoordinator:
                 chunk_record.state = PENDING
                 chunk_record.worker_id = None
                 chunk_record.lease_deadline = None
+                self.metrics.leases_reaped.increment()
+
+    def _refresh_gauges(self) -> None:
+        """Recompute the chunk-state gauges from the scheduling records."""
+        states = [
+            chunk.state
+            for record in self._campaigns.values()
+            for chunk in record.chunks
+        ]
+        workers = {
+            chunk.worker_id
+            for record in self._campaigns.values()
+            for chunk in record.chunks
+            if chunk.state == LEASED and chunk.worker_id is not None
+        }
+        self.metrics.campaigns.set(len(self._campaigns))
+        self.metrics.chunks_pending.set(states.count(PENDING))
+        self.metrics.chunks_leased.set(states.count(LEASED))
+        self.metrics.chunks_done.set(states.count(DONE))
+        self.metrics.workers_active.set(len(workers))
 
     def _missing_results(self, record: CampaignRecord, chunk: WorkChunk) -> int:
         """How many of a chunk's runs have no entry in the shared cache."""
@@ -431,3 +549,4 @@ class CampaignCoordinator:
 
     def _log(self, record: CampaignRecord, message: str) -> None:
         record.events.append(f"[{record.campaign_id}] {message}")
+        _LOG.info(message, extra={"campaign": record.campaign_id})

@@ -9,12 +9,14 @@ cannot drift.
 Routes::
 
     GET  /health                                     liveness + version
+    GET  /metrics                                    Prometheus text exposition
     GET  /campaigns                                  submitted campaign ids
     POST /campaigns               {"spec": {...}}    submit (idempotent)
     GET  /campaigns/<id>                             scheduling progress
     GET  /campaigns/<id>/spec                        normalized spec document
     GET  /campaigns/<id>/chunks                      per-chunk states
     GET  /campaigns/<id>/events                      progress log
+    GET  /campaigns/<id>/trace                       merged worker span records
     GET  /campaigns/<id>/tables                      reduced tables (409 until
                                                      the campaign completes)
     POST /campaigns/<id>/claim    {"worker_id"}      lease the next chunk
@@ -45,7 +47,9 @@ __all__ = ["CoordinatorServer"]
 _MAX_BODY_BYTES = 4 * 1024 * 1024
 
 _CAMPAIGN = re.compile(r"^/campaigns/([0-9a-f]+)$")
-_SUBRESOURCE = re.compile(r"^/campaigns/([0-9a-f]+)/(spec|chunks|events|tables)$")
+_SUBRESOURCE = re.compile(
+    r"^/campaigns/([0-9a-f]+)/(spec|chunks|events|trace|tables)$"
+)
 _CLAIM = re.compile(r"^/campaigns/([0-9a-f]+)/claim$")
 _CHUNK_ACTION = re.compile(
     r"^/campaigns/([0-9a-f]+)/chunks/([A-Za-z0-9_.-]+)/(heartbeat|ack)$"
@@ -69,6 +73,14 @@ class _Handler(BaseHTTPRequestHandler):
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -101,6 +113,13 @@ class _Handler(BaseHTTPRequestHandler):
         if self.path == "/health":
             self._reply(200, coordinator.health())
             return
+        if self.path == "/metrics":
+            self._reply_text(
+                200,
+                coordinator.metrics_render(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+            return
         if self.path == "/campaigns":
             self._reply(200, {"campaigns": coordinator.campaign_ids()})
             return
@@ -117,6 +136,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._reply(200, {"chunks": coordinator.chunk_states(campaign_id)})
             elif resource == "events":
                 self._reply(200, {"events": coordinator.events(campaign_id)})
+            elif resource == "trace":
+                self._reply(200, {"spans": coordinator.trace(campaign_id)})
             else:  # tables
                 try:
                     self._reply(200, {"tables": coordinator.tables(campaign_id)})
@@ -182,12 +203,14 @@ class _Handler(BaseHTTPRequestHandler):
                 alive = coordinator.heartbeat(campaign_id, chunk_id, worker_id)
                 self._reply(200, {"alive": alive})
             else:  # ack
+                spans = payload.get("spans")
                 response = coordinator.ack(
                     campaign_id,
                     chunk_id,
                     worker_id,
                     n_simulated=int(payload.get("n_simulated", 0)),
                     n_cache_hits=int(payload.get("n_cache_hits", 0)),
+                    spans=spans if isinstance(spans, list) else None,
                 )
                 self._reply(200, response)
             return

@@ -32,9 +32,13 @@ from typing import Any, Dict, Optional
 
 from repro.api.spec import CampaignSpec
 from repro.experiments.parallel import CampaignEngine
+from repro.obs.logs import get_logger, log_context
+from repro.obs.trace import Tracer, get_tracer, set_tracer
 from repro.service.chunks import WorkChunk
 
 __all__ = ["ChunkWorker"]
+
+_LOG = get_logger("service.worker")
 
 
 class ChunkWorker:
@@ -122,17 +126,46 @@ class ChunkWorker:
                     lease_lost.set()
                     return
 
+        # When the campaign's [obs] section traces, the chunk runs under a
+        # worker-local tracer whose drained span buffer ships back in the
+        # ack — the coordinator merges every worker's buffer into one
+        # campaign trace.  The previous global tracer is restored either
+        # way, so an untraced campaign leaves the process untouched.
+        tracer: Optional[Tracer] = None
+        previous_tracer = None
+        if spec.obs.tracing:
+            previous_tracer = get_tracer()
+            tracer = Tracer(enabled=True, process=self.worker_id)
+            set_tracer(tracer)
+
         heartbeat_thread = threading.Thread(target=beat, daemon=True)
         heartbeat_thread.start()
         try:
-            # Publication happens inside the engine: every completed run is
-            # written to the shared cache under its content-derived key as
-            # it finishes.  prune=False — eviction mid-campaign could drop
-            # entries other chunks already produced.
-            engine.run(specs, prune=False)
+            with log_context(
+                campaign=campaign_id,
+                chunk=chunk.chunk_id,
+                worker=self.worker_id,
+            ):
+                if tracer is not None:
+                    with tracer.span(
+                        "worker.chunk",
+                        campaign=campaign_id,
+                        chunk=chunk.chunk_id,
+                        n_runs=len(specs),
+                    ):
+                        # Publication happens inside the engine: every
+                        # completed run is written to the shared cache under
+                        # its content-derived key as it finishes.
+                        # prune=False — eviction mid-campaign could drop
+                        # entries other chunks already produced.
+                        engine.run(specs, prune=False)
+                else:
+                    engine.run(specs, prune=False)
         finally:
             stop_beating.set()
             heartbeat_thread.join(timeout=1.0)
+            if tracer is not None:
+                set_tracer(previous_tracer)
         stats = engine.last_stats
         self.n_simulated += stats.n_simulated
         self.n_cache_hits += stats.n_cache_hits
@@ -142,16 +175,31 @@ class ChunkWorker:
             # and the bookkeeping that goes with it — belongs to the
             # current leaseholder.
             self.n_chunks_abandoned += 1
+            _LOG.warning(
+                "chunk abandoned: lease reclaimed mid-simulation",
+                extra={"chunk": chunk.chunk_id, "worker": self.worker_id},
+            )
             return False
+        spans = tracer.drain() if tracer is not None else None
         response = self.coordinator.ack(
             campaign_id,
             chunk.chunk_id,
             self.worker_id,
             n_simulated=stats.n_simulated,
             n_cache_hits=stats.n_cache_hits,
+            spans=spans,
         )
         if response.get("accepted"):
             self.n_chunks_done += 1
+            _LOG.info(
+                "chunk acknowledged",
+                extra={
+                    "chunk": chunk.chunk_id,
+                    "worker": self.worker_id,
+                    "n_simulated": stats.n_simulated,
+                    "n_cache_hits": stats.n_cache_hits,
+                },
+            )
             return True
         self.n_chunks_abandoned += 1
         return False

@@ -18,6 +18,7 @@ from repro.api.spec import SPEC_VERSION, AnalysisSpec, SweepSpec
 from repro.common.config import (
     ExperimentConfig,
     MSPCConfig,
+    ObsConfig,
     ParallelConfig,
     SimulationConfig,
 )
@@ -426,3 +427,63 @@ class TestRoundTrips:
             reparsed = api.loads_spec(api.dumps_spec(spec, format), format=format)
             assert reparsed == spec
             assert campaign_cache_keys(reparsed) == campaign_cache_keys(spec)
+
+
+# ----------------------------------------------------------------------
+# The [obs] section
+# ----------------------------------------------------------------------
+class TestObsSection:
+    def test_obs_config_round_trips(self):
+        config = ObsConfig(
+            enabled=True, trace=True, trace_path="t.json",
+            log_level="debug", log_path="c.log",
+        )
+        assert ObsConfig.from_mapping(config.to_mapping()) == config
+
+    def test_obs_section_parses_and_survives_round_trip(self):
+        spec = api.loads_spec(
+            'name = "x"\n[[scenarios]]\nuse = "idv6"\n'
+            "[obs]\nenabled = true\ntrace = true\nlog_level = \"debug\"\n"
+        )
+        assert spec.obs.enabled and spec.obs.trace
+        assert spec.obs.tracing
+        for format in ("toml", "json"):
+            reparsed = api.loads_spec(api.dumps_spec(spec, format), format=format)
+            assert reparsed == spec
+
+    def test_default_obs_is_omitted_and_keeps_the_fingerprint(self):
+        from repro.service.chunks import campaign_fingerprint
+
+        bare = api.loads_spec('name = "x"\n[[scenarios]]\nuse = "idv6"\n')
+        explicit_default = api.loads_spec(
+            'name = "x"\n[[scenarios]]\nuse = "idv6"\n[obs]\nenabled = false\n'
+        )
+        assert "obs" not in bare.to_mapping()
+        assert "obs" not in explicit_default.to_mapping()
+        assert campaign_fingerprint(explicit_default) == campaign_fingerprint(bare)
+
+    def test_non_default_obs_appears_in_the_mapping(self):
+        spec = api.loads_spec(
+            'name = "x"\n[[scenarios]]\nuse = "idv6"\n[obs]\nenabled = true\n'
+        )
+        assert spec.to_mapping()["obs"]["enabled"] is True
+
+    def test_unknown_obs_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown key"):
+            api.loads_spec(
+                'name = "x"\n[[scenarios]]\nuse = "idv6"\n'
+                "[obs]\ntracing = true\n"
+            )
+
+    def test_invalid_log_level_rejected(self):
+        with pytest.raises(ConfigurationError, match="log_level"):
+            api.loads_spec(
+                'name = "x"\n[[scenarios]]\nuse = "idv6"\n'
+                '[obs]\nlog_level = "loud"\n'
+            )
+
+    def test_with_trace_path_enables_tracing(self):
+        config = ObsConfig().with_trace_path("trace.json")
+        assert config.enabled and config.trace and config.tracing
+        assert config.trace_path == "trace.json"
+        assert not config.is_default

@@ -121,6 +121,42 @@ class TestBackendColumns:
         ]
 
 
+class TestObsOverheadColumn:
+    """``BENCH_obs.json`` feeds the trend like every other artifact."""
+
+    def test_obs_overhead_fraction_is_tracked_lower_better(self, tmp_path):
+        path = write_bench(
+            tmp_path / "BENCH_obs.json",
+            {"benchmarks/test_bench_obs.py::test_obs_overhead": 10.0},
+            extra_info={
+                "obs_overhead_fraction": 0.01,
+                "plain_seconds": 10.0,
+                "enabled_seconds": 10.1,
+                "n_spans": 120,
+            },
+        )
+        metrics = bench_trends.load_metrics(path)
+        name = "benchmarks/test_bench_obs.py::test_obs_overhead"
+        assert metrics[f"{name}::obs_overhead_fraction"] == (0.01, False, "")
+        assert metrics[f"{name}::plain_seconds"] == (10.0, False, "s")
+        assert f"{name}::n_spans" not in metrics
+
+    def test_overhead_growth_flags_a_regression(self, tmp_path):
+        name = "benchmarks/test_bench_obs.py::test_obs_overhead"
+        old = write_bench(
+            tmp_path / "BENCH_1.json", {name: 10.0},
+            {"obs_overhead_fraction": 0.010},
+        )
+        new = write_bench(
+            tmp_path / "BENCH_2.json", {name: 10.0},
+            {"obs_overhead_fraction": 0.015},
+        )
+        report = bench_trends.compare([old], new, threshold=0.10)
+        assert [e["name"] for e in report["regressions"]] == [
+            f"{name}::obs_overhead_fraction"
+        ]
+
+
 class TestCli:
     def test_strict_exit_code_on_regression(self, history, capsys):
         assert bench_trends.main([str(history), "--strict"]) == 1

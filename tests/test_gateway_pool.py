@@ -302,3 +302,26 @@ class TestMetrics:
         assert "gateway_streams_active 1" in text
         assert '# TYPE gateway_flush_latency_seconds histogram' in text
         assert 'gateway_flush_latency_seconds_bucket{le="+Inf"} 0' in text
+
+    def test_new_metrics_append_after_the_historical_series(
+        self, small_evaluation, attack_xmv3_run
+    ):
+        """PR 9 wire-format pin: ``gateway_streams_peak`` and
+        ``gateway_flush_duration_seconds`` extend the document at the end,
+        so every pre-existing series keeps its position and shape."""
+        pool = MonitorPool(small_evaluation.analyzer, pool_config())
+        pool.open_stream("s", ANOMALY_START)
+        feed_pool(pool, "s", attack_xmv3_run)
+        text = pool.metrics.render()
+        assert "# TYPE gateway_streams_peak gauge" in text
+        assert "gateway_streams_peak 1" in text
+        assert "# TYPE gateway_flush_duration_seconds histogram" in text
+        # Appended last: after every historically-pinned series.
+        assert text.index("gateway_streams_peak") > text.index(
+            "gateway_flush_latency_seconds"
+        )
+        assert text.rstrip().endswith(
+            text.splitlines()[-1]
+        ) and "gateway_flush_duration_seconds_count" in text.splitlines()[-1]
+        snapshot = pool.metrics.snapshot()
+        assert snapshot["gateway_streams_peak"] == 1

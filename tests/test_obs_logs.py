@@ -1,0 +1,175 @@
+"""Tests for :mod:`repro.obs.logs` — JSON lines and correlation context."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import threading
+
+import pytest
+
+from repro.obs.logs import (
+    configure_logging,
+    current_context,
+    get_logger,
+    log_context,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_logging():
+    yield
+    configure_logging(enabled=False)
+
+
+def capture(level: str = "info") -> io.StringIO:
+    stream = io.StringIO()
+    configure_logging(enabled=True, level=level, stream=stream)
+    return stream
+
+
+def lines(stream: io.StringIO) -> list:
+    return [
+        json.loads(line)
+        for line in stream.getvalue().splitlines()
+        if line.strip()
+    ]
+
+
+class TestJsonLines:
+    def test_record_shape(self):
+        stream = capture()
+        get_logger("engine").info("chunk done")
+        (record,) = lines(stream)
+        assert record["level"] == "info"
+        assert record["logger"] == "repro.engine"
+        assert record["message"] == "chunk done"
+        assert record["ts"].endswith("Z")
+
+    def test_extra_fields_fold_into_the_payload(self):
+        stream = capture()
+        get_logger("engine").info(
+            "chunk done", extra={"chunk": 3, "n_runs": 8}
+        )
+        (record,) = lines(stream)
+        assert record["chunk"] == 3
+        assert record["n_runs"] == 8
+
+    def test_unjsonable_values_are_stringified_not_raised(self):
+        stream = capture()
+        get_logger("engine").info("x", extra={"obj": object()})
+        (record,) = lines(stream)
+        assert record["obj"].startswith("<object object")
+
+    def test_level_threshold_filters(self):
+        stream = capture(level="warning")
+        logger = get_logger("engine")
+        logger.info("dropped")
+        logger.warning("kept")
+        records = lines(stream)
+        assert [record["message"] for record in records] == ["kept"]
+
+    def test_exceptions_are_captured(self):
+        stream = capture()
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            get_logger("engine").error("failed", exc_info=True)
+        (record,) = lines(stream)
+        assert "RuntimeError: boom" in record["exception"]
+
+
+class TestLogContext:
+    def test_ambient_fields_stamp_every_record(self):
+        stream = capture()
+        with log_context(campaign="abc", seed=42):
+            get_logger("engine").info("one")
+            get_logger("analysis").info("two")
+        get_logger("engine").info("outside")
+        records = lines(stream)
+        assert records[0]["campaign"] == "abc"
+        assert records[1]["seed"] == 42
+        assert "campaign" not in records[2]
+
+    def test_scopes_nest_and_inner_shadows_outer(self):
+        with log_context(scenario="idv6", seed=1):
+            with log_context(seed=2, chunk=0):
+                assert current_context() == {
+                    "scenario": "idv6", "seed": 2, "chunk": 0,
+                }
+            assert current_context() == {"scenario": "idv6", "seed": 1}
+        assert current_context() == {}
+
+    def test_explicit_extra_wins_over_ambient(self):
+        stream = capture()
+        with log_context(seed=1):
+            get_logger("engine").info("x", extra={"seed": 99})
+        (record,) = lines(stream)
+        assert record["seed"] == 99
+
+    def test_threads_start_clean_and_copy_context_carries_fields(self):
+        import contextvars
+
+        fresh, carried = {}, {}
+
+        with log_context(campaign="abc"):
+            # A new thread starts from the default (empty) context ...
+            thread = threading.Thread(
+                target=lambda: fresh.update(current_context())
+            )
+            thread.start()
+            thread.join()
+            # ... unless its target runs through a copied context.
+            snapshot = contextvars.copy_context()
+            thread = threading.Thread(
+                target=lambda: snapshot.run(
+                    lambda: carried.update(current_context())
+                )
+            )
+            thread.start()
+            thread.join()
+        assert fresh == {}
+        assert carried == {"campaign": "abc"}
+
+
+class TestConfigure:
+    def test_get_logger_namespaces_under_repro(self):
+        assert get_logger("engine").name == "repro.engine"
+        assert get_logger("repro.gateway").name == "repro.gateway"
+
+    def test_disabled_emits_nothing(self):
+        stream = io.StringIO()
+        configure_logging(enabled=False)
+        get_logger("engine").warning("silent")
+        assert stream.getvalue() == ""
+        logger = logging.getLogger("repro")
+        assert not logger.propagate
+        assert any(
+            isinstance(handler, logging.NullHandler)
+            for handler in logger.handlers
+        )
+
+    def test_reconfigure_never_stacks_handlers(self):
+        first, second = io.StringIO(), io.StringIO()
+        configure_logging(enabled=True, stream=first)
+        configure_logging(enabled=True, stream=second)
+        get_logger("engine").info("once")
+        assert first.getvalue() == ""
+        assert len(lines(second)) == 1
+
+    def test_unknown_level_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging(enabled=True, level="verbose", stream=io.StringIO())
+
+    def test_log_path_appends_json_lines(self, tmp_path):
+        target = tmp_path / "campaign.log"
+        configure_logging(enabled=True, path=str(target))
+        get_logger("engine").info("to file", extra={"seed": 7})
+        configure_logging(enabled=False)  # close the file handler
+        (record,) = [
+            json.loads(line)
+            for line in target.read_text(encoding="utf-8").splitlines()
+        ]
+        assert record["message"] == "to file"
+        assert record["seed"] == 7

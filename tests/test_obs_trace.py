@@ -1,0 +1,239 @@
+"""Tests for :mod:`repro.obs.trace` — spans, merging, Chrome export."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_SPAN,
+    Tracer,
+    chrome_trace,
+    get_tracer,
+    set_tracer,
+    span,
+    validate_chrome_trace,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_global_tracer():
+    previous = get_tracer()
+    yield
+    set_tracer(previous)
+
+
+class TestSpans:
+    def test_disabled_tracer_hands_out_the_shared_null_span(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("x") is NULL_SPAN
+        assert tracer.span("y", a=1) is NULL_SPAN
+        # Every NULL_SPAN method is a no-op.
+        with tracer.span("x") as live:
+            live.annotate(ignored=True)
+            live.add("counter", 2)
+        assert tracer.n_spans == 0
+
+    def test_module_helper_uses_the_global_tracer(self):
+        set_tracer(Tracer(enabled=False))
+        assert span("x") is NULL_SPAN
+        tracer = set_tracer(Tracer(enabled=True))
+        with span("x"):
+            pass
+        assert tracer.n_spans == 1
+
+    def test_records_carry_name_timing_and_attributes(self):
+        tracer = Tracer(enabled=True, process="test")
+        with tracer.span("simulate", scenario="idv6", seed=42) as live:
+            live.annotate(n_samples=100)
+            live.add("steps", 3)
+            live.add("steps", 2)
+        (record,) = tracer.records()
+        assert record["name"] == "simulate"
+        assert record["process"] == "test"
+        assert record["duration"] >= 0.0
+        assert record["attributes"] == {
+            "scenario": "idv6", "seed": 42, "n_samples": 100,
+        }
+        assert record["counters"] == {"steps": 5.0}
+        assert record["depth"] == 0
+        assert "parent" not in record
+
+    def test_nested_spans_record_depth_and_parent(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        records = {record["name"]: record for record in tracer.records()}
+        assert records["inner"]["depth"] == 1
+        assert records["inner"]["parent"] == "outer"
+        assert records["outer"]["depth"] == 0
+
+    def test_spans_are_thread_safe_and_per_thread_nested(self):
+        tracer = Tracer(enabled=True)
+        n_threads, per_thread = 8, 50
+
+        def work(index: int):
+            for _ in range(per_thread):
+                with tracer.span(f"outer{index}"):
+                    with tracer.span(f"inner{index}"):
+                        pass
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert tracer.n_spans == n_threads * per_thread * 2
+        for record in tracer.records():
+            if record["name"].startswith("inner"):
+                index = record["name"][len("inner"):]
+                assert record["parent"] == f"outer{index}"
+
+    def test_tracer_level_counters(self):
+        tracer = Tracer(enabled=True)
+        tracer.add_counter("cache_hits", 3)
+        tracer.add_counter("cache_hits")
+        assert tracer.counters() == {"cache_hits": 4.0}
+        disabled = Tracer(enabled=False)
+        disabled.add_counter("ignored")
+        assert disabled.counters() == {}
+
+
+class TestMerging:
+    def test_drain_clears_the_buffer(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a"):
+            pass
+        drained = tracer.drain()
+        assert [record["name"] for record in drained] == ["a"]
+        assert tracer.n_spans == 0
+
+    def test_absorb_relabels_and_merges(self):
+        worker = Tracer(enabled=True, process="ignored")
+        with worker.span("worker.chunk"):
+            pass
+        coordinator = Tracer(enabled=False)  # absorbing needs no tracing
+        absorbed = coordinator.absorb(worker.drain(), process="worker-1")
+        assert absorbed == 1
+        (record,) = coordinator.records()
+        assert record["process"] == "worker-1"
+        assert record["name"] == "worker.chunk"
+
+    def test_absorb_drops_malformed_records(self):
+        tracer = Tracer(enabled=False)
+        absorbed = tracer.absorb(
+            [
+                {"name": "ok", "start": 1.0},
+                {"start": 2.0},  # no name
+                {"name": "no-start"},
+                "not-a-mapping",
+            ]
+        )
+        assert absorbed == 1
+        (record,) = tracer.records()
+        assert record["name"] == "ok"
+        assert record["duration"] == 0.0
+
+    def test_merged_processes_share_one_timeline(self):
+        # Wall-anchored starts: two tracers created in the same process
+        # produce comparable timestamps without any offset bookkeeping.
+        a, b = Tracer(enabled=True), Tracer(enabled=True)
+        with a.span("first"):
+            pass
+        with b.span("second"):
+            pass
+        a.absorb(b.drain(), process="other")
+        starts = [record["start"] for record in a.records()]
+        assert starts[0] <= starts[1]
+
+
+class TestSummary:
+    def test_summary_aggregates_per_name(self):
+        tracer = Tracer(enabled=True)
+        for _ in range(3):
+            with tracer.span("stage"):
+                pass
+        summary = tracer.summary()
+        assert summary["stage"]["count"] == 3
+        assert summary["stage"]["total"] >= 0.0
+        assert summary["stage"]["mean"] == pytest.approx(
+            summary["stage"]["total"] / 3
+        )
+
+    def test_format_summary_renders_a_table(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("alpha"):
+            pass
+        text = tracer.format_summary()
+        assert "alpha" in text
+        assert "count" in text
+        assert Tracer(enabled=True).format_summary() == "no spans recorded\n"
+
+
+class TestChromeExport:
+    def test_chrome_trace_is_schema_valid_and_json_safe(self):
+        tracer = Tracer(enabled=True, process="main")
+        with tracer.span("engine.chunk", chunk=0):
+            with tracer.span("engine.cache_load"):
+                pass
+        tracer.add_counter("n_runs", 4)
+        document = tracer.chrome_trace(metadata={"campaign": "abc"})
+        events = validate_chrome_trace(json.loads(json.dumps(document)))
+        assert len(events) == 2
+        assert document["otherData"]["campaign"] == "abc"
+        assert document["otherData"]["counters"] == {"n_runs": 4.0}
+
+    def test_events_are_complete_phase_sorted_and_categorized(self):
+        records = [
+            {"name": "b.later", "start": 2.0, "duration": 0.5,
+             "process": "p", "thread": "t"},
+            {"name": "a.earlier", "start": 1.0, "duration": 0.25,
+             "process": "p", "thread": "t",
+             "attributes": {"k": "v"}, "counters": {"n": 2.0}},
+        ]
+        document = chrome_trace(records)
+        events = document["traceEvents"]
+        assert [event["name"] for event in events] == ["a.earlier", "b.later"]
+        first = events[0]
+        assert first["ph"] == "X"
+        assert first["cat"] == "a"
+        assert first["ts"] == 1_000_000
+        assert first["dur"] == 250_000
+        assert first["args"] == {"k": "v", "n": 2.0}
+
+    def test_validate_rejects_malformed_documents(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            validate_chrome_trace([])
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace({})
+        with pytest.raises(ValueError, match="misses 'pid'"):
+            validate_chrome_trace(
+                {"traceEvents": [{"name": "x", "ph": "X", "ts": 0, "tid": "t",
+                                  "dur": 1}]}
+            )
+        with pytest.raises(ValueError, match="without 'dur'"):
+            validate_chrome_trace(
+                {"traceEvents": [{"name": "x", "ph": "X", "ts": 0,
+                                  "pid": "p", "tid": "t"}]}
+            )
+        with pytest.raises(ValueError, match="integer"):
+            validate_chrome_trace(
+                {"traceEvents": [{"name": "x", "ph": "X", "ts": 0.5,
+                                  "pid": "p", "tid": "t", "dur": 1}]}
+            )
+
+    def test_write_chrome_trace_round_trips(self, tmp_path):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a"):
+            pass
+        path = tmp_path / "trace.json"
+        tracer.write_chrome_trace(path, metadata={"k": "v"})
+        document = json.loads(path.read_text(encoding="utf-8"))
+        events = validate_chrome_trace(document)
+        assert [event["name"] for event in events] == ["a"]
+        assert document["otherData"] == {"k": "v"}

@@ -217,3 +217,107 @@ class TestReduction:
         health = coordinator.health()
         assert health["status"] == "ok"
         assert health["n_campaigns"] == 0
+
+
+class TestObservability:
+    """The coordinator's /metrics registry and worker trace merging."""
+
+    def test_metrics_follow_the_chunk_lifecycle(self, coordinator, clock):
+        text = coordinator.metrics_render()
+        assert "# TYPE service_campaigns gauge" in text
+        assert "service_campaigns 0" in text
+
+        campaign_id = coordinator.submit(small_spec())
+        snapshot = coordinator.metrics.snapshot()
+        assert snapshot["service_submissions_total"] == 1.0
+        text = coordinator.metrics_render()
+        assert "service_campaigns 1" in text
+        progress = coordinator.progress(campaign_id)
+        assert (
+            f"service_chunks_pending {progress['n_pending']}" in text
+        )
+
+        chunk = coordinator.claim(campaign_id, "worker-a")
+        text = coordinator.metrics_render()
+        assert "service_chunks_leased 1" in text
+        assert "service_workers_active 1" in text
+        assert coordinator.metrics.snapshot()["service_claims_total"] == 1.0
+
+        # Let the manual lease lapse so the drain below can finish the
+        # campaign (the fake clock never expires it on its own).
+        clock.advance(chunk["lease_seconds"] + 1)
+        ChunkWorker(coordinator, worker_id="worker-a").drain(campaign_id)
+        text = coordinator.metrics_render()
+        assert "service_chunks_leased 0" in text
+        assert "service_workers_active 0" in text
+        assert f"service_chunks_done {progress['n_chunks']}" in text
+        snapshot = coordinator.metrics.snapshot()
+        assert snapshot["service_acks_total"] >= progress["n_chunks"]
+
+    def test_rejected_ack_and_reaped_lease_are_counted(self, coordinator, clock):
+        campaign_id = coordinator.submit(small_spec())
+        chunk = coordinator.claim(campaign_id, "worker-a")
+        coordinator.ack(campaign_id, chunk["chunk_id"], "worker-a")
+        assert coordinator.metrics.snapshot()["service_acks_rejected_total"] == 1.0
+        coordinator.claim(campaign_id, "worker-a")
+        clock.advance(chunk["lease_seconds"] + 1)
+        coordinator.progress(campaign_id)  # triggers the reaper
+        assert coordinator.metrics.snapshot()["service_leases_reaped_total"] >= 1.0
+
+    def test_heartbeats_are_counted(self, coordinator):
+        campaign_id = coordinator.submit(small_spec())
+        chunk = coordinator.claim(campaign_id, "worker-a")
+        coordinator.heartbeat(campaign_id, chunk["chunk_id"], "worker-a")
+        assert coordinator.metrics.snapshot()["service_heartbeats_total"] == 1.0
+
+    def test_ack_spans_are_stored_per_campaign(self, coordinator):
+        from repro.service.chunks import WorkChunk
+
+        campaign_id = coordinator.submit(small_spec())
+        spec = CampaignSpec.from_mapping(coordinator.spec_mapping(campaign_id))
+        chunk = coordinator.claim(campaign_id, "worker-a")
+        specs = WorkChunk.from_mapping(chunk).specs_of(spec)
+        CampaignEngine(spec.experiment.parallel).run(specs, prune=False)
+        spans = [{"name": "worker.chunk", "start": 1.0, "duration": 2.0,
+                  "process": "worker-a", "thread": "main"}]
+        response = coordinator.ack(
+            campaign_id, chunk["chunk_id"], "worker-a",
+            n_cache_hits=len(specs), spans=spans,
+        )
+        assert response["accepted"]
+        assert coordinator.trace(campaign_id) == spans
+
+    def test_two_workers_merge_into_one_valid_trace(self, coordinator):
+        from repro.common.config import ObsConfig
+        from repro.obs.trace import Tracer, chrome_trace, validate_chrome_trace
+
+        spec = small_spec(obs=ObsConfig(enabled=True, trace=True))
+        campaign_id = coordinator.submit(spec)
+        workers = [
+            ChunkWorker(coordinator, worker_id="worker-a"),
+            ChunkWorker(coordinator, worker_id="worker-b"),
+        ]
+        index = 0
+        while any(worker.run_once(campaign_id) for worker in [workers[index % 2]]):
+            index += 1
+        assert coordinator.progress(campaign_id)["complete"]
+
+        spans = coordinator.trace(campaign_id)
+        assert spans, "tracing-enabled campaign shipped no spans"
+        assert {span["process"] for span in spans} == {"worker-a", "worker-b"}
+        names = {span["name"] for span in spans}
+        assert "worker.chunk" in names
+        assert "engine.chunk" in names  # inner engine spans ride along
+
+        # The merged buffer exports as one schema-valid Chrome trace.
+        merged = Tracer(enabled=False)
+        merged.absorb(spans)
+        document = merged.chrome_trace(metadata={"campaign": campaign_id})
+        events = validate_chrome_trace(document)
+        assert len(events) == len(spans)
+        assert chrome_trace(spans)["traceEvents"] == document["traceEvents"]
+
+    def test_default_spec_ships_no_spans(self, coordinator):
+        campaign_id = coordinator.submit(small_spec())
+        ChunkWorker(coordinator, worker_id="worker-a").drain(campaign_id)
+        assert coordinator.trace(campaign_id) == []

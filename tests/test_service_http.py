@@ -158,3 +158,39 @@ class TestFacade:
     def test_facade_surfaces_unreachable_coordinator(self):
         with pytest.raises(ServiceUnavailableError):
             api.submit_spec(small_spec(), url="http://127.0.0.1:1")
+
+
+class TestObservabilityRoutes:
+    def test_metrics_route_serves_prometheus_text(self, service):
+        _, server, client = service
+        client.submit(small_spec())
+        with urllib.request.urlopen(f"{server.url}/metrics", timeout=5.0) as reply:
+            assert reply.status == 200
+            content_type = reply.headers.get("Content-Type")
+            body = reply.read().decode("utf-8")
+        assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+        assert "# TYPE service_campaigns gauge" in body
+        assert "service_campaigns 1" in body
+        assert "service_submissions_total 1" in body
+        assert body == client.metrics_text()
+
+    def test_trace_route_round_trips_worker_spans(self, service):
+        from repro.common.config import ObsConfig
+        from repro.obs.trace import Tracer, validate_chrome_trace
+
+        _, _, client = service
+        campaign_id = client.submit(
+            small_spec(obs=ObsConfig(enabled=True, trace=True))
+        )
+        ChunkWorker(client, worker_id="http-worker").drain(campaign_id)
+        spans = client.trace(campaign_id)
+        assert spans and all(span["process"] == "http-worker" for span in spans)
+        merged = Tracer(enabled=False)
+        merged.absorb(spans)
+        validate_chrome_trace(merged.chrome_trace())
+
+    def test_trace_route_is_empty_without_obs(self, service):
+        _, _, client = service
+        campaign_id = client.submit(small_spec())
+        ChunkWorker(client, worker_id="http-worker").drain(campaign_id)
+        assert client.trace(campaign_id) == []
