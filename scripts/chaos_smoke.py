@@ -1,0 +1,500 @@
+"""Chaos smoke: a multi-process campaign survives the pinned fault plan.
+
+The executable form of the crash-safety contract.  The harness boots a
+coordinator (journaled), two workers and a gateway as real subprocesses,
+drives them through the pinned fault plans in ``examples/faults/``, adds
+two faults only an outside hand can inject — ``SIGKILL`` of the
+coordinator mid-campaign and a torn journal tail while it is down — and
+then asserts the two equivalence pins:
+
+* the campaign completes and its tables are **bitwise identical** to a
+  fault-free in-process run of the same spec;
+* a gateway killed mid-stream and restarted over its alarm journal
+  serves the re-opened stream an alarms payload **byte-identical** to
+  the one captured before the crash.
+
+Faults exercised (all deterministic):
+
+1. worker A dies with exit code 137 mid-chunk (fault plan ``kill``);
+2. worker B suffers injected transient claim/ack/heartbeat failures
+   (fault plan ``error`` rules) and retries through them;
+3. the coordinator is killed with ``SIGKILL`` mid-campaign;
+4. its journal tail is truncated while it is down (a torn write);
+5. the coordinator restarts from the healed journal and the campaign
+   finishes on a replacement worker;
+6. the gateway is killed with ``SIGKILL`` and restarted over its alarm
+   journal; the harness's own ``StreamClient`` rides through injected
+   connect/query faults under a retry policy.
+
+Artifacts (journals, subprocess logs, the event log and a JSON summary)
+land in ``--artifacts`` (default ``chaos-artifacts/``) for CI upload.
+
+Run it::
+
+    PYTHONPATH=src python scripts/chaos_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from dataclasses import replace
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro import api, faults  # noqa: E402
+from repro.common.config import (  # noqa: E402
+    ExperimentConfig,
+    ParallelConfig,
+    ServiceConfig,
+    SimulationConfig,
+)
+from repro.common.exceptions import (  # noqa: E402
+    GatewayError,
+    RetryExhaustedError,
+    ServiceError,
+)
+from repro.common.retry import RetryPolicy  # noqa: E402
+from repro.experiments.registry import get_scenario  # noqa: E402
+from repro.experiments.runner import run_scenario  # noqa: E402
+from repro.gateway.client import StreamClient  # noqa: E402
+from repro.service import CampaignCoordinator, CoordinatorClient  # noqa: E402
+
+PLANS = REPO / "examples" / "faults"
+PYTHON = sys.executable
+
+
+def log(message: str) -> None:
+    print(f"[chaos] {message}", flush=True)
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def canonical(payload) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+def child_env(fault_plan: Path | None = None) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop(faults.ENV_FAULT_PLAN, None)
+    if fault_plan is not None:
+        env[faults.ENV_FAULT_PLAN] = str(fault_plan)
+    return env
+
+
+def spawn(args, log_path: Path, fault_plan: Path | None = None):
+    handle = open(log_path, "ab")
+    handle.write(f"--- spawn: {' '.join(str(a) for a in args)}\n".encode())
+    handle.flush()
+    return subprocess.Popen(
+        [PYTHON, *[str(a) for a in args]],
+        stdout=handle,
+        stderr=subprocess.STDOUT,
+        env=child_env(fault_plan),
+        cwd=str(REPO),
+    )
+
+
+def wait_until(predicate, timeout: float, what: str, interval: float = 0.2):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval)
+    raise SystemExit(f"chaos smoke FAILED: timed out waiting for {what}")
+
+
+# ----------------------------------------------------------------------
+# Phase 1: the distributed campaign under fire
+# ----------------------------------------------------------------------
+
+
+def campaign_spec(port: int) -> "api.CampaignSpec":
+    experiment = ExperimentConfig(
+        n_calibration_runs=2,
+        n_runs_per_scenario=4,
+        anomaly_start_hour=2.0,
+        simulation=SimulationConfig(
+            duration_hours=5.0, samples_per_hour=20, seed=13
+        ),
+        parallel=ParallelConfig.serial(),
+        seed=13,
+    )
+    spec = api.CampaignSpec(
+        name="chaos-smoke",
+        scenarios=("idv6", "dos_xmv3", "attack_xmv3"),
+    ).with_experiment(experiment)
+    # Short leases so the dead worker's chunk is reassigned in seconds,
+    # and a fast poll so workers drain without long idle sleeps.
+    service = ServiceConfig(
+        host="127.0.0.1",
+        port=port,
+        lease_seconds=8.0,
+        heartbeat_seconds=2.0,
+        poll_seconds=0.2,
+    )
+    return replace(spec, service=service)
+
+
+def run_campaign_phase(artifacts: Path, state: Path, timeout: float) -> dict:
+    port = free_port()
+    spec = campaign_spec(port)
+    spec_path = artifacts / "chaos_spec.json"
+    spec_path.write_text(json.dumps(spec.to_mapping(), indent=2))
+
+    # The fault-free reference: the same spec, run in one process against
+    # its own cache.  Normalizing through a throwaway coordinator applies
+    # exactly the rebase the real coordinator will apply.
+    log("computing fault-free reference tables (in-process)...")
+    reference_coordinator = CampaignCoordinator(state / "ref-cache")
+    reference = api.run(reference_coordinator.normalize(spec)).tables()
+
+    cache_dir = state / "cache"
+    journal = artifacts / "coordinator.journal"
+    coordinator_log = artifacts / "coordinator.log"
+    serve_args = [
+        "scripts/run_campaign.py",
+        "--serve",
+        "--spec",
+        spec_path,
+        "--cache-dir",
+        cache_dir,
+        "--journal",
+        journal,
+    ]
+    log(f"booting coordinator on port {port} (journal: {journal.name})")
+    coordinator = spawn(serve_args, coordinator_log)
+
+    url = f"http://127.0.0.1:{port}"
+    client = CoordinatorClient(url, timeout=5.0)
+
+    def healthy():
+        try:
+            return client.health()
+        except (ServiceError, RetryExhaustedError):
+            return None
+
+    wait_until(healthy, 60.0, "coordinator health")
+    campaign_id = client.submit(spec)  # idempotent with the --serve submit
+    n_chunks = client.progress(campaign_id)["n_chunks"]
+    log(f"campaign {campaign_id}: {n_chunks} chunks")
+
+    worker_args = [
+        "scripts/run_campaign.py",
+        "--worker",
+        url,
+        "--cache-dir",
+        cache_dir,
+        "--max-idle",
+        "3",
+    ]
+    log("attaching worker A (kamikaze plan) and worker B (flaky plan)")
+    worker_a = spawn(
+        worker_args, artifacts / "worker_a.log", PLANS / "chaos_worker_kill.toml"
+    )
+    worker_b = spawn(
+        worker_args, artifacts / "worker_b.log", PLANS / "chaos_worker_flaky.toml"
+    )
+
+    # Fault 1: worker A kills itself mid-chunk (exit 137), leaving its
+    # chunk leased to a corpse until the lease expires.
+    worker_a.wait(timeout=timeout)
+    log(f"worker A died mid-chunk with exit code {worker_a.returncode}")
+    if worker_a.returncode != 137:
+        raise SystemExit(
+            "chaos smoke FAILED: kamikaze worker exited "
+            f"{worker_a.returncode}, expected 137"
+        )
+
+    # Fault 2: SIGKILL the coordinator mid-campaign (some chunks done,
+    # some not).
+    def mid_campaign():
+        try:
+            progress = client.progress(campaign_id)
+        except (ServiceError, RetryExhaustedError):
+            return None
+        if progress["complete"]:
+            raise SystemExit(
+                "chaos smoke FAILED: campaign completed before the "
+                "coordinator could be killed mid-flight; grow the spec"
+            )
+        return progress if progress["n_done"] >= 1 else None
+
+    progress = wait_until(mid_campaign, timeout, "a mid-campaign snapshot")
+    log(
+        f"SIGKILL coordinator at {progress['n_done']}/{n_chunks} chunks done"
+    )
+    coordinator.send_signal(signal.SIGKILL)
+    coordinator.wait(timeout=30)
+
+    # Fault 3: tear the journal tail while the coordinator is down — the
+    # residue of an append that died with the process.
+    size = journal.stat().st_size
+    if size <= 8:
+        raise SystemExit("chaos smoke FAILED: journal unexpectedly empty")
+    faults.truncate_tail(journal, 7)
+    log(f"tore 7 bytes off the journal tail ({size} -> {size - 7} bytes)")
+
+    log("restarting coordinator from the healed journal")
+    coordinator = spawn(serve_args, coordinator_log)
+    wait_until(healthy, 60.0, "restarted coordinator health")
+
+    log("attaching replacement worker C (flaky plan)")
+    worker_c = spawn(
+        worker_args, artifacts / "worker_c.log", PLANS / "chaos_worker_flaky.toml"
+    )
+
+    def complete():
+        try:
+            progress = client.progress(campaign_id)
+        except (ServiceError, RetryExhaustedError):
+            return None
+        return progress if progress["complete"] else None
+
+    wait_until(complete, timeout, "campaign completion")
+    tables = client.tables(campaign_id)
+    event_log = {
+        "campaign_id": campaign_id,
+        "progress": client.progress(campaign_id),
+        "chunk_states": client.chunk_states(campaign_id),
+        "events": client.events(campaign_id),
+    }
+    (artifacts / "event_log.json").write_text(json.dumps(event_log, indent=2))
+
+    for name, worker in (("B", worker_b), ("C", worker_c)):
+        worker.wait(timeout=timeout)
+        if worker.returncode != 0:
+            raise SystemExit(
+                f"chaos smoke FAILED: worker {name} exited "
+                f"{worker.returncode} (see its log)"
+            )
+    coordinator.terminate()
+    coordinator.wait(timeout=30)
+
+    if canonical(tables) != canonical(reference):
+        (artifacts / "tables_chaos.json").write_text(canonical(tables))
+        (artifacts / "tables_reference.json").write_text(canonical(reference))
+        raise SystemExit(
+            "chaos smoke FAILED: tables under faults differ from the "
+            "fault-free run (see tables_*.json in the artifacts)"
+        )
+    log("tables bitwise-identical to the fault-free run")
+    return {
+        "campaign_id": campaign_id,
+        "n_chunks": n_chunks,
+        "worker_a_exit": 137,
+        "tables_identical": True,
+    }
+
+
+# ----------------------------------------------------------------------
+# Phase 2: gateway crash, restart, byte-identical alarm history
+# ----------------------------------------------------------------------
+
+
+def gateway_spec(port: int, ingest_port: int) -> "api.CampaignSpec":
+    experiment = ExperimentConfig(
+        n_calibration_runs=2,
+        n_runs_per_scenario=1,
+        anomaly_start_hour=4.0,
+        simulation=SimulationConfig(
+            duration_hours=9.0, samples_per_hour=20, seed=21
+        ),
+        parallel=ParallelConfig.serial(),
+        seed=21,
+    )
+    spec = api.CampaignSpec(
+        name="chaos-gateway", scenarios=("attack_xmv3",)
+    ).with_experiment(experiment)
+    return replace(
+        spec, gateway=replace(spec.gateway, port=port, ingest_port=ingest_port)
+    )
+
+
+def fetch_alarm_bytes(url: str, stream_id: str) -> bytes:
+    with urllib.request.urlopen(
+        f"{url}/streams/{stream_id}/alarms", timeout=10.0
+    ) as response:
+        return response.read()
+
+
+def run_gateway_phase(artifacts: Path, timeout: float) -> dict:
+    port, ingest_port = free_port(), free_port()
+    spec = gateway_spec(port, ingest_port)
+    spec_path = artifacts / "chaos_gateway_spec.json"
+    spec_path.write_text(json.dumps(spec.to_mapping(), indent=2))
+    journal = artifacts / "gateway.journal"
+    gateway_log = artifacts / "gateway.log"
+    serve_args = [
+        "scripts/run_gateway.py",
+        "--serve",
+        "--spec",
+        spec_path,
+        "--journal",
+        journal,
+    ]
+    log(f"booting gateway on port {port} (journal: {journal.name})")
+    gateway = spawn(serve_args, gateway_log)
+    url = f"http://127.0.0.1:{port}"
+    probe = StreamClient(url, timeout=5.0)
+
+    def healthy():
+        try:
+            return probe.health()
+        except GatewayError:
+            return None
+
+    wait_until(healthy, 120.0, "gateway health (includes calibration)")
+
+    # The harness's own client runs under the pinned flaky plan: the
+    # first ingest connect is refused, one alarms query fails mid-flight,
+    # and the retry policy must absorb both.
+    injector = faults.install(
+        faults.FaultPlan.load(PLANS / "chaos_gateway_client.toml")
+    )
+    experiment = spec.experiment
+    result = run_scenario(
+        get_scenario("attack_xmv3"),
+        experiment.simulation,
+        anomaly_start_hour=experiment.anomaly_start_hour,
+    )
+    try:
+        client = StreamClient(
+            url,
+            timeout=10.0,
+            retry=RetryPolicy(base_delay_seconds=0.05, seed=2016),
+        )
+        log("feeding one attack_xmv3 stream through the flaky client")
+        client.open_stream("plant-7", experiment.anomaly_start_hour)
+        controller, process = result.controller_data, result.process_data
+        for i in range(controller.n_observations):
+            client.feed(
+                "plant-7",
+                controller.values[i],
+                process.values[i],
+                float(controller.timestamps[i]),
+            )
+        client.sync("plant-7")
+        # Exercise the injected alarms-query fault through the retrying
+        # client, then capture the raw payload bytes for the identity pin.
+        alarms = client.alarms("plant-7")
+        before = fetch_alarm_bytes(url, "plant-7")
+        if json.loads(before)["alarms"] != alarms:
+            raise SystemExit(
+                "chaos smoke FAILED: client alarms differ from raw payload"
+            )
+        client.abandon_stream("plant-7")
+    finally:
+        summary = injector.summary()
+        faults.uninstall()
+    fired = {rule["site"]: rule["fired"] for rule in summary["rules"]}
+    if any(count == 0 for count in fired.values()):
+        raise SystemExit(
+            f"chaos smoke FAILED: gateway fault plan did not fire: {fired}"
+        )
+    n_alarms = sum(
+        len(events) for events in json.loads(before)["alarms"].values()
+    )
+    if n_alarms == 0:
+        raise SystemExit(
+            "chaos smoke FAILED: the attack stream raised no alarms; "
+            "the byte-identity pin would be vacuous"
+        )
+
+    log(f"SIGKILL gateway with {n_alarms} alarm events on the books")
+    gateway.send_signal(signal.SIGKILL)
+    gateway.wait(timeout=30)
+
+    log("restarting gateway over the alarm journal")
+    gateway = spawn(serve_args, gateway_log)
+    wait_until(healthy, 120.0, "restarted gateway health")
+    with StreamClient(url, timeout=10.0) as reopened:
+        reopened.open_stream("plant-7", experiment.anomaly_start_hour)
+        after = fetch_alarm_bytes(url, "plant-7")
+        reopened.abandon_stream("plant-7")
+    gateway.terminate()
+    gateway.wait(timeout=30)
+
+    if after != before:
+        (artifacts / "alarms_before.json").write_bytes(before)
+        (artifacts / "alarms_after.json").write_bytes(after)
+        raise SystemExit(
+            "chaos smoke FAILED: restarted gateway served different alarm "
+            "bytes (see alarms_*.json in the artifacts)"
+        )
+    log("alarm history byte-identical across the gateway restart")
+    return {
+        "n_alarm_events": n_alarms,
+        "client_faults_fired": fired,
+        "alarms_byte_identical": True,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument(
+        "--artifacts",
+        type=Path,
+        default=Path("chaos-artifacts"),
+        help="where journals, logs and the summary land (default: "
+        "chaos-artifacts/)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="per-wait timeout for campaign progress (default: 300)",
+    )
+    parser.add_argument(
+        "--skip-gateway",
+        action="store_true",
+        help="run only the coordinator/worker phase",
+    )
+    arguments = parser.parse_args(argv)
+
+    artifacts = arguments.artifacts
+    artifacts.mkdir(parents=True, exist_ok=True)
+    state = Path(tempfile.mkdtemp(prefix="chaos-smoke-"))
+    started = time.monotonic()
+    summary = {"ok": False}
+    try:
+        summary["campaign"] = run_campaign_phase(
+            artifacts, state, arguments.timeout
+        )
+        if not arguments.skip_gateway:
+            summary["gateway"] = run_gateway_phase(artifacts, arguments.timeout)
+        summary["ok"] = True
+        summary["wall_seconds"] = round(time.monotonic() - started, 1)
+        log(f"PASS in {summary['wall_seconds']} s")
+        return 0
+    finally:
+        (artifacts / "chaos_summary.json").write_text(
+            json.dumps(summary, indent=2)
+        )
+        shutil.rmtree(state, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

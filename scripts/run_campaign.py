@@ -331,8 +331,10 @@ def serve(arguments: argparse.Namespace, cache_dir: Path) -> int:
         except ConfigurationError as error:
             raise SystemExit(f"invalid spec: {error}")
         service = spec.service
-    coordinator = CampaignCoordinator(cache_dir)
+    coordinator = CampaignCoordinator(cache_dir, journal=arguments.journal)
     server = CoordinatorServer(coordinator, host=service.host, port=service.port)
+    if arguments.journal is not None:
+        print(f"scheduling journal at {arguments.journal}")
     if spec is not None:
         campaign_id = coordinator.submit(spec)
         progress = coordinator.progress(campaign_id)
@@ -350,14 +352,29 @@ def serve(arguments: argparse.Namespace, cache_dir: Path) -> int:
 
 
 def work(arguments: argparse.Namespace) -> int:
-    """``--worker URL``: execute chunks for a remote coordinator."""
-    from repro.common.exceptions import ServiceUnavailableError
+    """``--worker URL``: execute chunks for a remote coordinator.
+
+    Transient coordinator outages are absorbed by a retry policy (both
+    inside the HTTP client for idempotent ops and around the worker's
+    claim loop).  The exit code is honest: retry exhaustion and a vanished
+    coordinator exit 1, an operator's Ctrl-C exits 130 — a supervisor
+    restarting non-zero workers does the right thing in every case.
+    """
+    from repro.common.exceptions import (
+        RetryExhaustedError,
+        ServiceUnavailableError,
+    )
+    from repro.common.retry import RetryPolicy
     from repro.service import ChunkWorker, CoordinatorClient
 
-    client = CoordinatorClient(arguments.worker)
+    # A worker must outlive a coordinator *restart*, not just a dropped
+    # packet: 10 attempts of capped exponential backoff sleep ~21 s
+    # (within the 30 s budget), spanning a restart-from-journal.
+    retry = RetryPolicy(seed=arguments.seed, max_attempts=10)
+    client = CoordinatorClient(arguments.worker, retry=retry)
     try:
         health = client.health()
-    except ServiceUnavailableError as error:
+    except (ServiceUnavailableError, RetryExhaustedError) as error:
         raise SystemExit(f"error: {error}")
     worker = ChunkWorker(
         client,
@@ -365,23 +382,33 @@ def work(arguments: argparse.Namespace) -> int:
             str(arguments.cache_dir) if arguments.cache_dir is not None else None
         ),
         n_workers=arguments.workers,
+        retry=retry,
     )
     print(
         f"worker {worker.worker_id} attached to {arguments.worker} "
         f"({health['n_campaigns']} campaign(s) known)"
     )
+
+    def summarize(executed: int) -> None:
+        print(
+            f"worker {worker.worker_id}: {executed} chunks executed "
+            f"({worker.n_simulated} simulated, {worker.n_cache_hits} cached, "
+            f"{worker.n_chunks_abandoned} abandoned)"
+        )
+
     try:
         executed = worker.drain_all(max_idle=arguments.max_idle)
+    except RetryExhaustedError as error:
+        summarize(worker.n_chunks_done)
+        raise SystemExit(f"error: coordinator kept failing: {error}")
     except ServiceUnavailableError as error:
+        summarize(worker.n_chunks_done)
         raise SystemExit(f"error: coordinator went away: {error}")
     except KeyboardInterrupt:
-        executed = worker.n_chunks_done
-        print("\nworker interrupted")
-    print(
-        f"worker {worker.worker_id}: {executed} chunks executed "
-        f"({worker.n_simulated} simulated, {worker.n_cache_hits} cached, "
-        f"{worker.n_chunks_abandoned} abandoned)"
-    )
+        summarize(worker.n_chunks_done)
+        print("worker interrupted")
+        return 130
+    summarize(executed)
     return 0
 
 
@@ -575,6 +602,14 @@ def main(argv=None) -> int:
         "--spec the campaign is submitted immediately",
     )
     parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="with --serve: persist scheduling events (submit/claim/ack/"
+        "reap) to this journal; a restarted coordinator over the same "
+        "path resumes with chunk attempt counts and worker history intact",
+    )
+    parser.add_argument(
         "--worker",
         metavar="URL",
         default=None,
@@ -612,6 +647,13 @@ def main(argv=None) -> int:
         "with --submit the workers' span buffers are merged in",
     )
     arguments = parser.parse_args(argv)
+
+    # Chaos harness hook: a REPRO_FAULT_PLAN env var installs the fault
+    # plan in this process (coordinator, worker and submitter alike), so a
+    # whole multi-process deployment runs under one pinned plan.
+    from repro import faults
+
+    faults.configure_from_env()
 
     tracer = None
     if arguments.trace is not None:

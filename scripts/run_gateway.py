@@ -83,12 +83,14 @@ def serve(arguments: argparse.Namespace) -> int:
         f"{spec.experiment.simulation.duration_hours:g} h each)...",
         flush=True,
     )
-    server = Session(spec).serve_gateway()
+    server = Session(spec).serve_gateway(journal=arguments.journal)
     server.start()
     host, port = server.address
     ingest_host, ingest_port = server.ingest_address
     print(f"operations surface on http://{host}:{port}")
     print(f"newline-JSON ingest on {ingest_host}:{ingest_port}")
+    if arguments.journal is not None:
+        print(f"alarm journal at {arguments.journal}")
     print(
         f"pool: {config.max_streams} streams max, "
         f"scoring batches of {config.scoring_batch_size}, "
@@ -220,6 +222,16 @@ def main(argv=None) -> int:
         "--ingest-port", type=int, default=None, help="override the ingest port"
     )
     parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help=(
+            "persist confirmed alarm transitions to this journal; a"
+            " restarted gateway over the same path serves re-opened"
+            " streams their pre-crash alarm history (--serve only)"
+        ),
+    )
+    parser.add_argument(
         "--scenario",
         default="attack_xmv3",
         metavar="NAME",
@@ -233,6 +245,11 @@ def main(argv=None) -> int:
         help="concurrent replayed streams in --feed mode (default: 4)",
     )
     arguments = parser.parse_args(argv)
+    # Chaos harness hook: honour a REPRO_FAULT_PLAN env var so gateway
+    # processes launched by the chaos harness share its fault plan.
+    from repro import faults
+
+    faults.configure_from_env()
     try:
         if arguments.serve:
             return serve(arguments)

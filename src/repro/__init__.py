@@ -64,7 +64,14 @@ from repro.common.exceptions import (
     DataShapeError,
     ServiceError,
     ServiceUnavailableError,
+    CampaignIncompleteError,
+    JournalError,
+    JournalCorruptedError,
+    RetryExhaustedError,
+    FaultInjectionError,
+    InjectedFault,
     GatewayError,
+    GatewayUnavailableError,
     StreamRejectedError,
     UnknownStreamError,
     SampleRejectedError,
@@ -80,7 +87,14 @@ __all__ = [
     "DataShapeError",
     "ServiceError",
     "ServiceUnavailableError",
+    "CampaignIncompleteError",
+    "JournalError",
+    "JournalCorruptedError",
+    "RetryExhaustedError",
+    "FaultInjectionError",
+    "InjectedFault",
     "GatewayError",
+    "GatewayUnavailableError",
     "StreamRejectedError",
     "UnknownStreamError",
     "SampleRejectedError",

@@ -419,7 +419,7 @@ class Session:
     # ------------------------------------------------------------------
     # Streaming gateway (repro.gateway)
     # ------------------------------------------------------------------
-    def serve_gateway(self, seed: Optional[int] = None):
+    def serve_gateway(self, seed: Optional[int] = None, journal=None):
         """Build a streaming gateway server around this spec's monitor.
 
         Calibrates the spec's experiment (lazily, shared with :meth:`run`)
@@ -430,6 +430,12 @@ class Session:
         :meth:`~repro.gateway.server.GatewayServer.start` for background
         serving, or :meth:`~repro.gateway.server.GatewayServer.serve_forever`
         to block (the ``run_gateway.py --serve`` mode).
+
+        ``journal`` (a path) makes the pool persist confirmed alarm
+        transitions; a restarted gateway over the same journal serves a
+        re-opened stream's pre-crash alarm history.  Deliberately a
+        parameter, not a spec field: where the journal lives is a
+        deployment concern and must not alter the campaign fingerprint.
         """
         # Imported lazily: repro.gateway sits on top of repro.api, so a
         # module-level import would be circular.
@@ -440,7 +446,9 @@ class Session:
             self.spec.experiment.seed if seed is None else int(seed),
             keep_results=False,
         )
-        pool = MonitorPool(evaluation.analyzer, self.spec.gateway)
+        pool = MonitorPool(
+            evaluation.analyzer, self.spec.gateway, journal=journal
+        )
         return GatewayServer(pool)
 
     def fetch(self, url: Optional[str] = None) -> Dict[str, List[Dict[str, Any]]]:

@@ -51,8 +51,85 @@ class ServiceUnavailableError(ServiceError):
     """
 
 
+class CampaignIncompleteError(ServiceError):
+    """Tables were requested before every chunk of the campaign was acked.
+
+    The REST surface answers ``GET /campaigns/<id>/tables`` with HTTP 409
+    while chunks are still pending or leased;
+    :class:`~repro.service.client.CoordinatorClient` maps that status onto
+    this type so ``--submit --no-wait`` callers can poll without matching
+    on message strings.
+    """
+
+
+class JournalError(ReproError):
+    """A durable journal could not be read or written."""
+
+
+class JournalCorruptedError(JournalError):
+    """A journal holds a damaged record *before* its tail.
+
+    A torn tail (the partial last record of an interrupted append) is
+    expected after a crash and silently truncated on replay; a checksum
+    mismatch in the middle of the file means the storage itself corrupted
+    committed records, which replay must never paper over.
+    """
+
+    def __init__(self, path, line_number: int, reason: str):
+        super().__init__(
+            f"journal {path} is corrupted at line {line_number}: {reason}"
+        )
+        self.path = str(path)
+        self.line_number = int(line_number)
+        self.reason = str(reason)
+
+
+class RetryExhaustedError(ReproError):
+    """Every attempt a :class:`~repro.common.retry.RetryPolicy` allowed
+    failed.
+
+    Carries the full attempt trail — one
+    :class:`~repro.common.retry.Attempt` per try, with the error and the
+    backoff that followed it — and the last error as ``last_error`` (also
+    chained as ``__cause__``).
+    """
+
+    def __init__(self, description: str, attempts, last_error: BaseException):
+        self.attempts = list(attempts)
+        self.last_error = last_error
+        trail = "; ".join(str(attempt) for attempt in self.attempts)
+        super().__init__(
+            f"{description} failed after {len(self.attempts)} attempt(s): "
+            f"{trail}"
+        )
+
+
+class FaultInjectionError(ReproError):
+    """A fault plan could not be parsed or references an unknown action."""
+
+
+class InjectedFault(ConnectionError, ReproError):
+    """A transient failure raised on purpose by the fault-injection harness.
+
+    Subclasses :class:`ConnectionError` so the production error-mapping
+    paths (clients turning transport failures into
+    :class:`ServiceUnavailableError` / :class:`GatewayError`) treat an
+    injected fault exactly like a real one — the harness tests the real
+    recovery code, not a parallel path.
+    """
+
+
 class GatewayError(ReproError):
     """The streaming detection gateway rejected or failed a request."""
+
+
+class GatewayUnavailableError(GatewayError):
+    """The gateway could not be reached at all.
+
+    Raised by :class:`~repro.gateway.client.StreamClient` on connection
+    failures and timeouts — the transport-level subset of
+    :class:`GatewayError` that a retry policy may safely re-send.
+    """
 
 
 class StreamRejectedError(GatewayError):

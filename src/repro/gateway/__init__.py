@@ -18,7 +18,13 @@
   per-stream status/alarms/report, SSE alarm events) and the background
   flusher that drives batched scoring and idle-stream reaping.
 * :class:`~repro.gateway.client.StreamClient` — the feeding/query client
-  (``open_stream`` / ``feed`` / ``alarms`` / ``report``).
+  (``open_stream`` / ``feed`` / ``alarms`` / ``report``), optionally
+  retrying idempotent queries and the ingest connect under a
+  :class:`~repro.common.retry.RetryPolicy`.
+* :class:`~repro.gateway.journal.AlarmJournal` — durable per-stream alarm
+  history: a pool built with ``journal=`` persists every confirmed alarm
+  transition, and a restarted gateway serves a re-opened stream its
+  pre-crash alarms.
 * :class:`~repro.gateway.metrics.GatewayMetrics` — the dependency-free
   Prometheus-style instrumentation behind ``/metrics``.
 
@@ -29,11 +35,13 @@ section and :func:`~repro.api.session.serve_gateway`); the CLI is
 
 from repro.common.config import GatewayConfig
 from repro.gateway.client import StreamClient
+from repro.gateway.journal import AlarmJournal
 from repro.gateway.metrics import Counter, Gauge, GatewayMetrics, Histogram
 from repro.gateway.pool import MonitorPool, StreamStatus
 from repro.gateway.server import GatewayServer
 
 __all__ = [
+    "AlarmJournal",
     "Counter",
     "Gauge",
     "GatewayConfig",

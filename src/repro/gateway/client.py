@@ -8,11 +8,18 @@ per open stream, discovered automatically from ``GET /health``.
 
 Error mapping mirrors :class:`~repro.service.client.CoordinatorClient`: a
 gateway that cannot be reached raises
-:class:`~repro.common.exceptions.GatewayError` with the transport failure;
-a reachable gateway that rejects a request raises
+:class:`~repro.common.exceptions.GatewayUnavailableError` with the
+transport failure; a reachable gateway that rejects a request raises
 :class:`~repro.common.exceptions.StreamRejectedError` /
 :class:`~repro.common.exceptions.UnknownStreamError` carrying the server's
 message.  Callers never see raw ``urllib`` or socket exceptions.
+
+Passing a :class:`~repro.common.retry.RetryPolicy` makes the read-only
+control-plane queries (all ``GET``) and the ingest **connect** retry
+transparently on ``GatewayUnavailableError``.  Data-plane ops riding an
+established connection (``sample``/``sync``/``close``) are never blindly
+re-sent: a lost reply on a stateful connection is ambiguous, and recovery
+there means re-opening the stream, not re-sending one frame.
 """
 
 from __future__ import annotations
@@ -23,11 +30,14 @@ import urllib.error
 import urllib.request
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro import faults
 from repro.common.exceptions import (
     GatewayError,
+    GatewayUnavailableError,
     StreamRejectedError,
     UnknownStreamError,
 )
+from repro.common.retry import RetryPolicy
 
 __all__ = ["StreamClient"]
 
@@ -83,11 +93,22 @@ class StreamClient:
         The gateway's operations URL, e.g. ``"http://127.0.0.1:8790"``.
     timeout:
         Per-request socket timeout in seconds.
+    retry:
+        Optional :class:`~repro.common.retry.RetryPolicy` applied to the
+        idempotent control-plane queries and the ingest connect on
+        transport failure.  ``None`` (the default) preserves fail-fast
+        behaviour.
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = float(timeout)
+        self.retry = retry
         self._connections: Dict[str, _StreamConnection] = {}
         self._ingest_address: Optional[Tuple[str, int]] = None
 
@@ -95,6 +116,45 @@ class StreamClient:
     # HTTP plumbing
     # ------------------------------------------------------------------
     def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        op: str = "request",
+    ) -> Dict[str, Any]:
+        # Every HTTP op on this surface is a read-only GET, so retrying on
+        # transport failure is always safe.
+        if self.retry is None:
+            return self._request_once(method, path, payload, op)
+        return self.retry.call(
+            lambda: self._request_once(method, path, payload, op),
+            retry_on=(GatewayUnavailableError,),
+            description=f"{method} {path}",
+        )
+
+    def _request_once(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]],
+        op: str,
+    ) -> Dict[str, Any]:
+        try:
+            # Fault seam: chaos plans refuse/delay/duplicate gateway
+            # queries here, upstream of the real transport.
+            directive = faults.fire(f"gateway.client.{op}", path=path)
+            response = self._http(method, path, payload)
+            if directive == "duplicate":
+                response = self._http(method, path, payload)
+            return response
+        except ConnectionError as error:
+            # Includes InjectedFault: injected transport failures take the
+            # same recovery path as real ones.
+            raise GatewayUnavailableError(
+                f"cannot reach gateway at {self.base_url}: {error}"
+            ) from None
+
+    def _http(
         self,
         method: str,
         path: str,
@@ -127,7 +187,7 @@ class StreamClient:
             raise GatewayError(message) from None
         except (urllib.error.URLError, socket.timeout, ConnectionError, OSError) as error:
             reason = getattr(error, "reason", error)
-            raise GatewayError(
+            raise GatewayUnavailableError(
                 f"cannot reach gateway at {self.base_url}: {reason}"
             ) from None
 
@@ -139,6 +199,18 @@ class StreamClient:
             )
         return self._ingest_address
 
+    def _connect(self, stream_id: str) -> _StreamConnection:
+        """Dial the ingest listener once; transport failures are typed."""
+        host, port = self._ingest()
+        try:
+            # Fault seam: chaos plans refuse the ingest connect here.
+            faults.fire("gateway.client.connect", stream=stream_id)
+            return _StreamConnection(host, port, self.timeout)
+        except OSError as error:  # includes ConnectionError / InjectedFault
+            raise GatewayUnavailableError(
+                f"cannot reach gateway ingest at {host}:{port}: {error}"
+            ) from None
+
     # ------------------------------------------------------------------
     # Stream lifecycle (TCP data plane)
     # ------------------------------------------------------------------
@@ -149,13 +221,16 @@ class StreamClient:
         stream_id = str(stream_id)
         if stream_id in self._connections:
             raise StreamRejectedError(f"stream {stream_id!r} is already open here")
-        host, port = self._ingest()
-        try:
-            connection = _StreamConnection(host, port, self.timeout)
-        except OSError as error:
-            raise GatewayError(
-                f"cannot reach gateway ingest at {host}:{port}: {error}"
-            ) from None
+        if self.retry is None:
+            connection = self._connect(stream_id)
+        else:
+            # Connecting is side-effect free until the open op is acked,
+            # so a refused/injected connect is safely retried.
+            connection = self.retry.call(
+                lambda: self._connect(stream_id),
+                retry_on=(GatewayUnavailableError,),
+                description=f"connect ingest for stream {stream_id!r}",
+            )
         message: Dict[str, Any] = {"op": "open", "stream": stream_id}
         if anomaly_start_hour is not None:
             message["anomaly_start_hour"] = float(anomaly_start_hour)
@@ -206,12 +281,12 @@ class StreamClient:
     # ------------------------------------------------------------------
     def health(self) -> Dict[str, Any]:
         """The gateway's liveness document (includes the ingest address)."""
-        return self._request("GET", "/health")
+        return self._request("GET", "/health", op="health")
 
     def ready(self) -> bool:
         """Whether the pool can admit another stream."""
         try:
-            return bool(self._request("GET", "/ready").get("ready"))
+            return bool(self._request("GET", "/ready", op="ready").get("ready"))
         except StreamRejectedError:
             return False
 
@@ -229,19 +304,27 @@ class StreamClient:
 
     def streams(self) -> List[str]:
         """Ids of every open stream."""
-        return list(self._request("GET", "/streams")["streams"])
+        return list(self._request("GET", "/streams", op="streams")["streams"])
 
     def status(self, stream_id: str) -> Dict[str, Any]:
         """One stream's status mapping."""
-        return self._request("GET", f"/streams/{stream_id}")
+        return self._request("GET", f"/streams/{stream_id}", op="status")
 
     def alarms(self, stream_id: str) -> Dict[str, List[Dict[str, Any]]]:
         """Per-view alarm transitions of one stream."""
-        return dict(self._request("GET", f"/streams/{stream_id}/alarms")["alarms"])
+        return dict(
+            self._request(
+                "GET", f"/streams/{stream_id}/alarms", op="alarms"
+            )["alarms"]
+        )
 
     def report(self, stream_id: str) -> Dict[str, Any]:
         """The stream's :class:`LiveRunReport` mapping."""
-        return dict(self._request("GET", f"/streams/{stream_id}/report")["report"])
+        return dict(
+            self._request(
+                "GET", f"/streams/{stream_id}/report", op="report"
+            )["report"]
+        )
 
     # ------------------------------------------------------------------
     def _connection(self, stream_id: str) -> _StreamConnection:

@@ -108,6 +108,21 @@ class GatewayMetrics:
             "Wall time of one full background flusher pass (flush + reap).",
             buckets=LATENCY_BUCKETS,
         )
+        # PR 10: alarm-journal series, appended after every older metric
+        # so the exposition prefix stays pinned.  All zero when the pool
+        # runs without a journal.
+        self.journal_appends = self.registry.counter(
+            "gateway_journal_appends_total",
+            "Records appended to the alarm journal.",
+        )
+        self.journal_records_replayed = self.registry.counter(
+            "gateway_journal_records_replayed_total",
+            "Alarm events restored from the journal at startup.",
+        )
+        self.journal_torn_tails = self.registry.counter(
+            "gateway_journal_torn_tails_total",
+            "Torn journal tails healed at startup.",
+        )
 
     def render(self) -> str:
         """The full ``/metrics`` document (text exposition format)."""

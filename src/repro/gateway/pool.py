@@ -24,7 +24,8 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict, deque
-from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -36,10 +37,24 @@ from repro.common.exceptions import (
     StreamRejectedError,
     UnknownStreamError,
 )
+from repro.gateway.journal import AlarmJournal
 from repro.gateway.metrics import GatewayMetrics
 from repro.live.monitor import LiveMonitor
 
 __all__ = ["MonitorPool", "StreamStatus"]
+
+
+def _canonical(mapping: Dict[str, Any]) -> Dict[str, Any]:
+    """Recursively key-sort a mapping.
+
+    Alarm payloads served from live monitors and from journal replay must
+    serialize to identical bytes; sorting keys (the journal's canonical
+    form) makes the two sources indistinguishable on the wire.
+    """
+    return {
+        key: _canonical(value) if isinstance(value, dict) else value
+        for key, value in sorted(mapping.items())
+    }
 
 
 class _PendingSample:
@@ -56,7 +71,10 @@ class _PendingSample:
 class _StreamState:
     """Everything the pool holds for one open stream."""
 
-    __slots__ = ("stream_id", "monitor", "pending", "last_seen", "event_cursor")
+    __slots__ = (
+        "stream_id", "monitor", "pending", "last_seen", "event_cursor",
+        "journal_cursor",
+    )
 
     def __init__(self, stream_id: str, monitor: LiveMonitor, now: float):
         self.stream_id = stream_id
@@ -64,6 +82,7 @@ class _StreamState:
         self.pending: Deque[_PendingSample] = deque()
         self.last_seen = now
         self.event_cursor = 0  # SSE consumers track events past this point
+        self.journal_cursor: Dict[str, int] = {}  # per-view journaled count
 
 
 class StreamStatus:
@@ -143,6 +162,8 @@ class MonitorPool:
         analyzer: DualLevelAnalyzer,
         config: Optional[GatewayConfig] = None,
         clock: Callable[[], float] = time.monotonic,
+        journal: Optional[Union[str, Path, AlarmJournal]] = None,
+        journal_fsync: str = "always",
     ):
         if not analyzer.is_fitted:
             raise NotFittedError(
@@ -157,6 +178,25 @@ class MonitorPool:
         self._streams: "OrderedDict[str, _StreamState]" = OrderedDict()
         self._closed_reports: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self._lock = threading.RLock()
+        if journal is None or isinstance(journal, AlarmJournal):
+            self.journal = journal
+        else:
+            self.journal = AlarmJournal(journal, fsync=journal_fsync)
+        #: stream_id -> view -> alarm mappings confirmed before this
+        #: process started (journal replay) or by since-dropped monitors.
+        self._alarm_history: Dict[str, Dict[str, List[Dict[str, Any]]]] = {}
+        if self.journal is not None:
+            self._alarm_history = self.journal.replay()
+            self.metrics.journal_records_replayed.increment(
+                sum(
+                    len(events)
+                    for views in self._alarm_history.values()
+                    for events in views.values()
+                )
+            )
+            self.metrics.journal_torn_tails.increment(
+                self.journal.journal.torn_tails
+            )
 
     # ------------------------------------------------------------------
     # Stream lifecycle
@@ -180,6 +220,12 @@ class MonitorPool:
                 stream_id, monitor, self.clock()
             )
             self._closed_reports.pop(stream_id, None)
+            if self.journal is not None:
+                # History (if any survived a crash) is deliberately kept:
+                # a re-open continues the same plant stream, and alarms()
+                # serves the pre-crash transitions ahead of the live ones.
+                self.journal.record_open(stream_id)
+                self.metrics.journal_appends.increment()
             self.metrics.streams_opened.increment()
             self.metrics.streams_active.set(len(self._streams))
             self.metrics.streams_peak.set_max(len(self._streams))
@@ -259,6 +305,13 @@ class MonitorPool:
             self._flush_streams_locked([state])
             report = state.monitor.report().to_mapping()
             del self._streams[stream_id]
+            if self.journal is not None:
+                # A clean close ends the stream's story: the client holds
+                # the final report, so the alarm history is dropped and a
+                # later stream reusing the id starts clean.
+                self.journal.record_close(stream_id)
+                self.metrics.journal_appends.increment()
+                self._alarm_history.pop(str(stream_id), None)
             self._closed_reports[str(stream_id)] = report
             self._closed_reports.move_to_end(str(stream_id))
             while len(self._closed_reports) > self.max_closed_reports:
@@ -278,6 +331,7 @@ class MonitorPool:
             state = self._streams.pop(str(stream_id), None)
             if state is None:
                 return
+            self._preserve_history_locked(state)
             self.metrics.streams_dropped.increment()
             self._update_gauges_locked()
 
@@ -294,7 +348,7 @@ class MonitorPool:
                 if now - state.last_seen > timeout
             ]
             for stream_id in stale:
-                del self._streams[stream_id]
+                self._preserve_history_locked(self._streams.pop(stream_id))
                 self.metrics.streams_reaped.increment()
             if stale:
                 self._update_gauges_locked()
@@ -366,6 +420,43 @@ class MonitorPool:
             for event in events:
                 if event.raised:
                     self.metrics.alarms_raised.increment()
+        if self.journal is not None:
+            # Persist at confirm time: an alarm is journaled in the same
+            # locked region that scored it, before any client can read it.
+            touched = {id(state): state for state, _ in batch}
+            for state in touched.values():
+                self._journal_new_events_locked(state)
+
+    def _journal_new_events_locked(self, state: _StreamState) -> None:
+        """Append the stream's not-yet-journaled alarm transitions."""
+        for name in sorted(state.monitor.views):
+            events = state.monitor.views[name].alarms.events
+            cursor = state.journal_cursor.get(name, 0)
+            for event in events[cursor:]:
+                self.journal.record_alarm(
+                    state.stream_id, name, event.to_mapping()
+                )
+                self.metrics.journal_appends.increment()
+            state.journal_cursor[name] = len(events)
+
+    def _preserve_history_locked(self, state: _StreamState) -> None:
+        """Fold a dropped stream's confirmed alarms into served history.
+
+        Mirrors what a journal replay would rebuild, so a stream dropped
+        and re-opened within one process serves the same alarm history as
+        one dropped by a crash and re-opened after a restart.
+        """
+        if self.journal is None:
+            return
+        views = self._alarm_history.setdefault(str(state.stream_id), {})
+        for name in sorted(state.monitor.views):
+            events = state.monitor.views[name].alarms.events
+            if events:
+                views.setdefault(name, []).extend(
+                    event.to_mapping() for event in events
+                )
+        if not views:
+            self._alarm_history.pop(str(state.stream_id), None)
 
     # ------------------------------------------------------------------
     # Queries
@@ -394,6 +485,9 @@ class MonitorPool:
             monitor = state.monitor
             n_events = sum(
                 len(view.alarms.events) for view in monitor.views.values()
+            ) + sum(
+                len(events)
+                for events in self._alarm_history.get(str(stream_id), {}).values()
             )
             return StreamStatus(
                 stream_id=state.stream_id,
@@ -408,13 +502,29 @@ class MonitorPool:
             )
 
     def alarms(self, stream_id: str) -> Dict[str, List[Dict[str, Any]]]:
-        """Per-view alarm transitions of one stream (scored samples only)."""
+        """Per-view alarm transitions of one stream (scored samples only).
+
+        When the pool journals, transitions confirmed before this process
+        started (or before the stream was dropped and re-opened) come
+        first, then the live monitor's own — the full story of the plant
+        stream, not just of the current process.  Every payload is emitted
+        in canonical (key-sorted) form so the response bytes don't depend
+        on whether an event came from replayed history or live scoring.
+        """
         with self._lock:
             state = self._require(stream_id)
-            return {
-                name: [event.to_mapping() for event in view.alarms.events]
-                for name, view in sorted(state.monitor.views.items())
-            }
+            history = self._alarm_history.get(str(stream_id), {})
+            names = sorted(set(history) | set(state.monitor.views))
+            merged: Dict[str, List[Dict[str, Any]]] = {}
+            for name in names:
+                events = [dict(event) for event in history.get(name, ())]
+                view = state.monitor.views.get(name)
+                if view is not None:
+                    events.extend(
+                        event.to_mapping() for event in view.alarms.events
+                    )
+                merged[name] = [_canonical(event) for event in events]
+            return merged
 
     def alarm_feed(
         self, stream_id: str, cursor: int
@@ -424,6 +534,11 @@ class MonitorPool:
         The SSE endpoint polls this; consumers hold their own cursor, so a
         slow consumer costs the gateway nothing — events already live in
         the per-view alarm managers, nothing is buffered per consumer.
+
+        Deliberately **live-only**: an SSE consumer subscribes to what
+        happens next, not to replayed history — a reconnecting consumer
+        that wants the full story fetches :meth:`alarms` once and then
+        tails the feed.
         """
         with self._lock:
             state = self._require(stream_id)

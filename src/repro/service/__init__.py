@@ -19,7 +19,12 @@ over the wire:
   health).
 * :mod:`repro.service.client` — :class:`CoordinatorClient`: the urllib
   client mirroring the coordinator protocol, so workers drive local and
-  remote coordinators interchangeably.
+  remote coordinators interchangeably (optionally retrying idempotent
+  operations under a :class:`~repro.common.retry.RetryPolicy`).
+* :mod:`repro.service.journal` — :class:`CoordinatorJournal`: the durable
+  scheduling journal; a coordinator constructed with ``journal=`` records
+  every submit/claim/heartbeat/ack/reap and replays them on restart, so
+  chunk attempt counts and worker history survive a crash.
 
 Because results land in the location-independent NPZ cache under each
 run's content-derived key, chunk execution is idempotent and the whole
@@ -35,12 +40,14 @@ from repro.service.chunks import (
 )
 from repro.service.client import CoordinatorClient
 from repro.service.coordinator import CampaignCoordinator, CoordinatorMetrics
+from repro.service.journal import CoordinatorJournal
 from repro.service.rest import CoordinatorServer
 from repro.service.worker import ChunkWorker
 
 __all__ = [
     "CampaignCoordinator",
     "CoordinatorMetrics",
+    "CoordinatorJournal",
     "ChunkWorker",
     "CoordinatorClient",
     "CoordinatorServer",

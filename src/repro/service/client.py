@@ -11,10 +11,21 @@ coordinator.
 Error mapping: a coordinator that cannot be reached at all (connection
 refused, DNS failure, timeout) raises
 :class:`~repro.common.exceptions.ServiceUnavailableError`; a reachable
-coordinator that rejects the request (bad spec, unknown campaign, tables
-requested before completion) raises
+coordinator that rejects the request raises
 :class:`~repro.common.exceptions.ServiceError` carrying the server's
-message.  Callers never see raw ``urllib`` exceptions.
+message — with HTTP 409 from ``GET /campaigns/<id>/tables`` mapped to the
+typed :class:`~repro.common.exceptions.CampaignIncompleteError`, so
+``--submit --no-wait`` pollers branch on the exception type instead of
+string-matching.  Callers never see raw ``urllib`` exceptions.
+
+Passing a :class:`~repro.common.retry.RetryPolicy` makes every
+**idempotent** operation retry transparently on
+``ServiceUnavailableError`` (exhaustion raises
+:class:`~repro.common.exceptions.RetryExhaustedError` with the attempt
+trail).  ``claim`` is deliberately never retried here: a lost claim
+response leaves a lease the client does not know it holds, so claim
+recovery belongs to the worker loop (and to the coordinator's lease
+reaper), not to a blind re-send.
 """
 
 from __future__ import annotations
@@ -25,8 +36,14 @@ import urllib.error
 import urllib.request
 from typing import Any, Dict, List, Optional
 
+from repro import faults
 from repro.api.spec import CampaignSpec
-from repro.common.exceptions import ServiceError, ServiceUnavailableError
+from repro.common.exceptions import (
+    CampaignIncompleteError,
+    ServiceError,
+    ServiceUnavailableError,
+)
+from repro.common.retry import RetryPolicy
 
 __all__ = ["CoordinatorClient"]
 
@@ -40,15 +57,65 @@ class CoordinatorClient:
         The coordinator's base URL, e.g. ``"http://127.0.0.1:8765"``.
     timeout:
         Per-request socket timeout in seconds.
+    retry:
+        Optional :class:`~repro.common.retry.RetryPolicy` applied to
+        idempotent operations on transport failure.  ``None`` (the
+        default) preserves fail-fast behaviour.
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = float(timeout)
+        self.retry = retry
 
     # ------------------------------------------------------------------
     def _request(
-        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        op: str = "request",
+        idempotent: bool = True,
+    ) -> Dict[str, Any]:
+        if self.retry is None or not idempotent:
+            return self._request_once(method, path, payload, op)
+        return self.retry.call(
+            lambda: self._request_once(method, path, payload, op),
+            retry_on=(ServiceUnavailableError,),
+            description=f"{method} {path}",
+        )
+
+    def _request_once(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]],
+        op: str,
+    ) -> Dict[str, Any]:
+        try:
+            # Fault seam: chaos plans refuse/delay/duplicate protocol
+            # calls here, upstream of the real transport.
+            directive = faults.fire(f"service.client.{op}", path=path)
+            response = self._http(method, path, payload)
+            if directive == "duplicate":
+                # Re-send the same (idempotent) operation — the duplicated
+                # answer must match what a single send produced.
+                response = self._http(method, path, payload)
+            return response
+        except ConnectionError as error:
+            # Includes InjectedFault: injected transport failures take the
+            # same recovery path as real ones.
+            raise ServiceUnavailableError(
+                f"cannot reach campaign coordinator at {self.base_url}: {error}"
+            ) from None
+
+    def _http(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]]
     ) -> Dict[str, Any]:
         url = f"{self.base_url}{path}"
         data = None
@@ -67,9 +134,12 @@ class CoordinatorClient:
                 detail = json.loads(error.read().decode("utf-8")).get("error")
             except Exception:
                 detail = None
-            raise ServiceError(
-                detail or f"coordinator returned HTTP {error.code} for {method} {path}"
-            ) from None
+            detail = detail or (
+                f"coordinator returned HTTP {error.code} for {method} {path}"
+            )
+            if error.code == 409:
+                raise CampaignIncompleteError(detail) from None
+            raise ServiceError(detail) from None
         except (urllib.error.URLError, socket.timeout, ConnectionError, OSError) as error:
             reason = getattr(error, "reason", error)
             raise ServiceUnavailableError(
@@ -79,16 +149,24 @@ class CoordinatorClient:
     # -- coordinator protocol (what ChunkWorker drives) ----------------
     def campaign_ids(self) -> List[str]:
         """Ids of every campaign the coordinator knows about."""
-        return list(self._request("GET", "/campaigns")["campaigns"])
+        return list(
+            self._request("GET", "/campaigns", op="campaigns")["campaigns"]
+        )
 
     def spec_mapping(self, campaign_id: str) -> Dict[str, Any]:
         """The campaign's normalized spec document."""
-        return self._request("GET", f"/campaigns/{campaign_id}/spec")["spec"]
+        return self._request(
+            "GET", f"/campaigns/{campaign_id}/spec", op="spec"
+        )["spec"]
 
     def claim(self, campaign_id: str, worker_id: str) -> Optional[Dict[str, Any]]:
         """Lease the next pending chunk; None when nothing is claimable."""
         response = self._request(
-            "POST", f"/campaigns/{campaign_id}/claim", {"worker_id": worker_id}
+            "POST",
+            f"/campaigns/{campaign_id}/claim",
+            {"worker_id": worker_id},
+            op="claim",
+            idempotent=False,
         )
         return response["chunk"]
 
@@ -98,6 +176,7 @@ class CoordinatorClient:
             "POST",
             f"/campaigns/{campaign_id}/chunks/{chunk_id}/heartbeat",
             {"worker_id": worker_id},
+            op="heartbeat",
         )
         return bool(response["alive"])
 
@@ -127,24 +206,35 @@ class CoordinatorClient:
             "POST",
             f"/campaigns/{campaign_id}/chunks/{chunk_id}/ack",
             payload,
+            op="ack",
         )
 
     def progress(self, campaign_id: str) -> Dict[str, Any]:
         """Scheduling progress: chunk counts by state, run totals, complete."""
-        return self._request("GET", f"/campaigns/{campaign_id}")
+        return self._request("GET", f"/campaigns/{campaign_id}", op="progress")
 
     def chunk_states(self, campaign_id: str) -> List[Dict[str, Any]]:
         """Per-chunk state records (for monitoring, not the work loop)."""
-        return list(self._request("GET", f"/campaigns/{campaign_id}/chunks")["chunks"])
+        return list(
+            self._request(
+                "GET", f"/campaigns/{campaign_id}/chunks", op="chunks"
+            )["chunks"]
+        )
 
     def events(self, campaign_id: str) -> List[str]:
         """The coordinator's per-campaign progress log."""
-        return list(self._request("GET", f"/campaigns/{campaign_id}/events")["events"])
+        return list(
+            self._request(
+                "GET", f"/campaigns/{campaign_id}/events", op="events"
+            )["events"]
+        )
 
     def trace(self, campaign_id: str) -> List[Dict[str, Any]]:
         """The campaign's merged worker span records."""
         return list(
-            self._request("GET", f"/campaigns/{campaign_id}/trace")["spans"]
+            self._request(
+                "GET", f"/campaigns/{campaign_id}/trace", op="trace"
+            )["spans"]
         )
 
     def metrics_text(self) -> str:
@@ -166,16 +256,18 @@ class CoordinatorClient:
 
     def tables(self, campaign_id: str) -> Dict[str, Any]:
         """The reduced result tables; raises ServiceError until complete."""
-        return self._request("GET", f"/campaigns/{campaign_id}/tables")["tables"]
+        return self._request(
+            "GET", f"/campaigns/{campaign_id}/tables", op="tables"
+        )["tables"]
 
     def health(self) -> Dict[str, Any]:
         """The coordinator's liveness document."""
-        return self._request("GET", "/health")
+        return self._request("GET", "/health", op="health")
 
     # -- client-only conveniences --------------------------------------
     def submit(self, spec: CampaignSpec) -> str:
         """Submit a campaign spec; returns its campaign id (idempotent)."""
         response = self._request(
-            "POST", "/campaigns", {"spec": spec.to_mapping()}
+            "POST", "/campaigns", {"spec": spec.to_mapping()}, op="submit"
         )
         return str(response["campaign_id"])

@@ -40,16 +40,22 @@ from typing import Any, Callable, Dict, List, Optional, Union
 from repro._version import __version__
 from repro.api.session import CampaignResult, Session
 from repro.api.spec import CampaignSpec
-from repro.common.exceptions import ConfigurationError, ServiceError
+from repro.common.exceptions import (
+    CampaignIncompleteError,
+    ConfigurationError,
+    ServiceError,
+)
 from repro.experiments.parallel import ResultCache
 from repro.obs.logs import get_logger
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import span
 from repro.service.chunks import (
     WorkChunk,
     campaign_fingerprint,
     campaign_run_specs,
     shard_campaign,
 )
+from repro.service.journal import CoordinatorJournal
 
 __all__ = [
     "ChunkRecord",
@@ -109,6 +115,25 @@ class CoordinatorMetrics:
         self.leases_reaped = self.registry.counter(
             "service_leases_reaped_total",
             "Expired leases returned to the pending pool.",
+        )
+        # Journal gauges mirror the Journal's own counters on every scrape
+        # (recomputed in metrics_render, like the chunk-state gauges), so
+        # they can never drift from the file they describe.
+        self.journal_appends = self.registry.gauge(
+            "service_journal_appends",
+            "Scheduling events appended to the durable journal.",
+        )
+        self.journal_records_replayed = self.registry.gauge(
+            "service_journal_records_replayed",
+            "Journal records applied during restart replay.",
+        )
+        self.journal_torn_tails = self.registry.gauge(
+            "service_journal_torn_tails",
+            "Torn journal tails healed on replay.",
+        )
+        self.journal_compactions = self.registry.gauge(
+            "service_journal_compactions",
+            "Journal compactions (snapshot rewrites).",
         )
 
     def render(self) -> str:
@@ -187,6 +212,17 @@ class CampaignCoordinator:
         overrides it per campaign.
     clock:
         Monotonic time source, injectable for tests.
+    journal:
+        Optional path (or prebuilt :class:`CoordinatorJournal`) of the
+        durable scheduling journal.  Every submit/claim/heartbeat/ack/reap
+        is appended before the request is answered; on construction the
+        journal is replayed, so a restarted coordinator resumes with its
+        chunk attempt counts and worker history intact (chunks that were
+        leased when the old process died return to pending — their
+        monotonic deadlines did not survive it).  ``None`` (the default)
+        keeps the coordinator purely in-memory, as before.
+    journal_fsync:
+        Journal durability policy: ``"always"`` (default) or ``"never"``.
 
     All public methods are thread-safe (the REST surface serves each
     request on its own thread).
@@ -197,6 +233,8 @@ class CampaignCoordinator:
         cache_dir: Union[str, Path],
         lease_seconds: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
+        journal: Optional[Union[str, Path, CoordinatorJournal]] = None,
+        journal_fsync: str = "always",
     ):
         self.cache_dir = str(cache_dir)
         self.lease_seconds = lease_seconds
@@ -204,6 +242,12 @@ class CampaignCoordinator:
         self._lock = threading.Lock()
         self._campaigns: Dict[str, CampaignRecord] = {}
         self.metrics = CoordinatorMetrics()
+        if journal is None or isinstance(journal, CoordinatorJournal):
+            self.journal = journal
+        else:
+            self.journal = CoordinatorJournal(journal, fsync=journal_fsync)
+        if self.journal is not None:
+            self._replay_journal()
 
     # ------------------------------------------------------------------
     # Submission
@@ -238,25 +282,31 @@ class CampaignCoordinator:
         with self._lock:
             record = self._campaigns.get(campaign_id)
             if record is None:
-                chunks = [
-                    ChunkRecord(chunk=chunk) for chunk in shard_campaign(spec)
-                ]
-                record = CampaignRecord(
-                    campaign_id=campaign_id,
-                    spec=spec,
-                    chunks=chunks,
-                    run_specs=campaign_run_specs(spec),
-                )
-                self._campaigns[campaign_id] = record
+                record = self._register_locked(campaign_id, spec)
+                if self.journal is not None:
+                    self.journal.record_submit(campaign_id, spec.to_mapping())
                 self._log(
                     record,
                     f"submitted: {spec.name!r}, {record.n_runs} runs in "
-                    f"{len(chunks)} chunks",
+                    f"{len(record.chunks)} chunks",
                 )
             else:
                 self._log(record, "re-submitted (idempotent)")
             self.metrics.submissions.increment()
         return campaign_id
+
+    def _register_locked(
+        self, campaign_id: str, spec: CampaignSpec
+    ) -> CampaignRecord:
+        """Create the scheduling record of a new campaign (lock held)."""
+        record = CampaignRecord(
+            campaign_id=campaign_id,
+            spec=spec,
+            chunks=[ChunkRecord(chunk=chunk) for chunk in shard_campaign(spec)],
+            run_specs=campaign_run_specs(spec),
+        )
+        self._campaigns[campaign_id] = record
+        return record
 
     # ------------------------------------------------------------------
     # Worker protocol
@@ -287,6 +337,12 @@ class CampaignCoordinator:
                     f"(attempt {chunk_record.attempts}, lease {lease:g} s)",
                 )
                 self.metrics.claims.increment()
+                if self.journal is not None:
+                    self.journal.record_claim(
+                        campaign_id,
+                        chunk_record.chunk.chunk_id,
+                        str(worker_id),
+                    )
                 return {
                     **chunk_record.chunk.to_mapping(),
                     "campaign_id": campaign_id,
@@ -312,6 +368,10 @@ class CampaignCoordinator:
                 return False
             chunk_record.lease_deadline = self._clock() + self._lease_of(record)
             self.metrics.heartbeats.increment()
+            if self.journal is not None:
+                self.journal.record_heartbeat(
+                    campaign_id, chunk_id, str(worker_id)
+                )
             return True
 
     def ack(
@@ -341,15 +401,24 @@ class CampaignCoordinator:
                 return {"accepted": True, "missing": 0, "complete": record.is_complete}
             missing = self._missing_results(record, chunk_record.chunk)
             if missing:
-                chunk_record.state = PENDING
-                chunk_record.worker_id = None
-                chunk_record.lease_deadline = None
+                # Only the current lease holder's failed ack releases the
+                # chunk: a rejected ack from an evicted worker must not
+                # clear a lease that has since been reassigned.
+                if chunk_record.worker_id == str(worker_id):
+                    chunk_record.state = PENDING
+                    chunk_record.worker_id = None
+                    chunk_record.lease_deadline = None
                 self._log(
                     record,
                     f"ack rejected: {chunk_id} from {worker_id} "
                     f"({missing} results missing from the shared cache)",
                 )
                 self.metrics.acks_rejected.increment()
+                if self.journal is not None:
+                    self.journal.record_ack(
+                        campaign_id, chunk_id, str(worker_id),
+                        accepted=False, n_simulated=0, n_cache_hits=0,
+                    )
                 return {"accepted": False, "missing": missing, "complete": False}
             if spans:
                 record.spans.extend(
@@ -368,6 +437,13 @@ class CampaignCoordinator:
                 + ("; campaign complete" if complete else ""),
             )
             self.metrics.acks.increment()
+            if self.journal is not None:
+                self.journal.record_ack(
+                    campaign_id, chunk_id, str(worker_id),
+                    accepted=True,
+                    n_simulated=int(n_simulated),
+                    n_cache_hits=int(n_cache_hits),
+                )
             return {"accepted": True, "missing": 0, "complete": complete}
 
     # ------------------------------------------------------------------
@@ -449,7 +525,7 @@ class CampaignCoordinator:
             record = self._require(campaign_id)
             self._reap(record)
             if not record.is_complete:
-                raise ServiceError(
+                raise CampaignIncompleteError(
                     f"campaign {campaign_id} is not complete "
                     f"({sum(c.state == DONE for c in record.chunks)}/"
                     f"{len(record.chunks)} chunks done)"
@@ -478,7 +554,129 @@ class CampaignCoordinator:
                 "version": __version__,
                 "cache_dir": self.cache_dir,
                 "n_campaigns": len(self._campaigns),
+                "journal": (
+                    str(self.journal.path) if self.journal is not None else None
+                ),
             }
+
+    # ------------------------------------------------------------------
+    # Journal replay (construction time)
+    # ------------------------------------------------------------------
+    def _replay_journal(self) -> None:
+        """Rebuild scheduling state from the journal, then compact it.
+
+        Chunks left leased by the dead process return to pending (their
+        monotonic deadlines are meaningless here) with attempt counts and
+        event history preserved; the replayed journal is then rewritten
+        as one snapshot per campaign so restart cost tracks live state,
+        not campaign history.
+        """
+        with span("journal.replay", path=str(self.journal.path)):
+            records = self.journal.replay()
+            with self._lock:
+                skipped = 0
+                for record in records:
+                    skipped += 0 if self._apply_replayed_locked(record) else 1
+                revived = 0
+                for campaign in self._campaigns.values():
+                    for chunk_record in campaign.chunks:
+                        if chunk_record.state == LEASED:
+                            chunk_record.state = PENDING
+                            chunk_record.worker_id = None
+                            chunk_record.lease_deadline = None
+                            revived += 1
+                for campaign in self._campaigns.values():
+                    self._log(
+                        campaign,
+                        "journal replay: restored "
+                        f"{sum(c.state == DONE for c in campaign.chunks)} done"
+                        f"/{len(campaign.chunks)} chunks",
+                    )
+                if records:
+                    self._compact_journal_locked()
+        if records:
+            _LOG.info(
+                f"journal replayed: {len(records)} records, "
+                f"{len(self._campaigns)} campaigns, {revived} leases "
+                f"returned to pending, {skipped} records skipped"
+            )
+
+    def _apply_replayed_locked(self, record: Dict[str, Any]) -> bool:
+        """Apply one journal record; returns False when it was skipped."""
+        event = record.get("event")
+        if event in ("submit", "snapshot"):
+            spec = CampaignSpec.from_mapping(record["spec"])
+            campaign_id = record["campaign_id"]
+            campaign = self._campaigns.get(campaign_id)
+            if campaign is None:
+                campaign = self._register_locked(campaign_id, spec)
+            if event == "snapshot":
+                self._apply_snapshot_locked(campaign, record)
+            return True
+        campaign = self._campaigns.get(record.get("campaign_id"))
+        if campaign is None:
+            return False
+        if event == "heartbeat":
+            return True  # only extended a dead process's deadline
+        try:
+            chunk_record = self._chunk(campaign, record.get("chunk_id"))
+        except ServiceError:
+            return False
+        if event == "claim":
+            chunk_record.state = LEASED
+            chunk_record.worker_id = record.get("worker_id")
+            chunk_record.lease_deadline = None
+            chunk_record.attempts += 1
+            return True
+        if event == "ack":
+            if record.get("accepted"):
+                chunk_record.state = DONE
+                chunk_record.worker_id = record.get("worker_id")
+                chunk_record.lease_deadline = None
+                chunk_record.n_simulated = int(record.get("n_simulated", 0))
+                chunk_record.n_cache_hits = int(record.get("n_cache_hits", 0))
+            else:
+                chunk_record.state = PENDING
+                chunk_record.worker_id = None
+                chunk_record.lease_deadline = None
+            return True
+        if event == "reap":
+            if chunk_record.state == LEASED:
+                chunk_record.state = PENDING
+                chunk_record.worker_id = None
+                chunk_record.lease_deadline = None
+            return True
+        return False  # unknown event type: tolerate forward schemas
+
+    def _apply_snapshot_locked(
+        self, campaign: CampaignRecord, record: Dict[str, Any]
+    ) -> None:
+        by_id = {c.chunk.chunk_id: c for c in campaign.chunks}
+        for entry in record.get("chunks", []):
+            chunk_record = by_id.get(entry.get("chunk_id"))
+            if chunk_record is None:
+                continue
+            state = entry.get("state", PENDING)
+            chunk_record.state = DONE if state == DONE else PENDING
+            chunk_record.worker_id = (
+                entry.get("worker_id") if state == DONE else None
+            )
+            chunk_record.lease_deadline = None
+            chunk_record.attempts = int(entry.get("attempts", 0))
+            chunk_record.n_simulated = int(entry.get("n_simulated", 0))
+            chunk_record.n_cache_hits = int(entry.get("n_cache_hits", 0))
+
+    def _compact_journal_locked(self) -> None:
+        """Rewrite the journal as one snapshot record per campaign."""
+        snapshots = [
+            CoordinatorJournal.snapshot_record(
+                campaign.campaign_id,
+                campaign.spec.to_mapping(),
+                [chunk.to_mapping() for chunk in campaign.chunks],
+            )
+            for campaign in self._campaigns.values()
+        ]
+        self.journal.compact(snapshots)
 
     # ------------------------------------------------------------------
     # Internals (call with the lock held)
@@ -517,10 +715,17 @@ class CampaignCoordinator:
                     f"lease expired: {chunk_record.chunk.chunk_id} "
                     f"(was {chunk_record.worker_id}); back to pending",
                 )
+                evicted = chunk_record.worker_id
                 chunk_record.state = PENDING
                 chunk_record.worker_id = None
                 chunk_record.lease_deadline = None
                 self.metrics.leases_reaped.increment()
+                if self.journal is not None:
+                    self.journal.record_reap(
+                        record.campaign_id,
+                        chunk_record.chunk.chunk_id,
+                        evicted,
+                    )
 
     def _refresh_gauges(self) -> None:
         """Recompute the chunk-state gauges from the scheduling records."""
@@ -540,6 +745,12 @@ class CampaignCoordinator:
         self.metrics.chunks_leased.set(states.count(LEASED))
         self.metrics.chunks_done.set(states.count(DONE))
         self.metrics.workers_active.set(len(workers))
+        if self.journal is not None:
+            journal = self.journal.journal
+            self.metrics.journal_appends.set(journal.appends)
+            self.metrics.journal_records_replayed.set(journal.records_replayed)
+            self.metrics.journal_torn_tails.set(journal.torn_tails)
+            self.metrics.journal_compactions.set(journal.compactions)
 
     def _missing_results(self, record: CampaignRecord, chunk: WorkChunk) -> int:
         """How many of a chunk's runs have no entry in the shared cache."""

@@ -37,7 +37,11 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
 from repro.api.spec import CampaignSpec
-from repro.common.exceptions import ConfigurationError, ServiceError
+from repro.common.exceptions import (
+    CampaignIncompleteError,
+    ConfigurationError,
+    ServiceError,
+)
 from repro.service.coordinator import CampaignCoordinator
 
 __all__ = ["CoordinatorServer"]
@@ -141,9 +145,7 @@ class _Handler(BaseHTTPRequestHandler):
             else:  # tables
                 try:
                     self._reply(200, {"tables": coordinator.tables(campaign_id)})
-                except ServiceError as error:
-                    if "not complete" not in str(error):
-                        raise
+                except CampaignIncompleteError as error:
                     self._error(409, str(error))
             return
         self._error(404, f"no such resource: {self.path}")

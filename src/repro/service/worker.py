@@ -18,7 +18,18 @@ at most the runs it had not yet finished.
 While a chunk simulates, a daemon heartbeat thread renews the lease every
 ``[service] heartbeat_seconds``; if the coordinator refuses a renewal (the
 lease expired and was reclaimed), the worker abandons the chunk after the
-current engine call instead of acking it.
+current engine call instead of acking it.  The heartbeat thread is always
+stopped and joined *before* the final ack, so a worker that returns from
+:meth:`drain_all` leaves no thread behind.
+
+With a :class:`~repro.common.retry.RetryPolicy`, the claim/progress loop
+rides out transient coordinator outages.  Retrying a *claim* is safe at
+this layer (unlike in the client) because a claim whose response was lost
+merely leaves a lease nobody works on — the coordinator's reaper returns
+it to the pool after ``lease_seconds``, costing latency, never
+correctness.  A worker whose retries exhaust raises
+:class:`~repro.common.exceptions.RetryExhaustedError` to its caller
+(``run_campaign.py --worker`` exits non-zero on it).
 """
 
 from __future__ import annotations
@@ -30,7 +41,10 @@ import uuid
 from dataclasses import replace
 from typing import Any, Dict, Optional
 
+from repro import faults
 from repro.api.spec import CampaignSpec
+from repro.common.exceptions import ServiceUnavailableError
+from repro.common.retry import RetryPolicy
 from repro.experiments.parallel import CampaignEngine
 from repro.obs.logs import get_logger, log_context
 from repro.obs.trace import Tracer, get_tracer, set_tracer
@@ -58,6 +72,10 @@ class ChunkWorker:
     n_workers:
         Override of the per-chunk process fan-out (``None`` keeps the
         spec's execution plan).  ``1`` makes the worker purely in-process.
+    retry:
+        Optional :class:`~repro.common.retry.RetryPolicy` for the worker's
+        own claim/progress loop (transient coordinator outages).  ``None``
+        keeps the loop fail-fast.
     """
 
     def __init__(
@@ -66,6 +84,7 @@ class ChunkWorker:
         worker_id: Optional[str] = None,
         cache_dir: Optional[str] = None,
         n_workers: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
     ):
         self.coordinator = coordinator
         self.worker_id = worker_id or (
@@ -73,11 +92,16 @@ class ChunkWorker:
         )
         self.cache_dir = cache_dir
         self.n_workers = n_workers
+        self.retry = retry
         self.n_chunks_done = 0
         self.n_chunks_abandoned = 0
         self.n_simulated = 0
         self.n_cache_hits = 0
         self._specs: Dict[str, CampaignSpec] = {}
+        #: The most recent chunk's heartbeat thread — always signalled and
+        #: joined before the chunk's ack; kept so tests (and operators)
+        #: can assert it actually died.
+        self.last_heartbeat_thread: Optional[threading.Thread] = None
 
     # ------------------------------------------------------------------
     def _spec_of(self, campaign_id: str) -> CampaignSpec:
@@ -140,12 +164,20 @@ class ChunkWorker:
 
         heartbeat_thread = threading.Thread(target=beat, daemon=True)
         heartbeat_thread.start()
+        self.last_heartbeat_thread = heartbeat_thread
         try:
             with log_context(
                 campaign=campaign_id,
                 chunk=chunk.chunk_id,
                 worker=self.worker_id,
             ):
+                # Fault seam: chaos plans kill the worker here — after the
+                # claim, before any run publishes.
+                faults.fire(
+                    "service.worker.execute",
+                    campaign=campaign_id,
+                    chunk=chunk.chunk_id,
+                )
                 if tracer is not None:
                     with tracer.span(
                         "worker.chunk",
@@ -162,8 +194,22 @@ class ChunkWorker:
                 else:
                     engine.run(specs, prune=False)
         finally:
+            # Stop the heartbeat before anything else — in particular
+            # before the final ack — and wait for the thread to actually
+            # die.  The join must outlast a heartbeat that is mid-flight
+            # against a slow coordinator, or the thread leaks past
+            # drain_all; the client's request timeout bounds that flight.
             stop_beating.set()
-            heartbeat_thread.join(timeout=1.0)
+            request_timeout = getattr(self.coordinator, "timeout", None)
+            heartbeat_thread.join(
+                timeout=(float(request_timeout) if request_timeout else 0.0)
+                + 5.0
+            )
+            if heartbeat_thread.is_alive():  # pragma: no cover - defensive
+                _LOG.warning(
+                    "heartbeat thread still alive after join deadline",
+                    extra={"chunk": chunk.chunk_id, "worker": self.worker_id},
+                )
             if tracer is not None:
                 set_tracer(previous_tracer)
         stats = engine.last_stats
@@ -181,6 +227,12 @@ class ChunkWorker:
             )
             return False
         spans = tracer.drain() if tracer is not None else None
+        # Fault seam: chaos plans kill the worker here — the chunk's runs
+        # are all in the shared cache, but the ack never happens, so the
+        # lease must expire and another worker re-claims into cache hits.
+        faults.fire(
+            "service.worker.ack", campaign=campaign_id, chunk=chunk.chunk_id
+        )
         response = self.coordinator.ack(
             campaign_id,
             chunk.chunk_id,
@@ -205,9 +257,34 @@ class ChunkWorker:
         return False
 
     # ------------------------------------------------------------------
+    def _claim(self, campaign_id: str) -> Optional[Dict[str, Any]]:
+        """Claim a chunk, retrying transient outages when a policy is set.
+
+        Safe here (unlike in the client): a claim that succeeded
+        server-side but lost its response leaves an unworked lease the
+        coordinator reaps after ``lease_seconds`` — latency, not
+        corruption.
+        """
+        if self.retry is None:
+            return self.coordinator.claim(campaign_id, self.worker_id)
+        return self.retry.call(
+            lambda: self.coordinator.claim(campaign_id, self.worker_id),
+            retry_on=(ServiceUnavailableError,),
+            description=f"claim chunk of campaign {campaign_id}",
+        )
+
+    def _progress(self, campaign_id: str) -> Dict[str, Any]:
+        if self.retry is None:
+            return self.coordinator.progress(campaign_id)
+        return self.retry.call(
+            lambda: self.coordinator.progress(campaign_id),
+            retry_on=(ServiceUnavailableError,),
+            description=f"progress of campaign {campaign_id}",
+        )
+
     def run_once(self, campaign_id: str) -> bool:
         """Claim and execute at most one chunk; True when one was executed."""
-        descriptor = self.coordinator.claim(campaign_id, self.worker_id)
+        descriptor = self._claim(campaign_id)
         if descriptor is None:
             return False
         self._execute(campaign_id, descriptor)
@@ -226,7 +303,7 @@ class ChunkWorker:
             if self.run_once(campaign_id):
                 executed += 1
                 continue
-            progress = self.coordinator.progress(campaign_id)
+            progress = self._progress(campaign_id)
             if progress["complete"]:
                 return executed
             time.sleep(
@@ -256,7 +333,7 @@ class ChunkWorker:
             incomplete = [
                 campaign_id
                 for campaign_id in self.coordinator.campaign_ids()
-                if not self.coordinator.progress(campaign_id)["complete"]
+                if not self._progress(campaign_id)["complete"]
             ]
             if not incomplete:
                 if max_idle is not None:

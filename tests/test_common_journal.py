@@ -1,0 +1,245 @@
+"""Tests for the checksummed JSONL write-ahead journal."""
+
+import json
+import threading
+import zlib
+
+import pytest
+
+from repro.common.exceptions import ConfigurationError, JournalCorruptedError
+from repro.common.journal import Journal, decode_line, encode_record
+
+RECORDS = [
+    {"event": "submit", "campaign": "abc", "n_chunks": 3},
+    {"event": "claim", "chunk": 0, "worker": "w1"},
+    {"event": "ack", "chunk": 0, "worker": "w1", "ok": True},
+]
+
+
+def write_journal(path, records=RECORDS):
+    journal = Journal(path)
+    for record in records:
+        journal.append(record)
+    journal.close()
+    return journal
+
+
+class TestLineFormat:
+    def test_encode_decode_round_trip(self):
+        record = {"b": [1, 2], "a": "x", "nested": {"k": None}}
+        assert decode_line(encode_record(record).rstrip(b"\n")) == record
+
+    def test_payload_is_canonical_json(self):
+        line = encode_record({"b": 2, "a": 1})
+        checksum, payload = line.rstrip(b"\n").split(b"\t", 1)
+        assert payload == b'{"a":1,"b":2}'
+        assert int(checksum, 16) == zlib.crc32(payload)
+
+    def test_decode_rejects_bad_checksum(self):
+        line = encode_record({"a": 1}).rstrip(b"\n")
+        damaged = line[:-2] + b"xx"
+        with pytest.raises(ValueError, match="checksum|payload"):
+            decode_line(damaged)
+
+    def test_decode_rejects_missing_separator(self):
+        with pytest.raises(ValueError, match="separator"):
+            decode_line(b"deadbeef")
+
+    def test_decode_rejects_non_object_payload(self):
+        payload = b"[1,2]"
+        line = f"{zlib.crc32(payload):08x}".encode() + b"\t" + payload
+        with pytest.raises(ValueError, match="not a JSON object"):
+            decode_line(line)
+
+
+class TestAppendReplay:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "events.journal"
+        write_journal(path)
+        replayed = Journal(path).replay()
+        assert replayed == RECORDS
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        journal = Journal(tmp_path / "never-written.journal")
+        assert journal.replay() == []
+        assert journal.replays == 1
+
+    def test_append_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "events.journal"
+        write_journal(path, RECORDS[:1])
+        assert Journal(path).replay() == RECORDS[:1]
+
+    def test_counters(self, tmp_path):
+        path = tmp_path / "events.journal"
+        journal = write_journal(path)
+        assert journal.appends == len(RECORDS)
+        reader = Journal(path)
+        reader.replay()
+        assert reader.replays == 1
+        assert reader.records_replayed == len(RECORDS)
+        assert reader.torn_tails == 0
+
+    def test_fsync_policy_validated(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="fsync"):
+            Journal(tmp_path / "x.journal", fsync="sometimes")
+
+    def test_concurrent_appends_all_commit(self, tmp_path):
+        path = tmp_path / "events.journal"
+        journal = Journal(path, fsync="never")
+
+        def appender(worker):
+            for i in range(25):
+                journal.append({"worker": worker, "i": i})
+
+        threads = [
+            threading.Thread(target=appender, args=(w,)) for w in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        journal.close()
+        replayed = Journal(path).replay()
+        assert len(replayed) == 100
+        for worker in range(4):
+            ours = [r["i"] for r in replayed if r["worker"] == worker]
+            assert ours == list(range(25))
+
+
+class TestTornTail:
+    def test_truncated_tail_is_healed(self, tmp_path):
+        path = tmp_path / "events.journal"
+        write_journal(path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-5])  # tear the last record mid-payload
+        journal = Journal(path)
+        assert journal.replay() == RECORDS[:2]
+        assert journal.torn_tails == 1
+        # The file was physically healed: a fresh replay sees no damage.
+        fresh = Journal(path)
+        assert fresh.replay() == RECORDS[:2]
+        assert fresh.torn_tails == 0
+
+    def test_corrupt_last_checksum_is_a_torn_tail(self, tmp_path):
+        path = tmp_path / "events.journal"
+        write_journal(path)
+        raw = path.read_bytes()
+        lines = raw.splitlines(keepends=True)
+        lines[-1] = b"00000000" + lines[-1][8:]
+        path.write_bytes(b"".join(lines))
+        journal = Journal(path)
+        assert journal.replay() == RECORDS[:2]
+        assert journal.torn_tails == 1
+
+    def test_append_after_heal_continues_the_log(self, tmp_path):
+        path = tmp_path / "events.journal"
+        write_journal(path)
+        path.write_bytes(path.read_bytes()[:-5])
+        journal = Journal(path)
+        journal.replay()
+        journal.append({"event": "resume"})
+        journal.close()
+        assert Journal(path).replay() == RECORDS[:2] + [{"event": "resume"}]
+
+    def test_whole_file_torn_replays_empty(self, tmp_path):
+        path = tmp_path / "events.journal"
+        write_journal(path, RECORDS[:1])
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        journal = Journal(path)
+        assert journal.replay() == []
+        assert journal.torn_tails == 1
+        assert path.read_bytes() == b""
+
+
+class TestCorruption:
+    def test_mid_file_damage_raises(self, tmp_path):
+        path = tmp_path / "events.journal"
+        write_journal(path)
+        raw = path.read_bytes()
+        lines = raw.splitlines(keepends=True)
+        lines[0] = b"00000000" + lines[0][8:]
+        path.write_bytes(b"".join(lines))
+        with pytest.raises(JournalCorruptedError) as excinfo:
+            Journal(path).replay()
+        assert excinfo.value.line_number == 1
+
+    def test_bit_flip_in_committed_region_raises(self, tmp_path):
+        path = tmp_path / "events.journal"
+        write_journal(path)
+        raw = bytearray(path.read_bytes())
+        raw[15] ^= 0x40  # inside the first record's payload
+        path.write_bytes(bytes(raw))
+        with pytest.raises(JournalCorruptedError):
+            Journal(path).replay()
+
+    def test_two_damaged_records_raise(self, tmp_path):
+        path = tmp_path / "events.journal"
+        write_journal(path)
+        raw = path.read_bytes()
+        lines = raw.splitlines(keepends=True)
+        lines[1] = b"00000000" + lines[1][8:]
+        lines[2] = b"00000000" + lines[2][8:]
+        path.write_bytes(b"".join(lines))
+        with pytest.raises(JournalCorruptedError) as excinfo:
+            Journal(path).replay()
+        assert excinfo.value.line_number == 2
+
+    def test_error_carries_location(self, tmp_path):
+        path = tmp_path / "events.journal"
+        write_journal(path)
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[0] = b"zzzzzzzz" + lines[0][8:]
+        path.write_bytes(b"".join(lines))
+        with pytest.raises(JournalCorruptedError) as excinfo:
+            Journal(path).replay()
+        assert excinfo.value.path == str(path)
+        assert "line 1" in str(excinfo.value)
+
+
+class TestCompaction:
+    def test_compact_replaces_contents(self, tmp_path):
+        path = tmp_path / "events.journal"
+        journal = write_journal(path)
+        snapshot = [{"event": "snapshot", "chunks": 3}]
+        assert journal.compact(snapshot) == 1
+        assert journal.compactions == 1
+        assert Journal(path).replay() == snapshot
+
+    def test_compact_to_empty(self, tmp_path):
+        path = tmp_path / "events.journal"
+        journal = write_journal(path)
+        journal.compact([])
+        assert Journal(path).replay() == []
+
+    def test_compact_leaves_no_temp_file(self, tmp_path):
+        path = tmp_path / "events.journal"
+        journal = write_journal(path)
+        journal.compact(RECORDS[:1])
+        assert [p.name for p in tmp_path.iterdir()] == ["events.journal"]
+
+    def test_append_after_compact(self, tmp_path):
+        path = tmp_path / "events.journal"
+        journal = write_journal(path)
+        journal.compact(RECORDS[:1])
+        journal.append({"event": "post-compact"})
+        journal.close()
+        assert Journal(path).replay() == RECORDS[:1] + [
+            {"event": "post-compact"}
+        ]
+
+
+class TestDeterminism:
+    def test_identical_records_produce_identical_bytes(self, tmp_path):
+        a, b = tmp_path / "a.journal", tmp_path / "b.journal"
+        write_journal(a)
+        write_journal(b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_replayed_records_reserialize_identically(self, tmp_path):
+        path = tmp_path / "events.journal"
+        write_journal(path)
+        replayed = Journal(path).replay()
+        assert json.dumps(replayed, sort_keys=True) == json.dumps(
+            RECORDS, sort_keys=True
+        )

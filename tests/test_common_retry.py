@@ -1,0 +1,222 @@
+"""Tests for the deterministic retry policy."""
+
+import pytest
+
+from repro.common.exceptions import (
+    ConfigurationError,
+    RetryExhaustedError,
+    ServiceError,
+)
+from repro.common.retry import Attempt, RetryPolicy
+
+
+class Flaky:
+    """Fails the first *failures* calls, then succeeds."""
+
+    def __init__(self, failures, error=ConnectionError("refused")):
+        self.failures = failures
+        self.error = error
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error
+        return "ok"
+
+
+def fast_policy(**kwargs):
+    defaults = dict(
+        max_attempts=4,
+        base_delay_seconds=0.1,
+        multiplier=2.0,
+        max_delay_seconds=1.0,
+        jitter=0.0,
+        budget_seconds=10.0,
+        seed=3,
+    )
+    defaults.update(kwargs)
+    return RetryPolicy(**defaults)
+
+
+class TestCall:
+    def test_success_first_try_never_sleeps(self):
+        sleeps = []
+        result = fast_policy().call(
+            lambda: "ok", retry_on=(ConnectionError,), sleep=sleeps.append
+        )
+        assert result == "ok"
+        assert sleeps == []
+
+    def test_retries_until_success(self):
+        fn = Flaky(2)
+        sleeps = []
+        result = fast_policy().call(
+            fn, retry_on=(ConnectionError,), sleep=sleeps.append
+        )
+        assert result == "ok"
+        assert fn.calls == 3
+        assert sleeps == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_backoff_is_exponential_and_capped(self):
+        fn = Flaky(5)
+        sleeps = []
+        policy = fast_policy(max_attempts=6, max_delay_seconds=0.4)
+        policy.call(fn, retry_on=(ConnectionError,), sleep=sleeps.append)
+        assert sleeps == [
+            pytest.approx(d) for d in (0.1, 0.2, 0.4, 0.4, 0.4)
+        ]
+
+    def test_non_matching_error_propagates_immediately(self):
+        fn = Flaky(1, error=ServiceError("typed rejection"))
+        with pytest.raises(ServiceError, match="typed rejection"):
+            fast_policy().call(
+                fn, retry_on=(ConnectionError,), sleep=lambda _: None
+            )
+        assert fn.calls == 1
+
+    def test_on_retry_observes_each_failure(self):
+        fn = Flaky(2)
+        seen = []
+        fast_policy().call(
+            fn,
+            retry_on=(ConnectionError,),
+            sleep=lambda _: None,
+            on_retry=seen.append,
+        )
+        assert [a.number for a in seen] == [1, 2]
+        assert all(isinstance(a, Attempt) for a in seen)
+
+
+class TestExhaustion:
+    def test_raises_with_attempt_trail(self):
+        fn = Flaky(10)
+        policy = fast_policy(max_attempts=3)
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            policy.call(
+                fn,
+                retry_on=(ConnectionError,),
+                description="claim status",
+                sleep=lambda _: None,
+            )
+        error = excinfo.value
+        assert fn.calls == 3
+        assert len(error.attempts) == 3
+        assert [a.number for a in error.attempts] == [1, 2, 3]
+        assert isinstance(error.last_error, ConnectionError)
+        assert error.__cause__ is error.last_error
+        assert "claim status" in str(error)
+        assert "3 attempt(s)" in str(error)
+
+    def test_final_attempt_records_no_sleep(self):
+        fn = Flaky(10)
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            fast_policy(max_attempts=2).call(
+                fn, retry_on=(ConnectionError,), sleep=lambda _: None
+            )
+        assert excinfo.value.attempts[-1].delay_seconds == 0.0
+
+    def test_max_attempts_one_means_no_retry(self):
+        fn = Flaky(10)
+        sleeps = []
+        with pytest.raises(RetryExhaustedError):
+            fast_policy(max_attempts=1).call(
+                fn, retry_on=(ConnectionError,), sleep=sleeps.append
+            )
+        assert fn.calls == 1
+        assert sleeps == []
+
+
+class TestBudget:
+    def test_budget_clamps_total_sleep(self):
+        fn = Flaky(10)
+        sleeps = []
+        policy = fast_policy(
+            max_attempts=10, base_delay_seconds=1.0, max_delay_seconds=8.0,
+            budget_seconds=2.5,
+        )
+        with pytest.raises(RetryExhaustedError):
+            policy.call(fn, retry_on=(ConnectionError,), sleep=sleeps.append)
+        assert sum(sleeps) <= 2.5 + 1e-9
+        # Budget exhaustion stopped it long before max_attempts.
+        assert fn.calls < 10
+
+    def test_zero_budget_means_one_attempt_without_sleep(self):
+        fn = Flaky(10)
+        sleeps = []
+        policy = fast_policy(max_attempts=5, budget_seconds=0.0)
+        with pytest.raises(RetryExhaustedError):
+            policy.call(fn, retry_on=(ConnectionError,), sleep=sleeps.append)
+        assert sleeps == []
+        assert fn.calls == 1
+
+
+class TestDeterminism:
+    def test_jitter_sequence_repeats_across_calls(self):
+        policy = fast_policy(jitter=0.5, max_attempts=5, seed=42)
+        trails = []
+        for _ in range(2):
+            sleeps = []
+            with pytest.raises(RetryExhaustedError):
+                policy.call(
+                    Flaky(10), retry_on=(ConnectionError,), sleep=sleeps.append
+                )
+            trails.append(sleeps)
+        assert trails[0] == trails[1]
+
+    def test_jitter_stays_within_bounds(self):
+        policy = fast_policy(jitter=0.25, max_attempts=8, seed=7,
+                             max_delay_seconds=100.0, budget_seconds=1000.0)
+        sleeps = []
+        with pytest.raises(RetryExhaustedError):
+            policy.call(
+                Flaky(10), retry_on=(ConnectionError,), sleep=sleeps.append
+            )
+        for n, slept in enumerate(sleeps, start=1):
+            nominal = 0.1 * 2.0 ** (n - 1)
+            assert nominal * 0.75 <= slept <= nominal * 1.25
+
+    def test_different_seeds_differ(self):
+        def trail(seed):
+            sleeps = []
+            with pytest.raises(RetryExhaustedError):
+                fast_policy(jitter=0.5, seed=seed).call(
+                    Flaky(10), retry_on=(ConnectionError,), sleep=sleeps.append
+                )
+            return sleeps
+
+        assert trail(1) != trail(2)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(max_attempts=0),
+            dict(base_delay_seconds=-0.1),
+            dict(multiplier=0.5),
+            dict(max_delay_seconds=0.01),  # < base_delay_seconds
+            dict(jitter=1.5),
+            dict(budget_seconds=-1.0),
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            fast_policy(**kwargs)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        policy = fast_policy(jitter=0.3, seed=11)
+        assert RetryPolicy.from_mapping(policy.to_mapping()) == policy
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="max_atempts"):
+            RetryPolicy.from_mapping({"max_atempts": 3})
+
+    def test_coerces_numeric_types(self):
+        policy = RetryPolicy.from_mapping(
+            {"max_attempts": "3", "base_delay_seconds": 1}
+        )
+        assert policy.max_attempts == 3
+        assert policy.base_delay_seconds == 1.0

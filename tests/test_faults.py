@@ -1,0 +1,320 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro import faults
+from repro.common.exceptions import FaultInjectionError, InjectedFault
+from repro.common.journal import Journal
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    SkewedClock,
+    flip_bit,
+    truncate_tail,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_injector():
+    yield
+    faults.uninstall()
+
+
+def plan_of(*rules, seed=0):
+    return FaultPlan(rules=rules, seed=seed)
+
+
+class TestPlanSchema:
+    def test_toml_round_trip(self):
+        text = """
+        [faults]
+        seed = 7
+
+        [[faults.rules]]
+        site = "service.client.claim"
+        action = "error"
+        times = 3
+        after = 2
+        message = "refused"
+
+        [[faults.rules]]
+        site = "journal.append"
+        action = "truncate_tail"
+        nbytes = 6
+        """
+        plan = FaultPlan.loads(text)
+        assert plan.seed == 7
+        assert len(plan.rules) == 2
+        assert plan.rules[0].times == 3
+        assert plan.rules[0].after == 2
+        assert plan.rules[1].nbytes == 6
+        assert FaultPlan.from_mapping(plan.to_mapping()) == plan
+
+    def test_json_and_bare_document(self):
+        plan = FaultPlan.loads(
+            '{"rules": [{"site": "x", "action": "delay"}]}', format="json"
+        )
+        assert plan.rules[0].action == "delay"
+
+    def test_load_by_extension(self, tmp_path):
+        toml = tmp_path / "plan.toml"
+        toml.write_text('[[faults.rules]]\nsite = "a"\naction = "error"\n')
+        assert FaultPlan.load(toml).rules[0].site == "a"
+        js = tmp_path / "plan.json"
+        js.write_text('{"rules": [{"site": "b", "action": "error"}]}')
+        assert FaultPlan.load(js).rules[0].site == "b"
+
+    def test_unknown_action_suggests(self):
+        with pytest.raises(FaultInjectionError, match="did you mean 'delay'"):
+            FaultRule(site="x", action="delya")
+
+    def test_unknown_key_suggests(self):
+        with pytest.raises(FaultInjectionError, match="did you mean 'site'"):
+            FaultRule.from_mapping({"sitee": "x", "action": "error", "site": "x"})
+
+    def test_rule_requires_site_and_action(self):
+        with pytest.raises(FaultInjectionError, match="site"):
+            FaultRule.from_mapping({"action": "error"})
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(times=-1),
+            dict(after=-1),
+            dict(probability=1.5),
+            dict(delay_seconds=-0.1),
+        ],
+    )
+    def test_bad_rule_parameters(self, kwargs):
+        with pytest.raises(FaultInjectionError):
+            FaultRule(site="x", action="error", **kwargs)
+
+
+class TestMatching:
+    def test_glob_site_matching(self):
+        injector = FaultInjector(
+            plan_of(FaultRule(site="service.client.*", action="error", times=0))
+        )
+        with pytest.raises(InjectedFault):
+            injector.fire("service.client.claim")
+        assert injector.fire("gateway.client.open") is None
+
+    def test_times_limits_firings(self):
+        injector = FaultInjector(
+            plan_of(FaultRule(site="seam", action="error", times=2))
+        )
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                injector.fire("seam")
+        assert injector.fire("seam") is None
+
+    def test_after_skips_leading_calls(self):
+        injector = FaultInjector(
+            plan_of(FaultRule(site="seam", action="error", after=2, times=1))
+        )
+        assert injector.fire("seam") is None
+        assert injector.fire("seam") is None
+        with pytest.raises(InjectedFault):
+            injector.fire("seam")
+        assert injector.fire("seam") is None
+
+    def test_zero_times_is_unlimited(self):
+        injector = FaultInjector(
+            plan_of(FaultRule(site="seam", action="duplicate", times=0))
+        )
+        assert [injector.fire("seam") for _ in range(5)] == ["duplicate"] * 5
+
+    def test_probability_is_seed_deterministic(self):
+        def firings(seed):
+            injector = FaultInjector(
+                plan_of(
+                    FaultRule(
+                        site="seam", action="duplicate", times=0,
+                        probability=0.5,
+                    ),
+                    seed=seed,
+                )
+            )
+            return [injector.fire("seam") is not None for _ in range(32)]
+
+        assert firings(3) == firings(3)
+        assert any(firings(3))
+        assert not all(firings(3))
+
+    def test_first_matching_rule_wins(self):
+        injector = FaultInjector(
+            plan_of(
+                FaultRule(site="seam", action="duplicate", times=1),
+                FaultRule(site="seam", action="error", times=0),
+            )
+        )
+        assert injector.fire("seam") == "duplicate"
+        with pytest.raises(InjectedFault):
+            injector.fire("seam")
+
+    def test_summary_reports_counts(self):
+        injector = FaultInjector(
+            plan_of(FaultRule(site="seam", action="duplicate", times=1))
+        )
+        injector.fire("seam")
+        injector.fire("seam")
+        summary = injector.summary()
+        assert summary["rules"][0]["seen"] == 2
+        assert summary["rules"][0]["fired"] == 1
+
+
+class TestActions:
+    def test_error_is_a_connection_error(self):
+        injector = FaultInjector(
+            plan_of(FaultRule(site="seam", action="error", message="boom"))
+        )
+        with pytest.raises(InjectedFault, match="boom") as excinfo:
+            injector.fire("seam")
+        assert isinstance(excinfo.value, ConnectionError)
+
+    def test_delay_sleeps(self, monkeypatch):
+        slept = []
+        monkeypatch.setattr(faults.time, "sleep", slept.append)
+        injector = FaultInjector(
+            plan_of(FaultRule(site="seam", action="delay", delay_seconds=0.02))
+        )
+        assert injector.fire("seam") is None
+        assert slept == [0.02]
+
+    def test_truncate_tail_uses_seam_path(self, tmp_path):
+        path = tmp_path / "victim.journal"
+        path.write_bytes(b"x" * 10)
+        injector = FaultInjector(
+            plan_of(FaultRule(site="seam", action="truncate_tail", nbytes=4))
+        )
+        injector.fire("seam", path=str(path))
+        assert path.stat().st_size == 6
+
+    def test_file_actions_require_a_path(self):
+        injector = FaultInjector(
+            plan_of(FaultRule(site="seam", action="bit_flip"))
+        )
+        with pytest.raises(FaultInjectionError, match="path"):
+            injector.fire("seam")
+
+    def test_skew_advances_registered_clock(self):
+        clock = SkewedClock(base=lambda: 100.0)
+        injector = FaultInjector(
+            plan_of(FaultRule(site="seam", action="skew", skew_seconds=30.0))
+        )
+        injector.register_clock(clock)
+        injector.fire("seam")
+        assert clock() == pytest.approx(130.0)
+        assert clock.skew == pytest.approx(30.0)
+
+    def test_skew_without_clock_is_a_noop(self):
+        injector = FaultInjector(
+            plan_of(FaultRule(site="seam", action="skew", skew_seconds=30.0))
+        )
+        assert injector.fire("seam") is None
+
+    def test_kill_exits_the_process_hard(self, tmp_path):
+        plan = tmp_path / "plan.toml"
+        plan.write_text('[[faults.rules]]\nsite = "boom"\naction = "kill"\n')
+        code = (
+            "from repro.faults import FaultPlan, install, fire\n"
+            f"install(FaultPlan.load({str(plan)!r}))\n"
+            "fire('boom')\n"
+            "print('survived')\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True
+        )
+        assert result.returncode == 137
+        assert "survived" not in result.stdout
+
+
+class TestFileHelpers:
+    def test_truncate_tail(self, tmp_path):
+        path = tmp_path / "f"
+        path.write_bytes(b"abcdefgh")
+        assert truncate_tail(path, 3) == 5
+        assert path.read_bytes() == b"abcde"
+
+    def test_truncate_past_start_empties(self, tmp_path):
+        path = tmp_path / "f"
+        path.write_bytes(b"ab")
+        assert truncate_tail(path, 100) == 0
+
+    def test_flip_bit_from_end(self, tmp_path):
+        path = tmp_path / "f"
+        path.write_bytes(b"\x00\x00")
+        flip_bit(path, -1)
+        assert path.read_bytes() == b"\x00\x01"
+
+    def test_flip_bit_from_start(self, tmp_path):
+        path = tmp_path / "f"
+        path.write_bytes(b"\x00")
+        flip_bit(path, 0)
+        assert path.read_bytes() == b"\x80"
+
+    def test_flip_bit_bounds(self, tmp_path):
+        path = tmp_path / "f"
+        path.write_bytes(b"\x00")
+        with pytest.raises(FaultInjectionError, match="out of range"):
+            flip_bit(path, 8)
+        path.write_bytes(b"")
+        with pytest.raises(FaultInjectionError, match="empty"):
+            flip_bit(path, 0)
+
+
+class TestInstallation:
+    def test_fire_without_injector_is_a_noop(self):
+        assert faults.fire("anything") is None
+        assert faults.current() is None
+
+    def test_install_and_uninstall(self):
+        injector = faults.install(
+            plan_of(FaultRule(site="seam", action="duplicate"))
+        )
+        assert faults.current() is injector
+        assert faults.fire("seam") == "duplicate"
+        faults.uninstall()
+        assert faults.fire("seam") is None
+
+    def test_install_rejects_other_types(self):
+        with pytest.raises(FaultInjectionError, match="FaultPlan"):
+            faults.install({"rules": []})
+
+    def test_configure_from_env(self, tmp_path, monkeypatch):
+        plan = tmp_path / "plan.toml"
+        plan.write_text(
+            '[[faults.rules]]\nsite = "seam"\naction = "duplicate"\n'
+        )
+        monkeypatch.setenv(faults.ENV_FAULT_PLAN, str(plan))
+        injector = faults.configure_from_env()
+        assert injector is not None
+        assert faults.fire("seam") == "duplicate"
+
+    def test_configure_from_env_without_variable(self, monkeypatch):
+        monkeypatch.delenv(faults.ENV_FAULT_PLAN, raising=False)
+        assert faults.configure_from_env() is None
+
+
+class TestJournalSeam:
+    def test_plan_damages_journal_tail_behind_the_writer(self, tmp_path):
+        path = tmp_path / "events.journal"
+        faults.install(
+            plan_of(
+                FaultRule(
+                    site="journal.append", action="truncate_tail",
+                    after=2, nbytes=3, times=1,
+                )
+            )
+        )
+        journal = Journal(path)
+        for i in range(3):
+            journal.append({"i": i})
+        journal.close()
+        reader = Journal(path)
+        assert reader.replay() == [{"i": 0}, {"i": 1}]
+        assert reader.torn_tails == 1

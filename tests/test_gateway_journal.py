@@ -1,0 +1,235 @@
+"""Tests for the gateway's durable alarm journal.
+
+The contract: a pool built with ``journal=`` persists every confirmed
+alarm transition at scoring time, and a new pool over the same journal
+serves a re-opened stream's pre-crash alarms — with the ``alarms()``
+payload (canonical JSON) byte-identical to what the first pool served.
+"""
+
+import json
+
+import pytest
+
+from repro.common.exceptions import JournalCorruptedError
+from repro.common.journal import Journal
+from repro.gateway.journal import AlarmJournal
+from repro.gateway.pool import MonitorPool
+
+ANOMALY_START = 4.0
+
+
+def pool_config(**kwargs):
+    from repro.common.config import GatewayConfig
+
+    defaults = dict(port=0, ingest_port=0)
+    defaults.update(kwargs)
+    return GatewayConfig(**defaults)
+
+
+def feed_pool(pool, stream_id, result, limit=None):
+    controller = result.controller_data
+    process = result.process_data
+    n = controller.n_observations if limit is None else limit
+    for i in range(n):
+        pool.feed(
+            stream_id,
+            controller.values[i],
+            process.values[i],
+            float(controller.timestamps[i]),
+        )
+
+
+def canonical(payload) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+@pytest.fixture
+def journal_path(tmp_path):
+    return tmp_path / "alarms.journal"
+
+
+def journaled_pool(small_evaluation, journal_path, **config_kwargs):
+    return MonitorPool(
+        small_evaluation.analyzer,
+        pool_config(**config_kwargs),
+        journal=journal_path,
+    )
+
+
+class TestAlarmJournalUnit:
+    def test_open_alarm_close_round_trip(self, journal_path):
+        journal = AlarmJournal(journal_path)
+        journal.record_open("s1")
+        journal.record_alarm("s1", "controller", {"kind": "raised", "index": 3})
+        journal.record_alarm("s1", "process", {"kind": "raised", "index": 5})
+        journal.record_open("s2")
+        journal.record_alarm("s2", "controller", {"kind": "raised", "index": 9})
+        journal.record_close("s2")
+        history = journal.replay()
+        # s2 closed cleanly: its story is over and its history is gone.
+        assert set(history) == {"s1"}
+        assert history["s1"] == {
+            "controller": [{"kind": "raised", "index": 3}],
+            "process": [{"kind": "raised", "index": 5}],
+        }
+
+    def test_history_accumulates_across_reopens(self, journal_path):
+        journal = AlarmJournal(journal_path)
+        journal.record_open("s")
+        journal.record_alarm("s", "controller", {"index": 1})
+        # Crash: no close.  The re-open continues the same plant stream.
+        journal.record_open("s")
+        journal.record_alarm("s", "controller", {"index": 2})
+        history = journal.replay()
+        assert history["s"]["controller"] == [{"index": 1}, {"index": 2}]
+
+    def test_empty_journal_replays_empty(self, journal_path):
+        assert AlarmJournal(journal_path).replay() == {}
+
+
+class TestJournaledPool:
+    def test_restarted_pool_serves_identical_alarm_history(
+        self, small_evaluation, attack_xmv3_run, journal_path
+    ):
+        """The pinned guarantee: kill the gateway, restart it over the
+        journal, re-open the stream — the alarms payload is byte-identical
+        to what the first process served."""
+        first = journaled_pool(small_evaluation, journal_path)
+        first.open_stream("plant-7", ANOMALY_START)
+        feed_pool(first, "plant-7", attack_xmv3_run)
+        first.flush()
+        before = first.alarms("plant-7")
+        assert any(events for events in before.values())  # alarms happened
+        first.journal.close()  # the process dies; no close_stream
+
+        second = journaled_pool(small_evaluation, journal_path)
+        second.open_stream("plant-7", ANOMALY_START)
+        after = second.alarms("plant-7")
+        assert canonical(after) == canonical(before)
+        # Byte-identical, not merely equal: the serialized payloads match.
+        assert json.dumps(after) == json.dumps(before)
+
+    def test_live_events_append_after_replayed_history(
+        self, small_evaluation, attack_xmv3_run, journal_path
+    ):
+        first = journaled_pool(small_evaluation, journal_path)
+        first.open_stream("s", ANOMALY_START)
+        half = attack_xmv3_run.controller_data.n_observations // 2
+        feed_pool(first, "s", attack_xmv3_run, limit=half)
+        first.flush()
+        before = first.alarms("s")
+        first.journal.close()
+
+        second = journaled_pool(small_evaluation, journal_path)
+        second.open_stream("s", ANOMALY_START)
+        # History is served even before the re-opened stream feeds anything.
+        assert canonical(second.alarms("s")) == canonical(before)
+        # New scoring appends live events after the replayed history.
+        feed_pool(second, "s", attack_xmv3_run)
+        second.flush()
+        merged = second.alarms("s")
+        for view, events in before.items():
+            assert merged[view][: len(events)] == events
+
+    def test_clean_close_drops_history(
+        self, small_evaluation, attack_xmv3_run, journal_path
+    ):
+        first = journaled_pool(small_evaluation, journal_path)
+        first.open_stream("s", ANOMALY_START)
+        feed_pool(first, "s", attack_xmv3_run)
+        first.close_stream("s")
+        first.journal.close()
+
+        second = journaled_pool(small_evaluation, journal_path)
+        second.open_stream("s", ANOMALY_START)
+        assert all(not events for events in second.alarms("s").values())
+
+    def test_dropped_stream_keeps_history_within_one_process(
+        self, small_evaluation, attack_xmv3_run, journal_path
+    ):
+        """A drop (client crash) mirrors a gateway crash: re-opening the
+        id in the same process serves the same history a restart would."""
+        pool = journaled_pool(small_evaluation, journal_path)
+        pool.open_stream("s", ANOMALY_START)
+        feed_pool(pool, "s", attack_xmv3_run)
+        pool.flush()
+        before = pool.alarms("s")
+        pool.drop_stream("s")
+        pool.open_stream("s", ANOMALY_START)
+        assert canonical(pool.alarms("s")) == canonical(before)
+
+    def test_status_counts_historical_alarms(
+        self, small_evaluation, attack_xmv3_run, journal_path
+    ):
+        first = journaled_pool(small_evaluation, journal_path)
+        first.open_stream("s", ANOMALY_START)
+        feed_pool(first, "s", attack_xmv3_run)
+        first.flush()
+        n_before = first.status("s").n_alarm_events
+        assert n_before > 0
+        first.journal.close()
+        second = journaled_pool(small_evaluation, journal_path)
+        second.open_stream("s", ANOMALY_START)
+        assert second.status("s").n_alarm_events == n_before
+
+    def test_torn_tail_is_healed_on_restart(
+        self, small_evaluation, attack_xmv3_run, journal_path
+    ):
+        first = journaled_pool(small_evaluation, journal_path)
+        first.open_stream("s", ANOMALY_START)
+        feed_pool(first, "s", attack_xmv3_run)
+        first.flush()
+        first.journal.close()
+        raw = journal_path.read_bytes()
+        journal_path.write_bytes(raw[:-9])  # crash mid-append
+        second = journaled_pool(small_evaluation, journal_path)
+        assert second.metrics.snapshot()["gateway_journal_torn_tails_total"] == 1
+        # Everything but the torn record survived.
+        second.open_stream("s", ANOMALY_START)
+        n_events = sum(len(e) for e in second.alarms("s").values())
+        appended = len(Journal(journal_path).replay())
+        assert n_events >= appended - 2  # minus open marker, torn alarm
+
+    def test_mid_file_corruption_refuses_to_start(
+        self, small_evaluation, attack_xmv3_run, journal_path
+    ):
+        first = journaled_pool(small_evaluation, journal_path)
+        first.open_stream("s", ANOMALY_START)
+        feed_pool(first, "s", attack_xmv3_run)
+        first.flush()
+        first.journal.close()
+        lines = journal_path.read_bytes().splitlines(keepends=True)
+        assert len(lines) >= 3
+        lines[1] = b"00000000" + lines[1][8:]
+        journal_path.write_bytes(b"".join(lines))
+        with pytest.raises(JournalCorruptedError):
+            journaled_pool(small_evaluation, journal_path)
+
+    def test_journal_metrics_count_appends_and_replays(
+        self, small_evaluation, attack_xmv3_run, journal_path
+    ):
+        first = journaled_pool(small_evaluation, journal_path)
+        first.open_stream("s", ANOMALY_START)
+        feed_pool(first, "s", attack_xmv3_run)
+        first.flush()
+        snapshot = first.metrics.snapshot()
+        n_alarms = sum(len(e) for e in first.alarms("s").values())
+        assert (
+            snapshot["gateway_journal_appends_total"] == n_alarms + 1
+        )  # + the open marker
+        assert snapshot["gateway_journal_records_replayed_total"] == 0
+        first.journal.close()
+
+        second = journaled_pool(small_evaluation, journal_path)
+        assert (
+            second.metrics.snapshot()["gateway_journal_records_replayed_total"]
+            == n_alarms
+        )
+
+    def test_journalless_pool_reports_zero_journal_metrics(
+        self, small_evaluation
+    ):
+        pool = MonitorPool(small_evaluation.analyzer, pool_config())
+        snapshot = pool.metrics.snapshot()
+        assert snapshot["gateway_journal_appends_total"] == 0
+        assert pool.journal is None

@@ -306,9 +306,11 @@ class TestMetrics:
     def test_new_metrics_append_after_the_historical_series(
         self, small_evaluation, attack_xmv3_run
     ):
-        """PR 9 wire-format pin: ``gateway_streams_peak`` and
-        ``gateway_flush_duration_seconds`` extend the document at the end,
-        so every pre-existing series keeps its position and shape."""
+        """Wire-format pin: new series only ever extend the document at
+        the end, so every pre-existing series keeps its position and
+        shape.  PR 9 appended ``gateway_streams_peak`` and
+        ``gateway_flush_duration_seconds``; PR 10 appended the
+        ``gateway_journal_*`` counters after those."""
         pool = MonitorPool(small_evaluation.analyzer, pool_config())
         pool.open_stream("s", ANOMALY_START)
         feed_pool(pool, "s", attack_xmv3_run)
@@ -316,12 +318,19 @@ class TestMetrics:
         assert "# TYPE gateway_streams_peak gauge" in text
         assert "gateway_streams_peak 1" in text
         assert "# TYPE gateway_flush_duration_seconds histogram" in text
-        # Appended last: after every historically-pinned series.
+        # Appended in order: after every historically-pinned series.
         assert text.index("gateway_streams_peak") > text.index(
             "gateway_flush_latency_seconds"
         )
+        assert text.index("gateway_flush_duration_seconds") > text.index(
+            "gateway_streams_peak"
+        )
+        assert text.index("gateway_journal_appends_total") > text.index(
+            "gateway_flush_duration_seconds_count"
+        )
         assert text.rstrip().endswith(
             text.splitlines()[-1]
-        ) and "gateway_flush_duration_seconds_count" in text.splitlines()[-1]
+        ) and "gateway_journal_torn_tails_total" in text.splitlines()[-1]
         snapshot = pool.metrics.snapshot()
         assert snapshot["gateway_streams_peak"] == 1
+        assert snapshot["gateway_journal_appends_total"] == 0

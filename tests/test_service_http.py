@@ -12,7 +12,11 @@ from repro.common.config import (
     ParallelConfig,
     SimulationConfig,
 )
-from repro.common.exceptions import ServiceError, ServiceUnavailableError
+from repro.common.exceptions import (
+    CampaignIncompleteError,
+    ServiceError,
+    ServiceUnavailableError,
+)
 from repro.service import (
     CampaignCoordinator,
     ChunkWorker,
@@ -96,8 +100,11 @@ class TestErrors:
     def test_tables_before_completion_is_conflict(self, service):
         _, server, client = service
         campaign_id = client.submit(small_spec())
-        with pytest.raises(ServiceError, match="not complete"):
+        # The typed error lets --no-wait submitters poll without
+        # string-matching; it is still a ServiceError for old callers.
+        with pytest.raises(CampaignIncompleteError, match="not complete"):
             client.tables(campaign_id)
+        assert issubclass(CampaignIncompleteError, ServiceError)
         # and the raw status code is 409, not 404/500
         try:
             urllib.request.urlopen(f"{server.url}/campaigns/{campaign_id}/tables")

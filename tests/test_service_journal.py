@@ -1,0 +1,312 @@
+"""Tests for the coordinator's durable scheduling journal.
+
+The contract: a coordinator constructed with ``journal=`` can be killed
+at any point and a new coordinator over the same journal resumes with the
+campaign registered, done chunks done, attempt counts and worker history
+intact — without anyone re-submitting the spec.  The shared NPZ cache
+already protected the results; the journal protects the scheduling state.
+"""
+
+import pytest
+
+from repro.api.session import Session
+from repro.api.spec import CampaignSpec
+from repro.common.config import (
+    ExperimentConfig,
+    ParallelConfig,
+    SimulationConfig,
+)
+from repro.common.exceptions import JournalCorruptedError
+from repro.common.journal import Journal
+from repro.service import CampaignCoordinator, ChunkWorker
+
+SMALL_EXPERIMENT = ExperimentConfig(
+    n_calibration_runs=2,
+    n_runs_per_scenario=1,
+    anomaly_start_hour=2.0,
+    simulation=SimulationConfig(duration_hours=5.0, samples_per_hour=20, seed=13),
+    parallel=ParallelConfig.serial(),
+    seed=13,
+)
+
+
+def small_spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="journal", scenarios=["idv6", "attack_xmv3"]
+    ).with_experiment(SMALL_EXPERIMENT)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def journal_path(tmp_path):
+    return tmp_path / "coordinator.journal"
+
+
+def coordinator_at(tmp_path, clock, journal_path):
+    return CampaignCoordinator(
+        tmp_path / "shared", clock=clock, journal=journal_path
+    )
+
+
+class TestEventRecording:
+    def test_protocol_events_are_journaled(
+        self, tmp_path, clock, journal_path
+    ):
+        coordinator = coordinator_at(tmp_path, clock, journal_path)
+        campaign_id = coordinator.submit(small_spec())
+        descriptor = coordinator.claim(campaign_id, "w1")
+        coordinator.heartbeat(campaign_id, descriptor["chunk_id"], "w1")
+        records = Journal(journal_path).replay()
+        events = [record["event"] for record in records]
+        assert events == ["submit", "claim", "heartbeat"]
+        assert records[0]["campaign_id"] == campaign_id
+        assert records[0]["spec"]["name"] == "journal"
+        assert records[1]["worker_id"] == "w1"
+        assert records[1]["chunk_id"] == descriptor["chunk_id"]
+
+    def test_idempotent_resubmit_is_not_rejournaled(
+        self, tmp_path, clock, journal_path
+    ):
+        coordinator = coordinator_at(tmp_path, clock, journal_path)
+        coordinator.submit(small_spec())
+        coordinator.submit(small_spec())
+        events = [r["event"] for r in Journal(journal_path).replay()]
+        assert events == ["submit"]
+
+    def test_reap_is_journaled(self, tmp_path, clock, journal_path):
+        coordinator = coordinator_at(tmp_path, clock, journal_path)
+        campaign_id = coordinator.submit(small_spec())
+        descriptor = coordinator.claim(campaign_id, "doomed")
+        clock.advance(descriptor["lease_seconds"] + 1)
+        coordinator.progress(campaign_id)  # triggers the lazy reaper
+        records = Journal(journal_path).replay()
+        reaps = [r for r in records if r["event"] == "reap"]
+        assert len(reaps) == 1
+        assert reaps[0]["chunk_id"] == descriptor["chunk_id"]
+        assert reaps[0]["worker_id"] == "doomed"
+
+    def test_rejected_ack_is_journaled(self, tmp_path, clock, journal_path):
+        coordinator = coordinator_at(tmp_path, clock, journal_path)
+        campaign_id = coordinator.submit(small_spec())
+        descriptor = coordinator.claim(campaign_id, "w1")
+        # Nothing was simulated: the cache check must reject this ack.
+        response = coordinator.ack(campaign_id, descriptor["chunk_id"], "w1")
+        assert not response["accepted"]
+        acks = [
+            r for r in Journal(journal_path).replay() if r["event"] == "ack"
+        ]
+        assert acks == [
+            {
+                "v": 1,
+                "event": "ack",
+                "campaign_id": campaign_id,
+                "chunk_id": descriptor["chunk_id"],
+                "worker_id": "w1",
+                "accepted": False,
+                "n_simulated": 0,
+                "n_cache_hits": 0,
+            }
+        ]
+
+
+class TestRestartReplay:
+    def test_restart_restores_campaign_without_resubmission(
+        self, tmp_path, clock, journal_path
+    ):
+        first = coordinator_at(tmp_path, clock, journal_path)
+        campaign_id = first.submit(small_spec())
+        n_chunks = first.progress(campaign_id)["n_chunks"]
+        first.journal.close()
+
+        second = coordinator_at(tmp_path, clock, journal_path)
+        assert second.campaign_ids() == [campaign_id]
+        assert second.progress(campaign_id)["n_chunks"] == n_chunks
+
+    def test_done_chunks_attempts_and_worker_history_survive(
+        self, tmp_path, clock, journal_path
+    ):
+        first = coordinator_at(tmp_path, clock, journal_path)
+        campaign_id = first.submit(small_spec())
+
+        # Chunk 0: claimed and fully executed by w1.
+        worker = ChunkWorker(first, worker_id="w1")
+        assert worker.run_once(campaign_id)
+        # Chunk 1: claimed by doomed, reaped, re-claimed by w2, still leased
+        # when the coordinator dies.
+        descriptor = first.claim(campaign_id, "doomed")
+        clock.advance(descriptor["lease_seconds"] + 1)
+        reclaimed = first.claim(campaign_id, "w2")
+        assert reclaimed["chunk_id"] == descriptor["chunk_id"]
+        before = {
+            c["chunk_id"]: c for c in first.chunk_states(campaign_id)
+        }
+        first.journal.close()
+
+        second = coordinator_at(tmp_path, clock, journal_path)
+        after = {
+            c["chunk_id"]: c for c in second.chunk_states(campaign_id)
+        }
+        assert set(after) == set(before)
+        done = [c for c in after.values() if c["state"] == "done"]
+        assert len(done) == 1
+        assert done[0]["worker_id"] == "w1"
+        assert done[0]["n_simulated"] == before[done[0]["chunk_id"]]["n_simulated"]
+        # The twice-claimed chunk is pending again (its lease died with the
+        # old process) but remembers both attempts.
+        revived = after[descriptor["chunk_id"]]
+        assert revived["state"] == "pending"
+        assert revived["worker_id"] is None
+        assert revived["attempts"] == 2
+
+    def test_restarted_campaign_completes_with_identical_tables(
+        self, tmp_path, clock, journal_path
+    ):
+        first = coordinator_at(tmp_path, clock, journal_path)
+        campaign_id = first.submit(small_spec())
+        n_runs = first.progress(campaign_id)["n_runs"]
+        worker = ChunkWorker(first, worker_id="phase-1")
+        assert worker.run_once(campaign_id)
+        phase1 = worker.n_simulated
+        first.journal.close()
+
+        # The new coordinator never sees a submit call — the journal alone
+        # re-registers the campaign, and the done chunk stays done (no
+        # re-claim, not even a cache fast-forward for it).
+        second = coordinator_at(tmp_path, clock, journal_path)
+        survivor = ChunkWorker(second, worker_id="phase-2")
+        survivor.drain(campaign_id)
+        assert phase1 + survivor.n_simulated == n_runs
+        assert survivor.n_cache_hits == 0
+        distributed = second.tables(campaign_id)
+        local = Session(second.normalize(small_spec())).run().tables()
+        assert distributed == local
+
+    def test_heartbeats_replay_as_noops(self, tmp_path, clock, journal_path):
+        first = coordinator_at(tmp_path, clock, journal_path)
+        campaign_id = first.submit(small_spec())
+        descriptor = first.claim(campaign_id, "w1")
+        for _ in range(3):
+            assert first.heartbeat(campaign_id, descriptor["chunk_id"], "w1")
+        first.journal.close()
+        second = coordinator_at(tmp_path, clock, journal_path)
+        states = {
+            c["chunk_id"]: c for c in second.chunk_states(campaign_id)
+        }
+        assert states[descriptor["chunk_id"]]["state"] == "pending"
+        assert states[descriptor["chunk_id"]]["attempts"] == 1
+
+    def test_torn_tail_is_healed_on_restart(
+        self, tmp_path, clock, journal_path
+    ):
+        first = coordinator_at(tmp_path, clock, journal_path)
+        campaign_id = first.submit(small_spec())
+        first.claim(campaign_id, "w1")
+        first.journal.close()
+        # Tear the claim record's tail, as a crash mid-append would.
+        raw = journal_path.read_bytes()
+        journal_path.write_bytes(raw[:-7])
+        second = coordinator_at(tmp_path, clock, journal_path)
+        states = second.chunk_states(campaign_id)
+        # The torn claim was discarded: every chunk is pending, no attempts.
+        assert all(c["state"] == "pending" for c in states)
+        assert all(c["attempts"] == 0 for c in states)
+
+    def test_mid_file_corruption_refuses_to_start(
+        self, tmp_path, clock, journal_path
+    ):
+        first = coordinator_at(tmp_path, clock, journal_path)
+        campaign_id = first.submit(small_spec())
+        first.claim(campaign_id, "w1")
+        first.journal.close()
+        lines = journal_path.read_bytes().splitlines(keepends=True)
+        lines[0] = b"00000000" + lines[0][8:]
+        journal_path.write_bytes(b"".join(lines))
+        with pytest.raises(JournalCorruptedError):
+            coordinator_at(tmp_path, clock, journal_path)
+
+
+class TestCompaction:
+    def test_replay_compacts_to_snapshots(
+        self, tmp_path, clock, journal_path
+    ):
+        first = coordinator_at(tmp_path, clock, journal_path)
+        campaign_id = first.submit(small_spec())
+        worker = ChunkWorker(first, worker_id="w1")
+        assert worker.run_once(campaign_id)
+        first.claim(campaign_id, "w2")
+        first.journal.close()
+
+        second = coordinator_at(tmp_path, clock, journal_path)
+        second.journal.close()
+        records = Journal(journal_path).replay()
+        assert [r["event"] for r in records] == ["snapshot"]
+        assert records[0]["campaign_id"] == campaign_id
+        assert len(records[0]["chunks"]) == len(
+            second.chunk_states(campaign_id)
+        )
+
+    def test_snapshot_replays_to_the_same_state(
+        self, tmp_path, clock, journal_path
+    ):
+        first = coordinator_at(tmp_path, clock, journal_path)
+        campaign_id = first.submit(small_spec())
+        worker = ChunkWorker(first, worker_id="w1")
+        assert worker.run_once(campaign_id)
+        first.journal.close()
+
+        second = coordinator_at(tmp_path, clock, journal_path)  # compacts
+        state_after_replay = second.chunk_states(campaign_id)
+        second.journal.close()
+
+        third = coordinator_at(tmp_path, clock, journal_path)  # from snapshot
+        assert third.chunk_states(campaign_id) == state_after_replay
+
+    def test_empty_journal_coordinator_works_normally(
+        self, tmp_path, clock, journal_path
+    ):
+        coordinator = coordinator_at(tmp_path, clock, journal_path)
+        assert coordinator.campaign_ids() == []
+        campaign_id = coordinator.submit(small_spec())
+        assert coordinator.progress(campaign_id)["n_runs"] > 0
+
+
+class TestJournalMetrics:
+    def test_metrics_expose_journal_counters(
+        self, tmp_path, clock, journal_path
+    ):
+        coordinator = coordinator_at(tmp_path, clock, journal_path)
+        campaign_id = coordinator.submit(small_spec())
+        coordinator.claim(campaign_id, "w1")
+        rendered = coordinator.metrics_render()
+        assert "service_journal_appends 2" in rendered
+        assert "service_journal_torn_tails 0" in rendered
+
+    def test_journalless_coordinator_reports_zero(self, tmp_path, clock):
+        coordinator = CampaignCoordinator(tmp_path / "shared", clock=clock)
+        rendered = coordinator.metrics_render()
+        assert "service_journal_appends 0" in rendered
+
+    def test_health_names_the_journal(self, tmp_path, clock, journal_path):
+        coordinator = coordinator_at(tmp_path, clock, journal_path)
+        assert coordinator.health()["journal"] == str(journal_path)
+        assert (
+            CampaignCoordinator(tmp_path / "shared", clock=clock).health()[
+                "journal"
+            ]
+            is None
+        )
